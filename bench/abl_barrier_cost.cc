@@ -1,0 +1,62 @@
+// Ablation (beyond the paper): how much of BoLT's win is the barrier?
+//
+// Sweeps the simulated device's per-barrier cost (the FLUSH/queue-drain
+// latency) from 0 to 2 ms and reports stock LevelDB vs BoLT Load A
+// throughput at each point.  BoLT's advantage should grow with barrier
+// cost and shrink toward the pure write-amplification difference as the
+// barrier approaches zero — supporting the paper's §2.4 root-cause claim
+// that the fsync barrier, not merely the write volume, causes the gap.
+// (BarrierFS, discussed in §5, attacks the same cost from the filesystem
+// side.)
+#include "bench_common.h"
+
+namespace bolt {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Scale scale = ScaleFromFlags(flags);
+
+  PrintFigureHeader("Ablation: barrier cost",
+                    "LevelDB vs BoLT Load A throughput vs fsync barrier "
+                    "latency");
+
+  const std::vector<int> widths = {14, 12, 12, 10, 14, 14};
+  PrintRow({"barrier", "LevelDB", "BoLT", "speedup", "Level fsyncs",
+            "BoLT fsyncs"},
+           widths);
+
+  ycsb::Spec spec;
+  spec.workload = ycsb::Workload::kLoadA;
+  spec.record_count = scale.records;
+  spec.value_size = scale.value_size;
+
+  for (uint64_t barrier_us : {0, 100, 400, 1000, 2000}) {
+    SsdModelConfig ssd;
+    ssd.barrier_ns = barrier_us * 1000;
+
+    Fixture level = OpenFixture(presets::LevelDB(), ssd);
+    ycsb::Result rl = level.MakeRunner().Run(spec);
+
+    Fixture bolt_f = OpenFixture(presets::BoLT(), ssd);
+    ycsb::Result rb = bolt_f.MakeRunner().Run(spec);
+
+    char name[32], speedup[32];
+    snprintf(name, sizeof(name), "%lluus",
+             static_cast<unsigned long long>(barrier_us));
+    snprintf(speedup, sizeof(speedup), "%.2fx",
+             rb.throughput_ops_sec / rl.throughput_ops_sec);
+    PrintRow({name, FormatThroughput(rl.throughput_ops_sec),
+              FormatThroughput(rb.throughput_ops_sec), speedup,
+              FormatCount(rl.io.sync_calls), FormatCount(rb.io.sync_calls)},
+             widths);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bolt
+
+int main(int argc, char** argv) { return bolt::bench::Main(argc, argv); }

@@ -1,0 +1,155 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bolt {
+namespace bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (strncmp(arg, "--", 2) != 0) {
+      fprintf(stderr, "ignoring non-flag argument: %s\n", arg);
+      continue;
+    }
+    std::string s(arg + 2);
+    size_t eq = s.find('=');
+    if (eq == std::string::npos) {
+      values_[s] = "true";
+    } else {
+      values_[s.substr(0, eq)] = s.substr(eq + 1);
+    }
+  }
+}
+
+std::string Flags::Get(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+uint64_t Flags::GetInt(const std::string& name, uint64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+Fixture OpenFixture(Options options, const SsdModelConfig& ssd) {
+  Fixture f;
+  f.env = std::make_unique<SimEnv>(ssd);
+  f.options = options;
+  f.options.env = f.env.get();
+  DB* db = nullptr;
+  Status s = DB::Open(f.options, "/bench_db", &db);
+  if (!s.ok()) {
+    fprintf(stderr, "DB::Open failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  f.db.reset(db);
+  return f;
+}
+
+Scale ScaleFromFlags(const Flags& flags) {
+  Scale s;
+  s.records = flags.GetInt("records", s.records);
+  s.ops = flags.GetInt("ops", s.ops);
+  s.value_size = flags.GetInt("value_size", s.value_size);
+  return s;
+}
+
+std::vector<ycsb::Result> RunPaperSequence(const Options& options,
+                                           const Scale& scale,
+                                           ycsb::Distribution dist,
+                                           const SsdModelConfig& ssd) {
+  ycsb::Spec spec;
+  spec.distribution = dist;
+  spec.record_count = scale.records;
+  spec.operation_count = scale.ops;
+  spec.value_size = scale.value_size;
+
+  std::vector<ycsb::Result> all;
+  {
+    Fixture f = OpenFixture(options, ssd);
+    auto part = ycsb::RunSequence(
+        f.db.get(), f.env.get(), spec,
+        {ycsb::Workload::kLoadA, ycsb::Workload::kA, ycsb::Workload::kB,
+         ycsb::Workload::kC, ycsb::Workload::kF, ycsb::Workload::kD});
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  {
+    Fixture f = OpenFixture(options, ssd);
+    auto part = ycsb::RunSequence(
+        f.db.get(), f.env.get(), spec,
+        {ycsb::Workload::kLoadE, ycsb::Workload::kE});
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+void PrintFigureHeader(const std::string& figure, const std::string& title) {
+  printf("==============================================================\n");
+  printf("%s — %s\n", figure.c_str(), title.c_str());
+  printf("BoLT reproduction: engines on a simulated SATA SSD (virtual\n");
+  printf("clock); sizes are the paper's / 16. See EXPERIMENTS.md.\n");
+  printf("==============================================================\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); i++) {
+    int w = i < widths.size() ? widths[i] : 12;
+    char buf[256];
+    snprintf(buf, sizeof(buf), "%-*s", w, cells[i].c_str());
+    line += buf;
+  }
+  printf("%s\n", line.c_str());
+}
+
+std::string FormatThroughput(double ops_per_sec) {
+  char buf[64];
+  if (ops_per_sec >= 1e6) {
+    snprintf(buf, sizeof(buf), "%.2fM", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    snprintf(buf, sizeof(buf), "%.1fK", ops_per_sec / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%.0f", ops_per_sec);
+  }
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ull << 30)) {
+    snprintf(buf, sizeof(buf), "%.2fGB", bytes / double(1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    snprintf(buf, sizeof(buf), "%.1fMB", bytes / double(1ull << 20));
+  } else {
+    snprintf(buf, sizeof(buf), "%.1fKB", bytes / double(1ull << 10));
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t n) {
+  char buf[32];
+  if (n >= 1000000) {
+    snprintf(buf, sizeof(buf), "%.2fM", n / 1e6);
+  } else if (n >= 10000) {
+    snprintf(buf, sizeof(buf), "%.1fK", n / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace bolt

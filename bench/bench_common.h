@@ -1,0 +1,79 @@
+// Shared harness for the figure benches: flag parsing, SimEnv + DB
+// fixtures, and table-formatted output.  Every bench binary prints the
+// rows/series of one paper figure (see DESIGN.md §4 for the index).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/db.h"
+#include "engines/presets.h"
+#include "sim/sim_env.h"
+#include "ycsb/ycsb.h"
+
+namespace bolt {
+namespace bench {
+
+// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  std::string Get(const std::string& name, const std::string& def) const;
+  uint64_t GetInt(const std::string& name, uint64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool Has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// A DB opened on a fresh SimEnv.
+struct Fixture {
+  std::unique_ptr<SimEnv> env;
+  Options options;
+  std::unique_ptr<DB> db;
+
+  ycsb::Runner MakeRunner() { return ycsb::Runner(db.get(), env.get()); }
+};
+
+// Open a new DB with the given options on a fresh simulated SSD.
+// Aborts on failure (benches have no meaningful recovery).
+Fixture OpenFixture(Options options, const SsdModelConfig& ssd = {});
+
+// Default workload scale (override with --records=, --ops=,
+// --value_size=).  ~100 MB of logical data by default: big enough for
+// 4 populated levels and >3x the simulated page cache.
+struct Scale {
+  uint64_t records = 100000;
+  uint64_t ops = 20000;
+  size_t value_size = 1000;
+};
+Scale ScaleFromFlags(const Flags& flags);
+
+// Run the paper's §4.1 sequence — Load A, A, B, C, F, D on one DB, then
+// delete the database and run Load E, E on a fresh one — and return the
+// eight results in that order.
+std::vector<ycsb::Result> RunPaperSequence(const Options& options,
+                                           const Scale& scale,
+                                           ycsb::Distribution dist,
+                                           const SsdModelConfig& ssd = {});
+
+// ---- Output formatting ----
+
+// Begin a figure: prints the title and provenance line.
+void PrintFigureHeader(const std::string& figure, const std::string& title);
+
+// Print one aligned row of cells.
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+std::string FormatThroughput(double ops_per_sec);  // "123.4K"
+std::string FormatBytes(uint64_t bytes);           // "1.2 GB"
+std::string FormatCount(uint64_t n);               // "12345"
+
+}  // namespace bench
+}  // namespace bolt

@@ -1,0 +1,61 @@
+// Figure 4: insertion performance of stock LevelDB with various SSTable
+// sizes (YCSB Load A).
+//   (a) the number of fsync() calls decreases linearly with SSTable size;
+//   (b) insertion tail latency improves accordingly (fewer barriers,
+//       fewer write stalls).
+//
+// Scaled /16: paper's 2..64 MB SSTables are 128 KB..4 MB here.
+#include "bench_common.h"
+
+namespace bolt {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Scale scale = ScaleFromFlags(flags);
+
+  PrintFigureHeader("Figure 4",
+                    "Stock LevelDB insertion vs SSTable size (YCSB Load A)");
+
+  // Write stalls are rare-but-huge events (one per memtable), so the
+  // interesting insertion percentiles are the extreme ones.
+  const std::vector<int> widths = {14, 10, 12, 11, 12, 12, 12, 11};
+  PrintRow({"sstable", "fsyncs", "throughput", "avg(us)", "p99.9(us)",
+            "p99.99(us)", "max(ms)", "stalls"},
+           widths);
+
+  ycsb::Spec spec;
+  spec.workload = ycsb::Workload::kLoadA;
+  spec.record_count = scale.records;
+  spec.value_size = scale.value_size;
+
+  for (uint64_t mb_paper : {2, 4, 8, 16, 32, 64}) {
+    Options o = presets::LevelDB();
+    o.max_file_size = mb_paper * (1 << 20) / 16;
+    Fixture f = OpenFixture(o);
+    ycsb::Result r = f.MakeRunner().Run(spec);
+
+    char name[32], avg[32], p999[32], p9999[32], maxl[32];
+    snprintf(name, sizeof(name), "%lluMB",
+             static_cast<unsigned long long>(mb_paper));
+    snprintf(avg, sizeof(avg), "%.1f", r.insert_latency.Average() / 1e3);
+    snprintf(p999, sizeof(p999), "%.1f",
+             r.insert_latency.Percentile(99.9) / 1e3);
+    snprintf(p9999, sizeof(p9999), "%.1f",
+             r.insert_latency.Percentile(99.99) / 1e3);
+    snprintf(maxl, sizeof(maxl), "%.1f", r.insert_latency.max() / 1e6);
+    PrintRow({name, FormatCount(r.io.sync_calls),
+              FormatThroughput(r.throughput_ops_sec) + "ops", avg, p999,
+              p9999, maxl,
+              FormatCount(r.db.stall_writes + r.db.slowdown_writes)},
+             widths);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bolt
+
+int main(int argc, char** argv) { return bolt::bench::Main(argc, argv); }

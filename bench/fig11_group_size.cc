@@ -1,0 +1,74 @@
+// Figure 11: number of fsync() calls vs group compaction size.
+//
+// Paper: YCSB Load A (write-only) on stock LevelDB vs BoLT with group
+// compaction sizes 2..64 MB.  Stock LevelDB issues ~2x the barriers of
+// BoLT at the same victim volume (GC2MB), and barriers keep dropping
+// roughly linearly as the group size grows; 64 MB performed best and is
+// used for the rest of the paper.
+//
+// Scaled /16: group sizes 128 KB .. 4 MB, 1 MB-equivalent logical tables
+// (64 KB here).
+#include "bench_common.h"
+
+namespace bolt {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Scale scale = ScaleFromFlags(flags);
+
+  PrintFigureHeader("Figure 11",
+                    "Number of fsync() calls vs group compaction size "
+                    "(YCSB Load A)");
+
+  const std::vector<int> widths = {16, 10, 12, 12, 14, 12};
+  PrintRow({"config", "fsyncs", "fsync/MB", "throughput", "bytes_written",
+            "stalls"},
+           widths);
+
+  ycsb::Spec spec;
+  spec.workload = ycsb::Workload::kLoadA;
+  spec.record_count = scale.records;
+  spec.value_size = scale.value_size;
+
+  const double user_mb = scale.records * scale.value_size / 1048576.0;
+
+  auto report = [&](const std::string& name, const ycsb::Result& r) {
+    char per_mb[32];
+    snprintf(per_mb, sizeof(per_mb), "%.2f", r.io.sync_calls / user_mb);
+    PrintRow({name, FormatCount(r.io.sync_calls), per_mb,
+              FormatThroughput(r.throughput_ops_sec) + "ops",
+              FormatBytes(r.io.bytes_written),
+              FormatCount(r.db.stall_writes + r.db.slowdown_writes)},
+             widths);
+  };
+
+  // Baseline: stock LevelDB (2 MB-equivalent SSTables, one fsync per
+  // output table).
+  {
+    Fixture f = OpenFixture(presets::LevelDB());
+    report("LevelDB", f.MakeRunner().Run(spec));
+  }
+
+  // BoLT with growing group compaction sizes (paper: GC 2/4/8/16/32/64
+  // MB -> scaled to 128 KB..4 MB).
+  for (uint64_t group_mb_paper : {2, 4, 8, 16, 32, 64}) {
+    presets::BoltFeatures features = presets::GC();
+    Options o = presets::BoLT(features);
+    o.group_compaction_bytes = group_mb_paper * (1 << 20) / 16;
+    Fixture f = OpenFixture(o);
+    char name[32];
+    snprintf(name, sizeof(name), "BoLT GC%lluMB",
+             static_cast<unsigned long long>(group_mb_paper));
+    report(name, f.MakeRunner().Run(spec));
+  }
+
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bolt
+
+int main(int argc, char** argv) { return bolt::bench::Main(argc, argv); }

@@ -1,0 +1,114 @@
+// Figure 12: quantifying the benefit of each BoLT design, in LevelDB
+// (a, --base=leveldb) and HyperLevelDB (b, --base=hyper).
+//
+// Configurations, cumulative as in the paper:
+//   stock — the unmodified base engine
+//   +LS   — compaction files + 1 MB logical SSTables
+//   +GC   — ... + 64 MB group compaction
+//   +STL  — ... + settled compaction
+//   +FC   — ... + file descriptor cache (full BoLT)
+//
+// Paper shapes to check: +LS alone ~= stock (LevelDB) or worse (Hyper);
+// +GC ~2.5x stock LevelDB on LA/LE; +STL cuts total disk I/O ~9.5%;
+// BoLT also wins the read workloads (B, C, D).
+#include "bench_common.h"
+
+namespace bolt {
+namespace bench {
+namespace {
+
+int RunBase(const Flags& flags, const std::string& base);
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("base")) {
+    return RunBase(flags, flags.Get("base", "leveldb"));
+  }
+  int rc = RunBase(flags, "leveldb");
+  printf("\n");
+  return rc | RunBase(flags, "hyper");
+}
+
+int RunBase(const Flags& flags, const std::string& base) {
+  Scale scale = ScaleFromFlags(flags);
+  const bool hyper = (base == "hyper");
+
+  PrintFigureHeader(
+      hyper ? "Figure 12(b)" : "Figure 12(a)",
+      std::string("BoLT design quantification in ") +
+          (hyper ? "HyperLevelDB" : "LevelDB") + " (YCSB, zipfian)");
+
+  struct Config {
+    const char* name;
+    Options options;
+  };
+  auto make = [&](const presets::BoltFeatures* f) {
+    if (f == nullptr) {
+      return hyper ? presets::HyperLevelDB() : presets::LevelDB();
+    }
+    return hyper ? presets::HyperBoLT(*f) : presets::BoLT(*f);
+  };
+  const presets::BoltFeatures ls = presets::LS(), gc = presets::GC(),
+                              stl = presets::STL(), fc = presets::FC();
+  std::vector<Config> configs = {
+      {"stock", make(nullptr)}, {"+LS", make(&ls)},   {"+GC", make(&gc)},
+      {"+STL", make(&stl)},     {"+FC", make(&fc)},
+  };
+
+  // throughput matrix: run each config through the paper sequence.
+  std::vector<std::vector<ycsb::Result>> all;
+  for (const Config& c : configs) {
+    fprintf(stderr, "running %s/%s...\n", base.c_str(), c.name);
+    all.push_back(RunPaperSequence(c.options, scale,
+                                   ycsb::Distribution::kZipfian));
+  }
+
+  const std::vector<int> widths = {10, 12, 12, 12, 12, 12};
+  std::vector<std::string> header = {"workload"};
+  for (const Config& c : configs) header.push_back(c.name);
+  PrintRow(header, widths);
+
+  const size_t num_workloads = all[0].size();
+  for (size_t w = 0; w < num_workloads; w++) {
+    std::vector<std::string> row = {all[0][w].workload_name};
+    for (size_t c = 0; c < configs.size(); c++) {
+      row.push_back(FormatThroughput(all[c][w].throughput_ops_sec));
+    }
+    PrintRow(row, widths);
+  }
+
+  // The small side-graph of Fig 12: total bytes written per config.
+  printf("\ntotal bytes written (whole sequence; the Fig 12 side plot):\n");
+  std::vector<std::string> row = {"bytes"};
+  for (size_t c = 0; c < configs.size(); c++) {
+    uint64_t total = 0;
+    for (const auto& r : all[c]) total += r.io.bytes_written;
+    row.push_back(FormatBytes(total));
+  }
+  PrintRow(row, widths);
+
+  // fsync totals, and settled-compaction savings for the +STL column.
+  row = {"fsyncs"};
+  for (size_t c = 0; c < configs.size(); c++) {
+    uint64_t total = 0;
+    for (const auto& r : all[c]) total += r.io.sync_calls;
+    row.push_back(FormatCount(total));
+  }
+  PrintRow(row, widths);
+
+  row = {"settled"};
+  for (size_t c = 0; c < configs.size(); c++) {
+    uint64_t total = 0;
+    for (const auto& r : all[c]) total += r.db.settled_promotions;
+    row.push_back(FormatCount(total));
+  }
+  PrintRow(row, widths);
+
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bolt
+
+int main(int argc, char** argv) { return bolt::bench::Main(argc, argv); }

@@ -1,0 +1,86 @@
+// Figure 13: YCSB throughput of all seven systems — LevelDB, LevelDB with
+// 64 MB SSTables, HyperLevelDB, PebblesDB, RocksDB, BoLT, HyperBoLT —
+// under (a) zipfian (--dist=zipfian) and (b) uniform (--dist=uniform)
+// request distributions.
+//
+// Paper shapes to check (zipfian, LA): LVL64MB ~2.75x LevelDB; BoLT ~17%
+// over LVL64MB and ~3.24x LevelDB; Hyper ~4x LevelDB; PebblesDB highest
+// on the write-only loads but loses to BoLT/HyperBoLT on everything
+// else; RocksDB best read throughput.
+#include "bench_common.h"
+
+namespace bolt {
+namespace bench {
+namespace {
+
+int RunDist(const Flags& flags, const std::string& dist_name);
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("dist")) {
+    return RunDist(flags, flags.Get("dist", "zipfian"));
+  }
+  int rc = RunDist(flags, "zipfian");
+  printf("\n");
+  return rc | RunDist(flags, "uniform");
+}
+
+int RunDist(const Flags& flags, const std::string& dist_name) {
+  Scale scale = ScaleFromFlags(flags);
+  const ycsb::Distribution dist = dist_name == "uniform"
+                                      ? ycsb::Distribution::kUniform
+                                      : ycsb::Distribution::kZipfian;
+
+  PrintFigureHeader(dist == ycsb::Distribution::kZipfian ? "Figure 13(a)"
+                                                         : "Figure 13(b)",
+                    "YCSB throughput of all systems (" + dist_name + ")");
+
+  const std::vector<std::pair<std::string, std::string>> systems = {
+      {"Level", "leveldb"}, {"LVL64MB", "leveldb64"}, {"Hyper", "hyper"},
+      {"Pebbles", "pebbles"}, {"Rocks", "rocks"}, {"BoLT", "bolt"},
+      {"HBoLT", "hbolt"},
+  };
+
+  std::vector<std::vector<ycsb::Result>> all;
+  for (const auto& [label, preset] : systems) {
+    fprintf(stderr, "running %s...\n", label.c_str());
+    all.push_back(RunPaperSequence(presets::ByName(preset), scale, dist));
+  }
+
+  const std::vector<int> widths = {10, 10, 10, 10, 10, 10, 10, 10};
+  std::vector<std::string> header = {"workload"};
+  for (const auto& [label, preset] : systems) header.push_back(label);
+  PrintRow(header, widths);
+
+  for (size_t w = 0; w < all[0].size(); w++) {
+    std::vector<std::string> row = {all[0][w].workload_name};
+    for (size_t s = 0; s < systems.size(); s++) {
+      row.push_back(FormatThroughput(all[s][w].throughput_ops_sec));
+    }
+    PrintRow(row, widths);
+  }
+
+  printf("\ntotal bytes written / fsyncs over the sequence:\n");
+  std::vector<std::string> row = {"bytes"};
+  for (size_t s = 0; s < systems.size(); s++) {
+    uint64_t total = 0;
+    for (const auto& r : all[s]) total += r.io.bytes_written;
+    row.push_back(FormatBytes(total));
+  }
+  PrintRow(row, widths);
+  row = {"fsyncs"};
+  for (size_t s = 0; s < systems.size(); s++) {
+    uint64_t total = 0;
+    for (const auto& r : all[s]) total += r.io.sync_calls;
+    row.push_back(FormatCount(total));
+  }
+  PrintRow(row, widths);
+
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bolt
+
+int main(int argc, char** argv) { return bolt::bench::Main(argc, argv); }

@@ -1,0 +1,77 @@
+// Figure 14: tail latency of writes and reads across systems (zipfian).
+//   (a) insertion latency CDF over YCSB Load A (100% write)
+//   (b) read latency CDF over workload C (100% read)
+//
+// Paper shapes to check: LevelDB/BoLT/RocksDB insertion tails around
+// 1 ms (the L0SlowDown governor); HyperLevelDB/PebblesDB/HyperBoLT
+// mostly avoid the governor; RocksDB's read tail jumps near p98 from
+// large-index TableCache misses.
+#include "bench_common.h"
+
+namespace bolt {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Scale scale = ScaleFromFlags(flags);
+
+  PrintFigureHeader("Figure 14",
+                    "Write (Load A) and read (C) tail latency, zipfian");
+
+  const std::vector<std::pair<std::string, std::string>> systems = {
+      {"Level", "leveldb"}, {"Hyper", "hyper"}, {"Pebbles", "pebbles"},
+      {"Rocks", "rocks"},   {"BoLT", "bolt"},   {"HBoLT", "hbolt"},
+  };
+  const std::vector<double> percentiles = {50,   90,   95,    99,
+                                           99.5, 99.9, 99.95, 99.99};
+
+  ycsb::Spec spec;
+  spec.record_count = scale.records;
+  spec.operation_count = scale.ops;
+  spec.value_size = scale.value_size;
+
+  std::vector<Histogram> write_hist(systems.size());
+  std::vector<Histogram> read_hist(systems.size());
+
+  for (size_t s = 0; s < systems.size(); s++) {
+    fprintf(stderr, "running %s...\n", systems[s].first.c_str());
+    Fixture f = OpenFixture(presets::ByName(systems[s].second));
+    ycsb::Runner runner = f.MakeRunner();
+    spec.workload = ycsb::Workload::kLoadA;
+    ycsb::Result load = runner.Run(spec);
+    write_hist[s] = load.insert_latency;
+    spec.workload = ycsb::Workload::kC;
+    ycsb::Result reads = runner.Run(spec);
+    read_hist[s] = reads.read_latency;
+  }
+
+  auto print_cdf = [&](const char* title, std::vector<Histogram>& hists) {
+    printf("\n%s — latency in microseconds at each percentile\n", title);
+    std::vector<int> widths = {10, 11, 11, 11, 11, 11, 11};
+    std::vector<std::string> header = {"pct"};
+    for (const auto& [label, preset] : systems) header.push_back(label);
+    PrintRow(header, widths);
+    for (double p : percentiles) {
+      char pl[32];
+      snprintf(pl, sizeof(pl), "p%g", p);
+      std::vector<std::string> row = {pl};
+      for (size_t s = 0; s < systems.size(); s++) {
+        char cell[32];
+        snprintf(cell, sizeof(cell), "%.1f", hists[s].Percentile(p) / 1e3);
+        row.push_back(cell);
+      }
+      PrintRow(row, widths);
+    }
+  };
+
+  print_cdf("(a) insertion latency, Load A (100% write)", write_hist);
+  print_cdf("(b) read latency, workload C (100% read)", read_hist);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bolt
+
+int main(int argc, char** argv) { return bolt::bench::Main(argc, argv); }

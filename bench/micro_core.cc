@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the hot data structures the
+// engine is built on: memtable/skiplist, block build+seek, table bloom
+// filters, CRC32C, and the YCSB zipfian generator.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/dbformat.h"
+#include "db/memtable.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/format.h"
+#include "table/iterator.h"
+#include "util/crc32c.h"
+#include "util/filter_policy.h"
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace {
+
+std::string BenchKey(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%019d", i);
+  return std::string(buf);
+}
+
+void BM_MemTableAdd(benchmark::State& state) {
+  bolt::InternalKeyComparator cmp(bolt::BytewiseComparator());
+  bolt::MemTable* mem = new bolt::MemTable(cmp);
+  mem->Ref();
+  const std::string value(100, 'v');
+  uint64_t seq = 1;
+  int i = 0;
+  for (auto _ : state) {
+    mem->Add(seq++, bolt::kTypeValue, BenchKey(i++), value);
+    if (mem->ApproximateMemoryUsage() > (64 << 20)) {
+      state.PauseTiming();
+      mem->Unref();
+      mem = new bolt::MemTable(cmp);
+      mem->Ref();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableAdd);
+
+void BM_MemTableGet(benchmark::State& state) {
+  bolt::InternalKeyComparator cmp(bolt::BytewiseComparator());
+  bolt::MemTable* mem = new bolt::MemTable(cmp);
+  mem->Ref();
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    mem->Add(i + 1, bolt::kTypeValue, BenchKey(i), "value");
+  }
+  bolt::Random64 rnd(1);
+  std::string value;
+  bolt::Status s;
+  for (auto _ : state) {
+    bolt::LookupKey lkey(BenchKey(static_cast<int>(rnd.Uniform(n))), n + 1);
+    benchmark::DoNotOptimize(mem->Get(lkey, &value, &s));
+  }
+  state.SetItemsProcessed(state.iterations());
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_BlockBuild(benchmark::State& state) {
+  const std::string value(100, 'v');
+  for (auto _ : state) {
+    bolt::BlockBuilder builder(bolt::BytewiseComparator(), 16);
+    for (int i = 0; i < 40; i++) {
+      builder.Add(BenchKey(i), value);
+    }
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+}
+BENCHMARK(BM_BlockBuild);
+
+void BM_BlockSeek(benchmark::State& state) {
+  bolt::BlockBuilder builder(bolt::BytewiseComparator(), 16);
+  const int n = 1000;
+  for (int i = 0; i < n; i++) {
+    builder.Add(BenchKey(i), "value");
+  }
+  std::string contents = builder.Finish().ToString();
+  bolt::BlockContents bc{bolt::Slice(contents), false, false};
+  bolt::Block block(bc);
+  std::unique_ptr<bolt::Iterator> iter(
+      block.NewIterator(bolt::BytewiseComparator()));
+  bolt::Random64 rnd(1);
+  for (auto _ : state) {
+    iter->Seek(BenchKey(static_cast<int>(rnd.Uniform(n))));
+    benchmark::DoNotOptimize(iter->Valid());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockSeek);
+
+void BM_Crc32c(benchmark::State& state) {
+  const std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bolt::crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void BM_BloomCreateAndQuery(benchmark::State& state) {
+  std::unique_ptr<const bolt::FilterPolicy> policy(
+      bolt::NewBloomFilterPolicy(10));
+  std::vector<std::string> key_storage;
+  std::vector<bolt::Slice> keys;
+  const int n = 1000;  // keys per (logical) SSTable at paper scale
+  for (int i = 0; i < n; i++) {
+    key_storage.push_back(BenchKey(i));
+    keys.emplace_back(key_storage.back());
+  }
+  std::string filter;
+  policy->CreateFilter(keys.data(), n, &filter);
+  bolt::Random64 rnd(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->KeyMayMatch(
+        BenchKey(static_cast<int>(rnd.Uniform(2 * n))), filter));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomCreateAndQuery);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  bolt::ScrambledZipfianGenerator gen(1000000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_InternalKeyCompare(benchmark::State& state) {
+  bolt::InternalKeyComparator cmp(bolt::BytewiseComparator());
+  std::string a, b;
+  bolt::AppendInternalKey(
+      &a, bolt::ParsedInternalKey(BenchKey(1), 100, bolt::kTypeValue));
+  bolt::AppendInternalKey(
+      &b, bolt::ParsedInternalKey(BenchKey(2), 200, bolt::kTypeValue));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cmp.Compare(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InternalKeyCompare);
+
+}  // namespace

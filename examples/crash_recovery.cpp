@@ -1,0 +1,92 @@
+// Crash recovery walkthrough: demonstrates the MANIFEST commit-mark
+// protocol (§2.4) on the simulated environment, whose DropUnsynced()
+// emulates power failure by discarding every byte not covered by an
+// fsync barrier.
+//
+//   ./build/examples/crash_recovery
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "db/db.h"
+#include "engines/presets.h"
+#include "sim/sim_env.h"
+
+namespace {
+
+std::string GetOr(bolt::DB* db, const std::string& key,
+                  const std::string& fallback) {
+  std::string value;
+  bolt::Status s = db->Get(bolt::ReadOptions(), key, &value);
+  return s.ok() ? value : fallback;
+}
+
+}  // namespace
+
+int main() {
+  auto env = std::make_unique<bolt::SimEnv>();
+  bolt::Options options = bolt::presets::BoLT();
+  options.env = env.get();
+
+  printf("== phase 1: write with different durability levels ==\n");
+  bolt::DB* db = nullptr;
+  bolt::DB::Open(options, "/crashdb", &db);
+
+  // A synchronous write: WAL is fsync'ed before the call returns.
+  bolt::WriteOptions durable;
+  durable.sync = true;
+  db->Put(durable, "account:alice", "100");
+  printf("  synced write:   account:alice = 100\n");
+
+  // Asynchronous writes: sitting in the page cache, vulnerable.
+  db->Put(bolt::WriteOptions(), "account:bob", "250");
+  printf("  unsynced write: account:bob   = 250\n");
+
+  // Force enough churn that flushes run (1 KB values, several times the
+  // 4 MB write buffer): flushed data is made durable by the flush's own
+  // barrier + MANIFEST commit mark, with no WAL sync at all.
+  const int kBulk = 20000;
+  for (int i = 0; i < kBulk; i++) {
+    char key[32], val[32];
+    snprintf(key, sizeof(key), "bulk:%08d", i);
+    snprintf(val, sizeof(val), "v%d-", i);
+    db->Put(bolt::WriteOptions(), key,
+            std::string(val) + std::string(1000, '.'));
+  }
+  db->WaitForBackgroundWork();
+  printf("  bulk-loaded %d x 1KB records (flushes + compactions ran)\n",
+         kBulk);
+
+  printf("\n== phase 2: power failure ==\n");
+  delete db;            // process dies...
+  env->DropUnsynced();  // ...and the device loses everything unsynced
+  printf("  dropped all bytes not covered by a barrier\n");
+
+  printf("\n== phase 3: recovery ==\n");
+  bolt::Status s = bolt::DB::Open(options, "/crashdb", &db);
+  printf("  reopen: %s\n", s.ToString().c_str());
+  if (!s.ok()) return 1;
+
+  printf("  account:alice = %-12s (synced -> must survive)\n",
+         GetOr(db, "account:alice", "LOST").c_str());
+  printf("  account:bob   = %-12s (unsynced -> may be lost)\n",
+         GetOr(db, "account:bob", "LOST").c_str());
+
+  int survived = 0;
+  for (int i = 0; i < kBulk; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "bulk:%08d", i);
+    std::string value;
+    if (db->Get(bolt::ReadOptions(), key, &value).ok()) survived++;
+  }
+  printf("  bulk records present: %d / %d (every *flushed* record\n"
+         "  survives via the compaction-file barrier + MANIFEST commit\n"
+         "  mark; only the unsynced memtable tail can vanish)\n",
+         survived, kBulk);
+
+  std::string stats;
+  db->GetProperty("bolt.stats", &stats);
+  printf("\nrecovered engine state:\n%s", stats.c_str());
+  delete db;
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "core/output_writer.h"
+
+#include "db/dbformat.h"
+#include "db/filename.h"
+#include "env/env.h"
+#include "table/table_builder.h"
+
+namespace bolt {
+
+OutputWriter::OutputWriter(const Options& options, const std::string& dbname,
+                           NumberAllocator alloc)
+    : options_(options),
+      dbname_(dbname),
+      alloc_(std::move(alloc)),
+      bolt_mode_(options.bolt_logical_sstables),
+      target_table_size_(options.bolt_logical_sstables
+                             ? options.logical_sstable_size
+                             : options.max_file_size) {}
+
+OutputWriter::~OutputWriter() {
+  // Callers must Finish() or Abandon() first.
+  assert(builder_ == nullptr);
+}
+
+Status OutputWriter::OpenPhysicalFileIfNeeded() {
+  if (file_ != nullptr) return Status::OK();
+  current_file_number_ = alloc_();
+  const std::string fname =
+      bolt_mode_ ? CompactionFileName(dbname_, current_file_number_)
+                 : TableFileName(dbname_, current_file_number_);
+  Status s = options_.env->NewWritableFile(fname, &file_);
+  if (s.ok()) {
+    file_numbers_.push_back(current_file_number_);
+    file_offset_ = 0;
+  }
+  return s;
+}
+
+Status OutputWriter::StartTableIfNeeded(const Slice& first_key) {
+  if (builder_ != nullptr) return Status::OK();
+  Status s = OpenPhysicalFileIfNeeded();
+  if (!s.ok()) return s;
+
+  current_ = TableMeta();
+  // In BoLT mode many logical tables share current_file_number_; each
+  // still needs its own unique table id.
+  current_.file_number = current_file_number_;
+  current_.file_type = bolt_mode_ ? kCompactionFile : kTableFile;
+  current_.table_id = bolt_mode_ ? alloc_() : current_file_number_;
+  current_.offset = file_offset_;
+  current_.smallest.DecodeFrom(first_key);
+
+  builder_ = std::make_unique<TableBuilder>(options_, file_.get(),
+                                            file_offset_);
+  return Status::OK();
+}
+
+Status OutputWriter::Add(const Slice& key, const Slice& value) {
+  if (!status_.ok()) return status_;
+  status_ = StartTableIfNeeded(key);
+  if (!status_.ok()) return status_;
+  builder_->Add(key, value);
+  current_.largest.DecodeFrom(key);
+  return builder_->status();
+}
+
+bool OutputWriter::CurrentTableFull() const {
+  return builder_ != nullptr && builder_->FileSize() >= target_table_size_;
+}
+
+bool OutputWriter::SafeToCutBefore(const Slice& next_internal_key) const {
+  if (builder_ == nullptr || builder_->NumEntries() == 0) return true;
+  const InternalKeyComparator* icmp =
+      static_cast<const InternalKeyComparator*>(options_.comparator);
+  return icmp->user_comparator()->Compare(
+             ExtractUserKey(next_internal_key),
+             current_.largest.user_key()) != 0;
+}
+
+uint64_t OutputWriter::current_table_entries() const {
+  return builder_ == nullptr ? 0 : builder_->NumEntries();
+}
+
+Status OutputWriter::FinishTable() {
+  if (builder_ == nullptr) return status_;
+  if (builder_->NumEntries() == 0) {
+    builder_->Abandon();
+    builder_.reset();
+    return status_;
+  }
+
+  Status s = builder_->Finish();
+  const uint64_t table_size = builder_->FileSize();
+  builder_.reset();
+  if (!s.ok()) {
+    status_ = s;
+    return status_;
+  }
+
+  current_.size = table_size;
+  file_offset_ += table_size;
+  bytes_written_ += table_size;
+  outputs_.push_back(current_);
+
+  // Stock layout: each table is its own file, synced immediately — the
+  // per-table barrier of Fig 3(a).  BoLT keeps appending to the shared
+  // compaction file and defers the single barrier to Finish().
+  if (!bolt_mode_) {
+    s = file_->Sync();
+    if (s.ok()) s = file_->Close();
+    file_.reset();
+    if (!s.ok()) status_ = s;
+  }
+  return status_;
+}
+
+Status OutputWriter::Finish() {
+  Status s = FinishTable();
+  if (!s.ok()) {
+    Abandon();
+    return s;
+  }
+  if (bolt_mode_ && file_ != nullptr) {
+    // The single data barrier covering every logical table (Fig 3b).
+    s = file_->Sync();
+    if (s.ok()) s = file_->Close();
+    file_.reset();
+    if (!s.ok()) status_ = s;
+  }
+  return status_;
+}
+
+void OutputWriter::Abandon() {
+  if (builder_ != nullptr) {
+    builder_->Abandon();
+    builder_.reset();
+  }
+  file_.reset();
+}
+
+}  // namespace bolt

@@ -1,0 +1,101 @@
+// OutputWriter: writes a sorted key/value stream as SSTables, in either
+// layout the paper compares:
+//
+//  * stock layout — one physical .ldb file per output table, one
+//    fsync() per table (Fig 3a);
+//  * BoLT layout  — one physical .cft *compaction file* for the whole
+//    job, holding many fine-grained logical SSTables, one fsync() total
+//    (Fig 3b).
+//
+// Used by both memtable flushes and compactions, so the barrier accounting
+// of every engine variant flows through this one class.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/options.h"
+#include "db/version_edit.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class Env;
+class TableBuilder;
+class WritableFile;
+
+class OutputWriter {
+ public:
+  using NumberAllocator = std::function<uint64_t()>;
+
+  // alloc provides file numbers / table ids (VersionSet::NewFileNumber
+  // under the DB mutex).
+  OutputWriter(const Options& options, const std::string& dbname,
+               NumberAllocator alloc);
+  ~OutputWriter();
+
+  OutputWriter(const OutputWriter&) = delete;
+  OutputWriter& operator=(const OutputWriter&) = delete;
+
+  // Append the next key (must be >= all previously added keys).
+  Status Add(const Slice& key, const Slice& value);
+
+  // True if the current output table has reached its target size and
+  // should be cut after the current key.
+  bool CurrentTableFull() const;
+
+  // True iff cutting the current table before adding next_internal_key
+  // would NOT split a user key's versions across two tables.  Splitting
+  // is forbidden: with multiple versions of a user key straddling two
+  // tables of the same sorted run, point lookups could surface the older
+  // version first.
+  bool SafeToCutBefore(const Slice& next_internal_key) const;
+
+  // Finish the current output table (called at size boundaries and at
+  // ShouldStopBefore() cut points).  In stock layout this also syncs the
+  // table's file.  No-op if the current table is empty.
+  Status FinishTable();
+
+  // Finish everything: final table, final barrier(s).  After this,
+  // outputs() describes every table written and file_numbers() every
+  // physical file created.
+  Status Finish();
+
+  // Abandon any partial state (on error); created files are left for the
+  // caller to delete via file_numbers().
+  void Abandon();
+
+  const std::vector<TableMeta>& outputs() const { return outputs_; }
+  const std::vector<uint64_t>& file_numbers() const { return file_numbers_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t current_table_entries() const;
+
+  // Largest key added so far to the current table (for meta bookkeeping
+  // the caller handles smallest/largest itself via outputs()).
+
+ private:
+  Status OpenPhysicalFileIfNeeded();
+  Status StartTableIfNeeded(const Slice& first_key);
+
+  const Options& options_;
+  const std::string dbname_;
+  NumberAllocator alloc_;
+  const bool bolt_mode_;
+  const uint64_t target_table_size_;
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t current_file_number_ = 0;
+  uint64_t file_offset_ = 0;  // bytes already written to file_
+
+  std::unique_ptr<TableBuilder> builder_;
+  TableMeta current_;  // metadata of the table being built
+
+  std::vector<TableMeta> outputs_;
+  std::vector<uint64_t> file_numbers_;
+  uint64_t bytes_written_ = 0;
+  Status status_;
+};
+
+}  // namespace bolt

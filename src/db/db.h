@@ -1,0 +1,108 @@
+// DB: the public key-value store interface (LevelDB-compatible surface).
+//
+//   #include "db/db.h"
+//   #include "engines/presets.h"
+//
+//   bolt::Options options = bolt::presets::BoLT();   // or LevelDB(), ...
+//   bolt::DB* db = nullptr;
+//   bolt::DB::Open(options, "/tmp/testdb", &db);
+//   db->Put(bolt::WriteOptions(), "key", "value");
+//
+// See examples/quickstart.cpp for a complete walkthrough.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "db/db_stats.h"
+#include "db/options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class Iterator;
+class WriteBatch;
+
+// Abstract handle to particular state of a DB.  A Snapshot is an
+// immutable object and can therefore be safely accessed from multiple
+// threads without any external synchronization.
+class Snapshot {
+ protected:
+  virtual ~Snapshot();
+};
+
+// A range of keys
+struct Range {
+  Range() = default;
+  Range(const Slice& s, const Slice& l) : start(s), limit(l) {}
+
+  Slice start;  // Included in the range
+  Slice limit;  // Not included in the range
+};
+
+class DB {
+ public:
+  // Open the database with the specified "name".  Stores a pointer to a
+  // heap-allocated database in *dbptr and returns OK on success.
+  static Status Open(const Options& options, const std::string& name,
+                     DB** dbptr);
+
+  DB() = default;
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  virtual ~DB();
+
+  // Set the database entry for "key" to "value".
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+
+  // Remove the database entry (if any) for "key".  It is not an error
+  // if "key" did not exist in the database.
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+
+  // Apply the specified updates to the database atomically.
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  // If the database contains an entry for "key" store the corresponding
+  // value in *value and return OK.  Returns NotFound otherwise.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  // Return a heap-allocated iterator over the contents of the database.
+  // Caller should delete the iterator when it is no longer needed before
+  // this db is deleted.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  // Return a handle to the current DB state.  Iterators and Gets created
+  // with this handle observe a stable snapshot.
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  // DB implementations can export properties about their state via this
+  // method.  Supported properties:
+  //   "bolt.num-files-at-level<N>"  — tables at level N
+  //   "bolt.stats"                  — human-readable engine statistics
+  //   "bolt.sstables"               — per-level table listing
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // Compact the underlying storage for the key range [*begin,*end]
+  // (nullptr means before-all / after-all).
+  virtual void CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  // Block until every background flush/compaction queued so far has
+  // completed (no-op in simulation mode, where background work runs
+  // inline on the virtual background lane).
+  virtual void WaitForBackgroundWork() = 0;
+
+  // Engine-level counters for the benchmark harness (barrier counts live
+  // in Env::GetIoStats(); these are the compaction-machinery counters).
+  virtual DbStats GetStats() = 0;
+};
+
+// Destroy the contents of the specified database.  Be very careful using
+// this method.
+Status DestroyDB(const std::string& name, const Options& options);
+
+}  // namespace bolt

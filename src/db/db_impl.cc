@@ -1,0 +1,1622 @@
+#include "db/db_impl.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "core/output_writer.h"
+#include "db/db_iter.h"
+#include "db/dbformat.h"
+#include "db/filename.h"
+#include "db/memtable.h"
+#include "db/table_cache.h"
+#include "db/version_set.h"
+#include "db/write_batch.h"
+#include "sim/sim_context.h"
+#include "table/iterator.h"
+#include "table/merger.h"
+#include "util/cache.h"
+#include "util/coding.h"
+#include "util/mutexlock.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace bolt {
+
+// Information kept for every waiting writer
+struct DBImpl::Writer {
+  explicit Writer(std::mutex* mu) : batch(nullptr), sync(false), done(false) {}
+
+  Status status;
+  WriteBatch* batch;
+  bool sync;
+  bool done;
+  std::condition_variable_any cv;
+};
+
+struct DBImpl::CompactionState {
+  explicit CompactionState(Compaction* c) : compaction(c) {}
+
+  Compaction* const compaction;
+
+  // Sequence numbers < smallest_snapshot are not significant since we
+  // will never have to service a snapshot below smallest_snapshot.
+  // Therefore if we have seen a sequence number S <= smallest_snapshot,
+  // we can drop all entries for the same key with sequence numbers < S.
+  SequenceNumber smallest_snapshot = 0;
+
+  std::unique_ptr<OutputWriter> writer;
+  std::vector<uint64_t> allocated_numbers;  // protected as pending outputs
+  uint64_t entries_processed = 0;
+};
+
+template <class T, class V>
+static void ClipToRange(T* ptr, V minvalue, V maxvalue) {
+  if (static_cast<V>(*ptr) > maxvalue) *ptr = maxvalue;
+  if (static_cast<V>(*ptr) < minvalue) *ptr = minvalue;
+}
+
+static Options SanitizeOptions(const std::string& dbname,
+                               const InternalKeyComparator* icmp,
+                               const InternalFilterPolicy* ipolicy,
+                               const Options& src) {
+  Options result = src;
+  result.comparator = icmp;
+  result.filter_policy = (src.filter_policy != nullptr) ? ipolicy : nullptr;
+  ClipToRange(&result.max_open_files, 16, 500000);
+  ClipToRange(&result.write_buffer_size, 16 << 10, 1 << 30);
+  ClipToRange(&result.max_file_size, 8 << 10, 1 << 30);
+  ClipToRange(&result.block_size, 256, 4 << 20);
+  if (result.bolt_logical_sstables) {
+    ClipToRange(&result.logical_sstable_size, static_cast<uint64_t>(4) << 10,
+                static_cast<uint64_t>(1) << 30);
+  }
+  if (result.num_levels < 2) result.num_levels = 2;
+  if (result.block_cache == nullptr && result.block_cache_bytes > 0) {
+    result.block_cache = NewLRUCache(result.block_cache_bytes);
+  }
+  return result;
+}
+
+DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
+    : env_(raw_options.env),
+      internal_comparator_(raw_options.comparator),
+      internal_filter_policy_(raw_options.filter_policy),
+      options_(SanitizeOptions(dbname, &internal_comparator_,
+                               &internal_filter_policy_, raw_options)),
+      owns_info_log_(false),
+      owns_block_cache_(options_.block_cache != raw_options.block_cache),
+      dbname_(dbname),
+      sim_(raw_options.env->sim()),
+      table_cache_(new TableCache(dbname_, options_, options_.max_open_files)),
+      shutting_down_(false),
+      mem_(nullptr),
+      imm_(nullptr),
+      has_imm_(false),
+      logfile_(nullptr),
+      logfile_number_(0),
+      log_(nullptr),
+      tmp_batch_(new WriteBatch),
+      background_compaction_scheduled_(false),
+      manual_compaction_(nullptr),
+      versions_(new VersionSet(dbname_, &options_, table_cache_,
+                               &internal_comparator_)) {}
+
+DBImpl::~DBImpl() {
+  // Wait for background work to finish.
+  mutex_.lock();
+  shutting_down_.store(true, std::memory_order_release);
+  while (background_compaction_scheduled_) {
+    background_work_finished_signal_.wait(mutex_);
+  }
+  mutex_.unlock();
+
+  delete versions_;
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+  delete tmp_batch_;
+  delete log_;
+  delete logfile_;
+  delete table_cache_;
+
+  if (owns_block_cache_) {
+    delete options_.block_cache;
+  }
+}
+
+Status DBImpl::NewDB() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(manifest, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    log::Writer log(file.get());
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  if (s.ok()) {
+    // Make "CURRENT" file that points to the new manifest file.
+    s = SetCurrentFile(env_, dbname_, 1);
+  } else {
+    env_->RemoveFile(manifest);
+  }
+  return s;
+}
+
+void DBImpl::MaybeIgnoreError(Status* s) const {
+  if (s->ok() || options_.paranoid_checks) {
+    // No change needed
+  } else {
+    Log(options_.info_log, "Ignoring error %s", s->ToString().c_str());
+    *s = Status::OK();
+  }
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  if (!bg_error_.ok()) {
+    // After a background error, we don't know whether a new version may
+    // or may not have been committed, so we cannot safely garbage collect.
+    return;
+  }
+
+  // Make a set of all of the live tables and physical files.
+  std::set<uint64_t> live_tables;
+  std::set<std::pair<uint64_t, int>> live_files;
+  versions_->AddLiveTables(&live_tables, &live_files);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  uint64_t number;
+  FileType type;
+  std::vector<std::string> files_to_delete;
+  std::vector<std::pair<uint64_t, FileType>> tables_to_evict;
+  for (std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      bool keep = true;
+      switch (type) {
+        case kLogFile:
+          keep = ((number >= versions_->LogNumber()) ||
+                  (number == versions_->PrevLogNumber()));
+          break;
+        case kDescriptorFile:
+          // Keep my manifest file, and any newer incarnations'
+          // (in case there is a race that allows other incarnations)
+          keep = (number >= versions_->manifest_file_number());
+          break;
+        case kTableFile:
+          keep = pending_outputs_.count(number) > 0 ||
+                 live_files.count({number, kTableFile}) > 0;
+          break;
+        case kCompactionFile:
+          keep = pending_outputs_.count(number) > 0 ||
+                 live_files.count({number, kCompactionFile}) > 0;
+          break;
+        case kTempFile:
+          // Any temp files that are currently being written to must
+          // be recorded in pending_outputs_, which is inserted into "live"
+          keep = (pending_outputs_.count(number) > 0);
+          break;
+        case kCurrentFile:
+        case kDBLockFile:
+        case kInfoLogFile:
+          keep = true;
+          break;
+      }
+
+      if (!keep) {
+        files_to_delete.push_back(std::move(filename));
+        if (type == kTableFile) {
+          table_cache_->Evict(number);  // stock: table_id == file_number
+        } else if (type == kCompactionFile) {
+          table_cache_->EvictFile(number, kCompactionFile);
+        }
+      }
+    }
+  }
+
+  // Hole punching for dead logical SSTables (BoLT §3.2): a zombie whose
+  // table is no longer referenced by any live version is reclaimed with
+  // fallocate(PUNCH_HOLE) — no data barrier — unless its entire
+  // compaction file is being unlinked anyway.
+  std::vector<ZombieTable> still_zombies;
+  std::vector<ZombieTable> to_punch;
+  for (const ZombieTable& z : zombies_) {
+    if (live_tables.count(z.table_id) > 0) {
+      still_zombies.push_back(z);  // some old version still reads it
+      continue;
+    }
+    table_cache_->Evict(z.table_id);
+    if (live_files.count({z.file_number, kCompactionFile}) > 0 ||
+        pending_outputs_.count(z.file_number) > 0) {
+      to_punch.push_back(z);
+    }
+    // else: the whole file is obsolete and will be unlinked below.
+  }
+  zombies_.swap(still_zombies);
+
+  // While deleting all files unblock other threads.  All files being
+  // deleted have unique names which will not collide with newly created
+  // files and are therefore safe to delete while allowing other threads
+  // to proceed.
+  mutex_.unlock();
+  for (const std::string& filename : files_to_delete) {
+    env_->RemoveFile(dbname_ + "/" + filename);
+  }
+  for (const ZombieTable& z : to_punch) {
+    env_->PunchHole(CompactionFileName(dbname_, z.file_number), z.offset,
+                    z.size);
+  }
+  mutex_.lock();
+}
+
+Status DBImpl::Recover(VersionEdit* edit) {
+  // Ignore error from CreateDir since the creation of the DB is
+  // committed only by the descriptor file.
+  env_->CreateDir(dbname_);
+
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (options_.create_if_missing) {
+      Status s = NewDB();
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      return Status::InvalidArgument(
+          dbname_, "does not exist (create_if_missing is false)");
+    }
+  } else {
+    if (options_.error_if_exists) {
+      return Status::InvalidArgument(dbname_,
+                                     "exists (error_if_exists is true)");
+    }
+  }
+
+  Status s = versions_->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+  SequenceNumber max_sequence(0);
+
+  // Recover from all newer log files than the ones named in the
+  // descriptor (new log files may have been added by the previous
+  // incarnation without registering them in the descriptor).
+  const uint64_t min_log = versions_->LogNumber();
+  const uint64_t prev_log = versions_->PrevLogNumber();
+  std::vector<std::string> filenames;
+  s = env_->GetChildren(dbname_, &filenames);
+  if (!s.ok()) {
+    return s;
+  }
+  uint64_t number;
+  FileType type;
+  std::vector<uint64_t> logs;
+  for (const std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      if (type == kLogFile && ((number >= min_log) || (number == prev_log))) {
+        logs.push_back(number);
+      }
+    }
+  }
+
+  // Recover in the order in which the logs were generated
+  std::sort(logs.begin(), logs.end());
+  for (size_t i = 0; i < logs.size(); i++) {
+    s = RecoverLogFile(logs[i], edit, &max_sequence);
+    if (!s.ok()) {
+      return s;
+    }
+
+    // The previous incarnation may not have written any MANIFEST
+    // records after allocating this log number.  So we manually update
+    // the file number allocation counter in VersionSet.
+    versions_->MarkFileNumberUsed(logs[i]);
+  }
+
+  if (versions_->LastSequence() < max_sequence) {
+    versions_->SetLastSequence(max_sequence);
+  }
+
+  return Status::OK();
+}
+
+Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
+                              SequenceNumber* max_sequence) {
+  struct LogReporter : public log::Reader::Reporter {
+    Env* env;
+    Logger* info_log;
+    const char* fname;
+    Status* status;  // null if options_.paranoid_checks==false
+    void Corruption(size_t bytes, const Status& s) override {
+      Log(info_log, "%s%s: dropping %d bytes; %s",
+          (this->status == nullptr ? "(ignoring error) " : ""), fname,
+          static_cast<int>(bytes), s.ToString().c_str());
+      if (this->status != nullptr && this->status->ok()) *this->status = s;
+    }
+  };
+
+  // Open the log file
+  std::string fname = LogFileName(dbname_, log_number);
+  std::unique_ptr<SequentialFile> file;
+  Status status = env_->NewSequentialFile(fname, &file);
+  if (!status.ok()) {
+    MaybeIgnoreError(&status);
+    return status;
+  }
+
+  // Create the log reader.
+  LogReporter reporter;
+  reporter.env = env_;
+  reporter.info_log = options_.info_log;
+  reporter.fname = fname.c_str();
+  reporter.status = (options_.paranoid_checks ? &status : nullptr);
+  // We intentionally make log::Reader do checksumming even if
+  // paranoid_checks==false so that corruptions cause entire commits
+  // to be skipped instead of propagating bad information (like overly
+  // large sequence numbers).
+  log::Reader reader(file.get(), &reporter, true /*checksum*/);
+  std::string scratch;
+  Slice record;
+  WriteBatch batch;
+  MemTable* mem = nullptr;
+  while (reader.ReadRecord(&record, &scratch) && status.ok()) {
+    if (record.size() < 12) {
+      reporter.Corruption(record.size(),
+                          Status::Corruption("log record too small"));
+      continue;
+    }
+    WriteBatchInternal::SetContents(&batch, record);
+
+    if (mem == nullptr) {
+      mem = new MemTable(internal_comparator_);
+      mem->Ref();
+    }
+    status = WriteBatchInternal::InsertInto(&batch, mem);
+    MaybeIgnoreError(&status);
+    if (!status.ok()) {
+      break;
+    }
+    const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
+                                    WriteBatchInternal::Count(&batch) - 1;
+    if (last_seq > *max_sequence) {
+      *max_sequence = last_seq;
+    }
+
+    if (mem->ApproximateMemoryUsage() > options_.write_buffer_size) {
+      status = WriteLevel0Table(mem, edit);
+      mem->Unref();
+      mem = nullptr;
+      if (!status.ok()) {
+        // Reflect errors immediately so that conditions like full
+        // file-systems cause the DB::Open() to fail.
+        break;
+      }
+    }
+  }
+
+  if (status.ok() && mem != nullptr) {
+    status = WriteLevel0Table(mem, edit);
+  }
+  if (mem != nullptr) mem->Unref();
+
+  return status;
+}
+
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
+  // REQUIRES: mutex_ held.
+  const uint64_t start_micros = env_->NowNanos() / 1000;
+  stats_.memtable_flushes++;
+
+  OutputWriter writer(options_, dbname_, [this]() {
+    MutexLock l(&mutex_);
+    uint64_t n = versions_->NewFileNumber();
+    pending_outputs_.insert(n);
+    return n;
+  });
+
+  Iterator* iter = mem->NewIterator();
+
+  Status s;
+  mutex_.unlock();
+  {
+    iter->SeekToFirst();
+    for (; iter->Valid(); iter->Next()) {
+      // BoLT cuts the flush into fine-grained logical SSTables; stock
+      // LevelDB writes the whole memtable as a single L0 table.  Cuts
+      // happen *before* the next key and never inside a user key's
+      // version run (all versions of a user key stay in one table).
+      if (options_.bolt_logical_sstables && writer.CurrentTableFull() &&
+          writer.SafeToCutBefore(iter->key())) {
+        s = writer.FinishTable();
+        if (!s.ok()) break;
+      }
+      s = writer.Add(iter->key(), iter->value());
+      if (!s.ok()) break;
+      if (simulated()) {
+        sim_->AdvanceCpu(static_cast<uint64_t>(
+            options_.sim_compaction_cpu_per_entry_ns / options_.bg_parallelism));
+      }
+    }
+    if (s.ok()) {
+      s = writer.Finish();
+    } else {
+      writer.Abandon();
+    }
+  }
+  delete iter;
+  mutex_.lock();
+
+  stats_.compaction_bytes_written += writer.bytes_written();
+  stats_.compaction_output_tables += writer.outputs().size();
+  stats_.compaction_files_created += writer.file_numbers().size();
+
+  if (s.ok()) {
+    for (const TableMeta& meta : writer.outputs()) {
+      edit->AddTable(0, meta);
+    }
+  } else {
+    // Remove any files we created.
+    mutex_.unlock();
+    for (uint64_t n : writer.file_numbers()) {
+      env_->RemoveFile(options_.bolt_logical_sstables
+                           ? CompactionFileName(dbname_, n)
+                           : TableFileName(dbname_, n));
+    }
+    mutex_.lock();
+  }
+  for (uint64_t n : writer.file_numbers()) {
+    pending_outputs_.erase(n);
+  }
+  (void)start_micros;
+  return s;
+}
+
+void DBImpl::CompactMemTable() {
+  // REQUIRES: mutex_ held (and, in sim mode, the background lane
+  // current).
+  assert(imm_ != nullptr);
+
+  // Save the contents of the memtable as a new Table
+  VersionEdit edit;
+  Status s = WriteLevel0Table(imm_, &edit);
+
+  if (s.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    s = Status::IOError("Deleting DB during memtable compaction");
+  }
+
+  // Replace immutable memtable with the generated Table
+  if (s.ok()) {
+    edit.SetPrevLogNumber(0);
+    edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
+    s = versions_->LogAndApply(&edit);
+  }
+
+  if (s.ok()) {
+    // Commit to the new state
+    imm_->Unref();
+    imm_ = nullptr;
+    has_imm_.store(false, std::memory_order_release);
+    if (simulated()) {
+      const uint64_t done = sim_->Now();
+      AddL0Event(done, +1);
+      imm_done_time_ = done;
+    }
+    RemoveObsoleteFiles();
+  } else {
+    RecordBackgroundError(s);
+  }
+}
+
+void DBImpl::TEST_CompactRange(int level, const Slice* begin,
+                               const Slice* end) {
+  assert(level >= 0);
+  assert(level + 1 < options_.num_levels);
+
+  InternalKey begin_storage, end_storage;
+
+  ManualCompaction manual;
+  manual.level = level;
+  manual.done = false;
+  if (begin == nullptr) {
+    manual.begin = nullptr;
+  } else {
+    begin_storage = InternalKey(*begin, kMaxSequenceNumber, kValueTypeForSeek);
+    manual.begin = &begin_storage;
+  }
+  if (end == nullptr) {
+    manual.end = nullptr;
+  } else {
+    end_storage = InternalKey(*end, 0, static_cast<ValueType>(0));
+    manual.end = &end_storage;
+  }
+
+  MutexLock l(&mutex_);
+  if (simulated()) {
+    while (!manual.done && !shutting_down_.load(std::memory_order_acquire) &&
+           bg_error_.ok()) {
+      assert(manual_compaction_ == nullptr);
+      manual_compaction_ = &manual;
+      SimLaneScope scope(sim_, SimContext::kBgLane);
+      sim_->SetLaneTime(SimContext::kBgLane,
+                        sim_->LaneNow(SimContext::kFgLane));
+      BackgroundCompaction();
+      if (manual_compaction_ == &manual) {
+        manual_compaction_ = nullptr;  // untouched => give up
+        manual.done = true;
+      }
+    }
+    return;
+  }
+
+  while (!manual.done && !shutting_down_.load(std::memory_order_acquire) &&
+         bg_error_.ok()) {
+    if (manual_compaction_ == nullptr) {  // Idle
+      manual_compaction_ = &manual;
+      MaybeScheduleCompaction();
+    } else {  // Running either my compaction or another compaction.
+      background_work_finished_signal_.wait(mutex_);
+    }
+  }
+  // Finish current background compaction in the case where we were
+  // interrupted.
+  if (manual_compaction_ == &manual) {
+    manual_compaction_ = nullptr;
+  }
+}
+
+Status DBImpl::TEST_CompactMemTable() {
+  // nullptr batch means just wait for earlier writes to be done
+  Status s = Write(WriteOptions(), nullptr);
+  if (s.ok()) {
+    // Wait until the compaction completes
+    MutexLock l(&mutex_);
+    if (simulated()) {
+      if (mem_->num_entries() > 0 || imm_ != nullptr) {
+        // Force a flush of the current memtable.
+        s = MakeRoomForWrite(true /* force */);
+      }
+    } else {
+      if (imm_ == nullptr && mem_->num_entries() > 0) {
+        s = MakeRoomForWrite(true /* force */);
+      }
+      while (imm_ != nullptr && bg_error_.ok()) {
+        background_work_finished_signal_.wait(mutex_);
+      }
+      if (imm_ != nullptr) {
+        s = bg_error_;
+      }
+    }
+  }
+  return s;
+}
+
+void DBImpl::RecordBackgroundError(const Status& s) {
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+    background_work_finished_signal_.notify_all();
+  }
+}
+
+void DBImpl::MaybeScheduleCompaction() {
+  // REQUIRES: mutex_ held.
+  if (simulated()) {
+    if (!in_sim_background_) {
+      RunBackgroundWorkInlineSim();
+    }
+    return;
+  }
+  if (background_compaction_scheduled_) {
+    // Already scheduled
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // DB is being deleted; no more background compactions
+  } else if (!bg_error_.ok()) {
+    // Already got an error; no more changes
+  } else if (imm_ == nullptr && manual_compaction_ == nullptr &&
+             !versions_->NeedsCompaction()) {
+    // No work to be done
+  } else {
+    background_compaction_scheduled_ = true;
+    env_->Schedule(&DBImpl::BGWork, this);
+  }
+}
+
+void DBImpl::RunBackgroundWorkInlineSim() {
+  // REQUIRES: mutex_ held, sim mode.  Drains all pending background
+  // work inline, charging the background lane.  Each job starts no
+  // earlier than the foreground time that triggered it.
+  in_sim_background_ = true;
+  while (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
+    if (imm_ != nullptr) {
+      SimLaneScope scope(sim_, SimContext::kBgLane);
+      sim_->SetLaneTime(SimContext::kBgLane,
+                        sim_->LaneNow(SimContext::kFgLane));
+      CompactMemTable();
+    } else if (versions_->NeedsCompaction()) {
+      SimLaneScope scope(sim_, SimContext::kBgLane);
+      sim_->SetLaneTime(SimContext::kBgLane,
+                        sim_->LaneNow(SimContext::kFgLane));
+      BackgroundCompaction();
+    } else {
+      break;
+    }
+  }
+  in_sim_background_ = false;
+}
+
+void DBImpl::BGWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundCall();
+}
+
+void DBImpl::BackgroundCall() {
+  MutexLock l(&mutex_);
+  assert(background_compaction_scheduled_);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    // No more background work when shutting down.
+  } else if (!bg_error_.ok()) {
+    // No more background work after a background error.
+  } else if (imm_ != nullptr) {
+    CompactMemTable();
+  } else {
+    BackgroundCompaction();
+  }
+
+  background_compaction_scheduled_ = false;
+
+  // Previous compaction may have produced too many files in a level,
+  // so reschedule another compaction if needed.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.notify_all();
+}
+
+void DBImpl::BackgroundCompaction() {
+  // REQUIRES: mutex_ held.
+  if (imm_ != nullptr) {
+    CompactMemTable();
+    return;
+  }
+
+  Compaction* c;
+  bool is_manual = (manual_compaction_ != nullptr);
+  InternalKey manual_end;
+  if (is_manual) {
+    ManualCompaction* m = manual_compaction_;
+    c = versions_->CompactRange(m->level, m->begin, m->end);
+    m->done = (c == nullptr);
+    if (c != nullptr) {
+      manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
+    }
+  } else {
+    c = versions_->PickCompaction();
+  }
+
+  // Track how many L0 runs this compaction removes (for the virtual
+  // governor state in sim mode).
+  int l0_runs_removed = 0;
+  if (c != nullptr && c->level() == 0) {
+    std::set<uint64_t> fns;
+    for (int i = 0; i < c->num_input_files(0); i++) {
+      fns.insert(c->input(0, i)->file_number);
+    }
+    l0_runs_removed = static_cast<int>(fns.size());
+  }
+
+  Status status;
+  if (c == nullptr) {
+    // Nothing to do
+  } else if (!is_manual && c->IsTrivialMove()) {
+    // Move table to next level
+    assert(c->num_input_files(0) == 1);
+    TableMeta* f = c->input(0, 0);
+    c->edit()->RemoveTable(c->level(), f->table_id);
+    c->edit()->AddTable(c->level() + 1, *f);
+    status = versions_->LogAndApply(c->edit());
+    if (!status.ok()) {
+      RecordBackgroundError(status);
+    } else {
+      stats_.trivial_moves++;
+    }
+  } else if (c->num_input_files(0) == 0 && c->num_input_files(1) == 0 &&
+             !c->promoted().empty()) {
+    // Pure settled compaction (+STL): every victim is promoted by a
+    // metadata-only edit — the only I/O is the MANIFEST barrier.
+    for (const TableMeta* f : c->promoted()) {
+      c->edit()->RemoveTable(c->level(), f->table_id);
+      c->edit()->AddTable(c->level() + 1, *f);
+      stats_.settled_promotions++;
+      stats_.settled_bytes_saved += f->size;
+    }
+    stats_.pure_settled_compactions++;
+    status = versions_->LogAndApply(c->edit());
+    if (!status.ok()) {
+      RecordBackgroundError(status);
+    }
+  } else {
+    CompactionState* compact = new CompactionState(c);
+    status = DoCompactionWork(compact);
+    if (!status.ok()) {
+      RecordBackgroundError(status);
+    }
+    CleanupCompaction(compact);
+    c->ReleaseInputs();
+    RemoveObsoleteFiles();
+  }
+
+  if (c != nullptr && status.ok() && l0_runs_removed > 0 && simulated()) {
+    AddL0Event(sim_->Now(), -l0_runs_removed);
+  }
+  delete c;
+
+  if (status.ok()) {
+    // Done
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // Ignore compaction errors found during shutting down
+  } else {
+    Log(options_.info_log, "Compaction error: %s", status.ToString().c_str());
+  }
+
+  if (is_manual) {
+    ManualCompaction* m = manual_compaction_;
+    if (!status.ok()) {
+      m->done = true;
+    }
+    if (!m->done) {
+      // We only compacted part of the requested range.  Update *m
+      // to the range that is left to be compacted.
+      m->tmp_storage = manual_end;
+      m->begin = &m->tmp_storage;
+    }
+    manual_compaction_ = nullptr;
+  }
+}
+
+void DBImpl::CleanupCompaction(CompactionState* compact) {
+  // REQUIRES: mutex_ held.
+  if (compact->writer != nullptr) {
+    compact->writer->Abandon();
+  }
+  for (uint64_t n : compact->allocated_numbers) {
+    pending_outputs_.erase(n);
+  }
+  delete compact;
+}
+
+Status DBImpl::DoCompactionWork(CompactionState* compact) {
+  // REQUIRES: mutex_ held.
+  assert(versions_->NumLevelTables(compact->compaction->level()) > 0);
+  assert(compact->writer == nullptr);
+
+  if (snapshots_.empty()) {
+    compact->smallest_snapshot = versions_->LastSequence();
+  } else {
+    compact->smallest_snapshot = snapshots_.oldest()->sequence_number();
+  }
+
+  Compaction* c = compact->compaction;
+  compact->writer = std::make_unique<OutputWriter>(
+      options_, dbname_, [this, compact]() {
+        MutexLock l(&mutex_);
+        uint64_t n = versions_->NewFileNumber();
+        pending_outputs_.insert(n);
+        compact->allocated_numbers.push_back(n);
+        return n;
+      });
+
+  Iterator* input = versions_->MakeInputIterator(c);
+
+  // Release mutex while we're actually doing the compaction work
+  mutex_.unlock();
+
+  input->SeekToFirst();
+  Status status;
+  ParsedInternalKey ikey;
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  const uint64_t compaction_cpu_ns = static_cast<uint64_t>(
+      options_.sim_compaction_cpu_per_entry_ns / options_.bg_parallelism);
+
+  while (input->Valid() && !shutting_down_.load(std::memory_order_acquire)) {
+    // Prioritize immutable compaction work (PosixEnv background thread
+    // only; in sim mode flushes and compactions are serialized inline).
+    if (!simulated() && has_imm_.load(std::memory_order_relaxed)) {
+      mutex_.lock();
+      if (imm_ != nullptr) {
+        CompactMemTable();
+        // Wake up MakeRoomForWrite() if necessary.
+        background_work_finished_signal_.notify_all();
+      }
+      mutex_.unlock();
+    }
+
+    Slice key = input->key();
+    // ShouldStopBefore is evaluated for every key so the grandparent-
+    // overlap state keeps advancing; cuts apply only to non-empty
+    // outputs and never split a user key's version run across tables.
+    const bool boundary_cut = c->ShouldStopBefore(key);
+    if (compact->writer->current_table_entries() > 0 &&
+        (boundary_cut || compact->writer->CurrentTableFull()) &&
+        compact->writer->SafeToCutBefore(key)) {
+      status = compact->writer->FinishTable();
+      if (!status.ok()) {
+        break;
+      }
+    }
+
+    // Handle key/value, add to state, etc.
+    bool drop = false;
+    if (!ParseInternalKey(key, &ikey)) {
+      // Do not hide error keys
+      current_user_key.clear();
+      has_current_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      if (!has_current_user_key ||
+          user_comparator()->Compare(ikey.user_key, Slice(current_user_key)) !=
+              0) {
+        // First occurrence of this user key
+        current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+      }
+
+      if (last_sequence_for_key <= compact->smallest_snapshot) {
+        // Hidden by an newer entry for same user key
+        drop = true;  // (A)
+      } else if (ikey.type == kTypeDeletion &&
+                 ikey.sequence <= compact->smallest_snapshot &&
+                 c->IsBaseLevelForKey(ikey.user_key)) {
+        // For this user key:
+        // (1) there is no data in higher levels
+        // (2) data in lower levels will have larger sequence numbers
+        // (3) data in layers that are being compacted here and have
+        //     smaller sequence numbers will be dropped in the next
+        //     few iterations of this loop (by rule (A) above).
+        // Therefore this deletion marker is obsolete and can be dropped.
+        drop = true;
+      }
+
+      last_sequence_for_key = ikey.sequence;
+    }
+
+    if (!drop) {
+      status = compact->writer->Add(key, input->value());
+      if (!status.ok()) {
+        break;
+      }
+    }
+
+    compact->entries_processed++;
+    if (simulated() && compaction_cpu_ns > 0) {
+      sim_->AdvanceCpu(compaction_cpu_ns);
+    }
+
+    input->Next();
+  }
+
+  if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    status = Status::IOError("Deleting DB during compaction");
+  }
+  if (status.ok()) {
+    status = compact->writer->Finish();
+  } else {
+    compact->writer->Abandon();
+  }
+  if (status.ok()) {
+    status = input->status();
+  }
+  delete input;
+  input = nullptr;
+
+  mutex_.lock();
+
+  if (status.ok()) {
+    status = InstallCompactionResults(compact);
+  }
+  if (!status.ok()) {
+    RecordBackgroundError(status);
+  }
+  return status;
+}
+
+Status DBImpl::InstallCompactionResults(CompactionState* compact) {
+  // REQUIRES: mutex_ held.
+  Compaction* c = compact->compaction;
+
+  stats_.compactions++;
+  stats_.compaction_bytes_read +=
+      c->NumInputBytes(0) + c->NumInputBytes(1);
+  stats_.compaction_bytes_written += compact->writer->bytes_written();
+  stats_.compaction_output_tables += compact->writer->outputs().size();
+  stats_.compaction_files_created += compact->writer->file_numbers().size();
+
+  // Add compaction outputs
+  c->AddInputDeletions(c->edit());
+  const int level = c->level();
+  for (const TableMeta& meta : compact->writer->outputs()) {
+    c->edit()->AddTable(level + 1, meta);
+  }
+
+  // Settled promotions (+STL): move zero-overlap victims by metadata
+  // edit only.
+  for (const TableMeta* f : c->promoted()) {
+    c->edit()->RemoveTable(level, f->table_id);
+    c->edit()->AddTable(level + 1, *f);
+    stats_.settled_promotions++;
+    stats_.settled_bytes_saved += f->size;
+  }
+
+  Status s = versions_->LogAndApply(c->edit());
+  if (s.ok()) {
+    // Dead logical SSTables inside still-live compaction files become
+    // zombies awaiting hole punching (promoted tables stay live).
+    for (int which = 0; which < 2; which++) {
+      for (int i = 0; i < c->num_input_files(which); i++) {
+        const TableMeta* f = c->input(which, i);
+        if (f->file_type == kCompactionFile) {
+          zombies_.push_back(
+              {f->table_id, f->file_number, f->offset, f->size});
+        }
+      }
+    }
+  }
+  return s;
+}
+
+// Convenience methods
+Status DBImpl::Put(const WriteOptions& o, const Slice& key,
+                   const Slice& val) {
+  WriteBatch batch;
+  batch.Put(key, val);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (simulated()) {
+    // Single-threaded simulation: no writer queue, but the same
+    // MakeRoomForWrite governor logic, on the virtual clock.
+    MutexLock l(&mutex_);
+    if (updates != nullptr) {
+      sim_->AdvanceCpu(options_.sim_write_cpu_ns *
+                       WriteBatchInternal::Count(updates));
+    }
+    Status status = MakeRoomForWrite(updates == nullptr);
+    uint64_t last_sequence = versions_->LastSequence();
+    if (status.ok() && updates != nullptr) {
+      WriteBatchInternal::SetSequence(updates, last_sequence + 1);
+      last_sequence += WriteBatchInternal::Count(updates);
+      status = log_->AddRecord(WriteBatchInternal::Contents(updates));
+      if (status.ok() && options.sync) {
+        status = logfile_->Sync();
+      }
+      if (status.ok()) {
+        status = WriteBatchInternal::InsertInto(updates, mem_);
+      }
+      versions_->SetLastSequence(last_sequence);
+    }
+    return status;
+  }
+
+  Writer w(&mutex_);
+  w.batch = updates;
+  w.sync = options.sync;
+  w.done = false;
+
+  MutexLock l(&mutex_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(mutex_);
+  }
+  if (w.done) {
+    return w.status;
+  }
+
+  // May temporarily unlock and wait.
+  Status status = MakeRoomForWrite(updates == nullptr);
+  uint64_t last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
+  if (status.ok() && updates != nullptr) {  // nullptr batch is for compactions
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
+    last_sequence += WriteBatchInternal::Count(write_batch);
+
+    // Add to log and apply to memtable.  We can release the lock
+    // during this phase since &w is currently responsible for logging
+    // and protects against concurrent loggers and concurrent writes
+    // into mem_.
+    {
+      mutex_.unlock();
+      status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      bool sync_error = false;
+      if (status.ok() && options.sync) {
+        status = logfile_->Sync();
+        if (!status.ok()) {
+          sync_error = true;
+        }
+      }
+      if (status.ok()) {
+        status = WriteBatchInternal::InsertInto(write_batch, mem_);
+      }
+      mutex_.lock();
+      if (sync_error) {
+        // The state of the log file is indeterminate: the log record we
+        // just added may or may not show up when the DB is re-opened.
+        // So we force the DB into a mode where all future writes fail.
+        RecordBackgroundError(status);
+      }
+    }
+    if (write_batch == tmp_batch_) tmp_batch_->Clear();
+
+    versions_->SetLastSequence(last_sequence);
+  }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+
+  // Notify new head of write queue
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+
+  return status;
+}
+
+// REQUIRES: Writer list must be non-empty
+// REQUIRES: First writer must have a non-null batch
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+
+  size_t size = WriteBatchInternal::ByteSize(first->batch);
+
+  // Allow the group to grow up to a maximum size, but if the original
+  // write is small, limit the growth so we do not slow down the small
+  // write too much.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *last_writer = first;
+  std::deque<Writer*>::iterator iter = writers_.begin();
+  ++iter;  // Advance past "first"
+  for (; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (w->sync && !first->sync) {
+      // Do not include a sync write into a batch handled by a
+      // non-sync write.
+      break;
+    }
+
+    if (w->batch != nullptr) {
+      size += WriteBatchInternal::ByteSize(w->batch);
+      if (size > max_size) {
+        // Do not make batch too big
+        break;
+      }
+
+      // Append to *result
+      if (result == first->batch) {
+        // Switch to temporary batch instead of disturbing caller's batch
+        result = tmp_batch_;
+        assert(WriteBatchInternal::Count(result) == 0);
+        WriteBatchInternal::Append(result, first->batch);
+      }
+      WriteBatchInternal::Append(result, w->batch);
+    }
+    *last_writer = w;
+  }
+  return result;
+}
+
+int DBImpl::VirtualL0Runs(uint64_t now) {
+  while (!vl0_events_.empty() && vl0_events_.front().first <= now) {
+    vl0_runs_ += vl0_events_.front().second;
+    vl0_events_.pop_front();
+  }
+  return vl0_runs_;
+}
+
+void DBImpl::AddL0Event(uint64_t time, int delta) {
+  // Background work is FIFO on a single lane, so completion times are
+  // nondecreasing; guard anyway so a foreground-lane flush (recovery)
+  // cannot break the ordering invariant.
+  if (!vl0_events_.empty() && time < vl0_events_.back().first) {
+    time = vl0_events_.back().first;
+  }
+  vl0_events_.emplace_back(time, delta);
+}
+
+uint64_t DBImpl::NextL0DropTime(uint64_t now) {
+  for (const auto& [time, delta] : vl0_events_) {
+    if (delta < 0 && time > now) {
+      return time;
+    }
+  }
+  return now;
+}
+
+// REQUIRES: mutex_ is held
+// REQUIRES (PosixEnv): this thread is currently at the front of the
+// writer queue
+Status DBImpl::MakeRoomForWrite(bool force) {
+  bool allow_delay = !force;
+  Status s;
+
+  if (simulated()) {
+    while (true) {
+      const uint64_t now = sim_->LaneNow(SimContext::kFgLane);
+      if (!bg_error_.ok()) {
+        s = bg_error_;
+        break;
+      }
+      if (allow_delay && options_.enable_l0_slowdown &&
+          VirtualL0Runs(now) >= options_.l0_slowdown_writes_trigger) {
+        // The L0SlowDown governor (§2.3): 1 ms penalty, applied once.
+        sim_->AdvanceCpu(options_.slowdown_sleep_micros * 1000);
+        stats_.slowdown_writes++;
+        allow_delay = false;
+        continue;
+      }
+      if (!force &&
+          mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+        break;
+      }
+      if (imm_done_time_ > now) {
+        // The previous flush has not (virtually) finished: the write
+        // stall.  Block the foreground until the background catches up.
+        stats_.stall_writes++;
+        stats_.stall_micros += (imm_done_time_ - now) / 1000;
+        sim_->SetLaneTime(SimContext::kFgLane, imm_done_time_);
+        continue;
+      }
+      if (options_.enable_l0_stop &&
+          VirtualL0Runs(now) >= options_.l0_stop_writes_trigger) {
+        // The L0Stop governor: wait for a compaction to drain level 0.
+        const uint64_t t = NextL0DropTime(now);
+        if (t > now) {
+          stats_.stall_writes++;
+          stats_.stall_micros += (t - now) / 1000;
+          sim_->SetLaneTime(SimContext::kFgLane, t);
+          continue;
+        }
+        // No pending drop event: all compactions have (virtually)
+        // completed; fall through.
+        (void)VirtualL0Runs(t);
+      }
+      // Switch to a new memtable and trigger a flush of the old one.
+      uint64_t new_log_number = versions_->NewFileNumber();
+      std::unique_ptr<WritableFile> lfile;
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      if (!s.ok()) {
+        versions_->ReuseFileNumber(new_log_number);
+        break;
+      }
+      delete log_;
+      delete logfile_;
+      logfile_ = lfile.release();
+      logfile_number_ = new_log_number;
+      log_ = new log::Writer(logfile_);
+      imm_ = mem_;
+      has_imm_.store(true, std::memory_order_release);
+      mem_ = new MemTable(internal_comparator_);
+      mem_->Ref();
+      force = false;  // Do not force another compaction if have room
+      MaybeScheduleCompaction();  // Runs inline on the background lane.
+    }
+    return s;
+  }
+
+  assert(!writers_.empty());
+  while (true) {
+    if (!bg_error_.ok()) {
+      // Yield previous error
+      s = bg_error_;
+      break;
+    } else if (allow_delay && options_.enable_l0_slowdown &&
+               versions_->current()->NumLevelRuns(0) >=
+                   options_.l0_slowdown_writes_trigger) {
+      // Governors count L0 *runs* (physical files): with BoLT a single
+      // flush produces one compaction file holding many logical tables,
+      // and must count as one run, exactly like one stock L0 table.
+      // We are getting close to hitting a hard limit on the number of
+      // L0 files.  Rather than delaying a single write by several
+      // seconds when we hit the hard limit, start delaying each
+      // individual write by 1ms to reduce latency variance.
+      mutex_.unlock();
+      env_->SleepForMicroseconds(
+          static_cast<int>(options_.slowdown_sleep_micros));
+      stats_.slowdown_writes++;
+      allow_delay = false;  // Do not delay a single write more than once
+      mutex_.lock();
+    } else if (!force &&
+               (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size)) {
+      // There is room in current memtable
+      break;
+    } else if (imm_ != nullptr) {
+      // We have filled up the current memtable, but the previous
+      // one is still being compacted, so we wait.
+      stats_.stall_writes++;
+      const uint64_t t0 = env_->NowNanos();
+      background_work_finished_signal_.wait(mutex_);
+      stats_.stall_micros += (env_->NowNanos() - t0) / 1000;
+    } else if (options_.enable_l0_stop &&
+               versions_->current()->NumLevelRuns(0) >=
+                   options_.l0_stop_writes_trigger) {
+      // There are too many level-0 files.
+      stats_.stall_writes++;
+      const uint64_t t0 = env_->NowNanos();
+      background_work_finished_signal_.wait(mutex_);
+      stats_.stall_micros += (env_->NowNanos() - t0) / 1000;
+    } else {
+      // Attempt to switch to a new memtable and trigger compaction of old
+      assert(versions_->PrevLogNumber() == 0);
+      uint64_t new_log_number = versions_->NewFileNumber();
+      std::unique_ptr<WritableFile> lfile;
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      if (!s.ok()) {
+        // Avoid chewing through file number space in a tight loop.
+        versions_->ReuseFileNumber(new_log_number);
+        break;
+      }
+      delete log_;
+      delete logfile_;
+      logfile_ = lfile.release();
+      logfile_number_ = new_log_number;
+      log_ = new log::Writer(logfile_);
+      imm_ = mem_;
+      has_imm_.store(true, std::memory_order_release);
+      mem_ = new MemTable(internal_comparator_);
+      mem_->Ref();
+      force = false;  // Do not force another compaction if have room
+      MaybeScheduleCompaction();
+    }
+  }
+  return s;
+}
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  Status s;
+  MutexLock l(&mutex_);
+  if (simulated()) {
+    sim_->AdvanceCpu(options_.sim_read_cpu_ns);
+  }
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot =
+        static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) imm->Ref();
+  current->Ref();
+
+  bool have_stat_update = false;
+  Version::GetStats stats;
+
+  // Unlock while reading from files and memtables
+  {
+    mutex_.unlock();
+    // First look in the memtable, then in the immutable memtable (if
+    // any).
+    LookupKey lkey(key, snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Done
+    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+      // Done
+    } else {
+      s = current->Get(options, lkey, value, &stats);
+      have_stat_update = true;
+    }
+    mutex_.lock();
+  }
+
+  if (have_stat_update && current->UpdateStats(stats) &&
+      options_.seek_compaction) {
+    stats_.seek_compactions++;
+    MaybeScheduleCompaction();
+  }
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+  current->Unref();
+  return s;
+}
+
+namespace {
+
+struct IterState {
+  std::mutex* const mu;
+  Version* const version;
+  MemTable* const mem;
+  MemTable* const imm;
+
+  IterState(std::mutex* mutex, MemTable* mem, MemTable* imm, Version* version)
+      : mu(mutex), version(version), mem(mem), imm(imm) {}
+};
+
+void CleanupIteratorState(void* arg1, void* arg2) {
+  IterState* state = reinterpret_cast<IterState*>(arg1);
+  state->mu->lock();
+  state->mem->Unref();
+  if (state->imm != nullptr) state->imm->Unref();
+  state->version->Unref();
+  state->mu->unlock();
+  delete state;
+}
+
+}  // anonymous namespace
+
+Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
+                                      SequenceNumber* latest_snapshot) {
+  mutex_.lock();
+  *latest_snapshot = versions_->LastSequence();
+
+  // Collect together all needed child iterators
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  mem_->Ref();
+  if (imm_ != nullptr) {
+    list.push_back(imm_->NewIterator());
+    imm_->Ref();
+  }
+  versions_->current()->AddIterators(options, &list);
+  Iterator* internal_iter =
+      NewMergingIterator(&internal_comparator_, list.data(),
+                         static_cast<int>(list.size()));
+  versions_->current()->Ref();
+
+  IterState* cleanup =
+      new IterState(&mutex_, mem_, imm_, versions_->current());
+  internal_iter->RegisterCleanup(CleanupIteratorState, cleanup, nullptr);
+
+  mutex_.unlock();
+  return internal_iter;
+}
+
+Iterator* DBImpl::TEST_NewInternalIterator() {
+  SequenceNumber ignored;
+  return NewInternalIterator(ReadOptions(), &ignored);
+}
+
+std::string DBImpl::TEST_CheckInvariants() {
+  MutexLock l(&mutex_);
+  return versions_->current()->CheckInvariants();
+}
+
+int DBImpl::TEST_NumTablesAtLevel(int level) {
+  MutexLock l(&mutex_);
+  return versions_->NumLevelTables(level);
+}
+
+int64_t DBImpl::TEST_BytesAtLevel(int level) {
+  MutexLock l(&mutex_);
+  return versions_->NumLevelBytes(level);
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  SequenceNumber latest_snapshot;
+  Iterator* iter = NewInternalIterator(options, &latest_snapshot);
+  if (simulated()) {
+    sim_->AdvanceCpu(options_.sim_read_cpu_ns);
+  }
+  return NewDBIterator(user_comparator(), iter,
+                       (options.snapshot != nullptr
+                            ? static_cast<const SnapshotImpl*>(options.snapshot)
+                                  ->sequence_number()
+                            : latest_snapshot));
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  MutexLock l(&mutex_);
+  return snapshots_.New(versions_->LastSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  MutexLock l(&mutex_);
+  snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
+}
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+
+  MutexLock l(&mutex_);
+  Slice in = property;
+  Slice prefix("bolt.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in.starts_with("num-files-at-level")) {
+    in.remove_prefix(strlen("num-files-at-level"));
+    uint64_t level = 0;
+    bool ok = !in.empty();
+    for (size_t i = 0; i < in.size(); i++) {
+      if (in[i] < '0' || in[i] > '9') {
+        ok = false;
+        break;
+      }
+      level = level * 10 + (in[i] - '0');
+    }
+    if (!ok || level >= static_cast<uint64_t>(options_.num_levels)) {
+      return false;
+    } else {
+      char buf[100];
+      snprintf(buf, sizeof(buf), "%d",
+               versions_->NumLevelTables(static_cast<int>(level)));
+      *value = buf;
+      return true;
+    }
+  } else if (in == "stats") {
+    char buf[400];
+    snprintf(buf, sizeof(buf),
+             "                               Compactions\n"
+             "Level  Tables Size(MB)\n"
+             "--------------------------\n");
+    value->append(buf);
+    for (int level = 0; level < options_.num_levels; level++) {
+      int files = versions_->NumLevelTables(level);
+      if (files > 0 || versions_->NumLevelBytes(level) > 0) {
+        snprintf(buf, sizeof(buf), "%3d %8d %8.2f\n", level, files,
+                 versions_->NumLevelBytes(level) / 1048576.0);
+        value->append(buf);
+      }
+    }
+    snprintf(buf, sizeof(buf),
+             "flushes=%" PRIu64 " compactions=%" PRIu64
+             " trivial_moves=%" PRIu64 " settled=%" PRIu64
+             " stalls=%" PRIu64 " slowdowns=%" PRIu64 "\n",
+             stats_.memtable_flushes, stats_.compactions,
+             stats_.trivial_moves, stats_.settled_promotions,
+             stats_.stall_writes, stats_.slowdown_writes);
+    value->append(buf);
+    return true;
+  } else if (in == "sstables") {
+    *value = versions_->current()->DebugString();
+    return true;
+  }
+
+  return false;
+}
+
+void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+  int max_level_with_files = 1;
+  {
+    MutexLock l(&mutex_);
+    Version* base = versions_->current();
+    for (int level = 1; level < options_.num_levels; level++) {
+      if (base->OverlapInLevel(level, begin, end)) {
+        max_level_with_files = level;
+      }
+    }
+  }
+  TEST_CompactMemTable();  // TODO(opt): skip if memtable does not overlap
+  for (int level = 0; level < max_level_with_files; level++) {
+    TEST_CompactRange(level, begin, end);
+  }
+}
+
+void DBImpl::WaitForBackgroundWork() {
+  MutexLock l(&mutex_);
+  if (simulated()) {
+    MaybeScheduleCompaction();
+    return;
+  }
+  while ((background_compaction_scheduled_ || imm_ != nullptr) &&
+         bg_error_.ok()) {
+    background_work_finished_signal_.wait(mutex_);
+  }
+}
+
+DbStats DBImpl::GetStats() {
+  MutexLock l(&mutex_);
+  return stats_;
+}
+
+DB::~DB() = default;
+
+Snapshot::~Snapshot() = default;
+
+Status DB::Open(const Options& options, const std::string& dbname,
+                DB** dbptr) {
+  *dbptr = nullptr;
+
+  DBImpl* impl = new DBImpl(options, dbname);
+  impl->mutex_.lock();
+  VersionEdit edit;
+  Status s = impl->Recover(&edit);
+  if (s.ok() && impl->mem_ == nullptr) {
+    // Create new log and a corresponding memtable.
+    uint64_t new_log_number = impl->versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    s = options.env->NewWritableFile(LogFileName(dbname, new_log_number),
+                                     &lfile);
+    if (s.ok()) {
+      edit.SetLogNumber(new_log_number);
+      impl->logfile_ = lfile.release();
+      impl->logfile_number_ = new_log_number;
+      impl->log_ = new log::Writer(impl->logfile_);
+      impl->mem_ = new MemTable(impl->internal_comparator_);
+      impl->mem_->Ref();
+    }
+  }
+  if (s.ok()) {
+    edit.SetPrevLogNumber(0);  // No older logs needed after recovery.
+    s = impl->versions_->LogAndApply(&edit);
+  }
+  if (s.ok()) {
+    if (impl->simulated()) {
+      // Seed the virtual governor state with the recovered L0 count.
+      impl->vl0_runs_ = impl->versions_->current()->NumLevelRuns(0);
+    }
+    impl->RemoveObsoleteFiles();
+    impl->MaybeScheduleCompaction();
+  }
+  impl->mutex_.unlock();
+  if (s.ok()) {
+    assert(impl->mem_ != nullptr);
+    *dbptr = impl;
+  } else {
+    delete impl;
+  }
+  return s;
+}
+
+Status DestroyDB(const std::string& dbname, const Options& options) {
+  Env* env = options.env;
+  std::vector<std::string> filenames;
+  Status result = env->GetChildren(dbname, &filenames);
+  if (!result.ok()) {
+    // Ignore error in case directory does not exist
+    return Status::OK();
+  }
+
+  uint64_t number;
+  FileType type;
+  for (const std::string& fname : filenames) {
+    if (ParseFileName(fname, &number, &type)) {
+      Status del = env->RemoveFile(dbname + "/" + fname);
+      if (result.ok() && !del.ok()) {
+        result = del;
+      }
+    }
+  }
+  env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+  return result;
+}
+
+}  // namespace bolt

@@ -1,0 +1,213 @@
+// DBImpl: the engine.  One implementation serves every system the paper
+// evaluates; Options decide which one it behaves as (src/engines).
+//
+// Scheduling has two modes:
+//  * PosixEnv: LevelDB-style — a writer queue with group commit and one
+//    real background thread for flushes/compactions.
+//  * SimEnv: single real thread, two virtual timelines.  Background work
+//    runs inline but is *charged* to the background lane; the write
+//    governors (§2.3) stall the foreground lane against flush/compaction
+//    completion times, so write stalls emerge from the barrier costs
+//    rather than being scripted.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/db.h"
+#include "db/dbformat.h"
+#include "db/snapshot.h"
+#include "db/version_edit.h"
+#include "env/env.h"
+
+namespace bolt {
+
+class MemTable;
+class SimContext;
+class TableCache;
+class Version;
+class VersionEdit;
+class VersionSet;
+namespace log {
+class Writer;
+}
+
+class DBImpl : public DB {
+ public:
+  DBImpl(const Options& options, const std::string& dbname);
+
+  DBImpl(const DBImpl&) = delete;
+  DBImpl& operator=(const DBImpl&) = delete;
+
+  ~DBImpl() override;
+
+  // Implementations of the DB interface
+  Status Put(const WriteOptions&, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions&, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions&) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+  void WaitForBackgroundWork() override;
+  DbStats GetStats() override;
+
+  // ---- Extra methods (for testing / benches) ----
+
+  // Compact any table(s) at the specified level that overlap
+  // [*begin,*end].
+  void TEST_CompactRange(int level, const Slice* begin, const Slice* end);
+
+  // Force current memtable contents to be flushed.
+  Status TEST_CompactMemTable();
+
+  // Return an internal iterator over the current state of the database.
+  Iterator* TEST_NewInternalIterator();
+
+  // Structural invariant check over the current version ("" = OK).
+  std::string TEST_CheckInvariants();
+
+  int TEST_NumTablesAtLevel(int level);
+  int64_t TEST_BytesAtLevel(int level);
+
+ private:
+  friend class DB;
+  struct CompactionState;
+  struct Writer;
+
+  Iterator* NewInternalIterator(const ReadOptions&,
+                                SequenceNumber* latest_snapshot);
+
+  Status NewDB();
+
+  // Recover the descriptor from persistent storage.  May do a significant
+  // amount of work to recover recently logged updates.
+  Status Recover(VersionEdit* edit);
+
+  void MaybeIgnoreError(Status* s) const;
+
+  // Delete any unneeded files, stale in-memory entries, and punch holes
+  // for dead logical SSTables (BoLT §3.2).  REQUIRES: mutex_ held.
+  void RemoveObsoleteFiles();
+
+  // Compact the in-memory write buffer to disk.  Switches to a new
+  // log-file/memtable and writes a new descriptor iff successful.
+  void CompactMemTable();
+
+  Status RecoverLogFile(uint64_t log_number, VersionEdit* edit,
+                        SequenceNumber* max_sequence);
+
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit);
+
+  Status MakeRoomForWrite(bool force /* compact even if there is room? */);
+  WriteBatch* BuildBatchGroup(Writer** last_writer);
+
+  void RecordBackgroundError(const Status& s);
+
+  void MaybeScheduleCompaction();
+  static void BGWork(void* db);
+  void BackgroundCall();
+  void BackgroundCompaction();
+  void CleanupCompaction(CompactionState* compact);
+  Status DoCompactionWork(CompactionState* compact);
+  Status InstallCompactionResults(CompactionState* compact);
+
+  const Comparator* user_comparator() const {
+    return internal_comparator_.user_comparator();
+  }
+
+  // ---- Simulation-mode helpers ----
+  bool simulated() const { return sim_ != nullptr; }
+  // Drain every pending piece of background work inline, charging the
+  // background lane.
+  void RunBackgroundWorkInlineSim();
+  // Number of L0 runs as of virtual time "now" (applies queued events).
+  int VirtualL0Runs(uint64_t now);
+  void AddL0Event(uint64_t time, int delta);
+  // Virtual time at which the L0 run count next decreases (or "now" if
+  // no such event is pending).
+  uint64_t NextL0DropTime(uint64_t now);
+
+  // Dead logical SSTable awaiting hole punching.
+  struct ZombieTable {
+    uint64_t table_id;
+    uint64_t file_number;
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  // Constant after construction
+  Env* const env_;
+  const InternalKeyComparator internal_comparator_;
+  const InternalFilterPolicy internal_filter_policy_;
+  const Options options_;  // options_.comparator == &internal_comparator_
+  const bool owns_info_log_;
+  const bool owns_block_cache_;
+  const std::string dbname_;
+  SimContext* const sim_;  // non-null iff options_.env is simulated
+
+  // table_cache_ provides its own synchronization
+  TableCache* const table_cache_;
+
+  // State below is protected by mutex_
+  std::mutex mutex_;
+  std::atomic<bool> shutting_down_;
+  // condition_variable_any: DBImpl follows LevelDB's manual
+  // unlock()/lock() discipline, so waits happen on the raw mutex.
+  std::condition_variable_any background_work_finished_signal_;
+  MemTable* mem_;
+  MemTable* imm_;                 // Memtable being compacted
+  std::atomic<bool> has_imm_;     // So bg thread can detect non-null imm_
+  WritableFile* logfile_;
+  uint64_t logfile_number_;
+  log::Writer* log_;
+
+  // Queue of writers.
+  std::deque<Writer*> writers_;
+  WriteBatch* tmp_batch_;
+
+  SnapshotList snapshots_;
+
+  // Set of (physical) files being generated by in-flight jobs.
+  std::set<uint64_t> pending_outputs_;
+
+  // Dead logical tables not yet hole-punched.
+  std::vector<ZombieTable> zombies_;
+
+  // Has a background compaction been scheduled or is running?
+  bool background_compaction_scheduled_;
+
+  // Information for a manual compaction
+  struct ManualCompaction {
+    int level;
+    bool done;
+    const InternalKey* begin;  // null means beginning of key range
+    const InternalKey* end;    // null means end of key range
+    InternalKey tmp_storage;   // Used to keep track of compaction progress
+  };
+  ManualCompaction* manual_compaction_;
+
+  VersionSet* const versions_;
+
+  // Have we encountered a background error in paranoid mode?
+  Status bg_error_;
+
+  DbStats stats_;
+
+  // ---- Simulation-mode state ----
+  uint64_t imm_done_time_ = 0;  // virtual completion of the last flush
+  std::deque<std::pair<uint64_t, int>> vl0_events_;
+  int vl0_runs_ = 0;
+  bool in_sim_background_ = false;  // re-entrancy guard
+};
+
+}  // namespace bolt

@@ -1,0 +1,21 @@
+// DBIter: wraps an internal (merged) iterator and exposes the user-level
+// view at a snapshot: newest visible version per user key, deletion
+// markers hidden.
+#pragma once
+
+#include <cstdint>
+
+#include "db/dbformat.h"
+
+namespace bolt {
+
+class DBImpl;
+class Iterator;
+
+// Return a new iterator that converts internal keys (yielded by
+// "*internal_iter") that were live at the specified "sequence" number
+// into appropriate user keys.
+Iterator* NewDBIterator(const Comparator* user_key_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence);
+
+}  // namespace bolt

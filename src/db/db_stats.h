@@ -1,0 +1,32 @@
+// Engine-level statistics: what the paper's figures report beyond raw
+// throughput — compaction counts by kind, bytes moved, write stalls,
+// settled-compaction promotions.
+#pragma once
+
+#include <cstdint>
+
+namespace bolt {
+
+struct DbStats {
+  // ---- Write governors (§2.3) ----
+  uint64_t slowdown_writes = 0;   // L0SlowDown 1ms sleeps
+  uint64_t stall_writes = 0;      // L0Stop / memtable-full blocks
+  uint64_t stall_micros = 0;      // total time writers spent blocked
+
+  // ---- Background work ----
+  uint64_t memtable_flushes = 0;
+  uint64_t compactions = 0;            // merge compactions executed
+  uint64_t trivial_moves = 0;          // single-file moves (no rewrite)
+  uint64_t settled_promotions = 0;     // tables promoted by +STL (no rewrite)
+  uint64_t pure_settled_compactions = 0;  // compactions with zero I/O
+  uint64_t seek_compactions = 0;
+
+  // ---- Compaction I/O ----
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t compaction_output_tables = 0;  // (logical) tables produced
+  uint64_t compaction_files_created = 0;  // physical files produced
+  uint64_t settled_bytes_saved = 0;       // bytes NOT rewritten thanks to +STL
+};
+
+}  // namespace bolt

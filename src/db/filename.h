@@ -1,0 +1,46 @@
+// File naming for all DB artifacts.  BoLT adds the compaction-file kind
+// (.cft) holding multiple logical SSTables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class Env;
+
+enum FileType {
+  kLogFile,         // dbname/<number>.log        — write-ahead log
+  kDBLockFile,      // dbname/LOCK
+  kTableFile,       // dbname/<number>.ldb        — stock SSTable
+  kCompactionFile,  // dbname/<number>.cft        — BoLT compaction file
+  kDescriptorFile,  // dbname/MANIFEST-<number>
+  kCurrentFile,     // dbname/CURRENT
+  kTempFile,        // dbname/<number>.dbtmp
+  kInfoLogFile,     // dbname/LOG
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string CompactionFileName(const std::string& dbname, uint64_t number);
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string LockFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+std::string InfoLogFileName(const std::string& dbname);
+
+// If filename is a bolt file, store the type of the file in *type.
+// The number encoded in the filename is stored in *number.  If the
+// filename was successfully parsed, returns true.  Else return false.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+// Make the CURRENT file point to the descriptor file with the
+// specified number.
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number);
+
+}  // namespace bolt

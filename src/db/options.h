@@ -1,0 +1,133 @@
+// Options: the engine configuration surface.  Every system the paper
+// evaluates — LevelDB, LevelDB-64MB, HyperLevelDB, PebblesDB, RocksDB,
+// BoLT, HyperBoLT — is a bundle of these fields (src/engines/presets.h),
+// exactly as the paper implements BoLT by patching LevelDB/HyperLevelDB
+// in place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bolt {
+
+class Cache;
+class Comparator;
+class Env;
+class FilterPolicy;
+class Logger;
+class Snapshot;
+
+const Comparator* BytewiseComparator();
+Env* PosixEnv();
+
+// How compaction victims are selected within an overflowing level.
+enum class VictimPolicy {
+  kRoundRobin,  // LevelDB: cursor walks the keyspace (compact_pointer)
+  kMinOverlap,  // HyperLevelDB: pick the table(s) with least next-level
+                // overlap relative to their size
+};
+
+struct Options {
+  // ---- General ----------------------------------------------------------
+  const Comparator* comparator = BytewiseComparator();
+  Env* env = PosixEnv();
+  Logger* info_log = nullptr;  // nullptr disables info logging
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+  bool paranoid_checks = false;
+
+  // ---- Memory components --------------------------------------------------
+  size_t write_buffer_size = 4 << 20;  // MemTable size (paper: 64 MB, /16)
+  size_t block_cache_bytes = 8 << 20;  // BlockCache capacity in bytes
+  // If non-null, use this block cache instead of creating one of
+  // block_cache_bytes (the DB fills this in when opening).
+  Cache* block_cache = nullptr;
+  int max_open_files = 1000;           // TableCache capacity in *entries*
+
+  // ---- SSTable format -----------------------------------------------------
+  uint64_t max_file_size = 128 << 10;  // SSTable target size (paper: 2 MB)
+  size_t block_size = 4096;
+  int block_restart_interval = 16;
+  const FilterPolicy* filter_policy = nullptr;  // paper: 10-bit bloom
+  // Extra on-disk bytes per record, modelling format density differences
+  // (paper §4.3.3: LevelDB-family tables cost ~81 B/record more than
+  // RocksDB's).  Written as real padding so write-amplification accounting
+  // sees it.
+  size_t format_overhead_per_entry = 0;
+
+  // ---- Level structure ------------------------------------------------------
+  int num_levels = 7;
+  uint64_t max_bytes_for_level_base = 640 << 10;  // L1 limit (paper: 10 MB)
+  double max_bytes_for_level_multiplier = 10.0;
+  int l0_compaction_trigger = 4;
+
+  // ---- Write governors (§2.3) ----------------------------------------------
+  // L0SlowDown: foreground writers sleep 1 ms per write when L0 holds this
+  // many runs.  L0Stop: writers block until compaction catches up.
+  int l0_slowdown_writes_trigger = 8;
+  int l0_stop_writes_trigger = 12;
+  bool enable_l0_stop = true;       // HyperLevelDB removes this governor
+  bool enable_l0_slowdown = true;   // ... and weakens this one
+  uint64_t slowdown_sleep_micros = 1000;
+
+  // Seek compaction: a table consulted too many times without yielding a
+  // result is compacted (LevelDB's read-triggered compaction; §4.2.2).
+  bool seek_compaction = true;
+
+  // ---- BoLT features (§3) -----------------------------------------------------
+  // +LS: one physical *compaction file* per compaction, holding many
+  // fine-grained *logical SSTables* tracked by (file, offset, size) in the
+  // MANIFEST.  Dead logical tables are reclaimed by punching holes.
+  bool bolt_logical_sstables = false;
+  uint64_t logical_sstable_size = 64 << 10;  // paper: 1 MB
+  // +GC: merge enough victims per compaction to move about this many
+  // bytes, amortizing the two barriers over a large sequential write.
+  // 0 disables group compaction (single victim per compaction).
+  uint64_t group_compaction_bytes = 0;  // paper best: 64 MB
+  // +STL: victims that overlap nothing in the next level are promoted by
+  // a MANIFEST-only edit instead of being rewritten.
+  bool settled_compaction = false;
+  // +FC: cache open file descriptors per compaction file.
+  bool fd_cache = false;
+
+  // ---- PebblesDB-style FLSM (§4.1) ---------------------------------------------
+  // Fragmented LSM: levels are partitioned by guards; tables within a
+  // guard may overlap; compaction partitions a level's tables into the
+  // next level's guards without merging with resident tables.
+  bool flsm_mode = false;
+  // A new key becomes a guard candidate for level i with probability
+  // 1/2^(flsm_guard_bits * (num_levels - i)) — deeper levels get more
+  // guards, mirroring PebblesDB's sampled guard selection.
+  int flsm_top_level_guards = 2;  // expected guards at level 1
+
+  // ---- Victim picking ----------------------------------------------------------
+  VictimPolicy victim_policy = VictimPolicy::kRoundRobin;
+
+  // ---- Simulation CPU model (ignored on PosixEnv) ------------------------------
+  // Per-operation foreground CPU cost and per-entry compaction merge
+  // cost; presets use these to model HyperLevelDB's improved write-path
+  // parallelism and RocksDB's multi-threaded compaction/read paths.
+  uint64_t sim_write_cpu_ns = 1500;
+  uint64_t sim_read_cpu_ns = 1500;
+  // CPU cost per table consulted during a lookup (TableCache probe +
+  // bloom filter + index binary search).  This is what makes overlapping
+  // tables (L0 pile-ups, FLSM levels) cost something even when the bloom
+  // filters avoid device reads.
+  uint64_t sim_table_probe_cpu_ns = 700;
+  uint64_t sim_compaction_cpu_per_entry_ns = 250;
+  double bg_parallelism = 1.0;  // >1 scales down background lane time
+};
+
+struct ReadOptions {
+  bool verify_checksums = false;
+  bool fill_cache = true;
+  const Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  // If true, the WAL is fsync'ed before the write is acknowledged.  The
+  // paper's YCSB runs use the default (false), as do LevelDB benchmarks.
+  bool sync = false;
+};
+
+}  // namespace bolt

@@ -1,0 +1,187 @@
+#include "db/table_cache.h"
+
+#include "db/filename.h"
+#include "env/env.h"
+#include "sim/sim_context.h"
+#include "table/iterator.h"
+#include "table/table.h"
+#include "util/coding.h"
+
+namespace bolt {
+
+namespace {
+
+struct TableAndFile {
+  Table* table = nullptr;
+  // Exactly one of these owns the file:
+  RandomAccessFile* owned_file = nullptr;  // owned directly (no fd cache)
+  Cache* fd_cache = nullptr;               // cache holding the shared fd
+  Cache::Handle* fd_handle = nullptr;
+};
+
+void DeleteEntry(const Slice& key, void* value) {
+  TableAndFile* tf = reinterpret_cast<TableAndFile*>(value);
+  delete tf->table;
+  if (tf->fd_handle != nullptr) {
+    tf->fd_cache->Release(tf->fd_handle);
+  } else {
+    delete tf->owned_file;
+  }
+  delete tf;
+}
+
+void DeleteFd(const Slice& key, void* value) {
+  delete reinterpret_cast<RandomAccessFile*>(value);
+}
+
+void UnrefEntry(void* arg1, void* arg2) {
+  Cache* cache = reinterpret_cast<Cache*>(arg1);
+  Cache::Handle* h = reinterpret_cast<Cache::Handle*>(arg2);
+  cache->Release(h);
+}
+
+std::string PhysicalFileName(const std::string& dbname, const TableMeta& meta) {
+  return meta.file_type == kCompactionFile
+             ? CompactionFileName(dbname, meta.file_number)
+             : TableFileName(dbname, meta.file_number);
+}
+
+}  // namespace
+
+TableCache::TableCache(const std::string& dbname, const Options& options,
+                       int entries)
+    : env_(options.env),
+      dbname_(dbname),
+      options_(options),
+      cache_(NewLRUCache(entries)) {
+  if (options_.fd_cache) {
+    fd_cache_.reset(NewLRUCache(entries));
+  }
+}
+
+TableCache::~TableCache() = default;
+
+Status TableCache::OpenTableFile(const TableMeta& meta, RandomAccessFile** file,
+                                 Cache::Handle** fd_handle) {
+  *file = nullptr;
+  *fd_handle = nullptr;
+  const std::string fname = PhysicalFileName(dbname_, meta);
+
+  if (fd_cache_ != nullptr) {
+    char buf[9];
+    EncodeFixed64(buf, meta.file_number);
+    buf[8] = static_cast<char>(meta.file_type);
+    Slice key(buf, sizeof(buf));
+    Cache::Handle* handle = fd_cache_->Lookup(key);
+    if (handle == nullptr) {
+      std::unique_ptr<RandomAccessFile> f;
+      Status s = env_->NewRandomAccessFile(fname, &f);
+      if (!s.ok()) return s;
+      handle = fd_cache_->Insert(key, f.release(), 1, &DeleteFd);
+    }
+    *file = reinterpret_cast<RandomAccessFile*>(fd_cache_->Value(handle));
+    *fd_handle = handle;
+    return Status::OK();
+  }
+
+  std::unique_ptr<RandomAccessFile> f;
+  Status s = env_->NewRandomAccessFile(fname, &f);
+  if (!s.ok()) return s;
+  *file = f.release();
+  return Status::OK();
+}
+
+Status TableCache::FindTable(const TableMeta& meta, Cache::Handle** handle) {
+  char buf[sizeof(meta.table_id)];
+  EncodeFixed64(buf, meta.table_id);
+  Slice key(buf, sizeof(buf));
+  *handle = cache_->Lookup(key);
+  if (*handle != nullptr) {
+    return Status::OK();
+  }
+
+  RandomAccessFile* file = nullptr;
+  Cache::Handle* fd_handle = nullptr;
+  Status s = OpenTableFile(meta, &file, &fd_handle);
+  if (!s.ok()) return s;
+
+  Table* table = nullptr;
+  s = Table::Open(options_, file, meta.offset, meta.size, &table);
+  if (!s.ok()) {
+    assert(table == nullptr);
+    if (fd_handle != nullptr) {
+      fd_cache_->Release(fd_handle);
+    } else {
+      delete file;
+    }
+    // We do not cache error results so that if the error is transient,
+    // or somebody repairs the file, we recover automatically.
+    return s;
+  }
+
+  TableAndFile* tf = new TableAndFile;
+  tf->table = table;
+  if (fd_handle != nullptr) {
+    tf->fd_cache = fd_cache_.get();
+    tf->fd_handle = fd_handle;
+  } else {
+    tf->owned_file = file;
+  }
+  *handle = cache_->Insert(key, tf, 1, &DeleteEntry);
+  return s;
+}
+
+Iterator* TableCache::NewIterator(const ReadOptions& options,
+                                  const TableMeta& meta, Table** tableptr) {
+  if (tableptr != nullptr) {
+    *tableptr = nullptr;
+  }
+
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(meta, &handle);
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+
+  Table* table = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
+  Iterator* result = table->NewIterator(options);
+  result->RegisterCleanup(&UnrefEntry, cache_.get(), handle);
+  if (tableptr != nullptr) {
+    *tableptr = table;
+  }
+  return result;
+}
+
+Status TableCache::Get(const ReadOptions& options, const TableMeta& meta,
+                       const Slice& k, void* arg,
+                       void (*handle_result)(void*, const Slice&,
+                                             const Slice&)) {
+  if (SimContext* sim = env_->sim()) {
+    sim->AdvanceCpu(options_.sim_table_probe_cpu_ns);
+  }
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(meta, &handle);
+  if (s.ok()) {
+    Table* t = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
+    s = t->InternalGet(options, k, arg, handle_result);
+    cache_->Release(handle);
+  }
+  return s;
+}
+
+void TableCache::Evict(uint64_t table_id) {
+  char buf[sizeof(table_id)];
+  EncodeFixed64(buf, table_id);
+  cache_->Erase(Slice(buf, sizeof(buf)));
+}
+
+void TableCache::EvictFile(uint64_t file_number, FileType type) {
+  if (fd_cache_ != nullptr) {
+    char buf[9];
+    EncodeFixed64(buf, file_number);
+    buf[8] = static_cast<char>(type);
+    fd_cache_->Erase(Slice(buf, sizeof(buf)));
+  }
+}
+
+}  // namespace bolt

@@ -1,0 +1,72 @@
+// TableCache: caches open Table readers (index block + bloom filter +
+// file handle), capped by *entry count* — LevelDB's max_open_files
+// semantics, which §2.6/§4.3.3 show favour large SSTables.
+//
+// With Options::fd_cache (BoLT +FC), open file descriptors are cached
+// per *physical* file in a second cache, so a TableCache miss for a
+// logical SSTable whose compaction file is already open skips the
+// filesystem open altogether.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "db/options.h"
+#include "db/version_edit.h"
+#include "util/cache.h"
+
+namespace bolt {
+
+class Env;
+class Iterator;
+class RandomAccessFile;
+class Table;
+
+class TableCache {
+ public:
+  TableCache(const std::string& dbname, const Options& options, int entries);
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  ~TableCache();
+
+  // Return an iterator for the specified (logical) table.  If tableptr
+  // is non-null, sets *tableptr to the underlying Table object, which
+  // remains live while the iterator is.
+  Iterator* NewIterator(const ReadOptions& options, const TableMeta& meta,
+                        Table** tableptr = nullptr);
+
+  // Call (*handle_result)(arg, found_key, found_value) for the entry
+  // found for the internal key k in the table, if any.
+  Status Get(const ReadOptions& options, const TableMeta& meta, const Slice& k,
+             void* arg,
+             void (*handle_result)(void*, const Slice&, const Slice&));
+
+  // Evict any entry for the specified table id.
+  void Evict(uint64_t table_id);
+
+  // Evict the cached file descriptor for the specified physical file
+  // (call before deleting the file).
+  void EvictFile(uint64_t file_number, FileType type);
+
+  uint64_t hits() const { return cache_->hits(); }
+  uint64_t misses() const { return cache_->misses(); }
+
+ private:
+  Status FindTable(const TableMeta& meta, Cache::Handle** handle);
+  Status OpenTableFile(const TableMeta& meta, RandomAccessFile** file,
+                       Cache::Handle** fd_handle);
+
+  Env* const env_;
+  const std::string dbname_;
+  const Options& options_;
+  // fd_cache_ is declared before cache_ so it is destroyed *after* it:
+  // table entries hold handles into the fd cache and release them from
+  // their deleters when cache_ is torn down.
+  std::unique_ptr<Cache> fd_cache_;  // file key -> RandomAccessFile (iff +FC)
+  std::unique_ptr<Cache> cache_;     // table_id -> TableAndFile
+};
+
+}  // namespace bolt

@@ -1,0 +1,245 @@
+#include "db/version_edit.h"
+
+#include <sstream>
+
+#include "util/coding.h"
+
+namespace bolt {
+
+// Tag numbers for serialized VersionEdit.  These numbers are written to
+// disk and should not be changed.
+enum Tag {
+  kComparator = 1,
+  kLogNumber = 2,
+  kNextFileNumber = 3,
+  kLastSequence = 4,
+  kCompactPointer = 5,
+  kDeletedTable = 6,
+  kNewTable = 7,
+  // 8 was used for large value refs in ancient LevelDB
+  kPrevLogNumber = 9,
+};
+
+void VersionEdit::Clear() {
+  comparator_.clear();
+  log_number_ = 0;
+  prev_log_number_ = 0;
+  last_sequence_ = 0;
+  next_file_number_ = 0;
+  has_comparator_ = false;
+  has_log_number_ = false;
+  has_prev_log_number_ = false;
+  has_next_file_number_ = false;
+  has_last_sequence_ = false;
+  compact_pointers_.clear();
+  deleted_tables_.clear();
+  new_tables_.clear();
+}
+
+void VersionEdit::EncodeTo(std::string* dst) const {
+  if (has_comparator_) {
+    PutVarint32(dst, kComparator);
+    PutLengthPrefixedSlice(dst, comparator_);
+  }
+  if (has_log_number_) {
+    PutVarint32(dst, kLogNumber);
+    PutVarint64(dst, log_number_);
+  }
+  if (has_prev_log_number_) {
+    PutVarint32(dst, kPrevLogNumber);
+    PutVarint64(dst, prev_log_number_);
+  }
+  if (has_next_file_number_) {
+    PutVarint32(dst, kNextFileNumber);
+    PutVarint64(dst, next_file_number_);
+  }
+  if (has_last_sequence_) {
+    PutVarint32(dst, kLastSequence);
+    PutVarint64(dst, last_sequence_);
+  }
+
+  for (const auto& [level, key] : compact_pointers_) {
+    PutVarint32(dst, kCompactPointer);
+    PutVarint32(dst, level);
+    PutLengthPrefixedSlice(dst, key.Encode());
+  }
+
+  for (const auto& [level, table_id] : deleted_tables_) {
+    PutVarint32(dst, kDeletedTable);
+    PutVarint32(dst, level);
+    PutVarint64(dst, table_id);
+  }
+
+  for (const auto& [level, f] : new_tables_) {
+    PutVarint32(dst, kNewTable);
+    PutVarint32(dst, level);
+    PutVarint64(dst, f.table_id);
+    PutVarint64(dst, f.file_number);
+    PutVarint32(dst, static_cast<uint32_t>(f.file_type));
+    PutVarint64(dst, f.offset);
+    PutVarint64(dst, f.size);
+    PutLengthPrefixedSlice(dst, f.smallest.Encode());
+    PutLengthPrefixedSlice(dst, f.largest.Encode());
+  }
+}
+
+static bool GetInternalKey(Slice* input, InternalKey* dst) {
+  Slice str;
+  if (GetLengthPrefixedSlice(input, &str)) {
+    return dst->DecodeFrom(str);
+  } else {
+    return false;
+  }
+}
+
+static bool GetLevel(Slice* input, int* level) {
+  uint32_t v;
+  if (GetVarint32(input, &v) && v < 64) {
+    *level = v;
+    return true;
+  } else {
+    return false;
+  }
+}
+
+Status VersionEdit::DecodeFrom(const Slice& src) {
+  Clear();
+  Slice input = src;
+  const char* msg = nullptr;
+  uint32_t tag;
+
+  // Temporary storage for parsing
+  int level;
+  uint64_t number;
+  TableMeta f;
+  Slice str;
+  InternalKey key;
+
+  while (msg == nullptr && GetVarint32(&input, &tag)) {
+    switch (tag) {
+      case kComparator:
+        if (GetLengthPrefixedSlice(&input, &str)) {
+          comparator_ = str.ToString();
+          has_comparator_ = true;
+        } else {
+          msg = "comparator name";
+        }
+        break;
+
+      case kLogNumber:
+        if (GetVarint64(&input, &log_number_)) {
+          has_log_number_ = true;
+        } else {
+          msg = "log number";
+        }
+        break;
+
+      case kPrevLogNumber:
+        if (GetVarint64(&input, &prev_log_number_)) {
+          has_prev_log_number_ = true;
+        } else {
+          msg = "previous log number";
+        }
+        break;
+
+      case kNextFileNumber:
+        if (GetVarint64(&input, &next_file_number_)) {
+          has_next_file_number_ = true;
+        } else {
+          msg = "next file number";
+        }
+        break;
+
+      case kLastSequence:
+        if (GetVarint64(&input, &last_sequence_)) {
+          has_last_sequence_ = true;
+        } else {
+          msg = "last sequence number";
+        }
+        break;
+
+      case kCompactPointer:
+        if (GetLevel(&input, &level) && GetInternalKey(&input, &key)) {
+          compact_pointers_.push_back(std::make_pair(level, key));
+        } else {
+          msg = "compaction pointer";
+        }
+        break;
+
+      case kDeletedTable:
+        if (GetLevel(&input, &level) && GetVarint64(&input, &number)) {
+          deleted_tables_.insert(std::make_pair(level, number));
+        } else {
+          msg = "deleted table entry";
+        }
+        break;
+
+      case kNewTable: {
+        uint32_t ftype;
+        if (GetLevel(&input, &level) && GetVarint64(&input, &f.table_id) &&
+            GetVarint64(&input, &f.file_number) &&
+            GetVarint32(&input, &ftype) && GetVarint64(&input, &f.offset) &&
+            GetVarint64(&input, &f.size) &&
+            GetInternalKey(&input, &f.smallest) &&
+            GetInternalKey(&input, &f.largest) &&
+            (ftype == kTableFile || ftype == kCompactionFile)) {
+          f.file_type = static_cast<FileType>(ftype);
+          new_tables_.push_back(std::make_pair(level, f));
+        } else {
+          msg = "new table entry";
+        }
+        break;
+      }
+
+      default:
+        msg = "unknown tag";
+        break;
+    }
+  }
+
+  if (msg == nullptr && !input.empty()) {
+    msg = "invalid tag";
+  }
+
+  Status result;
+  if (msg != nullptr) {
+    result = Status::Corruption("VersionEdit", msg);
+  }
+  return result;
+}
+
+std::string VersionEdit::DebugString() const {
+  std::ostringstream ss;
+  ss << "VersionEdit {";
+  if (has_comparator_) {
+    ss << "\n  Comparator: " << comparator_;
+  }
+  if (has_log_number_) {
+    ss << "\n  LogNumber: " << log_number_;
+  }
+  if (has_prev_log_number_) {
+    ss << "\n  PrevLogNumber: " << prev_log_number_;
+  }
+  if (has_next_file_number_) {
+    ss << "\n  NextFile: " << next_file_number_;
+  }
+  if (has_last_sequence_) {
+    ss << "\n  LastSeq: " << last_sequence_;
+  }
+  for (const auto& [level, key] : compact_pointers_) {
+    ss << "\n  CompactPointer: " << level << " " << key.DebugString();
+  }
+  for (const auto& [level, table_id] : deleted_tables_) {
+    ss << "\n  RemoveTable: " << level << " " << table_id;
+  }
+  for (const auto& [level, f] : new_tables_) {
+    ss << "\n  AddTable: " << level << " id=" << f.table_id << " file="
+       << f.file_number << (f.file_type == kCompactionFile ? "(cft)" : "(ldb)")
+       << " off=" << f.offset << " size=" << f.size << " "
+       << f.smallest.DebugString() << " .. " << f.largest.DebugString();
+  }
+  ss << "\n}\n";
+  return ss.str();
+}
+
+}  // namespace bolt

@@ -1,0 +1,109 @@
+// VersionEdit: a delta applied to the table metadata, serialized into the
+// MANIFEST.  The MANIFEST is the commit mark of every flush/compaction
+// (§2.4): new tables become visible — and victims invalid — atomically
+// when the edit record is synced.
+//
+// BoLT extension: each table record carries (file_number, file_type,
+// offset, size) so a *logical SSTable* can live at any offset of a shared
+// compaction file.  Stock SSTables are the special case offset == 0,
+// file_type == kTableFile.  The paper notes this adds only ~8 bytes per
+// table to MANIFEST entries.
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "db/dbformat.h"
+#include "db/filename.h"
+
+namespace bolt {
+
+class VersionSet;
+
+// Metadata of one (logical) SSTable.
+struct TableMeta {
+  TableMeta() = default;
+
+  int refs = 0;
+  // Seeks allowed until a seek-triggered compaction fires (LevelDB rule:
+  // 1 seek per 16 KB of table data, min 100).
+  int allowed_seeks = 1 << 30;
+
+  uint64_t table_id = 0;     // unique id; TableCache key
+  uint64_t file_number = 0;  // physical file holding this table
+  FileType file_type = kTableFile;  // kTableFile | kCompactionFile
+  uint64_t offset = 0;       // byte offset of the table within the file
+  uint64_t size = 0;         // table size in bytes
+  InternalKey smallest;
+  InternalKey largest;
+};
+
+class VersionEdit {
+ public:
+  VersionEdit() { Clear(); }
+  ~VersionEdit() = default;
+
+  void Clear();
+
+  void SetComparatorName(const Slice& name) {
+    has_comparator_ = true;
+    comparator_ = name.ToString();
+  }
+  void SetLogNumber(uint64_t num) {
+    has_log_number_ = true;
+    log_number_ = num;
+  }
+  void SetPrevLogNumber(uint64_t num) {
+    has_prev_log_number_ = true;
+    prev_log_number_ = num;
+  }
+  void SetNextFile(uint64_t num) {
+    has_next_file_number_ = true;
+    next_file_number_ = num;
+  }
+  void SetLastSequence(SequenceNumber seq) {
+    has_last_sequence_ = true;
+    last_sequence_ = seq;
+  }
+  void SetCompactPointer(int level, const InternalKey& key) {
+    compact_pointers_.push_back(std::make_pair(level, key));
+  }
+
+  // Add the specified table at the specified level.
+  void AddTable(int level, const TableMeta& meta) {
+    new_tables_.push_back(std::make_pair(level, meta));
+  }
+
+  // Remove the specified table from the specified level.
+  void RemoveTable(int level, uint64_t table_id) {
+    deleted_tables_.insert(std::make_pair(level, table_id));
+  }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& src);
+
+  std::string DebugString() const;
+
+ private:
+  friend class VersionSet;
+
+  typedef std::set<std::pair<int, uint64_t>> DeletedTableSet;
+
+  std::string comparator_;
+  uint64_t log_number_;
+  uint64_t prev_log_number_;
+  uint64_t next_file_number_;
+  SequenceNumber last_sequence_;
+  bool has_comparator_;
+  bool has_log_number_;
+  bool has_prev_log_number_;
+  bool has_next_file_number_;
+  bool has_last_sequence_;
+
+  std::vector<std::pair<int, InternalKey>> compact_pointers_;
+  DeletedTableSet deleted_tables_;
+  std::vector<std::pair<int, TableMeta>> new_tables_;
+};
+
+}  // namespace bolt

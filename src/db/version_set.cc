@@ -1,0 +1,1548 @@
+#include "db/version_set.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "db/filename.h"
+#include "db/table_cache.h"
+#include "env/env.h"
+#include "table/iterator.h"
+#include "table/merger.h"
+#include "table/two_level_iterator.h"
+#include "util/coding.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace bolt {
+
+static void AppendNumberTo(std::string* str, uint64_t num) {
+  char buf[30];
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(num));
+  str->append(buf);
+}
+
+static size_t TargetTableSize(const Options* options) {
+  return options->bolt_logical_sstables
+             ? static_cast<size_t>(options->logical_sstable_size)
+             : static_cast<size_t>(options->max_file_size);
+}
+
+// Maximum bytes of overlaps in grandparent (i.e., level+2) before we
+// stop building a single output table in a level->level+1 compaction.
+static int64_t MaxGrandParentOverlapBytes(const Options* options) {
+  return 10 * static_cast<int64_t>(TargetTableSize(options));
+}
+
+static double MaxBytesForLevelImpl(const Options* options, int level) {
+  // Result for both level-0 and level-1: level 0 is special-cased by the
+  // count-based trigger.
+  double result = static_cast<double>(options->max_bytes_for_level_base);
+  while (level > 1) {
+    result *= options->max_bytes_for_level_multiplier;
+    level--;
+  }
+  return result;
+}
+
+uint64_t VersionSet::MaxBytesForLevel(int level) const {
+  return static_cast<uint64_t>(MaxBytesForLevelImpl(options_, level));
+}
+
+uint64_t VersionSet::MaxTableSizeForLevel(int level) const {
+  return TargetTableSize(options_);
+}
+
+static int64_t TotalTableSize(const std::vector<TableMeta*>& files) {
+  int64_t sum = 0;
+  for (size_t i = 0; i < files.size(); i++) {
+    sum += files[i]->size;
+  }
+  return sum;
+}
+
+Version::Version(VersionSet* vset)
+    : vset_(vset),
+      next_(this),
+      prev_(this),
+      refs_(0),
+      files_(vset->options()->num_levels),
+      file_to_compact_(nullptr),
+      file_to_compact_level_(-1),
+      compaction_score_(-1),
+      compaction_level_(-1) {}
+
+Version::~Version() {
+  assert(refs_ == 0);
+
+  // Remove from linked list
+  prev_->next_ = next_;
+  next_->prev_ = prev_;
+
+  // Drop references to files
+  for (auto& level_files : files_) {
+    for (TableMeta* f : level_files) {
+      assert(f->refs > 0);
+      f->refs--;
+      if (f->refs <= 0) {
+        delete f;
+      }
+    }
+  }
+}
+
+bool Version::LevelMayOverlap(int level) const {
+  return level == 0 || vset_->options()->flsm_mode;
+}
+
+int FindTable(const InternalKeyComparator& icmp,
+              const std::vector<TableMeta*>& files, const Slice& key) {
+  uint32_t left = 0;
+  uint32_t right = static_cast<uint32_t>(files.size());
+  while (left < right) {
+    uint32_t mid = (left + right) / 2;
+    const TableMeta* f = files[mid];
+    if (icmp.Compare(f->largest.Encode(), key) < 0) {
+      // Key at "mid.largest" is < "target".  Therefore all
+      // files at or before "mid" are uninteresting.
+      left = mid + 1;
+    } else {
+      // Key at "mid.largest" is >= "target".  Therefore all files
+      // after "mid" are uninteresting.
+      right = mid;
+    }
+  }
+  return right;
+}
+
+static bool AfterFile(const Comparator* ucmp, const Slice* user_key,
+                      const TableMeta* f) {
+  // null user_key occurs before all keys and is therefore never after *f
+  return (user_key != nullptr &&
+          ucmp->Compare(*user_key, f->largest.user_key()) > 0);
+}
+
+static bool BeforeFile(const Comparator* ucmp, const Slice* user_key,
+                       const TableMeta* f) {
+  // null user_key occurs after all keys and is therefore never before *f
+  return (user_key != nullptr &&
+          ucmp->Compare(*user_key, f->smallest.user_key()) < 0);
+}
+
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp,
+                           bool disjoint_sorted_files,
+                           const std::vector<TableMeta*>& files,
+                           const Slice* smallest_user_key,
+                           const Slice* largest_user_key) {
+  const Comparator* ucmp = icmp.user_comparator();
+  if (!disjoint_sorted_files) {
+    // Need to check against all files
+    for (size_t i = 0; i < files.size(); i++) {
+      const TableMeta* f = files[i];
+      if (AfterFile(ucmp, smallest_user_key, f) ||
+          BeforeFile(ucmp, largest_user_key, f)) {
+        // No overlap
+      } else {
+        return true;  // Overlap
+      }
+    }
+    return false;
+  }
+
+  // Binary search over file list
+  uint32_t index = 0;
+  if (smallest_user_key != nullptr) {
+    // Find the earliest possible internal key for smallest_user_key
+    InternalKey small_key(*smallest_user_key, kMaxSequenceNumber,
+                          kValueTypeForSeek);
+    index = FindTable(icmp, files, small_key.Encode());
+  }
+
+  if (index >= files.size()) {
+    // beginning of range is after all files, so no overlap.
+    return false;
+  }
+
+  return !BeforeFile(ucmp, largest_user_key, files[index]);
+}
+
+// An internal iterator.  For a given version/level pair, yields
+// information about the tables in the level.  For a given entry, key()
+// is the largest key that occurs in the table, and value() is a
+// 33-byte record containing the table's id, physical file number and
+// type, offset, and size, encoded using fixed-width encodings.
+class Version::LevelTableNumIterator : public Iterator {
+ public:
+  LevelTableNumIterator(const InternalKeyComparator& icmp,
+                        const std::vector<TableMeta*>* flist)
+      : icmp_(icmp), flist_(flist), index_(flist->size()) {  // invalid
+  }
+  bool Valid() const override { return index_ < flist_->size(); }
+  void Seek(const Slice& target) override {
+    index_ = FindTable(icmp_, *flist_, target);
+  }
+  void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override {
+    index_ = flist_->empty() ? 0 : flist_->size() - 1;
+  }
+  void Next() override {
+    assert(Valid());
+    index_++;
+  }
+  void Prev() override {
+    assert(Valid());
+    if (index_ == 0) {
+      index_ = flist_->size();  // Marks as invalid
+    } else {
+      index_--;
+    }
+  }
+  Slice key() const override {
+    assert(Valid());
+    return (*flist_)[index_]->largest.Encode();
+  }
+  Slice value() const override {
+    assert(Valid());
+    const TableMeta* f = (*flist_)[index_];
+    EncodeFixed64(value_buf_, f->table_id);
+    EncodeFixed64(value_buf_ + 8, f->file_number);
+    value_buf_[16] = static_cast<char>(f->file_type);
+    EncodeFixed64(value_buf_ + 17, f->offset);
+    EncodeFixed64(value_buf_ + 25, f->size);
+    return Slice(value_buf_, 33);
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  const InternalKeyComparator icmp_;
+  const std::vector<TableMeta*>* const flist_;
+  size_t index_;
+
+  // Backing store for value().  Holds the encoded table location.
+  mutable char value_buf_[33];
+};
+
+static bool DecodeTableLocation(const Slice& v, TableMeta* meta) {
+  if (v.size() != 33) return false;
+  meta->table_id = DecodeFixed64(v.data());
+  meta->file_number = DecodeFixed64(v.data() + 8);
+  meta->file_type = static_cast<FileType>(v.data()[16]);
+  meta->offset = DecodeFixed64(v.data() + 17);
+  meta->size = DecodeFixed64(v.data() + 25);
+  return true;
+}
+
+static Iterator* GetTableIterator(void* arg, const ReadOptions& options,
+                                  const Slice& table_value) {
+  TableCache* cache = reinterpret_cast<TableCache*>(arg);
+  TableMeta meta;
+  if (!DecodeTableLocation(table_value, &meta)) {
+    return NewErrorIterator(
+        Status::Corruption("TableReader invoked with unexpected value"));
+  }
+  return cache->NewIterator(options, meta);
+}
+
+Iterator* Version::NewConcatenatingIterator(const ReadOptions& options,
+                                            int level) const {
+  return NewTwoLevelIterator(
+      new LevelTableNumIterator(vset_->icmp_, &files_[level]),
+      &GetTableIterator, vset_->table_cache_, options);
+}
+
+void Version::AddIterators(const ReadOptions& options,
+                           std::vector<Iterator*>* iters) {
+  for (int level = 0; level < static_cast<int>(files_.size()); level++) {
+    if (files_[level].empty()) continue;
+    if (LevelMayOverlap(level)) {
+      // Tables may overlap each other: merge them all individually.
+      for (TableMeta* f : files_[level]) {
+        iters->push_back(vset_->table_cache_->NewIterator(options, *f));
+      }
+    } else {
+      // Disjoint level: lazily open tables through a concatenating
+      // iterator.
+      iters->push_back(NewConcatenatingIterator(options, level));
+    }
+  }
+}
+
+// Callback from TableCache::Get()
+namespace {
+enum SaverState {
+  kNotFound,
+  kFound,
+  kDeleted,
+  kCorrupt,
+};
+struct Saver {
+  SaverState state;
+  const Comparator* ucmp;
+  Slice user_key;
+  std::string* value;
+};
+}  // namespace
+
+static void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
+  Saver* s = reinterpret_cast<Saver*>(arg);
+  ParsedInternalKey parsed_key;
+  if (!ParseInternalKey(ikey, &parsed_key)) {
+    s->state = kCorrupt;
+  } else {
+    if (s->ucmp->Compare(parsed_key.user_key, s->user_key) == 0) {
+      s->state = (parsed_key.type == kTypeValue) ? kFound : kDeleted;
+      if (s->state == kFound) {
+        s->value->assign(v.data(), v.size());
+      }
+    }
+  }
+}
+
+static bool NewestFirst(TableMeta* a, TableMeta* b) {
+  return a->table_id > b->table_id;
+}
+
+void Version::ForEachOverlapping(Slice user_key, Slice internal_key, void* arg,
+                                 bool (*func)(void*, int, TableMeta*)) {
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+
+  std::vector<TableMeta*> tmp;
+  for (int level = 0; level < static_cast<int>(files_.size()); level++) {
+    size_t num_files = files_[level].size();
+    if (num_files == 0) continue;
+
+    if (LevelMayOverlap(level)) {
+      // Search all tables whose range contains user_key, newest first.
+      tmp.clear();
+      tmp.reserve(num_files);
+      for (TableMeta* f : files_[level]) {
+        if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+            ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
+          tmp.push_back(f);
+        }
+      }
+      if (tmp.empty()) continue;
+      std::sort(tmp.begin(), tmp.end(), NewestFirst);
+      for (TableMeta* f : tmp) {
+        if (!(*func)(arg, level, f)) {
+          return;
+        }
+      }
+    } else {
+      // Binary search to find earliest index whose largest key >=
+      // internal_key.
+      uint32_t index = FindTable(vset_->icmp_, files_[level], internal_key);
+      if (index < num_files) {
+        TableMeta* f = files_[level][index];
+        if (ucmp->Compare(user_key, f->smallest.user_key()) < 0) {
+          // All of "f" is past any data for user_key
+        } else {
+          if (!(*func)(arg, level, f)) {
+            return;
+          }
+        }
+      }
+    }
+  }
+}
+
+Status Version::Get(const ReadOptions& options, const LookupKey& k,
+                    std::string* value, GetStats* stats) {
+  stats->seek_file = nullptr;
+  stats->seek_file_level = -1;
+
+  struct State {
+    Saver saver;
+    GetStats* stats;
+    const ReadOptions* options;
+    Slice ikey;
+    TableMeta* last_file_read;
+    int last_file_read_level;
+
+    VersionSet* vset;
+    Status s;
+    bool found;
+
+    static bool Match(void* arg, int level, TableMeta* f) {
+      State* state = reinterpret_cast<State*>(arg);
+
+      if (state->stats->seek_file == nullptr &&
+          state->last_file_read != nullptr) {
+        // We have had more than one seek for this read.  Charge the 1st
+        // table.
+        state->stats->seek_file = state->last_file_read;
+        state->stats->seek_file_level = state->last_file_read_level;
+      }
+
+      state->last_file_read = f;
+      state->last_file_read_level = level;
+
+      state->s = state->vset->table_cache()->Get(*state->options, *f,
+                                                 state->ikey, &state->saver,
+                                                 SaveValue);
+      if (!state->s.ok()) {
+        state->found = true;
+        return false;
+      }
+      switch (state->saver.state) {
+        case kNotFound:
+          return true;  // Keep searching in other files
+        case kFound:
+          state->found = true;
+          return false;
+        case kDeleted:
+          return false;
+        case kCorrupt:
+          state->s =
+              Status::Corruption("corrupted key for ", state->saver.user_key);
+          state->found = true;
+          return false;
+      }
+
+      // Not reached.  Added to avoid false compilation warnings of
+      // "control reaches end of non-void function".
+      return false;
+    }
+  };
+
+  State state;
+  state.found = false;
+  state.stats = stats;
+  state.last_file_read = nullptr;
+  state.last_file_read_level = -1;
+
+  state.options = &options;
+  state.ikey = k.internal_key();
+  state.vset = vset_;
+
+  state.saver.state = kNotFound;
+  state.saver.ucmp = vset_->icmp_.user_comparator();
+  state.saver.user_key = k.user_key();
+  state.saver.value = value;
+
+  ForEachOverlapping(state.saver.user_key, state.ikey, &state, &State::Match);
+
+  if (!state.found) {
+    return Status::NotFound(Slice());
+  }
+  return state.s.ok() && state.saver.state == kDeleted
+             ? Status::NotFound(Slice())
+             : state.s;
+}
+
+bool Version::UpdateStats(const GetStats& stats) {
+  TableMeta* f = stats.seek_file;
+  if (f != nullptr) {
+    f->allowed_seeks--;
+    if (f->allowed_seeks <= 0 && file_to_compact_ == nullptr) {
+      file_to_compact_ = f;
+      file_to_compact_level_ = stats.seek_file_level;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Version::Ref() { ++refs_; }
+
+void Version::Unref() {
+  assert(this != &vset_->dummy_versions_);
+  assert(refs_ >= 1);
+  --refs_;
+  if (refs_ == 0) {
+    delete this;
+  }
+}
+
+void Version::GetOverlappingInputs(int level, const InternalKey* begin,
+                                   const InternalKey* end,
+                                   std::vector<TableMeta*>* inputs) {
+  assert(level >= 0);
+  assert(level < static_cast<int>(files_.size()));
+  inputs->clear();
+  Slice user_begin, user_end;
+  if (begin != nullptr) {
+    user_begin = begin->user_key();
+  }
+  if (end != nullptr) {
+    user_end = end->user_key();
+  }
+  const Comparator* user_cmp = vset_->icmp_.user_comparator();
+  for (size_t i = 0; i < files_[level].size();) {
+    TableMeta* f = files_[level][i++];
+    const Slice file_start = f->smallest.user_key();
+    const Slice file_limit = f->largest.user_key();
+    if (begin != nullptr && user_cmp->Compare(file_limit, user_begin) < 0) {
+      // "f" is completely before specified range; skip it
+    } else if (end != nullptr && user_cmp->Compare(file_start, user_end) > 0) {
+      // "f" is completely after specified range; skip it
+    } else {
+      inputs->push_back(f);
+      if (LevelMayOverlap(level)) {
+        // Overlapping level: tables may overlap each other.  So check
+        // if the newly added file has expanded the range.  If so,
+        // restart search to stay transitively closed.
+        if (begin != nullptr &&
+            user_cmp->Compare(file_start, user_begin) < 0) {
+          user_begin = file_start;
+          inputs->clear();
+          i = 0;
+        } else if (end != nullptr &&
+                   user_cmp->Compare(file_limit, user_end) > 0) {
+          user_end = file_limit;
+          inputs->clear();
+          i = 0;
+        }
+      }
+    }
+  }
+}
+
+bool Version::OverlapInLevel(int level, const Slice* smallest_user_key,
+                             const Slice* largest_user_key) {
+  return SomeFileOverlapsRange(vset_->icmp_, !LevelMayOverlap(level),
+                               files_[level], smallest_user_key,
+                               largest_user_key);
+}
+
+int Version::NumLevelRuns(int level) const {
+  std::set<uint64_t> file_numbers;
+  for (const TableMeta* f : files_[level]) {
+    file_numbers.insert(f->file_number);
+  }
+  return static_cast<int>(file_numbers.size());
+}
+
+int64_t Version::LevelBytes(int level) const {
+  return TotalTableSize(files_[level]);
+}
+
+std::string Version::DebugString() const {
+  std::string r;
+  for (int level = 0; level < static_cast<int>(files_.size()); level++) {
+    // E.g.,
+    //   --- level 1 ---
+    //   17:123['a' .. 'd']
+    //   20:43['e' .. 'g']
+    r.append("--- level ");
+    AppendNumberTo(&r, level);
+    r.append(" ---\n");
+    const std::vector<TableMeta*>& files = files_[level];
+    for (size_t i = 0; i < files.size(); i++) {
+      r.push_back(' ');
+      AppendNumberTo(&r, files[i]->table_id);
+      r.push_back('@');
+      AppendNumberTo(&r, files[i]->file_number);
+      r.push_back(':');
+      AppendNumberTo(&r, files[i]->size);
+      r.append("[");
+      r.append(files[i]->smallest.DebugString());
+      r.append(" .. ");
+      r.append(files[i]->largest.DebugString());
+      r.append("]\n");
+    }
+  }
+  return r;
+}
+
+namespace {
+// Forward declaration satisfied above.
+}  // namespace
+
+std::string Version::CheckInvariants() const {
+  const InternalKeyComparator& icmp = vset_->icmp_;
+  for (int level = 0; level < static_cast<int>(files_.size()); level++) {
+    const std::vector<TableMeta*>& files = files_[level];
+    for (size_t i = 0; i < files.size(); i++) {
+      if (icmp.Compare(files[i]->smallest, files[i]->largest) > 0) {
+        return "table with smallest > largest at level " +
+               std::to_string(level);
+      }
+      if (i > 0) {
+        if (icmp.Compare(files[i - 1]->smallest, files[i]->smallest) > 0) {
+          return "tables out of order at level " + std::to_string(level);
+        }
+        if (!LevelMayOverlap(level) &&
+            icmp.Compare(files[i - 1]->largest, files[i]->smallest) >= 0) {
+          return "overlapping tables at disjoint level " +
+                 std::to_string(level);
+        }
+      }
+    }
+  }
+  return "";
+}
+
+// A helper class so we can efficiently apply a whole sequence of edits
+// to a particular state without creating intermediate Versions that
+// contain full copies of the intermediate state.
+class VersionSet::Builder {
+ private:
+  // Helper to sort by v->files_[file_number].smallest
+  struct BySmallestKey {
+    const InternalKeyComparator* internal_comparator;
+
+    bool operator()(TableMeta* f1, TableMeta* f2) const {
+      int r = internal_comparator->Compare(f1->smallest, f2->smallest);
+      if (r != 0) {
+        return (r < 0);
+      } else {
+        // Break ties by table id
+        return (f1->table_id < f2->table_id);
+      }
+    }
+  };
+
+  typedef std::set<TableMeta*, BySmallestKey> TableSet;
+  struct LevelState {
+    std::set<uint64_t> deleted_tables;
+    TableSet* added_tables;
+  };
+
+  VersionSet* vset_;
+  Version* base_;
+  std::vector<LevelState> levels_;
+
+ public:
+  // Initialize a builder with the files from *base and other info from
+  // *vset
+  Builder(VersionSet* vset, Version* base)
+      : vset_(vset), base_(base), levels_(vset->options()->num_levels) {
+    base_->Ref();
+    BySmallestKey cmp;
+    cmp.internal_comparator = &vset_->icmp_;
+    for (auto& level : levels_) {
+      level.added_tables = new TableSet(cmp);
+    }
+  }
+
+  ~Builder() {
+    for (auto& level : levels_) {
+      const TableSet* added = level.added_tables;
+      std::vector<TableMeta*> to_unref;
+      to_unref.reserve(added->size());
+      for (TableMeta* f : *added) {
+        to_unref.push_back(f);
+      }
+      delete added;
+      for (TableMeta* f : to_unref) {
+        f->refs--;
+        if (f->refs <= 0) {
+          delete f;
+        }
+      }
+    }
+    base_->Unref();
+  }
+
+  // Apply all of the edits in *edit to the current state.
+  void Apply(const VersionEdit* edit) {
+    // Update compaction pointers
+    for (const auto& [level, key] : edit->compact_pointers_) {
+      vset_->compact_pointer_[level] = key.Encode().ToString();
+    }
+
+    // Delete tables
+    for (const auto& [level, table_id] : edit->deleted_tables_) {
+      levels_[level].deleted_tables.insert(table_id);
+    }
+
+    // Add new tables
+    for (const auto& [level, meta] : edit->new_tables_) {
+      TableMeta* f = new TableMeta(meta);
+      f->refs = 1;
+
+      // We arrange to automatically compact this table after a certain
+      // number of seeks (LevelDB heuristic: one seek costs ~ the merge
+      // of 40 KB, so allow one seek per 16 KB of data before the table
+      // earns its compaction).
+      f->allowed_seeks = static_cast<int>((f->size / 16384U));
+      if (f->allowed_seeks < 100) f->allowed_seeks = 100;
+
+      levels_[level].deleted_tables.erase(f->table_id);
+      levels_[level].added_tables->insert(f);
+    }
+  }
+
+  // Save the current state in *v.
+  void SaveTo(Version* v) {
+    BySmallestKey cmp;
+    cmp.internal_comparator = &vset_->icmp_;
+    for (int level = 0; level < static_cast<int>(levels_.size()); level++) {
+      // Merge the set of added tables with the set of pre-existing
+      // tables, dropping any deleted tables.
+      const std::vector<TableMeta*>& base_files = base_->files_[level];
+      auto base_iter = base_files.begin();
+      auto base_end = base_files.end();
+      const TableSet* added_tables = levels_[level].added_tables;
+      v->files_[level].reserve(base_files.size() + added_tables->size());
+      for (TableMeta* added_file : *added_tables) {
+        // Add all smaller files listed in base_
+        for (auto bpos = std::upper_bound(base_iter, base_end, added_file, cmp);
+             base_iter != bpos; ++base_iter) {
+          MaybeAddTable(v, level, *base_iter);
+        }
+        MaybeAddTable(v, level, added_file);
+      }
+
+      // Add remaining base files
+      for (; base_iter != base_end; ++base_iter) {
+        MaybeAddTable(v, level, *base_iter);
+      }
+
+#ifndef NDEBUG
+      // Make sure there is no overlap in levels that must be disjoint
+      if (!v->LevelMayOverlap(level)) {
+        for (size_t i = 1; i < v->files_[level].size(); i++) {
+          const InternalKey& prev_end = v->files_[level][i - 1]->largest;
+          const InternalKey& this_begin = v->files_[level][i]->smallest;
+          if (vset_->icmp_.Compare(prev_end, this_begin) >= 0) {
+            std::fprintf(stderr, "overlapping ranges in same level %s vs. %s\n",
+                         prev_end.DebugString().c_str(),
+                         this_begin.DebugString().c_str());
+            std::abort();
+          }
+        }
+      }
+#endif
+    }
+  }
+
+  void MaybeAddTable(Version* v, int level, TableMeta* f) {
+    if (levels_[level].deleted_tables.count(f->table_id) > 0) {
+      // Table is deleted: do nothing
+    } else {
+      std::vector<TableMeta*>* files = &v->files_[level];
+      if (level > 0 && !files->empty() && !v->LevelMayOverlap(level)) {
+        // Must not overlap
+        assert(vset_->icmp_.Compare((*files)[files->size() - 1]->largest,
+                                    f->smallest) < 0);
+      }
+      f->refs++;
+      files->push_back(f);
+    }
+  }
+};
+
+VersionSet::VersionSet(const std::string& dbname, const Options* options,
+                       TableCache* table_cache,
+                       const InternalKeyComparator* cmp)
+    : env_(options->env),
+      dbname_(dbname),
+      options_(options),
+      table_cache_(table_cache),
+      icmp_(*cmp),
+      next_file_number_(2),
+      manifest_file_number_(0),  // Filled by Recover()
+      last_sequence_(0),
+      log_number_(0),
+      prev_log_number_(0),
+      descriptor_file_(nullptr),
+      descriptor_log_(nullptr),
+      dummy_versions_(this),
+      current_(nullptr),
+      compact_pointer_(options->num_levels) {
+  AppendVersion(new Version(this));
+}
+
+VersionSet::~VersionSet() {
+  current_->Unref();
+  assert(dummy_versions_.next_ == &dummy_versions_);  // List must be empty
+  delete descriptor_log_;
+  delete descriptor_file_;
+}
+
+void VersionSet::AppendVersion(Version* v) {
+  // Make "v" current
+  assert(v->refs_ == 0);
+  assert(v != current_);
+  if (current_ != nullptr) {
+    current_->Unref();
+  }
+  current_ = v;
+  v->Ref();
+
+  // Append to linked list
+  v->prev_ = dummy_versions_.prev_;
+  v->next_ = &dummy_versions_;
+  v->prev_->next_ = v;
+  v->next_->prev_ = v;
+}
+
+Status VersionSet::LogAndApply(VersionEdit* edit) {
+  if (edit->has_log_number_) {
+    assert(edit->log_number_ >= log_number_);
+    assert(edit->log_number_ < next_file_number_);
+  } else {
+    edit->SetLogNumber(log_number_);
+  }
+
+  if (!edit->has_prev_log_number_) {
+    edit->SetPrevLogNumber(prev_log_number_);
+  }
+
+  edit->SetNextFile(next_file_number_);
+  edit->SetLastSequence(last_sequence_);
+
+  Version* v = new Version(this);
+  {
+    Builder builder(this, current_);
+    builder.Apply(edit);
+    builder.SaveTo(v);
+  }
+  Finalize(v);
+
+  // Initialize new descriptor log file if necessary by creating a
+  // temporary file that contains a snapshot of the current version.
+  std::string new_manifest_file;
+  Status s;
+  if (descriptor_log_ == nullptr) {
+    // No reason to unlock *mu here since we only hit this path in the
+    // first call to LogAndApply (when opening the database).
+    assert(descriptor_file_ == nullptr);
+    new_manifest_file = DescriptorFileName(dbname_, manifest_file_number_);
+    std::unique_ptr<WritableFile> df;
+    s = env_->NewWritableFile(new_manifest_file, &df);
+    if (s.ok()) {
+      descriptor_file_ = df.release();
+      descriptor_log_ = new log::Writer(descriptor_file_);
+      s = WriteSnapshot(descriptor_log_);
+    }
+  }
+
+  // Write new record to MANIFEST log: the commit mark.  The Sync() here
+  // is the second data barrier of each compaction (Fig 3(b)).
+  if (s.ok()) {
+    std::string record;
+    edit->EncodeTo(&record);
+    s = descriptor_log_->AddRecord(record);
+    if (s.ok()) {
+      s = descriptor_file_->Sync();
+    }
+  }
+
+  // If we just created a new descriptor file, install it by writing a
+  // new CURRENT file that points to it.
+  if (s.ok() && !new_manifest_file.empty()) {
+    s = SetCurrentFile(env_, dbname_, manifest_file_number_);
+  }
+
+  // Install the new version
+  if (s.ok()) {
+    AppendVersion(v);
+    log_number_ = edit->log_number_;
+    prev_log_number_ = edit->prev_log_number_;
+  } else {
+    delete v;
+    if (!new_manifest_file.empty()) {
+      delete descriptor_log_;
+      delete descriptor_file_;
+      descriptor_log_ = nullptr;
+      descriptor_file_ = nullptr;
+      env_->RemoveFile(new_manifest_file);
+    }
+  }
+
+  return s;
+}
+
+Status VersionSet::Recover() {
+  struct LogReporter : public log::Reader::Reporter {
+    Status* status;
+    void Corruption(size_t bytes, const Status& s) override {
+      if (this->status->ok()) *this->status = s;
+    }
+  };
+
+  // Read "CURRENT" file, which contains a pointer to the current
+  // manifest file
+  std::string current;
+  Status s = ReadFileToString(env_, CurrentFileName(dbname_), &current);
+  if (!s.ok()) {
+    return s;
+  }
+  if (current.empty() || current[current.size() - 1] != '\n') {
+    return Status::Corruption("CURRENT file does not end with newline");
+  }
+  current.resize(current.size() - 1);
+
+  std::string dscname = dbname_ + "/" + current;
+  std::unique_ptr<SequentialFile> file;
+  s = env_->NewSequentialFile(dscname, &file);
+  if (!s.ok()) {
+    if (s.IsNotFound()) {
+      return Status::Corruption("CURRENT points to a non-existent file",
+                                s.ToString());
+    }
+    return s;
+  }
+
+  bool have_log_number = false;
+  bool have_prev_log_number = false;
+  bool have_next_file = false;
+  bool have_last_sequence = false;
+  uint64_t next_file = 0;
+  uint64_t last_sequence = 0;
+  uint64_t log_number = 0;
+  uint64_t prev_log_number = 0;
+  Builder builder(this, current_);
+
+  {
+    LogReporter reporter;
+    reporter.status = &s;
+    log::Reader reader(file.get(), &reporter, true /*checksum*/);
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch) && s.ok()) {
+      VersionEdit edit;
+      s = edit.DecodeFrom(record);
+      if (s.ok()) {
+        if (edit.has_comparator_ &&
+            edit.comparator_ != icmp_.user_comparator()->Name()) {
+          s = Status::InvalidArgument(
+              edit.comparator_ + " does not match existing comparator ",
+              icmp_.user_comparator()->Name());
+        }
+      }
+
+      if (s.ok()) {
+        builder.Apply(&edit);
+      }
+
+      if (edit.has_log_number_) {
+        log_number = edit.log_number_;
+        have_log_number = true;
+      }
+
+      if (edit.has_prev_log_number_) {
+        prev_log_number = edit.prev_log_number_;
+        have_prev_log_number = true;
+      }
+
+      if (edit.has_next_file_number_) {
+        next_file = edit.next_file_number_;
+        have_next_file = true;
+      }
+
+      if (edit.has_last_sequence_) {
+        last_sequence = edit.last_sequence_;
+        have_last_sequence = true;
+      }
+    }
+  }
+  file.reset();
+
+  if (s.ok()) {
+    if (!have_next_file) {
+      s = Status::Corruption("no meta-nextfile entry in descriptor");
+    } else if (!have_log_number) {
+      s = Status::Corruption("no meta-lognumber entry in descriptor");
+    } else if (!have_last_sequence) {
+      s = Status::Corruption("no last-sequence-number entry in descriptor");
+    }
+
+    if (!have_prev_log_number) {
+      prev_log_number = 0;
+    }
+
+    MarkFileNumberUsed(prev_log_number);
+    MarkFileNumberUsed(log_number);
+  }
+
+  if (s.ok()) {
+    Version* v = new Version(this);
+    builder.SaveTo(v);
+    // Install recovered version
+    Finalize(v);
+    AppendVersion(v);
+    manifest_file_number_ = next_file;
+    next_file_number_ = next_file + 1;
+    last_sequence_ = last_sequence;
+    log_number_ = log_number;
+    prev_log_number_ = prev_log_number;
+  }
+
+  return s;
+}
+
+void VersionSet::MarkFileNumberUsed(uint64_t number) {
+  if (next_file_number_ <= number) {
+    next_file_number_ = number + 1;
+  }
+}
+
+void VersionSet::Finalize(Version* v) {
+  // Precomputed best level for next compaction
+  int best_level = -1;
+  double best_score = -1;
+
+  for (int level = 0; level < options_->num_levels - 1; level++) {
+    double score;
+    if (level == 0) {
+      // We treat level-0 specially by bounding the number of runs
+      // instead of number of bytes for two reasons:
+      //
+      // (1) With larger write-buffer sizes, it is nice not to do too
+      // many level-0 compactions.
+      //
+      // (2) The files in level-0 are merged on every read and
+      // therefore we wish to avoid too many files when the individual
+      // file size is small (perhaps because of a small write-buffer
+      // setting, or very high compression ratios, or lots of
+      // overwrites/deletions).
+      score = v->NumLevelRuns(0) /
+              static_cast<double>(options_->l0_compaction_trigger);
+    } else {
+      // Compute the ratio of current size to size limit.
+      const uint64_t level_bytes = TotalTableSize(v->files_[level]);
+      score = static_cast<double>(level_bytes) /
+              MaxBytesForLevelImpl(options_, level);
+    }
+
+    if (score > best_score) {
+      best_level = level;
+      best_score = score;
+    }
+  }
+
+  v->compaction_level_ = best_level;
+  v->compaction_score_ = best_score;
+}
+
+Status VersionSet::WriteSnapshot(log::Writer* log) {
+  // Save metadata
+  VersionEdit edit;
+  edit.SetComparatorName(icmp_.user_comparator()->Name());
+
+  // Save compaction pointers
+  for (int level = 0; level < options_->num_levels; level++) {
+    if (!compact_pointer_[level].empty()) {
+      InternalKey key;
+      key.DecodeFrom(compact_pointer_[level]);
+      edit.SetCompactPointer(level, key);
+    }
+  }
+
+  // Save tables
+  for (int level = 0; level < options_->num_levels; level++) {
+    for (TableMeta* f : current_->files_[level]) {
+      edit.AddTable(level, *f);
+    }
+  }
+
+  std::string record;
+  edit.EncodeTo(&record);
+  return log->AddRecord(record);
+}
+
+const char* VersionSet::LevelSummary(LevelSummaryStorage* scratch) const {
+  int len = snprintf(scratch->buffer, sizeof(scratch->buffer), "tables[ ");
+  for (int level = 0; level < options_->num_levels; level++) {
+    len += snprintf(scratch->buffer + len, sizeof(scratch->buffer) - len,
+                    "%d ", current_->NumTables(level));
+    if (len >= static_cast<int>(sizeof(scratch->buffer)) - 10) break;
+  }
+  snprintf(scratch->buffer + len, sizeof(scratch->buffer) - len, "]");
+  return scratch->buffer;
+}
+
+void VersionSet::AddLiveTables(std::set<uint64_t>* live_table_ids,
+                               std::set<std::pair<uint64_t, int>>* live_files) {
+  for (Version* v = dummy_versions_.next_; v != &dummy_versions_;
+       v = v->next_) {
+    for (int level = 0; level < options_->num_levels; level++) {
+      for (const TableMeta* f : v->files_[level]) {
+        if (live_table_ids != nullptr) live_table_ids->insert(f->table_id);
+        if (live_files != nullptr) {
+          live_files->insert({f->file_number, f->file_type});
+        }
+      }
+    }
+  }
+}
+
+int64_t VersionSet::MaxNextLevelOverlappingBytes() {
+  int64_t result = 0;
+  std::vector<TableMeta*> overlaps;
+  for (int level = 1; level < options_->num_levels - 1; level++) {
+    for (TableMeta* f : current_->files_[level]) {
+      current_->GetOverlappingInputs(level + 1, &f->smallest, &f->largest,
+                                     &overlaps);
+      const int64_t sum = TotalTableSize(overlaps);
+      if (sum > result) {
+        result = sum;
+      }
+    }
+  }
+  return result;
+}
+
+// Stores the minimal range that covers all entries in inputs in
+// *smallest, *largest.  REQUIRES: inputs is not empty.
+void VersionSet::GetRange(const std::vector<TableMeta*>& inputs,
+                          InternalKey* smallest, InternalKey* largest) {
+  assert(!inputs.empty());
+  smallest->Clear();
+  largest->Clear();
+  for (size_t i = 0; i < inputs.size(); i++) {
+    TableMeta* f = inputs[i];
+    if (i == 0) {
+      *smallest = f->smallest;
+      *largest = f->largest;
+    } else {
+      if (icmp_.Compare(f->smallest, *smallest) < 0) {
+        *smallest = f->smallest;
+      }
+      if (icmp_.Compare(f->largest, *largest) > 0) {
+        *largest = f->largest;
+      }
+    }
+  }
+}
+
+void VersionSet::GetRange2(const std::vector<TableMeta*>& inputs1,
+                           const std::vector<TableMeta*>& inputs2,
+                           InternalKey* smallest, InternalKey* largest) {
+  std::vector<TableMeta*> all = inputs1;
+  all.insert(all.end(), inputs2.begin(), inputs2.end());
+  GetRange(all, smallest, largest);
+}
+
+Iterator* VersionSet::MakeInputIterator(Compaction* c) {
+  ReadOptions options;
+  options.verify_checksums = options_->paranoid_checks;
+  options.fill_cache = false;
+
+  // Level-0 tables, and every table in FLSM mode, may overlap each
+  // other, so they need their own iterators.  Disjoint input sets can
+  // share one concatenating iterator.
+  const bool overlap0 = (c->level() == 0) || options_->flsm_mode;
+  const bool overlap1 = options_->flsm_mode;
+  const int space = (overlap0 ? c->num_input_files(0) : 1) +
+                    (overlap1 ? c->num_input_files(1) : 1);
+  Iterator** list = new Iterator*[space];
+  int num = 0;
+  for (int which = 0; which < 2; which++) {
+    if (c->inputs_[which].empty()) continue;
+    const bool overlapping = (which == 0) ? overlap0 : overlap1;
+    if (overlapping) {
+      for (TableMeta* f : c->inputs_[which]) {
+        list[num++] = table_cache_->NewIterator(options, *f);
+      }
+    } else {
+      // Create concatenating iterator for the files from this level
+      list[num++] = NewTwoLevelIterator(
+          new Version::LevelTableNumIterator(icmp_, &c->inputs_[which]),
+          &GetTableIterator, table_cache_, options);
+    }
+  }
+  assert(num <= space);
+  Iterator* result = NewMergingIterator(&icmp_, list, num);
+  delete[] list;
+  return result;
+}
+
+namespace {
+
+// Returns total size (bytes) of tables in "next_level" overlapping "f".
+int64_t OverlapBytes(const InternalKeyComparator& icmp, const TableMeta* f,
+                     const std::vector<TableMeta*>& next_level) {
+  const Comparator* ucmp = icmp.user_comparator();
+  int64_t sum = 0;
+  for (const TableMeta* g : next_level) {
+    if (ucmp->Compare(g->largest.user_key(), f->smallest.user_key()) < 0 ||
+        ucmp->Compare(g->smallest.user_key(), f->largest.user_key()) > 0) {
+      continue;
+    }
+    sum += g->size;
+  }
+  return sum;
+}
+
+}  // namespace
+
+void VersionSet::PickVictims(Version* v, int level,
+                             std::vector<TableMeta*>* victims) {
+  victims->clear();
+  const std::vector<TableMeta*>& files = v->files_[level];
+  if (files.empty()) return;
+
+  // The victim budget: group compaction (+GC) moves about
+  // group_compaction_bytes per compaction; otherwise one table.  FLSM
+  // compactions batch a couple of table-sizes worth of (overlapping)
+  // victim tables.
+  uint64_t budget = options_->group_compaction_bytes;
+  if (options_->flsm_mode && level > 0) {
+    budget = std::max<uint64_t>(budget, 2 * options_->max_file_size);
+  }
+
+  if (level > 0 && !options_->flsm_mode && options_->settled_compaction) {
+    // Settled compaction (+STL): choose the victims with minimal
+    // next-level overlap; zero-overlap victims will be promoted by a
+    // metadata-only edit in SetupOtherInputs().
+    std::vector<std::pair<int64_t, TableMeta*>> ranked;
+    ranked.reserve(files.size());
+    for (TableMeta* f : files) {
+      ranked.emplace_back(OverlapBytes(icmp_, f, v->files_[level + 1]), f);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second->table_id < b.second->table_id;
+              });
+    uint64_t total = 0;
+    for (const auto& [overlap, f] : ranked) {
+      victims->push_back(f);
+      total += f->size;
+      if (total >= std::max<uint64_t>(budget, 1)) break;
+      if (budget == 0) break;  // single victim
+    }
+    // Victims are scattered across the keyspace; restore key order so
+    // downstream input iterators see a sorted, disjoint sequence.
+    std::sort(victims->begin(), victims->end(),
+              [this](TableMeta* a, TableMeta* b) {
+                return icmp_.Compare(a->smallest, b->smallest) < 0;
+              });
+    return;
+  }
+
+  if (level > 0 && !options_->flsm_mode &&
+      options_->victim_policy == VictimPolicy::kMinOverlap) {
+    // HyperLevelDB-style: pick the seed victim with the smallest
+    // overlap-to-size ratio, then extend contiguously (in key order, no
+    // wrap: input sets must stay key-sorted) up to the group budget.
+    size_t best = 0;
+    double best_ratio = -1;
+    for (size_t i = 0; i < files.size(); i++) {
+      const double ratio =
+          static_cast<double>(
+              OverlapBytes(icmp_, files[i], v->files_[level + 1])) /
+          static_cast<double>(files[i]->size);
+      if (best_ratio < 0 || ratio < best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    uint64_t total = 0;
+    for (size_t i = best; i < files.size(); i++) {
+      victims->push_back(files[i]);
+      total += files[i]->size;
+      if (budget == 0 || total >= budget) break;
+    }
+    return;
+  }
+
+  // Round-robin cursor (LevelDB compact_pointer), extended to take a
+  // contiguous group of tables when group compaction is enabled.  The
+  // run never wraps within one compaction — victims must remain a
+  // key-sorted, contiguous slice; the cursor wraps on the next pick.
+  size_t start = 0;
+  if (!compact_pointer_[level].empty()) {
+    bool found = false;
+    for (size_t i = 0; i < files.size(); i++) {
+      if (icmp_.Compare(files[i]->largest.Encode(),
+                        compact_pointer_[level]) > 0) {
+        start = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) start = 0;  // wrap to the beginning of the level
+  }
+  uint64_t total = 0;
+  for (size_t i = start; i < files.size(); i++) {
+    victims->push_back(files[i]);
+    total += files[i]->size;
+    if (budget == 0 || total >= budget) break;
+    if (level == 0) break;  // L0 victims grow via overlap expansion instead
+  }
+}
+
+Compaction* VersionSet::PickCompaction() {
+  Compaction* c;
+  int level;
+
+  // We prefer compactions triggered by too much data in a level over
+  // the compactions triggered by seeks.
+  const bool size_compaction = (current_->compaction_score_ >= 1);
+  const bool seek_compaction =
+      (current_->file_to_compact_ != nullptr) && options_->seek_compaction;
+  if (size_compaction) {
+    level = current_->compaction_level_;
+    assert(level >= 0);
+    assert(level + 1 < options_->num_levels);
+    c = new Compaction(options_, level);
+    PickVictims(current_, level, &c->inputs_[0]);
+    if (c->inputs_[0].empty()) {
+      delete c;
+      return nullptr;
+    }
+  } else if (seek_compaction) {
+    level = current_->file_to_compact_level_;
+    c = new Compaction(options_, level);
+    c->inputs_[0].push_back(current_->file_to_compact_);
+  } else {
+    return nullptr;
+  }
+
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+
+  // Tables in level-0 (or any level in FLSM mode) may overlap each
+  // other, so pick up all overlapping ones.
+  if (current_->LevelMayOverlap(level)) {
+    InternalKey smallest, largest;
+    GetRange(c->inputs_[0], &smallest, &largest);
+    // Note that the next call will discard the file we placed in
+    // c->inputs_[0] earlier and replace it with an overlapping set
+    // which will include the picked file.
+    current_->GetOverlappingInputs(level, &smallest, &largest,
+                                   &c->inputs_[0]);
+    assert(!c->inputs_[0].empty());
+  }
+
+  SetupOtherInputs(c);
+
+  return c;
+}
+
+void VersionSet::SetupOtherInputs(Compaction* c) {
+  const int level = c->level();
+  InternalKey smallest, largest;
+  GetRange(c->inputs_[0], &smallest, &largest);
+
+  const bool settled =
+      options_->settled_compaction && level > 0 && !options_->flsm_mode;
+
+  // FLSM (PebblesDB) compactions do not merge with resident next-level
+  // tables: outputs are simply appended to the next level, which is
+  // allowed to overlap.  Only the bottom-most level merges in place to
+  // bound its overlap.
+  const bool merge_with_next_level =
+      !options_->flsm_mode || (level + 2 >= options_->num_levels);
+  if (merge_with_next_level && !settled) {
+    current_->GetOverlappingInputs(level + 1, &smallest, &largest,
+                                   &c->inputs_[1]);
+  }
+
+  // Settled compaction (+STL): victims are scattered (minimal-overlap
+  // selection), so inputs_[1] is the *union of per-victim overlaps*, not
+  // the hull overlap -- next-level tables in the gaps between victims
+  // stay in place.  Victims with no next-level overlap at all are
+  // promoted by a metadata-only edit instead of being rewritten.
+  if (settled) {
+    std::set<uint64_t> overlap_ids;
+    std::vector<TableMeta*> merged_victims;
+    std::vector<TableMeta*> overlap_union;
+    std::vector<TableMeta*> per_victim;
+    for (TableMeta* f : c->inputs_[0]) {
+      current_->GetOverlappingInputs(level + 1, &f->smallest, &f->largest,
+                                     &per_victim);
+      if (per_victim.empty()) {
+        c->promoted_.push_back(f);
+      } else {
+        merged_victims.push_back(f);
+        for (TableMeta* g : per_victim) {
+          if (overlap_ids.insert(g->table_id).second) {
+            overlap_union.push_back(g);
+          }
+        }
+      }
+    }
+    c->inputs_[0].swap(merged_victims);
+    std::sort(overlap_union.begin(), overlap_union.end(),
+              [this](TableMeta* a, TableMeta* b) {
+                return icmp_.Compare(a->smallest, b->smallest) < 0;
+              });
+    c->inputs_[1].swap(overlap_union);
+
+    // Cut merge outputs so no output table ever spans (a) a promoted
+    // victim's range or (b) a resident next-level table sitting in a gap
+    // between merged victims; either would break level+1 disjointness.
+    for (const TableMeta* f : c->promoted_) {
+      c->stop_keys_.push_back(f->smallest);
+    }
+    if (!c->inputs_[0].empty()) {
+      InternalKey hull_start, hull_limit;
+      GetRange2(c->inputs_[0], c->inputs_[1], &hull_start, &hull_limit);
+      std::vector<TableMeta*> hull_residents;
+      current_->GetOverlappingInputs(level + 1, &hull_start, &hull_limit,
+                                     &hull_residents);
+      for (TableMeta* g : hull_residents) {
+        if (overlap_ids.count(g->table_id) == 0) {
+          c->stop_keys_.push_back(g->smallest);
+        }
+      }
+    }
+    std::sort(c->stop_keys_.begin(), c->stop_keys_.end(),
+              [this](const InternalKey& a, const InternalKey& b) {
+                return icmp_.Compare(a, b) < 0;
+              });
+  }
+
+  // Compute the set of grandparent files that overlap this compaction
+  // (parent == level+1; grandparent == level+2)
+  {
+    std::vector<TableMeta*> all = c->inputs_[0];
+    all.insert(all.end(), c->promoted_.begin(), c->promoted_.end());
+    if (!all.empty() && level + 2 < options_->num_levels) {
+      InternalKey all_start, all_limit;
+      GetRange2(all, c->inputs_[1], &all_start, &all_limit);
+      current_->GetOverlappingInputs(level + 2, &all_start, &all_limit,
+                                     &c->grandparents_);
+    }
+
+    // Update the place where we will do the next compaction for this
+    // level.  We update this immediately instead of waiting for the
+    // VersionEdit to be applied so that if the compaction fails, we
+    // will try a different key range next time.
+    if (!all.empty()) {
+      InternalKey all_start, all_limit;
+      GetRange(all, &all_start, &all_limit);
+      compact_pointer_[level] = all_limit.Encode().ToString();
+      c->edit_.SetCompactPointer(level, all_limit);
+    }
+  }
+}
+
+Compaction* VersionSet::CompactRange(int level, const InternalKey* begin,
+                                     const InternalKey* end) {
+  std::vector<TableMeta*> inputs;
+  current_->GetOverlappingInputs(level, begin, end, &inputs);
+  if (inputs.empty()) {
+    return nullptr;
+  }
+
+  // Avoid compacting too much in one shot in case the range is large.
+  const uint64_t limit = 4 * MaxBytesForLevel(1);
+  uint64_t total = 0;
+  for (size_t i = 0; i < inputs.size(); i++) {
+    uint64_t s = inputs[i]->size;
+    total += s;
+    if (total >= limit) {
+      inputs.resize(i + 1);
+      break;
+    }
+  }
+
+  Compaction* c = new Compaction(options_, level);
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+  c->inputs_[0] = inputs;
+  SetupOtherInputs(c);
+  return c;
+}
+
+Compaction::Compaction(const Options* options, int level)
+    : level_(level),
+      max_output_table_bytes_(TargetTableSize(options)),
+      flsm_(options->flsm_mode),
+      input_version_(nullptr),
+      grandparent_index_(0),
+      seen_key_(false),
+      overlapped_bytes_(0),
+      level_ptrs_(options->num_levels, 0) {}
+
+Compaction::~Compaction() {
+  if (input_version_ != nullptr) {
+    input_version_->Unref();
+  }
+}
+
+bool Compaction::IsTrivialMove() const {
+  const VersionSet* vset = input_version_->vset_;
+  // Avoid a move if there is lots of overlapping grandparent data.
+  // Otherwise, the move could create a parent table that will require
+  // a very expensive merge later on.  (Settled compaction generalizes
+  // this via promoted(); trivial moves remain for stock configurations.)
+  return (num_input_files(0) == 1 && num_input_files(1) == 0 &&
+          promoted_.empty() && !flsm_ &&
+          TotalTableSize(grandparents_) <=
+              MaxGrandParentOverlapBytes(vset->options_));
+}
+
+void Compaction::AddInputDeletions(VersionEdit* edit) {
+  for (int which = 0; which < 2; which++) {
+    for (size_t i = 0; i < inputs_[which].size(); i++) {
+      edit->RemoveTable(level_ + which, inputs_[which][i]->table_id);
+    }
+  }
+}
+
+bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
+  if (flsm_) {
+    // Overlapping levels make the sorted-walk below invalid; be
+    // conservative (keep deletion markers).
+    return false;
+  }
+  // Maybe use binary search to find right entry instead of linear search?
+  const Comparator* user_cmp =
+      input_version_->vset_->icmp_.user_comparator();
+  const auto& files = input_version_->files_;
+  for (int lvl = level_ + 2; lvl < static_cast<int>(files.size()); lvl++) {
+    while (level_ptrs_[lvl] < files[lvl].size()) {
+      TableMeta* f = files[lvl][level_ptrs_[lvl]];
+      if (user_cmp->Compare(user_key, f->largest.user_key()) <= 0) {
+        // We've advanced far enough
+        if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0) {
+          // Key falls in this file's range, so definitely not base level
+          return false;
+        }
+        break;
+      }
+      level_ptrs_[lvl]++;
+    }
+  }
+  return true;
+}
+
+bool Compaction::ShouldStopBefore(const Slice& internal_key) {
+  const VersionSet* vset = input_version_->vset_;
+  const InternalKeyComparator* icmp = &vset->icmp_;
+
+  // Settled-compaction boundary: never let an output span a promoted
+  // table's range.
+  bool crossed_boundary = false;
+  while (stop_key_index_ < stop_keys_.size() &&
+         icmp->Compare(internal_key,
+                       stop_keys_[stop_key_index_].Encode()) >= 0) {
+    stop_key_index_++;
+    crossed_boundary = true;
+  }
+  if (crossed_boundary && seen_key_) {
+    overlapped_bytes_ = 0;
+    return true;
+  }
+
+  // Scan to find the earliest grandparent file that contains key.
+  while (grandparent_index_ < grandparents_.size() &&
+         icmp->Compare(internal_key,
+                       grandparents_[grandparent_index_]->largest.Encode()) >
+             0) {
+    if (seen_key_) {
+      overlapped_bytes_ += grandparents_[grandparent_index_]->size;
+    }
+    grandparent_index_++;
+  }
+  seen_key_ = true;
+
+  if (overlapped_bytes_ > MaxGrandParentOverlapBytes(vset->options_)) {
+    // Too much overlap for current output; start new output
+    overlapped_bytes_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void Compaction::ReleaseInputs() {
+  if (input_version_ != nullptr) {
+    input_version_->Unref();
+    input_version_ = nullptr;
+  }
+}
+
+int64_t Compaction::NumInputBytes(int which) const {
+  return TotalTableSize(inputs_[which]);
+}
+
+}  // namespace bolt

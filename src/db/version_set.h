@@ -1,0 +1,373 @@
+// Version / VersionSet: the metadata backbone of the LSM-tree.
+//
+// A Version is an immutable snapshot of the table tree: per level, the
+// set of (logical) SSTables.  A VersionSet owns the chain of live
+// Versions, the MANIFEST log (the commit mark of §2.4), and compaction
+// picking — including the paper's group compaction (+GC, multiple
+// victims per compaction), settled compaction (+STL, zero-overlap
+// victims promoted by a metadata-only edit), and the PebblesDB-style
+// FLSM mode used as the state-of-the-art baseline.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "db/dbformat.h"
+#include "db/version_edit.h"
+
+namespace bolt {
+
+namespace log {
+class Writer;
+}
+
+class Compaction;
+class Iterator;
+class MemTable;
+class TableCache;
+class Version;
+class VersionSet;
+class WritableFile;
+
+// Return the smallest index i such that files[i]->largest >= key.
+// Return files.size() if there is no such file.
+// REQUIRES: "files" contains a sorted list of non-overlapping files.
+int FindTable(const InternalKeyComparator& icmp,
+              const std::vector<TableMeta*>& files, const Slice& key);
+
+// Returns true iff some file in "files" overlaps the user key range
+// [*smallest,*largest].  smallest==nullptr represents a key smaller than
+// all keys in the DB.  largest==nullptr represents a key largest than
+// all keys in the DB.  If disjoint_sorted_files, files[] contains
+// disjoint sorted ranges.
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp,
+                           bool disjoint_sorted_files,
+                           const std::vector<TableMeta*>& files,
+                           const Slice* smallest_user_key,
+                           const Slice* largest_user_key);
+
+class Version {
+ public:
+  struct GetStats {
+    TableMeta* seek_file;
+    int seek_file_level;
+  };
+
+  // Append to *iters a sequence of iterators that will yield the
+  // contents of this Version when merged together.
+  void AddIterators(const ReadOptions&, std::vector<Iterator*>* iters);
+
+  // Lookup the value for key.  If found, store it in *val and return OK.
+  // Fills *stats with the first table consulted that did not contain the
+  // key (seek-compaction bookkeeping).
+  Status Get(const ReadOptions&, const LookupKey& key, std::string* val,
+             GetStats* stats);
+
+  // Adds "stats" into the current state.  Returns true if a new
+  // compaction may need to be triggered.
+  bool UpdateStats(const GetStats& stats);
+
+  // Reference count management (so Versions do not disappear out from
+  // under live iterators).
+  void Ref();
+  void Unref();
+
+  void GetOverlappingInputs(int level,
+                            const InternalKey* begin,  // nullptr: before all
+                            const InternalKey* end,    // nullptr: after all
+                            std::vector<TableMeta*>* inputs);
+
+  // Returns true iff some file in the specified level overlaps some part
+  // of [*smallest_user_key,*largest_user_key].
+  bool OverlapInLevel(int level, const Slice* smallest_user_key,
+                      const Slice* largest_user_key);
+
+  int NumTables(int level) const {
+    return static_cast<int>(files_[level].size());
+  }
+  // Number of distinct physical files in a level: what the L0 governors
+  // count.  With BoLT one flush produces one compaction file holding
+  // many logical tables; the governor must see one run, not 64.
+  int NumLevelRuns(int level) const;
+
+  int64_t LevelBytes(int level) const;
+
+  std::string DebugString() const;
+
+  // Checks the structural invariants (ordering, disjointness where
+  // required); used by tests.  Returns an empty string if consistent.
+  std::string CheckInvariants() const;
+
+ private:
+  friend class Compaction;
+  friend class VersionSet;
+
+  class LevelTableNumIterator;
+
+  explicit Version(VersionSet* vset);
+  ~Version();
+
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+
+  Iterator* NewConcatenatingIterator(const ReadOptions&, int level) const;
+
+  // Whether tables within this level may overlap each other (true for
+  // L0 always, and for every level in FLSM mode).
+  bool LevelMayOverlap(int level) const;
+
+  // Call func(arg, level, f) for every file that may contain user_key,
+  // newest to oldest.  Stops when func returns false.
+  void ForEachOverlapping(Slice user_key, Slice internal_key, void* arg,
+                          bool (*func)(void*, int, TableMeta*));
+
+  VersionSet* vset_;  // VersionSet to which this Version belongs
+  Version* next_;     // Next version in linked list
+  Version* prev_;     // Previous version in linked list
+  int refs_;          // Number of live refs to this version
+
+  // List of tables per level.  Levels that may overlap are sorted by
+  // (smallest, table_id); disjoint levels are sorted by smallest.
+  std::vector<std::vector<TableMeta*>> files_;
+
+  // Next table to compact based on seek stats.
+  TableMeta* file_to_compact_;
+  int file_to_compact_level_;
+
+  // Level that should be compacted next and its compaction score.
+  // Score < 1 means compaction is not strictly needed.
+  double compaction_score_;
+  int compaction_level_;
+};
+
+class VersionSet {
+ public:
+  VersionSet(const std::string& dbname, const Options* options,
+             TableCache* table_cache, const InternalKeyComparator*);
+
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  ~VersionSet();
+
+  // Apply *edit to the current version to form a new descriptor that is
+  // both saved to persistent state (MANIFEST append + sync: the second
+  // barrier of every compaction) and installed as the new current
+  // version.
+  Status LogAndApply(VersionEdit* edit);
+
+  // Recover the last saved descriptor from persistent storage.
+  Status Recover();
+
+  Version* current() const { return current_; }
+
+  uint64_t manifest_file_number() const { return manifest_file_number_; }
+
+  // Allocate and return a new file number / table id (shared space).
+  uint64_t NewFileNumber() { return next_file_number_++; }
+
+  // Arrange to reuse "file_number" unless a newer file number has
+  // already been allocated.
+  void ReuseFileNumber(uint64_t file_number) {
+    if (next_file_number_ == file_number + 1) {
+      next_file_number_ = file_number;
+    }
+  }
+
+  int NumLevelTables(int level) const { return current_->NumTables(level); }
+  int64_t NumLevelBytes(int level) const {
+    return current_->LevelBytes(level);
+  }
+
+  uint64_t LastSequence() const { return last_sequence_; }
+  void SetLastSequence(uint64_t s) {
+    assert(s >= last_sequence_);
+    last_sequence_ = s;
+  }
+
+  void MarkFileNumberUsed(uint64_t number);
+
+  uint64_t LogNumber() const { return log_number_; }
+  uint64_t PrevLogNumber() const { return prev_log_number_; }
+
+  // Pick level and inputs for a new compaction.  Returns nullptr if
+  // there is no compaction to be done; otherwise a heap-allocated
+  // Compaction describing it.
+  Compaction* PickCompaction();
+
+  // Compaction for the whole range [begin, end] in the given level
+  // (manual compaction / CompactRange).
+  Compaction* CompactRange(int level, const InternalKey* begin,
+                           const InternalKey* end);
+
+  // Maximum total overlapping bytes at the next level for any single
+  // table at the given level (diagnostics).
+  int64_t MaxNextLevelOverlappingBytes();
+
+  // Create an iterator that reads over the compaction inputs for "*c".
+  Iterator* MakeInputIterator(Compaction* c);
+
+  // Returns true iff some level needs a compaction.
+  bool NeedsCompaction() const {
+    Version* v = current_;
+    return (v->compaction_score_ >= 1) || (v->file_to_compact_ != nullptr);
+  }
+
+  // Add all tables listed in any live version to *live.
+  void AddLiveTables(std::set<uint64_t>* live_table_ids,
+                     std::set<std::pair<uint64_t, int>>* live_files);
+
+  // The target size of tables written at the given output level.
+  uint64_t MaxTableSizeForLevel(int level) const;
+
+  uint64_t MaxBytesForLevel(int level) const;
+
+  const Options* options() const { return options_; }
+  const InternalKeyComparator* icmp() const { return &icmp_; }
+  TableCache* table_cache() const { return table_cache_; }
+
+  struct LevelSummaryStorage {
+    char buffer[200];
+  };
+  const char* LevelSummary(LevelSummaryStorage* scratch) const;
+
+ private:
+  class Builder;
+
+  friend class Compaction;
+  friend class Version;
+
+  void Finalize(Version* v);
+
+  void GetRange(const std::vector<TableMeta*>& inputs, InternalKey* smallest,
+                InternalKey* largest);
+
+  void GetRange2(const std::vector<TableMeta*>& inputs1,
+                 const std::vector<TableMeta*>& inputs2, InternalKey* smallest,
+                 InternalKey* largest);
+
+  void SetupOtherInputs(Compaction* c);
+
+  // Pick the victim tables in "level" (the paper's group / settled /
+  // min-overlap policies live here).
+  void PickVictims(Version* v, int level, std::vector<TableMeta*>* victims);
+
+  // Save current contents to *log.
+  Status WriteSnapshot(log::Writer* log);
+
+  void AppendVersion(Version* v);
+
+  Env* const env_;
+  const std::string dbname_;
+  const Options* const options_;
+  TableCache* const table_cache_;
+  const InternalKeyComparator icmp_;
+  uint64_t next_file_number_;
+  uint64_t manifest_file_number_;
+  uint64_t last_sequence_;
+  uint64_t log_number_;
+  uint64_t prev_log_number_;  // 0 or backing store for memtable being compacted
+
+  // Opened lazily
+  WritableFile* descriptor_file_;
+  log::Writer* descriptor_log_;
+  Version dummy_versions_;  // Head of circular doubly-linked list of versions.
+  Version* current_;        // == dummy_versions_.prev_
+
+  // Per-level key at which the next compaction at that level should start.
+  // Either an empty string, or a valid InternalKey.
+  std::vector<std::string> compact_pointer_;
+};
+
+// A Compaction encapsulates information about a compaction.
+class Compaction {
+ public:
+  ~Compaction();
+
+  // Return the level that is being compacted.  Inputs from "level"
+  // and "level+1" will be merged to produce a set of "level+1" tables.
+  int level() const { return level_; }
+
+  // Return the object that holds the edits to the descriptor done
+  // by this compaction.
+  VersionEdit* edit() { return &edit_; }
+
+  // "which" must be either 0 or 1
+  int num_input_files(int which) const {
+    return static_cast<int>(inputs_[which].size());
+  }
+
+  // Return the ith input file at "level()+which" ("which" must be 0 or 1).
+  TableMeta* input(int which, int i) const { return inputs_[which][i]; }
+
+  // Victims with no next-level overlap, promoted by a MANIFEST-only
+  // edit (settled compaction, §3.4).  Disjoint from inputs_[0].
+  const std::vector<TableMeta*>& promoted() const { return promoted_; }
+
+  // Target size of tables produced by this compaction.
+  uint64_t MaxOutputTableBytes() const { return max_output_table_bytes_; }
+
+  // Is this a trivial compaction that can be implemented by just
+  // moving a single input file to the next level (no merging or
+  // splitting)?
+  bool IsTrivialMove() const;
+
+  // Add all inputs (and promoted victims) to this compaction as
+  // delete operations to *edit.
+  void AddInputDeletions(VersionEdit* edit);
+
+  // Returns true if the information we have available guarantees that
+  // the compaction is producing data in "level+1" for which no data
+  // exists in levels greater than "level+1".
+  bool IsBaseLevelForKey(const Slice& user_key);
+
+  // Returns true iff we should stop building the current output table
+  // before processing "internal_key": at grandparent-overlap boundaries
+  // (LevelDB) and at promoted-victim boundaries (so settled tables never
+  // end up overlapped by a merge output).
+  bool ShouldStopBefore(const Slice& internal_key);
+
+  // Release the input version for the compaction, once the compaction
+  // is successful.
+  void ReleaseInputs();
+
+  // Total bytes across inputs_[0] (diagnostics / tests).
+  int64_t NumInputBytes(int which) const;
+
+ private:
+  friend class VersionSet;
+  friend class Version;
+
+  Compaction(const Options* options, int level);
+
+  int level_;
+  uint64_t max_output_table_bytes_;
+  bool flsm_;
+  Version* input_version_;
+  VersionEdit edit_;
+
+  // Each compaction reads inputs from "level_" and "level_+1"
+  std::vector<TableMeta*> inputs_[2];
+  std::vector<TableMeta*> promoted_;
+
+  // State used to check for number of overlapping grandparent files
+  // (parent == level_ + 1, grandparent == level_ + 2)
+  std::vector<TableMeta*> grandparents_;
+  size_t grandparent_index_;  // Index in grandparent_starts_
+  bool seen_key_;             // Some output key has been seen
+  int64_t overlapped_bytes_;  // Bytes of overlap between current output
+                              // and grandparent files
+
+  // Sorted list of promoted-victim boundary keys (smallest keys of
+  // promoted tables); outputs are cut before each of them.
+  std::vector<InternalKey> stop_keys_;
+  size_t stop_key_index_ = 0;
+
+  // level_ptrs_ holds indices into input_version_->files_: our state
+  // is that we are positioned at one of the table ranges for each
+  // higher level than the ones involved in this compaction.
+  std::vector<size_t> level_ptrs_;
+};
+
+}  // namespace bolt

@@ -1,0 +1,76 @@
+// WriteBatch: an ordered group of Put/Delete operations applied
+// atomically.  Its serialized form is exactly what the write-ahead log
+// stores, so group commit (§2.1) is concatenation of batches.
+#pragma once
+
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+
+  WriteBatch();
+
+  // Intentionally copyable.
+  WriteBatch(const WriteBatch&) = default;
+  WriteBatch& operator=(const WriteBatch&) = default;
+
+  ~WriteBatch();
+
+  // Store the mapping "key->value" in the database.
+  void Put(const Slice& key, const Slice& value);
+
+  // If the database contains a mapping for "key", erase it.
+  void Delete(const Slice& key);
+
+  // Clear all updates buffered in this batch.
+  void Clear();
+
+  // The size of the database changes caused by this batch.
+  size_t ApproximateSize() const;
+
+  // Copies the operations in "source" to this batch.
+  void Append(const WriteBatch& source);
+
+  // Support for iterating over the contents of a batch.
+  Status Iterate(Handler* handler) const;
+
+ private:
+  friend class WriteBatchInternal;
+
+  std::string rep_;  // See comment in write_batch.cc for the format of rep_
+};
+
+// Internal interface used by the DB implementation.
+class WriteBatchInternal {
+ public:
+  // Return the number of entries in the batch.
+  static int Count(const WriteBatch* batch);
+  static void SetCount(WriteBatch* batch, int n);
+
+  // Return the sequence number for the start of this batch.
+  static uint64_t Sequence(const WriteBatch* batch);
+  static void SetSequence(WriteBatch* batch, uint64_t seq);
+
+  static Slice Contents(const WriteBatch* batch) { return Slice(batch->rep_); }
+  static size_t ByteSize(const WriteBatch* batch) { return batch->rep_.size(); }
+  static void SetContents(WriteBatch* batch, const Slice& contents);
+
+  static Status InsertInto(const WriteBatch* batch, MemTable* memtable);
+
+  static void Append(WriteBatch* dst, const WriteBatch* src);
+};
+
+}  // namespace bolt

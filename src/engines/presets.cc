@@ -1,0 +1,130 @@
+#include "engines/presets.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/filter_policy.h"
+
+namespace bolt {
+namespace presets {
+
+namespace {
+
+// All key-value stores get the paper's common settings (§4.1): 64 MB
+// MemTable (/16), 10-bit bloom filters, compression off (we never
+// compress).
+Options Common() {
+  Options o;
+  o.write_buffer_size = 4 << 20;
+  static const FilterPolicy* bloom = NewBloomFilterPolicy(10);
+  o.filter_policy = bloom;
+  o.block_cache_bytes = 8 << 20;
+  o.max_open_files = 64;  // paper: 1000 entries, scaled /16
+  o.num_levels = 7;
+  o.max_bytes_for_level_base = 640 << 10;
+  o.max_bytes_for_level_multiplier = 10.0;
+  o.l0_compaction_trigger = 4;
+  return o;
+}
+
+// LevelDB-family on-disk format costs ~81 bytes/record more than
+// RocksDB's (paper §4.3.3: 223 vs 141 B for 100 B records, 1138 vs
+// 1057 B for 1 KB records).
+constexpr size_t kLevelDbFormatOverhead = 81;
+
+void EnableBolt(Options* o, const BoltFeatures& f) {
+  o->bolt_logical_sstables = f.logical_sstables;
+  o->logical_sstable_size = 64 << 10;  // paper: 1 MB
+  o->group_compaction_bytes =
+      f.group_compaction ? (4 << 20) : 0;  // paper best: 64 MB (Fig 11)
+  o->settled_compaction = f.settled_compaction;
+  o->fd_cache = f.fd_cache;
+}
+
+}  // namespace
+
+Options LevelDB() {
+  Options o = Common();
+  o.max_file_size = 128 << 10;  // paper: 2 MB
+  o.format_overhead_per_entry = kLevelDbFormatOverhead;
+  o.l0_slowdown_writes_trigger = 8;
+  o.l0_stop_writes_trigger = 12;
+  o.seek_compaction = true;
+  o.victim_policy = VictimPolicy::kRoundRobin;
+  return o;
+}
+
+Options LevelDB64MB() {
+  Options o = LevelDB();
+  o.max_file_size = 4 << 20;  // paper: 64 MB
+  return o;
+}
+
+Options HyperLevelDB() {
+  Options o = Common();
+  o.max_file_size = 2 << 20;  // paper: 16-64 MB adaptive; midpoint 32 MB
+  o.format_overhead_per_entry = kLevelDbFormatOverhead;
+  // HyperLevelDB removes L0Stop and rarely triggers the slowdown
+  // (§2.3, §4.3.2).
+  o.enable_l0_stop = false;
+  o.l0_slowdown_writes_trigger = 16;
+  o.l0_stop_writes_trigger = 1 << 30;
+  o.seek_compaction = false;
+  o.victim_policy = VictimPolicy::kMinOverlap;
+  // Improved write-path parallelism (multiple concurrent writers).
+  o.sim_write_cpu_ns = 700;
+  return o;
+}
+
+Options PebblesDB() {
+  Options o = HyperLevelDB();
+  // Fragmented LSM with guards: overlapping tables per level, compaction
+  // appends into the next level without merging resident tables.
+  o.flsm_mode = true;
+  o.max_file_size = 4 << 20;  // paper: 64-512 MB tables
+  return o;
+}
+
+Options RocksDB() {
+  Options o = Common();
+  o.max_file_size = 4 << 20;  // paper: 64 MB default
+  o.format_overhead_per_entry = 0;  // denser table format
+  o.max_bytes_for_level_base = 16 << 20;  // paper: 256 MB
+  o.l0_slowdown_writes_trigger = 20;
+  o.l0_stop_writes_trigger = 36;
+  o.seek_compaction = false;  // RocksDB disables seek compaction (§4.1)
+  o.victim_policy = VictimPolicy::kMinOverlap;
+  // Multi-threaded compaction and a highly concurrent read path.  The
+  // parallelism factor is modest: RocksDB's subcompactions only engage
+  // on jobs far larger than the scaled compactions here produce.
+  o.bg_parallelism = 1.2;
+  o.sim_read_cpu_ns = 800;
+  return o;
+}
+
+Options BoLT(const BoltFeatures& features) {
+  Options o = LevelDB();
+  EnableBolt(&o, features);
+  return o;
+}
+
+Options HyperBoLT(const BoltFeatures& features) {
+  Options o = HyperLevelDB();
+  EnableBolt(&o, features);
+  return o;
+}
+
+Options ByName(const std::string& name) {
+  if (name == "leveldb") return LevelDB();
+  if (name == "leveldb64") return LevelDB64MB();
+  if (name == "hyper") return HyperLevelDB();
+  if (name == "pebbles") return PebblesDB();
+  if (name == "rocks") return RocksDB();
+  if (name == "bolt") return BoLT();
+  if (name == "hbolt") return HyperBoLT();
+  std::fprintf(stderr, "unknown engine preset: %s\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace presets
+}  // namespace bolt

@@ -1,0 +1,75 @@
+// Engine presets: the seven systems of the paper's evaluation, as Options
+// bundles over the same engine (§4.1).  All size parameters are the
+// paper's divided by 16 (DESIGN.md §2, "scale-down"); ratios between
+// memtable, table sizes, level limits and caches are preserved.
+//
+//   paper                    here
+//   ------------------------ -----------------
+//   MemTable        64 MB    4 MB
+//   LevelDB SSTable  2 MB    128 KB
+//   RocksDB SSTable 64 MB    4 MB
+//   logical SSTable  1 MB    64 KB
+//   group compaction 64 MB   4 MB
+//   level-1 limit   10 MB    640 KB
+//
+// Pass the returned Options to DB::Open, optionally overriding env (use
+// a SimEnv for virtual-clock benchmarks) and cache sizes.
+#pragma once
+
+#include <string>
+
+#include "db/options.h"
+
+namespace bolt {
+namespace presets {
+
+// Which BoLT features to enable (Fig 12's +LS / +GC / +STL / +FC
+// ablation).  Each level includes all previous ones, matching the paper.
+struct BoltFeatures {
+  bool logical_sstables = true;   // +LS: compaction files + logical tables
+  bool group_compaction = true;   // +GC
+  bool settled_compaction = true; // +STL
+  bool fd_cache = true;           // +FC
+};
+
+inline BoltFeatures LS() { return {true, false, false, false}; }
+inline BoltFeatures GC() { return {true, true, false, false}; }
+inline BoltFeatures STL() { return {true, true, true, false}; }
+inline BoltFeatures FC() { return {true, true, true, true}; }
+
+// Stock LevelDB v1.20 defaults (scaled): 2 MB tables, L0SlowDown@8,
+// L0Stop@12, seek compaction on.
+Options LevelDB();
+
+// LevelDB with 64 MB tables (Fig 13's LVL64MB).
+Options LevelDB64MB();
+
+// HyperLevelDB: governors weakened (no L0Stop, higher slowdown trigger),
+// lower write-path cost (its fine-grained locking), min-overlap victim
+// picking, larger adaptive tables (16-64 MB; we use the 32 MB midpoint).
+Options HyperLevelDB();
+
+// PebblesDB: HyperLevelDB fork with a fragmented LSM (guards): tables may
+// overlap within a level and compaction appends into the next level
+// without merging resident tables.
+Options PebblesDB();
+
+// RocksDB v6.7.3-like: 64 MB tables, denser table format, L0 triggers
+// 20/36, level-1 limit 256 MB, multi-threaded compaction and read path.
+Options RocksDB();
+
+// BoLT as implemented in LevelDB (the paper's main system): 1 MB logical
+// SSTables in per-compaction files, 64 MB group compaction, settled
+// compaction, fd cache.
+Options BoLT(const BoltFeatures& features = BoltFeatures());
+
+// BoLT as implemented in HyperLevelDB.
+Options HyperBoLT(const BoltFeatures& features = BoltFeatures());
+
+// Look up a preset by name ("leveldb", "leveldb64", "hyper", "pebbles",
+// "rocks", "bolt", "hbolt"); aborts on unknown names.  Used by the bench
+// binaries' command lines.
+Options ByName(const std::string& name);
+
+}  // namespace presets
+}  // namespace bolt

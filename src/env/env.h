@@ -1,0 +1,159 @@
+// Env: the interface between the LSM engine and its storage + scheduling
+// environment, in the style of LevelDB's Env.
+//
+// Two implementations ship with the library:
+//  * PosixEnv (env/posix_env.cc): real files, real fsync, real threads.
+//    The library is a fully functional key-value store on top of it.
+//  * SimEnv (sim/sim_env.cc): in-memory files whose operations are charged
+//    to a virtual clock by an SSD cost model.  All paper experiments run
+//    on it (see DESIGN.md §2 for the substitution rationale).
+//
+// The Env also exposes the two operations BoLT's design leans on:
+//  * WritableFile::Sync() — the fsync()/fdatasync() data barrier whose
+//    count the paper minimizes, and
+//  * Env::PunchHole() — fallocate(FALLOC_FL_PUNCH_HOLE) used to reclaim
+//    dead logical SSTables from compaction files without a barrier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class SequentialFile;
+class RandomAccessFile;
+class WritableFile;
+class SimContext;
+
+// Aggregate I/O counters.  SimEnv fills all of them; PosixEnv fills the
+// call counters.  The figure benches read fsync counts and byte totals
+// from here.
+struct IoStats {
+  uint64_t sync_calls = 0;        // fsync/fdatasync barriers issued
+  uint64_t synced_bytes = 0;      // dirty bytes flushed by those barriers
+  uint64_t bytes_written = 0;     // bytes appended to files (WAL + tables)
+  uint64_t wal_bytes_written = 0; // subset of bytes_written going to logs
+  uint64_t bytes_read = 0;
+  uint64_t files_created = 0;
+  uint64_t files_deleted = 0;
+  uint64_t files_opened = 0;      // open() calls that missed the fd cache
+  uint64_t holes_punched = 0;
+  uint64_t hole_bytes = 0;        // bytes reclaimed via hole punching
+  uint64_t metadata_ops = 0;      // creates/opens/unlinks/renames/punches
+};
+
+class Env {
+ public:
+  Env() = default;
+  virtual ~Env() = default;
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  // ---- Files ------------------------------------------------------------
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+  // Open for append, creating if missing (used by the MANIFEST).
+  virtual Status NewAppendableFile(const std::string& fname,
+                                   std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* file_size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  // Deallocate [offset, offset+length) of fname, keeping the file size.
+  // Reclaims dead logical SSTables without a data barrier (BoLT §3.2).
+  virtual Status PunchHole(const std::string& fname, uint64_t offset,
+                           uint64_t length) = 0;
+
+  // ---- Scheduling ---------------------------------------------------------
+  // Arrange to run function(arg) once in a background thread.  SimEnv has
+  // no real background threads: the DB detects sim() != nullptr and runs
+  // background work inline on a virtual background lane instead.
+  virtual void Schedule(void (*function)(void*), void* arg) = 0;
+  virtual void StartThread(void (*function)(void*), void* arg) = 0;
+
+  // ---- Time ---------------------------------------------------------------
+  // Monotonic nanoseconds: real time for PosixEnv, the calling lane's
+  // virtual time for SimEnv.
+  virtual uint64_t NowNanos() = 0;
+  virtual void SleepForMicroseconds(int micros) = 0;
+
+  // ---- Introspection --------------------------------------------------------
+  virtual IoStats GetIoStats() const = 0;
+  virtual void ResetIoStats() = 0;
+
+  // Non-null iff this environment is simulated.
+  virtual SimContext* sim() { return nullptr; }
+};
+
+// A file abstraction for reading sequentially through a file.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  // Read up to n bytes.  Sets *result to the data read (may point into
+  // scratch).
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // Read up to n bytes starting at offset.  Safe for concurrent use.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+// A file abstraction for sequential writing.  Append() buffers in the
+// page cache; Sync() is the data barrier.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Close() = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+};
+
+// Minimal info logger.
+class Logger {
+ public:
+  virtual ~Logger() = default;
+  virtual void Logv(const char* format, va_list ap) = 0;
+};
+
+void Log(Logger* info_log, const char* format, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((__format__(__printf__, 2, 3)))
+#endif
+    ;
+
+// Write data to fname, optionally syncing before close (used for CURRENT).
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
+                         bool should_sync);
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+// The process-wide real environment.
+Env* PosixEnv();
+
+}  // namespace bolt

@@ -1,0 +1,425 @@
+// PosixEnv: the real-kernel Env.  Files are regular files, Sync() maps to
+// fdatasync(), PunchHole() maps to fallocate(FALLOC_FL_PUNCH_HOLE), and
+// Schedule() runs on a dedicated background thread (LevelDB runs exactly
+// one compaction thread; so do we).
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "env/env.h"
+
+namespace bolt {
+
+namespace {
+
+Status PosixError(const std::string& context, int error_number) {
+  if (error_number == ENOENT) {
+    return Status::NotFound(context, std::strerror(error_number));
+  }
+  return Status::IOError(context, std::strerror(error_number));
+}
+
+class AtomicIoStats {
+ public:
+  void AddSync(uint64_t bytes) {
+    sync_calls.fetch_add(1, std::memory_order_relaxed);
+    synced_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  IoStats Snapshot() const {
+    IoStats s;
+    s.sync_calls = sync_calls.load(std::memory_order_relaxed);
+    s.synced_bytes = synced_bytes.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written.load(std::memory_order_relaxed);
+    s.wal_bytes_written = wal_bytes_written.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read.load(std::memory_order_relaxed);
+    s.files_created = files_created.load(std::memory_order_relaxed);
+    s.files_deleted = files_deleted.load(std::memory_order_relaxed);
+    s.files_opened = files_opened.load(std::memory_order_relaxed);
+    s.holes_punched = holes_punched.load(std::memory_order_relaxed);
+    s.hole_bytes = hole_bytes.load(std::memory_order_relaxed);
+    s.metadata_ops = metadata_ops.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    sync_calls = 0;
+    synced_bytes = 0;
+    bytes_written = 0;
+    wal_bytes_written = 0;
+    bytes_read = 0;
+    files_created = 0;
+    files_deleted = 0;
+    files_opened = 0;
+    holes_punched = 0;
+    hole_bytes = 0;
+    metadata_ops = 0;
+  }
+
+  std::atomic<uint64_t> sync_calls{0};
+  std::atomic<uint64_t> synced_bytes{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> wal_bytes_written{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> files_created{0};
+  std::atomic<uint64_t> files_deleted{0};
+  std::atomic<uint64_t> files_opened{0};
+  std::atomic<uint64_t> holes_punched{0};
+  std::atomic<uint64_t> hole_bytes{0};
+  std::atomic<uint64_t> metadata_ops{0};
+};
+
+bool IsWalFile(const std::string& fname) {
+  return fname.size() >= 4 && fname.compare(fname.size() - 4, 4, ".log") == 0;
+}
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd, AtomicIoStats* stats)
+      : fd_(fd), fname_(std::move(fname)), stats_(stats) {}
+  ~PosixSequentialFile() override { close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ssize_t r = read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      *result = Slice(scratch, r);
+      stats_->bytes_read.fetch_add(r, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (lseek(fd_, n, SEEK_CUR) == static_cast<off_t>(-1)) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const int fd_;
+  const std::string fname_;
+  AtomicIoStats* const stats_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd, AtomicIoStats* stats)
+      : fd_(fd), fname_(std::move(fname)), stats_(stats) {}
+  ~PosixRandomAccessFile() override { close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      return PosixError(fname_, errno);
+    }
+    *result = Slice(scratch, r);
+    stats_->bytes_read.fetch_add(r, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+ private:
+  const int fd_;
+  const std::string fname_;
+  AtomicIoStats* const stats_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd, AtomicIoStats* stats)
+      : fd_(fd),
+        is_wal_(IsWalFile(fname)),
+        fname_(std::move(fname)),
+        stats_(stats) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      Close();
+    }
+  }
+
+  Status Append(const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t w = write(fd_, p, left);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      p += w;
+      left -= w;
+    }
+    stats_->bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+    if (is_wal_) {
+      stats_->wal_bytes_written.fetch_add(data.size(),
+                                          std::memory_order_relaxed);
+    }
+    dirty_ += data.size();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Status s;
+    if (fd_ >= 0 && close(fd_) < 0) {
+      s = PosixError(fname_, errno);
+    }
+    fd_ = -1;
+    return s;
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    stats_->AddSync(dirty_);
+    dirty_ = 0;
+    if (fdatasync(fd_) < 0) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  const bool is_wal_;
+  const std::string fname_;
+  AtomicIoStats* const stats_;
+  uint64_t dirty_ = 0;
+};
+
+class PosixEnvImpl final : public Env {
+ public:
+  PosixEnvImpl() = default;
+
+  ~PosixEnvImpl() override {
+    // The process-wide env is never destroyed in practice; if it is,
+    // stop the background thread cleanly.
+    {
+      std::lock_guard<std::mutex> l(bg_mutex_);
+      bg_shutdown_ = true;
+    }
+    bg_cv_.notify_all();
+    if (bg_thread_.joinable()) bg_thread_.join();
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError(fname, errno);
+    }
+    stats_.files_opened.fetch_add(1, std::memory_order_relaxed);
+    result->reset(new PosixSequentialFile(fname, fd, &stats_));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError(fname, errno);
+    }
+    stats_.files_opened.fetch_add(1, std::memory_order_relaxed);
+    stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
+    result->reset(new PosixRandomAccessFile(fname, fd, &stats_));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd =
+        open(fname.c_str(), O_TRUNC | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return PosixError(fname, errno);
+    }
+    stats_.files_created.fetch_add(1, std::memory_order_relaxed);
+    stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
+    result->reset(new PosixWritableFile(fname, fd, &stats_));
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override {
+    int fd =
+        open(fname.c_str(), O_APPEND | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return PosixError(fname, errno);
+    }
+    stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
+    result->reset(new PosixWritableFile(fname, fd, &stats_));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return access(fname.c_str(), F_OK) == 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) {
+      return PosixError(dir, errno);
+    }
+    struct dirent* entry;
+    while ((entry = readdir(d)) != nullptr) {
+      if (strcmp(entry->d_name, ".") == 0 || strcmp(entry->d_name, "..") == 0)
+        continue;
+      result->emplace_back(entry->d_name);
+    }
+    closedir(d);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
+    if (unlink(fname.c_str()) != 0) {
+      return PosixError(fname, errno);
+    }
+    stats_.files_deleted.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    if (mkdir(dirname.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    if (rmdir(dirname.c_str()) != 0) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct stat sbuf;
+    if (stat(fname.c_str(), &sbuf) != 0) {
+      *size = 0;
+      return PosixError(fname, errno);
+    }
+    *size = sbuf.st_size;
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
+    if (rename(src.c_str(), target.c_str()) != 0) {
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+
+  Status PunchHole(const std::string& fname, uint64_t offset,
+                   uint64_t length) override {
+    int fd = open(fname.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError(fname, errno);
+    }
+    stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
+#if defined(FALLOC_FL_PUNCH_HOLE) && defined(FALLOC_FL_KEEP_SIZE)
+    int r = fallocate(fd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                      static_cast<off_t>(offset), static_cast<off_t>(length));
+    close(fd);
+    if (r != 0) {
+      // Filesystems without hole support: the range simply stays
+      // allocated.  Space reclamation is an optimization, not a
+      // correctness requirement.
+      if (errno == EOPNOTSUPP || errno == ENOSYS) {
+        return Status::OK();
+      }
+      return PosixError(fname, errno);
+    }
+    stats_.holes_punched.fetch_add(1, std::memory_order_relaxed);
+    stats_.hole_bytes.fetch_add(length, std::memory_order_relaxed);
+    return Status::OK();
+#else
+    close(fd);
+    return Status::OK();
+#endif
+  }
+
+  void Schedule(void (*function)(void*), void* arg) override {
+    std::lock_guard<std::mutex> l(bg_mutex_);
+    if (!bg_started_) {
+      bg_started_ = true;
+      bg_thread_ = std::thread([this]() { BackgroundThreadMain(); });
+    }
+    bg_queue_.push_back({function, arg});
+    bg_cv_.notify_one();
+  }
+
+  void StartThread(void (*function)(void*), void* arg) override {
+    std::thread t([function, arg]() { function(arg); });
+    t.detach();
+  }
+
+  uint64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepForMicroseconds(int micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+
+  IoStats GetIoStats() const override { return stats_.Snapshot(); }
+  void ResetIoStats() override { stats_.Reset(); }
+
+ private:
+  struct BackgroundWork {
+    void (*function)(void*);
+    void* arg;
+  };
+
+  void BackgroundThreadMain() {
+    while (true) {
+      BackgroundWork work;
+      {
+        std::unique_lock<std::mutex> l(bg_mutex_);
+        bg_cv_.wait(l, [this]() { return bg_shutdown_ || !bg_queue_.empty(); });
+        if (bg_shutdown_ && bg_queue_.empty()) return;
+        work = bg_queue_.front();
+        bg_queue_.pop_front();
+      }
+      work.function(work.arg);
+    }
+  }
+
+  AtomicIoStats stats_;
+
+  std::mutex bg_mutex_;
+  std::condition_variable bg_cv_;
+  std::deque<BackgroundWork> bg_queue_;
+  std::thread bg_thread_;
+  bool bg_started_ = false;
+  bool bg_shutdown_ = false;
+};
+
+}  // namespace
+
+Env* PosixEnv() {
+  static PosixEnvImpl* env = new PosixEnvImpl();  // never destroyed
+  return env;
+}
+
+}  // namespace bolt

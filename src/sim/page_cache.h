@@ -1,0 +1,107 @@
+// SimPageCache: the simulated OS page cache.  The paper's testbed limits
+// RAM to 8 GB against a 50-100 GB database precisely so that this cache
+// covers only a fraction of the data (§4.1); reproducing its behaviour is
+// required for every read-side figure:
+//  * TableCache misses on recently written/read metadata are RAM-cheap;
+//  * cold metadata misses pay device reads proportional to index size
+//    (Fig 6/16);
+//  * compaction reads of freshly flushed tables are nearly free, deep
+//    levels pay.
+//
+// Model: 4 KiB pages, global LRU, write-allocate and read-allocate.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace bolt {
+
+class SimPageCache {
+ public:
+  static constexpr uint64_t kPageSize = 4096;
+
+  explicit SimPageCache(uint64_t capacity_bytes)
+      : capacity_pages_(capacity_bytes / kPageSize) {}
+
+  // Mark [offset, offset+n) of file resident (data was read from the
+  // device or written through the cache).  Returns nothing; eviction is
+  // LRU by page.
+  void Fill(uint64_t file_id, uint64_t offset, uint64_t n) {
+    if (capacity_pages_ == 0) return;
+    const uint64_t first = offset / kPageSize;
+    const uint64_t last = (offset + n + kPageSize - 1) / kPageSize;
+    for (uint64_t p = first; p < last; p++) {
+      TouchPage(file_id, p, /*insert=*/true);
+    }
+  }
+
+  // Returns the number of bytes of [offset, offset+n) NOT resident, and
+  // marks the whole range resident (the device read that follows fills
+  // it).  Resident pages are refreshed in LRU order.
+  uint64_t MissingBytes(uint64_t file_id, uint64_t offset, uint64_t n) {
+    if (capacity_pages_ == 0) return n;
+    if (n == 0) return 0;
+    const uint64_t first = offset / kPageSize;
+    const uint64_t last = (offset + n + kPageSize - 1) / kPageSize;
+    uint64_t missing_pages = 0;
+    for (uint64_t p = first; p < last; p++) {
+      if (!TouchPage(file_id, p, /*insert=*/true)) {
+        missing_pages++;
+      }
+    }
+    const uint64_t missing = missing_pages * kPageSize;
+    return missing < n ? missing : n;
+  }
+
+  // Drop every page of the file (unlink / truncate).
+  void DropFile(uint64_t file_id) {
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->file_id == file_id) {
+        map_.erase(KeyOf(it->file_id, it->page));
+        it = lru_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  uint64_t resident_pages() const { return lru_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t file_id;
+    uint64_t page;
+  };
+
+  // file ids are small counters and pages < 2^40 (4 PB files), so the
+  // composite key is collision-free.
+  static uint64_t KeyOf(uint64_t file_id, uint64_t page) {
+    return (file_id << 40) | page;
+  }
+
+  // Returns true if the page was already resident.
+  bool TouchPage(uint64_t file_id, uint64_t page, bool insert) {
+    const uint64_t key = KeyOf(file_id, page);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+      return true;
+    }
+    if (!insert) return false;
+    lru_.push_front({file_id, page});
+    map_[key] = lru_.begin();
+    while (lru_.size() > capacity_pages_) {
+      const Entry& victim = lru_.back();
+      map_.erase(KeyOf(victim.file_id, victim.page));
+      lru_.pop_back();
+    }
+    return false;
+  }
+
+  uint64_t capacity_pages_;
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+};
+
+}  // namespace bolt

@@ -1,0 +1,122 @@
+// SimContext: virtual-time state shared between SimEnv and the DB.
+//
+// Execution in simulation mode is single-real-threaded but multi-virtual-
+// timeline: lane 0 is the foreground (client) timeline; lane 1 is the
+// background flush/compaction thread (LevelDB has exactly one).  The DB
+// switches the *current lane* around background work it runs inline, so
+// every SimEnv file operation charges its cost to the correct timeline.
+// A single-server device reservation (device_free_) makes barriers from
+// the two lanes contend, which is where write stalls come from.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+#include "sim/ssd_model.h"
+
+namespace bolt {
+
+class SimContext {
+ public:
+  static constexpr int kFgLane = 0;
+  static constexpr int kBgLane = 1;
+  static constexpr int kNumLanes = 2;
+
+  explicit SimContext(const SsdModelConfig& config) : config_(config) {
+    lanes_.fill(0);
+  }
+
+  const SsdModelConfig& config() const { return config_; }
+  SsdModelConfig* mutable_config() { return &config_; }
+
+  int current_lane() const { return cur_; }
+  void set_current_lane(int lane) {
+    assert(lane >= 0 && lane < kNumLanes);
+    cur_ = lane;
+  }
+
+  uint64_t LaneNow(int lane) const { return lanes_[lane]; }
+  void SetLaneTime(int lane, uint64_t t) {
+    lanes_[lane] = std::max(lanes_[lane], t);
+  }
+  void AdvanceLane(int lane, uint64_t dt) { lanes_[lane] += dt; }
+
+  uint64_t Now() const { return lanes_[cur_]; }
+  void AdvanceCpu(uint64_t ns) { lanes_[cur_] += ns; }
+
+  uint64_t device_free() const { return device_free_; }
+
+  // ---- Device charging (called from SimEnv file objects) -----------------
+
+  void ChargeAppend(uint64_t n) { AdvanceCpu(config_.AppendCostNs(n)); }
+
+  // A data barrier: reserve the device exclusively for the flush.
+  void ChargeSync(uint64_t dirty_bytes) {
+    const uint64_t busy = config_.SyncCostNs(dirty_bytes);
+    const uint64_t start = std::max(Now(), device_free_);
+    const uint64_t end = start + busy;
+    device_free_ = end;
+    lanes_[cur_] = end;
+    barrier_busy_ns_ += busy;
+  }
+
+  // Reads do not reserve the device exclusively (SSDs interleave), but
+  // pay a bounded share of any outstanding barrier backlog.  Background
+  // (compaction) reads are always priced as sequential: compaction
+  // streams whole tables, and the small header/index hops are absorbed
+  // by readahead and the page cache holding freshly written files.
+  void ChargeRead(uint64_t n, bool sequential) {
+    if (cur_ != kFgLane) sequential = true;
+    uint64_t cost = sequential ? config_.SequentialReadCostNs(n)
+                               : config_.RandomReadCostNs(n);
+    const uint64_t now = Now();
+    if (device_free_ > now) {
+      const uint64_t backlog = device_free_ - now;
+      const uint64_t extra = std::min(
+          static_cast<uint64_t>(backlog * config_.read_contention_frac),
+          config_.read_contention_cap_ns);
+      cost += extra;
+    }
+    AdvanceCpu(cost);
+  }
+
+  void ChargeMetadataOp() { AdvanceCpu(config_.metadata_op_ns); }
+
+  // Total virtual time the device spent busy on barrier-driven writes
+  // (device-utilization metric for EXPERIMENTS.md).
+  uint64_t barrier_busy_ns() const { return barrier_busy_ns_; }
+
+ private:
+  SsdModelConfig config_;
+  std::array<uint64_t, kNumLanes> lanes_;
+  int cur_ = kFgLane;
+  uint64_t device_free_ = 0;
+  uint64_t barrier_busy_ns_ = 0;
+};
+
+// RAII lane switch used by the DB around inline background work.
+class SimLaneScope {
+ public:
+  SimLaneScope(SimContext* sim, int lane) : sim_(sim) {
+    if (sim_ != nullptr) {
+      prev_ = sim_->current_lane();
+      sim_->set_current_lane(lane);
+    }
+  }
+  ~SimLaneScope() {
+    if (sim_ != nullptr) {
+      sim_->set_current_lane(prev_);
+    }
+  }
+
+  SimLaneScope(const SimLaneScope&) = delete;
+  SimLaneScope& operator=(const SimLaneScope&) = delete;
+
+ private:
+  SimContext* sim_;
+  int prev_ = 0;
+};
+
+}  // namespace bolt

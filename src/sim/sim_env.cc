@@ -1,0 +1,353 @@
+#include "sim/sim_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bolt {
+
+struct SimEnv::MemFile {
+  uint64_t id = 0;           // unique id for page-cache keying
+  std::string data;
+  uint64_t synced_size = 0;  // bytes guaranteed durable (crash emulation)
+  uint64_t hole_bytes = 0;   // bytes reclaimed by PunchHole
+};
+
+namespace {
+
+bool IsWal(const std::string& fname) {
+  return fname.size() >= 4 && fname.compare(fname.size() - 4, 4, ".log") == 0;
+}
+
+class SimSequentialFile final : public SequentialFile {
+ public:
+  SimSequentialFile(std::shared_ptr<SimEnv::MemFile> file, SimContext* sim,
+                    IoStats* stats, SimPageCache* page_cache)
+      : file_(std::move(file)),
+        sim_(sim),
+        stats_(stats),
+        page_cache_(page_cache) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    const std::string& data = file_->data;
+    if (pos_ >= data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t avail = data.size() - pos_;
+    const size_t len = std::min(n, avail);
+    memcpy(scratch, data.data() + pos_, len);
+    const uint64_t missing = page_cache_->MissingBytes(file_->id, pos_, len);
+    pos_ += len;
+    *result = Slice(scratch, len);
+    stats_->bytes_read += len;
+    if (missing == 0) {
+      sim_->AdvanceCpu(sim_->config().RamReadCostNs(len));
+    } else {
+      sim_->ChargeRead(missing, /*sequential=*/true);
+    }
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ = std::min<uint64_t>(pos_ + n, file_->data.size());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<SimEnv::MemFile> file_;
+  SimContext* sim_;
+  IoStats* stats_;
+  SimPageCache* page_cache_;
+  uint64_t pos_ = 0;
+};
+
+class SimRandomAccessFile final : public RandomAccessFile {
+ public:
+  SimRandomAccessFile(std::shared_ptr<SimEnv::MemFile> file, SimContext* sim,
+                      IoStats* stats, SimPageCache* page_cache)
+      : file_(std::move(file)),
+        sim_(sim),
+        stats_(stats),
+        page_cache_(page_cache) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    const std::string& data = file_->data;
+    if (offset > data.size()) {
+      return Status::IOError("read past end of file");
+    }
+    const size_t len = std::min<uint64_t>(n, data.size() - offset);
+    memcpy(scratch, data.data() + offset, len);
+    *result = Slice(scratch, len);
+    stats_->bytes_read += len;
+    // A read continuing exactly where the previous one on this handle
+    // ended is a sequential continuation (readahead / compaction scan);
+    // anything else pays the cold random-read base latency.  Bytes
+    // resident in the simulated page cache cost RAM bandwidth only.
+    const uint64_t missing = page_cache_->MissingBytes(file_->id, offset, len);
+    const bool sequential = (offset == last_end_) && (last_end_ != 0);
+    last_end_ = offset + len;
+    if (missing == 0) {
+      sim_->AdvanceCpu(sim_->config().RamReadCostNs(len));
+    } else {
+      sim_->ChargeRead(missing, sequential);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<SimEnv::MemFile> file_;
+  SimContext* sim_;
+  IoStats* stats_;
+  SimPageCache* page_cache_;
+  mutable uint64_t last_end_ = 0;
+};
+
+class SimWritableFile final : public WritableFile {
+ public:
+  SimWritableFile(std::shared_ptr<SimEnv::MemFile> file, bool is_wal,
+                  SimContext* sim, IoStats* stats, SimPageCache* page_cache)
+      : file_(std::move(file)),
+        is_wal_(is_wal),
+        sim_(sim),
+        stats_(stats),
+        page_cache_(page_cache) {}
+
+  Status Append(const Slice& data) override {
+    const uint64_t old_size = file_->data.size();
+    file_->data.append(data.data(), data.size());
+    page_cache_->Fill(file_->id, old_size, data.size());
+    stats_->bytes_written += data.size();
+    if (is_wal_) stats_->wal_bytes_written += data.size();
+    sim_->ChargeAppend(data.size());
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    const uint64_t dirty = file_->data.size() - file_->synced_size;
+    stats_->sync_calls += 1;
+    stats_->synced_bytes += dirty;
+    file_->synced_size = file_->data.size();
+    sim_->ChargeSync(dirty);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<SimEnv::MemFile> file_;
+  const bool is_wal_;
+  SimContext* sim_;
+  IoStats* stats_;
+  SimPageCache* page_cache_;
+};
+
+}  // namespace
+
+SimEnv::SimEnv(const SsdModelConfig& config)
+    : sim_(config), page_cache_(config.page_cache_bytes) {}
+SimEnv::~SimEnv() = default;
+
+std::shared_ptr<SimEnv::MemFile> SimEnv::FindFile(
+    const std::string& fname) const {
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  auto it = files_.find(fname);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+Status SimEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* result) {
+  auto file = FindFile(fname);
+  if (file == nullptr) {
+    return Status::NotFound(fname);
+  }
+  stats_.files_opened += 1;
+  sim_.ChargeMetadataOp();
+  result->reset(new SimSequentialFile(std::move(file), &sim_, &stats_,
+                                      &page_cache_));
+  return Status::OK();
+}
+
+Status SimEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* result) {
+  auto file = FindFile(fname);
+  if (file == nullptr) {
+    return Status::NotFound(fname);
+  }
+  stats_.files_opened += 1;
+  stats_.metadata_ops += 1;
+  sim_.ChargeMetadataOp();
+  result->reset(new SimRandomAccessFile(std::move(file), &sim_, &stats_,
+                                        &page_cache_));
+  return Status::OK();
+}
+
+Status SimEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* result) {
+  auto file = std::make_shared<MemFile>();
+  {
+    std::lock_guard<std::mutex> l(fs_mutex_);
+    file->id = next_file_id_++;
+    auto it = files_.find(fname);
+    if (it != files_.end()) {
+      page_cache_.DropFile(it->second->id);  // truncate drops pages
+    }
+    files_[fname] = file;
+  }
+  stats_.files_created += 1;
+  stats_.metadata_ops += 1;
+  sim_.ChargeMetadataOp();
+  result->reset(new SimWritableFile(std::move(file), IsWal(fname), &sim_,
+                                    &stats_, &page_cache_));
+  return Status::OK();
+}
+
+Status SimEnv::NewAppendableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) {
+  std::shared_ptr<MemFile> file;
+  {
+    std::lock_guard<std::mutex> l(fs_mutex_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      file = std::make_shared<MemFile>();
+      file->id = next_file_id_++;
+      files_[fname] = file;
+      stats_.files_created += 1;
+    } else {
+      file = it->second;
+    }
+  }
+  stats_.metadata_ops += 1;
+  sim_.ChargeMetadataOp();
+  result->reset(new SimWritableFile(std::move(file), IsWal(fname), &sim_,
+                                    &stats_, &page_cache_));
+  return Status::OK();
+}
+
+bool SimEnv::FileExists(const std::string& fname) {
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  return files_.count(fname) > 0;
+}
+
+Status SimEnv::GetChildren(const std::string& dir,
+                           std::vector<std::string>* result) {
+  result->clear();
+  std::string prefix = dir;
+  if (prefix.empty() || prefix.back() != '/') prefix += '/';
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  for (const auto& [name, file] : files_) {
+    if (name.size() > prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+      std::string rest = name.substr(prefix.size());
+      if (rest.find('/') == std::string::npos) {
+        result->push_back(rest);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SimEnv::RemoveFile(const std::string& fname) {
+  stats_.metadata_ops += 1;
+  sim_.ChargeMetadataOp();
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) {
+    return Status::NotFound(fname);
+  }
+  page_cache_.DropFile(it->second->id);
+  files_.erase(it);
+  stats_.files_deleted += 1;
+  return Status::OK();
+}
+
+Status SimEnv::CreateDir(const std::string& dirname) { return Status::OK(); }
+Status SimEnv::RemoveDir(const std::string& dirname) { return Status::OK(); }
+
+Status SimEnv::GetFileSize(const std::string& fname, uint64_t* file_size) {
+  auto file = FindFile(fname);
+  if (file == nullptr) {
+    *file_size = 0;
+    return Status::NotFound(fname);
+  }
+  *file_size = file->data.size();
+  return Status::OK();
+}
+
+Status SimEnv::RenameFile(const std::string& src, const std::string& target) {
+  stats_.metadata_ops += 1;
+  sim_.ChargeMetadataOp();
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  auto it = files_.find(src);
+  if (it == files_.end()) {
+    return Status::NotFound(src);
+  }
+  files_[target] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status SimEnv::PunchHole(const std::string& fname, uint64_t offset,
+                         uint64_t length) {
+  stats_.metadata_ops += 1;
+  sim_.ChargeMetadataOp();
+  auto file = FindFile(fname);
+  if (file == nullptr) {
+    return Status::NotFound(fname);
+  }
+  const uint64_t size = file->data.size();
+  if (offset >= size) return Status::OK();
+  const uint64_t len = std::min(length, size - offset);
+  // Zero the range so any buggy read of reclaimed space fails loudly in
+  // tests, and account the reclaimed bytes.
+  memset(file->data.data() + offset, 0, len);
+  file->hole_bytes += len;
+  stats_.holes_punched += 1;
+  stats_.hole_bytes += len;
+  return Status::OK();
+}
+
+void SimEnv::Schedule(void (*function)(void*), void* arg) {
+  // Simulation mode has no background threads: run inline.  The DB
+  // switches lanes itself before reaching this point.
+  function(arg);
+}
+
+void SimEnv::StartThread(void (*function)(void*), void* arg) {
+  function(arg);
+}
+
+uint64_t SimEnv::NowNanos() { return sim_.Now(); }
+
+void SimEnv::SleepForMicroseconds(int micros) {
+  sim_.AdvanceCpu(static_cast<uint64_t>(micros) * 1000);
+}
+
+IoStats SimEnv::GetIoStats() const {
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  return stats_;
+}
+
+void SimEnv::ResetIoStats() {
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  stats_ = IoStats();
+}
+
+uint64_t SimEnv::TotalStoredBytes() const {
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, file] : files_) {
+    total += file->data.size() - file->hole_bytes;
+  }
+  return total;
+}
+
+void SimEnv::DropUnsynced() {
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  for (auto& [name, file] : files_) {
+    file->data.resize(file->synced_size);
+  }
+}
+
+}  // namespace bolt

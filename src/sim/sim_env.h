@@ -1,0 +1,93 @@
+// SimEnv: an Env whose files live in memory and whose operation costs are
+// charged to a virtual clock by an SsdModel (see DESIGN.md §2).  The same
+// engine code that runs on PosixEnv runs here unmodified; only time and
+// persistence are simulated.
+//
+// Crash testing: DropUnsynced() discards every byte appended after the
+// last Sync() on each file, emulating a power failure under a
+// no-reordering-past-barrier discipline.  The recovery tests use it to
+// check that the MANIFEST commit-mark protocol keeps compactions atomic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "sim/page_cache.h"
+#include "sim/sim_context.h"
+
+namespace bolt {
+
+class SimEnv final : public Env {
+ public:
+  explicit SimEnv(const SsdModelConfig& config = SsdModelConfig());
+  ~SimEnv() override;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+  Status PunchHole(const std::string& fname, uint64_t offset,
+                   uint64_t length) override;
+
+  // SimEnv has no real background threads; the DB runs background work
+  // inline on the background lane.  Schedule() executes immediately (it
+  // is only reached by code paths that do not care about lanes).
+  void Schedule(void (*function)(void*), void* arg) override;
+  void StartThread(void (*function)(void*), void* arg) override;
+
+  uint64_t NowNanos() override;
+  void SleepForMicroseconds(int micros) override;
+
+  IoStats GetIoStats() const override;
+  void ResetIoStats() override;
+
+  SimContext* sim() override { return &sim_; }
+
+  // ---- Simulation-only introspection ------------------------------------
+
+  // Live bytes across all files minus punched holes ("df" for the sim).
+  uint64_t TotalStoredBytes() const;
+
+  // Crash emulation: drop all unsynced bytes everywhere.
+  void DropUnsynced();
+
+  // Page-cache residency (pages), for tests and diagnostics.
+  uint64_t PageCacheResidentPages() const {
+    return page_cache_.resident_pages();
+  }
+
+  struct MemFile;
+
+ private:
+  friend class SimWritableFile;
+  friend class SimSequentialFile;
+  friend class SimRandomAccessFile;
+
+  std::shared_ptr<MemFile> FindFile(const std::string& fname) const;
+
+  SimContext sim_;
+  SimPageCache page_cache_;
+  mutable std::mutex fs_mutex_;
+  uint64_t next_file_id_ = 1;
+  std::map<std::string, std::shared_ptr<MemFile>> files_;
+  mutable IoStats stats_;
+};
+
+}  // namespace bolt

@@ -1,0 +1,39 @@
+// Block: an immutable, prefix-compressed key/value block read from a
+// table, plus its binary-search iterator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "table/format.h"
+#include "table/iterator.h"
+
+namespace bolt {
+
+class Comparator;
+
+class Block {
+ public:
+  // Initialize the block with the specified contents.
+  explicit Block(const BlockContents& contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  ~Block();
+
+  size_t size() const { return size_; }
+  Iterator* NewIterator(const Comparator* comparator);
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  const char* data_;
+  size_t size_;
+  uint32_t restart_offset_;  // Offset in data_ of restart array
+  bool owned_;               // Block owns data_[]
+};
+
+}  // namespace bolt

@@ -1,0 +1,56 @@
+// BlockBuilder generates prefix-compressed blocks (LevelDB format):
+// entries share key prefixes with their predecessor, with full keys at
+// restart points every block_restart_interval entries.  The trailer
+// stores the restart offsets for binary search.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace bolt {
+
+class Comparator;
+
+class BlockBuilder {
+ public:
+  BlockBuilder(const Comparator* comparator, int block_restart_interval);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  // Reset the contents as if the BlockBuilder was just constructed.
+  void Reset();
+
+  // REQUIRES: Finish() has not been called since the last call to Reset().
+  // REQUIRES: key is larger than any previously added key
+  void Add(const Slice& key, const Slice& value);
+
+  // Finish building the block and return a slice that refers to the
+  // block contents.  The returned slice will remain valid for the
+  // lifetime of this builder or until Reset() is called.
+  Slice Finish();
+
+  // Returns an estimate of the current (uncompressed) size of the block
+  // we are building.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+  int num_entries() const { return counter_total_; }
+
+ private:
+  const Comparator* comparator_;
+  const int block_restart_interval_;
+
+  std::string buffer_;              // Destination buffer
+  std::vector<uint32_t> restarts_;  // Restart points
+  int counter_;                     // Entries emitted since restart
+  int counter_total_;               // All entries in the block
+  bool finished_;                   // Has Finish() been called?
+  std::string last_key_;
+};
+
+}  // namespace bolt

@@ -1,0 +1,80 @@
+// On-disk structures shared by the table builder and reader: block
+// handles, the per-table footer, and the checksummed block read helper.
+//
+// BoLT note: every offset stored in a BlockHandle is absolute within the
+// *physical* file.  A logical SSTable is therefore fully described by
+// (file, table_offset, table_size): its footer sits at
+// table_offset + table_size - kFooterSize, and its blocks point anywhere
+// inside the enclosing compaction file.  Stock SSTables are simply the
+// special case table_offset == 0, table_size == file size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "db/options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class RandomAccessFile;
+
+class BlockHandle {
+ public:
+  // Maximum encoding length of a BlockHandle.
+  enum { kMaxEncodedLength = 10 + 10 };
+
+  BlockHandle() : offset_(~uint64_t{0}), size_(~uint64_t{0}) {}
+
+  uint64_t offset() const { return offset_; }
+  void set_offset(uint64_t offset) { offset_ = offset; }
+
+  uint64_t size() const { return size_; }
+  void set_size(uint64_t size) { size_ = size; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+ private:
+  uint64_t offset_;
+  uint64_t size_;
+};
+
+// Footer at the tail of every (logical) table:
+//   filter_handle | index_handle | padding | magic (8 bytes)
+class Footer {
+ public:
+  enum { kEncodedLength = 2 * BlockHandle::kMaxEncodedLength + 8 };
+
+  const BlockHandle& filter_handle() const { return filter_handle_; }
+  void set_filter_handle(const BlockHandle& h) { filter_handle_ = h; }
+
+  const BlockHandle& index_handle() const { return index_handle_; }
+  void set_index_handle(const BlockHandle& h) { index_handle_ = h; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+ private:
+  BlockHandle filter_handle_;
+  BlockHandle index_handle_;
+};
+
+static const uint64_t kTableMagicNumber = 0xb017db7ab1e5ull;
+
+// 1-byte type (compression tag; always kNoCompression here) + 32-bit crc.
+static const size_t kBlockTrailerSize = 5;
+
+struct BlockContents {
+  Slice data;           // Actual contents of data
+  bool cachable;        // True iff data can be cached
+  bool heap_allocated;  // True iff caller should delete[] data.data()
+};
+
+// Read the block identified by handle from file, verifying the trailer
+// CRC when options.verify_checksums is set.
+Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
+                 const BlockHandle& handle, BlockContents* result);
+
+}  // namespace bolt

@@ -1,0 +1,53 @@
+// Iterator: the uniform cursor abstraction over blocks, tables, levels,
+// and the whole DB (LevelDB-style).
+#pragma once
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class Iterator {
+ public:
+  Iterator();
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  // Position at the first key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  // REQUIRES: Valid().  The returned slices are valid until the next
+  // mutation of the iterator.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+
+  // Clients may register up to two cleanup functions invoked at
+  // destruction (used to release cache handles and pinned versions).
+  using CleanupFunction = void (*)(void* arg1, void* arg2);
+  void RegisterCleanup(CleanupFunction function, void* arg1, void* arg2);
+
+ private:
+  struct CleanupNode {
+    bool IsEmpty() const { return function == nullptr; }
+    void Run() { (*function)(arg1, arg2); }
+
+    CleanupFunction function;
+    void* arg1;
+    void* arg2;
+    CleanupNode* next;
+  };
+  CleanupNode cleanup_head_;
+};
+
+// An empty iterator with the specified status.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace bolt

@@ -1,0 +1,16 @@
+// MergingIterator: merges n sorted children into one sorted stream.
+// Used by compaction (inputs) and by DB iterators (memtables + levels).
+#pragma once
+
+namespace bolt {
+
+class Comparator;
+class Iterator;
+
+// Return an iterator that provides the union of the data in
+// children[0,n-1].  Takes ownership of the child iterators.  The result
+// does no duplicate suppression (the DB layer handles sequence numbers).
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n);
+
+}  // namespace bolt

@@ -1,0 +1,240 @@
+#include "table/table.h"
+
+#include "env/env.h"
+#include "table/block.h"
+#include "table/format.h"
+#include "table/two_level_iterator.h"
+#include "util/cache.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/comparator.h"
+#include "util/filter_policy.h"
+
+namespace bolt {
+
+struct Table::Rep {
+  ~Rep() {
+    delete index_block;
+  }
+
+  Options options;
+  Status status;
+  RandomAccessFile* file;
+  uint64_t cache_id;  // block cache key prefix (0 if no block cache)
+
+  Block* index_block = nullptr;
+  std::string filter_data;  // whole-table bloom filter bytes
+  uint64_t metadata_bytes = 0;
+};
+
+Status Table::Open(const Options& options, RandomAccessFile* file,
+                   uint64_t table_offset, uint64_t table_size, Table** table) {
+  *table = nullptr;
+  if (table_size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  // The metadata (filter block, index block, footer) sits contiguously at
+  // the tail of the table, in that order.  Read the whole tail in ONE
+  // I/O: this is the TableCache miss penalty of §2.6, and it must scale
+  // with the table's metadata size, not with a per-block latency.
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s =
+      file->Read(table_offset + table_size - Footer::kEncodedLength,
+                 Footer::kEncodedLength, &footer_input, footer_space);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  const BlockHandle& index_handle = footer.index_handle();
+  const BlockHandle& filter_handle = footer.filter_handle();
+  const bool want_filter =
+      options.filter_policy != nullptr && filter_handle.size() > 0;
+
+  const uint64_t meta_start =
+      want_filter ? filter_handle.offset() : index_handle.offset();
+  const uint64_t meta_end = table_offset + table_size;
+  if (meta_start < table_offset || meta_start >= meta_end) {
+    return Status::Corruption("bad metadata layout in table");
+  }
+  const size_t meta_len = static_cast<size_t>(meta_end - meta_start);
+  std::unique_ptr<char[]> meta_buf(new char[meta_len]);
+  Slice meta;
+  s = file->Read(meta_start, meta_len, &meta, meta_buf.get());
+  if (!s.ok()) return s;
+  if (meta.size() != meta_len) {
+    return Status::Corruption("truncated table metadata read");
+  }
+
+  auto slice_block = [&](const BlockHandle& handle, bool verify,
+                         std::string* out) -> Status {
+    const uint64_t rel = handle.offset() - meta_start;
+    if (handle.offset() < meta_start ||
+        rel + handle.size() + kBlockTrailerSize > meta.size()) {
+      return Status::Corruption("block handle outside metadata tail");
+    }
+    const char* data = meta.data() + rel;
+    const size_t n = static_cast<size_t>(handle.size());
+    if (verify) {
+      const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
+      if (crc32c::Value(data, n + 1) != crc) {
+        return Status::Corruption("metadata block checksum mismatch");
+      }
+    }
+    out->assign(data, n);
+    return Status::OK();
+  };
+
+  const bool verify = options.paranoid_checks;
+  std::string index_data;
+  s = slice_block(index_handle, verify, &index_data);
+  if (!s.ok()) return s;
+
+  Rep* rep = new Table::Rep;
+  rep->options = options;
+  rep->file = file;
+  {
+    char* owned = new char[index_data.size()];
+    memcpy(owned, index_data.data(), index_data.size());
+    BlockContents contents{Slice(owned, index_data.size()), true, true};
+    rep->index_block = new Block(contents);
+  }
+  rep->cache_id =
+      (options.block_cache != nullptr ? options.block_cache->NewId() : 0);
+  rep->metadata_bytes = meta_len;
+
+  if (want_filter) {
+    s = slice_block(filter_handle, verify, &rep->filter_data);
+    if (!s.ok()) {
+      delete rep->index_block;
+      delete rep;
+      return s;
+    }
+  }
+
+  *table = new Table(rep);
+  return Status::OK();
+}
+
+Table::~Table() { delete rep_; }
+
+static void DeleteBlock(void* arg, void* ignored) {
+  delete reinterpret_cast<Block*>(arg);
+}
+
+static void DeleteCachedBlock(const Slice& key, void* value) {
+  Block* block = reinterpret_cast<Block*>(value);
+  delete block;
+}
+
+static void ReleaseBlock(void* arg, void* h) {
+  Cache* cache = reinterpret_cast<Cache*>(arg);
+  Cache::Handle* handle = reinterpret_cast<Cache::Handle*>(h);
+  cache->Release(handle);
+}
+
+// Convert an index iterator value (an encoded BlockHandle) into an
+// iterator over the contents of the corresponding block.
+Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
+                             const Slice& index_value) {
+  Table* table = reinterpret_cast<Table*>(arg);
+  Cache* block_cache = table->rep_->options.block_cache;
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+
+  BlockHandle handle;
+  Slice input = index_value;
+  Status s = handle.DecodeFrom(&input);
+  // We intentionally allow extra stuff in index_value so that we
+  // can add more features in the future.
+
+  if (s.ok()) {
+    BlockContents contents;
+    if (block_cache != nullptr) {
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, table->rep_->cache_id);
+      EncodeFixed64(cache_key_buffer + 8, handle.offset());
+      Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+      cache_handle = block_cache->Lookup(key);
+      if (cache_handle != nullptr) {
+        block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+      } else {
+        s = ReadBlock(table->rep_->file, options, handle, &contents);
+        if (s.ok()) {
+          block = new Block(contents);
+          if (contents.cachable && options.fill_cache) {
+            cache_handle = block_cache->Insert(key, block, block->size(),
+                                               &DeleteCachedBlock);
+          }
+        }
+      }
+    } else {
+      s = ReadBlock(table->rep_->file, options, handle, &contents);
+      if (s.ok()) {
+        block = new Block(contents);
+      }
+    }
+  }
+
+  Iterator* iter;
+  if (block != nullptr) {
+    iter = block->NewIterator(table->rep_->options.comparator);
+    if (cache_handle == nullptr) {
+      iter->RegisterCleanup(&DeleteBlock, block, nullptr);
+    } else {
+      iter->RegisterCleanup(&ReleaseBlock, block_cache, cache_handle);
+    }
+  } else {
+    iter = NewErrorIterator(s);
+  }
+  return iter;
+}
+
+Iterator* Table::NewIndexIterator() const {
+  return rep_->index_block->NewIterator(rep_->options.comparator);
+}
+
+Iterator* Table::NewIterator(const ReadOptions& options) const {
+  return NewTwoLevelIterator(NewIndexIterator(), &Table::BlockReader,
+                             const_cast<Table*>(this), options);
+}
+
+Status Table::InternalGet(const ReadOptions& options, const Slice& k,
+                          void* arg,
+                          void (*handle_result)(void*, const Slice&,
+                                                const Slice&)) {
+  // Whole-table bloom filter check first: most non-matching tables are
+  // rejected without touching a data block.
+  if (rep_->options.filter_policy != nullptr && !rep_->filter_data.empty()) {
+    if (!rep_->options.filter_policy->KeyMayMatch(k,
+                                                  Slice(rep_->filter_data))) {
+      return Status::OK();
+    }
+  }
+
+  Status s;
+  Iterator* iiter = NewIndexIterator();
+  iiter->Seek(k);
+  if (iiter->Valid()) {
+    Iterator* block_iter = BlockReader(const_cast<Table*>(this), options,
+                                       iiter->value());
+    block_iter->Seek(k);
+    if (block_iter->Valid()) {
+      (*handle_result)(arg, block_iter->key(), block_iter->value());
+    }
+    s = block_iter->status();
+    delete block_iter;
+  }
+  if (s.ok()) {
+    s = iiter->status();
+  }
+  delete iiter;
+  return s;
+}
+
+uint64_t Table::MetadataBytes() const { return rep_->metadata_bytes; }
+
+}  // namespace bolt

@@ -1,0 +1,63 @@
+// Table: the immutable (logical) SSTable reader.  Opening a table reads
+// its footer, index block, and bloom filter — this is exactly the
+// "metadata caching" cost the paper analyzes in §2.6: a TableCache miss
+// re-reads index + filter, whose size is proportional to the table size.
+#pragma once
+
+#include <cstdint>
+
+#include "db/options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class Block;
+class BlockHandle;
+class Footer;
+class Iterator;
+class RandomAccessFile;
+
+class Table {
+ public:
+  // Open the (logical) table occupying [table_offset, table_offset +
+  // table_size) of *file.  Stock SSTables pass table_offset == 0 and
+  // table_size == file size; BoLT passes the logical SSTable's location
+  // inside its compaction file.  Does not take ownership of *file.
+  static Status Open(const Options& options, RandomAccessFile* file,
+                     uint64_t table_offset, uint64_t table_size,
+                     Table** table);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  ~Table();
+
+  // Returns a new iterator over the table contents.
+  Iterator* NewIterator(const ReadOptions&) const;
+
+  // Calls (*handle_result)(arg, ...) with the entry found after calling
+  // Seek(key) on the table's data, unless the bloom filter rules the key
+  // out.
+  Status InternalGet(const ReadOptions&, const Slice& key, void* arg,
+                     void (*handle_result)(void* arg, const Slice& k,
+                                           const Slice& v));
+
+  // Bytes of metadata (index + filter) this table pins in memory: the
+  // TableCache miss penalty reported in Fig 6.
+  uint64_t MetadataBytes() const;
+
+ private:
+  friend class TableCache;
+  struct Rep;
+
+  static Iterator* BlockReader(void*, const ReadOptions&, const Slice&);
+
+  explicit Table(Rep* rep) : rep_(rep) {}
+
+  Iterator* NewIndexIterator() const;
+
+  Rep* const rep_;
+};
+
+}  // namespace bolt

@@ -1,0 +1,214 @@
+#include "table/table_builder.h"
+
+#include <cassert>
+#include <vector>
+
+#include "env/env.h"
+#include "table/block_builder.h"
+#include "table/format.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/crc32c.h"
+#include "util/filter_policy.h"
+
+namespace bolt {
+
+struct TableBuilder::Rep {
+  Rep(const Options& opt, WritableFile* f, uint64_t base_offset)
+      : options(opt),
+        file(f),
+        base_offset(base_offset),
+        offset(base_offset),
+        data_block(opt.comparator, opt.block_restart_interval),
+        index_block(opt.comparator, 1),
+        num_entries(0),
+        closed(false),
+        pending_index_entry(false) {}
+
+  Options options;
+  WritableFile* file;
+  uint64_t base_offset;
+  uint64_t offset;  // absolute offset of next write within the file
+  Status status;
+  BlockBuilder data_block;
+  BlockBuilder index_block;
+  std::string last_key;
+  int64_t num_entries;
+  bool closed;  // Either Finish() or Abandon() has been called.
+
+  // Whole-table filter state: keys accumulated until Finish().
+  std::string filter_keys_flat;
+  std::vector<size_t> filter_key_offsets;
+
+  // We do not emit the index entry for a block until we have seen the
+  // first key for the next data block.  This allows us to use shorter
+  // keys in the index block.
+  bool pending_index_entry;
+  BlockHandle pending_handle;  // Handle to add to index block
+};
+
+TableBuilder::TableBuilder(const Options& options, WritableFile* file,
+                           uint64_t base_offset)
+    : rep_(new Rep(options, file, base_offset)) {}
+
+TableBuilder::~TableBuilder() {
+  assert(rep_->closed);  // Catch errors where caller forgot to call Finish()
+  delete rep_;
+}
+
+void TableBuilder::Add(const Slice& key, const Slice& value) {
+  Rep* r = rep_;
+  assert(!r->closed);
+  if (!ok()) return;
+  if (r->num_entries > 0) {
+    assert(r->options.comparator->Compare(key, Slice(r->last_key)) > 0);
+  }
+
+  if (r->pending_index_entry) {
+    assert(r->data_block.empty());
+    r->options.comparator->FindShortestSeparator(&r->last_key, key);
+    std::string handle_encoding;
+    r->pending_handle.EncodeTo(&handle_encoding);
+    r->index_block.Add(r->last_key, Slice(handle_encoding));
+    r->pending_index_entry = false;
+  }
+
+  if (r->options.filter_policy != nullptr) {
+    r->filter_key_offsets.push_back(r->filter_keys_flat.size());
+    r->filter_keys_flat.append(key.data(), key.size());
+  }
+
+  r->last_key.assign(key.data(), key.size());
+  r->num_entries++;
+  r->data_block.Add(key, value);
+
+  const size_t estimated_block_size = r->data_block.CurrentSizeEstimate();
+  if (estimated_block_size >= r->options.block_size) {
+    Flush();
+  }
+}
+
+void TableBuilder::Flush() {
+  Rep* r = rep_;
+  assert(!r->closed);
+  if (!ok()) return;
+  if (r->data_block.empty()) return;
+  assert(!r->pending_index_entry);
+  const int entries = r->data_block.num_entries();
+  WriteBlock(&r->data_block, &r->pending_handle, entries);
+  if (ok()) {
+    r->pending_index_entry = true;
+  }
+}
+
+void TableBuilder::WriteBlock(BlockBuilder* block, BlockHandle* handle,
+                              int num_entries) {
+  assert(ok());
+  Rep* r = rep_;
+  Slice raw = block->Finish();
+  WriteRawBlock(raw, handle);
+
+  // Format-density padding (DESIGN.md §2): model denser/looser record
+  // formats as real dead bytes after the block so write-amplification
+  // accounting sees the difference the paper measures in §4.3.3.
+  const size_t pad = num_entries * r->options.format_overhead_per_entry;
+  if (pad > 0 && r->status.ok()) {
+    std::string padding(pad, '\0');
+    r->status = r->file->Append(padding);
+    if (r->status.ok()) {
+      r->offset += pad;
+    }
+  }
+  block->Reset();
+}
+
+void TableBuilder::WriteRawBlock(const Slice& block_contents,
+                                 BlockHandle* handle) {
+  Rep* r = rep_;
+  handle->set_offset(r->offset);
+  handle->set_size(block_contents.size());
+  r->status = r->file->Append(block_contents);
+  if (r->status.ok()) {
+    char trailer[kBlockTrailerSize];
+    trailer[0] = 0;  // kNoCompression
+    uint32_t crc = crc32c::Value(block_contents.data(), block_contents.size());
+    crc = crc32c::Extend(crc, trailer, 1);  // Extend crc to cover block type
+    EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+    r->status = r->file->Append(Slice(trailer, kBlockTrailerSize));
+    if (r->status.ok()) {
+      r->offset += block_contents.size() + kBlockTrailerSize;
+    }
+  }
+}
+
+Status TableBuilder::status() const { return rep_->status; }
+
+Status TableBuilder::Finish() {
+  Rep* r = rep_;
+  Flush();
+  assert(!r->closed);
+  r->closed = true;
+
+  BlockHandle filter_block_handle, index_block_handle;
+
+  // Write the whole-table bloom filter (the paper's per-SSTable filter).
+  if (ok() && r->options.filter_policy != nullptr) {
+    std::vector<Slice> keys;
+    keys.reserve(r->filter_key_offsets.size());
+    for (size_t i = 0; i < r->filter_key_offsets.size(); i++) {
+      const size_t start = r->filter_key_offsets[i];
+      const size_t end = (i + 1 < r->filter_key_offsets.size())
+                             ? r->filter_key_offsets[i + 1]
+                             : r->filter_keys_flat.size();
+      keys.emplace_back(r->filter_keys_flat.data() + start, end - start);
+    }
+    std::string filter_data;
+    r->options.filter_policy->CreateFilter(keys.data(),
+                                           static_cast<int>(keys.size()),
+                                           &filter_data);
+    WriteRawBlock(Slice(filter_data), &filter_block_handle);
+  } else {
+    filter_block_handle.set_offset(r->offset);
+    filter_block_handle.set_size(0);
+  }
+
+  // Write index block
+  if (ok()) {
+    if (r->pending_index_entry) {
+      r->options.comparator->FindShortSuccessor(&r->last_key);
+      std::string handle_encoding;
+      r->pending_handle.EncodeTo(&handle_encoding);
+      r->index_block.Add(r->last_key, Slice(handle_encoding));
+      r->pending_index_entry = false;
+    }
+    WriteRawBlock(r->index_block.Finish(), &index_block_handle);
+  }
+
+  // Write footer
+  if (ok()) {
+    Footer footer;
+    footer.set_filter_handle(filter_block_handle);
+    footer.set_index_handle(index_block_handle);
+    std::string footer_encoding;
+    footer.EncodeTo(&footer_encoding);
+    r->status = r->file->Append(footer_encoding);
+    if (r->status.ok()) {
+      r->offset += footer_encoding.size();
+    }
+  }
+  return r->status;
+}
+
+void TableBuilder::Abandon() {
+  Rep* r = rep_;
+  assert(!r->closed);
+  r->closed = true;
+}
+
+uint64_t TableBuilder::NumEntries() const { return rep_->num_entries; }
+
+uint64_t TableBuilder::FileSize() const {
+  return rep_->offset - rep_->base_offset;
+}
+
+}  // namespace bolt

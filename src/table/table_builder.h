@@ -1,0 +1,67 @@
+// TableBuilder: serializes a sorted run of key/value pairs into the
+// (logical) SSTable format: data blocks + one whole-table bloom filter +
+// index block + footer.
+//
+// BoLT: a builder can start at any base offset of an already-written
+// file, so a compaction emits many logical SSTables back-to-back into a
+// single *compaction file* and issues one barrier for all of them.
+#pragma once
+
+#include <cstdint>
+
+#include "db/options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class BlockBuilder;
+class BlockHandle;
+class WritableFile;
+
+class TableBuilder {
+ public:
+  // Create a builder that stores a table in *file starting at the file's
+  // current size, base_offset.  Does not take ownership of *file.
+  TableBuilder(const Options& options, WritableFile* file,
+               uint64_t base_offset);
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  // REQUIRES: Either Finish() or Abandon() has been called.
+  ~TableBuilder();
+
+  // Add key,value to the table being constructed.
+  // REQUIRES: key is after any previously added key according to the
+  // comparator.  REQUIRES: Finish(), Abandon() have not been called.
+  void Add(const Slice& key, const Slice& value);
+
+  // Advanced: flush any buffered key/value pairs to file.
+  void Flush();
+
+  Status status() const;
+
+  // Finish building the table.  Stops using the file passed to the
+  // constructor after this function returns.
+  Status Finish();
+
+  // Indicate that the contents of this builder should be abandoned.
+  void Abandon();
+
+  uint64_t NumEntries() const;
+
+  // Size of this table so far: bytes from base_offset to the current
+  // write position.  After Finish(), the full logical table size.
+  uint64_t FileSize() const;
+
+ private:
+  bool ok() const { return status().ok(); }
+  void WriteBlock(BlockBuilder* block, BlockHandle* handle, int num_entries);
+  void WriteRawBlock(const Slice& data, BlockHandle* handle);
+
+  struct Rep;
+  Rep* rep_;
+};
+
+}  // namespace bolt

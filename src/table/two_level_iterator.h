@@ -1,0 +1,23 @@
+// TwoLevelIterator: an iterator over an "index" whose values name blocks
+// (or tables); a block_function materializes the second-level iterator on
+// demand.  Used for table iteration (index block -> data blocks) and for
+// level iteration (file list -> tables).
+#pragma once
+
+#include "table/iterator.h"
+
+namespace bolt {
+
+struct ReadOptions;
+
+// Return a new two level iterator.  A two-level iterator contains an
+// index iterator whose values point to a sequence of blocks where each
+// block is itself a sequence of key,value pairs.  Takes ownership of
+// index_iter.
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    Iterator* (*block_function)(void* arg, const ReadOptions& options,
+                                const Slice& index_value),
+    void* arg, const ReadOptions& options);
+
+}  // namespace bolt

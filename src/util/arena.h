@@ -1,0 +1,54 @@
+// Arena: bump allocator backing MemTable skiplists.  Memory is released
+// all at once when the arena is destroyed (i.e., when a MemTable is
+// dropped after its flush completes).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bolt {
+
+class Arena {
+ public:
+  Arena();
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+
+  // Allocate with the normal alignment guarantees of malloc.
+  char* AllocateAligned(size_t bytes);
+
+  // Estimate of total memory used by the arena (for the MemTable size
+  // threshold that drives flushes).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<char*> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace bolt

@@ -1,0 +1,53 @@
+// Cache: sharded LRU cache with reference-counted handles, in the style
+// of LevelDB's Cache.  Used for the BlockCache (capacity in bytes) and —
+// with unit charges — the TableCache, whose capacity is an *entry count*
+// (LevelDB's max_open_files semantics).  That entry-count behaviour is
+// load-bearing for the paper's Fig 6/15/16: large SSTables effectively
+// get 32x more cache bytes than small ones for the same max_open_files.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/slice.h"
+
+namespace bolt {
+
+class Cache {
+ public:
+  Cache() = default;
+  virtual ~Cache() = default;
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  struct Handle {};
+
+  // Insert a mapping from key->value with the specified charge against
+  // the cache capacity.  The returned handle must be Release()d.
+  // deleter is invoked when the entry is evicted and unreferenced.
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  // Returns nullptr on miss; otherwise a handle that must be Release()d.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  virtual void Release(Handle* handle) = 0;
+  virtual void* Value(Handle* handle) = 0;
+  virtual void Erase(const Slice& key) = 0;
+
+  // An opaque id space for cache-key prefixes (one per Table reader).
+  virtual uint64_t NewId() = 0;
+
+  virtual size_t TotalCharge() const = 0;
+
+  // Stats used by the benchmarks.
+  virtual uint64_t hits() const = 0;
+  virtual uint64_t misses() const = 0;
+};
+
+// capacity is in "charge" units (bytes for the block cache, entries for
+// the table cache when inserts use charge 1).
+Cache* NewLRUCache(size_t capacity);
+
+}  // namespace bolt

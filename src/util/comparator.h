@@ -1,0 +1,34 @@
+// Comparator: user-key ordering abstraction.  The library ships the
+// bytewise comparator; the DB wraps it into an internal-key comparator
+// (see db/dbformat.h).
+#pragma once
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace bolt {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  // Three-way comparison: <0 iff a < b, 0 iff a == b, >0 iff a > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  // Name of the comparator, persisted in the MANIFEST so a DB cannot be
+  // reopened with an incompatible ordering.
+  virtual const char* Name() const = 0;
+
+  // Advanced functions used to reduce the space of index blocks:
+  // If *start < limit, change *start to a short string in [start,limit).
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+  // Change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+// Singleton bytewise (memcmp) comparator.
+const Comparator* BytewiseComparator();
+
+}  // namespace bolt

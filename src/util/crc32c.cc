@@ -1,0 +1,40 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace bolt {
+namespace crc32c {
+
+namespace {
+
+// Software slice-by-1 table for the Castagnoli polynomial 0x82f63b78
+// (reflected).  Table is generated at static-init time; throughput is
+// adequate since checksumming is a small share of simulated-I/O cost.
+struct Table {
+  std::array<uint32_t, 256> t;
+  Table() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+const Table kTable;
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = kTable.t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace bolt

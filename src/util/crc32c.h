@@ -1,0 +1,32 @@
+// CRC32C (Castagnoli) checksums guarding every on-disk block and log
+// record, with LevelDB's bit-rotation masking so that CRCs stored inside
+// files that are themselves CRC-protected do not degenerate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bolt {
+namespace crc32c {
+
+// Return the crc32c of concat(A, data[0,n-1]) where init_crc is the
+// crc32c of some string A.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+static const uint32_t kMaskDelta = 0xa282ead8ul;
+
+// Masked CRCs are stored in files: computing the CRC of a string that
+// embeds its own CRC would otherwise be problematic.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace crc32c
+}  // namespace bolt

@@ -1,0 +1,32 @@
+// FilterPolicy: pluggable per-SSTable filters.  The paper configures all
+// stores with 10-bit bloom filters (~1% false positive rate); that is the
+// default this library ships.
+#pragma once
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace bolt {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  virtual const char* Name() const = 0;
+
+  // keys[0,n-1] contains a list of (user) keys, potentially with
+  // duplicates.  Append a filter that summarizes them to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  // Returns true if the key was in the key list the filter was built
+  // from (may return true for keys not in the list: false positives).
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+// Bloom filter with approximately bits_per_key bits per key.
+// bits_per_key = 10 gives ~1% false positive rate (the paper's setting).
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace bolt

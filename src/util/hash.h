@@ -1,0 +1,21 @@
+// Simple byte-string hash (LevelDB's Murmur-like hash) used by the bloom
+// filters, the block cache sharding, and YCSB key scrambling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bolt {
+
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+// 64-bit finalizer-style mixer (splitmix64); used to scramble YCSB key
+// indices so the "ordered" zipfian item space maps to scattered keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace bolt

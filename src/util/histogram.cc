@@ -1,0 +1,102 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace bolt {
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~uint64_t{0};
+  max_ = 0;
+  buckets_.assign(kBuckets, 0);
+}
+
+int Histogram::BucketFor(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<int>(v);
+  // Position = (exponent, mantissa-top-bits).
+  int log2 = 63 - __builtin_clzll(v);
+  int base = (log2 - kSubBucketBits + 1) * kSubBuckets;
+  int sub = static_cast<int>((v >> (log2 - kSubBucketBits)) - kSubBuckets);
+  int b = base + sub;
+  return std::min(b, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketLower(int b) {
+  if (b < kSubBuckets) return static_cast<uint64_t>(b);
+  int base = b / kSubBuckets;
+  int sub = b % kSubBuckets;
+  int log2 = base + kSubBucketBits - 1;
+  return (uint64_t{1} << log2) + (static_cast<uint64_t>(sub) << (log2 - kSubBucketBits));
+}
+
+uint64_t Histogram::BucketUpper(int b) {
+  if (b + 1 >= kBuckets) return ~uint64_t{0};
+  return BucketLower(b + 1) - 1;
+}
+
+void Histogram::Add(uint64_t v) {
+  buckets_[BucketFor(v)]++;
+  count_++;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Average() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  uint64_t threshold = static_cast<uint64_t>(count_ * (p / 100.0));
+  if (threshold >= count_) threshold = count_ - 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; b++) {
+    if (buckets_[b] == 0) continue;
+    if (seen + buckets_[b] > threshold) {
+      // Linear interpolation inside the bucket.
+      uint64_t lo = std::max(BucketLower(b), min_);
+      uint64_t hi = std::min(BucketUpper(b), max_);
+      if (hi < lo) hi = lo;
+      double frac = static_cast<double>(threshold - seen) / buckets_[b];
+      return lo + static_cast<uint64_t>(frac * (hi - lo));
+    }
+    seen += buckets_[b];
+  }
+  return max_;
+}
+
+std::string Histogram::CdfString(const std::vector<double>& percentiles) const {
+  std::string out;
+  char line[128];
+  for (double p : percentiles) {
+    snprintf(line, sizeof(line), "  p%-7.3f %12.1f us\n", p,
+             Percentile(p) / 1000.0);
+    out += line;
+  }
+  return out;
+}
+
+std::string Histogram::Summary() const {
+  char line[256];
+  snprintf(line, sizeof(line),
+           "count=%" PRIu64 " avg=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus "
+           "p99.9=%.1fus max=%.1fus",
+           count_, Average() / 1000.0, Percentile(50) / 1000.0,
+           Percentile(90) / 1000.0, Percentile(99) / 1000.0,
+           Percentile(99.9) / 1000.0, max_ / 1000.0);
+  return std::string(line);
+}
+
+}  // namespace bolt

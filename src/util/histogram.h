@@ -1,0 +1,54 @@
+// Log-bucketed latency histogram with nanosecond resolution.  The bench
+// harness uses it for every tail-latency figure (Figs 4b, 14, 16): it can
+// report arbitrary percentiles and dump CDF rows matching the paper's
+// plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bolt {
+
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(uint64_t value_ns);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Average() const;
+
+  // Value at percentile p in [0, 100]; interpolated within a bucket.
+  uint64_t Percentile(double p) const;
+
+  // Multi-line "percentile  latency_us" table for the given percentile
+  // list (the paper's CDF x-axes).
+  std::string CdfString(const std::vector<double>& percentiles) const;
+
+  // One-line summary: count/avg/p50/p90/p99/p99.9/max in microseconds.
+  std::string Summary() const;
+
+ private:
+  // Buckets: 0..127 are exact 1ns buckets; beyond that, buckets grow
+  // geometrically (64 sub-buckets per power of two) up to ~73 hours.
+  static constexpr int kSubBucketBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 64
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketLower(int b);
+  static uint64_t BucketUpper(int b);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace bolt

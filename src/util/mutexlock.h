@@ -1,0 +1,22 @@
+// MutexLock: RAII lock in the LevelDB style.  DBImpl internals follow
+// LevelDB's discipline of temporarily releasing the mutex around I/O via
+// matched unlock()/lock() pairs, which std::unique_lock does not allow.
+#pragma once
+
+#include <mutex>
+
+namespace bolt {
+
+class MutexLock {
+ public:
+  explicit MutexLock(std::mutex* mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  std::mutex* const mu_;
+};
+
+}  // namespace bolt

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random generators used by the skiplist, the tests,
+// and the YCSB workload generator.  All benchmarks are seeded, so every
+// figure in EXPERIMENTS.md is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace bolt {
+
+// LevelDB's Lehmer-style generator: fast, tiny state, good enough for
+// skiplist height choices and workload shuffling.
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    // Avoid bad seeds.
+    if (seed_ == 0 || seed_ == 2147483647L) {
+      seed_ = 1;
+    }
+  }
+
+  uint32_t Next() {
+    static const uint32_t M = 2147483647L;  // 2^31-1
+    static const uint64_t A = 16807;        // bits 14, 8, 7, 5, 2, 1, 0
+    uint64_t product = seed_ * A;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & M));
+    if (seed_ > M) {
+      seed_ -= M;
+    }
+    return seed_;
+  }
+
+  // Returns a uniformly distributed value in the range [0..n-1].
+  // REQUIRES: n > 0
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  // Randomly returns true ~"1/n" of the time.
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  // Skewed: pick "base" uniformly from [0,max_log] and then return
+  // "base" random bits.  The effect is to pick a number in the range
+  // [0,2^max_log-1] with exponential bias towards smaller numbers.
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+ private:
+  uint32_t seed_;
+};
+
+// xoshiro-style 64-bit generator for workload generation (longer period
+// and 64-bit output, which the zipfian generator needs).
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed) : state_(seed ? seed : 0x853c49e6748fea9bull) {}
+
+  uint64_t Next() {
+    // splitmix64 stream: statistically strong and unconditionally fast.
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).  REQUIRES: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace bolt

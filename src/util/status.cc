@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+namespace bolt {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
+  msg_.assign(msg.data(), msg.size());
+  if (!msg2.empty()) {
+    msg_.append(": ");
+    msg_.append(msg2.data(), msg2.size());
+  }
+}
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case kOk:
+      return "OK";
+    case kNotFound:
+      return "NotFound: " + msg_;
+    case kCorruption:
+      return "Corruption: " + msg_;
+    case kNotSupported:
+      return "Not implemented: " + msg_;
+    case kInvalidArgument:
+      return "Invalid argument: " + msg_;
+    case kIOError:
+      return "IO error: " + msg_;
+  }
+  return "Unknown code";
+}
+
+}  // namespace bolt

@@ -1,0 +1,92 @@
+// Zipfian and scrambled-zipfian generators following the YCSB reference
+// implementation (Gray et al.'s rejection-free inverse method), used to
+// drive the paper's YCSB A-F workloads.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace bolt {
+
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(uint64_t num_items, uint64_t seed,
+                   double theta = kDefaultTheta)
+      : items_(num_items), theta_(theta), rng_(seed) {
+    assert(num_items > 0);
+    zetan_ = Zeta(items_, theta_);
+    zeta2theta_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1 - std::pow(2.0 / static_cast<double>(items_), 1 - theta_)) /
+           (1 - zeta2theta_ / zetan_);
+  }
+
+  // Returns a rank in [0, num_items): 0 is the hottest item.
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1, alpha_));
+  }
+
+  uint64_t num_items() const { return items_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // O(n) zeta; item counts in this repo are <= a few million, and the
+    // constant is computed once per workload.
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t items_;
+  double theta_;
+  double zetan_, zeta2theta_, alpha_, eta_;
+  Random64 rng_;
+};
+
+// YCSB's ScrambledZipfian: zipfian ranks scattered over the item space so
+// hot items are not key-adjacent.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_items, uint64_t seed)
+      : items_(num_items), gen_(num_items, seed) {}
+
+  uint64_t Next() { return Mix64(gen_.Next()) % items_; }
+
+ private:
+  uint64_t items_;
+  ZipfianGenerator gen_;
+};
+
+// YCSB's "latest" distribution: zipfian over recency, anchored at the most
+// recently inserted item (workload D).
+class SkewedLatestGenerator {
+ public:
+  SkewedLatestGenerator(uint64_t num_items, uint64_t seed)
+      : max_(num_items), gen_(num_items, seed) {}
+
+  void set_max(uint64_t m) { max_ = m; }
+
+  uint64_t Next() {
+    uint64_t off = gen_.Next() % max_;
+    return max_ - 1 - off;
+  }
+
+ private:
+  uint64_t max_;
+  ZipfianGenerator gen_;
+};
+
+}  // namespace bolt

@@ -1,0 +1,28 @@
+// Log format shared by the write-ahead log and the MANIFEST: a stream of
+// 32 KiB blocks, each holding checksummed records; records spanning
+// blocks are split into FIRST/MIDDLE/LAST fragments.
+#pragma once
+
+namespace bolt {
+namespace log {
+
+enum RecordType {
+  // Zero is reserved for preallocated files
+  kZeroType = 0,
+
+  kFullType = 1,
+
+  // For fragments
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4
+};
+static const int kMaxRecordType = kLastType;
+
+static const int kBlockSize = 32768;
+
+// Header is checksum (4 bytes), length (2 bytes), type (1 byte).
+static const int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace bolt

@@ -1,0 +1,281 @@
+#include "ycsb/ycsb.h"
+
+#include <cassert>
+#include <cstdio>
+#include <memory>
+
+#include "db/db.h"
+#include "table/iterator.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace bolt {
+namespace ycsb {
+
+const char* WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kLoadA:
+      return "LoadA";
+    case Workload::kLoadE:
+      return "LoadE";
+    case Workload::kA:
+      return "A";
+    case Workload::kB:
+      return "B";
+    case Workload::kC:
+      return "C";
+    case Workload::kD:
+      return "D";
+    case Workload::kE:
+      return "E";
+    case Workload::kF:
+      return "F";
+  }
+  return "?";
+}
+
+std::string MakeKey(uint64_t record_index) {
+  // Mix64 is a bijection on 64-bit values; reduce mod 10^19 to fit 19
+  // digits (collision probability is negligible at our scales).
+  const uint64_t kMod = 10000000000000000000ull;  // 10^19
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%019llu",
+           static_cast<unsigned long long>(Mix64(record_index) % kMod));
+  return std::string(buf);  // 4 + 19 = 23 bytes, as in the paper
+}
+
+std::string MakeValue(uint64_t record_index, size_t value_size,
+                      uint32_t generation) {
+  std::string v;
+  v.reserve(value_size);
+  Random64 rng(record_index * 31 + generation + 1);
+  while (v.size() + 8 <= value_size) {
+    uint64_t x = rng.Next();
+    for (int i = 0; i < 8; i++) {
+      v.push_back('a' + ((x >> (i * 8)) % 26));
+    }
+  }
+  while (v.size() < value_size) v.push_back('x');
+  return v;
+}
+
+Runner::Runner(DB* db, Env* env) : db_(db), env_(env) {}
+
+namespace {
+
+class KeyChooser {
+ public:
+  KeyChooser(Distribution dist, uint64_t num_items, uint64_t seed)
+      : dist_(dist), uniform_(seed * 2 + 1) {
+    if (dist == Distribution::kZipfian) {
+      zipf_ = std::make_unique<ScrambledZipfianGenerator>(num_items, seed);
+    }
+    num_items_ = num_items;
+  }
+
+  uint64_t Next() {
+    if (dist_ == Distribution::kZipfian) {
+      return zipf_->Next();
+    }
+    return uniform_.Uniform(num_items_);
+  }
+
+ private:
+  Distribution dist_;
+  uint64_t num_items_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+  Random64 uniform_;
+};
+
+}  // namespace
+
+Result Runner::Run(const Spec& spec) {
+  Result result;
+  result.workload_name = WorkloadName(spec.workload);
+
+  const IoStats io_before = env_->GetIoStats();
+  const DbStats db_before = db_->GetStats();
+
+  const uint64_t t_start = env_->NowNanos();
+
+  const bool is_load = (spec.workload == Workload::kLoadA ||
+                        spec.workload == Workload::kLoadE);
+
+  if (is_load) {
+    for (uint64_t i = 0; i < spec.record_count; i++) {
+      const uint64_t t0 = env_->NowNanos();
+      Status s = db_->Put(WriteOptions(), MakeKey(i),
+                          MakeValue(i, spec.value_size));
+      assert(s.ok());
+      (void)s;
+      const uint64_t dt = env_->NowNanos() - t0;
+      result.insert_latency.Add(dt);
+      result.overall_latency.Add(dt);
+    }
+    inserted_ = spec.record_count;
+    result.operations = spec.record_count;
+  } else {
+    // Transaction phase.
+    uint64_t key_space = inserted_ ? inserted_ : spec.record_count;
+    KeyChooser chooser(spec.distribution, key_space, spec.seed);
+    SkewedLatestGenerator latest(key_space, spec.seed + 7);
+    Random64 op_rng(spec.seed + 13);
+    Random64 scan_len_rng(spec.seed + 17);
+    std::string value;
+
+    for (uint64_t i = 0; i < spec.operation_count; i++) {
+      const uint64_t t0 = env_->NowNanos();
+      // Pick the operation per workload mix.
+      const uint64_t p = op_rng.Uniform(100);
+      switch (spec.workload) {
+        case Workload::kA: {  // 50% read / 50% update
+          uint64_t k = chooser.Next() % key_space;
+          if (p < 50) {
+            db_->Get(ReadOptions(), MakeKey(k), &value);
+            result.read_latency.Add(env_->NowNanos() - t0);
+          } else {
+            db_->Put(WriteOptions(), MakeKey(k),
+                     MakeValue(k, spec.value_size, 1 + (uint32_t)i));
+            result.update_latency.Add(env_->NowNanos() - t0);
+          }
+          break;
+        }
+        case Workload::kB: {  // 95% read / 5% update
+          uint64_t k = chooser.Next() % key_space;
+          if (p < 95) {
+            db_->Get(ReadOptions(), MakeKey(k), &value);
+            result.read_latency.Add(env_->NowNanos() - t0);
+          } else {
+            db_->Put(WriteOptions(), MakeKey(k),
+                     MakeValue(k, spec.value_size, 1 + (uint32_t)i));
+            result.update_latency.Add(env_->NowNanos() - t0);
+          }
+          break;
+        }
+        case Workload::kC: {  // 100% read
+          uint64_t k = chooser.Next() % key_space;
+          db_->Get(ReadOptions(), MakeKey(k), &value);
+          result.read_latency.Add(env_->NowNanos() - t0);
+          break;
+        }
+        case Workload::kD: {  // 95% read-latest / 5% insert
+          if (p < 95) {
+            latest.set_max(key_space);
+            uint64_t k = latest.Next();
+            db_->Get(ReadOptions(), MakeKey(k), &value);
+            result.read_latency.Add(env_->NowNanos() - t0);
+          } else {
+            uint64_t k = key_space++;
+            db_->Put(WriteOptions(), MakeKey(k),
+                     MakeValue(k, spec.value_size));
+            result.insert_latency.Add(env_->NowNanos() - t0);
+          }
+          break;
+        }
+        case Workload::kE: {  // 95% scan / 5% insert
+          if (p < 95) {
+            uint64_t k = chooser.Next() % key_space;
+            int len = 1 + static_cast<int>(
+                              scan_len_rng.Uniform(spec.max_scan_length));
+            std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+            iter->Seek(MakeKey(k));
+            for (int j = 0; j < len && iter->Valid(); j++) {
+              value.assign(iter->value().data(), iter->value().size());
+              iter->Next();
+            }
+            result.scan_latency.Add(env_->NowNanos() - t0);
+          } else {
+            uint64_t k = key_space++;
+            db_->Put(WriteOptions(), MakeKey(k),
+                     MakeValue(k, spec.value_size));
+            result.insert_latency.Add(env_->NowNanos() - t0);
+          }
+          break;
+        }
+        case Workload::kF: {  // 50% read / 50% read-modify-write
+          uint64_t k = chooser.Next() % key_space;
+          if (p < 50) {
+            db_->Get(ReadOptions(), MakeKey(k), &value);
+            result.read_latency.Add(env_->NowNanos() - t0);
+          } else {
+            db_->Get(ReadOptions(), MakeKey(k), &value);
+            db_->Put(WriteOptions(), MakeKey(k),
+                     MakeValue(k, spec.value_size, 2 + (uint32_t)i));
+            result.rmw_latency.Add(env_->NowNanos() - t0);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      result.overall_latency.Add(env_->NowNanos() - t0);
+    }
+    inserted_ = key_space;
+    result.operations = spec.operation_count;
+  }
+
+  const uint64_t t_end = env_->NowNanos();
+  result.duration_seconds = (t_end - t_start) / 1e9;
+  result.throughput_ops_sec =
+      result.duration_seconds > 0
+          ? result.operations / result.duration_seconds
+          : 0;
+
+  const IoStats io_after = env_->GetIoStats();
+  result.io.sync_calls = io_after.sync_calls - io_before.sync_calls;
+  result.io.synced_bytes = io_after.synced_bytes - io_before.synced_bytes;
+  result.io.bytes_written = io_after.bytes_written - io_before.bytes_written;
+  result.io.wal_bytes_written =
+      io_after.wal_bytes_written - io_before.wal_bytes_written;
+  result.io.bytes_read = io_after.bytes_read - io_before.bytes_read;
+  result.io.files_created = io_after.files_created - io_before.files_created;
+  result.io.files_deleted = io_after.files_deleted - io_before.files_deleted;
+  result.io.files_opened = io_after.files_opened - io_before.files_opened;
+  result.io.holes_punched = io_after.holes_punched - io_before.holes_punched;
+  result.io.hole_bytes = io_after.hole_bytes - io_before.hole_bytes;
+  result.io.metadata_ops = io_after.metadata_ops - io_before.metadata_ops;
+
+  const DbStats db_after = db_->GetStats();
+  result.db.slowdown_writes =
+      db_after.slowdown_writes - db_before.slowdown_writes;
+  result.db.stall_writes = db_after.stall_writes - db_before.stall_writes;
+  result.db.stall_micros = db_after.stall_micros - db_before.stall_micros;
+  result.db.memtable_flushes =
+      db_after.memtable_flushes - db_before.memtable_flushes;
+  result.db.compactions = db_after.compactions - db_before.compactions;
+  result.db.trivial_moves = db_after.trivial_moves - db_before.trivial_moves;
+  result.db.settled_promotions =
+      db_after.settled_promotions - db_before.settled_promotions;
+  result.db.pure_settled_compactions = db_after.pure_settled_compactions -
+                                       db_before.pure_settled_compactions;
+  result.db.seek_compactions =
+      db_after.seek_compactions - db_before.seek_compactions;
+  result.db.compaction_bytes_read =
+      db_after.compaction_bytes_read - db_before.compaction_bytes_read;
+  result.db.compaction_bytes_written =
+      db_after.compaction_bytes_written - db_before.compaction_bytes_written;
+  result.db.compaction_output_tables =
+      db_after.compaction_output_tables - db_before.compaction_output_tables;
+  result.db.compaction_files_created =
+      db_after.compaction_files_created - db_before.compaction_files_created;
+  result.db.settled_bytes_saved =
+      db_after.settled_bytes_saved - db_before.settled_bytes_saved;
+
+  return result;
+}
+
+std::vector<Result> RunSequence(DB* db, Env* env, const Spec& base_spec,
+                                const std::vector<Workload>& workloads) {
+  Runner runner(db, env);
+  std::vector<Result> results;
+  for (Workload w : workloads) {
+    Spec spec = base_spec;
+    spec.workload = w;
+    results.push_back(runner.Run(spec));
+  }
+  return results;
+}
+
+}  // namespace ycsb
+}  // namespace bolt

@@ -1,0 +1,101 @@
+// YCSB workload generator + runner (Cooper et al., SoCC'10), following
+// the reference implementation's core workloads:
+//
+//   Load A / Load E — 100% inserts (fill the database)
+//   A — 50% read / 50% update, zipfian
+//   B — 95% read / 5% update, zipfian
+//   C — 100% read, zipfian
+//   D — 95% read-latest / 5% insert
+//   E — 95% short scans / 5% insert
+//   F — 50% read / 50% read-modify-write, zipfian
+//
+// The paper (§4.1) runs them in the order LA, A, B, C, F, D, (delete DB),
+// LE, E with 23-byte keys and 1 KB values; RunSequence() reproduces that.
+// Latencies are measured on Env::NowNanos(), i.e., on the virtual clock
+// when the DB runs on a SimEnv.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/db_stats.h"
+#include "env/env.h"
+#include "util/histogram.h"
+
+namespace bolt {
+
+class DB;
+
+namespace ycsb {
+
+enum class Workload { kLoadA, kLoadE, kA, kB, kC, kD, kE, kF };
+
+enum class Distribution { kZipfian, kUniform };
+
+const char* WorkloadName(Workload w);
+
+struct Spec {
+  Workload workload = Workload::kLoadA;
+  Distribution distribution = Distribution::kZipfian;
+  uint64_t record_count = 100000;    // records in the loaded database
+  uint64_t operation_count = 10000;  // ops for the transaction phase
+  size_t value_size = 1024;          // paper: 1 KB (Fig 15c: 100 B)
+  int max_scan_length = 100;
+  uint64_t seed = 42;
+};
+
+struct Result {
+  std::string workload_name;
+  uint64_t operations = 0;
+  double duration_seconds = 0;   // virtual seconds on SimEnv
+  double throughput_ops_sec = 0;
+
+  Histogram insert_latency;
+  Histogram update_latency;
+  Histogram read_latency;
+  Histogram scan_latency;
+  Histogram rmw_latency;
+  Histogram overall_latency;
+
+  // Deltas over the run.
+  IoStats io;
+  DbStats db;
+};
+
+// 23-byte YCSB-style keys: "user" + 19 decimal digits of a bijectively
+// scrambled record index (hot zipfian ranks scatter over the keyspace).
+std::string MakeKey(uint64_t record_index);
+
+// Deterministic value for a key (verifiable in tests).
+std::string MakeValue(uint64_t record_index, size_t value_size,
+                      uint32_t generation = 0);
+
+class Runner {
+ public:
+  // The runner measures time via env (pass the same Env the DB uses).
+  Runner(DB* db, Env* env);
+
+  // Execute one workload.  For load workloads, record_count keys are
+  // inserted; for transaction workloads the DB must already hold
+  // record_count records.
+  Result Run(const Spec& spec);
+
+  // Records inserted so far across runs (inserts in D/E grow the key
+  // space, as in YCSB).
+  uint64_t inserted() const { return inserted_; }
+  void set_inserted(uint64_t n) { inserted_ = n; }
+
+ private:
+  DB* const db_;
+  Env* const env_;
+  uint64_t inserted_ = 0;
+};
+
+// Run the paper's full sequence LA, A, B, C, F, D on one DB instance
+// (the caller deletes the DB and runs LE, E separately, as §4.1 does).
+std::vector<Result> RunSequence(DB* db, Env* env, const Spec& base_spec,
+                                const std::vector<Workload>& workloads);
+
+}  // namespace ycsb
+}  // namespace bolt

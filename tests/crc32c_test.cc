@@ -1,0 +1,58 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bolt {
+namespace crc32c {
+
+// Known-answer vectors from the CRC32C specification (also used by
+// LevelDB's crc32c_test).
+TEST(Crc32c, StandardResults) {
+  char buf[32];
+
+  memset(buf, 0, sizeof(buf));
+  EXPECT_EQ(0x8a9136aau, Value(buf, sizeof(buf)));
+
+  memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(0x62a8ab43u, Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; i++) {
+    buf[i] = i;
+  }
+  EXPECT_EQ(0x46dd794eu, Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; i++) {
+    buf[i] = 31 - i;
+  }
+  EXPECT_EQ(0x113fdb5cu, Value(buf, sizeof(buf)));
+
+  // An iSCSI SCSI Read (10) Command PDU, from RFC 3720 section B.4.
+  uint8_t data[48] = {
+      0x01, 0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00,
+      0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x18, 0x28, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  EXPECT_EQ(0xd9963a56u, Value(reinterpret_cast<char*>(data), sizeof(data)));
+}
+
+TEST(Crc32c, Values) {
+  EXPECT_NE(Value("a", 1), Value("foo", 3));
+}
+
+TEST(Crc32c, Extend) {
+  EXPECT_EQ(Value("hello world", 11), Extend(Value("hello ", 6), "world", 5));
+}
+
+TEST(Crc32c, Mask) {
+  uint32_t crc = Value("foo", 3);
+  EXPECT_NE(crc, Mask(crc));
+  EXPECT_NE(crc, Mask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Unmask(Mask(Mask(crc)))));
+}
+
+}  // namespace crc32c
+}  // namespace bolt

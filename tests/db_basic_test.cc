@@ -1,0 +1,274 @@
+// End-to-end DB tests run against every engine preset on both SimEnv and
+// PosixEnv: read-your-writes under heavy compaction, overwrites, deletes,
+// iteration, reopen.
+#include "db/db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "db/db_impl.h"
+#include "db/write_batch.h"
+#include "engines/presets.h"
+#include "sim/sim_env.h"
+#include "table/iterator.h"
+#include "util/random.h"
+
+namespace bolt {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%010d", i);
+  return std::string(buf);
+}
+
+std::string Value(int i, size_t len = 100) {
+  Random rnd(i * 2654435761u + 1);
+  std::string v;
+  v.reserve(len);
+  for (size_t j = 0; j < len; j++) {
+    v.push_back('a' + rnd.Uniform(26));
+  }
+  return v;
+}
+
+struct EngineCase {
+  const char* name;
+  bool posix;  // run on the real filesystem instead of SimEnv
+};
+
+}  // namespace
+
+class DBBasicTest : public testing::TestWithParam<EngineCase> {
+ protected:
+  void SetUp() override {
+    const EngineCase& c = GetParam();
+    options_ = presets::ByName(c.name);
+    // Shrink knobs so compactions happen quickly in tests.
+    options_.write_buffer_size = 64 << 10;
+    options_.max_file_size = std::min<uint64_t>(options_.max_file_size, 16 << 10);
+    options_.logical_sstable_size = 4 << 10;
+    if (options_.group_compaction_bytes > 0) {
+      options_.group_compaction_bytes = 32 << 10;
+    }
+    options_.max_bytes_for_level_base = 64 << 10;
+    if (c.posix) {
+      dbname_ = std::string("/tmp/bolt_dbtest_") + c.name;
+      options_.env = PosixEnv();
+    } else {
+      sim_env_ = std::make_unique<SimEnv>();
+      options_.env = sim_env_.get();
+      dbname_ = std::string("/db_") + c.name;
+    }
+    DestroyDB(dbname_, options_);
+    Open();
+  }
+
+  void TearDown() override {
+    db_.reset();
+    DestroyDB(dbname_, options_);
+  }
+
+  void Open() {
+    DB* db = nullptr;
+    ASSERT_TRUE(DB::Open(options_, dbname_, &db).ok());
+    db_.reset(db);
+  }
+
+  void Reopen() {
+    db_.reset();
+    Open();
+  }
+
+  std::string Get(const std::string& k) {
+    std::string v;
+    Status s = db_->Get(ReadOptions(), k, &v);
+    if (s.IsNotFound()) return "NOT_FOUND";
+    if (!s.ok()) return "ERROR: " + s.ToString();
+    return v;
+  }
+
+  std::unique_ptr<SimEnv> sim_env_;
+  Options options_;
+  std::string dbname_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(DBBasicTest, PutGet) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "foo", "v1").ok());
+  EXPECT_EQ("v1", Get("foo"));
+  ASSERT_TRUE(db_->Put(WriteOptions(), "foo", "v2").ok());
+  EXPECT_EQ("v2", Get("foo"));
+  EXPECT_EQ("NOT_FOUND", Get("bar"));
+}
+
+TEST_P(DBBasicTest, Delete) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "foo", "v1").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "foo").ok());
+  EXPECT_EQ("NOT_FOUND", Get("foo"));
+  // Deleting a non-existent key is fine.
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "nokey").ok());
+}
+
+TEST_P(DBBasicTest, ReadYourWritesUnderCompaction) {
+  // Write enough data to force many flushes and multi-level compactions;
+  // verify every key afterwards.
+  const int n = 3000;
+  Random rnd(301);
+  for (int i = 0; i < n; i++) {
+    int k = rnd.Uniform(n);
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(k), Value(k)).ok());
+  }
+  // Overwrite a subset with new values.
+  std::map<int, int> versions;
+  for (int i = 0; i < n / 4; i++) {
+    int k = rnd.Uniform(n);
+    versions[k] = i;
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(k), Value(k + 100000 + i)).ok());
+  }
+  db_->WaitForBackgroundWork();
+
+  for (const auto& [k, ver] : versions) {
+    EXPECT_EQ(Value(k + 100000 + ver), Get(Key(k))) << "key " << k;
+  }
+
+  // Structural invariants must hold after all that compaction.
+  auto* impl = static_cast<DBImpl*>(db_.get());
+  EXPECT_EQ("", impl->TEST_CheckInvariants());
+
+  // Data must have reached deeper levels (compactions actually ran).
+  int deep_tables = 0;
+  for (int level = 1; level < options_.num_levels; level++) {
+    deep_tables += impl->TEST_NumTablesAtLevel(level);
+  }
+  EXPECT_GT(deep_tables, 0);
+}
+
+TEST_P(DBBasicTest, IterateForwardBackward) {
+  const int n = 500;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i)).ok());
+  }
+  db_->WaitForBackgroundWork();
+
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ(Key(count), iter->key().ToString());
+    EXPECT_EQ(Value(count), iter->value().ToString());
+    count++;
+  }
+  EXPECT_EQ(n, count);
+  EXPECT_TRUE(iter->status().ok());
+
+  for (iter->SeekToLast(); iter->Valid(); iter->Prev()) {
+    count--;
+    EXPECT_EQ(Key(count), iter->key().ToString());
+  }
+  EXPECT_EQ(0, count);
+
+  iter->Seek(Key(123));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(Key(123), iter->key().ToString());
+}
+
+TEST_P(DBBasicTest, IteratorHidesDeletionsAndOldVersions) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "a", "1").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "b", "2").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "c", "3").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "b", "2new").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "c").ok());
+
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("a", iter->key().ToString());
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("b", iter->key().ToString());
+  EXPECT_EQ("2new", iter->value().ToString());
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(DBBasicTest, SnapshotIsolation) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "before").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "after").ok());
+
+  ReadOptions ropts;
+  ropts.snapshot = snap;
+  std::string v;
+  ASSERT_TRUE(db_->Get(ropts, "k", &v).ok());
+  EXPECT_EQ("before", v);
+  ASSERT_TRUE(db_->Get(ReadOptions(), "k", &v).ok());
+  EXPECT_EQ("after", v);
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_P(DBBasicTest, WriteBatchAtomicAppend) {
+  WriteBatch batch;
+  batch.Put("x", "1");
+  batch.Put("y", "2");
+  batch.Delete("x");
+  ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+  EXPECT_EQ("NOT_FOUND", Get("x"));
+  EXPECT_EQ("2", Get("y"));
+}
+
+TEST_P(DBBasicTest, ReopenPreservesData) {
+  const int n = 800;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i)).ok());
+  }
+  Reopen();
+  for (int i = 0; i < n; i += 7) {
+    EXPECT_EQ(Value(i), Get(Key(i))) << "key " << i;
+  }
+  // And the DB remains writable.
+  ASSERT_TRUE(db_->Put(WriteOptions(), Key(n + 1), Value(n + 1)).ok());
+  EXPECT_EQ(Value(n + 1), Get(Key(n + 1)));
+}
+
+TEST_P(DBBasicTest, CompactRangeThenRead) {
+  const int n = 1000;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i)).ok());
+  }
+  db_->CompactRange(nullptr, nullptr);
+  for (int i = 0; i < n; i += 13) {
+    EXPECT_EQ(Value(i), Get(Key(i)));
+  }
+  auto* impl = static_cast<DBImpl*>(db_.get());
+  EXPECT_EQ("", impl->TEST_CheckInvariants());
+}
+
+TEST_P(DBBasicTest, GetProperty) {
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i)).ok());
+  }
+  db_->WaitForBackgroundWork();
+  std::string v;
+  EXPECT_TRUE(db_->GetProperty("bolt.num-files-at-level0", &v));
+  EXPECT_TRUE(db_->GetProperty("bolt.stats", &v));
+  EXPECT_NE(v.find("flushes="), std::string::npos);
+  EXPECT_TRUE(db_->GetProperty("bolt.sstables", &v));
+  EXPECT_FALSE(db_->GetProperty("bolt.nonsense", &v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DBBasicTest,
+    testing::Values(EngineCase{"leveldb", false}, EngineCase{"leveldb64", false},
+                    EngineCase{"hyper", false}, EngineCase{"pebbles", false},
+                    EngineCase{"rocks", false}, EngineCase{"bolt", false},
+                    EngineCase{"hbolt", false}, EngineCase{"leveldb", true},
+                    EngineCase{"bolt", true}, EngineCase{"pebbles", true}),
+    [](const testing::TestParamInfo<EngineCase>& info) {
+      return std::string(info.param.name) +
+             (info.param.posix ? "_posix" : "_sim");
+    });
+
+}  // namespace bolt

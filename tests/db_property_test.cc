@@ -1,0 +1,239 @@
+// Property-based testing: random operation streams checked against an
+// in-memory model (std::map), across engine presets, with snapshot
+// checks, full-scan comparisons, reopen cycles, and structural invariant
+// checks after heavy compaction.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "db/db.h"
+#include "db/db_impl.h"
+#include "db/write_batch.h"
+#include "engines/presets.h"
+#include "sim/sim_env.h"
+#include "table/iterator.h"
+#include "util/random.h"
+
+namespace bolt {
+
+namespace {
+
+struct PropertyCase {
+  const char* engine;
+  uint32_t seed;
+};
+
+std::string RandomKey(Random64* rnd, int space) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "k%06llu",
+           static_cast<unsigned long long>(rnd->Uniform(space)));
+  return std::string(buf);
+}
+
+std::string RandomValue(Random64* rnd) {
+  size_t len = 1 + rnd->Uniform(200);
+  std::string v;
+  v.reserve(len);
+  for (size_t i = 0; i < len; i++) {
+    v.push_back('a' + static_cast<char>(rnd->Uniform(26)));
+  }
+  return v;
+}
+
+}  // namespace
+
+class DBPropertyTest : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(DBPropertyTest, RandomOpsMatchModel) {
+  const PropertyCase& pc = GetParam();
+  SimEnv env;
+  Options options = presets::ByName(pc.engine);
+  options.env = &env;
+  options.write_buffer_size = 16 << 10;
+  options.max_file_size = 8 << 10;
+  options.logical_sstable_size = 2 << 10;
+  if (options.group_compaction_bytes) options.group_compaction_bytes = 16 << 10;
+  options.max_bytes_for_level_base = 32 << 10;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/prop", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  std::map<std::string, std::string> model;
+  Random64 rnd(pc.seed);
+  const int kKeySpace = 800;
+  const int kOps = 6000;
+
+  for (int i = 0; i < kOps; i++) {
+    const uint64_t dice = rnd.Uniform(100);
+    if (dice < 55) {
+      // Put
+      std::string k = RandomKey(&rnd, kKeySpace);
+      std::string v = RandomValue(&rnd);
+      ASSERT_TRUE(db->Put(WriteOptions(), k, v).ok());
+      model[k] = v;
+    } else if (dice < 70) {
+      // Delete
+      std::string k = RandomKey(&rnd, kKeySpace);
+      ASSERT_TRUE(db->Delete(WriteOptions(), k).ok());
+      model.erase(k);
+    } else if (dice < 80) {
+      // Atomic batch
+      WriteBatch batch;
+      std::map<std::string, std::optional<std::string>> staged;
+      for (int j = 0; j < 5; j++) {
+        std::string k = RandomKey(&rnd, kKeySpace);
+        if (rnd.Uniform(4) == 0) {
+          batch.Delete(k);
+          staged[k] = std::nullopt;
+        } else {
+          std::string v = RandomValue(&rnd);
+          batch.Put(k, v);
+          staged[k] = v;
+        }
+      }
+      ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+      for (auto& [k, v] : staged) {
+        if (v.has_value()) {
+          model[k] = *v;
+        } else {
+          model.erase(k);
+        }
+      }
+    } else if (dice < 95) {
+      // Point read
+      std::string k = RandomKey(&rnd, kKeySpace);
+      std::string v;
+      Status s = db->Get(ReadOptions(), k, &v);
+      auto it = model.find(k);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << "op " << i << " key " << k;
+      } else {
+        ASSERT_TRUE(s.ok()) << "op " << i << " key " << k << ": "
+                            << s.ToString();
+        ASSERT_EQ(it->second, v) << "op " << i << " key " << k;
+      }
+    } else {
+      // Short range scan compared against the model.
+      std::string start = RandomKey(&rnd, kKeySpace);
+      std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+      iter->Seek(start);
+      auto it = model.lower_bound(start);
+      for (int j = 0; j < 10; j++) {
+        if (it == model.end()) {
+          ASSERT_FALSE(iter->Valid()) << "op " << i;
+          break;
+        }
+        ASSERT_TRUE(iter->Valid()) << "op " << i << " at " << it->first;
+        ASSERT_EQ(it->first, iter->key().ToString()) << "op " << i;
+        ASSERT_EQ(it->second, iter->value().ToString()) << "op " << i;
+        ++it;
+        iter->Next();
+      }
+      ASSERT_TRUE(iter->status().ok());
+    }
+  }
+
+  // Full-scan equivalence with the model.
+  {
+    std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+    auto it = model.begin();
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++it) {
+      ASSERT_TRUE(it != model.end());
+      ASSERT_EQ(it->first, iter->key().ToString());
+      ASSERT_EQ(it->second, iter->value().ToString());
+    }
+    ASSERT_TRUE(it == model.end());
+    ASSERT_TRUE(iter->status().ok());
+  }
+
+  // Reverse-scan equivalence.
+  {
+    std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+    auto it = model.rbegin();
+    for (iter->SeekToLast(); iter->Valid(); iter->Prev(), ++it) {
+      ASSERT_TRUE(it != model.rend());
+      ASSERT_EQ(it->first, iter->key().ToString());
+      ASSERT_EQ(it->second, iter->value().ToString());
+    }
+    ASSERT_TRUE(it == model.rend());
+  }
+
+  // Structural invariants hold after the churn.
+  auto* impl = static_cast<DBImpl*>(db.get());
+  EXPECT_EQ("", impl->TEST_CheckInvariants());
+
+  // Reopen and re-verify a sample.
+  db.reset();
+  ASSERT_TRUE(DB::Open(options, "/prop", &raw).ok());
+  db.reset(raw);
+  int checked = 0;
+  for (const auto& [k, v] : model) {
+    if (++checked % 7 != 0) continue;
+    std::string got;
+    ASSERT_TRUE(db->Get(ReadOptions(), k, &got).ok()) << k;
+    ASSERT_EQ(v, got) << k;
+  }
+}
+
+TEST_P(DBPropertyTest, SnapshotsSeeFrozenState) {
+  const PropertyCase& pc = GetParam();
+  SimEnv env;
+  Options options = presets::ByName(pc.engine);
+  options.env = &env;
+  options.write_buffer_size = 16 << 10;
+  options.max_bytes_for_level_base = 32 << 10;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/snap", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  Random64 rnd(pc.seed + 1);
+  std::map<std::string, std::string> frozen;
+  for (int i = 0; i < 300; i++) {
+    std::string k = RandomKey(&rnd, 200);
+    std::string v = RandomValue(&rnd);
+    ASSERT_TRUE(db->Put(WriteOptions(), k, v).ok());
+    frozen[k] = v;
+  }
+
+  const Snapshot* snap = db->GetSnapshot();
+
+  // Churn heavily after the snapshot (forces compactions that must
+  // preserve snapshot-visible versions).
+  for (int i = 0; i < 3000; i++) {
+    std::string k = RandomKey(&rnd, 200);
+    if (rnd.Uniform(5) == 0) {
+      ASSERT_TRUE(db->Delete(WriteOptions(), k).ok());
+    } else {
+      ASSERT_TRUE(db->Put(WriteOptions(), k, RandomValue(&rnd)).ok());
+    }
+  }
+  db->WaitForBackgroundWork();
+
+  ReadOptions snap_opts;
+  snap_opts.snapshot = snap;
+  for (const auto& [k, v] : frozen) {
+    std::string got;
+    ASSERT_TRUE(db->Get(snap_opts, k, &got).ok()) << k;
+    ASSERT_EQ(v, got) << k;
+  }
+  db->ReleaseSnapshot(snap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DBPropertyTest,
+    testing::Values(PropertyCase{"leveldb", 1}, PropertyCase{"leveldb", 2},
+                    PropertyCase{"bolt", 1}, PropertyCase{"bolt", 2},
+                    PropertyCase{"bolt", 3}, PropertyCase{"hbolt", 1},
+                    PropertyCase{"pebbles", 1}, PropertyCase{"pebbles", 2},
+                    PropertyCase{"rocks", 1}, PropertyCase{"hyper", 1}),
+    [](const testing::TestParamInfo<PropertyCase>& info) {
+      return std::string(info.param.engine) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace bolt

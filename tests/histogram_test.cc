@@ -1,0 +1,111 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bolt {
+
+TEST(Histogram, Empty) {
+  Histogram h;
+  EXPECT_EQ(0u, h.count());
+  EXPECT_EQ(0u, h.Percentile(50));
+  EXPECT_EQ(0.0, h.Average());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(1u, h.count());
+  EXPECT_EQ(42u, h.min());
+  EXPECT_EQ(42u, h.max());
+  EXPECT_EQ(42u, h.Percentile(50));
+  EXPECT_EQ(42u, h.Percentile(99.9));
+}
+
+TEST(Histogram, SmallExactBuckets) {
+  // Values < 64 land in exact buckets: percentiles are exact.
+  Histogram h;
+  for (uint64_t v = 0; v < 50; v++) h.Add(v);
+  EXPECT_EQ(0u, h.Percentile(0));
+  EXPECT_EQ(24u, h.Percentile(49));
+  EXPECT_EQ(49u, h.Percentile(99.99));
+}
+
+TEST(Histogram, PercentileAccuracyLargeValues) {
+  // Log-bucketed: relative error within a bucket is < ~1/64.
+  Histogram h;
+  Random64 rng(42);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; i++) {
+    uint64_t v = 1000 + rng.Uniform(10'000'000);
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    uint64_t exact = values[static_cast<size_t>(values.size() * p / 100.0)];
+    uint64_t approx = h.Percentile(p);
+    double rel_err =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LT(rel_err, 0.05) << "p" << p << " exact=" << exact
+                             << " approx=" << approx;
+  }
+}
+
+TEST(Histogram, MinMaxAvg) {
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  h.Add(30);
+  EXPECT_EQ(10u, h.min());
+  EXPECT_EQ(30u, h.max());
+  EXPECT_DOUBLE_EQ(20.0, h.Average());
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; i++) a.Add(100);
+  for (int i = 0; i < 1000; i++) b.Add(10000);
+  a.Merge(b);
+  EXPECT_EQ(2000u, a.count());
+  EXPECT_EQ(100u, a.min());
+  EXPECT_EQ(10000u, a.max());
+  // Median sits between the two spikes: p25 near 100, p75 near 10000.
+  EXPECT_LT(a.Percentile(25), 200u);
+  EXPECT_GT(a.Percentile(75), 9000u);
+}
+
+TEST(Histogram, MonotonePercentiles) {
+  Histogram h;
+  Random64 rng(7);
+  for (int i = 0; i < 10000; i++) h.Add(rng.Uniform(1'000'000));
+  uint64_t prev = 0;
+  for (double p = 1; p <= 100; p += 1) {
+    uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, CdfString) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) h.Add(i * 1000);
+  std::string s = h.CdfString({50, 90, 99});
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.Add(123456);
+  h.Clear();
+  EXPECT_EQ(0u, h.count());
+  EXPECT_EQ(0u, h.Percentile(99));
+}
+
+}  // namespace bolt

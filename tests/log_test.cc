@@ -1,0 +1,300 @@
+// WAL record format tests: round trips, block-spanning fragments,
+// corruption handling, crash truncation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/sim_env.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/random.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace bolt {
+namespace log {
+
+namespace {
+
+std::string BigString(const std::string& partial_string, size_t n) {
+  std::string result;
+  while (result.size() < n) {
+    result.append(partial_string);
+  }
+  result.resize(n);
+  return result;
+}
+
+std::string NumberString(int n) {
+  char buf[50];
+  snprintf(buf, sizeof(buf), "%d.", n);
+  return std::string(buf);
+}
+
+std::string RandomSkewedString(int i, Random* rnd) {
+  size_t len = rnd->Skewed(17);
+  std::string result;
+  for (size_t j = 0; j < len; j++) {
+    result.push_back(static_cast<char>(' ' + rnd->Uniform(95)));
+  }
+  return BigString(result.empty() ? "x" : result, len ? len : 1);
+}
+
+}  // namespace
+
+class LogTest : public testing::Test {
+ protected:
+  LogTest() { Reset(); }
+
+  void Reset() {
+    writer_.reset();
+    wfile_.reset();
+    env_.RemoveFile("/log");
+    EXPECT_TRUE(env_.NewWritableFile("/log", &wfile_).ok());
+    writer_ = std::make_unique<Writer>(wfile_.get());
+    reader_ = nullptr;
+  }
+
+  void Write(const std::string& msg) {
+    ASSERT_TRUE(writer_->AddRecord(Slice(msg)).ok());
+  }
+
+  void StartReading() {
+    std::unique_ptr<SequentialFile> f;
+    ASSERT_TRUE(env_.NewSequentialFile("/log", &f).ok());
+    rfile_ = std::move(f);
+    report_.dropped_bytes = 0;
+    report_.message.clear();
+    reader_ = std::make_unique<Reader>(rfile_.get(), &report_, true);
+  }
+
+  std::string Read() {
+    if (reader_ == nullptr) StartReading();
+    std::string scratch;
+    Slice record;
+    if (reader_->ReadRecord(&record, &scratch)) {
+      return record.ToString();
+    }
+    return "EOF";
+  }
+
+  // Corrupt byte at "offset" in the log file.
+  void SetByte(uint64_t offset, char new_byte) {
+    // SimEnv has no random-write API; rewrite the whole file.
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(&env_, "/log", &contents).ok());
+    contents[offset] = new_byte;
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env_.NewWritableFile("/log", &f).ok());
+    ASSERT_TRUE(f->Append(contents).ok());
+  }
+
+  void ShrinkFile(uint64_t bytes_to_drop) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(&env_, "/log", &contents).ok());
+    contents.resize(contents.size() - bytes_to_drop);
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env_.NewWritableFile("/log", &f).ok());
+    ASSERT_TRUE(f->Append(contents).ok());
+  }
+
+  uint64_t FileSize() {
+    uint64_t size = 0;
+    EXPECT_TRUE(env_.GetFileSize("/log", &size).ok());
+    return size;
+  }
+
+  struct ReportCollector : public Reader::Reporter {
+    size_t dropped_bytes = 0;
+    std::string message;
+
+    void Corruption(size_t bytes, const Status& status) override {
+      dropped_bytes += bytes;
+      message.append(status.ToString());
+    }
+  };
+
+  SimEnv env_;
+  std::unique_ptr<WritableFile> wfile_;
+  std::unique_ptr<SequentialFile> rfile_;
+  std::unique_ptr<Writer> writer_;
+  std::unique_ptr<Reader> reader_;
+  ReportCollector report_;
+};
+
+TEST_F(LogTest, Empty) { EXPECT_EQ("EOF", Read()); }
+
+TEST_F(LogTest, ReadWrite) {
+  Write("foo");
+  Write("bar");
+  Write("");
+  Write("xxxx");
+  EXPECT_EQ("foo", Read());
+  EXPECT_EQ("bar", Read());
+  EXPECT_EQ("", Read());
+  EXPECT_EQ("xxxx", Read());
+  EXPECT_EQ("EOF", Read());
+  EXPECT_EQ("EOF", Read());  // Make sure reads at eof work
+}
+
+TEST_F(LogTest, ManyBlocks) {
+  for (int i = 0; i < 100000; i++) {
+    Write(NumberString(i));
+  }
+  for (int i = 0; i < 100000; i++) {
+    ASSERT_EQ(NumberString(i), Read());
+  }
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, Fragmentation) {
+  Write("small");
+  Write(BigString("medium", 50000));
+  Write(BigString("large", 100000));
+  EXPECT_EQ("small", Read());
+  EXPECT_EQ(BigString("medium", 50000), Read());
+  EXPECT_EQ(BigString("large", 100000), Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, MarginalTrailer) {
+  // Make a trailer that is exactly the same length as an empty record.
+  const int n = kBlockSize - 2 * kHeaderSize;
+  Write(BigString("foo", n));
+  ASSERT_EQ(static_cast<uint64_t>(kBlockSize - kHeaderSize), FileSize());
+  Write("");
+  Write("bar");
+  EXPECT_EQ(BigString("foo", n), Read());
+  EXPECT_EQ("", Read());
+  EXPECT_EQ("bar", Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, ShortTrailer) {
+  const int n = kBlockSize - 2 * kHeaderSize + 4;
+  Write(BigString("foo", n));
+  ASSERT_EQ(static_cast<uint64_t>(kBlockSize - kHeaderSize + 4), FileSize());
+  Write("");
+  Write("bar");
+  EXPECT_EQ(BigString("foo", n), Read());
+  EXPECT_EQ("", Read());
+  EXPECT_EQ("bar", Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, AlignedEof) {
+  const int n = kBlockSize - 2 * kHeaderSize + 4;
+  Write(BigString("foo", n));
+  ASSERT_EQ(static_cast<uint64_t>(kBlockSize - kHeaderSize + 4), FileSize());
+  EXPECT_EQ(BigString("foo", n), Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+TEST_F(LogTest, RandomRead) {
+  const int N = 500;
+  {
+    Random write_rnd(301);
+    for (int i = 0; i < N; i++) {
+      Write(RandomSkewedString(i, &write_rnd));
+    }
+  }
+  {
+    Random read_rnd(301);
+    for (int i = 0; i < N; i++) {
+      ASSERT_EQ(RandomSkewedString(i, &read_rnd), Read());
+    }
+  }
+  EXPECT_EQ("EOF", Read());
+}
+
+// Tests of all the error paths in log_reader.cc follow:
+
+TEST_F(LogTest, BadLengthAtEndOfFileIsEof) {
+  // A bogus length that runs past the end of the file is treated as a
+  // writer crash mid-record: clean EOF, no corruption reported.
+  Write("foo");
+  SetByte(4, static_cast<char>(0xff));  // length low byte -> 255
+  StartReading();
+  EXPECT_EQ("EOF", Read());
+  EXPECT_EQ(0u, report_.dropped_bytes);
+}
+
+TEST_F(LogTest, CorruptedHeaderCrcIsReported) {
+  Write("foo");
+  SetByte(0, static_cast<char>(0xa5));  // flip CRC bits
+  StartReading();
+  EXPECT_EQ("EOF", Read());
+  EXPECT_GT(report_.dropped_bytes, 0u);
+  EXPECT_NE(std::string::npos, report_.message.find("checksum mismatch"));
+}
+
+TEST_F(LogTest, BadRecordType) {
+  // Hand-craft a record with an unknown type but a VALID checksum, so
+  // the type check itself is exercised.
+  const std::string payload = "payload";
+  char header[kHeaderSize];
+  char type = static_cast<char>(100);
+  uint32_t crc = crc32c::Extend(crc32c::Value(&type, 1), payload.data(),
+                                payload.size());
+  EncodeFixed32(header, crc32c::Mask(crc));
+  header[4] = static_cast<char>(payload.size() & 0xff);
+  header[5] = static_cast<char>(payload.size() >> 8);
+  header[6] = type;
+  ASSERT_TRUE(wfile_->Append(Slice(header, kHeaderSize)).ok());
+  ASSERT_TRUE(wfile_->Append(payload).ok());
+  StartReading();
+  EXPECT_EQ("EOF", Read());
+  EXPECT_GT(report_.dropped_bytes, 0u);
+  EXPECT_NE(std::string::npos, report_.message.find("unknown record type"));
+}
+
+TEST_F(LogTest, TruncatedTrailingRecordIsIgnored) {
+  Write("foo");
+  ShrinkFile(1);  // Drop one byte of payload: writer crashed mid-record.
+  StartReading();
+  EXPECT_EQ("EOF", Read());
+  // Truncated final record is treated as clean EOF, not corruption.
+  EXPECT_EQ(0u, report_.dropped_bytes);
+}
+
+TEST_F(LogTest, ChecksumMismatch) {
+  Write("foooooooooooooooo");
+  SetByte(kHeaderSize + 2, 'X');  // corrupt payload
+  StartReading();
+  EXPECT_EQ("EOF", Read());
+  EXPECT_GT(report_.dropped_bytes, 0u);
+  EXPECT_NE(std::string::npos, report_.message.find("checksum mismatch"));
+}
+
+TEST_F(LogTest, CorruptionSkipsToNextGoodRecord) {
+  Write("first");
+  Write("second");
+  // Corrupt first record's payload; second should still be readable if
+  // it lives in the same block after the corrupt one is dropped?  The
+  // reader drops the rest of the corrupt block, so expect EOF — but no
+  // crash and an accurate drop report.
+  SetByte(kHeaderSize + 1, 'X');
+  StartReading();
+  std::string r = Read();
+  EXPECT_TRUE(r == "EOF" || r == "second");
+  EXPECT_GT(report_.dropped_bytes, 0u);
+}
+
+TEST_F(LogTest, ReopenForAppend) {
+  // Writer constructed with dest_length picks up mid-block correctly.
+  Write("first");
+  uint64_t size = FileSize();
+  writer_.reset();
+  wfile_.reset();
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_.NewAppendableFile("/log", &f).ok());
+  Writer w2(f.get(), size);
+  ASSERT_TRUE(w2.AddRecord("second").ok());
+  StartReading();
+  EXPECT_EQ("first", Read());
+  EXPECT_EQ("second", Read());
+  EXPECT_EQ("EOF", Read());
+}
+
+}  // namespace log
+}  // namespace bolt

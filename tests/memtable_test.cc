@@ -1,0 +1,112 @@
+#include "db/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "table/iterator.h"
+
+namespace bolt {
+
+class MemTableTest : public testing::Test {
+ protected:
+  MemTableTest() : cmp_(BytewiseComparator()), mem_(new MemTable(cmp_)) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  bool Get(const std::string& key, SequenceNumber seq, std::string* value,
+           Status* s) {
+    LookupKey lkey(key, seq);
+    return mem_->Get(lkey, value, s);
+  }
+
+  InternalKeyComparator cmp_;
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, AddAndGet) {
+  mem_->Add(100, kTypeValue, "k1", "v1");
+  mem_->Add(101, kTypeValue, "k2", "v2");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("k1", 200, &value, &s));
+  EXPECT_EQ("v1", value);
+  ASSERT_TRUE(Get("k2", 200, &value, &s));
+  EXPECT_EQ("v2", value);
+  EXPECT_FALSE(Get("k3", 200, &value, &s));
+}
+
+TEST_F(MemTableTest, SequenceVisibility) {
+  mem_->Add(100, kTypeValue, "k", "old");
+  mem_->Add(200, kTypeValue, "k", "new");
+
+  std::string value;
+  Status s;
+  // A lookup at snapshot 150 must see the old version.
+  ASSERT_TRUE(Get("k", 150, &value, &s));
+  EXPECT_EQ("old", value);
+  // A lookup at snapshot 250 sees the new version.
+  ASSERT_TRUE(Get("k", 250, &value, &s));
+  EXPECT_EQ("new", value);
+  // A lookup before the first write sees nothing.
+  EXPECT_FALSE(Get("k", 50, &value, &s));
+}
+
+TEST_F(MemTableTest, DeletionMarker) {
+  mem_->Add(100, kTypeValue, "k", "v");
+  mem_->Add(150, kTypeDeletion, "k", "");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("k", 200, &value, &s));
+  EXPECT_TRUE(s.IsNotFound());  // found the deletion
+  s = Status::OK();
+  ASSERT_TRUE(Get("k", 120, &value, &s));
+  EXPECT_EQ("v", value);  // before the deletion
+}
+
+TEST_F(MemTableTest, IteratorOrder) {
+  mem_->Add(3, kTypeValue, "c", "3");
+  mem_->Add(1, kTypeValue, "a", "1");
+  mem_->Add(2, kTypeValue, "b", "2");
+  mem_->Add(4, kTypeValue, "a", "1new");  // newer version of a
+
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  // "a" newest first (seq 4), then seq 1, then b, then c.
+  EXPECT_EQ("a", ExtractUserKey(iter->key()).ToString());
+  EXPECT_EQ("1new", iter->value().ToString());
+  iter->Next();
+  EXPECT_EQ("a", ExtractUserKey(iter->key()).ToString());
+  EXPECT_EQ("1", iter->value().ToString());
+  iter->Next();
+  EXPECT_EQ("b", ExtractUserKey(iter->key()).ToString());
+  iter->Next();
+  EXPECT_EQ("c", ExtractUserKey(iter->key()).ToString());
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_->Add(i + 1, kTypeValue, "key" + std::to_string(i),
+              std::string(100, 'v'));
+  }
+  EXPECT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 1000);
+  EXPECT_EQ(1000, mem_->num_entries());
+}
+
+TEST_F(MemTableTest, EmptyValueAndBinaryKeys) {
+  std::string binary_key("a\0b\xff", 4);
+  mem_->Add(1, kTypeValue, binary_key, "");
+  std::string value = "sentinel";
+  Status s;
+  ASSERT_TRUE(Get(binary_key, 10, &value, &s));
+  EXPECT_EQ("", value);
+}
+
+}  // namespace bolt

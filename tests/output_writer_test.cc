@@ -1,0 +1,168 @@
+// OutputWriter: the stock-vs-BoLT output layouts and their barrier
+// accounting (Fig 3a vs 3b in one class).
+#include "core/output_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/dbformat.h"
+#include "db/filename.h"
+#include "db/table_cache.h"
+#include "sim/sim_env.h"
+#include "table/iterator.h"
+#include "util/filter_policy.h"
+
+namespace bolt {
+
+namespace {
+
+std::string IKey(int i, SequenceNumber seq = 1) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  std::string out;
+  AppendInternalKey(&out, ParsedInternalKey(Slice(buf, strlen(buf)), seq,
+                                            kTypeValue));
+  return out;
+}
+
+}  // namespace
+
+class OutputWriterTest : public testing::Test {
+ protected:
+  OutputWriterTest() {
+    icmp_ = std::make_unique<InternalKeyComparator>(BytewiseComparator());
+    options_.comparator = icmp_.get();
+    options_.env = &env_;
+    options_.block_size = 1024;
+    options_.max_file_size = 8 << 10;
+    options_.logical_sstable_size = 4 << 10;
+    env_.CreateDir("/db");
+  }
+
+  OutputWriter::NumberAllocator Alloc() {
+    return [this]() { return next_number_++; };
+  }
+
+  SimEnv env_;
+  std::unique_ptr<InternalKeyComparator> icmp_;
+  Options options_;
+  uint64_t next_number_ = 10;
+};
+
+TEST_F(OutputWriterTest, StockLayoutOneFsyncPerTable) {
+  options_.bolt_logical_sstables = false;
+  OutputWriter writer(options_, "/db", Alloc());
+  for (int i = 0; i < 600; i++) {
+    ASSERT_TRUE(writer.Add(IKey(i), std::string(100, 'v')).ok());
+    if (writer.CurrentTableFull() && writer.SafeToCutBefore(IKey(i + 1))) {
+      ASSERT_TRUE(writer.FinishTable().ok());
+    }
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  const size_t tables = writer.outputs().size();
+  ASSERT_GT(tables, 4u);
+  // One physical .ldb file per table, one fsync per file: Fig 3(a).
+  EXPECT_EQ(tables, writer.file_numbers().size());
+  EXPECT_EQ(tables, env_.GetIoStats().sync_calls);
+  for (const TableMeta& m : writer.outputs()) {
+    EXPECT_EQ(kTableFile, m.file_type);
+    EXPECT_EQ(0u, m.offset);
+  }
+}
+
+TEST_F(OutputWriterTest, BoltLayoutOneFsyncPerCompaction) {
+  options_.bolt_logical_sstables = true;
+  OutputWriter writer(options_, "/db", Alloc());
+  for (int i = 0; i < 600; i++) {
+    ASSERT_TRUE(writer.Add(IKey(i), std::string(100, 'v')).ok());
+    if (writer.CurrentTableFull() && writer.SafeToCutBefore(IKey(i + 1))) {
+      ASSERT_TRUE(writer.FinishTable().ok());
+    }
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  const size_t tables = writer.outputs().size();
+  ASSERT_GT(tables, 8u);  // fine-grained logical tables
+  // ONE physical .cft file and ONE fsync for all of them: Fig 3(b).
+  EXPECT_EQ(1u, writer.file_numbers().size());
+  EXPECT_EQ(1u, env_.GetIoStats().sync_calls);
+
+  // Logical tables tile the file back to back.
+  uint64_t expected_offset = 0;
+  for (const TableMeta& m : writer.outputs()) {
+    EXPECT_EQ(kCompactionFile, m.file_type);
+    EXPECT_EQ(writer.file_numbers()[0], m.file_number);
+    EXPECT_EQ(expected_offset, m.offset);
+    expected_offset += m.size;
+  }
+
+  // Every logical table is independently readable via the TableCache.
+  TableCache cache("/db", options_, 100);
+  int found = 0;
+  for (const TableMeta& m : writer.outputs()) {
+    std::unique_ptr<Iterator> iter(cache.NewIterator(ReadOptions(), m));
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) found++;
+    EXPECT_TRUE(iter->status().ok());
+  }
+  EXPECT_EQ(600, found);
+}
+
+TEST_F(OutputWriterTest, NeverSplitsUserKeyVersions) {
+  options_.bolt_logical_sstables = true;
+  options_.logical_sstable_size = 1 << 10;  // tiny tables to force cuts
+  OutputWriter writer(options_, "/db", Alloc());
+  // Many versions of few user keys (as a compaction with snapshots
+  // would see them): newest first within each user key.
+  for (int k = 0; k < 20; k++) {
+    for (int v = 50; v > 0; v--) {
+      std::string key = IKey(k, v);
+      if (writer.CurrentTableFull() && writer.SafeToCutBefore(key)) {
+        ASSERT_TRUE(writer.FinishTable().ok());
+      }
+      ASSERT_TRUE(writer.Add(key, std::string(200, 'x')).ok());
+    }
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_GT(writer.outputs().size(), 1u);
+
+  // No two adjacent tables may share a boundary user key.
+  for (size_t i = 1; i < writer.outputs().size(); i++) {
+    Slice prev_last = writer.outputs()[i - 1].largest.user_key();
+    Slice this_first = writer.outputs()[i].smallest.user_key();
+    EXPECT_NE(prev_last.ToString(), this_first.ToString())
+        << "user key split across tables " << i - 1 << "/" << i;
+  }
+}
+
+TEST_F(OutputWriterTest, EmptyFinishProducesNothing) {
+  OutputWriter writer(options_, "/db", Alloc());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_TRUE(writer.outputs().empty());
+  EXPECT_TRUE(writer.file_numbers().empty());
+  EXPECT_EQ(0u, env_.GetIoStats().sync_calls);
+}
+
+TEST_F(OutputWriterTest, MetaRangesMatchContents) {
+  options_.bolt_logical_sstables = true;
+  OutputWriter writer(options_, "/db", Alloc());
+  for (int i = 100; i < 400; i++) {
+    ASSERT_TRUE(writer.Add(IKey(i), "v").ok());
+    if (writer.CurrentTableFull() && writer.SafeToCutBefore(IKey(i + 1))) {
+      ASSERT_TRUE(writer.FinishTable().ok());
+    }
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  for (const TableMeta& m : writer.outputs()) {
+    EXPECT_LE(icmp_->Compare(m.smallest, m.largest), 0);
+  }
+  // Ranges are disjoint and ascending.
+  for (size_t i = 1; i < writer.outputs().size(); i++) {
+    EXPECT_LT(icmp_->Compare(writer.outputs()[i - 1].largest,
+                             writer.outputs()[i].smallest),
+              0);
+  }
+}
+
+}  // namespace bolt

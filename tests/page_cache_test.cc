@@ -1,0 +1,107 @@
+#include "sim/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/sim_env.h"
+
+namespace bolt {
+
+TEST(PageCacheTest, FillThenHit) {
+  SimPageCache pc(1 << 20);  // 256 pages
+  pc.Fill(1, 0, 8192);
+  EXPECT_EQ(0u, pc.MissingBytes(1, 0, 8192));
+  EXPECT_EQ(0u, pc.MissingBytes(1, 4096, 4096));
+}
+
+TEST(PageCacheTest, MissFillsRange) {
+  SimPageCache pc(1 << 20);
+  EXPECT_GT(pc.MissingBytes(1, 0, 4096), 0u);
+  // Second access hits.
+  EXPECT_EQ(0u, pc.MissingBytes(1, 0, 4096));
+}
+
+TEST(PageCacheTest, PartialMiss) {
+  SimPageCache pc(1 << 20);
+  pc.Fill(1, 0, 4096);  // first page only
+  uint64_t missing = pc.MissingBytes(1, 0, 12288);
+  EXPECT_EQ(8192u, missing);  // pages 2 and 3
+}
+
+TEST(PageCacheTest, DistinctFilesDistinctPages) {
+  SimPageCache pc(1 << 20);
+  pc.Fill(1, 0, 4096);
+  EXPECT_GT(pc.MissingBytes(2, 0, 4096), 0u);
+}
+
+TEST(PageCacheTest, LruEviction) {
+  SimPageCache pc(4 * SimPageCache::kPageSize);  // 4 pages
+  pc.Fill(1, 0, 4 * 4096);
+  EXPECT_EQ(4u, pc.resident_pages());
+  // Touch page 0 to make it most-recent, then add a new page: page 1
+  // must be the victim.
+  EXPECT_EQ(0u, pc.MissingBytes(1, 0, 1));
+  pc.Fill(1, 4 * 4096, 4096);
+  EXPECT_EQ(0u, pc.MissingBytes(1, 0, 1));          // page 0 kept
+  EXPECT_GT(pc.MissingBytes(1, 1 * 4096, 1), 0u);   // page 1 evicted
+}
+
+TEST(PageCacheTest, DropFile) {
+  SimPageCache pc(1 << 20);
+  pc.Fill(1, 0, 8192);
+  pc.Fill(2, 0, 8192);
+  pc.DropFile(1);
+  EXPECT_GT(pc.MissingBytes(1, 0, 4096), 0u);
+  EXPECT_EQ(0u, pc.MissingBytes(2, 0, 4096));
+}
+
+TEST(PageCacheTest, ZeroCapacityAlwaysMisses) {
+  SimPageCache pc(0);
+  pc.Fill(1, 0, 8192);
+  EXPECT_EQ(4096u, pc.MissingBytes(1, 0, 4096));
+}
+
+TEST(PageCacheTest, SubPageRequestsRoundToPages) {
+  SimPageCache pc(1 << 20);
+  uint64_t missing = pc.MissingBytes(1, 100, 10);
+  EXPECT_EQ(10u, missing);  // capped at the request size
+  EXPECT_EQ(0u, pc.MissingBytes(1, 0, 4096));  // whole page now resident
+}
+
+// Integration: recently written SimEnv files read at RAM speed; files
+// larger than the cache pay device costs on the cold portion.
+TEST(PageCacheTest, SimEnvReadsCachedFilesCheaply) {
+  SsdModelConfig cfg;
+  cfg.page_cache_bytes = 1 << 20;  // 1 MiB cache
+  SimEnv env(cfg);
+
+  // Small file: fully cached by its own write.
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env.NewWritableFile("/small", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(64 << 10, 'x')).ok());
+  wf.reset();
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env.NewRandomAccessFile("/small", &rf).ok());
+  char scratch[4096];
+  Slice result;
+  SimContext* sim = env.sim();
+  uint64_t t0 = sim->Now();
+  ASSERT_TRUE(rf->Read(32 << 10, 4096, &result, scratch).ok());
+  uint64_t cached_cost = sim->Now() - t0;
+  EXPECT_LT(cached_cost, 10'000u);  // RAM-priced, far below 90us device read
+
+  // Big file: writes exceed the cache, so the head is evicted and a read
+  // there pays the device.
+  ASSERT_TRUE(env.NewWritableFile("/big", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(4 << 20, 'y')).ok());
+  wf.reset();
+  ASSERT_TRUE(env.NewRandomAccessFile("/big", &rf).ok());
+  t0 = sim->Now();
+  ASSERT_TRUE(rf->Read(0, 4096, &result, scratch).ok());
+  uint64_t cold_cost = sim->Now() - t0;
+  EXPECT_GT(cold_cost, 50'000u);
+}
+
+}  // namespace bolt

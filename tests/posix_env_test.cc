@@ -1,0 +1,138 @@
+// PosixEnv: the real-kernel environment the library ships for production
+// use.  Exercises real files, fdatasync accounting, hole punching, and
+// the background scheduler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "env/env.h"
+
+namespace bolt {
+
+class PosixEnvTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = PosixEnv();
+    dir_ = "/tmp/bolt_posix_env_test";
+    env_->CreateDir(dir_);
+    std::vector<std::string> children;
+    env_->GetChildren(dir_, &children);
+    for (const auto& c : children) {
+      env_->RemoveFile(dir_ + "/" + c);
+    }
+  }
+
+  Env* env_;
+  std::string dir_;
+};
+
+TEST_F(PosixEnvTest, ReadWrite) {
+  const std::string fname = dir_ + "/f";
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile(fname, &wf).ok());
+  ASSERT_TRUE(wf->Append("hello ").ok());
+  ASSERT_TRUE(wf->Append("world").ok());
+  ASSERT_TRUE(wf->Sync().ok());
+  ASSERT_TRUE(wf->Close().ok());
+
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(fname, &size).ok());
+  EXPECT_EQ(11u, size);
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_->NewRandomAccessFile(fname, &rf).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(rf->Read(6, 5, &result, scratch).ok());
+  EXPECT_EQ("world", result.ToString());
+
+  std::string all;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &all).ok());
+  EXPECT_EQ("hello world", all);
+}
+
+TEST_F(PosixEnvTest, RenameAndExists) {
+  const std::string a = dir_ + "/a", b = dir_ + "/b";
+  ASSERT_TRUE(WriteStringToFile(env_, "x", a, false).ok());
+  EXPECT_TRUE(env_->FileExists(a));
+  ASSERT_TRUE(env_->RenameFile(a, b).ok());
+  EXPECT_FALSE(env_->FileExists(a));
+  EXPECT_TRUE(env_->FileExists(b));
+  ASSERT_TRUE(env_->RemoveFile(b).ok());
+  EXPECT_TRUE(env_->RemoveFile(b).IsNotFound());
+}
+
+TEST_F(PosixEnvTest, GetChildren) {
+  ASSERT_TRUE(WriteStringToFile(env_, "1", dir_ + "/one", false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "2", dir_ + "/two", false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  EXPECT_EQ(2u, children.size());
+}
+
+TEST_F(PosixEnvTest, SyncCountsInIoStats) {
+  env_->ResetIoStats();
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile(dir_ + "/s", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(1000, 'a')).ok());
+  ASSERT_TRUE(wf->Sync().ok());
+  ASSERT_TRUE(wf->Sync().ok());
+  IoStats stats = env_->GetIoStats();
+  EXPECT_EQ(2u, stats.sync_calls);
+  EXPECT_EQ(1000u, stats.synced_bytes);
+  EXPECT_GE(stats.bytes_written, 1000u);
+}
+
+TEST_F(PosixEnvTest, PunchHoleKeepsSize) {
+  const std::string fname = dir_ + "/holey";
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile(fname, &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(1 << 20, 'z')).ok());
+  ASSERT_TRUE(wf->Sync().ok());
+  wf.reset();
+
+  // Punch out the middle; must keep the logical size (KEEP_SIZE) and the
+  // surrounding data readable.  (On filesystems without hole support the
+  // call degrades to a no-op, which is also OK.)
+  ASSERT_TRUE(env_->PunchHole(fname, 4096, 512 * 1024).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(fname, &size).ok());
+  EXPECT_EQ(1u << 20, size);
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_->NewRandomAccessFile(fname, &rf).ok());
+  char scratch[8];
+  Slice result;
+  ASSERT_TRUE(rf->Read(0, 4, &result, scratch).ok());
+  EXPECT_EQ("zzzz", result.ToString());
+  ASSERT_TRUE(rf->Read((1 << 20) - 4, 4, &result, scratch).ok());
+  EXPECT_EQ("zzzz", result.ToString());
+}
+
+TEST_F(PosixEnvTest, ScheduleRunsInBackground) {
+  std::atomic<int> counter{0};
+  struct Ctx {
+    std::atomic<int>* counter;
+  } ctx{&counter};
+  for (int i = 0; i < 5; i++) {
+    env_->Schedule(
+        [](void* arg) {
+          static_cast<Ctx*>(arg)->counter->fetch_add(1);
+        },
+        &ctx);
+  }
+  for (int spin = 0; spin < 1000 && counter.load() < 5; spin++) {
+    env_->SleepForMicroseconds(1000);
+  }
+  EXPECT_EQ(5, counter.load());
+}
+
+TEST_F(PosixEnvTest, NowNanosMonotonic) {
+  uint64_t a = env_->NowNanos();
+  env_->SleepForMicroseconds(1000);
+  uint64_t b = env_->NowNanos();
+  EXPECT_GT(b, a);
+}
+
+}  // namespace bolt

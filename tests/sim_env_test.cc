@@ -1,0 +1,273 @@
+#include "sim/sim_env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace bolt {
+
+class SimEnvTest : public testing::Test {
+ protected:
+  SimEnv env_;
+};
+
+TEST_F(SimEnvTest, WriteReadRoundTrip) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/db/000001.ldb", &wf).ok());
+  ASSERT_TRUE(wf->Append("hello ").ok());
+  ASSERT_TRUE(wf->Append("world").ok());
+  ASSERT_TRUE(wf->Sync().ok());
+  ASSERT_TRUE(wf->Close().ok());
+
+  uint64_t size;
+  ASSERT_TRUE(env_.GetFileSize("/db/000001.ldb", &size).ok());
+  EXPECT_EQ(11u, size);
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/db/000001.ldb", &rf).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(rf->Read(6, 5, &result, scratch).ok());
+  EXPECT_EQ("world", result.ToString());
+}
+
+TEST_F(SimEnvTest, SequentialFileReadAndSkip) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &wf).ok());
+  ASSERT_TRUE(wf->Append("0123456789").ok());
+
+  std::unique_ptr<SequentialFile> sf;
+  ASSERT_TRUE(env_.NewSequentialFile("/f", &sf).ok());
+  char scratch[16];
+  Slice r;
+  ASSERT_TRUE(sf->Read(3, &r, scratch).ok());
+  EXPECT_EQ("012", r.ToString());
+  ASSERT_TRUE(sf->Skip(4).ok());
+  ASSERT_TRUE(sf->Read(10, &r, scratch).ok());
+  EXPECT_EQ("789", r.ToString());
+  ASSERT_TRUE(sf->Read(10, &r, scratch).ok());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST_F(SimEnvTest, MissingFile) {
+  std::unique_ptr<SequentialFile> sf;
+  EXPECT_TRUE(env_.NewSequentialFile("/nope", &sf).IsNotFound());
+  EXPECT_FALSE(env_.FileExists("/nope"));
+  EXPECT_TRUE(env_.RemoveFile("/nope").IsNotFound());
+}
+
+TEST_F(SimEnvTest, RenameAndChildren) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/db/a", &wf).ok());
+  wf.reset();
+  ASSERT_TRUE(env_.NewWritableFile("/db/b", &wf).ok());
+  wf.reset();
+  ASSERT_TRUE(env_.NewWritableFile("/other/c", &wf).ok());
+  wf.reset();
+
+  ASSERT_TRUE(env_.RenameFile("/db/a", "/db/a2").ok());
+  EXPECT_FALSE(env_.FileExists("/db/a"));
+  EXPECT_TRUE(env_.FileExists("/db/a2"));
+
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_.GetChildren("/db", &children).ok());
+  EXPECT_EQ(2u, children.size());
+}
+
+TEST_F(SimEnvTest, AppendableFilePreservesContents) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/m", &wf).ok());
+  ASSERT_TRUE(wf->Append("one").ok());
+  wf.reset();
+  ASSERT_TRUE(env_.NewAppendableFile("/m", &wf).ok());
+  ASSERT_TRUE(wf->Append("two").ok());
+  wf.reset();
+
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/m", &contents).ok());
+  EXPECT_EQ("onetwo", contents);
+}
+
+TEST_F(SimEnvTest, NewWritableFileTruncates) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/t", &wf).ok());
+  ASSERT_TRUE(wf->Append("xxxxx").ok());
+  wf.reset();
+  ASSERT_TRUE(env_.NewWritableFile("/t", &wf).ok());
+  ASSERT_TRUE(wf->Append("y").ok());
+  wf.reset();
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/t", &contents).ok());
+  EXPECT_EQ("y", contents);
+}
+
+TEST_F(SimEnvTest, SyncCountsBarriersAndBytes) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/s", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(1000, 'a')).ok());
+  ASSERT_TRUE(wf->Sync().ok());
+  ASSERT_TRUE(wf->Append(std::string(500, 'b')).ok());
+  ASSERT_TRUE(wf->Sync().ok());
+  // Sync with no new dirty bytes still issues a barrier.
+  ASSERT_TRUE(wf->Sync().ok());
+
+  IoStats stats = env_.GetIoStats();
+  EXPECT_EQ(3u, stats.sync_calls);
+  EXPECT_EQ(1500u, stats.synced_bytes);
+  EXPECT_EQ(1500u, stats.bytes_written);
+}
+
+TEST_F(SimEnvTest, SyncAdvancesVirtualTime) {
+  SimContext* sim = env_.sim();
+  const uint64_t t0 = sim->Now();
+
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/s", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(1 << 20, 'a')).ok());
+  const uint64_t t_appended = sim->Now();
+  // Appends cost only page-cache bandwidth: ~100us for 1 MiB at 10 GB/s
+  // plus the metadata op.
+  EXPECT_LT(t_appended - t0, 500'000u);
+
+  ASSERT_TRUE(wf->Sync().ok());
+  const uint64_t t_synced = sim->Now();
+  // The barrier costs barrier_ns plus 1 MiB at degraded bandwidth; with
+  // defaults that is at least 2 ms.
+  EXPECT_GT(t_synced - t_appended, 2'000'000u);
+}
+
+TEST_F(SimEnvTest, SmallBarrierWritesGetLowerBandwidth) {
+  SsdModelConfig cfg;
+  // Effective bandwidth at 64 KiB should be well below the max.
+  EXPECT_LT(cfg.EffectiveWriteBw(64 * 1024), 0.3 * cfg.write_bw_bps);
+  // ... and at 64 MiB nearly the max.
+  EXPECT_GT(cfg.EffectiveWriteBw(64 << 20), 0.95 * cfg.write_bw_bps);
+
+  // Total cost of syncing 1 MiB as 16 64 KiB barriers must exceed the
+  // cost of one 1 MiB barrier by a wide margin -- the core motivation
+  // for BoLT's compaction files.
+  uint64_t many = 16 * cfg.SyncCostNs(64 * 1024);
+  uint64_t one = cfg.SyncCostNs(1 << 20);
+  EXPECT_GT(many, 3 * one);
+}
+
+TEST_F(SimEnvTest, RandomReadColdVsSequential) {
+  // Disable the page cache: this test measures raw device pricing.
+  SsdModelConfig cfg;
+  cfg.page_cache_bytes = 0;
+  SimEnv env_(cfg);
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/r", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(1 << 20, 'x')).ok());
+  wf.reset();
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/r", &rf).ok());
+  SimContext* sim = env_.sim();
+  char scratch[4096];
+  Slice r;
+
+  uint64_t t0 = sim->Now();
+  ASSERT_TRUE(rf->Read(0, 4096, &r, scratch).ok());
+  uint64_t cold = sim->Now() - t0;
+
+  t0 = sim->Now();
+  ASSERT_TRUE(rf->Read(4096, 4096, &r, scratch).ok());
+  uint64_t seq = sim->Now() - t0;
+
+  EXPECT_GT(cold, 5 * seq) << "cold random reads must pay base latency";
+}
+
+TEST_F(SimEnvTest, PunchHoleReclaimsBytes) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/h", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(100000, 'z')).ok());
+  wf.reset();
+
+  const uint64_t before = env_.TotalStoredBytes();
+  ASSERT_TRUE(env_.PunchHole("/h", 10000, 50000).ok());
+  const uint64_t after = env_.TotalStoredBytes();
+  EXPECT_EQ(before - 50000, after);
+
+  // File size is unchanged (KEEP_SIZE semantics).
+  uint64_t size;
+  ASSERT_TRUE(env_.GetFileSize("/h", &size).ok());
+  EXPECT_EQ(100000u, size);
+
+  IoStats stats = env_.GetIoStats();
+  EXPECT_EQ(1u, stats.holes_punched);
+  EXPECT_EQ(50000u, stats.hole_bytes);
+  // Punching a hole must NOT issue a barrier (BoLT relies on this).
+  EXPECT_EQ(0u, stats.sync_calls);
+}
+
+TEST_F(SimEnvTest, DropUnsyncedEmulatesCrash) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/c", &wf).ok());
+  ASSERT_TRUE(wf->Append("durable").ok());
+  ASSERT_TRUE(wf->Sync().ok());
+  ASSERT_TRUE(wf->Append("volatile").ok());
+
+  env_.DropUnsynced();
+
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/c", &contents).ok());
+  EXPECT_EQ("durable", contents);
+}
+
+TEST_F(SimEnvTest, LaneAccounting) {
+  SimContext* sim = env_.sim();
+  EXPECT_EQ(SimContext::kFgLane, sim->current_lane());
+  const uint64_t fg0 = sim->LaneNow(SimContext::kFgLane);
+  const uint64_t bg0 = sim->LaneNow(SimContext::kBgLane);
+  {
+    SimLaneScope scope(sim, SimContext::kBgLane);
+    std::unique_ptr<WritableFile> wf;
+    ASSERT_TRUE(env_.NewWritableFile("/bg", &wf).ok());
+    ASSERT_TRUE(wf->Append(std::string(1 << 20, 'a')).ok());
+    ASSERT_TRUE(wf->Sync().ok());
+  }
+  EXPECT_EQ(SimContext::kFgLane, sim->current_lane());
+  // Background work advanced only the background lane.
+  EXPECT_EQ(fg0, sim->LaneNow(SimContext::kFgLane));
+  EXPECT_GT(sim->LaneNow(SimContext::kBgLane), bg0);
+}
+
+TEST_F(SimEnvTest, ReadContentionWhileDeviceBusy) {
+  // Disable the page cache so the read reaches the (busy) device.
+  SsdModelConfig nocache_cfg;
+  nocache_cfg.page_cache_bytes = 0;
+  SimEnv env_(nocache_cfg);
+  SimContext* sim = env_.sim();
+  // Make a big dirty file and sync it on the background lane to push
+  // device_free far into the future relative to the foreground.
+  {
+    SimLaneScope scope(sim, SimContext::kBgLane);
+    std::unique_ptr<WritableFile> wf;
+    ASSERT_TRUE(env_.NewWritableFile("/big", &wf).ok());
+    ASSERT_TRUE(wf->Append(std::string(32 << 20, 'a')).ok());
+    ASSERT_TRUE(wf->Sync().ok());
+  }
+  ASSERT_GT(sim->device_free(), sim->LaneNow(SimContext::kFgLane));
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/big", &rf).ok());
+  char scratch[4096];
+  Slice r;
+  uint64_t t0 = sim->Now();
+  ASSERT_TRUE(rf->Read(12345, 4096, &r, scratch).ok());
+  uint64_t contended = sim->Now() - t0;
+
+  // Must exceed the uncontended cold-read cost.
+  SsdModelConfig cfg;
+  EXPECT_GT(contended, cfg.RandomReadCostNs(4096));
+}
+
+TEST_F(SimEnvTest, SleepAdvancesCurrentLane) {
+  SimContext* sim = env_.sim();
+  uint64_t t0 = sim->Now();
+  env_.SleepForMicroseconds(1000);
+  EXPECT_EQ(t0 + 1'000'000, sim->Now());
+}
+
+}  // namespace bolt

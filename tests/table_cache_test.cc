@@ -1,0 +1,185 @@
+// TableCache behaviour: entry-count capacity semantics, eviction, the
+// +FC fd cache, and logical-table addressing.
+#include "db/table_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/output_writer.h"
+#include "db/dbformat.h"
+#include "sim/sim_env.h"
+#include "table/iterator.h"
+#include "util/filter_policy.h"
+
+namespace bolt {
+
+namespace {
+
+std::string IKey(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  std::string out;
+  AppendInternalKey(&out,
+                    ParsedInternalKey(Slice(buf, strlen(buf)), 1, kTypeValue));
+  return out;
+}
+
+}  // namespace
+
+class TableCacheTest : public testing::Test {
+ protected:
+  TableCacheTest() {
+    icmp_ = std::make_unique<InternalKeyComparator>(BytewiseComparator());
+    options_.comparator = icmp_.get();
+    options_.env = &env_;
+    options_.block_size = 1024;
+    options_.bolt_logical_sstables = true;
+    options_.logical_sstable_size = 4 << 10;
+  }
+
+  // Write n_tables logical tables into one compaction file; returns
+  // their metadata.
+  std::vector<TableMeta> BuildTables(int entries) {
+    OutputWriter writer(options_, "/db", [this]() { return next_number_++; });
+    for (int i = 0; i < entries; i++) {
+      EXPECT_TRUE(writer.Add(IKey(i), std::string(100, 'v')).ok());
+      if (writer.CurrentTableFull() && writer.SafeToCutBefore(IKey(i + 1))) {
+        EXPECT_TRUE(writer.FinishTable().ok());
+      }
+    }
+    EXPECT_TRUE(writer.Finish().ok());
+    return writer.outputs();
+  }
+
+  SimEnv env_;
+  std::unique_ptr<InternalKeyComparator> icmp_;
+  Options options_;
+  uint64_t next_number_ = 5;
+};
+
+struct GetState {
+  bool found = false;
+  std::string value;
+};
+
+static void SaveValue(void* arg, const Slice& k, const Slice& v) {
+  auto* s = static_cast<GetState*>(arg);
+  s->found = true;
+  s->value = v.ToString();
+}
+
+TEST_F(TableCacheTest, GetThroughCache) {
+  auto tables = BuildTables(500);
+  ASSERT_GT(tables.size(), 2u);
+  TableCache cache("/db", options_, 100);
+
+  GetState s;
+  ASSERT_TRUE(cache.Get(ReadOptions(), tables[0], IKey(5), &s, SaveValue).ok());
+  EXPECT_TRUE(s.found);
+  EXPECT_EQ(std::string(100, 'v'), s.value);
+  EXPECT_GE(cache.misses(), 1u);
+  // Second access hits the cache.
+  uint64_t h0 = cache.hits();
+  GetState s2;
+  ASSERT_TRUE(
+      cache.Get(ReadOptions(), tables[0], IKey(6), &s2, SaveValue).ok());
+  EXPECT_GT(cache.hits(), h0);
+}
+
+TEST_F(TableCacheTest, EntryCountCapacityEvicts) {
+  auto tables = BuildTables(2000);
+  ASSERT_GT(tables.size(), 8u);
+  TableCache cache("/db", options_, 4);  // 4 entries only
+
+  // Touch every table twice; with more tables than entries the second
+  // pass cannot be all hits.
+  for (int pass = 0; pass < 2; pass++) {
+    for (const TableMeta& m : tables) {
+      GetState s;
+      ASSERT_TRUE(cache
+                      .Get(ReadOptions(), m,
+                           IKey(static_cast<int>(m.offset / 100)), &s,
+                           SaveValue)
+                      .ok());
+    }
+  }
+  EXPECT_GT(cache.misses(), tables.size());
+}
+
+TEST_F(TableCacheTest, EvictDropsEntry) {
+  auto tables = BuildTables(300);
+  TableCache cache("/db", options_, 100);
+  GetState s;
+  ASSERT_TRUE(cache.Get(ReadOptions(), tables[0], IKey(1), &s, SaveValue).ok());
+  const uint64_t misses_before = cache.misses();
+  cache.Evict(tables[0].table_id);
+  GetState s2;
+  ASSERT_TRUE(
+      cache.Get(ReadOptions(), tables[0], IKey(1), &s2, SaveValue).ok());
+  EXPECT_GT(cache.misses(), misses_before);
+}
+
+TEST_F(TableCacheTest, FdCacheSharesPhysicalFileAcrossTables) {
+  auto tables = BuildTables(2000);
+  ASSERT_GT(tables.size(), 8u);
+
+  // Without the fd cache: each table-cache fill opens the file itself.
+  {
+    Options o = options_;
+    o.fd_cache = false;
+    env_.ResetIoStats();
+    TableCache cache("/db", o, 100);
+    for (const TableMeta& m : tables) {
+      GetState s;
+      ASSERT_TRUE(cache.Get(ReadOptions(), m, IKey(0), &s, SaveValue).ok());
+    }
+    EXPECT_GE(env_.GetIoStats().files_opened, tables.size());
+  }
+
+  // With +FC: all logical tables share one cached descriptor.
+  {
+    Options o = options_;
+    o.fd_cache = true;
+    env_.ResetIoStats();
+    TableCache cache("/db", o, 100);
+    for (const TableMeta& m : tables) {
+      GetState s;
+      ASSERT_TRUE(cache.Get(ReadOptions(), m, IKey(0), &s, SaveValue).ok());
+    }
+    EXPECT_LE(env_.GetIoStats().files_opened, 2u);
+  }
+}
+
+TEST_F(TableCacheTest, MissingFileReportsError) {
+  TableCache cache("/db", options_, 10);
+  TableMeta bogus;
+  bogus.table_id = 999;
+  bogus.file_number = 999;
+  bogus.file_type = kCompactionFile;
+  bogus.size = 4096;
+  GetState s;
+  EXPECT_FALSE(cache.Get(ReadOptions(), bogus, IKey(0), &s, SaveValue).ok());
+  // Errors are not cached: a retry re-attempts the open.
+  EXPECT_FALSE(cache.Get(ReadOptions(), bogus, IKey(0), &s, SaveValue).ok());
+}
+
+TEST_F(TableCacheTest, IteratorKeepsTablePinned) {
+  auto tables = BuildTables(500);
+  TableCache cache("/db", options_, 1);  // tiny: iterator must pin
+  Iterator* iter = cache.NewIterator(ReadOptions(), tables[0]);
+  // Fill the cache with other tables to force eviction of tables[0].
+  for (size_t i = 1; i < tables.size(); i++) {
+    GetState s;
+    ASSERT_TRUE(
+        cache.Get(ReadOptions(), tables[i], IKey(0), &s, SaveValue).ok());
+  }
+  // The iterator still works: its cache handle pins the evicted table.
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) count++;
+  EXPECT_GT(count, 0);
+  EXPECT_TRUE(iter->status().ok());
+  delete iter;
+}
+
+}  // namespace bolt

@@ -1,0 +1,370 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/sim_env.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/format.h"
+#include "table/iterator.h"
+#include "table/merger.h"
+#include "table/table_builder.h"
+#include "util/cache.h"
+#include "util/comparator.h"
+#include "util/filter_policy.h"
+#include "util/random.h"
+
+namespace bolt {
+
+namespace {
+
+std::string KeyOf(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return std::string(buf);
+}
+
+std::string ValueOf(int i, size_t len = 32) {
+  Random rnd(i * 997 + 1);
+  std::string v;
+  for (size_t j = 0; j < len; j++) {
+    v.push_back('a' + rnd.Uniform(26));
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(BlockTest, EmptyBlock) {
+  BlockBuilder builder(BytewiseComparator(), 16);
+  Slice raw = builder.Finish();
+  std::string owned = raw.ToString();
+  BlockContents contents{Slice(owned), false, false};
+  Block block(contents);
+  std::unique_ptr<Iterator> iter(block.NewIterator(BytewiseComparator()));
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BlockTest, RoundTripAndSeek) {
+  BlockBuilder builder(BytewiseComparator(), 16);
+  const int n = 1000;
+  for (int i = 0; i < n; i++) {
+    builder.Add(KeyOf(i), ValueOf(i));
+  }
+  std::string owned = builder.Finish().ToString();
+  BlockContents contents{Slice(owned), false, false};
+  Block block(contents);
+  std::unique_ptr<Iterator> iter(block.NewIterator(BytewiseComparator()));
+
+  // Full forward scan.
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ(KeyOf(count), iter->key().ToString());
+    EXPECT_EQ(ValueOf(count), iter->value().ToString());
+    count++;
+  }
+  EXPECT_EQ(n, count);
+
+  // Point seeks, including keys between entries.
+  iter->Seek(KeyOf(437));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(KeyOf(437), iter->key().ToString());
+
+  iter->Seek("key00000437z");  // between 437 and 438
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(KeyOf(438), iter->key().ToString());
+
+  iter->Seek("zzz");  // past the end
+  EXPECT_FALSE(iter->Valid());
+
+  // Backward scan.
+  count = n;
+  for (iter->SeekToLast(); iter->Valid(); iter->Prev()) {
+    count--;
+    EXPECT_EQ(KeyOf(count), iter->key().ToString());
+  }
+  EXPECT_EQ(0, count);
+}
+
+TEST(BlockTest, PrefixCompressionSavesSpace) {
+  // Long-shared-prefix keys should compress well with restarts.
+  BlockBuilder compressed(BytewiseComparator(), 16);
+  BlockBuilder uncompressed(BytewiseComparator(), 1);
+  for (int i = 0; i < 100; i++) {
+    std::string key = "a_very_long_common_prefix_" + KeyOf(i);
+    compressed.Add(key, "v");
+    uncompressed.Add(key, "v");
+  }
+  EXPECT_LT(compressed.Finish().size(), uncompressed.Finish().size() / 2);
+}
+
+class TableFileTest : public testing::Test {
+ protected:
+  TableFileTest() {
+    options_.comparator = BytewiseComparator();
+    options_.block_size = 1024;
+    options_.filter_policy = filter_policy_.get();
+    options_.block_cache = nullptr;
+  }
+
+  // Builds a table of n entries into fname starting at the file's current
+  // contents; returns (offset, size) of the logical table.
+  std::pair<uint64_t, uint64_t> BuildTable(WritableFile* file,
+                                           uint64_t base_offset, int lo,
+                                           int hi) {
+    TableBuilder builder(options_, file, base_offset);
+    for (int i = lo; i < hi; i++) {
+      builder.Add(KeyOf(i), ValueOf(i));
+    }
+    EXPECT_TRUE(builder.Finish().ok());
+    return {base_offset, builder.FileSize()};
+  }
+
+  SimEnv env_;
+  std::unique_ptr<const FilterPolicy> filter_policy_{NewBloomFilterPolicy(10)};
+  Options options_;
+};
+
+struct GetResult {
+  bool found = false;
+  std::string key, value;
+};
+
+static void SaveResult(void* arg, const Slice& k, const Slice& v) {
+  auto* r = static_cast<GetResult*>(arg);
+  r->found = true;
+  r->key = k.ToString();
+  r->value = v.ToString();
+}
+
+TEST_F(TableFileTest, BuildAndReadWholeFileTable) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/t1", &wf).ok());
+  auto [off, size] = BuildTable(wf.get(), 0, 0, 5000);
+  ASSERT_TRUE(wf->Sync().ok());
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/t1", &rf).ok());
+  Table* table = nullptr;
+  ASSERT_TRUE(Table::Open(options_, rf.get(), off, size, &table).ok());
+  std::unique_ptr<Table> table_owner(table);
+
+  // Full scan returns every entry in order.
+  ReadOptions ropts;
+  std::unique_ptr<Iterator> iter(table->NewIterator(ropts));
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ(KeyOf(count), iter->key().ToString());
+    EXPECT_EQ(ValueOf(count), iter->value().ToString());
+    count++;
+  }
+  EXPECT_EQ(5000, count);
+  EXPECT_TRUE(iter->status().ok());
+
+  // Point lookups.
+  GetResult r;
+  ASSERT_TRUE(table->InternalGet(ropts, KeyOf(4321), &r, SaveResult).ok());
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(ValueOf(4321), r.value);
+
+  // Missing keys: either filtered by bloom or land on a different key.
+  GetResult miss;
+  ASSERT_TRUE(
+      table->InternalGet(ropts, "nonexistent_key", &miss, SaveResult).ok());
+  if (miss.found) {
+    EXPECT_NE("nonexistent_key", miss.key);
+  }
+}
+
+// The BoLT case: several logical SSTables packed into one compaction
+// file, each independently readable via (offset, size).
+TEST_F(TableFileTest, LogicalTablesShareOnePhysicalFile) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/compaction_file", &wf).ok());
+
+  std::vector<std::pair<uint64_t, uint64_t>> tables;
+  uint64_t base = 0;
+  for (int t = 0; t < 4; t++) {
+    auto loc = BuildTable(wf.get(), base, t * 1000, (t + 1) * 1000);
+    tables.push_back(loc);
+    base += loc.second;
+  }
+  ASSERT_TRUE(wf->Sync().ok());
+
+  // One physical file, one barrier for all four logical tables.
+  EXPECT_EQ(1u, env_.GetIoStats().files_created);
+  EXPECT_EQ(1u, env_.GetIoStats().sync_calls);
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/compaction_file", &rf).ok());
+
+  ReadOptions ropts;
+  ropts.verify_checksums = true;
+  for (int t = 0; t < 4; t++) {
+    Table* table = nullptr;
+    ASSERT_TRUE(Table::Open(options_, rf.get(), tables[t].first,
+                            tables[t].second, &table)
+                    .ok());
+    std::unique_ptr<Table> owner(table);
+    std::unique_ptr<Iterator> iter(table->NewIterator(ropts));
+    int count = t * 1000;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      ASSERT_EQ(KeyOf(count), iter->key().ToString());
+      count++;
+    }
+    EXPECT_EQ((t + 1) * 1000, count);
+
+    GetResult r;
+    ASSERT_TRUE(
+        table->InternalGet(ropts, KeyOf(t * 1000 + 500), &r, SaveResult).ok());
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(ValueOf(t * 1000 + 500), r.value);
+  }
+}
+
+TEST_F(TableFileTest, BlockCacheServesRepeatedReads) {
+  std::unique_ptr<Cache> cache(NewLRUCache(1 << 20));
+  options_.block_cache = cache.get();
+
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/t2", &wf).ok());
+  auto [off, size] = BuildTable(wf.get(), 0, 0, 2000);
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/t2", &rf).ok());
+  Table* table = nullptr;
+  ASSERT_TRUE(Table::Open(options_, rf.get(), off, size, &table).ok());
+  std::unique_ptr<Table> owner(table);
+
+  ReadOptions ropts;
+  GetResult r;
+  ASSERT_TRUE(table->InternalGet(ropts, KeyOf(100), &r, SaveResult).ok());
+  const uint64_t bytes_after_first = env_.GetIoStats().bytes_read;
+  for (int i = 0; i < 10; i++) {
+    GetResult r2;
+    ASSERT_TRUE(table->InternalGet(ropts, KeyOf(100), &r2, SaveResult).ok());
+    ASSERT_TRUE(r2.found);
+  }
+  // Repeated reads of the same block must be served from cache.
+  EXPECT_EQ(bytes_after_first, env_.GetIoStats().bytes_read);
+  EXPECT_GT(cache->hits(), 0u);
+}
+
+TEST_F(TableFileTest, ChecksumDetectsCorruption) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/t3", &wf).ok());
+  auto [off, size] = BuildTable(wf.get(), 0, 0, 1000);
+
+  // Flip bytes in the middle of the data area via hole punching (zeroes
+  // the range in SimEnv).
+  ASSERT_TRUE(env_.PunchHole("/t3", 100, 64).ok());
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/t3", &rf).ok());
+  Table* table = nullptr;
+  ASSERT_TRUE(Table::Open(options_, rf.get(), off, size, &table).ok());
+  std::unique_ptr<Table> owner(table);
+
+  ReadOptions ropts;
+  ropts.verify_checksums = true;
+  std::unique_ptr<Iterator> iter(table->NewIterator(ropts));
+  iter->SeekToFirst();
+  while (iter->Valid()) iter->Next();
+  EXPECT_TRUE(iter->status().IsCorruption());
+}
+
+TEST_F(TableFileTest, FormatOverheadPadsFile) {
+  options_.format_overhead_per_entry = 81;  // LevelDB-family density knob
+  std::unique_ptr<WritableFile> wf1, wf2;
+  ASSERT_TRUE(env_.NewWritableFile("/padded", &wf1).ok());
+  auto [o1, s1] = BuildTable(wf1.get(), 0, 0, 1000);
+
+  options_.format_overhead_per_entry = 0;
+  ASSERT_TRUE(env_.NewWritableFile("/dense", &wf2).ok());
+  auto [o2, s2] = BuildTable(wf2.get(), 0, 0, 1000);
+
+  EXPECT_GT(s1, s2 + 1000 * 75);  // padding is really on disk
+
+  // Padded table still reads correctly.
+  options_.format_overhead_per_entry = 81;
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/padded", &rf).ok());
+  Table* table = nullptr;
+  ASSERT_TRUE(Table::Open(options_, rf.get(), o1, s1, &table).ok());
+  std::unique_ptr<Table> owner(table);
+  ReadOptions ropts;
+  ropts.verify_checksums = true;
+  GetResult r;
+  ASSERT_TRUE(table->InternalGet(ropts, KeyOf(567), &r, SaveResult).ok());
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(ValueOf(567), r.value);
+}
+
+TEST_F(TableFileTest, MetadataBytesGrowWithTableSize) {
+  std::unique_ptr<WritableFile> wf1, wf2;
+  ASSERT_TRUE(env_.NewWritableFile("/small", &wf1).ok());
+  auto [o1, s1] = BuildTable(wf1.get(), 0, 0, 500);
+  ASSERT_TRUE(env_.NewWritableFile("/large", &wf2).ok());
+  auto [o2, s2] = BuildTable(wf2.get(), 0, 0, 16000);
+
+  std::unique_ptr<RandomAccessFile> rf1, rf2;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/small", &rf1).ok());
+  ASSERT_TRUE(env_.NewRandomAccessFile("/large", &rf2).ok());
+  Table *small = nullptr, *large = nullptr;
+  ASSERT_TRUE(Table::Open(options_, rf1.get(), o1, s1, &small).ok());
+  ASSERT_TRUE(Table::Open(options_, rf2.get(), o2, s2, &large).ok());
+  std::unique_ptr<Table> owner1(small), owner2(large);
+
+  // The §2.6 effect: index+filter size is proportional to table size, so
+  // a table 32x larger has a far larger TableCache miss penalty.
+  EXPECT_GT(large->MetadataBytes(), 10 * small->MetadataBytes());
+}
+
+TEST(MergerTest, MergesSortedStreams) {
+  // Build three blocks with interleaved keys and merge-iterate them.
+  auto make_block_iter = [](int start, int step, int n, std::string* storage) {
+    BlockBuilder builder(BytewiseComparator(), 4);
+    for (int i = 0; i < n; i++) {
+      builder.Add(KeyOf(start + i * step), ValueOf(start + i * step));
+    }
+    *storage = builder.Finish().ToString();
+    BlockContents contents{Slice(*storage), false, false};
+    Block* block = new Block(contents);  // leak-managed via cleanup below
+    Iterator* iter = block->NewIterator(BytewiseComparator());
+    iter->RegisterCleanup(
+        [](void* b, void*) { delete reinterpret_cast<Block*>(b); }, block,
+        nullptr);
+    return iter;
+  };
+
+  std::string s1, s2, s3;
+  Iterator* children[3] = {
+      make_block_iter(0, 3, 100, &s1),
+      make_block_iter(1, 3, 100, &s2),
+      make_block_iter(2, 3, 100, &s3),
+  };
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(BytewiseComparator(), children, 3));
+
+  int count = 0;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    EXPECT_EQ(KeyOf(count), merged->key().ToString());
+    count++;
+  }
+  EXPECT_EQ(300, count);
+
+  // Seek into the middle and scan backwards.
+  merged->Seek(KeyOf(150));
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(KeyOf(150), merged->key().ToString());
+  merged->Prev();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(KeyOf(149), merged->key().ToString());
+}
+
+}  // namespace bolt

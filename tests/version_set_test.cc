@@ -1,0 +1,177 @@
+// Unit tests of the Version geometry helpers (FindTable /
+// SomeFileOverlapsRange) in both disjoint and overlapping (L0 / FLSM)
+// regimes — the code paths every Get() and compaction-input selection
+// goes through.
+#include "db/version_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bolt {
+
+class FindTableTest : public testing::Test {
+ public:
+  FindTableTest() : disjoint_sorted_files_(true) {}
+
+  ~FindTableTest() override {
+    for (TableMeta* f : files_) {
+      delete f;
+    }
+  }
+
+  void Add(const char* smallest, const char* largest,
+           SequenceNumber smallest_seq = 100,
+           SequenceNumber largest_seq = 100) {
+    TableMeta* f = new TableMeta;
+    f->table_id = files_.size() + 1;
+    f->smallest = InternalKey(smallest, smallest_seq, kTypeValue);
+    f->largest = InternalKey(largest, largest_seq, kTypeValue);
+    files_.push_back(f);
+  }
+
+  int Find(const char* key) {
+    InternalKey target(key, 100, kTypeValue);
+    InternalKeyComparator cmp(BytewiseComparator());
+    return FindTable(cmp, files_, target.Encode());
+  }
+
+  bool Overlaps(const char* smallest, const char* largest) {
+    InternalKeyComparator cmp(BytewiseComparator());
+    Slice s(smallest != nullptr ? smallest : "");
+    Slice l(largest != nullptr ? largest : "");
+    return SomeFileOverlapsRange(cmp, disjoint_sorted_files_, files_,
+                                 (smallest != nullptr ? &s : nullptr),
+                                 (largest != nullptr ? &l : nullptr));
+  }
+
+  bool disjoint_sorted_files_;
+  std::vector<TableMeta*> files_;
+};
+
+TEST_F(FindTableTest, Empty) {
+  EXPECT_EQ(0, Find("foo"));
+  EXPECT_TRUE(!Overlaps("a", "z"));
+  EXPECT_TRUE(!Overlaps(nullptr, "z"));
+  EXPECT_TRUE(!Overlaps("a", nullptr));
+  EXPECT_TRUE(!Overlaps(nullptr, nullptr));
+}
+
+TEST_F(FindTableTest, Single) {
+  Add("p", "q");
+  EXPECT_EQ(0, Find("a"));
+  EXPECT_EQ(0, Find("p"));
+  EXPECT_EQ(0, Find("p1"));
+  EXPECT_EQ(0, Find("q"));
+  EXPECT_EQ(1, Find("q1"));
+  EXPECT_EQ(1, Find("z"));
+
+  EXPECT_TRUE(!Overlaps("a", "b"));
+  EXPECT_TRUE(!Overlaps("z1", "z2"));
+  EXPECT_TRUE(Overlaps("a", "p"));
+  EXPECT_TRUE(Overlaps("a", "q"));
+  EXPECT_TRUE(Overlaps("a", "z"));
+  EXPECT_TRUE(Overlaps("p", "p1"));
+  EXPECT_TRUE(Overlaps("p", "q"));
+  EXPECT_TRUE(Overlaps("p", "z"));
+  EXPECT_TRUE(Overlaps("p1", "p2"));
+  EXPECT_TRUE(Overlaps("p1", "z"));
+  EXPECT_TRUE(Overlaps("q", "q"));
+  EXPECT_TRUE(Overlaps("q", "q1"));
+
+  EXPECT_TRUE(!Overlaps(nullptr, "j"));
+  EXPECT_TRUE(!Overlaps("r", nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, "p"));
+  EXPECT_TRUE(Overlaps(nullptr, "p1"));
+  EXPECT_TRUE(Overlaps("q", nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, nullptr));
+}
+
+TEST_F(FindTableTest, Multiple) {
+  Add("150", "200");
+  Add("200", "250");
+  Add("300", "350");
+  Add("400", "450");
+  EXPECT_EQ(0, Find("100"));
+  EXPECT_EQ(0, Find("150"));
+  EXPECT_EQ(0, Find("151"));
+  EXPECT_EQ(0, Find("199"));
+  EXPECT_EQ(0, Find("200"));
+  EXPECT_EQ(1, Find("201"));
+  EXPECT_EQ(1, Find("249"));
+  EXPECT_EQ(1, Find("250"));
+  EXPECT_EQ(2, Find("251"));
+  EXPECT_EQ(2, Find("299"));
+  EXPECT_EQ(2, Find("300"));
+  EXPECT_EQ(2, Find("349"));
+  EXPECT_EQ(2, Find("350"));
+  EXPECT_EQ(3, Find("351"));
+  EXPECT_EQ(3, Find("400"));
+  EXPECT_EQ(3, Find("450"));
+  EXPECT_EQ(4, Find("451"));
+
+  EXPECT_TRUE(!Overlaps("100", "149"));
+  EXPECT_TRUE(!Overlaps("251", "299"));
+  EXPECT_TRUE(!Overlaps("451", "500"));
+  EXPECT_TRUE(!Overlaps("351", "399"));
+
+  EXPECT_TRUE(Overlaps("100", "150"));
+  EXPECT_TRUE(Overlaps("100", "200"));
+  EXPECT_TRUE(Overlaps("100", "300"));
+  EXPECT_TRUE(Overlaps("100", "400"));
+  EXPECT_TRUE(Overlaps("100", "500"));
+  EXPECT_TRUE(Overlaps("375", "400"));
+  EXPECT_TRUE(Overlaps("450", "450"));
+  EXPECT_TRUE(Overlaps("450", "500"));
+}
+
+TEST_F(FindTableTest, MultipleNullBoundaries) {
+  Add("150", "200");
+  Add("200", "250");
+  Add("300", "350");
+  Add("400", "450");
+  EXPECT_TRUE(!Overlaps(nullptr, "149"));
+  EXPECT_TRUE(!Overlaps("451", nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, "150"));
+  EXPECT_TRUE(Overlaps(nullptr, "199"));
+  EXPECT_TRUE(Overlaps(nullptr, "200"));
+  EXPECT_TRUE(Overlaps(nullptr, "201"));
+  EXPECT_TRUE(Overlaps(nullptr, "400"));
+  EXPECT_TRUE(Overlaps(nullptr, "800"));
+  EXPECT_TRUE(Overlaps("100", nullptr));
+  EXPECT_TRUE(Overlaps("200", nullptr));
+  EXPECT_TRUE(Overlaps("449", nullptr));
+  EXPECT_TRUE(Overlaps("450", nullptr));
+}
+
+TEST_F(FindTableTest, OverlapSequenceChecks) {
+  Add("200", "200", 5000, 3000);
+  EXPECT_TRUE(!Overlaps("199", "199"));
+  EXPECT_TRUE(!Overlaps("201", "300"));
+  EXPECT_TRUE(Overlaps("200", "200"));
+  EXPECT_TRUE(Overlaps("190", "200"));
+  EXPECT_TRUE(Overlaps("200", "210"));
+}
+
+TEST_F(FindTableTest, OverlappingFiles) {
+  // L0 / FLSM regime: files may overlap each other; the binary search is
+  // disabled and every file is checked.
+  Add("150", "600");
+  Add("400", "500");
+  disjoint_sorted_files_ = false;
+  EXPECT_TRUE(!Overlaps("100", "149"));
+  EXPECT_TRUE(!Overlaps("601", "700"));
+  EXPECT_TRUE(Overlaps("100", "150"));
+  EXPECT_TRUE(Overlaps("100", "200"));
+  EXPECT_TRUE(Overlaps("100", "300"));
+  EXPECT_TRUE(Overlaps("100", "400"));
+  EXPECT_TRUE(Overlaps("100", "500"));
+  EXPECT_TRUE(Overlaps("375", "400"));
+  EXPECT_TRUE(Overlaps("450", "450"));
+  EXPECT_TRUE(Overlaps("450", "500"));
+  EXPECT_TRUE(Overlaps("450", "700"));
+  EXPECT_TRUE(Overlaps("600", "700"));
+}
+
+}  // namespace bolt

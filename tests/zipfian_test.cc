@@ -1,0 +1,113 @@
+#include "util/zipfian.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace bolt {
+
+TEST(Zipfian, InRange) {
+  ZipfianGenerator gen(1000, 1);
+  for (int i = 0; i < 100000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 1000u);
+  }
+}
+
+TEST(Zipfian, SkewTowardHotItems) {
+  // With theta=0.99, rank 0 should receive far more draws than the
+  // median rank; the top 10% of items should receive the majority of
+  // accesses.
+  const uint64_t n = 10000;
+  ZipfianGenerator gen(n, 42);
+  std::vector<uint64_t> counts(n, 0);
+  const int draws = 500000;
+  for (int i = 0; i < draws; i++) {
+    counts[gen.Next()]++;
+  }
+  uint64_t top_decile = 0;
+  for (uint64_t i = 0; i < n / 10; i++) top_decile += counts[i];
+  EXPECT_GT(top_decile, draws * 0.6) << "zipfian should be strongly skewed";
+  EXPECT_GT(counts[0], counts[n / 2] * 10);
+}
+
+TEST(Zipfian, Deterministic) {
+  ZipfianGenerator a(1000, 7), b(1000, 7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(ScrambledZipfian, ScattersHotKeys) {
+  // Scrambling should spread the hottest ranks across the item space.
+  const uint64_t n = 100000;
+  ScrambledZipfianGenerator gen(n, 3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; i++) {
+    counts[gen.Next()]++;
+  }
+  // Find the two hottest items; they should not be adjacent.
+  uint64_t hottest = 0, second = 0;
+  int c1 = 0, c2 = 0;
+  for (auto& [k, c] : counts) {
+    if (c > c1) {
+      second = hottest;
+      c2 = c1;
+      hottest = k;
+      c1 = c;
+    } else if (c > c2) {
+      second = k;
+      c2 = c;
+    }
+  }
+  EXPECT_GT(c1, 1000);  // still skewed after scrambling
+  uint64_t gap = hottest > second ? hottest - second : second - hottest;
+  EXPECT_GT(gap, 1u);
+}
+
+TEST(SkewedLatest, FavorsRecentItems) {
+  SkewedLatestGenerator gen(10000, 11);
+  uint64_t recent = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; i++) {
+    if (gen.Next() >= 9000) recent++;
+  }
+  // The newest 10% of items should absorb the bulk of accesses.
+  EXPECT_GT(recent, draws * 0.5);
+}
+
+TEST(SkewedLatest, TracksGrowingMax) {
+  SkewedLatestGenerator gen(100, 13);
+  gen.set_max(200);
+  bool saw_new_range = false;
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 200u);
+    if (v >= 100) saw_new_range = true;
+  }
+  EXPECT_TRUE(saw_new_range);
+}
+
+TEST(Random64, UniformCoverage) {
+  Random64 rng(99);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; i++) {
+    buckets[rng.Uniform(10)]++;
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 8000);
+    EXPECT_LT(b, 12000);
+  }
+}
+
+TEST(Random64, NextDoubleInUnitInterval) {
+  Random64 rng(5);
+  for (int i = 0; i < 10000; i++) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+}  // namespace bolt
