@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_settled.dir/abl_settled.cc.o"
+  "CMakeFiles/abl_settled.dir/abl_settled.cc.o.d"
+  "CMakeFiles/abl_settled.dir/bench_common.cc.o"
+  "CMakeFiles/abl_settled.dir/bench_common.cc.o.d"
+  "abl_settled"
+  "abl_settled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_settled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

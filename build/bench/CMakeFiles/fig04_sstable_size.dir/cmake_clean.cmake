@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sstable_size.dir/bench_common.cc.o"
+  "CMakeFiles/fig04_sstable_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig04_sstable_size.dir/fig04_sstable_size.cc.o"
+  "CMakeFiles/fig04_sstable_size.dir/fig04_sstable_size.cc.o.d"
+  "fig04_sstable_size"
+  "fig04_sstable_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sstable_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

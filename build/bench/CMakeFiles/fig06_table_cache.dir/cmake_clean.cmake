@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_table_cache.dir/bench_common.cc.o"
+  "CMakeFiles/fig06_table_cache.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig06_table_cache.dir/fig06_table_cache.cc.o"
+  "CMakeFiles/fig06_table_cache.dir/fig06_table_cache.cc.o.d"
+  "fig06_table_cache"
+  "fig06_table_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_table_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_group_size.dir/bench_common.cc.o"
+  "CMakeFiles/fig11_group_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig11_group_size.dir/fig11_group_size.cc.o"
+  "CMakeFiles/fig11_group_size.dir/fig11_group_size.cc.o.d"
+  "fig11_group_size"
+  "fig11_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_design_quant.dir/bench_common.cc.o"
+  "CMakeFiles/fig12_design_quant.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig12_design_quant.dir/fig12_design_quant.cc.o"
+  "CMakeFiles/fig12_design_quant.dir/fig12_design_quant.cc.o.d"
+  "fig12_design_quant"
+  "fig12_design_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_design_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ycsb.dir/bench_common.cc.o"
+  "CMakeFiles/fig13_ycsb.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig13_ycsb.dir/fig13_ycsb.cc.o"
+  "CMakeFiles/fig13_ycsb.dir/fig13_ycsb.cc.o.d"
+  "fig13_ycsb"
+  "fig13_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_large_db.dir/bench_common.cc.o"
+  "CMakeFiles/fig15_large_db.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig15_large_db.dir/fig15_large_db.cc.o"
+  "CMakeFiles/fig15_large_db.dir/fig15_large_db.cc.o.d"
+  "fig15_large_db"
+  "fig15_large_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_large_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_tail_cdf.dir/bench_common.cc.o"
+  "CMakeFiles/fig16_tail_cdf.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig16_tail_cdf.dir/fig16_tail_cdf.cc.o"
+  "CMakeFiles/fig16_tail_cdf.dir/fig16_tail_cdf.cc.o.d"
+  "fig16_tail_cdf"
+  "fig16_tail_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_tail_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_anatomy.dir/barrier_anatomy.cpp.o"
+  "CMakeFiles/barrier_anatomy.dir/barrier_anatomy.cpp.o.d"
+  "barrier_anatomy"
+  "barrier_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_explorer.dir/ycsb_explorer.cpp.o"
+  "CMakeFiles/ycsb_explorer.dir/ycsb_explorer.cpp.o.d"
+  "ycsb_explorer"
+  "ycsb_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/output_writer.cc" "src/CMakeFiles/bolt.dir/core/output_writer.cc.o" "gcc" "src/CMakeFiles/bolt.dir/core/output_writer.cc.o.d"
+  "/root/repo/src/db/db_impl.cc" "src/CMakeFiles/bolt.dir/db/db_impl.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/db_impl.cc.o.d"
+  "/root/repo/src/db/db_iter.cc" "src/CMakeFiles/bolt.dir/db/db_iter.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/db_iter.cc.o.d"
+  "/root/repo/src/db/dbformat.cc" "src/CMakeFiles/bolt.dir/db/dbformat.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/dbformat.cc.o.d"
+  "/root/repo/src/db/filename.cc" "src/CMakeFiles/bolt.dir/db/filename.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/filename.cc.o.d"
+  "/root/repo/src/db/memtable.cc" "src/CMakeFiles/bolt.dir/db/memtable.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/memtable.cc.o.d"
+  "/root/repo/src/db/table_cache.cc" "src/CMakeFiles/bolt.dir/db/table_cache.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/table_cache.cc.o.d"
+  "/root/repo/src/db/version_edit.cc" "src/CMakeFiles/bolt.dir/db/version_edit.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/version_edit.cc.o.d"
+  "/root/repo/src/db/version_set.cc" "src/CMakeFiles/bolt.dir/db/version_set.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/version_set.cc.o.d"
+  "/root/repo/src/db/write_batch.cc" "src/CMakeFiles/bolt.dir/db/write_batch.cc.o" "gcc" "src/CMakeFiles/bolt.dir/db/write_batch.cc.o.d"
+  "/root/repo/src/engines/presets.cc" "src/CMakeFiles/bolt.dir/engines/presets.cc.o" "gcc" "src/CMakeFiles/bolt.dir/engines/presets.cc.o.d"
+  "/root/repo/src/env/env.cc" "src/CMakeFiles/bolt.dir/env/env.cc.o" "gcc" "src/CMakeFiles/bolt.dir/env/env.cc.o.d"
+  "/root/repo/src/env/posix_env.cc" "src/CMakeFiles/bolt.dir/env/posix_env.cc.o" "gcc" "src/CMakeFiles/bolt.dir/env/posix_env.cc.o.d"
+  "/root/repo/src/sim/sim_env.cc" "src/CMakeFiles/bolt.dir/sim/sim_env.cc.o" "gcc" "src/CMakeFiles/bolt.dir/sim/sim_env.cc.o.d"
+  "/root/repo/src/table/block.cc" "src/CMakeFiles/bolt.dir/table/block.cc.o" "gcc" "src/CMakeFiles/bolt.dir/table/block.cc.o.d"
+  "/root/repo/src/table/block_builder.cc" "src/CMakeFiles/bolt.dir/table/block_builder.cc.o" "gcc" "src/CMakeFiles/bolt.dir/table/block_builder.cc.o.d"
+  "/root/repo/src/table/format.cc" "src/CMakeFiles/bolt.dir/table/format.cc.o" "gcc" "src/CMakeFiles/bolt.dir/table/format.cc.o.d"
+  "/root/repo/src/table/iterator.cc" "src/CMakeFiles/bolt.dir/table/iterator.cc.o" "gcc" "src/CMakeFiles/bolt.dir/table/iterator.cc.o.d"
+  "/root/repo/src/table/merger.cc" "src/CMakeFiles/bolt.dir/table/merger.cc.o" "gcc" "src/CMakeFiles/bolt.dir/table/merger.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/bolt.dir/table/table.cc.o" "gcc" "src/CMakeFiles/bolt.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/CMakeFiles/bolt.dir/table/table_builder.cc.o" "gcc" "src/CMakeFiles/bolt.dir/table/table_builder.cc.o.d"
+  "/root/repo/src/table/two_level_iterator.cc" "src/CMakeFiles/bolt.dir/table/two_level_iterator.cc.o" "gcc" "src/CMakeFiles/bolt.dir/table/two_level_iterator.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/bolt.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/bloom.cc" "src/CMakeFiles/bolt.dir/util/bloom.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/bloom.cc.o.d"
+  "/root/repo/src/util/cache.cc" "src/CMakeFiles/bolt.dir/util/cache.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/cache.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/bolt.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/CMakeFiles/bolt.dir/util/comparator.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/bolt.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/bolt.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/bolt.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/bolt.dir/util/status.cc.o" "gcc" "src/CMakeFiles/bolt.dir/util/status.cc.o.d"
+  "/root/repo/src/wal/log_reader.cc" "src/CMakeFiles/bolt.dir/wal/log_reader.cc.o" "gcc" "src/CMakeFiles/bolt.dir/wal/log_reader.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/CMakeFiles/bolt.dir/wal/log_writer.cc.o" "gcc" "src/CMakeFiles/bolt.dir/wal/log_writer.cc.o.d"
+  "/root/repo/src/ycsb/ycsb.cc" "src/CMakeFiles/bolt.dir/ycsb/ycsb.cc.o" "gcc" "src/CMakeFiles/bolt.dir/ycsb/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_policy_test.dir/compaction_policy_test.cc.o"
+  "CMakeFiles/compaction_policy_test.dir/compaction_policy_test.cc.o.d"
+  "compaction_policy_test"
+  "compaction_policy_test.pdb"
+  "compaction_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_edit_test.dir/version_edit_test.cc.o"
+  "CMakeFiles/version_edit_test.dir/version_edit_test.cc.o.d"
+  "version_edit_test"
+  "version_edit_test.pdb"
+  "version_edit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_edit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

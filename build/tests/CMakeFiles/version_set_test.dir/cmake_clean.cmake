@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_set_test.dir/version_set_test.cc.o"
+  "CMakeFiles/version_set_test.dir/version_set_test.cc.o.d"
+  "version_set_test"
+  "version_set_test.pdb"
+  "version_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

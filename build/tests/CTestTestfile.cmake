@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bloom_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/coding_test[1]_include.cmake")
+include("/root/repo/build/tests/compaction_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/crc32c_test[1]_include.cmake")
+include("/root/repo/build/tests/db_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/db_property_test[1]_include.cmake")
+include("/root/repo/build/tests/dbformat_test[1]_include.cmake")
+include("/root/repo/build/tests/filename_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/log_test[1]_include.cmake")
+include("/root/repo/build/tests/memtable_test[1]_include.cmake")
+include("/root/repo/build/tests/output_writer_test[1]_include.cmake")
+include("/root/repo/build/tests/page_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/posix_env_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_env_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_test[1]_include.cmake")
+include("/root/repo/build/tests/table_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/version_edit_test[1]_include.cmake")
+include("/root/repo/build/tests/version_set_test[1]_include.cmake")
+include("/root/repo/build/tests/write_batch_test[1]_include.cmake")
+include("/root/repo/build/tests/zipfian_test[1]_include.cmake")
