@@ -96,6 +96,18 @@ class DB {
   // inline on the virtual background lane).
   virtual void WaitForBackgroundWork() = 0;
 
+  // Attempt to recover from a latched background error (e.g. a failed
+  // WAL sync or MANIFEST write) without closing the DB.  On success the
+  // memtable contents are made durable through a fresh MANIFEST, the WAL
+  // is rotated, writes are accepted again, and OK is returned.  Returns
+  // the latched error if it is not retryable (Corruption), or the new
+  // failure if recovery itself fails (the DB stays read-only: reads keep
+  // working, writes keep returning the error).  No-op when healthy.
+  //
+  // REQUIRES: no concurrent Write() calls (quiesce writers after
+  // observing the error before calling Resume()).
+  virtual Status Resume() = 0;
+
   // Engine-level counters for the benchmark harness (barrier counts live
   // in Env::GetIoStats(); these are the compaction-machinery counters).
   virtual DbStats GetStats() = 0;

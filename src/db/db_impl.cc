@@ -244,7 +244,14 @@ void DBImpl::RemoveObsoleteFiles() {
     table_cache_->Evict(z.table_id);
     if (live_files.count({z.file_number, kCompactionFile}) > 0 ||
         pending_outputs_.count(z.file_number) > 0) {
-      to_punch.push_back(z);
+      if (punch_hole_unsupported_) {
+        // The filesystem cannot punch holes; reclamation happens when a
+        // later compaction unlinks the whole file.  Keep the zombie so
+        // the backlog stays visible in stats.
+        still_zombies.push_back(z);
+      } else {
+        to_punch.push_back(z);
+      }
     }
     // else: the whole file is obsolete and will be unlinked below.
   }
@@ -258,11 +265,35 @@ void DBImpl::RemoveObsoleteFiles() {
   for (const std::string& filename : files_to_delete) {
     env_->RemoveFile(dbname_ + "/" + filename);
   }
+  std::vector<ZombieTable> punch_failed;
+  uint64_t punched = 0;
+  bool punch_unsupported = false;
   for (const ZombieTable& z : to_punch) {
-    env_->PunchHole(CompactionFileName(dbname_, z.file_number), z.offset,
-                    z.size);
+    Status ps = env_->PunchHole(CompactionFileName(dbname_, z.file_number),
+                                z.offset, z.size);
+    if (ps.ok()) {
+      punched++;
+    } else {
+      // Hole punching is an optimization (§3.2): a failed punch must not
+      // take the DB down.  Reads stay correct — the dead bytes are simply
+      // not reclaimed yet — so log it, keep the zombie, and retry on the
+      // next pass.
+      Log(options_.info_log, "PunchHole deferred for %06llu.cft: %s",
+          static_cast<unsigned long long>(z.file_number),
+          ps.ToString().c_str());
+      if (ps.IsNotSupported()) {
+        punch_unsupported = true;
+      }
+      punch_failed.push_back(z);
+    }
   }
   mutex_.lock();
+  stats_.hole_punches += punched;
+  stats_.hole_punch_failures += punch_failed.size();
+  if (punch_unsupported) {
+    punch_hole_unsupported_ = true;
+  }
+  zombies_.insert(zombies_.end(), punch_failed.begin(), punch_failed.end());
 }
 
 Status DBImpl::Recover(VersionEdit* edit) {
@@ -1009,6 +1040,14 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       if (status.ok() && options.sync) {
         status = logfile_->Sync();
       }
+      if (!status.ok()) {
+        // The WAL tail is indeterminate: a torn record may be sitting
+        // before anything we append later, and the log reader drops
+        // everything past a corruption, so later acked writes could
+        // silently vanish on recovery.  Latch the error; writes are
+        // rejected until Resume() rotates to a fresh WAL.
+        RecordBackgroundError(status);
+      }
       if (status.ok()) {
         status = WriteBatchInternal::InsertInto(updates, mem_);
       }
@@ -1047,21 +1086,23 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     {
       mutex_.unlock();
       status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
-      bool sync_error = false;
+      bool wal_error = false;
       if (status.ok() && options.sync) {
         status = logfile_->Sync();
-        if (!status.ok()) {
-          sync_error = true;
-        }
+      }
+      if (!status.ok()) {
+        // The state of the log file is indeterminate: a failed append
+        // may have left a torn record and a failed sync may or may not
+        // have persisted the record, so anything appended afterwards
+        // could be dropped by the log reader on recovery.  Force the DB
+        // into a mode where all future writes fail until Resume().
+        wal_error = true;
       }
       if (status.ok()) {
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
       }
       mutex_.lock();
-      if (sync_error) {
-        // The state of the log file is indeterminate: the log record we
-        // just added may or may not show up when the DB is re-opened.
-        // So we force the DB into a mode where all future writes fail.
+      if (wal_error) {
         RecordBackgroundError(status);
       }
     }
@@ -1544,7 +1585,91 @@ void DBImpl::WaitForBackgroundWork() {
 
 DbStats DBImpl::GetStats() {
   MutexLock l(&mutex_);
+  stats_.reclamation_backlog = zombies_.size();
   return stats_;
+}
+
+Status DBImpl::Resume() {
+  MutexLock l(&mutex_);
+  if (bg_error_.ok()) {
+    return Status::OK();  // nothing to recover from
+  }
+  if (bg_error_.IsCorruption()) {
+    // On-disk state is suspect; a live handle cannot repair that.
+    return bg_error_;
+  }
+  // Drain any background job that was already running when the error
+  // latched (it will see bg_error_ and bail without side effects).
+  while (!simulated() && background_compaction_scheduled_) {
+    background_work_finished_signal_.wait(mutex_);
+  }
+
+  // The WAL tail is indeterminate, so the memtables are the only
+  // complete copy of recently acked writes.  Make them durable through
+  // the MANIFEST instead of trusting the log: flush imm_ then mem_ into
+  // one edit, rotate to a fresh WAL, and commit a fresh descriptor
+  // (LogAndApply writes a full-snapshot MANIFEST + CURRENT swap after a
+  // descriptor failure).  Nothing is unreferenced or swapped until the
+  // commit succeeds, and bg_error_ stays latched throughout so
+  // concurrent writers cannot mutate mem_ under us.
+  VersionEdit edit;
+  Status s;
+  int flushed = 0;
+  if (imm_ != nullptr) {
+    s = WriteLevel0Table(imm_, &edit);
+    if (!s.ok()) {
+      return s;
+    }
+    flushed++;
+  }
+  if (mem_->num_entries() > 0) {
+    s = WriteLevel0Table(mem_, &edit);
+    if (!s.ok()) {
+      return s;
+    }
+    flushed++;
+  }
+
+  const uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+  if (!s.ok()) {
+    versions_->ReuseFileNumber(new_log_number);
+    return s;
+  }
+  edit.SetPrevLogNumber(0);
+  edit.SetLogNumber(new_log_number);  // older (possibly torn) logs dropped
+  s = versions_->LogAndApply(&edit);
+  if (!s.ok()) {
+    lfile.reset();
+    env_->RemoveFile(LogFileName(dbname_, new_log_number));
+    return s;  // still degraded; the caller may retry
+  }
+
+  // Committed: install the fresh WAL + memtable and clear the latch.
+  delete log_;
+  delete logfile_;
+  logfile_ = lfile.release();
+  logfile_number_ = new_log_number;
+  log_ = new log::Writer(logfile_);
+  if (imm_ != nullptr) {
+    imm_->Unref();
+    imm_ = nullptr;
+    has_imm_.store(false, std::memory_order_release);
+  }
+  mem_->Unref();
+  mem_ = new MemTable(internal_comparator_);
+  mem_->Ref();
+  if (simulated() && flushed > 0) {
+    AddL0Event(sim_->Now(), flushed);
+    imm_done_time_ = sim_->Now();
+  }
+  bg_error_ = Status::OK();
+  stats_.resumes++;
+  RemoveObsoleteFiles();
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.notify_all();
+  return Status::OK();
 }
 
 DB::~DB() = default;

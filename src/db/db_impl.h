@@ -60,6 +60,7 @@ class DBImpl : public DB {
   void CompactRange(const Slice* begin, const Slice* end) override;
   void WaitForBackgroundWork() override;
   DbStats GetStats() override;
+  Status Resume() override;
 
   // ---- Extra methods (for testing / benches) ----
 
@@ -182,6 +183,10 @@ class DBImpl : public DB {
 
   // Dead logical tables not yet hole-punched.
   std::vector<ZombieTable> zombies_;
+
+  // Latched once PunchHole returns NotSupported: stop retrying; zombies
+  // are reclaimed only when their whole compaction file is unlinked.
+  bool punch_hole_unsupported_ = false;
 
   // Has a background compaction been scheduled or is running?
   bool background_compaction_scheduled_;

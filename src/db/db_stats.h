@@ -27,6 +27,17 @@ struct DbStats {
   uint64_t compaction_output_tables = 0;  // (logical) tables produced
   uint64_t compaction_files_created = 0;  // physical files produced
   uint64_t settled_bytes_saved = 0;       // bytes NOT rewritten thanks to +STL
+
+  // ---- Space reclamation (§3.2) ----
+  // Hole punching is an optimization: a failed punch is never fatal, the
+  // zombie table is re-queued and reclaimed on a later pass (or when the
+  // whole compaction file is unlinked).
+  uint64_t hole_punches = 0;           // successful PunchHole calls
+  uint64_t hole_punch_failures = 0;    // failed calls (reclamation deferred)
+  uint64_t reclamation_backlog = 0;    // zombies currently awaiting a punch
+
+  // ---- Failure handling ----
+  uint64_t resumes = 0;  // successful DB::Resume() recoveries
 };
 
 }  // namespace bolt

@@ -111,6 +111,10 @@ Status TableCache::FindTable(const TableMeta& meta, Cache::Handle** handle) {
     assert(table == nullptr);
     if (fd_handle != nullptr) {
       fd_cache_->Release(fd_handle);
+      // Drop the shared fd too: the failure may be tied to this handle
+      // (stale descriptor after an injected I/O error), and a retry
+      // should reopen the file from scratch.
+      EvictFile(meta.file_number, meta.file_type);
     } else {
       delete file;
     }

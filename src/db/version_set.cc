@@ -833,6 +833,9 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
     log_number_ = edit->log_number_;
     prev_log_number_ = edit->prev_log_number_;
   } else {
+    // Roll back: the in-memory state still points at the old version,
+    // and CURRENT still points at the last fully-synced MANIFEST, so
+    // the old descriptor remains the durable truth.
     delete v;
     if (!new_manifest_file.empty()) {
       delete descriptor_log_;
@@ -840,6 +843,20 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
       descriptor_log_ = nullptr;
       descriptor_file_ = nullptr;
       env_->RemoveFile(new_manifest_file);
+    } else {
+      // The established descriptor stream may now end in a torn record;
+      // appending more records after it would make recovery drop them
+      // (the log reader stops at a corruption).  Discard the handle and
+      // move to a fresh manifest number: the next successful
+      // LogAndApply writes a full snapshot and swaps CURRENT
+      // atomically.  Until then the old MANIFEST stays untouched on
+      // disk (the caller latches bg_error_, which also blocks
+      // RemoveObsoleteFiles from deleting it).
+      delete descriptor_log_;
+      delete descriptor_file_;
+      descriptor_log_ = nullptr;
+      descriptor_file_ = nullptr;
+      manifest_file_number_ = NewFileNumber();
     }
   }
 

@@ -5,6 +5,10 @@
 
 namespace bolt {
 
+Status Env::Truncate(const std::string& fname, uint64_t size) {
+  return Status::NotSupported("Truncate", fname);
+}
+
 void Log(Logger* info_log, const char* format, ...) {
   if (info_log != nullptr) {
     va_list ap;

@@ -82,6 +82,11 @@ class Env {
   virtual Status PunchHole(const std::string& fname, uint64_t offset,
                            uint64_t length) = 0;
 
+  // Truncate fname to exactly "size" bytes.  Used by crash emulation
+  // (FaultInjectionEnv drops unsynced suffixes) and by tests that
+  // corrupt on-disk state.  Default: NotSupported.
+  virtual Status Truncate(const std::string& fname, uint64_t size);
+
   // ---- Scheduling ---------------------------------------------------------
   // Arrange to run function(arg) once in a background thread.  SimEnv has
   // no real background threads: the DB detects sim() != nullptr and runs

@@ -1,0 +1,376 @@
+#include "env/fault_injection_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bolt {
+
+namespace {
+
+// Sector granularity for torn writes: a power cut persists whole sectors,
+// so a torn suffix is cut at a 512-byte boundary.
+constexpr uint64_t kSectorSize = 512;
+
+}  // namespace
+
+// ---- Wrapped file handles --------------------------------------------------
+
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(std::string fname, std::unique_ptr<WritableFile> target,
+                    FaultInjectionEnv* env)
+      : fname_(std::move(fname)), target_(std::move(target)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    Status s = env_->CheckInject(FaultOp::kAppend);
+    if (!s.ok()) return s;
+    s = target_->Append(data);
+    if (s.ok()) {
+      env_->RecordAppend(fname_, data.size());
+    }
+    return s;
+  }
+
+  Status Close() override { return target_->Close(); }
+  Status Flush() override { return target_->Flush(); }
+
+  Status Sync() override {
+    Status s = env_->CheckInject(FaultOp::kSync);
+    if (!s.ok()) {
+      // A failed fsync leaves the data's durability indeterminate; model
+      // the hard case: nothing since the last good barrier is durable.
+      return s;
+    }
+    s = target_->Sync();
+    if (s.ok()) {
+      env_->RecordSync(fname_);
+    }
+    return s;
+  }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<WritableFile> target_;
+  FaultInjectionEnv* const env_;
+};
+
+class FaultSequentialFile final : public SequentialFile {
+ public:
+  FaultSequentialFile(std::unique_ptr<SequentialFile> target,
+                      FaultInjectionEnv* env)
+      : target_(std::move(target)), env_(env) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = env_->CheckInject(FaultOp::kRead);
+    if (!s.ok()) return s;
+    s = target_->Read(n, result, scratch);
+    if (s.ok() && !result->empty()) {
+      uint64_t byte_seed;
+      if (env_->ShouldCorruptRead(&byte_seed)) {
+        if (result->data() != scratch) {
+          memcpy(scratch, result->data(), result->size());
+          *result = Slice(scratch, result->size());
+        }
+        scratch[byte_seed % result->size()] ^= 0x40;
+      }
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override { return target_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> target_;
+  FaultInjectionEnv* const env_;
+};
+
+class FaultRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> target,
+                        FaultInjectionEnv* env)
+      : target_(std::move(target)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = env_->CheckInject(FaultOp::kRead);
+    if (!s.ok()) return s;
+    s = target_->Read(offset, n, result, scratch);
+    if (s.ok() && !result->empty()) {
+      uint64_t byte_seed;
+      if (env_->ShouldCorruptRead(&byte_seed)) {
+        if (result->data() != scratch) {
+          memcpy(scratch, result->data(), result->size());
+          *result = Slice(scratch, result->size());
+        }
+        scratch[byte_seed % result->size()] ^= 0x40;
+      }
+    }
+    return s;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> target_;
+  FaultInjectionEnv* const env_;
+};
+
+// ---- FaultInjectionEnv -----------------------------------------------------
+
+FaultInjectionEnv::FaultInjectionEnv(Env* target, uint64_t seed)
+    : target_(target), rnd_(seed) {}
+
+FaultInjectionEnv::~FaultInjectionEnv() = default;
+
+void FaultInjectionEnv::FailNth(FaultOp op, uint64_t n, const Status& error) {
+  std::lock_guard<std::mutex> l(mu_);
+  Fault& f = faults_[static_cast<int>(op)];
+  f.armed = true;
+  f.always = false;
+  f.at = op_counts_[static_cast<int>(op)] + n;
+  f.error = error;
+}
+
+void FaultInjectionEnv::FailAlways(FaultOp op, const Status& error) {
+  std::lock_guard<std::mutex> l(mu_);
+  Fault& f = faults_[static_cast<int>(op)];
+  f.armed = true;
+  f.always = true;
+  f.at = 0;
+  f.error = error;
+}
+
+void FaultInjectionEnv::SetReadCorruption(double probability) {
+  std::lock_guard<std::mutex> l(mu_);
+  read_corruption_p_ = probability;
+}
+
+void FaultInjectionEnv::SetTornWrites(bool enabled) {
+  std::lock_guard<std::mutex> l(mu_);
+  torn_writes_ = enabled;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (Fault& f : faults_) {
+    f = Fault();
+  }
+  read_corruption_p_ = 0.0;
+  torn_writes_ = false;
+}
+
+uint64_t FaultInjectionEnv::OpCount(FaultOp op) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return op_counts_[static_cast<int>(op)];
+}
+
+uint64_t FaultInjectionEnv::FaultsInjected() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return faults_injected_;
+}
+
+Status FaultInjectionEnv::CheckInject(FaultOp op) {
+  std::lock_guard<std::mutex> l(mu_);
+  const int i = static_cast<int>(op);
+  op_counts_[i]++;
+  Fault& f = faults_[i];
+  if (!f.armed) return Status::OK();
+  if (f.always) {
+    faults_injected_++;
+    return f.error;
+  }
+  if (op_counts_[i] == f.at) {
+    f.armed = false;  // one-shot
+    faults_injected_++;
+    return f.error;
+  }
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::ShouldCorruptRead(uint64_t* byte_seed) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (read_corruption_p_ <= 0.0) return false;
+  if (rnd_.NextDouble() >= read_corruption_p_) return false;
+  faults_injected_++;
+  *byte_seed = rnd_.Next();
+  return true;
+}
+
+void FaultInjectionEnv::RecordAppend(const std::string& fname, uint64_t len) {
+  std::lock_guard<std::mutex> l(mu_);
+  files_[fname].size += len;
+}
+
+void FaultInjectionEnv::RecordSync(const std::string& fname) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it != files_.end()) {
+    it->second.synced_size = it->second.size;
+  }
+}
+
+void FaultInjectionEnv::Crash() {
+  std::map<std::string, uint64_t> keep;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    for (auto& [fname, state] : files_) {
+      uint64_t survive = state.synced_size;
+      if (torn_writes_ && state.size > state.synced_size) {
+        // A random sector-aligned prefix of the unsynced suffix made it
+        // to the platter before power was lost.
+        const uint64_t unsynced = state.size - state.synced_size;
+        const uint64_t torn = rnd_.Uniform(unsynced + 1) / kSectorSize *
+                              kSectorSize;
+        survive += torn;
+      }
+      keep[fname] = survive;
+      state.size = survive;
+      state.synced_size = survive;
+    }
+  }
+  for (const auto& [fname, survive] : keep) {
+    target_->Truncate(fname, survive);
+  }
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> target;
+  Status s = target_->NewSequentialFile(fname, &target);
+  if (!s.ok()) return s;
+  result->reset(new FaultSequentialFile(std::move(target), this));
+  return s;
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> target;
+  Status s = target_->NewRandomAccessFile(fname, &target);
+  if (!s.ok()) return s;
+  result->reset(new FaultRandomAccessFile(std::move(target), this));
+  return s;
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  Status s = CheckInject(FaultOp::kNewWritableFile);
+  if (!s.ok()) return s;
+  std::unique_ptr<WritableFile> target;
+  s = target_->NewWritableFile(fname, &target);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    files_[fname] = FileState();  // O_TRUNC semantics
+  }
+  result->reset(new FaultWritableFile(fname, std::move(target), this));
+  return s;
+}
+
+Status FaultInjectionEnv::NewAppendableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  Status s = CheckInject(FaultOp::kNewWritableFile);
+  if (!s.ok()) return s;
+  std::unique_ptr<WritableFile> target;
+  s = target_->NewAppendableFile(fname, &target);
+  if (!s.ok()) return s;
+  {
+    uint64_t size = 0;
+    target_->GetFileSize(fname, &size);
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      // Pre-existing contents (written before this env wrapped the
+      // target, or by a previous incarnation) count as durable.
+      files_[fname] = FileState{size, size};
+    }
+  }
+  result->reset(new FaultWritableFile(fname, std::move(target), this));
+  return s;
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& fname) {
+  return target_->FileExists(fname);
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* result) {
+  return target_->GetChildren(dir, result);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  Status s = target_->RemoveFile(fname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(mu_);
+    files_.erase(fname);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
+  return target_->CreateDir(dirname);
+}
+
+Status FaultInjectionEnv::RemoveDir(const std::string& dirname) {
+  return target_->RemoveDir(dirname);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& fname,
+                                      uint64_t* file_size) {
+  return target_->GetFileSize(fname, file_size);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  Status s = CheckInject(FaultOp::kRename);
+  if (!s.ok()) return s;
+  s = target_->RenameFile(src, target);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(src);
+    if (it != files_.end()) {
+      files_[target] = it->second;
+      files_.erase(it);
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::Truncate(const std::string& fname, uint64_t size) {
+  Status s = target_->Truncate(fname, size);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    if (it != files_.end()) {
+      it->second.size = size;
+      it->second.synced_size = std::min(it->second.synced_size, size);
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::PunchHole(const std::string& fname, uint64_t offset,
+                                    uint64_t length) {
+  Status s = CheckInject(FaultOp::kPunchHole);
+  if (!s.ok()) return s;
+  return target_->PunchHole(fname, offset, length);
+}
+
+void FaultInjectionEnv::Schedule(void (*function)(void*), void* arg) {
+  target_->Schedule(function, arg);
+}
+
+void FaultInjectionEnv::StartThread(void (*function)(void*), void* arg) {
+  target_->StartThread(function, arg);
+}
+
+uint64_t FaultInjectionEnv::NowNanos() { return target_->NowNanos(); }
+
+void FaultInjectionEnv::SleepForMicroseconds(int micros) {
+  target_->SleepForMicroseconds(micros);
+}
+
+IoStats FaultInjectionEnv::GetIoStats() const { return target_->GetIoStats(); }
+
+void FaultInjectionEnv::ResetIoStats() { target_->ResetIoStats(); }
+
+SimContext* FaultInjectionEnv::sim() { return target_->sim(); }
+
+}  // namespace bolt

@@ -1,0 +1,141 @@
+// FaultInjectionEnv: a wrapping Env that injects partial-failure faults
+// into an underlying PosixEnv or SimEnv.  Where SimEnv::DropUnsynced()
+// models a *clean* power cut (every I/O before the crash succeeded),
+// this Env models the hard cases production LSM engines must survive:
+//
+//  * sync-fail       — the Nth Sync() returns EIO mid-compaction;
+//  * append-fail     — a write() into a WAL / compaction file fails;
+//  * punch-fail      — fallocate(PUNCH_HOLE) is unsupported or fails;
+//  * rename-fail     — the CURRENT-file swap fails;
+//  * read-corruption — reads flip bytes, emulating media corruption;
+//  * torn write      — a crash keeps only a sector-aligned prefix of the
+//                      last unsynced append.
+//
+// The env tracks per-file unsynced data itself, so Crash() drops exactly
+// what a power cut would regardless of the wrapped Env.  All fault state
+// is behind one mutex and a seedable RNG: a given (seed, fault plan,
+// workload) is fully reproducible.  See DESIGN.md §7 and
+// tests/fault_injection_test.cc.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "util/random.h"
+
+namespace bolt {
+
+// The I/O operations a fault can target.  Counters are global across
+// files (the "Nth sync in the workload"), which is how the torture test
+// sweeps the whole failure surface with one integer.
+enum class FaultOp {
+  kAppend = 0,
+  kSync,
+  kRead,  // SequentialFile::Read and RandomAccessFile::Read
+  kPunchHole,
+  kRename,
+  kNewWritableFile,
+};
+inline constexpr int kNumFaultOps = 6;
+
+class FaultInjectionEnv final : public Env {
+ public:
+  // Does not take ownership of target.
+  explicit FaultInjectionEnv(Env* target, uint64_t seed = 301);
+  ~FaultInjectionEnv() override;
+
+  // ---- Fault plan (thread-safe) ------------------------------------------
+  // Fail the nth (1-based, counted from now) subsequent operation of the
+  // given kind with "error".  One-shot: the fault disarms after firing.
+  void FailNth(FaultOp op, uint64_t n, const Status& error);
+  // Fail every subsequent operation of this kind until ClearFaults().
+  void FailAlways(FaultOp op, const Status& error);
+  // Each successful read flips one byte with this probability.
+  void SetReadCorruption(double probability);
+  // When enabled, Crash() keeps a random sector-aligned (512 B) prefix
+  // of each file's unsynced suffix instead of dropping it entirely.
+  void SetTornWrites(bool enabled);
+  void ClearFaults();
+
+  // Total operations of this kind observed (fired faults included).
+  uint64_t OpCount(FaultOp op) const;
+  // Number of faults injected so far (corrupted reads included).
+  uint64_t FaultsInjected() const;
+
+  // Power failure: truncate every file written through this Env to its
+  // last successfully synced size (plus a torn prefix when enabled).
+  // The DB must be closed (or never reopened on the old handle).
+  void Crash();
+
+  // ---- Env interface -----------------------------------------------------
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+  Status Truncate(const std::string& fname, uint64_t size) override;
+  Status PunchHole(const std::string& fname, uint64_t offset,
+                   uint64_t length) override;
+  void Schedule(void (*function)(void*), void* arg) override;
+  void StartThread(void (*function)(void*), void* arg) override;
+  uint64_t NowNanos() override;
+  void SleepForMicroseconds(int micros) override;
+  IoStats GetIoStats() const override;
+  void ResetIoStats() override;
+  SimContext* sim() override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultSequentialFile;
+  friend class FaultRandomAccessFile;
+
+  // Durability tracking for one file, as written through this Env.
+  struct FileState {
+    uint64_t size = 0;         // bytes appended so far
+    uint64_t synced_size = 0;  // bytes covered by a successful Sync()
+  };
+
+  struct Fault {
+    bool armed = false;
+    bool always = false;
+    uint64_t at = 0;  // fires when the op counter reaches this value
+    Status error;
+  };
+
+  // Count one operation of this kind and return the injected error, if
+  // the plan says this one fails.
+  Status CheckInject(FaultOp op);
+  // True if this read should be corrupted (counts the read op too).
+  bool ShouldCorruptRead(uint64_t* byte_seed);
+
+  void RecordAppend(const std::string& fname, uint64_t len);
+  void RecordSync(const std::string& fname);
+
+  Env* const target_;
+  mutable std::mutex mu_;
+  Random64 rnd_;
+  uint64_t op_counts_[kNumFaultOps] = {};
+  Fault faults_[kNumFaultOps];
+  double read_corruption_p_ = 0.0;
+  bool torn_writes_ = false;
+  uint64_t faults_injected_ = 0;
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace bolt

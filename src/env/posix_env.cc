@@ -328,6 +328,14 @@ class PosixEnvImpl final : public Env {
     return Status::OK();
   }
 
+  Status Truncate(const std::string& fname, uint64_t size) override {
+    stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
+    if (truncate(fname.c_str(), static_cast<off_t>(size)) != 0) {
+      return PosixError(fname, errno);
+    }
+    return Status::OK();
+  }
+
   Status PunchHole(const std::string& fname, uint64_t offset,
                    uint64_t length) override {
     int fd = open(fname.c_str(), O_WRONLY | O_CLOEXEC);

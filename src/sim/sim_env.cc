@@ -288,6 +288,25 @@ Status SimEnv::RenameFile(const std::string& src, const std::string& target) {
   return Status::OK();
 }
 
+Status SimEnv::Truncate(const std::string& fname, uint64_t size) {
+  stats_.metadata_ops += 1;
+  sim_.ChargeMetadataOp();
+  auto file = FindFile(fname);
+  if (file == nullptr) {
+    return Status::NotFound(fname);
+  }
+  std::lock_guard<std::mutex> l(fs_mutex_);
+  if (size < file->data.size()) {
+    file->data.resize(size);
+    page_cache_.DropFile(file->id);  // conservative: drop residency
+  } else if (size > file->data.size()) {
+    file->data.resize(size, '\0');
+  }
+  file->synced_size = std::min(file->synced_size, size);
+  file->hole_bytes = std::min(file->hole_bytes, size);
+  return Status::OK();
+}
+
 Status SimEnv::PunchHole(const std::string& fname, uint64_t offset,
                          uint64_t length) {
   stats_.metadata_ops += 1;

@@ -43,6 +43,7 @@ class SimEnv final : public Env {
   Status RemoveDir(const std::string& dirname) override;
   Status GetFileSize(const std::string& fname, uint64_t* file_size) override;
   Status RenameFile(const std::string& src, const std::string& target) override;
+  Status Truncate(const std::string& fname, uint64_t size) override;
   Status PunchHole(const std::string& fname, uint64_t offset,
                    uint64_t length) override;
 

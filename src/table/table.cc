@@ -109,8 +109,7 @@ Status Table::Open(const Options& options, RandomAccessFile* file,
   if (want_filter) {
     s = slice_block(filter_handle, verify, &rep->filter_data);
     if (!s.ok()) {
-      delete rep->index_block;
-      delete rep;
+      delete rep;  // ~Rep() owns index_block
       return s;
     }
   }

@@ -11,6 +11,7 @@
 #include "db/db.h"
 #include "db/db_impl.h"
 #include "engines/presets.h"
+#include "env/fault_injection_env.h"
 #include "sim/sim_env.h"
 #include "table/iterator.h"
 #include "util/random.h"
@@ -187,6 +188,102 @@ TEST_P(CrashRecoveryTest, IterationAfterCrashSeesConsistentState) {
   for (int i = 0; i < 300; i += 3) {
     EXPECT_EQ(Val(i), Get(Key(i)));
   }
+}
+
+// ---------------------------------------------------------------------------
+// CURRENT-file corruption: every malformed variant must fail recovery
+// with Corruption (never crash, never open a wrong DB state), and the
+// original CURRENT must reopen fine.
+// ---------------------------------------------------------------------------
+
+TEST_P(CrashRecoveryTest, CurrentFileCorruptionVariantsAreRejected) {
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db_->Put(sync_opts, Key(i), Val(i)).ok());
+  }
+  db_.reset();
+
+  std::string good;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/db/CURRENT", &good).ok());
+  ASSERT_FALSE(good.empty());
+
+  struct Variant {
+    const char* name;
+    std::string contents;
+  };
+  const Variant variants[] = {
+      {"empty", ""},
+      {"no trailing newline", good.substr(0, good.size() - 1)},
+      {"truncated name", good.substr(0, 4)},
+      {"dangling manifest pointer", "MANIFEST-999999\n"},
+  };
+  for (const Variant& v : variants) {
+    if (v.contents.empty()) {
+      ASSERT_TRUE(env_->Truncate("/db/CURRENT", 0).ok());
+    } else {
+      ASSERT_TRUE(
+          WriteStringToFile(env_.get(), v.contents, "/db/CURRENT", false).ok());
+    }
+    DB* raw = nullptr;
+    Status s = DB::Open(options_, "/db", &raw);
+    EXPECT_TRUE(raw == nullptr) << v.name;
+    EXPECT_TRUE(s.IsCorruption()) << v.name << ": " << s.ToString();
+    delete raw;
+  }
+
+  // Restoring the true CURRENT makes the DB fully recoverable again.
+  ASSERT_TRUE(WriteStringToFile(env_.get(), good, "/db/CURRENT", true).ok());
+  Open();
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(Val(i), Get(Key(i)));
+  }
+}
+
+// Error paths of the small file helpers, driven through FaultInjectionEnv.
+TEST(FileUtilErrorTest, ReadFileToStringPropagatesErrors) {
+  SimEnv sim;
+  std::string data = "leftover";
+  EXPECT_TRUE(ReadFileToString(&sim, "/missing", &data).IsNotFound());
+  EXPECT_EQ("", data) << "output must be cleared on failure";
+
+  FaultInjectionEnv fenv(&sim, 5);
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(fenv.NewWritableFile("/f", &wf).ok());
+  ASSERT_TRUE(wf->Append("payload").ok());
+  wf.reset();
+  fenv.FailAlways(FaultOp::kRead, Status::IOError("injected"));
+  Status s = ReadFileToString(&fenv, "/f", &data);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  fenv.ClearFaults();
+  ASSERT_TRUE(ReadFileToString(&fenv, "/f", &data).ok());
+  EXPECT_EQ("payload", data);
+}
+
+TEST(FileUtilErrorTest, WriteStringToFileCleansUpOnFailure) {
+  SimEnv sim;
+  FaultInjectionEnv fenv(&sim, 6);
+
+  // Failed create.
+  fenv.FailNth(FaultOp::kNewWritableFile, 1, Status::IOError("injected"));
+  EXPECT_FALSE(WriteStringToFile(&fenv, "x", "/w1", false).ok());
+  EXPECT_FALSE(fenv.FileExists("/w1"));
+
+  // Failed append: no half-written file may be left behind.
+  fenv.FailNth(FaultOp::kAppend, 1, Status::IOError("injected"));
+  EXPECT_FALSE(WriteStringToFile(&fenv, "x", "/w2", false).ok());
+  EXPECT_FALSE(fenv.FileExists("/w2"));
+
+  // Failed sync in the should_sync variant.
+  fenv.FailNth(FaultOp::kSync, 1, Status::IOError("injected"));
+  EXPECT_FALSE(WriteStringToFile(&fenv, "x", "/w3", true).ok());
+  EXPECT_FALSE(fenv.FileExists("/w3"));
+
+  fenv.ClearFaults();
+  ASSERT_TRUE(WriteStringToFile(&fenv, "x", "/w4", true).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&fenv, "/w4", &data).ok());
+  EXPECT_EQ("x", data);
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, CrashRecoveryTest,

@@ -1,0 +1,482 @@
+// Fault-injection tests: FaultInjectionEnv wraps SimEnv (and PosixEnv)
+// and fails individual I/O operations — the Nth sync, a torn append, a
+// flipped read byte, an unsupported hole punch — then the DB must hold
+// the §2.4 contract: every acked synced write survives crash+recovery,
+// errors latch sticky until DB::Resume(), reads never surface fabricated
+// data, and a failed punch defers reclamation instead of failing the DB.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/db.h"
+#include "db/db_impl.h"
+#include "engines/presets.h"
+#include "env/fault_injection_env.h"
+#include "sim/sim_env.h"
+#include "table/iterator.h"
+#include "util/random.h"
+
+namespace bolt {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return std::string(buf);
+}
+
+std::string Val(int i, int gen = 0) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "value-%08d-gen%d-padpadpadpad", i, gen);
+  return std::string(buf);
+}
+
+// Larger values for churn traffic, to reach flush/compaction quickly.
+std::string BigVal(int i, int gen) {
+  std::string v = Val(i, gen);
+  v.resize(128, 'x');
+  return v;
+}
+
+}  // namespace
+
+class FaultInjectionTest : public testing::TestWithParam<const char*> {
+ protected:
+  // (Re)create the whole stack: SimEnv, FaultInjectionEnv, DB.
+  void FreshDB(uint64_t seed) {
+    db_.reset();
+    sim_ = std::make_unique<SimEnv>();
+    fenv_ = std::make_unique<FaultInjectionEnv>(sim_.get(), seed);
+    options_ = presets::ByName(GetParam());
+    options_.env = fenv_.get();
+    options_.write_buffer_size = 16 << 10;
+    options_.max_file_size = 8 << 10;
+    options_.logical_sstable_size = 4 << 10;
+    if (options_.group_compaction_bytes) {
+      options_.group_compaction_bytes = 16 << 10;
+    }
+    options_.max_bytes_for_level_base = 32 << 10;
+    Open();
+  }
+
+  void Open() {
+    DB* db = nullptr;
+    ASSERT_TRUE(DB::Open(options_, "/db", &db).ok())
+        << "open failed for " << GetParam();
+    db_.reset(db);
+  }
+
+  // Power failure through the injection layer: close, drop everything not
+  // covered by a successful Sync() (plus a torn prefix when enabled), and
+  // reopen.
+  void Crash() {
+    db_.reset();
+    fenv_->Crash();
+    Open();
+  }
+
+  std::string Get(const std::string& k) {
+    std::string v;
+    Status s = db_->Get(ReadOptions(), k, &v);
+    if (s.IsNotFound()) return "NOT_FOUND";
+    if (!s.ok()) return "ERROR";
+    return v;
+  }
+
+  // Every model key must read back exactly; the full scan must be sorted
+  // and well-formed; the version invariants must hold.
+  void VerifyModel(const std::map<std::string, std::string>& model,
+                   const char* when) {
+    for (const auto& [k, v] : model) {
+      ASSERT_EQ(v, Get(k)) << when << ": lost acked synced key " << k;
+    }
+    std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+    std::string prev;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      std::string k = iter->key().ToString();
+      ASSERT_LT(prev, k) << when << ": scan out of order";
+      ASSERT_EQ(k.substr(0, 3), "key") << when << ": malformed key";
+      ASSERT_EQ(iter->value().ToString().substr(0, 6), "value-")
+          << when << ": malformed value for " << k;
+      prev = k;
+    }
+    ASSERT_TRUE(iter->status().ok()) << when;
+    auto* impl = static_cast<DBImpl*>(db_.get());
+    ASSERT_EQ("", impl->TEST_CheckInvariants()) << when;
+  }
+
+  std::unique_ptr<SimEnv> sim_;
+  std::unique_ptr<FaultInjectionEnv> fenv_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+// ---------------------------------------------------------------------------
+// The torture loop: inject one random fault somewhere in a busy workload,
+// recover with Resume(), crash, reopen, and check that no acked synced
+// write was lost — 200 iterations per engine preset.
+// ---------------------------------------------------------------------------
+
+TEST_P(FaultInjectionTest, TortureRandomFaultCrashRecover) {
+  constexpr int kIterations = 200;
+  // kRead is excluded here (corruption has its own test below); the rest
+  // of the surface is swept by (op, index) chosen at random.
+  const FaultOp kOps[] = {FaultOp::kAppend, FaultOp::kSync,
+                          FaultOp::kPunchHole, FaultOp::kRename,
+                          FaultOp::kNewWritableFile};
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  uint64_t total_faults_fired = 0;
+
+  for (int iter = 0; iter < kIterations; iter++) {
+    const uint64_t seed = 1000003u * (iter + 1);
+    Random rnd(static_cast<uint32_t>(seed));
+    FreshDB(seed);
+    std::map<std::string, std::string> model;
+
+    // Phase A (healthy): synced keys [0,40) plus unsynced churn to push
+    // the engine into flush/compaction territory.
+    for (int i = 0; i < 40; i++) {
+      ASSERT_TRUE(db_->Put(sync_opts, Key(i), Val(i, 1)).ok()) << "iter "
+                                                               << iter;
+      model[Key(i)] = Val(i, 1);
+    }
+    for (int j = 0; j < 100; j++) {
+      ASSERT_TRUE(
+          db_->Put(WriteOptions(), Key(500 + j % 60), BigVal(j, iter)).ok());
+    }
+
+    // Arm exactly one random fault (sometimes with torn writes on top).
+    const FaultOp op = kOps[rnd.Uniform(5)];
+    const bool torn = rnd.Uniform(4) == 0;
+    fenv_->FailNth(op, 1 + rnd.Uniform(40), Status::IOError("injected"));
+    if (torn) fenv_->SetTornWrites(true);
+
+    // Phase B (fault may fire anywhere in here): only writes that return
+    // OK enter the model.  Key space is disjoint from phases A and C so a
+    // failed-but-partially-persisted write can never shadow a model key.
+    for (int i = 0; i < 40; i++) {
+      Status s = db_->Put(sync_opts, Key(100 + i), Val(100 + i, 2));
+      if (s.ok()) {
+        model[Key(100 + i)] = Val(100 + i, 2);
+      }
+      db_->Put(WriteOptions(), Key(600 + i % 20), BigVal(i, iter));
+    }
+    total_faults_fired += fenv_->FaultsInjected();
+
+    // Phase C: clear the plan; Resume() must fully restore the DB (the
+    // injected error is IOError, which is retryable) and synced writes
+    // must be accepted and durable again.
+    fenv_->ClearFaults();
+    ASSERT_TRUE(db_->Resume().ok()) << "iter " << iter;
+    for (int i = 0; i < 20; i++) {
+      ASSERT_TRUE(db_->Put(sync_opts, Key(200 + i), Val(200 + i, 3)).ok())
+          << "iter " << iter << " post-resume write " << i;
+      model[Key(200 + i)] = Val(200 + i, 3);
+    }
+
+    if (torn) fenv_->SetTornWrites(true);  // tear the final crash too
+    Crash();
+    VerifyModel(model, "after crash");
+  }
+  // The sweep must actually be exercising faults, not dodging them.
+  EXPECT_GT(total_faults_fired, static_cast<uint64_t>(kIterations) / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Targeted scenarios.
+// ---------------------------------------------------------------------------
+
+// Satellite #1: a failed WAL Sync() (or Append()) must latch bg_error_ on
+// the sim write path too — subsequent writes are rejected, reads keep
+// working, and Resume() clears the latch.
+TEST_P(FaultInjectionTest, WalFailureLatchesUntilResume) {
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  for (int fail_append = 0; fail_append < 2; fail_append++) {
+    FreshDB(17 + fail_append);
+    ASSERT_TRUE(db_->Put(sync_opts, Key(0), Val(0)).ok());
+
+    fenv_->FailNth(fail_append ? FaultOp::kAppend : FaultOp::kSync, 1,
+                   Status::IOError("injected wal failure"));
+    Status s1 = db_->Put(sync_opts, Key(1), Val(1));
+    ASSERT_FALSE(s1.ok());
+    // Sticky: the fault was one-shot, but the error must persist.
+    Status s2 = db_->Put(WriteOptions(), Key(2), Val(2));
+    ASSERT_FALSE(s2.ok()) << "write accepted after WAL failure";
+    EXPECT_EQ(s1.ToString(), s2.ToString());
+    // Reads stay up while degraded.
+    EXPECT_EQ(Val(0), Get(Key(0)));
+
+    ASSERT_TRUE(db_->Resume().ok());
+    EXPECT_EQ(1u, static_cast<DBImpl*>(db_.get())->GetStats().resumes);
+    ASSERT_TRUE(db_->Put(sync_opts, Key(3), Val(3)).ok());
+
+    Crash();
+    EXPECT_EQ(Val(0), Get(Key(0)));
+    EXPECT_EQ(Val(3), Get(Key(3)));
+    // Key 1 and 2 were never acked; they may be absent but never torn.
+    for (int k = 1; k <= 2; k++) {
+      std::string got = Get(Key(k));
+      EXPECT_TRUE(got == Val(k) || got == "NOT_FOUND") << "key " << k;
+    }
+  }
+}
+
+// Sweep every barrier position inside one memtable flush (data barriers
+// and the MANIFEST barrier): whichever Sync() fails, the memtable data
+// must survive Resume() + crash, and the DB must stay readable while
+// degraded.  The last position is the MANIFEST sync, so this also covers
+// the LogAndApply rollback + fresh-descriptor path.
+TEST_P(FaultInjectionTest, FlushBarrierSweepSurvivesEveryFailurePoint) {
+  // Measure how many syncs one flush of this workload performs.
+  FreshDB(1);
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), BigVal(i, 0)).ok());
+  }
+  const uint64_t before = fenv_->OpCount(FaultOp::kSync);
+  ASSERT_TRUE(static_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
+  const int nsyncs =
+      static_cast<int>(fenv_->OpCount(FaultOp::kSync) - before);
+  ASSERT_GE(nsyncs, 2) << "expected at least data barrier + MANIFEST sync";
+
+  for (int i = 1; i <= nsyncs; i++) {
+    FreshDB(100 + i);
+    std::map<std::string, std::string> model;
+    for (int k = 0; k < 50; k++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(k), BigVal(k, 0)).ok());
+      model[Key(k)] = BigVal(k, 0);
+    }
+    fenv_->FailNth(FaultOp::kSync, i, Status::IOError("injected"));
+    Status fs = static_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+    ASSERT_FALSE(fs.ok()) << "sync " << i << " of " << nsyncs;
+    ASSERT_EQ(1u, fenv_->FaultsInjected());
+    // Degraded but readable; writes rejected.
+    for (const auto& [k, v] : model) {
+      ASSERT_EQ(v, Get(k)) << "degraded read, sync " << i;
+    }
+    ASSERT_FALSE(db_->Put(WriteOptions(), Key(900), Val(900)).ok());
+
+    fenv_->ClearFaults();
+    ASSERT_TRUE(db_->Resume().ok()) << "sync " << i;
+    WriteOptions sync_opts;
+    sync_opts.sync = true;
+    ASSERT_TRUE(db_->Put(sync_opts, Key(901), Val(901)).ok());
+    model[Key(901)] = Val(901);
+
+    Crash();
+    VerifyModel(model, "flush barrier sweep");
+  }
+}
+
+// If Resume() itself fails (here: the CURRENT swap for the fresh MANIFEST
+// is injected to fail), the DB stays degraded-but-readable and a second
+// Resume() succeeds.
+TEST_P(FaultInjectionTest, ResumeIsRetryableAfterManifestSwapFailure) {
+  FreshDB(7);
+  std::map<std::string, std::string> model;
+  for (int k = 0; k < 50; k++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(k), BigVal(k, 0)).ok());
+    model[Key(k)] = BigVal(k, 0);
+  }
+  // Fail every sync: the flush inside TEST_CompactMemTable dies at its
+  // first barrier and latches the error.
+  fenv_->FailAlways(FaultOp::kSync, Status::IOError("injected"));
+  ASSERT_FALSE(static_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
+
+  // First Resume(): the WAL rotation succeeds but the MANIFEST commit is
+  // made to fail, so Resume must report failure and keep the latch.
+  fenv_->ClearFaults();
+  fenv_->FailNth(FaultOp::kRename, 1, Status::IOError("injected rename"));
+  Status mid = db_->Resume();
+  if (mid.ok()) {
+    // This engine's Resume path did not need a CURRENT swap (the old
+    // descriptor stream was still usable); nothing further to check.
+    return;
+  }
+  ASSERT_FALSE(db_->Put(WriteOptions(), Key(900), Val(900)).ok());
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(v, Get(k)) << "degraded read after failed resume";
+  }
+
+  // Second Resume(): no faults left; must fully recover.
+  fenv_->ClearFaults();
+  ASSERT_TRUE(db_->Resume().ok());
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  ASSERT_TRUE(db_->Put(sync_opts, Key(901), Val(901)).ok());
+  model[Key(901)] = Val(901);
+  Crash();
+  VerifyModel(model, "after retried resume");
+}
+
+// A one-shot PunchHole failure must be non-fatal: the zombie is re-queued
+// and the punch retried on a later reclamation pass.
+TEST_P(FaultInjectionTest, PunchHoleFailureIsDeferredAndRetried) {
+  FreshDB(23);
+  fenv_->FailNth(FaultOp::kPunchHole, 1, Status::IOError("injected"));
+  // Overwrite churn makes tables die while their compaction files stay
+  // live — exactly the shape that needs hole punching (§3.2).
+  for (int gen = 0; gen < 8; gen++) {
+    for (int i = 0; i < 80; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), BigVal(i, gen)).ok());
+    }
+    db_->WaitForBackgroundWork();
+  }
+  db_->CompactRange(nullptr, nullptr);
+  auto* impl = static_cast<DBImpl*>(db_.get());
+  DbStats stats = impl->GetStats();
+  if (fenv_->OpCount(FaultOp::kPunchHole) > 0) {
+    EXPECT_EQ(1u, stats.hole_punch_failures);
+    if (fenv_->OpCount(FaultOp::kPunchHole) > 1) {
+      EXPECT_GT(stats.hole_punches, 0u) << "deferred punch never retried";
+    }
+  }
+  // The DB itself must be unbothered.
+  for (int i = 0; i < 80; i++) {
+    EXPECT_EQ(BigVal(i, 7), Get(Key(i)));
+  }
+  EXPECT_EQ("", impl->TEST_CheckInvariants());
+}
+
+// PunchHole returning NotSupported (e.g. a filesystem without
+// fallocate): reclamation is deferred for the life of the file, counted
+// in stats, and never escalates to an error.
+TEST_P(FaultInjectionTest, PunchHoleNotSupportedIsNonFatal) {
+  FreshDB(29);
+  fenv_->FailAlways(FaultOp::kPunchHole,
+                    Status::NotSupported("no fallocate"));
+  for (int gen = 0; gen < 8; gen++) {
+    for (int i = 0; i < 80; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), BigVal(i, gen)).ok());
+    }
+    db_->WaitForBackgroundWork();
+  }
+  db_->CompactRange(nullptr, nullptr);
+  auto* impl = static_cast<DBImpl*>(db_.get());
+  DbStats stats = impl->GetStats();
+  if (fenv_->OpCount(FaultOp::kPunchHole) > 0) {
+    EXPECT_GT(stats.hole_punch_failures, 0u);
+    // After the NotSupported latch no further punches are attempted, but
+    // the deferred-reclamation backlog stays visible.
+    EXPECT_EQ(stats.hole_punches, 0u);
+  }
+  for (int i = 0; i < 80; i++) {
+    EXPECT_EQ(BigVal(i, 7), Get(Key(i)));
+  }
+  EXPECT_EQ("", impl->TEST_CheckInvariants());
+
+  // And the state must still recover cleanly.
+  Crash();
+  for (int i = 0; i < 80; i++) {
+    std::string got = Get(Key(i));
+    if (got != "NOT_FOUND") {
+      EXPECT_EQ(got.substr(0, 6), "value-");
+    }
+  }
+}
+
+// Bit flips on reads must never escape as fabricated data: with checksums
+// on, every Get either returns the exact value or an error — and once the
+// corruption stops, everything reads back exactly (no poisoned caches).
+TEST_P(FaultInjectionTest, ReadCorruptionNeverFabricatesData) {
+  FreshDB(31);
+  options_.paranoid_checks = true;
+  Open();  // reopen with paranoid checks on
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  const int n = 120;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(sync_opts, Key(i), BigVal(i, 0)).ok());
+  }
+  ASSERT_TRUE(static_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
+
+  fenv_->SetReadCorruption(0.5);
+  ReadOptions ro;
+  ro.verify_checksums = true;
+  int errors = 0;
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < n; i++) {
+      std::string v;
+      Status s = db_->Get(ro, Key(i), &v);
+      if (s.ok()) {
+        ASSERT_EQ(BigVal(i, 0), v) << "fabricated value for key " << i;
+      } else {
+        ASSERT_FALSE(s.IsNotFound()) << "fabricated absence for key " << i;
+        errors++;
+      }
+    }
+  }
+  EXPECT_GT(errors, 0) << "corruption injection never tripped a read";
+
+  fenv_->SetReadCorruption(0.0);
+  for (int i = 0; i < n; i++) {
+    std::string v;
+    ASSERT_TRUE(db_->Get(ro, Key(i), &v).ok()) << "stale error for " << i;
+    ASSERT_EQ(BigVal(i, 0), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, FaultInjectionTest,
+                         testing::Values("leveldb", "bolt", "hbolt",
+                                         "pebbles", "rocks"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// PosixEnv smoke test: the same wrapper over real files — Crash()
+// truncates on-disk state to the synced prefix via Env::Truncate.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionPosixTest, WalSyncFailureLatchesAndRecovers) {
+  char dbname[128];
+  snprintf(dbname, sizeof(dbname), "/tmp/bolt_fault_posix_%d",
+           static_cast<int>(getpid()));
+  FaultInjectionEnv fenv(PosixEnv(), 42);
+  Options options = presets::BoLT();
+  options.env = &fenv;
+  DestroyDB(dbname, options);
+
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  std::unique_ptr<DB> db;
+  {
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
+    db.reset(raw);
+  }
+  ASSERT_TRUE(db->Put(sync_opts, "alpha", "one").ok());
+
+  fenv.FailNth(FaultOp::kSync, 1, Status::IOError("injected"));
+  ASSERT_FALSE(db->Put(sync_opts, "beta", "two").ok());
+  ASSERT_FALSE(db->Put(WriteOptions(), "gamma", "three").ok())
+      << "write accepted after WAL sync failure";
+  std::string v;
+  ASSERT_TRUE(db->Get(ReadOptions(), "alpha", &v).ok());
+  EXPECT_EQ("one", v);
+
+  fenv.ClearFaults();
+  ASSERT_TRUE(db->Resume().ok());
+  ASSERT_TRUE(db->Put(sync_opts, "delta", "four").ok());
+
+  db.reset();
+  fenv.Crash();
+  {
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
+    db.reset(raw);
+  }
+  ASSERT_TRUE(db->Get(ReadOptions(), "alpha", &v).ok());
+  EXPECT_EQ("one", v);
+  ASSERT_TRUE(db->Get(ReadOptions(), "delta", &v).ok());
+  EXPECT_EQ("four", v);
+
+  db.reset();
+  DestroyDB(dbname, options);
+}
+
+}  // namespace bolt

@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "env/fault_injection_env.h"
+
 namespace bolt {
 
 class SimEnvTest : public testing::Test {
@@ -199,6 +201,83 @@ TEST_F(SimEnvTest, PunchHoleReclaimsBytes) {
   EXPECT_EQ(50000u, stats.hole_bytes);
   // Punching a hole must NOT issue a barrier (BoLT relies on this).
   EXPECT_EQ(0u, stats.sync_calls);
+}
+
+TEST_F(SimEnvTest, PunchHoleNotSupportedLeavesBytesIntact) {
+  // An Env without hole-punch support (modeled by FaultInjectionEnv
+  // returning NotSupported) must fail cleanly: no bytes reclaimed, file
+  // contents untouched, and punching works again once support "appears".
+  FaultInjectionEnv fenv(&env_, 42);
+  fenv.FailAlways(FaultOp::kPunchHole, Status::NotSupported("no hole punch"));
+
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(fenv.NewWritableFile("/ns", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(100000, 'q')).ok());
+  wf.reset();
+
+  const uint64_t before = env_.TotalStoredBytes();
+  Status s = fenv.PunchHole("/ns", 10000, 50000);
+  EXPECT_TRUE(s.IsNotSupported()) << s.ToString();
+  EXPECT_EQ(before, env_.TotalStoredBytes()) << "failed punch must not reclaim";
+  EXPECT_EQ(0u, env_.GetIoStats().holes_punched);
+
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&fenv, "/ns", &contents).ok());
+  EXPECT_EQ(std::string(100000, 'q'), contents);
+
+  fenv.ClearFaults();
+  ASSERT_TRUE(fenv.PunchHole("/ns", 10000, 50000).ok());
+  EXPECT_EQ(before - 50000, env_.TotalStoredBytes());
+}
+
+TEST_F(SimEnvTest, TruncateShrinksAndClampsSyncedPrefix) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/t", &wf).ok());
+  ASSERT_TRUE(wf->Append("0123456789").ok());
+  ASSERT_TRUE(wf->Sync().ok());
+
+  ASSERT_TRUE(env_.Truncate("/t", 4).ok());
+  uint64_t size;
+  ASSERT_TRUE(env_.GetFileSize("/t", &size).ok());
+  EXPECT_EQ(4u, size);
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/t", &contents).ok());
+  EXPECT_EQ("0123", contents);
+
+  // The synced watermark must shrink with the file: appending after the
+  // truncate and then crashing keeps only the truncated prefix, not 10
+  // bytes of stale "synced" length.
+  ASSERT_TRUE(wf->Append("ABCD").ok());
+  env_.DropUnsynced();
+  ASSERT_TRUE(ReadFileToString(&env_, "/t", &contents).ok());
+  EXPECT_EQ("0123", contents);
+}
+
+TEST_F(SimEnvTest, TruncateGrowZeroFillsAndMissingFileFails) {
+  EXPECT_TRUE(env_.Truncate("/nope", 0).IsNotFound());
+
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/g", &wf).ok());
+  ASSERT_TRUE(wf->Append("ab").ok());
+  wf.reset();
+  ASSERT_TRUE(env_.Truncate("/g", 5).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/g", &contents).ok());
+  EXPECT_EQ(std::string("ab\0\0\0", 5), contents);
+}
+
+TEST_F(SimEnvTest, TruncateClampsHoleAccounting) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_.NewWritableFile("/h2", &wf).ok());
+  ASSERT_TRUE(wf->Append(std::string(100000, 'z')).ok());
+  wf.reset();
+  ASSERT_TRUE(env_.PunchHole("/h2", 50000, 50000).ok());
+  const uint64_t stored_before = env_.TotalStoredBytes();
+  // Truncating away the punched region must not leave phantom hole bytes
+  // that would make TotalStoredBytes() go negative / wrap.
+  ASSERT_TRUE(env_.Truncate("/h2", 10000).ok());
+  EXPECT_LT(env_.TotalStoredBytes(), stored_before);
+  EXPECT_LE(env_.TotalStoredBytes(), 10000u);
 }
 
 TEST_F(SimEnvTest, DropUnsyncedEmulatesCrash) {
