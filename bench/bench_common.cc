@@ -139,6 +139,13 @@ std::string FormatBytes(uint64_t bytes) {
   return buf;
 }
 
+void DumpMetricsJson(const Flags& flags, const obs::MetricsRegistry& reg,
+                     const std::string& tag) {
+  if (!flags.Has("json")) return;
+  printf("{\"figure\": \"%s\", \"metrics\": %s}\n", tag.c_str(),
+         reg.ToJson().c_str());
+}
+
 std::string FormatCount(uint64_t n) {
   char buf[32];
   if (n >= 1000000) {

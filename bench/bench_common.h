@@ -11,6 +11,7 @@
 
 #include "db/db.h"
 #include "engines/presets.h"
+#include "obs/metrics.h"
 #include "sim/sim_env.h"
 #include "ycsb/ycsb.h"
 
@@ -74,6 +75,13 @@ void PrintRow(const std::vector<std::string>& cells,
 std::string FormatThroughput(double ops_per_sec);  // "123.4K"
 std::string FormatBytes(uint64_t bytes);           // "1.2 GB"
 std::string FormatCount(uint64_t n);               // "12345"
+
+// When the bench was invoked with --json, print one machine-readable
+// line alongside the figure rows:
+//   {"figure": "<tag>", "metrics": { ...registry ToJson()... }}
+// No-op without --json, so figure output stays clean by default.
+void DumpMetricsJson(const Flags& flags, const obs::MetricsRegistry& reg,
+                     const std::string& tag);
 
 }  // namespace bench
 }  // namespace bolt

@@ -56,9 +56,15 @@ int RunBase(const Flags& flags, const std::string& base) {
   };
 
   // throughput matrix: run each config through the paper sequence.
+  // Each config charges into its own metrics registry (shared by both
+  // fixtures of the sequence), so the side-plot numbers below come
+  // straight from the engine instead of per-phase IoStats arithmetic.
   std::vector<std::vector<ycsb::Result>> all;
-  for (const Config& c : configs) {
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
+  for (Config& c : configs) {
     fprintf(stderr, "running %s/%s...\n", base.c_str(), c.name);
+    registries.push_back(std::make_unique<obs::MetricsRegistry>());
+    c.options.metrics = registries.back().get();
     all.push_back(RunPaperSequence(c.options, scale,
                                    ycsb::Distribution::kZipfian));
   }
@@ -87,22 +93,38 @@ int RunBase(const Flags& flags, const std::string& base) {
   }
   PrintRow(row, widths);
 
-  // fsync totals, and settled-compaction savings for the +STL column.
+  // fsync totals, compaction I/O, and settled-compaction savings — all
+  // read from each config's metrics registry.
   row = {"fsyncs"};
   for (size_t c = 0; c < configs.size(); c++) {
-    uint64_t total = 0;
-    for (const auto& r : all[c]) total += r.io.sync_calls;
-    row.push_back(FormatCount(total));
+    row.push_back(FormatCount(registries[c]->Get(obs::kSyncBarriers)));
+  }
+  PrintRow(row, widths);
+
+  row = {"compact"};
+  for (size_t c = 0; c < configs.size(); c++) {
+    row.push_back(
+        FormatBytes(registries[c]->Get(obs::kCompactionBytesRead) +
+                    registries[c]->Get(obs::kCompactionBytesWritten)));
   }
   PrintRow(row, widths);
 
   row = {"settled"};
   for (size_t c = 0; c < configs.size(); c++) {
-    uint64_t total = 0;
-    for (const auto& r : all[c]) total += r.db.settled_promotions;
-    row.push_back(FormatCount(total));
+    row.push_back(FormatCount(registries[c]->Get(obs::kSettledPromotions)));
   }
   PrintRow(row, widths);
+
+  row = {"saved"};
+  for (size_t c = 0; c < configs.size(); c++) {
+    row.push_back(FormatBytes(registries[c]->Get(obs::kSettledBytesSaved)));
+  }
+  PrintRow(row, widths);
+
+  for (size_t c = 0; c < configs.size(); c++) {
+    DumpMetricsJson(flags, *registries[c],
+                    base + "/" + configs[c].name);
+  }
 
   return 0;
 }

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "db/db.h"
 #include "db/dbformat.h"
 #include "db/memtable.h"
+#include "sim/sim_env.h"
 #include "table/block.h"
 #include "table/block_builder.h"
 #include "table/format.h"
@@ -153,5 +155,58 @@ void BM_InternalKeyCompare(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_InternalKeyCompare);
+
+// Whole-DB put/get on the simulated SSD, with per-op timing on (1) or
+// off (0).  The two arms should be within the observability overhead
+// budget of each other (<2%): with enable_perf_context=false the write
+// and read paths never read the clock and never touch the latency
+// histograms, leaving only relaxed ticker increments.
+void BM_DbPut(benchmark::State& state) {
+  bolt::SimEnv env;
+  bolt::Options options;
+  options.env = &env;
+  options.enable_perf_context = state.range(0) != 0;
+  bolt::DB* db = nullptr;
+  if (!bolt::DB::Open(options, "/bm_put", &db).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const std::string value(100, 'v');
+  int i = 0;
+  for (auto _ : state) {
+    db->Put(bolt::WriteOptions(), BenchKey(i++), value);
+  }
+  state.SetItemsProcessed(state.iterations());
+  delete db;
+}
+BENCHMARK(BM_DbPut)->Arg(0)->Arg(1);
+
+void BM_DbGet(benchmark::State& state) {
+  bolt::SimEnv env;
+  bolt::Options options;
+  options.env = &env;
+  options.enable_perf_context = state.range(0) != 0;
+  bolt::DB* db = nullptr;
+  if (!bolt::DB::Open(options, "/bm_get", &db).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const int n = 100000;
+  const std::string value(100, 'v');
+  for (int i = 0; i < n; i++) {
+    db->Put(bolt::WriteOptions(), BenchKey(i), value);
+  }
+  db->WaitForBackgroundWork();
+  bolt::Random64 rnd(1);
+  std::string out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Get(bolt::ReadOptions(), BenchKey(static_cast<int>(rnd.Uniform(n))),
+                &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+  delete db;
+}
+BENCHMARK(BM_DbGet)->Arg(0)->Arg(1);
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "db/db.h"
 #include "engines/presets.h"
+#include "obs/metrics.h"
 #include "sim/sim_env.h"
 #include "ycsb/ycsb.h"
 
@@ -40,6 +41,58 @@ void PrintHistogram(const char* name, const bolt::Histogram& h) {
   printf("  %-8s %s\n", name, h.Summary().c_str());
 }
 
+// Per-phase metric deltas: snapshot the registry tickers before a
+// workload phase, then print what the phase alone cost.
+struct PhaseSnapshot {
+  uint64_t barriers = 0;
+  uint64_t stall_micros = 0;
+  uint64_t stalls = 0;
+  uint64_t slowdowns = 0;
+  uint64_t block_hits = 0, block_misses = 0;
+  uint64_t table_hits = 0, table_misses = 0;
+
+  static PhaseSnapshot Take(const bolt::obs::MetricsRegistry& m) {
+    PhaseSnapshot s;
+    s.barriers = m.Get(bolt::obs::kSyncBarriers);
+    s.stall_micros = m.Get(bolt::obs::kStallMicros);
+    s.stalls = m.Get(bolt::obs::kStallWrites);
+    s.slowdowns = m.Get(bolt::obs::kSlowdownWrites);
+    s.block_hits = m.Get(bolt::obs::kBlockCacheHits);
+    s.block_misses = m.Get(bolt::obs::kBlockCacheMisses);
+    s.table_hits = m.Get(bolt::obs::kTableCacheHits);
+    s.table_misses = m.Get(bolt::obs::kTableCacheMisses);
+    return s;
+  }
+};
+
+void PrintPhaseDelta(const char* phase, const PhaseSnapshot& before,
+                     const bolt::obs::MetricsRegistry& m) {
+  const PhaseSnapshot now = PhaseSnapshot::Take(m);
+  const uint64_t block_lookups =
+      (now.block_hits - before.block_hits) +
+      (now.block_misses - before.block_misses);
+  const uint64_t table_lookups =
+      (now.table_hits - before.table_hits) +
+      (now.table_misses - before.table_misses);
+  printf("phase %s:\n", phase);
+  printf("  sync barriers      %llu\n",
+         static_cast<unsigned long long>(now.barriers - before.barriers));
+  printf("  stalled            %.1f ms (%llu stalls, %llu slowdowns)\n",
+         (now.stall_micros - before.stall_micros) / 1e3,
+         static_cast<unsigned long long>(now.stalls - before.stalls),
+         static_cast<unsigned long long>(now.slowdowns - before.slowdowns));
+  printf("  block cache        %.1f%% hit (%llu lookups)\n",
+         block_lookups == 0
+             ? 0.0
+             : 100.0 * (now.block_hits - before.block_hits) / block_lookups,
+         static_cast<unsigned long long>(block_lookups));
+  printf("  table cache        %.1f%% hit (%llu lookups)\n",
+         table_lookups == 0
+             ? 0.0
+             : 100.0 * (now.table_hits - before.table_hits) / table_lookups,
+         static_cast<unsigned long long>(table_lookups));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,8 +108,10 @@ int main(int argc, char** argv) {
   }
 
   auto env = std::make_unique<bolt::SimEnv>();
+  bolt::obs::MetricsRegistry metrics;
   bolt::Options options = bolt::presets::ByName(engine);
   options.env = env.get();
+  options.metrics = &metrics;
 
   bolt::DB* db = nullptr;
   bolt::Status s = bolt::DB::Open(options, "/ycsb", &db);
@@ -77,7 +132,10 @@ int main(int argc, char** argv) {
     printf("loading %llu records into %s...\n",
            static_cast<unsigned long long>(records), engine.c_str());
     spec.workload = Workload::kLoadA;
+    const PhaseSnapshot before = PhaseSnapshot::Take(metrics);
     runner.Run(spec);
+    PrintPhaseDelta("load", before, metrics);
+    printf("\n");
   }
 
   spec.workload = workload;
@@ -88,7 +146,10 @@ int main(int argc, char** argv) {
                  ? records
                  : ops),
          engine.c_str());
+  const PhaseSnapshot before = PhaseSnapshot::Take(metrics);
   bolt::ycsb::Result r = runner.Run(spec);
+  PrintPhaseDelta(bolt::ycsb::WorkloadName(workload), before, metrics);
+  printf("\n");
 
   printf("throughput: %.1fK ops/s over %.2f virtual seconds\n",
          r.throughput_ops_sec / 1e3, r.duration_seconds);

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build+test pass, plus sanitizer sweeps.
+#
+#   scripts/verify.sh            # tier-1 + ASan variant + TSan obs pass
+#   scripts/verify.sh --fast     # tier-1 only
+#
+# Tier-1 (ROADMAP.md) builds the default tree — which already includes
+# the AddressSanitizer fault-injection variant (asan/ test prefix) —
+# and runs the whole ctest suite.  The TSan pass rebuilds the tree with
+# BOLT_SANITIZE=thread and runs the concurrent observability tests
+# (registry stripes, listener fan-out, shared-registry writers) plus
+# the posix-env suite (real background thread + writer queue) under
+# ThreadSanitizer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> tier-1: build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> tier-1: ctest"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "verify OK (fast: tier-1 only)"
+  exit 0
+fi
+
+echo "==> TSan: build (BOLT_SANITIZE=thread)"
+cmake -B build-tsan -S . -DBOLT_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target obs_test posix_env_test db_basic_test
+
+echo "==> TSan: concurrent observability tests"
+./build-tsan/tests/obs_test
+./build-tsan/tests/posix_env_test
+./build-tsan/tests/db_basic_test
+
+echo "verify OK (tier-1 + ASan variant + TSan obs pass)"

@@ -13,6 +13,9 @@
 #include "db/table_cache.h"
 #include "db/version_set.h"
 #include "db/write_batch.h"
+#include "obs/event_listener.h"
+#include "obs/metrics.h"
+#include "obs/perf_context.h"
 #include "sim/sim_context.h"
 #include "table/iterator.h"
 #include "table/merger.h"
@@ -76,6 +79,9 @@ static Options SanitizeOptions(const std::string& dbname,
   if (result.block_cache == nullptr && result.block_cache_bytes > 0) {
     result.block_cache = NewLRUCache(result.block_cache_bytes);
   }
+  if (result.metrics == nullptr) {
+    result.metrics = new obs::MetricsRegistry;
+  }
   return result;
 }
 
@@ -87,6 +93,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                &internal_filter_policy_, raw_options)),
       owns_info_log_(false),
       owns_block_cache_(options_.block_cache != raw_options.block_cache),
+      metrics_(options_.metrics),
+      owns_metrics_(options_.metrics != raw_options.metrics),
       dbname_(dbname),
       sim_(raw_options.env->sim()),
       table_cache_(new TableCache(dbname_, options_, options_.max_open_files)),
@@ -101,7 +109,12 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       background_compaction_scheduled_(false),
       manual_compaction_(nullptr),
       versions_(new VersionSet(dbname_, &options_, table_cache_,
-                               &internal_comparator_)) {}
+                               &internal_comparator_)) {
+  // Point the env at our registry so every Sync barrier — WAL, table,
+  // MANIFEST — lands in the same place.  With several DBs sharing one
+  // env (the PosixEnv singleton), the last-opened DB wins.
+  env_->SetMetricsRegistry(metrics_);
+}
 
 DBImpl::~DBImpl() {
   // Wait for background work to finish.
@@ -122,6 +135,15 @@ DBImpl::~DBImpl() {
 
   if (owns_block_cache_) {
     delete options_.block_cache;
+  }
+
+  // Detach the env from our registry before (possibly) deleting it; the
+  // env outlives this DB.
+  if (env_->metrics() == metrics_) {
+    env_->SetMetricsRegistry(nullptr);
+  }
+  if (owns_metrics_) {
+    delete metrics_;
   }
 }
 
@@ -271,6 +293,14 @@ void DBImpl::RemoveObsoleteFiles() {
   for (const ZombieTable& z : to_punch) {
     Status ps = env_->PunchHole(CompactionFileName(dbname_, z.file_number),
                                 z.offset, z.size);
+    obs::HolePunchInfo hp;
+    hp.file_number = z.file_number;
+    hp.offset = z.offset;
+    hp.size = z.size;
+    hp.ok = ps.ok();
+    for (const auto& listener : options_.listeners) {
+      listener->OnHolePunch(hp);
+    }
     if (ps.ok()) {
       punched++;
     } else {
@@ -288,12 +318,13 @@ void DBImpl::RemoveObsoleteFiles() {
     }
   }
   mutex_.lock();
-  stats_.hole_punches += punched;
-  stats_.hole_punch_failures += punch_failed.size();
+  metrics_->Add(obs::kHolePunches, punched);
+  metrics_->Add(obs::kHolePunchFailures, punch_failed.size());
   if (punch_unsupported) {
     punch_hole_unsupported_ = true;
   }
   zombies_.insert(zombies_.end(), punch_failed.begin(), punch_failed.end());
+  metrics_->SetGauge(obs::kReclamationBacklog, zombies_.size());
 }
 
 Status DBImpl::Recover(VersionEdit* edit) {
@@ -450,8 +481,11 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
 
 Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
   // REQUIRES: mutex_ held.
-  const uint64_t start_micros = env_->NowNanos() / 1000;
-  stats_.memtable_flushes++;
+  const uint64_t start_ns = env_->NowNanos();
+  metrics_->Add(obs::kMemtableFlushes);
+  for (const auto& listener : options_.listeners) {
+    listener->OnFlushBegin(obs::FlushJobInfo());
+  }
 
   OutputWriter writer(options_, dbname_, [this]() {
     MutexLock l(&mutex_);
@@ -492,9 +526,9 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
   delete iter;
   mutex_.lock();
 
-  stats_.compaction_bytes_written += writer.bytes_written();
-  stats_.compaction_output_tables += writer.outputs().size();
-  stats_.compaction_files_created += writer.file_numbers().size();
+  metrics_->Add(obs::kCompactionBytesWritten, writer.bytes_written());
+  metrics_->Add(obs::kCompactionOutputTables, writer.outputs().size());
+  metrics_->Add(obs::kCompactionFilesCreated, writer.file_numbers().size());
 
   if (s.ok()) {
     for (const TableMeta& meta : writer.outputs()) {
@@ -513,7 +547,19 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
   for (uint64_t n : writer.file_numbers()) {
     pending_outputs_.erase(n);
   }
-  (void)start_micros;
+
+  const uint64_t flush_ns = env_->NowNanos() - start_ns;
+  if (options_.enable_perf_context) {
+    metrics_->RecordHist(obs::kFlushNs, flush_ns);
+  }
+  obs::FlushJobInfo info;
+  info.output_bytes = writer.bytes_written();
+  info.output_tables = writer.outputs().size();
+  info.duration_ns = flush_ns;
+  info.status = s;
+  for (const auto& listener : options_.listeners) {
+    listener->OnFlushEnd(info);
+  }
   return s;
 }
 
@@ -639,7 +685,29 @@ Status DBImpl::TEST_CompactMemTable() {
 void DBImpl::RecordBackgroundError(const Status& s) {
   if (bg_error_.ok()) {
     bg_error_ = s;
+    metrics_->Add(obs::kBackgroundErrors);
+    for (const auto& listener : options_.listeners) {
+      listener->OnBackgroundError(s);
+    }
     background_work_finished_signal_.notify_all();
+  }
+}
+
+void DBImpl::RecordWriteStall(const obs::WriteStallInfo& info) {
+  obs::PerfContext* pc = obs::GetPerfContext();
+  pc->write_stall_ns += info.duration_ns;
+  if (info.cause == obs::WriteStallInfo::Cause::kL0SlowDown) {
+    metrics_->Add(obs::kSlowdownWrites);
+    pc->write_slowdowns++;
+  } else {
+    metrics_->Add(obs::kStallWrites);
+    metrics_->Add(obs::kStallMicros, info.duration_ns / 1000);
+    if (options_.enable_perf_context) {
+      metrics_->RecordHist(obs::kStallNs, info.duration_ns);
+    }
+  }
+  for (const auto& listener : options_.listeners) {
+    listener->OnWriteStall(info);
   }
 }
 
@@ -747,6 +815,18 @@ void DBImpl::BackgroundCompaction() {
   }
 
   Status status;
+  obs::CompactionJobInfo job;
+  const uint64_t job_start_ns = env_->NowNanos();
+  const uint64_t barriers_before = env_->GetIoStats().sync_calls;
+  if (c != nullptr) {
+    job.level = c->level();
+    job.victim_tables = c->num_input_files(0);
+    job.next_level_tables = c->num_input_files(1);
+    job.input_bytes = c->NumInputBytes(0) + c->NumInputBytes(1);
+    for (const auto& listener : options_.listeners) {
+      listener->OnCompactionBegin(job);
+    }
+  }
   if (c == nullptr) {
     // Nothing to do
   } else if (!is_manual && c->IsTrivialMove()) {
@@ -759,8 +839,9 @@ void DBImpl::BackgroundCompaction() {
     if (!status.ok()) {
       RecordBackgroundError(status);
     } else {
-      stats_.trivial_moves++;
+      metrics_->Add(obs::kTrivialMoves);
     }
+    job.trivial_move = true;
   } else if (c->num_input_files(0) == 0 && c->num_input_files(1) == 0 &&
              !c->promoted().empty()) {
     // Pure settled compaction (+STL): every victim is promoted by a
@@ -768,10 +849,12 @@ void DBImpl::BackgroundCompaction() {
     for (const TableMeta* f : c->promoted()) {
       c->edit()->RemoveTable(c->level(), f->table_id);
       c->edit()->AddTable(c->level() + 1, *f);
-      stats_.settled_promotions++;
-      stats_.settled_bytes_saved += f->size;
+      metrics_->Add(obs::kSettledPromotions);
+      metrics_->Add(obs::kSettledBytesSaved, f->size);
+      job.settled_promotions++;
     }
-    stats_.pure_settled_compactions++;
+    metrics_->Add(obs::kPureSettledCompactions);
+    job.pure_settled = true;
     status = versions_->LogAndApply(c->edit());
     if (!status.ok()) {
       RecordBackgroundError(status);
@@ -782,6 +865,13 @@ void DBImpl::BackgroundCompaction() {
     if (!status.ok()) {
       RecordBackgroundError(status);
     }
+    if (compact->writer != nullptr) {
+      job.output_bytes = compact->writer->bytes_written();
+      job.output_tables = compact->writer->outputs().size();
+    }
+    if (status.ok()) {
+      job.settled_promotions = c->promoted().size();
+    }
     CleanupCompaction(compact);
     c->ReleaseInputs();
     RemoveObsoleteFiles();
@@ -789,6 +879,18 @@ void DBImpl::BackgroundCompaction() {
 
   if (c != nullptr && status.ok() && l0_runs_removed > 0 && simulated()) {
     AddL0Event(sim_->Now(), -l0_runs_removed);
+  }
+  if (c != nullptr) {
+    job.barriers = env_->GetIoStats().sync_calls - barriers_before;
+    job.duration_ns = env_->NowNanos() - job_start_ns;
+    job.status = status;
+    if (options_.enable_perf_context && !job.trivial_move &&
+        !job.pure_settled) {
+      metrics_->RecordHist(obs::kCompactionNs, job.duration_ns);
+    }
+    for (const auto& listener : options_.listeners) {
+      listener->OnCompactionEnd(job);
+    }
   }
   delete c;
 
@@ -968,12 +1070,13 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
   // REQUIRES: mutex_ held.
   Compaction* c = compact->compaction;
 
-  stats_.compactions++;
-  stats_.compaction_bytes_read +=
-      c->NumInputBytes(0) + c->NumInputBytes(1);
-  stats_.compaction_bytes_written += compact->writer->bytes_written();
-  stats_.compaction_output_tables += compact->writer->outputs().size();
-  stats_.compaction_files_created += compact->writer->file_numbers().size();
+  metrics_->Add(obs::kCompactions);
+  metrics_->Add(obs::kCompactionBytesRead,
+                c->NumInputBytes(0) + c->NumInputBytes(1));
+  metrics_->Add(obs::kCompactionBytesWritten, compact->writer->bytes_written());
+  metrics_->Add(obs::kCompactionOutputTables, compact->writer->outputs().size());
+  metrics_->Add(obs::kCompactionFilesCreated,
+                compact->writer->file_numbers().size());
 
   // Add compaction outputs
   c->AddInputDeletions(c->edit());
@@ -987,8 +1090,8 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
   for (const TableMeta* f : c->promoted()) {
     c->edit()->RemoveTable(level, f->table_id);
     c->edit()->AddTable(level + 1, *f);
-    stats_.settled_promotions++;
-    stats_.settled_bytes_saved += f->size;
+    metrics_->Add(obs::kSettledPromotions);
+    metrics_->Add(obs::kSettledBytesSaved, f->size);
   }
 
   Status s = versions_->LogAndApply(c->edit());
@@ -1027,6 +1130,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // Single-threaded simulation: no writer queue, but the same
     // MakeRoomForWrite governor logic, on the virtual clock.
     MutexLock l(&mutex_);
+    const bool timed = options_.enable_perf_context && updates != nullptr;
+    obs::PerfContext* pc = obs::GetPerfContext();
+    const uint64_t wstart = timed ? env_->NowNanos() : 0;
     if (updates != nullptr) {
       sim_->AdvanceCpu(options_.sim_write_cpu_ns *
                        WriteBatchInternal::Count(updates));
@@ -1036,9 +1142,32 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     if (status.ok() && updates != nullptr) {
       WriteBatchInternal::SetSequence(updates, last_sequence + 1);
       last_sequence += WriteBatchInternal::Count(updates);
-      status = log_->AddRecord(WriteBatchInternal::Contents(updates));
+      metrics_->Add(obs::kNumKeysWritten, WriteBatchInternal::Count(updates));
+      const Slice contents = WriteBatchInternal::Contents(updates);
+      metrics_->Add(obs::kWalBytesAppended, contents.size());
+      uint64_t t0 = timed ? env_->NowNanos() : 0;
+      status = log_->AddRecord(contents);
+      if (timed) {
+        const uint64_t t1 = env_->NowNanos();
+        pc->wal_append_ns += t1 - t0;
+        t0 = t1;
+      }
       if (status.ok() && options.sync) {
         status = logfile_->Sync();
+        metrics_->Add(obs::kWalSyncs);
+        pc->barrier_waits++;
+        obs::SyncBarrierInfo sb;
+        sb.wal = true;
+        if (timed) {
+          const uint64_t t1 = env_->NowNanos();
+          pc->wal_sync_ns += t1 - t0;
+          sb.duration_ns = t1 - t0;
+          metrics_->RecordHist(obs::kWalSyncNs, sb.duration_ns);
+          t0 = t1;
+        }
+        for (const auto& listener : options_.listeners) {
+          listener->OnSyncBarrier(sb);
+        }
       }
       if (!status.ok()) {
         // The WAL tail is indeterminate: a torn record may be sitting
@@ -1049,12 +1178,23 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         RecordBackgroundError(status);
       }
       if (status.ok()) {
+        const uint64_t m0 = timed ? env_->NowNanos() : 0;
         status = WriteBatchInternal::InsertInto(updates, mem_);
+        if (timed) {
+          pc->memtable_insert_ns += env_->NowNanos() - m0;
+        }
       }
       versions_->SetLastSequence(last_sequence);
     }
+    if (timed) {
+      metrics_->RecordHist(obs::kWriteLatencyNs, env_->NowNanos() - wstart);
+    }
     return status;
   }
+
+  const bool timed = options_.enable_perf_context && updates != nullptr;
+  obs::PerfContext* pc = obs::GetPerfContext();
+  const uint64_t wstart = timed ? env_->NowNanos() : 0;
 
   Writer w(&mutex_);
   w.batch = updates;
@@ -1067,6 +1207,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     w.cv.wait(mutex_);
   }
   if (w.done) {
+    // Another writer committed our batch as part of its group.
+    if (timed) {
+      metrics_->RecordHist(obs::kWriteLatencyNs, env_->NowNanos() - wstart);
+    }
     return w.status;
   }
 
@@ -1085,10 +1229,34 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // into mem_.
     {
       mutex_.unlock();
-      status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      metrics_->Add(obs::kNumKeysWritten,
+                    WriteBatchInternal::Count(write_batch));
+      const Slice contents = WriteBatchInternal::Contents(write_batch);
+      metrics_->Add(obs::kWalBytesAppended, contents.size());
+      uint64_t t0 = timed ? env_->NowNanos() : 0;
+      status = log_->AddRecord(contents);
+      if (timed) {
+        const uint64_t t1 = env_->NowNanos();
+        pc->wal_append_ns += t1 - t0;
+        t0 = t1;
+      }
       bool wal_error = false;
       if (status.ok() && options.sync) {
         status = logfile_->Sync();
+        metrics_->Add(obs::kWalSyncs);
+        pc->barrier_waits++;
+        obs::SyncBarrierInfo sb;
+        sb.wal = true;
+        if (timed) {
+          const uint64_t t1 = env_->NowNanos();
+          pc->wal_sync_ns += t1 - t0;
+          sb.duration_ns = t1 - t0;
+          metrics_->RecordHist(obs::kWalSyncNs, sb.duration_ns);
+          t0 = t1;
+        }
+        for (const auto& listener : options_.listeners) {
+          listener->OnSyncBarrier(sb);
+        }
       }
       if (!status.ok()) {
         // The state of the log file is indeterminate: a failed append
@@ -1099,7 +1267,11 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         wal_error = true;
       }
       if (status.ok()) {
+        const uint64_t m0 = timed ? env_->NowNanos() : 0;
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
+        if (timed) {
+          pc->memtable_insert_ns += env_->NowNanos() - m0;
+        }
       }
       mutex_.lock();
       if (wal_error) {
@@ -1127,6 +1299,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     writers_.front()->cv.notify_one();
   }
 
+  if (timed) {
+    metrics_->RecordHist(obs::kWriteLatencyNs, env_->NowNanos() - wstart);
+  }
   return status;
 }
 
@@ -1225,7 +1400,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
           VirtualL0Runs(now) >= options_.l0_slowdown_writes_trigger) {
         // The L0SlowDown governor (§2.3): 1 ms penalty, applied once.
         sim_->AdvanceCpu(options_.slowdown_sleep_micros * 1000);
-        stats_.slowdown_writes++;
+        obs::WriteStallInfo ws;
+        ws.cause = obs::WriteStallInfo::Cause::kL0SlowDown;
+        ws.duration_ns = options_.slowdown_sleep_micros * 1000;
+        RecordWriteStall(ws);
         allow_delay = false;
         continue;
       }
@@ -1236,8 +1414,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       if (imm_done_time_ > now) {
         // The previous flush has not (virtually) finished: the write
         // stall.  Block the foreground until the background catches up.
-        stats_.stall_writes++;
-        stats_.stall_micros += (imm_done_time_ - now) / 1000;
+        obs::WriteStallInfo ws;
+        ws.cause = obs::WriteStallInfo::Cause::kMemtableFull;
+        ws.duration_ns = imm_done_time_ - now;
+        RecordWriteStall(ws);
         sim_->SetLaneTime(SimContext::kFgLane, imm_done_time_);
         continue;
       }
@@ -1246,8 +1426,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
         // The L0Stop governor: wait for a compaction to drain level 0.
         const uint64_t t = NextL0DropTime(now);
         if (t > now) {
-          stats_.stall_writes++;
-          stats_.stall_micros += (t - now) / 1000;
+          obs::WriteStallInfo ws;
+          ws.cause = obs::WriteStallInfo::Cause::kL0Stop;
+          ws.duration_ns = t - now;
+          RecordWriteStall(ws);
           sim_->SetLaneTime(SimContext::kFgLane, t);
           continue;
         }
@@ -1297,9 +1479,12 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       mutex_.unlock();
       env_->SleepForMicroseconds(
           static_cast<int>(options_.slowdown_sleep_micros));
-      stats_.slowdown_writes++;
-      allow_delay = false;  // Do not delay a single write more than once
       mutex_.lock();
+      obs::WriteStallInfo ws;
+      ws.cause = obs::WriteStallInfo::Cause::kL0SlowDown;
+      ws.duration_ns = options_.slowdown_sleep_micros * 1000;
+      RecordWriteStall(ws);
+      allow_delay = false;  // Do not delay a single write more than once
     } else if (!force &&
                (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size)) {
       // There is room in current memtable
@@ -1307,18 +1492,22 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     } else if (imm_ != nullptr) {
       // We have filled up the current memtable, but the previous
       // one is still being compacted, so we wait.
-      stats_.stall_writes++;
       const uint64_t t0 = env_->NowNanos();
       background_work_finished_signal_.wait(mutex_);
-      stats_.stall_micros += (env_->NowNanos() - t0) / 1000;
+      obs::WriteStallInfo ws;
+      ws.cause = obs::WriteStallInfo::Cause::kMemtableFull;
+      ws.duration_ns = env_->NowNanos() - t0;
+      RecordWriteStall(ws);
     } else if (options_.enable_l0_stop &&
                versions_->current()->NumLevelRuns(0) >=
                    options_.l0_stop_writes_trigger) {
       // There are too many level-0 files.
-      stats_.stall_writes++;
       const uint64_t t0 = env_->NowNanos();
       background_work_finished_signal_.wait(mutex_);
-      stats_.stall_micros += (env_->NowNanos() - t0) / 1000;
+      obs::WriteStallInfo ws;
+      ws.cause = obs::WriteStallInfo::Cause::kL0Stop;
+      ws.duration_ns = env_->NowNanos() - t0;
+      RecordWriteStall(ws);
     } else {
       // Attempt to switch to a new memtable and trigger compaction of old
       assert(versions_->PrevLogNumber() == 0);
@@ -1349,6 +1538,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   Status s;
+  const bool timed = options_.enable_perf_context;
+  obs::PerfContext* pc = obs::GetPerfContext();
+  const uint64_t gstart = timed ? env_->NowNanos() : 0;
+  metrics_->Add(obs::kNumKeysRead);
   MutexLock l(&mutex_);
   if (simulated()) {
     sim_->AdvanceCpu(options_.sim_read_cpu_ns);
@@ -1377,12 +1570,21 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     // First look in the memtable, then in the immutable memtable (if
     // any).
     LookupKey lkey(key, snapshot);
+    uint64_t t0 = timed ? env_->NowNanos() : 0;
     if (mem->Get(lkey, value, &s)) {
-      // Done
+      pc->get_from_memtable++;
+      if (timed) pc->memtable_get_ns += env_->NowNanos() - t0;
     } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
-      // Done
+      pc->get_from_memtable++;
+      if (timed) pc->memtable_get_ns += env_->NowNanos() - t0;
     } else {
+      if (timed) {
+        const uint64_t t1 = env_->NowNanos();
+        pc->memtable_get_ns += t1 - t0;
+        t0 = t1;
+      }
       s = current->Get(options, lkey, value, &stats);
+      if (timed) pc->sstable_get_ns += env_->NowNanos() - t0;
       have_stat_update = true;
     }
     mutex_.lock();
@@ -1390,12 +1592,15 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
   if (have_stat_update && current->UpdateStats(stats) &&
       options_.seek_compaction) {
-    stats_.seek_compactions++;
+    metrics_->Add(obs::kSeekCompactions);
     MaybeScheduleCompaction();
   }
   mem->Unref();
   if (imm != nullptr) imm->Unref();
   current->Unref();
+  if (timed) {
+    metrics_->RecordHist(obs::kGetLatencyNs, env_->NowNanos() - gstart);
+  }
   return s;
 }
 
@@ -1471,6 +1676,7 @@ int64_t DBImpl::TEST_BytesAtLevel(int level) {
 }
 
 Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  metrics_->Add(obs::kNumSeeks);
   SequenceNumber latest_snapshot;
   Iterator* iter = NewInternalIterator(options, &latest_snapshot);
   if (simulated()) {
@@ -1541,10 +1747,30 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
              "flushes=%" PRIu64 " compactions=%" PRIu64
              " trivial_moves=%" PRIu64 " settled=%" PRIu64
              " stalls=%" PRIu64 " slowdowns=%" PRIu64 "\n",
-             stats_.memtable_flushes, stats_.compactions,
-             stats_.trivial_moves, stats_.settled_promotions,
-             stats_.stall_writes, stats_.slowdown_writes);
+             metrics_->Get(obs::kMemtableFlushes),
+             metrics_->Get(obs::kCompactions),
+             metrics_->Get(obs::kTrivialMoves),
+             metrics_->Get(obs::kSettledPromotions),
+             metrics_->Get(obs::kStallWrites),
+             metrics_->Get(obs::kSlowdownWrites));
     value->append(buf);
+    value->append(metrics_->ToString());
+    return true;
+  } else if (in == "levels") {
+    char buf[200];
+    snprintf(buf, sizeof(buf), "level tables runs bytes\n");
+    value->append(buf);
+    for (int level = 0; level < options_.num_levels; level++) {
+      snprintf(buf, sizeof(buf), "%5d %6d %4d %" PRId64 "\n", level,
+               versions_->NumLevelTables(level),
+               versions_->current()->NumLevelRuns(level),
+               versions_->NumLevelBytes(level));
+      value->append(buf);
+    }
+    return true;
+  } else if (in == "metrics") {
+    metrics_->SetGauge(obs::kReclamationBacklog, zombies_.size());
+    *value = metrics_->ToJson();
     return true;
   } else if (in == "sstables") {
     *value = versions_->current()->DebugString();
@@ -1585,8 +1811,28 @@ void DBImpl::WaitForBackgroundWork() {
 
 DbStats DBImpl::GetStats() {
   MutexLock l(&mutex_);
-  stats_.reclamation_backlog = zombies_.size();
-  return stats_;
+  metrics_->SetGauge(obs::kReclamationBacklog, zombies_.size());
+  // DbStats is now a snapshot view over the registry.
+  DbStats s;
+  s.slowdown_writes = metrics_->Get(obs::kSlowdownWrites);
+  s.stall_writes = metrics_->Get(obs::kStallWrites);
+  s.stall_micros = metrics_->Get(obs::kStallMicros);
+  s.memtable_flushes = metrics_->Get(obs::kMemtableFlushes);
+  s.compactions = metrics_->Get(obs::kCompactions);
+  s.trivial_moves = metrics_->Get(obs::kTrivialMoves);
+  s.settled_promotions = metrics_->Get(obs::kSettledPromotions);
+  s.pure_settled_compactions = metrics_->Get(obs::kPureSettledCompactions);
+  s.seek_compactions = metrics_->Get(obs::kSeekCompactions);
+  s.compaction_bytes_read = metrics_->Get(obs::kCompactionBytesRead);
+  s.compaction_bytes_written = metrics_->Get(obs::kCompactionBytesWritten);
+  s.compaction_output_tables = metrics_->Get(obs::kCompactionOutputTables);
+  s.compaction_files_created = metrics_->Get(obs::kCompactionFilesCreated);
+  s.settled_bytes_saved = metrics_->Get(obs::kSettledBytesSaved);
+  s.hole_punches = metrics_->Get(obs::kHolePunches);
+  s.hole_punch_failures = metrics_->Get(obs::kHolePunchFailures);
+  s.reclamation_backlog = zombies_.size();
+  s.resumes = metrics_->Get(obs::kResumes);
+  return s;
 }
 
 Status DBImpl::Resume() {
@@ -1665,7 +1911,10 @@ Status DBImpl::Resume() {
     imm_done_time_ = sim_->Now();
   }
   bg_error_ = Status::OK();
-  stats_.resumes++;
+  metrics_->Add(obs::kResumes);
+  for (const auto& listener : options_.listeners) {
+    listener->OnResume();
+  }
   RemoveObsoleteFiles();
   MaybeScheduleCompaction();
   background_work_finished_signal_.notify_all();

@@ -36,6 +36,10 @@ class VersionSet;
 namespace log {
 class Writer;
 }
+namespace obs {
+class MetricsRegistry;
+struct WriteStallInfo;
+}  // namespace obs
 
 class DBImpl : public DB {
  public:
@@ -126,6 +130,11 @@ class DBImpl : public DB {
     return internal_comparator_.user_comparator();
   }
 
+  // ---- Observability helpers ----
+  // Notify every registered listener of a write stall and charge the
+  // stall tickers/histogram + PerfContext.
+  void RecordWriteStall(const obs::WriteStallInfo& info);
+
   // ---- Simulation-mode helpers ----
   bool simulated() const { return sim_ != nullptr; }
   // Drain every pending piece of background work inline, charging the
@@ -153,6 +162,9 @@ class DBImpl : public DB {
   const Options options_;  // options_.comparator == &internal_comparator_
   const bool owns_info_log_;
   const bool owns_block_cache_;
+  // Every layer charges into this registry; DbStats is a snapshot of it.
+  obs::MetricsRegistry* const metrics_;
+  const bool owns_metrics_;
   const std::string dbname_;
   SimContext* const sim_;  // non-null iff options_.env is simulated
 
@@ -205,8 +217,6 @@ class DBImpl : public DB {
 
   // Have we encountered a background error in paranoid mode?
   Status bg_error_;
-
-  DbStats stats_;
 
   // ---- Simulation-mode state ----
   uint64_t imm_done_time_ = 0;  // virtual completion of the last flush

@@ -7,6 +7,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 namespace bolt {
 
@@ -16,6 +18,11 @@ class Env;
 class FilterPolicy;
 class Logger;
 class Snapshot;
+
+namespace obs {
+class EventListener;
+class MetricsRegistry;
+}  // namespace obs
 
 const Comparator* BytewiseComparator();
 Env* PosixEnv();
@@ -102,6 +109,21 @@ struct Options {
 
   // ---- Victim picking ----------------------------------------------------------
   VictimPolicy victim_policy = VictimPolicy::kRoundRobin;
+
+  // ---- Observability (src/obs/) -------------------------------------------------
+  // Metrics registry every layer (DB, caches, WAL, env) charges into.
+  // If null, the DB creates and owns one when opening; pass your own to
+  // share a registry across DB instances or read it from a bench.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Master switch for *timed* observability: per-operation PerfContext
+  // timing and registry latency histograms.  Cheap counters (tickers,
+  // cache hit/miss) stay on regardless.  Disable to shave clock reads
+  // off the hot paths.
+  bool enable_perf_context = true;
+  // Listeners invoked (in order) on flush/compaction begin+end, write
+  // stalls, WAL sync barriers, hole punches, and background-error /
+  // resume transitions.  See obs/event_listener.h for the contract.
+  std::vector<std::shared_ptr<obs::EventListener>> listeners;
 
   // ---- Simulation CPU model (ignored on PosixEnv) ------------------------------
   // Per-operation foreground CPU cost and per-entry compaction merge

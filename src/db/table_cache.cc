@@ -2,6 +2,8 @@
 
 #include "db/filename.h"
 #include "env/env.h"
+#include "obs/metrics.h"
+#include "obs/perf_context.h"
 #include "sim/sim_context.h"
 #include "table/iterator.h"
 #include "table/table.h"
@@ -92,13 +94,19 @@ Status TableCache::OpenTableFile(const TableMeta& meta, RandomAccessFile** file,
 }
 
 Status TableCache::FindTable(const TableMeta& meta, Cache::Handle** handle) {
+  obs::MetricsRegistry* metrics = options_.metrics;
+  obs::PerfContext* pc = obs::GetPerfContext();
   char buf[sizeof(meta.table_id)];
   EncodeFixed64(buf, meta.table_id);
   Slice key(buf, sizeof(buf));
   *handle = cache_->Lookup(key);
   if (*handle != nullptr) {
+    if (metrics != nullptr) metrics->Add(obs::kTableCacheHits);
+    pc->table_cache_hits++;
     return Status::OK();
   }
+  if (metrics != nullptr) metrics->Add(obs::kTableCacheMisses);
+  pc->table_cache_misses++;
 
   RandomAccessFile* file = nullptr;
   Cache::Handle* fd_handle = nullptr;
@@ -163,6 +171,7 @@ Status TableCache::Get(const ReadOptions& options, const TableMeta& meta,
   if (SimContext* sim = env_->sim()) {
     sim->AdvanceCpu(options_.sim_table_probe_cpu_ns);
   }
+  obs::GetPerfContext()->tables_consulted++;
   Cache::Handle* handle = nullptr;
   Status s = FindTable(meta, &handle);
   if (s.ok()) {

@@ -15,6 +15,7 @@
 //    dead logical SSTables from compaction files without a barrier.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +31,10 @@ class SequentialFile;
 class RandomAccessFile;
 class WritableFile;
 class SimContext;
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 // Aggregate I/O counters.  SimEnv fills all of them; PosixEnv fills the
 // call counters.  The figure benches read fsync counts and byte totals
@@ -104,8 +109,23 @@ class Env {
   virtual IoStats GetIoStats() const = 0;
   virtual void ResetIoStats() = 0;
 
+  // Observability hookup: when set, the env charges sync barriers (count,
+  // bytes, duration — virtual ns on SimEnv, wall-clock on PosixEnv) into
+  // the registry.  DB::Open points this at the opening DB's registry;
+  // with several DBs on one env, the last opener wins.  The pointer must
+  // stay valid until replaced or cleared.
+  void SetMetricsRegistry(obs::MetricsRegistry* m) {
+    metrics_.store(m, std::memory_order_release);
+  }
+  obs::MetricsRegistry* metrics() const {
+    return metrics_.load(std::memory_order_acquire);
+  }
+
   // Non-null iff this environment is simulated.
   virtual SimContext* sim() { return nullptr; }
+
+ private:
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
 };
 
 // A file abstraction for reading sequentially through a file.

@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "env/env.h"
+#include "obs/metrics.h"
 
 namespace bolt {
 
@@ -141,11 +142,12 @@ class PosixRandomAccessFile final : public RandomAccessFile {
 
 class PosixWritableFile final : public WritableFile {
  public:
-  PosixWritableFile(std::string fname, int fd, AtomicIoStats* stats)
+  PosixWritableFile(std::string fname, int fd, AtomicIoStats* stats, Env* env)
       : fd_(fd),
         is_wal_(IsWalFile(fname)),
         fname_(std::move(fname)),
-        stats_(stats) {}
+        stats_(stats),
+        env_(env) {}
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
@@ -186,10 +188,18 @@ class PosixWritableFile final : public WritableFile {
   Status Flush() override { return Status::OK(); }
 
   Status Sync() override {
-    stats_->AddSync(dirty_);
+    const uint64_t dirty = dirty_;
+    stats_->AddSync(dirty);
     dirty_ = 0;
+    obs::MetricsRegistry* metrics = env_->metrics();
+    const uint64_t t0 = metrics != nullptr ? env_->NowNanos() : 0;
     if (fdatasync(fd_) < 0) {
       return PosixError(fname_, errno);
+    }
+    if (metrics != nullptr) {
+      metrics->Add(obs::kSyncBarriers);
+      metrics->Add(obs::kSyncedBytes, dirty);
+      metrics->RecordHist(obs::kSyncBarrierNs, env_->NowNanos() - t0);
     }
     return Status::OK();
   }
@@ -199,6 +209,7 @@ class PosixWritableFile final : public WritableFile {
   const bool is_wal_;
   const std::string fname_;
   AtomicIoStats* const stats_;
+  Env* const env_;
   uint64_t dirty_ = 0;
 };
 
@@ -250,7 +261,7 @@ class PosixEnvImpl final : public Env {
     }
     stats_.files_created.fetch_add(1, std::memory_order_relaxed);
     stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
-    result->reset(new PosixWritableFile(fname, fd, &stats_));
+    result->reset(new PosixWritableFile(fname, fd, &stats_, this));
     return Status::OK();
   }
 
@@ -262,7 +273,7 @@ class PosixEnvImpl final : public Env {
       return PosixError(fname, errno);
     }
     stats_.metadata_ops.fetch_add(1, std::memory_order_relaxed);
-    result->reset(new PosixWritableFile(fname, fd, &stats_));
+    result->reset(new PosixWritableFile(fname, fd, &stats_, this));
     return Status::OK();
   }
 

@@ -1,0 +1,86 @@
+// EventListener: callbacks for the engine's lifecycle events.
+//
+// The MetricsRegistry says how much; listeners say *when*.  A listener
+// registered in Options::listeners is invoked synchronously on the
+// thread doing the work (the writer thread for stalls and WAL barriers,
+// the background thread for flush/compaction), in registration order.
+//
+// Contract:
+//  * Callbacks may be invoked while the DB mutex is held.  A listener
+//    must never call back into the DB (Put/Get/GetProperty/...) and
+//    should return quickly; heavy work belongs on the listener's own
+//    thread.
+//  * Callbacks for one event fire in Options::listeners order.
+//  * No callbacks are invoked after DB destruction; listeners must
+//    outlive the DB (shared_ptr ownership makes this automatic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bolt {
+namespace obs {
+
+struct FlushJobInfo {
+  uint64_t output_bytes = 0;   // bytes written to L0
+  uint64_t output_tables = 0;  // logical tables produced
+  uint64_t duration_ns = 0;    // set on End only
+  Status status;               // set on End only
+};
+
+struct CompactionJobInfo {
+  int level = 0;                 // input level (outputs land on level+1)
+  int victim_tables = 0;         // level-N inputs
+  int next_level_tables = 0;     // level-N+1 inputs
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;     // set on End only
+  uint64_t output_tables = 0;    // set on End only
+  uint64_t barriers = 0;         // sync barriers issued by this job (End)
+  uint64_t settled_promotions = 0;  // victims promoted without rewrite
+  bool trivial_move = false;
+  bool pure_settled = false;     // metadata-only compaction (+STL)
+  uint64_t duration_ns = 0;      // set on End only
+  Status status;                 // set on End only
+};
+
+struct WriteStallInfo {
+  enum class Cause { kMemtableFull, kL0Stop, kL0SlowDown };
+  Cause cause = Cause::kMemtableFull;
+  uint64_t duration_ns = 0;
+};
+
+struct SyncBarrierInfo {
+  bool wal = false;          // true: WAL fsync; false: table/manifest sync
+  uint64_t duration_ns = 0;  // virtual ns on SimEnv, wall-clock on Posix
+};
+
+struct HolePunchInfo {
+  uint64_t file_number = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  bool ok = false;  // false: reclamation deferred to a later pass
+};
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  virtual void OnFlushBegin(const FlushJobInfo&) {}
+  virtual void OnFlushEnd(const FlushJobInfo&) {}
+  virtual void OnCompactionBegin(const CompactionJobInfo&) {}
+  virtual void OnCompactionEnd(const CompactionJobInfo&) {}
+  virtual void OnWriteStall(const WriteStallInfo&) {}
+  virtual void OnSyncBarrier(const SyncBarrierInfo&) {}
+  virtual void OnHolePunch(const HolePunchInfo&) {}
+  virtual void OnBackgroundError(const Status&) {}
+  virtual void OnResume() {}
+};
+
+using ListenerList = std::vector<std::shared_ptr<EventListener>>;
+
+}  // namespace obs
+}  // namespace bolt

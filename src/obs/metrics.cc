@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+namespace bolt {
+namespace obs {
+
+const char* TickerName(Ticker t) {
+  switch (t) {
+    case kNumKeysWritten:          return "db.keys.written";
+    case kNumKeysRead:             return "db.keys.read";
+    case kNumSeeks:                return "db.seeks";
+    case kWalSyncs:                return "wal.sync";
+    case kWalBytesAppended:        return "wal.bytes.appended";
+    case kSyncBarriers:            return "env.sync.barriers";
+    case kSyncedBytes:             return "env.sync.bytes";
+    case kSlowdownWrites:          return "governor.slowdown.writes";
+    case kStallWrites:             return "governor.stall.writes";
+    case kStallMicros:             return "governor.stall.micros";
+    case kMemtableFlushes:         return "flush.count";
+    case kCompactions:             return "compaction.count";
+    case kTrivialMoves:            return "compaction.trivial_moves";
+    case kSettledPromotions:       return "compaction.settled.promotions";
+    case kPureSettledCompactions:  return "compaction.settled.pure";
+    case kSeekCompactions:         return "compaction.seek_triggered";
+    case kCompactionBytesRead:     return "compaction.bytes.read";
+    case kCompactionBytesWritten:  return "compaction.bytes.written";
+    case kCompactionOutputTables:  return "compaction.output.tables";
+    case kCompactionFilesCreated:  return "compaction.output.files";
+    case kSettledBytesSaved:       return "compaction.settled.bytes_saved";
+    case kHolePunches:             return "reclaim.hole_punches";
+    case kHolePunchFailures:       return "reclaim.hole_punch_failures";
+    case kBackgroundErrors:        return "error.background";
+    case kResumes:                 return "error.resumes";
+    case kTableCacheHits:          return "table_cache.hit";
+    case kTableCacheMisses:        return "table_cache.miss";
+    case kBlockCacheHits:          return "block_cache.hit";
+    case kBlockCacheMisses:        return "block_cache.miss";
+    case kBloomChecked:            return "bloom.checked";
+    case kBloomUseful:             return "bloom.useful";
+    case kTickerMax:               break;
+  }
+  return "unknown";
+}
+
+const char* GaugeName(Gauge g) {
+  switch (g) {
+    case kReclamationBacklog: return "reclaim.backlog";
+    case kGaugeMax:           break;
+  }
+  return "unknown";
+}
+
+const char* HistName(Hist h) {
+  switch (h) {
+    case kGetLatencyNs:  return "latency.get_ns";
+    case kWriteLatencyNs: return "latency.write_ns";
+    case kWalSyncNs:     return "latency.wal_sync_ns";
+    case kSyncBarrierNs: return "latency.sync_barrier_ns";
+    case kFlushNs:       return "latency.flush_ns";
+    case kCompactionNs:  return "latency.compaction_ns";
+    case kStallNs:       return "latency.stall_ns";
+    case kHistMax:       break;
+  }
+  return "unknown";
+}
+
+MetricsRegistry::MetricsRegistry() {
+  for (auto& t : tickers_) t.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordHist(Hist h, uint64_t value_ns) {
+  // Stripe by thread identity so concurrent recorders (writer threads vs
+  // the background thread) land on different mutexes almost always.
+  const size_t stripe =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kStripes;
+  HistStripe& s = hist_stripes_[h][stripe];
+  std::lock_guard<std::mutex> l(s.mu);
+  s.hist.Add(value_ns);
+}
+
+Histogram MetricsRegistry::GetHist(Hist h) const {
+  Histogram merged;
+  for (int i = 0; i < kStripes; i++) {
+    // const_cast: the mutexes guard mutable state; logical constness of
+    // the read is preserved.
+    HistStripe& s = const_cast<MetricsRegistry*>(this)->hist_stripes_[h][i];
+    std::lock_guard<std::mutex> l(s.mu);
+    merged.Merge(s.hist);
+  }
+  return merged;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& t : tickers_) t.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  for (int h = 0; h < kHistMax; h++) {
+    for (int i = 0; i < kStripes; i++) {
+      std::lock_guard<std::mutex> l(hist_stripes_[h][i].mu);
+      hist_stripes_[h][i].hist.Clear();
+    }
+  }
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  char buf[256];
+  for (uint32_t t = 0; t < kTickerMax; t++) {
+    const uint64_t v = Get(static_cast<Ticker>(t));
+    if (v == 0) continue;
+    snprintf(buf, sizeof(buf), "%-34s %" PRIu64 "\n",
+             TickerName(static_cast<Ticker>(t)), v);
+    out += buf;
+  }
+  for (uint32_t g = 0; g < kGaugeMax; g++) {
+    const uint64_t v = GetGauge(static_cast<Gauge>(g));
+    if (v == 0) continue;
+    snprintf(buf, sizeof(buf), "%-34s %" PRIu64 "\n",
+             GaugeName(static_cast<Gauge>(g)), v);
+    out += buf;
+  }
+  for (uint32_t h = 0; h < kHistMax; h++) {
+    Histogram hist = GetHist(static_cast<Hist>(h));
+    if (hist.count() == 0) continue;
+    snprintf(buf, sizeof(buf), "%-34s %s\n", HistName(static_cast<Hist>(h)),
+             hist.Summary().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  char buf[256];
+  bool first = true;
+  auto emit = [&](const char* name, uint64_t v) {
+    snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64, first ? "" : ", ", name,
+             v);
+    out += buf;
+    first = false;
+  };
+  for (uint32_t t = 0; t < kTickerMax; t++) {
+    emit(TickerName(static_cast<Ticker>(t)), Get(static_cast<Ticker>(t)));
+  }
+  for (uint32_t g = 0; g < kGaugeMax; g++) {
+    emit(GaugeName(static_cast<Gauge>(g)), GetGauge(static_cast<Gauge>(g)));
+  }
+  for (uint32_t h = 0; h < kHistMax; h++) {
+    Histogram hist = GetHist(static_cast<Hist>(h));
+    const std::string base = HistName(static_cast<Hist>(h));
+    emit((base + ".count").c_str(), hist.count());
+    if (hist.count() == 0) continue;
+    emit((base + ".avg").c_str(), static_cast<uint64_t>(hist.Average()));
+    emit((base + ".p50").c_str(), hist.Percentile(50));
+    emit((base + ".p99").c_str(), hist.Percentile(99));
+    emit((base + ".max").c_str(), hist.max());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace bolt

@@ -1,0 +1,162 @@
+// MetricsRegistry: the engine's single source of numeric truth.
+//
+// Every figure in the paper is a number the engine can now report about
+// itself: barrier counts, compaction bytes, stall time, cache hit rates,
+// and tail latencies all live here.  The registry is a fixed-size array
+// of atomically updated tickers/gauges plus a set of lock-striped
+// histograms, cheap enough to sit on the write path:
+//
+//  * Tickers are monotonically increasing counters (relaxed atomics —
+//    a single uncontended fetch_add on the hot path).
+//  * Gauges are set-to-current-value atomics (e.g. reclamation backlog).
+//  * Histograms are striped 8 ways by thread id; each stripe has its own
+//    mutex + Histogram, so concurrent recorders rarely contend.  Reads
+//    merge the stripes.
+//
+// SimEnv charges virtual nanoseconds into the same registry that
+// PosixEnv charges wall-clock nanoseconds into, so benches and tests
+// read one schema regardless of environment.  DbStats (db/db_stats.h)
+// is now a snapshot view over this registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace bolt {
+namespace obs {
+
+// Monotonic counters.  Names (TickerName) follow a dotted scheme:
+// <layer>.<object>.<event>, e.g. "block_cache.hit", "wal.sync".
+enum Ticker : uint32_t {
+  // ---- Foreground operations ----
+  kNumKeysWritten = 0,
+  kNumKeysRead,
+  kNumSeeks,
+
+  // ---- WAL ----
+  kWalSyncs,            // fsync barriers issued for the WAL
+  kWalBytesAppended,
+
+  // ---- Barriers (all files; the paper's headline count) ----
+  kSyncBarriers,        // every WritableFile::Sync that reached the env
+  kSyncedBytes,
+
+  // ---- Write governors ----
+  kSlowdownWrites,      // L0SlowDown 1ms sleeps
+  kStallWrites,         // L0Stop / memtable-full blocks
+  kStallMicros,         // total time writers spent blocked
+
+  // ---- Background work ----
+  kMemtableFlushes,
+  kCompactions,
+  kTrivialMoves,
+  kSettledPromotions,
+  kPureSettledCompactions,
+  kSeekCompactions,
+
+  // ---- Compaction I/O ----
+  kCompactionBytesRead,
+  kCompactionBytesWritten,
+  kCompactionOutputTables,
+  kCompactionFilesCreated,
+  kSettledBytesSaved,
+
+  // ---- Space reclamation ----
+  kHolePunches,
+  kHolePunchFailures,
+
+  // ---- Failure handling ----
+  kBackgroundErrors,
+  kResumes,
+
+  // ---- Caches ----
+  kTableCacheHits,
+  kTableCacheMisses,
+  kBlockCacheHits,
+  kBlockCacheMisses,
+
+  // ---- Bloom filters ----
+  kBloomChecked,        // whole-table filters consulted
+  kBloomUseful,         // lookups a filter rejected (no data-block read)
+
+  kTickerMax,
+};
+
+// Point-in-time values (overwritten, not accumulated).
+enum Gauge : uint32_t {
+  kReclamationBacklog = 0,  // zombies currently awaiting a hole punch
+  kGaugeMax,
+};
+
+// Latency / size distributions.
+enum Hist : uint32_t {
+  kGetLatencyNs = 0,
+  kWriteLatencyNs,
+  kWalSyncNs,           // duration of each WAL barrier (write path)
+  kSyncBarrierNs,       // duration of every env-level Sync barrier
+  kFlushNs,             // memtable flush, begin to install
+  kCompactionNs,        // merge compaction, begin to install
+  kStallNs,             // each individual write stall
+  kHistMax,
+};
+
+const char* TickerName(Ticker t);
+const char* GaugeName(Gauge g);
+const char* HistName(Hist h);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // ---- Hot-path updates --------------------------------------------------
+  void Add(Ticker t, uint64_t n = 1) {
+    tickers_[t].fetch_add(n, std::memory_order_relaxed);
+  }
+  void SetGauge(Gauge g, uint64_t v) {
+    gauges_[g].store(v, std::memory_order_relaxed);
+  }
+  void RecordHist(Hist h, uint64_t value_ns);
+
+  // ---- Reads -------------------------------------------------------------
+  uint64_t Get(Ticker t) const {
+    return tickers_[t].load(std::memory_order_relaxed);
+  }
+  uint64_t GetGauge(Gauge g) const {
+    return gauges_[g].load(std::memory_order_relaxed);
+  }
+  // Merged view across stripes (consistent per histogram, not globally).
+  Histogram GetHist(Hist h) const;
+
+  // Zero every ticker, gauge and histogram.
+  void Reset();
+
+  // Human-readable dump: every non-zero ticker/gauge, one per line, then
+  // a summary line per non-empty histogram.
+  std::string ToString() const;
+
+  // Machine-readable dump: one flat JSON object.  Tickers and gauges map
+  // name -> integer; histograms map "<name>.{count,avg,p50,p99,max}".
+  std::string ToJson() const;
+
+ private:
+  static constexpr int kStripes = 8;
+
+  struct alignas(64) HistStripe {
+    std::mutex mu;
+    Histogram hist;
+  };
+
+  std::atomic<uint64_t> tickers_[kTickerMax];
+  std::atomic<uint64_t> gauges_[kGaugeMax];
+  HistStripe hist_stripes_[kHistMax][kStripes];
+};
+
+}  // namespace obs
+}  // namespace bolt

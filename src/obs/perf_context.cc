@@ -1,0 +1,58 @@
+#include "obs/perf_context.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "env/env.h"
+
+namespace bolt {
+namespace obs {
+
+PerfContext* GetPerfContext() {
+  thread_local PerfContext ctx;
+  return &ctx;
+}
+
+std::string PerfContext::ToString() const {
+  std::string out;
+  char buf[64];
+  auto emit = [&](const char* name, uint64_t v) {
+    if (v == 0) return;
+    snprintf(buf, sizeof(buf), "%s%s=%" PRIu64, out.empty() ? "" : " ", name,
+             v);
+    out += buf;
+  };
+  emit("wal_append_ns", wal_append_ns);
+  emit("wal_sync_ns", wal_sync_ns);
+  emit("memtable_insert_ns", memtable_insert_ns);
+  emit("write_stall_ns", write_stall_ns);
+  emit("write_slowdowns", write_slowdowns);
+  emit("memtable_get_ns", memtable_get_ns);
+  emit("sstable_get_ns", sstable_get_ns);
+  emit("tables_consulted", tables_consulted);
+  emit("get_from_memtable", get_from_memtable);
+  emit("bloom_checked", bloom_checked);
+  emit("bloom_useful", bloom_useful);
+  emit("table_cache_hits", table_cache_hits);
+  emit("table_cache_misses", table_cache_misses);
+  emit("block_cache_hits", block_cache_hits);
+  emit("block_cache_misses", block_cache_misses);
+  emit("barrier_waits", barrier_waits);
+  return out;
+}
+
+PerfTimer::PerfTimer(Env* env, bool enabled, uint64_t* counter)
+    : env_(enabled ? env : nullptr), counter_(counter) {
+  if (env_ != nullptr) {
+    start_ = env_->NowNanos();
+  }
+}
+
+PerfTimer::~PerfTimer() {
+  if (env_ != nullptr) {
+    *counter_ += env_->NowNanos() - start_;
+  }
+}
+
+}  // namespace obs
+}  // namespace bolt

@@ -1,0 +1,84 @@
+// PerfContext: a thread-local per-operation breakdown.
+//
+// Where the MetricsRegistry answers "what has the engine done since it
+// opened", the PerfContext answers "where did *my last operation* spend
+// its time": WAL append vs sync, memtable vs SSTables, how many tables
+// were consulted, whether the bloom filters helped, and whether the
+// caches hit.  The context is plain thread-local storage — no locks, no
+// atomics — so updating a counter costs one increment.
+//
+// Timing fields are only populated when the owning DB has
+// Options::enable_perf_context set (the default).  Counter fields
+// (tables_consulted, cache hits, ...) are always maintained: they cost a
+// thread-local increment, which is below measurement noise.
+//
+// Usage:
+//   obs::GetPerfContext()->Reset();
+//   db->Get(...);
+//   printf("%s\n", obs::GetPerfContext()->ToString().c_str());
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bolt {
+
+class Env;
+
+namespace obs {
+
+struct PerfContext {
+  // ---- Write path ----
+  uint64_t wal_append_ns = 0;       // log::Writer::AddRecord
+  uint64_t wal_sync_ns = 0;         // WAL fsync barrier (sync writes)
+  uint64_t memtable_insert_ns = 0;  // WriteBatch -> memtable apply
+  uint64_t write_stall_ns = 0;      // time blocked by governors
+  uint64_t write_slowdowns = 0;     // L0SlowDown penalties applied
+
+  // ---- Read path ----
+  uint64_t memtable_get_ns = 0;     // mem_ + imm_ probes
+  uint64_t sstable_get_ns = 0;      // version/table lookups
+  uint64_t tables_consulted = 0;    // TableCache::Get probes issued
+  uint64_t get_from_memtable = 0;   // hits answered by mem_/imm_
+
+  // ---- Bloom filters ----
+  uint64_t bloom_checked = 0;
+  uint64_t bloom_useful = 0;        // rejections that skipped a data block
+
+  // ---- Caches ----
+  uint64_t table_cache_hits = 0;
+  uint64_t table_cache_misses = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+
+  // ---- Barriers ----
+  uint64_t barrier_waits = 0;       // Sync barriers this op waited on
+
+  void Reset() { *this = PerfContext(); }
+
+  // "name=value" pairs for every non-zero field, space-separated.
+  std::string ToString() const;
+};
+
+// The calling thread's context.  Never null.
+PerfContext* GetPerfContext();
+
+// RAII timer: charges env->NowNanos() elapsed into *counter on
+// destruction.  When enabled is false the clock is never read, so a
+// disabled-observability build pays one predictable branch.
+class PerfTimer {
+ public:
+  PerfTimer(Env* env, bool enabled, uint64_t* counter);
+  ~PerfTimer();
+
+  PerfTimer(const PerfTimer&) = delete;
+  PerfTimer& operator=(const PerfTimer&) = delete;
+
+ private:
+  Env* const env_;
+  uint64_t* const counter_;
+  uint64_t start_ = 0;
+};
+
+}  // namespace obs
+}  // namespace bolt

@@ -1,0 +1,172 @@
+#include "obs/trace_buffer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "env/env.h"
+
+namespace bolt {
+namespace obs {
+
+const char* TraceEventTypeName(TraceEvent::Type t) {
+  switch (t) {
+    case TraceEvent::Type::kFlushBegin:      return "flush_begin";
+    case TraceEvent::Type::kFlushEnd:        return "flush_end";
+    case TraceEvent::Type::kCompactionBegin: return "compaction_begin";
+    case TraceEvent::Type::kCompactionEnd:   return "compaction_end";
+    case TraceEvent::Type::kWriteStall:      return "write_stall";
+    case TraceEvent::Type::kSyncBarrier:     return "sync_barrier";
+    case TraceEvent::Type::kHolePunch:       return "hole_punch";
+    case TraceEvent::Type::kBackgroundError: return "background_error";
+    case TraceEvent::Type::kResume:          return "resume";
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(Env* env, size_t capacity)
+    : env_(env), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(TraceEvent::Type type, uint64_t v0, uint64_t v1,
+                         uint64_t v2) {
+  TraceEvent e{type, env_->NowNanos(), v0, v1, v2};
+  std::lock_guard<std::mutex> l(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_] = e;
+    next_ = (next_ + 1) % capacity_;
+  }
+  total_++;
+}
+
+void TraceBuffer::OnFlushBegin(const FlushJobInfo& info) {
+  Record(TraceEvent::Type::kFlushBegin);
+}
+
+void TraceBuffer::OnFlushEnd(const FlushJobInfo& info) {
+  Record(TraceEvent::Type::kFlushEnd, info.output_bytes, info.output_tables,
+         info.duration_ns);
+}
+
+void TraceBuffer::OnCompactionBegin(const CompactionJobInfo& info) {
+  Record(TraceEvent::Type::kCompactionBegin,
+         static_cast<uint64_t>(info.level), info.input_bytes);
+}
+
+void TraceBuffer::OnCompactionEnd(const CompactionJobInfo& info) {
+  Record(TraceEvent::Type::kCompactionEnd, static_cast<uint64_t>(info.level),
+         info.input_bytes, info.duration_ns);
+}
+
+void TraceBuffer::OnWriteStall(const WriteStallInfo& info) {
+  Record(TraceEvent::Type::kWriteStall, static_cast<uint64_t>(info.cause),
+         info.duration_ns);
+}
+
+void TraceBuffer::OnSyncBarrier(const SyncBarrierInfo& info) {
+  Record(TraceEvent::Type::kSyncBarrier, info.wal ? 1 : 0, info.duration_ns);
+}
+
+void TraceBuffer::OnHolePunch(const HolePunchInfo& info) {
+  Record(TraceEvent::Type::kHolePunch, info.file_number, info.size,
+         info.ok ? 1 : 0);
+}
+
+void TraceBuffer::OnBackgroundError(const Status& status) {
+  Record(TraceEvent::Type::kBackgroundError);
+}
+
+void TraceBuffer::OnResume() { Record(TraceEvent::Type::kResume); }
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceBuffer::dropped_events() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: when the ring has wrapped, next_ points at the oldest.
+  const size_t n = ring_.size();
+  const size_t start = (n == capacity_) ? next_ : 0;
+  for (size_t i = 0; i < n; i++) {
+    out.push_back(ring_[(start + i) % n]);
+  }
+  return out;
+}
+
+std::string TraceBuffer::DumpJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  const uint64_t dropped = dropped_events();
+
+  std::string out;
+  char buf[256];
+  snprintf(buf, sizeof(buf), "{\"dropped\": %" PRIu64 ", \"events\": [",
+           dropped);
+  out += buf;
+  for (size_t i = 0; i < events.size(); i++) {
+    const TraceEvent& e = events[i];
+    snprintf(buf, sizeof(buf), "%s{\"type\": \"%s\", \"t_ns\": %" PRIu64,
+             i == 0 ? "" : ", ", TraceEventTypeName(e.type), e.timestamp_ns);
+    out += buf;
+    auto field = [&](const char* name, uint64_t v) {
+      snprintf(buf, sizeof(buf), ", \"%s\": %" PRIu64, name, v);
+      out += buf;
+    };
+    switch (e.type) {
+      case TraceEvent::Type::kFlushBegin:
+        break;
+      case TraceEvent::Type::kFlushEnd:
+        field("output_bytes", e.v0);
+        field("output_tables", e.v1);
+        field("duration_ns", e.v2);
+        break;
+      case TraceEvent::Type::kCompactionBegin:
+        field("level", e.v0);
+        field("input_bytes", e.v1);
+        break;
+      case TraceEvent::Type::kCompactionEnd:
+        field("level", e.v0);
+        field("input_bytes", e.v1);
+        field("duration_ns", e.v2);
+        break;
+      case TraceEvent::Type::kWriteStall:
+        field("cause", e.v0);
+        field("duration_ns", e.v1);
+        break;
+      case TraceEvent::Type::kSyncBarrier:
+        field("wal", e.v0);
+        field("duration_ns", e.v1);
+        break;
+      case TraceEvent::Type::kHolePunch:
+        field("file_number", e.v0);
+        field("size", e.v1);
+        field("ok", e.v2);
+        break;
+      case TraceEvent::Type::kBackgroundError:
+      case TraceEvent::Type::kResume:
+        break;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace bolt

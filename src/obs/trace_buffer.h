@@ -1,0 +1,96 @@
+// TraceBuffer: a bounded in-memory event recorder.
+//
+// An EventListener that keeps the last N engine events (flushes,
+// compactions, stalls, barriers, hole punches, error transitions) in a
+// fixed-size ring and dumps them as JSON.  When the ring is full the
+// oldest events are overwritten; dropped_events() says how many were
+// lost, so a dump is never silently partial.
+//
+//   auto trace = std::make_shared<obs::TraceBuffer>(env, 4096);
+//   options.listeners.push_back(trace);
+//   ...
+//   std::string json = trace->DumpJson();
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event_listener.h"
+
+namespace bolt {
+
+class Env;
+
+namespace obs {
+
+struct TraceEvent {
+  enum class Type : uint8_t {
+    kFlushBegin,
+    kFlushEnd,
+    kCompactionBegin,
+    kCompactionEnd,
+    kWriteStall,
+    kSyncBarrier,
+    kHolePunch,
+    kBackgroundError,
+    kResume,
+  };
+
+  Type type;
+  uint64_t timestamp_ns;  // Env::NowNanos at record time
+  // Per-type payload (see DumpJson for the field names):
+  //   Flush*:          v0=output_bytes  v1=output_tables v2=duration_ns
+  //   Compaction*:     v0=level         v1=input_bytes   v2=duration_ns
+  //   WriteStall:      v0=cause         v1=duration_ns
+  //   SyncBarrier:     v0=wal           v1=duration_ns
+  //   HolePunch:       v0=file_number   v1=size          v2=ok
+  //   BackgroundError: (none)
+  uint64_t v0, v1, v2;
+};
+
+const char* TraceEventTypeName(TraceEvent::Type t);
+
+class TraceBuffer : public EventListener {
+ public:
+  // env supplies timestamps (the DB's env, so sim traces carry virtual
+  // time).  capacity is the maximum number of retained events.
+  TraceBuffer(Env* env, size_t capacity);
+
+  void OnFlushBegin(const FlushJobInfo& info) override;
+  void OnFlushEnd(const FlushJobInfo& info) override;
+  void OnCompactionBegin(const CompactionJobInfo& info) override;
+  void OnCompactionEnd(const CompactionJobInfo& info) override;
+  void OnWriteStall(const WriteStallInfo& info) override;
+  void OnSyncBarrier(const SyncBarrierInfo& info) override;
+  void OnHolePunch(const HolePunchInfo& info) override;
+  void OnBackgroundError(const Status& status) override;
+  void OnResume() override;
+
+  // Events currently retained (<= capacity).
+  size_t size() const;
+  // Events overwritten because the ring was full.
+  uint64_t dropped_events() const;
+  void Clear();
+
+  // Oldest-first JSON array of the retained events.
+  std::string DumpJson() const;
+
+  // Oldest-first copy of the retained events (for tests).
+  std::vector<TraceEvent> Snapshot() const;
+
+ private:
+  void Record(TraceEvent::Type type, uint64_t v0 = 0, uint64_t v1 = 0,
+              uint64_t v2 = 0);
+
+  Env* const env_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;          // ring insertion cursor
+  uint64_t total_ = 0;       // events ever recorded
+};
+
+}  // namespace obs
+}  // namespace bolt

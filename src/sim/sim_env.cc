@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace bolt {
 
 struct SimEnv::MemFile {
@@ -106,12 +108,14 @@ class SimRandomAccessFile final : public RandomAccessFile {
 class SimWritableFile final : public WritableFile {
  public:
   SimWritableFile(std::shared_ptr<SimEnv::MemFile> file, bool is_wal,
-                  SimContext* sim, IoStats* stats, SimPageCache* page_cache)
+                  SimContext* sim, IoStats* stats, SimPageCache* page_cache,
+                  Env* env)
       : file_(std::move(file)),
         is_wal_(is_wal),
         sim_(sim),
         stats_(stats),
-        page_cache_(page_cache) {}
+        page_cache_(page_cache),
+        env_(env) {}
 
   Status Append(const Slice& data) override {
     const uint64_t old_size = file_->data.size();
@@ -131,7 +135,15 @@ class SimWritableFile final : public WritableFile {
     stats_->sync_calls += 1;
     stats_->synced_bytes += dirty;
     file_->synced_size = file_->data.size();
+    const uint64_t t0 = sim_->Now();
     sim_->ChargeSync(dirty);
+    if (obs::MetricsRegistry* metrics = env_->metrics()) {
+      // Virtual nanoseconds (including device-contention queueing) flow
+      // into the same histogram PosixEnv fills with wall-clock time.
+      metrics->Add(obs::kSyncBarriers);
+      metrics->Add(obs::kSyncedBytes, dirty);
+      metrics->RecordHist(obs::kSyncBarrierNs, sim_->Now() - t0);
+    }
     return Status::OK();
   }
 
@@ -141,6 +153,7 @@ class SimWritableFile final : public WritableFile {
   SimContext* sim_;
   IoStats* stats_;
   SimPageCache* page_cache_;
+  Env* const env_;
 };
 
 }  // namespace
@@ -199,7 +212,7 @@ Status SimEnv::NewWritableFile(const std::string& fname,
   stats_.metadata_ops += 1;
   sim_.ChargeMetadataOp();
   result->reset(new SimWritableFile(std::move(file), IsWal(fname), &sim_,
-                                    &stats_, &page_cache_));
+                                    &stats_, &page_cache_, this));
   return Status::OK();
 }
 
@@ -221,7 +234,7 @@ Status SimEnv::NewAppendableFile(const std::string& fname,
   stats_.metadata_ops += 1;
   sim_.ChargeMetadataOp();
   result->reset(new SimWritableFile(std::move(file), IsWal(fname), &sim_,
-                                    &stats_, &page_cache_));
+                                    &stats_, &page_cache_, this));
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #include "table/table.h"
 
 #include "env/env.h"
+#include "obs/metrics.h"
+#include "obs/perf_context.h"
 #include "table/block.h"
 #include "table/format.h"
 #include "table/two_level_iterator.h"
@@ -157,10 +159,15 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
       EncodeFixed64(cache_key_buffer, table->rep_->cache_id);
       EncodeFixed64(cache_key_buffer + 8, handle.offset());
       Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+      obs::MetricsRegistry* metrics = table->rep_->options.metrics;
       cache_handle = block_cache->Lookup(key);
       if (cache_handle != nullptr) {
+        if (metrics != nullptr) metrics->Add(obs::kBlockCacheHits);
+        obs::GetPerfContext()->block_cache_hits++;
         block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
       } else {
+        if (metrics != nullptr) metrics->Add(obs::kBlockCacheMisses);
+        obs::GetPerfContext()->block_cache_misses++;
         s = ReadBlock(table->rep_->file, options, handle, &contents);
         if (s.ok()) {
           block = new Block(contents);
@@ -208,8 +215,17 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& k,
   // Whole-table bloom filter check first: most non-matching tables are
   // rejected without touching a data block.
   if (rep_->options.filter_policy != nullptr && !rep_->filter_data.empty()) {
+    obs::PerfContext* pc = obs::GetPerfContext();
+    pc->bloom_checked++;
+    if (rep_->options.metrics != nullptr) {
+      rep_->options.metrics->Add(obs::kBloomChecked);
+    }
     if (!rep_->options.filter_policy->KeyMayMatch(k,
                                                   Slice(rep_->filter_data))) {
+      pc->bloom_useful++;
+      if (rep_->options.metrics != nullptr) {
+        rep_->options.metrics->Add(obs::kBloomUseful);
+      }
       return Status::OK();
     }
   }

@@ -1,0 +1,457 @@
+// Observability subsystem: registry thread-safety, PerfContext scoping,
+// listener ordering, TraceBuffer bounds, and DbStats-vs-registry
+// equivalence after a torture run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <cstdlib>
+
+#include "db/db.h"
+#include "env/env.h"
+#include "obs/event_listener.h"
+#include "obs/metrics.h"
+#include "obs/perf_context.h"
+#include "obs/trace_buffer.h"
+#include "sim/sim_env.h"
+
+namespace bolt {
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+// ---- MetricsRegistry -----------------------------------------------------
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kIncrements; i++) {
+        reg.Add(obs::kNumKeysWritten);
+        reg.Add(obs::kWalBytesAppended, 3);
+        reg.RecordHist(obs::kWriteLatencyNs, 100 + i % 7);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(uint64_t{kThreads} * kIncrements, reg.Get(obs::kNumKeysWritten));
+  EXPECT_EQ(uint64_t{kThreads} * kIncrements * 3,
+            reg.Get(obs::kWalBytesAppended));
+  EXPECT_EQ(uint64_t{kThreads} * kIncrements,
+            reg.GetHist(obs::kWriteLatencyNs).count());
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverything) {
+  obs::MetricsRegistry reg;
+  reg.Add(obs::kCompactions, 5);
+  reg.SetGauge(obs::kReclamationBacklog, 7);
+  reg.RecordHist(obs::kGetLatencyNs, 123);
+  reg.Reset();
+  EXPECT_EQ(0u, reg.Get(obs::kCompactions));
+  EXPECT_EQ(0u, reg.GetGauge(obs::kReclamationBacklog));
+  EXPECT_EQ(0u, reg.GetHist(obs::kGetLatencyNs).count());
+}
+
+TEST(MetricsRegistryTest, DumpsContainNamedMetrics) {
+  obs::MetricsRegistry reg;
+  reg.Add(obs::kSyncBarriers, 42);
+  reg.RecordHist(obs::kSyncBarrierNs, 1000);
+  const std::string text = reg.ToString();
+  EXPECT_NE(std::string::npos, text.find("env.sync.barriers"));
+  const std::string json = reg.ToJson();
+  EXPECT_NE(std::string::npos, json.find("\"env.sync.barriers\": 42"));
+  EXPECT_NE(std::string::npos, json.find("latency.sync_barrier_ns.count"));
+}
+
+// ---- PerfContext ---------------------------------------------------------
+
+TEST(PerfContextTest, ThreadLocalScopingAndReset) {
+  obs::PerfContext* pc = obs::GetPerfContext();
+  pc->Reset();
+  pc->tables_consulted = 11;
+  pc->wal_sync_ns = 99;
+
+  // Another thread sees its own zeroed context, and mutating it does not
+  // leak back into ours.
+  std::thread other([] {
+    obs::PerfContext* mine = obs::GetPerfContext();
+    EXPECT_EQ(0u, mine->tables_consulted);
+    mine->tables_consulted = 1000;
+  });
+  other.join();
+
+  EXPECT_EQ(11u, pc->tables_consulted);
+  pc->Reset();
+  EXPECT_EQ(0u, pc->tables_consulted);
+  EXPECT_EQ(0u, pc->wal_sync_ns);
+}
+
+TEST(PerfContextTest, ToStringShowsOnlyNonZero) {
+  obs::PerfContext pc;
+  pc.bloom_useful = 3;
+  const std::string s = pc.ToString();
+  EXPECT_NE(std::string::npos, s.find("bloom_useful=3"));
+  EXPECT_EQ(std::string::npos, s.find("wal_sync_ns"));
+}
+
+// ---- Listener ordering ---------------------------------------------------
+
+// Records (listener_id, event_name) pairs into a shared log.
+class OrderedListener : public obs::EventListener {
+ public:
+  OrderedListener(int id, std::vector<std::pair<int, std::string>>* log)
+      : id_(id), log_(log) {}
+
+  void OnFlushBegin(const obs::FlushJobInfo&) override { Add("flush_begin"); }
+  void OnFlushEnd(const obs::FlushJobInfo&) override { Add("flush_end"); }
+  void OnCompactionBegin(const obs::CompactionJobInfo&) override {
+    Add("compaction_begin");
+  }
+  void OnCompactionEnd(const obs::CompactionJobInfo&) override {
+    Add("compaction_end");
+  }
+  void OnSyncBarrier(const obs::SyncBarrierInfo&) override {
+    Add("sync_barrier");
+  }
+
+ private:
+  void Add(const std::string& event) { log_->emplace_back(id_, event); }
+
+  const int id_;
+  std::vector<std::pair<int, std::string>>* const log_;
+};
+
+TEST(EventListenerTest, ListenersFireInRegistrationOrder) {
+  SimEnv env;
+  std::vector<std::pair<int, std::string>> log;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 16 << 10;
+  options.listeners.push_back(std::make_shared<OrderedListener>(1, &log));
+  options.listeners.push_back(std::make_shared<OrderedListener>(2, &log));
+
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/obs_order", &db).ok());
+  WriteOptions wo;
+  wo.sync = true;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db->Put(wo, Key(i), std::string(1000, 'v')).ok());
+  }
+  db->CompactRange(nullptr, nullptr);
+  delete db;
+
+  ASSERT_FALSE(log.empty());
+  ASSERT_EQ(0u, log.size() % 2) << "every event must reach both listeners";
+  bool saw_flush = false, saw_sync = false;
+  for (size_t i = 0; i < log.size(); i += 2) {
+    // For each event both listeners fire, registration order preserved.
+    EXPECT_EQ(1, log[i].first);
+    EXPECT_EQ(2, log[i + 1].first);
+    EXPECT_EQ(log[i].second, log[i + 1].second);
+    if (log[i].second == "flush_begin") saw_flush = true;
+    if (log[i].second == "sync_barrier") saw_sync = true;
+  }
+  EXPECT_TRUE(saw_flush);
+  EXPECT_TRUE(saw_sync);
+
+  // Begin always precedes End for flushes and compactions.
+  int flush_depth = 0;
+  for (size_t i = 0; i < log.size(); i += 2) {
+    if (log[i].second == "flush_begin") flush_depth++;
+    if (log[i].second == "flush_end") {
+      flush_depth--;
+      EXPECT_GE(flush_depth, 0);
+    }
+  }
+  EXPECT_EQ(0, flush_depth);
+}
+
+// ---- TraceBuffer ---------------------------------------------------------
+
+TEST(TraceBufferTest, BoundedOverwriteKeepsNewestAndCountsDropped) {
+  SimEnv env;
+  obs::TraceBuffer trace(&env, 4);
+
+  for (int i = 0; i < 10; i++) {
+    obs::FlushJobInfo info;
+    info.output_bytes = 100 + i;  // distinguishes events
+    trace.OnFlushEnd(info);
+  }
+
+  EXPECT_EQ(4u, trace.size());
+  EXPECT_EQ(6u, trace.dropped_events());
+
+  // Snapshot is oldest-first and holds exactly the last 4 events.
+  const auto events = trace.Snapshot();
+  ASSERT_EQ(4u, events.size());
+  for (int i = 0; i < 4; i++) {
+    EXPECT_EQ(obs::TraceEvent::Type::kFlushEnd, events[i].type);
+    EXPECT_EQ(100u + 6 + i, events[i].v0);
+  }
+
+  const std::string json = trace.DumpJson();
+  EXPECT_NE(std::string::npos, json.find("\"dropped\": 6"));
+  EXPECT_NE(std::string::npos, json.find("\"output_bytes\": 109"));
+  EXPECT_EQ(std::string::npos, json.find("\"output_bytes\": 105"));
+
+  trace.Clear();
+  EXPECT_EQ(0u, trace.size());
+  EXPECT_EQ(0u, trace.dropped_events());
+}
+
+TEST(TraceBufferTest, RecordsAllEventKinds) {
+  SimEnv env;
+  auto trace = std::make_shared<obs::TraceBuffer>(&env, 4096);
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 16 << 10;
+  options.listeners.push_back(trace);
+
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/obs_trace", &db).ok());
+  WriteOptions wo;
+  wo.sync = true;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db->Put(wo, Key(i), std::string(1000, 'v')).ok());
+  }
+  db->CompactRange(nullptr, nullptr);
+  delete db;
+
+  bool flush = false, compaction = false, barrier = false;
+  for (const auto& e : trace->Snapshot()) {
+    if (e.type == obs::TraceEvent::Type::kFlushEnd) flush = true;
+    if (e.type == obs::TraceEvent::Type::kCompactionEnd) compaction = true;
+    if (e.type == obs::TraceEvent::Type::kSyncBarrier) barrier = true;
+  }
+  EXPECT_TRUE(flush);
+  EXPECT_TRUE(compaction);
+  EXPECT_TRUE(barrier);
+}
+
+// ---- DB integration ------------------------------------------------------
+
+TEST(ObsDbTest, DbStatsIsASnapshotOfTheRegistry) {
+  SimEnv env;
+  obs::MetricsRegistry reg;
+  Options options;
+  options.env = &env;
+  options.metrics = &reg;
+  options.write_buffer_size = 16 << 10;
+  options.bolt_logical_sstables = true;
+  options.settled_compaction = true;
+
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/obs_stats", &db).ok());
+
+  // Torture: mixed writes (some sync), reads, deletes, and a manual
+  // compaction sweep.
+  std::mt19937 rnd(301);
+  WriteOptions wo;
+  for (int i = 0; i < 3000; i++) {
+    wo.sync = (rnd() % 16 == 0);
+    ASSERT_TRUE(db->Put(wo, Key(rnd() % 1000), std::string(500, 'x')).ok());
+    if (rnd() % 8 == 0) {
+      std::string value;
+      db->Get(ReadOptions(), Key(rnd() % 1000), &value);
+    }
+    if (rnd() % 64 == 0) {
+      ASSERT_TRUE(db->Delete(WriteOptions(), Key(rnd() % 1000)).ok());
+    }
+  }
+  db->CompactRange(nullptr, nullptr);
+  db->WaitForBackgroundWork();
+
+  const DbStats s = db->GetStats();
+  EXPECT_EQ(s.slowdown_writes, reg.Get(obs::kSlowdownWrites));
+  EXPECT_EQ(s.stall_writes, reg.Get(obs::kStallWrites));
+  EXPECT_EQ(s.stall_micros, reg.Get(obs::kStallMicros));
+  EXPECT_EQ(s.memtable_flushes, reg.Get(obs::kMemtableFlushes));
+  EXPECT_EQ(s.compactions, reg.Get(obs::kCompactions));
+  EXPECT_EQ(s.trivial_moves, reg.Get(obs::kTrivialMoves));
+  EXPECT_EQ(s.settled_promotions, reg.Get(obs::kSettledPromotions));
+  EXPECT_EQ(s.pure_settled_compactions,
+            reg.Get(obs::kPureSettledCompactions));
+  EXPECT_EQ(s.seek_compactions, reg.Get(obs::kSeekCompactions));
+  EXPECT_EQ(s.compaction_bytes_read, reg.Get(obs::kCompactionBytesRead));
+  EXPECT_EQ(s.compaction_bytes_written,
+            reg.Get(obs::kCompactionBytesWritten));
+  EXPECT_EQ(s.compaction_output_tables,
+            reg.Get(obs::kCompactionOutputTables));
+  EXPECT_EQ(s.compaction_files_created,
+            reg.Get(obs::kCompactionFilesCreated));
+  EXPECT_EQ(s.settled_bytes_saved, reg.Get(obs::kSettledBytesSaved));
+  EXPECT_EQ(s.hole_punches, reg.Get(obs::kHolePunches));
+  EXPECT_EQ(s.hole_punch_failures, reg.Get(obs::kHolePunchFailures));
+  EXPECT_EQ(s.resumes, reg.Get(obs::kResumes));
+  EXPECT_EQ(s.reclamation_backlog, reg.GetGauge(obs::kReclamationBacklog));
+
+  // The run actually exercised the registry.
+  EXPECT_GT(s.memtable_flushes, 0u);
+  EXPECT_GT(reg.Get(obs::kNumKeysWritten), 0u);
+  EXPECT_GT(reg.Get(obs::kSyncBarriers), 0u);
+  EXPECT_GT(reg.Get(obs::kWalSyncs), 0u);
+
+  delete db;
+}
+
+TEST(ObsDbTest, GetPropertyExposesMetricsAndLevels) {
+  SimEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 16 << 10;
+
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/obs_prop", &db).ok());
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), Key(i), std::string(1000, 'v')).ok());
+  }
+  db->WaitForBackgroundWork();
+
+  std::string value;
+  ASSERT_TRUE(db->GetProperty("bolt.stats", &value));
+  EXPECT_NE(std::string::npos, value.find("flushes="));
+  EXPECT_NE(std::string::npos, value.find("db.keys.written"));
+
+  ASSERT_TRUE(db->GetProperty("bolt.levels", &value));
+  EXPECT_NE(std::string::npos, value.find("level tables runs bytes"));
+
+  ASSERT_TRUE(db->GetProperty("bolt.metrics", &value));
+  EXPECT_EQ('{', value.front());
+  EXPECT_EQ('}', value.back());
+  EXPECT_NE(std::string::npos, value.find("\"flush.count\""));
+
+  EXPECT_FALSE(db->GetProperty("bolt.nonsense", &value));
+  delete db;
+}
+
+TEST(ObsDbTest, PerfContextBreaksDownSyncWriteAndGet) {
+  SimEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 16 << 10;
+
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/obs_pc", &db).ok());
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), Key(i), std::string(1000, 'v')).ok());
+  }
+  db->WaitForBackgroundWork();
+
+  obs::PerfContext* pc = obs::GetPerfContext();
+  pc->Reset();
+  WriteOptions wo;
+  wo.sync = true;
+  ASSERT_TRUE(db->Put(wo, Key(5000), "value").ok());
+  EXPECT_EQ(1u, pc->barrier_waits);
+  EXPECT_GT(pc->wal_sync_ns, 0u);
+  EXPECT_GT(pc->wal_append_ns + pc->memtable_insert_ns, 0u);
+
+  pc->Reset();
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), Key(0), &value).ok());
+  // Key(0) was flushed long ago: the lookup must consult SSTables.
+  EXPECT_GT(pc->tables_consulted, 0u);
+  EXPECT_EQ(0u, pc->get_from_memtable);
+
+  pc->Reset();
+  ASSERT_TRUE(db->Get(ReadOptions(), Key(5000), &value).ok());
+  EXPECT_EQ(1u, pc->get_from_memtable);
+  delete db;
+}
+
+TEST(ObsDbTest, DisabledPerfContextSkipsTimingButKeepsCounters) {
+  SimEnv env;
+  obs::MetricsRegistry reg;
+  Options options;
+  options.env = &env;
+  options.metrics = &reg;
+  options.enable_perf_context = false;
+  options.write_buffer_size = 16 << 10;
+
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/obs_off", &db).ok());
+  obs::PerfContext* pc = obs::GetPerfContext();
+  pc->Reset();
+  WriteOptions wo;
+  wo.sync = true;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db->Put(wo, Key(i), std::string(1000, 'v')).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), Key(0), &value).ok());
+
+  // Timing fields stay zero; per-op latency histograms stay empty.
+  EXPECT_EQ(0u, pc->wal_sync_ns);
+  EXPECT_EQ(0u, pc->memtable_insert_ns);
+  EXPECT_EQ(0u, reg.GetHist(obs::kWriteLatencyNs).count());
+  EXPECT_EQ(0u, reg.GetHist(obs::kGetLatencyNs).count());
+
+  // Cheap counters still flow.
+  EXPECT_EQ(100u, pc->barrier_waits);
+  EXPECT_EQ(100u, reg.Get(obs::kWalSyncs));
+  EXPECT_EQ(100u, reg.Get(obs::kNumKeysWritten));
+  EXPECT_EQ(1u, reg.Get(obs::kNumKeysRead));
+  delete db;
+}
+
+// Concurrent writers + reader on the real (Posix) write path, all
+// charging one registry: written-key accounting must sum exactly.
+// (This test is the TSan target for the registry/listener paths.)
+TEST(ObsDbTest, ConcurrentWritersShareOneRegistry) {
+  Options options;
+  options.env = PosixEnv();
+  char tmpl[] = "/tmp/bolt_obs_XXXXXX";
+  ASSERT_NE(nullptr, mkdtemp(tmpl));
+  const std::string dbname = std::string(tmpl) + "/db";
+  obs::MetricsRegistry reg;
+  options.metrics = &reg;
+  options.write_buffer_size = 64 << 10;
+  options.listeners.push_back(
+      std::make_shared<obs::TraceBuffer>(options.env, 1024));
+
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options, dbname, &db).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kWritesPerThread; i++) {
+        WriteOptions wo;
+        wo.sync = (i % 100 == 0);
+        ASSERT_TRUE(
+            db->Put(wo, Key(t * kWritesPerThread + i), std::string(256, 'v'))
+                .ok());
+        if (i % 16 == 0) {
+          std::string value;
+          db->Get(ReadOptions(), Key(t * kWritesPerThread + i / 2), &value);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  db->WaitForBackgroundWork();
+
+  EXPECT_EQ(uint64_t{kThreads} * kWritesPerThread,
+            reg.Get(obs::kNumKeysWritten));
+  EXPECT_EQ(uint64_t{kThreads} * kWritesPerThread,
+            reg.GetHist(obs::kWriteLatencyNs).count());
+  delete db;
+  DestroyDB(dbname, options);
+}
+
+}  // namespace
+}  // namespace bolt

@@ -8,7 +8,10 @@
 
 #include "core/output_writer.h"
 #include "db/dbformat.h"
+#include "obs/metrics.h"
+#include "obs/perf_context.h"
 #include "sim/sim_env.h"
+#include "util/cache.h"
 #include "table/iterator.h"
 #include "util/filter_policy.h"
 
@@ -162,6 +165,50 @@ TEST_F(TableCacheTest, MissingFileReportsError) {
   EXPECT_FALSE(cache.Get(ReadOptions(), bogus, IKey(0), &s, SaveValue).ok());
   // Errors are not cached: a retry re-attempts the open.
   EXPECT_FALSE(cache.Get(ReadOptions(), bogus, IKey(0), &s, SaveValue).ok());
+}
+
+// Warm re-reads are answered by the table and block caches, and the
+// metrics registry (plus the thread-local PerfContext) sees every hit
+// and miss.
+TEST_F(TableCacheTest, WarmReReadHitsCachesInRegistry) {
+  auto tables = BuildTables(500);
+  obs::MetricsRegistry reg;
+  std::unique_ptr<Cache> block_cache(NewLRUCache(1 << 20));
+  // options_ holds these by pointer and outlives the TableCache (which
+  // keeps a reference to options_).
+  options_.metrics = &reg;
+  options_.block_cache = block_cache.get();
+  TableCache cache("/db", options_, 100);
+
+  obs::PerfContext* pc = obs::GetPerfContext();
+  pc->Reset();
+
+  // Cold read: the table is not cached and its blocks are unseen.
+  GetState s;
+  ASSERT_TRUE(cache.Get(ReadOptions(), tables[0], IKey(5), &s, SaveValue).ok());
+  EXPECT_TRUE(s.found);
+  EXPECT_EQ(1u, reg.Get(obs::kTableCacheMisses));
+  EXPECT_EQ(0u, reg.Get(obs::kTableCacheHits));
+  EXPECT_GE(reg.Get(obs::kBlockCacheMisses), 1u);
+  EXPECT_EQ(1u, pc->table_cache_misses);
+
+  // Warm re-read of the same key: the table handle and its data block
+  // must both hit, and no new misses may appear.
+  const uint64_t block_misses = reg.Get(obs::kBlockCacheMisses);
+  GetState s2;
+  ASSERT_TRUE(
+      cache.Get(ReadOptions(), tables[0], IKey(5), &s2, SaveValue).ok());
+  EXPECT_TRUE(s2.found);
+  EXPECT_EQ(1u, reg.Get(obs::kTableCacheHits));
+  EXPECT_EQ(1u, reg.Get(obs::kTableCacheMisses));
+  EXPECT_GE(reg.Get(obs::kBlockCacheHits), 1u);
+  EXPECT_EQ(block_misses, reg.Get(obs::kBlockCacheMisses));
+  EXPECT_EQ(1u, pc->table_cache_hits);
+  EXPECT_GE(pc->block_cache_hits, 1u);
+  EXPECT_EQ(2u, pc->tables_consulted);
+
+  options_.metrics = nullptr;
+  options_.block_cache = nullptr;
 }
 
 TEST_F(TableCacheTest, IteratorKeepsTablePinned) {
