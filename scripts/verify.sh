@@ -9,8 +9,9 @@
 # and runs the whole ctest suite.  The TSan pass rebuilds the tree with
 # BOLT_SANITIZE=thread and runs the concurrent observability tests
 # (registry stripes, listener fan-out, shared-registry writers) plus
-# the posix-env suite (real background thread + writer queue) under
-# ThreadSanitizer.
+# the posix-env suite (real background thread + writer queue) and the
+# parallel-compaction suite (thread pool, dedicated flush lane, sharded
+# subcompactions) under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,11 +31,12 @@ fi
 
 echo "==> TSan: build (BOLT_SANITIZE=thread)"
 cmake -B build-tsan -S . -DBOLT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target obs_test posix_env_test db_basic_test
+cmake --build build-tsan -j "$JOBS" --target obs_test posix_env_test db_basic_test parallel_compaction_test
 
 echo "==> TSan: concurrent observability tests"
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/posix_env_test
 ./build-tsan/tests/db_basic_test
+./build-tsan/tests/parallel_compaction_test
 
 echo "verify OK (tier-1 + ASan variant + TSan obs pass)"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "core/output_writer.h"
@@ -29,13 +30,30 @@ namespace bolt {
 
 // Information kept for every waiting writer
 struct DBImpl::Writer {
-  explicit Writer(std::mutex* mu) : batch(nullptr), sync(false), done(false) {}
+  Writer() : batch(nullptr), sync(false), done(false) {}
 
   Status status;
   WriteBatch* batch;
   bool sync;
   bool done;
   std::condition_variable_any cv;
+};
+
+// One key-range shard of a compaction.  Shard i covers user keys in
+// (start, end]; unbounded at either side when has_start/has_end is
+// false.  Boundaries are whole user keys, so every version of a user
+// key lands in exactly one shard and the drop logic stays local.
+struct DBImpl::SubcompactionState {
+  std::string start;  // exclusive lower bound (user key)
+  std::string end;    // inclusive upper bound (user key)
+  bool has_start = false;
+  bool has_end = false;
+
+  std::unique_ptr<OutputWriter> writer;
+  Compaction::IterState iter_state;
+  Iterator* input = nullptr;
+  uint64_t entries_processed = 0;
+  Status status;
 };
 
 struct DBImpl::CompactionState {
@@ -49,9 +67,29 @@ struct DBImpl::CompactionState {
   // we can drop all entries for the same key with sequence numbers < S.
   SequenceNumber smallest_snapshot = 0;
 
-  std::unique_ptr<OutputWriter> writer;
+  // One entry per key-range shard, in key order (usually just one).
+  std::vector<SubcompactionState> subs;
   std::vector<uint64_t> allocated_numbers;  // protected as pending outputs
-  uint64_t entries_processed = 0;
+
+  uint64_t entries_processed() const {
+    uint64_t n = 0;
+    for (const auto& sub : subs) n += sub.entries_processed;
+    return n;
+  }
+  uint64_t total_bytes_written() const {
+    uint64_t n = 0;
+    for (const auto& sub : subs) {
+      if (sub.writer) n += sub.writer->bytes_written();
+    }
+    return n;
+  }
+  uint64_t total_tables_written() const {
+    uint64_t n = 0;
+    for (const auto& sub : subs) {
+      if (sub.writer) n += sub.writer->outputs().size();
+    }
+    return n;
+  }
 };
 
 template <class T, class V>
@@ -76,6 +114,8 @@ static Options SanitizeOptions(const std::string& dbname,
                 static_cast<uint64_t>(1) << 30);
   }
   if (result.num_levels < 2) result.num_levels = 2;
+  ClipToRange(&result.max_background_jobs, 1, 64);
+  ClipToRange(&result.max_subcompactions, 1, 64);
   if (result.block_cache == nullptr && result.block_cache_bytes > 0) {
     result.block_cache = NewLRUCache(result.block_cache_bytes);
   }
@@ -106,7 +146,17 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       logfile_number_(0),
       log_(nullptr),
       tmp_batch_(new WriteBatch),
-      background_compaction_scheduled_(false),
+      bg_flush_scheduled_(false),
+      imm_flush_active_(false),
+      bg_compactions_scheduled_(0),
+      merge_compactions_in_flight_(0),
+      removing_obsolete_files_(false),
+      flush_lane_dedicated_(sim_ == nullptr && options_.max_background_jobs > 1),
+      max_compaction_jobs_(
+          sim_ != nullptr
+              ? 1
+              : std::max(1, options_.max_background_jobs -
+                                (flush_lane_dedicated_ ? 1 : 0))),
       manual_compaction_(nullptr),
       versions_(new VersionSet(dbname_, &options_, table_cache_,
                                &internal_comparator_)) {
@@ -114,13 +164,21 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
   // MANIFEST — lands in the same place.  With several DBs sharing one
   // env (the PosixEnv singleton), the last-opened DB wins.
   env_->SetMetricsRegistry(metrics_);
+  if (sim_ == nullptr) {
+    // Size the pool lanes up front: lazy growth only, so a wider DB
+    // sharing the PosixEnv singleton never shrinks another DB's lanes.
+    env_->SetBackgroundThreads(max_compaction_jobs_, Env::Priority::kLow);
+    if (flush_lane_dedicated_) {
+      env_->SetBackgroundThreads(1, Env::Priority::kHigh);
+    }
+  }
 }
 
 DBImpl::~DBImpl() {
   // Wait for background work to finish.
   mutex_.lock();
   shutting_down_.store(true, std::memory_order_release);
-  while (background_compaction_scheduled_) {
+  while (bg_flush_scheduled_ || bg_compactions_scheduled_ > 0) {
     background_work_finished_signal_.wait(mutex_);
   }
   mutex_.unlock();
@@ -196,6 +254,12 @@ void DBImpl::RemoveObsoleteFiles() {
     // or may not have been committed, so we cannot safely garbage collect.
     return;
   }
+  if (removing_obsolete_files_) {
+    // Another background thread is mid-purge (it releases mutex_ for the
+    // deletions); it will rerun after the next job completes.
+    return;
+  }
+  removing_obsolete_files_ = true;
 
   // Make a set of all of the live tables and physical files.
   std::set<uint64_t> live_tables;
@@ -325,6 +389,7 @@ void DBImpl::RemoveObsoleteFiles() {
   }
   zombies_.insert(zombies_.end(), punch_failed.begin(), punch_failed.end());
   metrics_->SetGauge(obs::kReclamationBacklog, zombies_.size());
+  removing_obsolete_files_ = false;
 }
 
 Status DBImpl::Recover(VersionEdit* edit) {
@@ -711,6 +776,27 @@ void DBImpl::RecordWriteStall(const obs::WriteStallInfo& info) {
   }
 }
 
+void DBImpl::MaybeScheduleFlush() {
+  // REQUIRES: mutex_ held, real Env.
+  if (bg_flush_scheduled_) {
+    // Already queued or running
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // DB is being deleted; no more background work
+  } else if (!bg_error_.ok()) {
+    // Already got an error; no more changes
+  } else if (imm_ == nullptr) {
+    // Nothing to flush
+  } else {
+    bg_flush_scheduled_ = true;
+    // With a dedicated lane the flush never queues behind a large
+    // compaction; at max_background_jobs == 1 both job kinds share the
+    // single low-priority thread, as in classic LevelDB.
+    env_->Schedule(&DBImpl::BGFlushWork, this,
+                   flush_lane_dedicated_ ? Env::Priority::kHigh
+                                         : Env::Priority::kLow);
+  }
+}
+
 void DBImpl::MaybeScheduleCompaction() {
   // REQUIRES: mutex_ held.
   if (simulated()) {
@@ -719,18 +805,22 @@ void DBImpl::MaybeScheduleCompaction() {
     }
     return;
   }
-  if (background_compaction_scheduled_) {
-    // Already scheduled
-  } else if (shutting_down_.load(std::memory_order_acquire)) {
+  MaybeScheduleFlush();
+  if (shutting_down_.load(std::memory_order_acquire)) {
     // DB is being deleted; no more background compactions
   } else if (!bg_error_.ok()) {
     // Already got an error; no more changes
-  } else if (imm_ == nullptr && manual_compaction_ == nullptr &&
+  } else if (manual_compaction_ == nullptr &&
              !versions_->NeedsCompaction()) {
-    // No work to be done
+    // No compaction work to be done
+  } else if (bg_compactions_scheduled_ >= max_compaction_jobs_) {
+    // Lane is saturated; a finishing job reschedules.
+  } else if (manual_compaction_ != nullptr && bg_compactions_scheduled_ > 0) {
+    // Manual compactions run exclusively: wait for the lane to drain so
+    // exactly one job picks up the manual range.
   } else {
-    background_compaction_scheduled_ = true;
-    env_->Schedule(&DBImpl::BGWork, this);
+    bg_compactions_scheduled_++;
+    env_->Schedule(&DBImpl::BGWork, this, Env::Priority::kLow);
   }
 }
 
@@ -761,31 +851,111 @@ void DBImpl::BGWork(void* db) {
   reinterpret_cast<DBImpl*>(db)->BackgroundCall();
 }
 
-void DBImpl::BackgroundCall() {
+void DBImpl::BGFlushWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundFlushCall();
+}
+
+void DBImpl::BackgroundFlushCall() {
   MutexLock l(&mutex_);
-  assert(background_compaction_scheduled_);
+  assert(bg_flush_scheduled_);
   if (shutting_down_.load(std::memory_order_acquire)) {
     // No more background work when shutting down.
   } else if (!bg_error_.ok()) {
     // No more background work after a background error.
-  } else if (imm_ != nullptr) {
+  } else if (imm_ != nullptr && !imm_flush_active_) {
+    imm_flush_active_ = true;
     CompactMemTable();
-  } else {
-    BackgroundCompaction();
+    imm_flush_active_ = false;
   }
 
-  background_compaction_scheduled_ = false;
+  bg_flush_scheduled_ = false;
 
-  // Previous compaction may have produced too many files in a level,
-  // so reschedule another compaction if needed.
+  // The flush may have pushed L0 over its trigger (and imm_ may already
+  // have been replaced by a waiting writer).
   MaybeScheduleCompaction();
   background_work_finished_signal_.notify_all();
 }
 
+void DBImpl::BackgroundCall() {
+  MutexLock l(&mutex_);
+  assert(bg_compactions_scheduled_ > 0);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    // No more background work when shutting down.
+  } else if (!bg_error_.ok()) {
+    // No more background work after a background error.
+  } else {
+    BackgroundCompaction();
+  }
+
+  bg_compactions_scheduled_--;
+  metrics_->SetGauge(obs::kBgInFlightCompactions, bg_compactions_scheduled_);
+
+  // Previous compaction may have produced too many files in a level —
+  // and a pick deferred on a conflict retries here, after the in-flight
+  // set shrank and the victim cursor moved on.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.notify_all();
+}
+
+bool DBImpl::CompactionConflictsWithInFlight(const Compaction* c) const {
+  // REQUIRES: mutex_ held.
+  if (compacting_tables_.empty()) return false;
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < c->num_input_files(which); i++) {
+      if (compacting_tables_.count(c->input(which, i)->table_id) > 0) {
+        return true;
+      }
+    }
+  }
+  for (const TableMeta* f : c->promoted()) {
+    if (compacting_tables_.count(f->table_id) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DBImpl::RegisterCompactionInputs(const Compaction* c) {
+  // REQUIRES: mutex_ held.  Ids only — key-range disjointness follows,
+  // because SetupOtherInputs pulls *every* next-level table overlapping
+  // a victim range into inputs_[1]: two compactions with disjoint table
+  // sets necessarily have disjoint level/hull footprints.
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < c->num_input_files(which); i++) {
+      compacting_tables_.insert(c->input(which, i)->table_id);
+    }
+  }
+  for (const TableMeta* f : c->promoted()) {
+    compacting_tables_.insert(f->table_id);
+  }
+  if (merge_compactions_in_flight_ > 0) {
+    metrics_->Add(obs::kParallelCompactions);
+  }
+  merge_compactions_in_flight_++;
+}
+
+void DBImpl::UnregisterCompactionInputs(const Compaction* c) {
+  // REQUIRES: mutex_ held.
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < c->num_input_files(which); i++) {
+      compacting_tables_.erase(c->input(which, i)->table_id);
+    }
+  }
+  for (const TableMeta* f : c->promoted()) {
+    compacting_tables_.erase(f->table_id);
+  }
+  merge_compactions_in_flight_--;
+}
+
 void DBImpl::BackgroundCompaction() {
   // REQUIRES: mutex_ held.
-  if (imm_ != nullptr) {
+  if (!flush_lane_dedicated_ && imm_ != nullptr && !imm_flush_active_) {
+    // Shared-lane mode: the flush job rides the same queue, but an
+    // urgent imm_ is served first, as in classic LevelDB.  (With a
+    // dedicated flush lane, touching imm_ here would race that lane.)
+    imm_flush_active_ = true;
     CompactMemTable();
+    imm_flush_active_ = false;
     return;
   }
 
@@ -793,14 +963,37 @@ void DBImpl::BackgroundCompaction() {
   bool is_manual = (manual_compaction_ != nullptr);
   InternalKey manual_end;
   if (is_manual) {
+    if (merge_compactions_in_flight_ > 0) {
+      // Exclusivity: wait until running compactions drain; their
+      // completion reschedules us.
+      return;
+    }
     ManualCompaction* m = manual_compaction_;
     c = versions_->CompactRange(m->level, m->begin, m->end);
     m->done = (c == nullptr);
     if (c != nullptr) {
-      manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
+      // Settled promotion (+STL) may have moved every victim into
+      // promoted(), leaving inputs_[0] empty.
+      if (c->num_input_files(0) > 0) {
+        manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
+      } else if (!c->promoted().empty()) {
+        manual_end = c->promoted().back()->largest;
+      } else {
+        m->done = true;
+      }
     }
   } else {
-    c = versions_->PickCompaction();
+    // The picker skips every level whose candidate touches an in-flight
+    // compaction, so concurrent jobs naturally land on disjoint work.
+    c = versions_->PickCompaction(&compacting_tables_);
+    if (c != nullptr && CompactionConflictsWithInFlight(c)) {
+      // Safety net (the exclusion-aware pick should prevent this).
+      // Don't reschedule immediately (that would spin); when any
+      // running compaction completes, its BackgroundCall retries the
+      // pick, and the round-robin cursor has moved past this range.
+      delete c;
+      return;
+    }
   }
 
   // Track how many L0 runs this compaction removes (for the virtual
@@ -861,14 +1054,15 @@ void DBImpl::BackgroundCompaction() {
     }
   } else {
     CompactionState* compact = new CompactionState(c);
+    RegisterCompactionInputs(c);
     status = DoCompactionWork(compact);
+    UnregisterCompactionInputs(c);
     if (!status.ok()) {
       RecordBackgroundError(status);
     }
-    if (compact->writer != nullptr) {
-      job.output_bytes = compact->writer->bytes_written();
-      job.output_tables = compact->writer->outputs().size();
-    }
+    job.output_bytes = compact->total_bytes_written();
+    job.output_tables = compact->total_tables_written();
+    job.subcompactions = compact->subs.size();
     if (status.ok()) {
       job.settled_promotions = c->promoted().size();
     }
@@ -919,8 +1113,12 @@ void DBImpl::BackgroundCompaction() {
 
 void DBImpl::CleanupCompaction(CompactionState* compact) {
   // REQUIRES: mutex_ held.
-  if (compact->writer != nullptr) {
-    compact->writer->Abandon();
+  for (auto& sub : compact->subs) {
+    if (sub.writer != nullptr) {
+      sub.writer->Abandon();
+    }
+    delete sub.input;
+    sub.input = nullptr;
   }
   for (uint64_t n : compact->allocated_numbers) {
     pending_outputs_.erase(n);
@@ -931,7 +1129,7 @@ void DBImpl::CleanupCompaction(CompactionState* compact) {
 Status DBImpl::DoCompactionWork(CompactionState* compact) {
   // REQUIRES: mutex_ held.
   assert(versions_->NumLevelTables(compact->compaction->level()) > 0);
-  assert(compact->writer == nullptr);
+  assert(compact->subs.empty());
 
   if (snapshots_.empty()) {
     compact->smallest_snapshot = versions_->LastSequence();
@@ -940,21 +1138,128 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   }
 
   Compaction* c = compact->compaction;
-  compact->writer = std::make_unique<OutputWriter>(
-      options_, dbname_, [this, compact]() {
-        MutexLock l(&mutex_);
-        uint64_t n = versions_->NewFileNumber();
-        pending_outputs_.insert(n);
-        compact->allocated_numbers.push_back(n);
-        return n;
-      });
 
-  Iterator* input = versions_->MakeInputIterator(c);
+  // Shard the victim key range at input-table boundaries.  Boundaries
+  // are whole user keys, so each user key's version run stays within one
+  // shard and the snapshot/tombstone drop logic needs no cross-shard
+  // coordination.  FLSM levels overlap internally, so they stay serial.
+  std::vector<std::string> boundaries;
+  if (!simulated() && options_.max_subcompactions > 1 && !options_.flsm_mode) {
+    std::vector<std::string> candidates;
+    for (int which = 0; which < 2; which++) {
+      for (int i = 0; i < c->num_input_files(which); i++) {
+        const Slice k = c->input(which, i)->largest.user_key();
+        candidates.emplace_back(k.data(), k.size());
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [this](const std::string& a, const std::string& b) {
+                return user_comparator()->Compare(a, b) < 0;
+              });
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    if (!candidates.empty()) {
+      candidates.pop_back();  // overall max: splitting there is a no-op
+    }
+    const size_t shards =
+        std::min(static_cast<size_t>(options_.max_subcompactions),
+                 candidates.size() + 1);
+    for (size_t i = 1; i < shards; i++) {
+      const std::string& b = candidates[i * candidates.size() / shards];
+      if (boundaries.empty() || boundaries.back() != b) {
+        boundaries.push_back(b);
+      }
+    }
+  }
+
+  compact->subs.resize(boundaries.size() + 1);
+  for (size_t i = 0; i < compact->subs.size(); i++) {
+    SubcompactionState& sub = compact->subs[i];
+    if (i > 0) {
+      sub.has_start = true;
+      sub.start = boundaries[i - 1];
+    }
+    if (i < boundaries.size()) {
+      sub.has_end = true;
+      sub.end = boundaries[i];
+    }
+    sub.writer = std::make_unique<OutputWriter>(
+        options_, dbname_, [this, compact]() {
+          MutexLock l(&mutex_);
+          uint64_t n = versions_->NewFileNumber();
+          pending_outputs_.insert(n);
+          compact->allocated_numbers.push_back(n);
+          return n;
+        });
+    sub.iter_state = c->NewIterState();
+    sub.input = versions_->MakeInputIterator(c);
+  }
 
   // Release mutex while we're actually doing the compaction work
   mutex_.unlock();
 
-  input->SeekToFirst();
+  if (compact->subs.size() == 1) {
+    // Shared-lane mode additionally services imm_ inline mid-loop, so a
+    // single background thread never starves flushes (classic LevelDB).
+    RunSubcompaction(compact, &compact->subs[0],
+                     /*may_flush_imm=*/!flush_lane_dedicated_);
+  } else {
+    metrics_->Add(obs::kSubcompactions, compact->subs.size());
+    // Each shard streams into its own compaction file and issues its
+    // data barrier on its own thread: the wall-clock barrier cost of the
+    // whole group is max(shard fsync) instead of the serial sum, while
+    // the logical accounting stays at data-barriers + 1 MANIFEST commit.
+    std::vector<std::thread> shard_threads;
+    shard_threads.reserve(compact->subs.size() - 1);
+    for (size_t i = 1; i < compact->subs.size(); i++) {
+      SubcompactionState* sub = &compact->subs[i];
+      shard_threads.emplace_back([this, compact, sub]() {
+        RunSubcompaction(compact, sub, /*may_flush_imm=*/false);
+      });
+    }
+    RunSubcompaction(compact, &compact->subs[0], /*may_flush_imm=*/false);
+    for (std::thread& t : shard_threads) {
+      t.join();
+    }
+  }
+
+  Status status;
+  for (const auto& sub : compact->subs) {
+    if (!sub.status.ok()) {
+      status = sub.status;
+      break;
+    }
+  }
+
+  mutex_.lock();
+
+  if (status.ok()) {
+    status = InstallCompactionResults(compact);
+  }
+  if (!status.ok()) {
+    RecordBackgroundError(status);
+  }
+  return status;
+}
+
+void DBImpl::RunSubcompaction(CompactionState* compact,
+                              SubcompactionState* sub, bool may_flush_imm) {
+  // REQUIRES: mutex_ NOT held.  Everything mutated here is shard-local
+  // (sub->*); shared state is reached only under mutex_ (inline flush,
+  // the writer's number allocator).
+  Compaction* c = compact->compaction;
+  Iterator* input = sub->input;
+
+  if (sub->has_start) {
+    // Position strictly after every version of user key sub->start:
+    // (start, seq=0, type=0) sorts after all real entries of that key
+    // (internal ordering is user key asc, then sequence desc).
+    InternalKey after(sub->start, 0, static_cast<ValueType>(0));
+    input->Seek(after.Encode());
+  } else {
+    input->SeekToFirst();
+  }
+
   Status status;
   ParsedInternalKey ikey;
   std::string current_user_key;
@@ -964,27 +1269,44 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
       options_.sim_compaction_cpu_per_entry_ns / options_.bg_parallelism);
 
   while (input->Valid() && !shutting_down_.load(std::memory_order_acquire)) {
-    // Prioritize immutable compaction work (PosixEnv background thread
-    // only; in sim mode flushes and compactions are serialized inline).
-    if (!simulated() && has_imm_.load(std::memory_order_relaxed)) {
+    // Prioritize immutable compaction work (shared-lane PosixEnv only;
+    // with a dedicated flush lane the high-priority lane handles imm_,
+    // and in sim mode flushes and compactions are serialized inline).
+    if (may_flush_imm && !simulated() &&
+        has_imm_.load(std::memory_order_relaxed)) {
       mutex_.lock();
-      if (imm_ != nullptr) {
+      if (imm_ != nullptr && !imm_flush_active_) {
+        imm_flush_active_ = true;
         CompactMemTable();
+        imm_flush_active_ = false;
         // Wake up MakeRoomForWrite() if necessary.
         background_work_finished_signal_.notify_all();
       }
       mutex_.unlock();
+    } else if (!may_flush_imm && !simulated() &&
+               has_imm_.load(std::memory_order_relaxed)) {
+      // Dedicated-lane mode: the flush lane owns imm_, but on machines
+      // with fewer cores than background threads a merge loop here
+      // would starve it of CPU — and writers stall on exactly that
+      // flush.  Back off until the lane drains imm_; a flush lasts a
+      // few ms, so compaction loses little and write tail latency wins.
+      env_->SleepForMicroseconds(200);
     }
 
     Slice key = input->key();
+    if (sub->has_end &&
+        user_comparator()->Compare(ExtractUserKey(key), sub->end) > 0) {
+      break;  // past this shard's upper bound; the next shard owns it
+    }
+
     // ShouldStopBefore is evaluated for every key so the grandparent-
     // overlap state keeps advancing; cuts apply only to non-empty
     // outputs and never split a user key's version run across tables.
-    const bool boundary_cut = c->ShouldStopBefore(key);
-    if (compact->writer->current_table_entries() > 0 &&
-        (boundary_cut || compact->writer->CurrentTableFull()) &&
-        compact->writer->SafeToCutBefore(key)) {
-      status = compact->writer->FinishTable();
+    const bool boundary_cut = c->ShouldStopBefore(key, &sub->iter_state);
+    if (sub->writer->current_table_entries() > 0 &&
+        (boundary_cut || sub->writer->CurrentTableFull()) &&
+        sub->writer->SafeToCutBefore(key)) {
+      status = sub->writer->FinishTable();
       if (!status.ok()) {
         break;
       }
@@ -1012,7 +1334,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
         drop = true;  // (A)
       } else if (ikey.type == kTypeDeletion &&
                  ikey.sequence <= compact->smallest_snapshot &&
-                 c->IsBaseLevelForKey(ikey.user_key)) {
+                 c->IsBaseLevelForKey(ikey.user_key, &sub->iter_state)) {
         // For this user key:
         // (1) there is no data in higher levels
         // (2) data in lower levels will have larger sequence numbers
@@ -1027,13 +1349,13 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     }
 
     if (!drop) {
-      status = compact->writer->Add(key, input->value());
+      status = sub->writer->Add(key, input->value());
       if (!status.ok()) {
         break;
       }
     }
 
-    compact->entries_processed++;
+    sub->entries_processed++;
     if (simulated() && compaction_cpu_ns > 0) {
       sim_->AdvanceCpu(compaction_cpu_ns);
     }
@@ -1045,44 +1367,44 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     status = Status::IOError("Deleting DB during compaction");
   }
   if (status.ok()) {
-    status = compact->writer->Finish();
+    status = sub->writer->Finish();
   } else {
-    compact->writer->Abandon();
+    sub->writer->Abandon();
   }
   if (status.ok()) {
     status = input->status();
   }
   delete input;
-  input = nullptr;
+  sub->input = nullptr;
 
-  mutex_.lock();
-
-  if (status.ok()) {
-    status = InstallCompactionResults(compact);
-  }
-  if (!status.ok()) {
-    RecordBackgroundError(status);
-  }
-  return status;
+  sub->status = status;
 }
 
 Status DBImpl::InstallCompactionResults(CompactionState* compact) {
   // REQUIRES: mutex_ held.
   Compaction* c = compact->compaction;
 
+  uint64_t files_created = 0;
+  for (const auto& sub : compact->subs) {
+    files_created += sub.writer->file_numbers().size();
+  }
   metrics_->Add(obs::kCompactions);
   metrics_->Add(obs::kCompactionBytesRead,
                 c->NumInputBytes(0) + c->NumInputBytes(1));
-  metrics_->Add(obs::kCompactionBytesWritten, compact->writer->bytes_written());
-  metrics_->Add(obs::kCompactionOutputTables, compact->writer->outputs().size());
-  metrics_->Add(obs::kCompactionFilesCreated,
-                compact->writer->file_numbers().size());
+  metrics_->Add(obs::kCompactionBytesWritten, compact->total_bytes_written());
+  metrics_->Add(obs::kCompactionOutputTables, compact->total_tables_written());
+  metrics_->Add(obs::kCompactionFilesCreated, files_created);
 
-  // Add compaction outputs
+  // Add compaction outputs.  Shards are in key order, so appending their
+  // outputs in order keeps the new level+1 run sorted.  All shards merge
+  // into this single edit: one atomic MANIFEST commit for the whole
+  // group, exactly as in the serial path.
   c->AddInputDeletions(c->edit());
   const int level = c->level();
-  for (const TableMeta& meta : compact->writer->outputs()) {
-    c->edit()->AddTable(level + 1, meta);
+  for (const auto& sub : compact->subs) {
+    for (const TableMeta& meta : sub.writer->outputs()) {
+      c->edit()->AddTable(level + 1, meta);
+    }
   }
 
   // Settled promotions (+STL): move zero-overlap victims by metadata
@@ -1196,7 +1518,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   obs::PerfContext* pc = obs::GetPerfContext();
   const uint64_t wstart = timed ? env_->NowNanos() : 0;
 
-  Writer w(&mutex_);
+  Writer w;
   w.batch = updates;
   w.sync = options.sync;
   w.done = false;
@@ -1803,7 +2125,8 @@ void DBImpl::WaitForBackgroundWork() {
     MaybeScheduleCompaction();
     return;
   }
-  while ((background_compaction_scheduled_ || imm_ != nullptr) &&
+  while ((bg_flush_scheduled_ || bg_compactions_scheduled_ > 0 ||
+          imm_ != nullptr) &&
          bg_error_.ok()) {
     background_work_finished_signal_.wait(mutex_);
   }
@@ -1823,6 +2146,8 @@ DbStats DBImpl::GetStats() {
   s.settled_promotions = metrics_->Get(obs::kSettledPromotions);
   s.pure_settled_compactions = metrics_->Get(obs::kPureSettledCompactions);
   s.seek_compactions = metrics_->Get(obs::kSeekCompactions);
+  s.subcompactions = metrics_->Get(obs::kSubcompactions);
+  s.parallel_compactions = metrics_->Get(obs::kParallelCompactions);
   s.compaction_bytes_read = metrics_->Get(obs::kCompactionBytesRead);
   s.compaction_bytes_written = metrics_->Get(obs::kCompactionBytesWritten);
   s.compaction_output_tables = metrics_->Get(obs::kCompactionOutputTables);
@@ -1846,7 +2171,8 @@ Status DBImpl::Resume() {
   }
   // Drain any background job that was already running when the error
   // latched (it will see bg_error_ and bail without side effects).
-  while (!simulated() && background_compaction_scheduled_) {
+  while (!simulated() &&
+         (bg_flush_scheduled_ || bg_compactions_scheduled_ > 0)) {
     background_work_finished_signal_.wait(mutex_);
   }
 

@@ -2,13 +2,19 @@
 // evaluates; Options decide which one it behaves as (src/engines).
 //
 // Scheduling has two modes:
-//  * PosixEnv: LevelDB-style — a writer queue with group commit and one
-//    real background thread for flushes/compactions.
+//  * PosixEnv: a writer queue with group commit, plus a two-lane
+//    background pool.  With max_background_jobs == 1 this degenerates to
+//    the classic LevelDB scheduler (one thread does both flushes and
+//    compactions).  With more jobs, flushes get a dedicated
+//    high-priority lane and up to max_background_jobs - 1 compactions
+//    run concurrently whenever their input tables are disjoint, tracked
+//    by the compacting_tables_ registry (DESIGN.md §9).
 //  * SimEnv: single real thread, two virtual timelines.  Background work
 //    runs inline but is *charged* to the background lane; the write
 //    governors (§2.3) stall the foreground lane against flush/compaction
 //    completion times, so write stalls emerge from the barrier costs
-//    rather than being scripted.
+//    rather than being scripted.  Parallelism knobs clamp to 1; the
+//    bg_parallelism option models multi-threaded compaction speedups.
 #pragma once
 
 #include <atomic>
@@ -27,6 +33,7 @@
 
 namespace bolt {
 
+class Compaction;
 class MemTable;
 class SimContext;
 class TableCache;
@@ -87,6 +94,7 @@ class DBImpl : public DB {
  private:
   friend class DB;
   struct CompactionState;
+  struct SubcompactionState;
   struct Writer;
 
   Iterator* NewInternalIterator(const ReadOptions&,
@@ -119,11 +127,25 @@ class DBImpl : public DB {
   void RecordBackgroundError(const Status& s);
 
   void MaybeScheduleCompaction();
+  // Schedule a flush of imm_ (high-priority lane when dedicated).
+  // REQUIRES: mutex_ held.
+  void MaybeScheduleFlush();
   static void BGWork(void* db);
+  static void BGFlushWork(void* db);
   void BackgroundCall();
+  void BackgroundFlushCall();
   void BackgroundCompaction();
+  // True iff any input/promoted table of c is part of an in-flight
+  // compaction.  REQUIRES: mutex_ held.
+  bool CompactionConflictsWithInFlight(const Compaction* c) const;
+  void RegisterCompactionInputs(const Compaction* c);
+  void UnregisterCompactionInputs(const Compaction* c);
   void CleanupCompaction(CompactionState* compact);
   Status DoCompactionWork(CompactionState* compact);
+  // Stream one key-range shard of a compaction into its own output
+  // writer.  REQUIRES: mutex_ NOT held.
+  void RunSubcompaction(CompactionState* compact, SubcompactionState* sub,
+                        bool may_flush_imm);
   Status InstallCompactionResults(CompactionState* compact);
 
   const Comparator* user_comparator() const {
@@ -200,8 +222,30 @@ class DBImpl : public DB {
   // are reclaimed only when their whole compaction file is unlinked.
   bool punch_hole_unsupported_ = false;
 
-  // Has a background compaction been scheduled or is running?
-  bool background_compaction_scheduled_;
+  // Is a flush job queued on the flush lane or running?
+  bool bg_flush_scheduled_;
+  // Is some thread currently inside CompactMemTable (which releases
+  // mutex_ mid-build)?  PosixEnv lane widths are a process-wide
+  // high-water mark shared by every open DB, so even a
+  // max_background_jobs == 1 DB can see its flush job and a shared-lane
+  // inline flush run on different threads; this flag is the per-DB
+  // mutual exclusion.
+  bool imm_flush_active_;
+  // Number of compaction jobs queued on the compaction lane or running.
+  int bg_compactions_scheduled_;
+  // Table ids (inputs + promoted) of compactions currently running with
+  // mutex_ released; new picks touching any of these are deferred.
+  std::set<uint64_t> compacting_tables_;
+  // Number of merge compactions currently mid-flight (mutex_ released).
+  int merge_compactions_in_flight_;
+  // Guards RemoveObsoleteFiles, which releases mutex_ for I/O: a second
+  // background thread entering concurrently would double-delete.
+  bool removing_obsolete_files_;
+  // True when flushes run on a dedicated high-priority lane
+  // (max_background_jobs > 1 on a real Env).
+  bool flush_lane_dedicated_;
+  // Max concurrent compaction jobs on the low-priority lane.
+  int max_compaction_jobs_;
 
   // Information for a manual compaction
   struct ManualCompaction {

@@ -20,6 +20,8 @@ struct DbStats {
   uint64_t settled_promotions = 0;     // tables promoted by +STL (no rewrite)
   uint64_t pure_settled_compactions = 0;  // compactions with zero I/O
   uint64_t seek_compactions = 0;
+  uint64_t subcompactions = 0;         // key-range shards run by sharded jobs
+  uint64_t parallel_compactions = 0;   // jobs started with another in flight
 
   // ---- Compaction I/O ----
   uint64_t compaction_bytes_read = 0;

@@ -110,6 +110,20 @@ struct Options {
   // ---- Victim picking ----------------------------------------------------------
   VictimPolicy victim_policy = VictimPolicy::kRoundRobin;
 
+  // ---- Background parallelism (PosixEnv; clamps to 1 on SimEnv) ----------------
+  // Total background threads.  1 keeps the classic LevelDB scheduler
+  // (flushes and compactions share one thread).  With >= 2, one thread
+  // becomes a dedicated high-priority flush lane and the remaining
+  // max_background_jobs - 1 run compactions, concurrently whenever their
+  // input tables are disjoint (DESIGN.md §9).
+  int max_background_jobs = 2;
+  // Shard one large compaction into up to this many key-range
+  // subcompactions, each streaming into its own compaction file; the
+  // shards' data barriers are issued concurrently, so the wall-clock
+  // barrier cost of a group compaction approaches one fsync instead of
+  // N.  All shard edits still commit through a single MANIFEST append.
+  int max_subcompactions = 1;
+
   // ---- Observability (src/obs/) -------------------------------------------------
   // Metrics registry every layer (DB, caches, WAL, env) charges into.
   // If null, the DB creates and owns one when opening; pass your own to

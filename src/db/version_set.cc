@@ -992,6 +992,7 @@ void VersionSet::Finalize(Version* v) {
   // Precomputed best level for next compaction
   int best_level = -1;
   double best_score = -1;
+  v->compaction_candidates_.clear();
 
   for (int level = 0; level < options_->num_levels - 1; level++) {
     double score;
@@ -1020,8 +1021,14 @@ void VersionSet::Finalize(Version* v) {
       best_level = level;
       best_score = score;
     }
+    if (score >= 1) {
+      v->compaction_candidates_.emplace_back(score, level);
+    }
   }
 
+  std::sort(v->compaction_candidates_.begin(), v->compaction_candidates_.end(),
+            [](const std::pair<double, int>& a,
+               const std::pair<double, int>& b) { return a.first > b.first; });
   v->compaction_level_ = best_level;
   v->compaction_score_ = best_score;
 }
@@ -1179,10 +1186,16 @@ int64_t OverlapBytes(const InternalKeyComparator& icmp, const TableMeta* f,
 }  // namespace
 
 void VersionSet::PickVictims(Version* v, int level,
+                             const std::set<uint64_t>* exclude_tables,
                              std::vector<TableMeta*>* victims) {
   victims->clear();
   const std::vector<TableMeta*>& files = v->files_[level];
   if (files.empty()) return;
+  const bool excluding =
+      exclude_tables != nullptr && !exclude_tables->empty();
+  auto is_excluded = [&](const TableMeta* f) {
+    return excluding && exclude_tables->count(f->table_id) != 0;
+  };
 
   // The victim budget: group compaction (+GC) moves about
   // group_compaction_bytes per compaction; otherwise one table.  FLSM
@@ -1208,7 +1221,26 @@ void VersionSet::PickVictims(Version* v, int level,
                 return a.second->table_id < b.second->table_id;
               });
     uint64_t total = 0;
+    std::vector<TableMeta*> scratch;
     for (const auto& [overlap, f] : ranked) {
+      if (is_excluded(f)) continue;
+      // This picker has no cursor — it would re-pick the in-flight
+      // job's victims forever — so a victim whose next-level overlap is
+      // already being compacted must be skipped here, not merely
+      // rejected later.
+      if (excluding && overlap > 0) {
+        scratch.clear();
+        v->GetOverlappingInputs(level + 1, &f->smallest, &f->largest,
+                                &scratch);
+        bool conflict = false;
+        for (TableMeta* g : scratch) {
+          if (is_excluded(g)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) continue;
+      }
       victims->push_back(f);
       total += f->size;
       if (total >= std::max<uint64_t>(budget, 1)) break;
@@ -1231,6 +1263,7 @@ void VersionSet::PickVictims(Version* v, int level,
     size_t best = 0;
     double best_ratio = -1;
     for (size_t i = 0; i < files.size(); i++) {
+      if (is_excluded(files[i])) continue;
       const double ratio =
           static_cast<double>(
               OverlapBytes(icmp_, files[i], v->files_[level + 1])) /
@@ -1240,8 +1273,10 @@ void VersionSet::PickVictims(Version* v, int level,
         best = i;
       }
     }
+    if (best_ratio < 0) return;  // every table is in flight
     uint64_t total = 0;
     for (size_t i = best; i < files.size(); i++) {
+      if (is_excluded(files[i])) break;  // keep the run contiguous
       victims->push_back(files[i]);
       total += files[i]->size;
       if (budget == 0 || total >= budget) break;
@@ -1266,8 +1301,12 @@ void VersionSet::PickVictims(Version* v, int level,
     }
     if (!found) start = 0;  // wrap to the beginning of the level
   }
+  // Skip past in-flight tables (the cursor may still point into a range
+  // another job is compacting), then take a contiguous run.
+  while (start < files.size() && is_excluded(files[start])) start++;
   uint64_t total = 0;
   for (size_t i = start; i < files.size(); i++) {
+    if (is_excluded(files[i])) break;  // keep the run contiguous
     victims->push_back(files[i]);
     total += files[i]->size;
     if (budget == 0 || total >= budget) break;
@@ -1275,30 +1314,35 @@ void VersionSet::PickVictims(Version* v, int level,
   }
 }
 
-Compaction* VersionSet::PickCompaction() {
-  Compaction* c;
-  int level;
+namespace {
 
-  // We prefer compactions triggered by too much data in a level over
-  // the compactions triggered by seeks.
-  const bool size_compaction = (current_->compaction_score_ >= 1);
-  const bool seek_compaction =
-      (current_->file_to_compact_ != nullptr) && options_->seek_compaction;
-  if (size_compaction) {
-    level = current_->compaction_level_;
-    assert(level >= 0);
-    assert(level + 1 < options_->num_levels);
-    c = new Compaction(options_, level);
-    PickVictims(current_, level, &c->inputs_[0]);
-    if (c->inputs_[0].empty()) {
-      delete c;
-      return nullptr;
+// Does the fully-set-up compaction touch any excluded table id?
+bool CompactionTouches(const Compaction* c,
+                       const std::set<uint64_t>* exclude_tables) {
+  if (exclude_tables == nullptr || exclude_tables->empty()) return false;
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < c->num_input_files(which); i++) {
+      if (exclude_tables->count(c->input(which, i)->table_id) != 0) {
+        return true;
+      }
     }
-  } else if (seek_compaction) {
-    level = current_->file_to_compact_level_;
-    c = new Compaction(options_, level);
-    c->inputs_[0].push_back(current_->file_to_compact_);
-  } else {
+  }
+  for (const TableMeta* f : c->promoted()) {
+    if (exclude_tables->count(f->table_id) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Compaction* VersionSet::PickCompactionAtLevel(
+    int level, const std::set<uint64_t>* exclude_tables) {
+  assert(level >= 0);
+  assert(level + 1 < options_->num_levels);
+  Compaction* c = new Compaction(options_, level);
+  PickVictims(current_, level, exclude_tables, &c->inputs_[0]);
+  if (c->inputs_[0].empty()) {
+    delete c;
     return nullptr;
   }
 
@@ -1320,7 +1364,59 @@ Compaction* VersionSet::PickCompaction() {
 
   SetupOtherInputs(c);
 
+  if (CompactionTouches(c, exclude_tables)) {
+    // The discarded pick still advanced compact_pointer_[level], so the
+    // next attempt at this level rotates to a different key range — the
+    // cursor is how repeated picks eventually find disjoint work.
+    delete c;
+    return nullptr;
+  }
   return c;
+}
+
+Compaction* VersionSet::PickCompaction(
+    const std::set<uint64_t>* exclude_tables) {
+  const bool excluding =
+      exclude_tables != nullptr && !exclude_tables->empty();
+
+  // We prefer compactions triggered by too much data in a level over
+  // the compactions triggered by seeks.
+  if (current_->compaction_score_ >= 1) {
+    if (!excluding) {
+      return PickCompactionAtLevel(current_->compaction_level_, nullptr);
+    }
+    // Walk every deserving level, best score first: if the top-scoring
+    // level's pick overlaps an in-flight compaction, a lower-scoring
+    // level may still have disjoint work.
+    for (const auto& candidate : current_->compaction_candidates_) {
+      Compaction* c = PickCompactionAtLevel(candidate.second, exclude_tables);
+      if (c != nullptr) return c;
+    }
+    return nullptr;  // every deserving level conflicts right now
+  }
+
+  if (current_->file_to_compact_ != nullptr && options_->seek_compaction) {
+    const int level = current_->file_to_compact_level_;
+    Compaction* c = new Compaction(options_, level);
+    c->inputs_[0].push_back(current_->file_to_compact_);
+    c->input_version_ = current_;
+    c->input_version_->Ref();
+    if (current_->LevelMayOverlap(level)) {
+      InternalKey smallest, largest;
+      GetRange(c->inputs_[0], &smallest, &largest);
+      current_->GetOverlappingInputs(level, &smallest, &largest,
+                                     &c->inputs_[0]);
+      assert(!c->inputs_[0].empty());
+    }
+    SetupOtherInputs(c);
+    if (CompactionTouches(c, exclude_tables)) {
+      delete c;
+      return nullptr;
+    }
+    return c;
+  }
+
+  return nullptr;
 }
 
 void VersionSet::SetupOtherInputs(Compaction* c) {
@@ -1454,11 +1550,15 @@ Compaction::Compaction(const Options* options, int level)
     : level_(level),
       max_output_table_bytes_(TargetTableSize(options)),
       flsm_(options->flsm_mode),
-      input_version_(nullptr),
-      grandparent_index_(0),
-      seen_key_(false),
-      overlapped_bytes_(0),
-      level_ptrs_(options->num_levels, 0) {}
+      input_version_(nullptr) {
+  default_iter_state_.level_ptrs.assign(options->num_levels, 0);
+}
+
+Compaction::IterState Compaction::NewIterState() const {
+  IterState state;
+  state.level_ptrs.assign(default_iter_state_.level_ptrs.size(), 0);
+  return state;
+}
 
 Compaction::~Compaction() {
   if (input_version_ != nullptr) {
@@ -1486,7 +1586,7 @@ void Compaction::AddInputDeletions(VersionEdit* edit) {
   }
 }
 
-bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
+bool Compaction::IsBaseLevelForKey(const Slice& user_key, IterState* state) {
   if (flsm_) {
     // Overlapping levels make the sorted-walk below invalid; be
     // conservative (keep deletion markers).
@@ -1497,8 +1597,8 @@ bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
       input_version_->vset_->icmp_.user_comparator();
   const auto& files = input_version_->files_;
   for (int lvl = level_ + 2; lvl < static_cast<int>(files.size()); lvl++) {
-    while (level_ptrs_[lvl] < files[lvl].size()) {
-      TableMeta* f = files[lvl][level_ptrs_[lvl]];
+    while (state->level_ptrs[lvl] < files[lvl].size()) {
+      TableMeta* f = files[lvl][state->level_ptrs[lvl]];
       if (user_cmp->Compare(user_key, f->largest.user_key()) <= 0) {
         // We've advanced far enough
         if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0) {
@@ -1507,45 +1607,46 @@ bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
         }
         break;
       }
-      level_ptrs_[lvl]++;
+      state->level_ptrs[lvl]++;
     }
   }
   return true;
 }
 
-bool Compaction::ShouldStopBefore(const Slice& internal_key) {
+bool Compaction::ShouldStopBefore(const Slice& internal_key,
+                                  IterState* state) {
   const VersionSet* vset = input_version_->vset_;
   const InternalKeyComparator* icmp = &vset->icmp_;
 
   // Settled-compaction boundary: never let an output span a promoted
   // table's range.
   bool crossed_boundary = false;
-  while (stop_key_index_ < stop_keys_.size() &&
+  while (state->stop_key_index < stop_keys_.size() &&
          icmp->Compare(internal_key,
-                       stop_keys_[stop_key_index_].Encode()) >= 0) {
-    stop_key_index_++;
+                       stop_keys_[state->stop_key_index].Encode()) >= 0) {
+    state->stop_key_index++;
     crossed_boundary = true;
   }
-  if (crossed_boundary && seen_key_) {
-    overlapped_bytes_ = 0;
+  if (crossed_boundary && state->seen_key) {
+    state->overlapped_bytes = 0;
     return true;
   }
 
   // Scan to find the earliest grandparent file that contains key.
-  while (grandparent_index_ < grandparents_.size() &&
-         icmp->Compare(internal_key,
-                       grandparents_[grandparent_index_]->largest.Encode()) >
-             0) {
-    if (seen_key_) {
-      overlapped_bytes_ += grandparents_[grandparent_index_]->size;
+  while (state->grandparent_index < grandparents_.size() &&
+         icmp->Compare(
+             internal_key,
+             grandparents_[state->grandparent_index]->largest.Encode()) > 0) {
+    if (state->seen_key) {
+      state->overlapped_bytes += grandparents_[state->grandparent_index]->size;
     }
-    grandparent_index_++;
+    state->grandparent_index++;
   }
-  seen_key_ = true;
+  state->seen_key = true;
 
-  if (overlapped_bytes_ > MaxGrandParentOverlapBytes(vset->options_)) {
+  if (state->overlapped_bytes > MaxGrandParentOverlapBytes(vset->options_)) {
     // Too much overlap for current output; start new output
-    overlapped_bytes_ = 0;
+    state->overlapped_bytes = 0;
     return true;
   }
   return false;

@@ -139,6 +139,10 @@ class Version {
   // Score < 1 means compaction is not strictly needed.
   double compaction_score_;
   int compaction_level_;
+  // Every level whose score >= 1, best first.  PickCompaction walks
+  // this when given an exclusion set, so a second background job can
+  // compact a lower-scoring level while the best one is in flight.
+  std::vector<std::pair<double, int>> compaction_candidates_;
 };
 
 class VersionSet {
@@ -193,8 +197,11 @@ class VersionSet {
 
   // Pick level and inputs for a new compaction.  Returns nullptr if
   // there is no compaction to be done; otherwise a heap-allocated
-  // Compaction describing it.
-  Compaction* PickCompaction();
+  // Compaction describing it.  When exclude_tables is non-empty, any
+  // candidate touching one of those table ids (an in-flight
+  // compaction's inputs) is skipped and the next deserving level is
+  // tried, so disjoint compactions can run concurrently.
+  Compaction* PickCompaction(const std::set<uint64_t>* exclude_tables = nullptr);
 
   // Compaction for the whole range [begin, end] in the given level
   // (manual compaction / CompactRange).
@@ -249,9 +256,20 @@ class VersionSet {
 
   void SetupOtherInputs(Compaction* c);
 
+  // Build a size-triggered compaction at the given level, or nullptr if
+  // the level is empty or the result touches exclude_tables.
+  Compaction* PickCompactionAtLevel(int level,
+                                    const std::set<uint64_t>* exclude_tables);
+
   // Pick the victim tables in "level" (the paper's group / settled /
   // min-overlap policies live here).
-  void PickVictims(Version* v, int level, std::vector<TableMeta*>* victims);
+  // Choose the level-N victim tables for a size-triggered compaction.
+  // Tables in exclude_tables (or, for the settled policy, victims whose
+  // next-level overlaps touch it) are skipped so a concurrent pick
+  // lands on work disjoint from in-flight compactions.
+  void PickVictims(Version* v, int level,
+                   const std::set<uint64_t>* exclude_tables,
+                   std::vector<TableMeta*>* victims);
 
   // Save current contents to *log.
   Status WriteSnapshot(log::Writer* log);
@@ -317,16 +335,39 @@ class Compaction {
   // delete operations to *edit.
   void AddInputDeletions(VersionEdit* edit);
 
+  // Per-consumer iteration state for the key-walk queries below.  The
+  // cursors only ever advance, so they cannot be shared between
+  // consumers walking different key ranges: each subcompaction shard
+  // owns one IterState while the legacy single-threaded path uses the
+  // compaction's built-in default state.
+  struct IterState {
+    std::vector<size_t> level_ptrs;  // per-level sorted-walk cursors
+    size_t grandparent_index = 0;
+    bool seen_key = false;
+    int64_t overlapped_bytes = 0;
+    size_t stop_key_index = 0;
+  };
+  // A fresh state positioned before the compaction's key range.
+  IterState NewIterState() const;
+
   // Returns true if the information we have available guarantees that
   // the compaction is producing data in "level+1" for which no data
   // exists in levels greater than "level+1".
-  bool IsBaseLevelForKey(const Slice& user_key);
+  // REQUIRES: successive user_keys per state are non-decreasing.
+  bool IsBaseLevelForKey(const Slice& user_key, IterState* state);
+  bool IsBaseLevelForKey(const Slice& user_key) {
+    return IsBaseLevelForKey(user_key, &default_iter_state_);
+  }
 
   // Returns true iff we should stop building the current output table
   // before processing "internal_key": at grandparent-overlap boundaries
   // (LevelDB) and at promoted-victim boundaries (so settled tables never
   // end up overlapped by a merge output).
-  bool ShouldStopBefore(const Slice& internal_key);
+  // REQUIRES: successive internal_keys per state are non-decreasing.
+  bool ShouldStopBefore(const Slice& internal_key, IterState* state);
+  bool ShouldStopBefore(const Slice& internal_key) {
+    return ShouldStopBefore(internal_key, &default_iter_state_);
+  }
 
   // Release the input version for the compaction, once the compaction
   // is successful.
@@ -351,23 +392,20 @@ class Compaction {
   std::vector<TableMeta*> inputs_[2];
   std::vector<TableMeta*> promoted_;
 
-  // State used to check for number of overlapping grandparent files
+  // Tables used to check for overlapping grandparent files
   // (parent == level_ + 1, grandparent == level_ + 2)
   std::vector<TableMeta*> grandparents_;
-  size_t grandparent_index_;  // Index in grandparent_starts_
-  bool seen_key_;             // Some output key has been seen
-  int64_t overlapped_bytes_;  // Bytes of overlap between current output
-                              // and grandparent files
 
   // Sorted list of promoted-victim boundary keys (smallest keys of
   // promoted tables); outputs are cut before each of them.
   std::vector<InternalKey> stop_keys_;
-  size_t stop_key_index_ = 0;
 
-  // level_ptrs_ holds indices into input_version_->files_: our state
-  // is that we are positioned at one of the table ranges for each
-  // higher level than the ones involved in this compaction.
-  std::vector<size_t> level_ptrs_;
+  // Iteration cursors for the non-sharded compaction path; shards each
+  // carry their own IterState (see NewIterState).  level_ptrs holds
+  // indices into input_version_->files_: the state is that we are
+  // positioned at one of the table ranges for each higher level than
+  // the ones involved in this compaction.
+  IterState default_iter_state_;
 };
 
 }  // namespace bolt

@@ -93,11 +93,33 @@ class Env {
   virtual Status Truncate(const std::string& fname, uint64_t size);
 
   // ---- Scheduling ---------------------------------------------------------
-  // Arrange to run function(arg) once in a background thread.  SimEnv has
-  // no real background threads: the DB detects sim() != nullptr and runs
-  // background work inline on a virtual background lane instead.
-  virtual void Schedule(void (*function)(void*), void* arg) = 0;
+  // Background lanes.  kHigh is the dedicated flush lane: a memtable
+  // flush scheduled there never queues behind a long group compaction
+  // sitting in the kLow queue (see DESIGN.md §9).
+  enum class Priority { kLow = 0, kHigh = 1 };
+  static constexpr int kNumPriorities = 2;
+
+  // Arrange to run function(arg) once in a background thread of the
+  // given lane.  SimEnv has no real background threads: the DB detects
+  // sim() != nullptr and runs background work inline on a virtual
+  // background lane instead.
+  virtual void Schedule(void (*function)(void*), void* arg,
+                        Priority pri = Priority::kLow) = 0;
   virtual void StartThread(void (*function)(void*), void* arg) = 0;
+
+  // Ensure the lane has at least n worker threads (grow-only; the env
+  // is process-wide and may serve several DBs).  Default: single-thread
+  // envs ignore the hint.
+  virtual void SetBackgroundThreads(int n, Priority pri) {
+    (void)n;
+    (void)pri;
+  }
+
+  // Jobs currently queued (not yet running) on the lane.
+  virtual int GetBackgroundQueueDepth(Priority pri) const {
+    (void)pri;
+    return 0;
+  }
 
   // ---- Time ---------------------------------------------------------------
   // Monotonic nanoseconds: real time for PosixEnv, the calling lane's
@@ -158,6 +180,83 @@ class WritableFile {
   virtual Status Close() = 0;
   virtual Status Flush() = 0;
   virtual Status Sync() = 0;
+};
+
+// Forwards every call to a wrapped target Env so subclasses override
+// only the operations they care about (LevelDB's EnvWrapper idiom).
+// Does not take ownership of the target, which must outlive the wrapper.
+class EnvWrapper : public Env {
+ public:
+  explicit EnvWrapper(Env* target) : target_(target) {}
+  Env* target() const { return target_; }
+
+  Status NewSequentialFile(const std::string& f,
+                           std::unique_ptr<SequentialFile>* r) override {
+    return target_->NewSequentialFile(f, r);
+  }
+  Status NewRandomAccessFile(const std::string& f,
+                             std::unique_ptr<RandomAccessFile>* r) override {
+    return target_->NewRandomAccessFile(f, r);
+  }
+  Status NewWritableFile(const std::string& f,
+                         std::unique_ptr<WritableFile>* r) override {
+    return target_->NewWritableFile(f, r);
+  }
+  Status NewAppendableFile(const std::string& f,
+                           std::unique_ptr<WritableFile>* r) override {
+    return target_->NewAppendableFile(f, r);
+  }
+  bool FileExists(const std::string& f) override {
+    return target_->FileExists(f);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* r) override {
+    return target_->GetChildren(dir, r);
+  }
+  Status RemoveFile(const std::string& f) override {
+    return target_->RemoveFile(f);
+  }
+  Status CreateDir(const std::string& d) override {
+    return target_->CreateDir(d);
+  }
+  Status RemoveDir(const std::string& d) override {
+    return target_->RemoveDir(d);
+  }
+  Status GetFileSize(const std::string& f, uint64_t* s) override {
+    return target_->GetFileSize(f, s);
+  }
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    return target_->RenameFile(src, dst);
+  }
+  Status PunchHole(const std::string& f, uint64_t off, uint64_t len) override {
+    return target_->PunchHole(f, off, len);
+  }
+  Status Truncate(const std::string& f, uint64_t size) override {
+    return target_->Truncate(f, size);
+  }
+  void Schedule(void (*function)(void*), void* arg,
+                Priority pri = Priority::kLow) override {
+    target_->Schedule(function, arg, pri);
+  }
+  void StartThread(void (*function)(void*), void* arg) override {
+    target_->StartThread(function, arg);
+  }
+  void SetBackgroundThreads(int n, Priority pri) override {
+    target_->SetBackgroundThreads(n, pri);
+  }
+  int GetBackgroundQueueDepth(Priority pri) const override {
+    return target_->GetBackgroundQueueDepth(pri);
+  }
+  uint64_t NowNanos() override { return target_->NowNanos(); }
+  void SleepForMicroseconds(int micros) override {
+    target_->SleepForMicroseconds(micros);
+  }
+  IoStats GetIoStats() const override { return target_->GetIoStats(); }
+  void ResetIoStats() override { target_->ResetIoStats(); }
+  SimContext* sim() override { return target_->sim(); }
+
+ private:
+  Env* const target_;
 };
 
 // Minimal info logger.

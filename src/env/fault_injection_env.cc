@@ -353,8 +353,17 @@ Status FaultInjectionEnv::PunchHole(const std::string& fname, uint64_t offset,
   return target_->PunchHole(fname, offset, length);
 }
 
-void FaultInjectionEnv::Schedule(void (*function)(void*), void* arg) {
-  target_->Schedule(function, arg);
+void FaultInjectionEnv::Schedule(void (*function)(void*), void* arg,
+                                 Priority pri) {
+  target_->Schedule(function, arg, pri);
+}
+
+void FaultInjectionEnv::SetBackgroundThreads(int n, Priority pri) {
+  target_->SetBackgroundThreads(n, pri);
+}
+
+int FaultInjectionEnv::GetBackgroundQueueDepth(Priority pri) const {
+  return target_->GetBackgroundQueueDepth(pri);
 }
 
 void FaultInjectionEnv::StartThread(void (*function)(void*), void* arg) {

@@ -92,8 +92,11 @@ class FaultInjectionEnv final : public Env {
   Status Truncate(const std::string& fname, uint64_t size) override;
   Status PunchHole(const std::string& fname, uint64_t offset,
                    uint64_t length) override;
-  void Schedule(void (*function)(void*), void* arg) override;
+  void Schedule(void (*function)(void*), void* arg,
+                Priority pri = Priority::kLow) override;
   void StartThread(void (*function)(void*), void* arg) override;
+  void SetBackgroundThreads(int n, Priority pri) override;
+  int GetBackgroundQueueDepth(Priority pri) const override;
   uint64_t NowNanos() override;
   void SleepForMicroseconds(int micros) override;
   IoStats GetIoStats() const override;

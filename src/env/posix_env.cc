@@ -1,7 +1,10 @@
 // PosixEnv: the real-kernel Env.  Files are regular files, Sync() maps to
 // fdatasync(), PunchHole() maps to fallocate(FALLOC_FL_PUNCH_HOLE), and
-// Schedule() runs on a dedicated background thread (LevelDB runs exactly
-// one compaction thread; so do we).
+// Schedule() runs on a fixed-size background thread pool with two lanes:
+// a high-priority lane reserved for memtable flushes and a low-priority
+// lane for compactions, so a flush never queues behind a long group
+// compaction.  Lane sizes are grow-only (SetBackgroundThreads), sized by
+// the opening DB from Options::max_background_jobs.
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -219,13 +222,19 @@ class PosixEnvImpl final : public Env {
 
   ~PosixEnvImpl() override {
     // The process-wide env is never destroyed in practice; if it is,
-    // stop the background thread cleanly.
+    // stop the background threads cleanly.
     {
       std::lock_guard<std::mutex> l(bg_mutex_);
       bg_shutdown_ = true;
     }
-    bg_cv_.notify_all();
-    if (bg_thread_.joinable()) bg_thread_.join();
+    for (Lane& lane : lanes_) {
+      lane.cv.notify_all();
+    }
+    for (Lane& lane : lanes_) {
+      for (std::thread& t : lane.threads) {
+        if (t.joinable()) t.join();
+      }
+    }
   }
 
   Status NewSequentialFile(const std::string& fname,
@@ -376,19 +385,34 @@ class PosixEnvImpl final : public Env {
 #endif
   }
 
-  void Schedule(void (*function)(void*), void* arg) override {
+  void Schedule(void (*function)(void*), void* arg,
+                Priority pri = Priority::kLow) override {
+    Lane& lane = lanes_[LaneIndex(pri)];
     std::lock_guard<std::mutex> l(bg_mutex_);
-    if (!bg_started_) {
-      bg_started_ = true;
-      bg_thread_ = std::thread([this]() { BackgroundThreadMain(); });
+    if (lane.threads.empty()) {
+      StartLaneThreadLocked(lane);  // lazy default of one thread per lane
     }
-    bg_queue_.push_back({function, arg});
-    bg_cv_.notify_one();
+    lane.queue.push_back({function, arg, NowNanos()});
+    RecordQueueDepthLocked(pri, lane);
+    lane.cv.notify_one();
   }
 
   void StartThread(void (*function)(void*), void* arg) override {
     std::thread t([function, arg]() { function(arg); });
     t.detach();
+  }
+
+  void SetBackgroundThreads(int n, Priority pri) override {
+    Lane& lane = lanes_[LaneIndex(pri)];
+    std::lock_guard<std::mutex> l(bg_mutex_);
+    while (static_cast<int>(lane.threads.size()) < n) {
+      StartLaneThreadLocked(lane);
+    }
+  }
+
+  int GetBackgroundQueueDepth(Priority pri) const override {
+    std::lock_guard<std::mutex> l(bg_mutex_);
+    return static_cast<int>(lanes_[LaneIndex(pri)].queue.size());
   }
 
   uint64_t NowNanos() override {
@@ -408,17 +432,54 @@ class PosixEnvImpl final : public Env {
   struct BackgroundWork {
     void (*function)(void*);
     void* arg;
+    uint64_t enqueued_ns;
   };
 
-  void BackgroundThreadMain() {
+  struct Lane {
+    std::condition_variable cv;
+    std::deque<BackgroundWork> queue;
+    std::vector<std::thread> threads;
+  };
+
+  static int LaneIndex(Priority pri) {
+    return pri == Priority::kHigh ? 1 : 0;
+  }
+
+  // REQUIRES: bg_mutex_ held.
+  void StartLaneThreadLocked(Lane& lane) {
+    lane.threads.emplace_back([this, &lane]() { LaneThreadMain(&lane); });
+  }
+
+  // REQUIRES: bg_mutex_ held.
+  void RecordQueueDepthLocked(Priority pri, const Lane& lane) {
+    obs::MetricsRegistry* m = metrics();
+    if (m != nullptr) {
+      m->SetGauge(pri == Priority::kHigh ? obs::kBgQueueDepthHigh
+                                         : obs::kBgQueueDepthLow,
+                  lane.queue.size());
+    }
+  }
+
+  void LaneThreadMain(Lane* lane) {
+    const Priority pri =
+        (lane == &lanes_[LaneIndex(Priority::kHigh)]) ? Priority::kHigh
+                                                      : Priority::kLow;
     while (true) {
       BackgroundWork work;
       {
         std::unique_lock<std::mutex> l(bg_mutex_);
-        bg_cv_.wait(l, [this]() { return bg_shutdown_ || !bg_queue_.empty(); });
-        if (bg_shutdown_ && bg_queue_.empty()) return;
-        work = bg_queue_.front();
-        bg_queue_.pop_front();
+        lane->cv.wait(l,
+                      [&]() { return bg_shutdown_ || !lane->queue.empty(); });
+        if (bg_shutdown_ && lane->queue.empty()) return;
+        work = lane->queue.front();
+        lane->queue.pop_front();
+        RecordQueueDepthLocked(pri, *lane);
+      }
+      obs::MetricsRegistry* m = metrics();
+      if (m != nullptr) {
+        m->RecordHist(pri == Priority::kHigh ? obs::kBgLaneWaitHighNs
+                                             : obs::kBgLaneWaitLowNs,
+                      NowNanos() - work.enqueued_ns);
       }
       work.function(work.arg);
     }
@@ -426,11 +487,8 @@ class PosixEnvImpl final : public Env {
 
   AtomicIoStats stats_;
 
-  std::mutex bg_mutex_;
-  std::condition_variable bg_cv_;
-  std::deque<BackgroundWork> bg_queue_;
-  std::thread bg_thread_;
-  bool bg_started_ = false;
+  mutable std::mutex bg_mutex_;
+  Lane lanes_[kNumPriorities];
   bool bg_shutdown_ = false;
 };
 

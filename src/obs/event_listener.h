@@ -41,6 +41,7 @@ struct CompactionJobInfo {
   uint64_t output_tables = 0;    // set on End only
   uint64_t barriers = 0;         // sync barriers issued by this job (End)
   uint64_t settled_promotions = 0;  // victims promoted without rewrite
+  uint64_t subcompactions = 0;   // key-range shards this job ran (End)
   bool trivial_move = false;
   bool pure_settled = false;     // metadata-only compaction (+STL)
   uint64_t duration_ns = 0;      // set on End only

@@ -25,6 +25,8 @@ const char* TickerName(Ticker t) {
     case kSettledPromotions:       return "compaction.settled.promotions";
     case kPureSettledCompactions:  return "compaction.settled.pure";
     case kSeekCompactions:         return "compaction.seek_triggered";
+    case kSubcompactions:          return "compaction.subcompactions";
+    case kParallelCompactions:     return "compaction.parallel";
     case kCompactionBytesRead:     return "compaction.bytes.read";
     case kCompactionBytesWritten:  return "compaction.bytes.written";
     case kCompactionOutputTables:  return "compaction.output.tables";
@@ -48,6 +50,9 @@ const char* TickerName(Ticker t) {
 const char* GaugeName(Gauge g) {
   switch (g) {
     case kReclamationBacklog: return "reclaim.backlog";
+    case kBgQueueDepthHigh:   return "bg.queue_depth.high";
+    case kBgQueueDepthLow:    return "bg.queue_depth.low";
+    case kBgInFlightCompactions: return "bg.in_flight_compactions";
     case kGaugeMax:           break;
   }
   return "unknown";
@@ -62,6 +67,8 @@ const char* HistName(Hist h) {
     case kFlushNs:       return "latency.flush_ns";
     case kCompactionNs:  return "latency.compaction_ns";
     case kStallNs:       return "latency.stall_ns";
+    case kBgLaneWaitHighNs: return "latency.bg_wait.high_ns";
+    case kBgLaneWaitLowNs:  return "latency.bg_wait.low_ns";
     case kHistMax:       break;
   }
   return "unknown";

@@ -57,6 +57,8 @@ enum Ticker : uint32_t {
   kSettledPromotions,
   kPureSettledCompactions,
   kSeekCompactions,
+  kSubcompactions,         // shards executed by sharded compactions
+  kParallelCompactions,    // compactions that started with another in flight
 
   // ---- Compaction I/O ----
   kCompactionBytesRead,
@@ -89,6 +91,9 @@ enum Ticker : uint32_t {
 // Point-in-time values (overwritten, not accumulated).
 enum Gauge : uint32_t {
   kReclamationBacklog = 0,  // zombies currently awaiting a hole punch
+  kBgQueueDepthHigh,        // jobs queued on the flush lane
+  kBgQueueDepthLow,         // jobs queued on the compaction lane
+  kBgInFlightCompactions,   // merge compactions currently running
   kGaugeMax,
 };
 
@@ -101,6 +106,8 @@ enum Hist : uint32_t {
   kFlushNs,             // memtable flush, begin to install
   kCompactionNs,        // merge compaction, begin to install
   kStallNs,             // each individual write stall
+  kBgLaneWaitHighNs,    // flush-lane queue wait, Schedule() to dequeue
+  kBgLaneWaitLowNs,     // compaction-lane queue wait
   kHistMax,
 };
 

@@ -340,9 +340,10 @@ Status SimEnv::PunchHole(const std::string& fname, uint64_t offset,
   return Status::OK();
 }
 
-void SimEnv::Schedule(void (*function)(void*), void* arg) {
+void SimEnv::Schedule(void (*function)(void*), void* arg, Priority pri) {
   // Simulation mode has no background threads: run inline.  The DB
   // switches lanes itself before reaching this point.
+  (void)pri;
   function(arg);
 }
 

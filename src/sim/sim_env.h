@@ -48,9 +48,11 @@ class SimEnv final : public Env {
                    uint64_t length) override;
 
   // SimEnv has no real background threads; the DB runs background work
-  // inline on the background lane.  Schedule() executes immediately (it
-  // is only reached by code paths that do not care about lanes).
-  void Schedule(void (*function)(void*), void* arg) override;
+  // inline on the background lane (parallelism clamps to 1 there, with
+  // Options::bg_parallelism modeling the speedup).  Schedule() executes
+  // immediately, whatever the priority.
+  void Schedule(void (*function)(void*), void* arg,
+                Priority pri = Priority::kLow) override;
   void StartThread(void (*function)(void*), void* arg) override;
 
   uint64_t NowNanos() override;
