@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate a BoLT Chrome trace dump (DB::DumpTrace output).
+
+Usage: trace_check.py TRACE.json
+
+Checks, in order:
+  1. Schema: {"traceEvents": [...]} with well-formed ph:"M" metadata and
+     ph:"X" complete events (name/cat/ts/dur/pid/tid).
+  2. Per-tid timestamps are non-decreasing in export order (the tracer
+     sorts by (ts, -dur), so any regression means a broken export).
+  3. Per-tid spans are properly nested: an event starting inside an
+     enclosing span must also end inside it.  In particular every
+     sync:cft span inside a compaction lane sits inside its
+     subcompaction/compaction span.
+  4. The paper's barrier invariant, from otherData.metrics:
+         env.sync.compaction_file == flush.count + compaction.count
+         env.sync.manifest        == 2 + flush.count + compaction.count
+                                       + compaction.trivial_moves
+                                       + compaction.settled.pure
+     (one data barrier per flush/merge job, one MANIFEST barrier per
+     background job, plus the two open-time MANIFEST syncs).  Skipped
+     when the run saw background errors or resumes (failed jobs retry
+     their barriers) or when the dump carries no metrics.
+
+Exit code 0 on success; nonzero with a message on the first violation.
+Stdlib only.
+"""
+
+import json
+import sys
+
+# ts/dur carry a 3-decimal ns fraction; tolerate one rounding ulp.
+EPS = 0.002
+
+
+def fail(msg):
+    print(f"trace_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_events(events):
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty list")
+
+    last_ts = {}   # tid -> last seen ts
+    stacks = {}    # tid -> stack of (name, ts, end)
+    n_x = 0
+    names = set()
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                fail(f"event {i}: unknown metadata event {ev.get('name')!r}")
+            if "name" not in ev.get("args", {}):
+                fail(f"event {i}: metadata without args.name")
+            continue
+        if ph != "X":
+            fail(f"event {i}: unsupported ph {ph!r} (want X or M)")
+
+        n_x += 1
+        for key, typ in (("name", str), ("cat", str), ("pid", int),
+                         ("tid", int)):
+            if not isinstance(ev.get(key), typ):
+                fail(f"event {i}: missing or mistyped {key!r}")
+        for key in ("ts", "dur"):
+            if not isinstance(ev.get(key), (int, float)):
+                fail(f"event {i}: missing or mistyped {key!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(f"event {i}: args must be an object")
+        names.add(ev["name"])
+
+        tid, ts, end = ev["tid"], ev["ts"], ev["ts"] + ev["dur"]
+        if ts < last_ts.get(tid, 0.0) - EPS:
+            fail(f"event {i} ({ev['name']}): ts {ts} goes backwards on "
+                 f"tid {tid} (prev {last_ts[tid]})")
+        last_ts[tid] = ts
+
+        # Nesting: pop finished spans, then this span must fit inside
+        # whatever is still open on its lane.
+        stack = stacks.setdefault(tid, [])
+        while stack and ts >= stack[-1][2] - EPS:
+            stack.pop()
+        if stack and end > stack[-1][2] + EPS:
+            fail(f"event {i} ({ev['name']}): [{ts}, {end}] overflows "
+                 f"enclosing {stack[-1][0]!r} [{stack[-1][1]}, "
+                 f"{stack[-1][2]}] on tid {tid}")
+        stack.append((ev["name"], ts, end))
+
+    return n_x, names
+
+
+def check_barrier_invariant(metrics):
+    def get(name):
+        v = metrics.get(name, 0)
+        if not isinstance(v, int):
+            fail(f"metrics[{name!r}] is not an integer")
+        return v
+
+    if get("error.background") or get("error.resumes"):
+        print("trace_check: background errors seen; skipping barrier "
+              "invariant")
+        return
+
+    flushes = get("flush.count")
+    compactions = get("compaction.count")
+    shards = get("compaction.subcompactions")
+    data = get("env.sync.compaction_file")
+    if shards == 0:
+        # Serial run (SimEnv always; posix with max_subcompactions=1):
+        # exactly one data barrier per flush and per merge compaction.
+        if data != flushes + compactions:
+            fail(f"data-barrier invariant: env.sync.compaction_file={data},"
+                 f" want flushes+compactions={flushes + compactions}")
+    else:
+        # Sharded jobs issue one data barrier per shard;
+        # compaction.subcompactions counts only the shards of split
+        # jobs, so each merge job contributed between 1 (serial) and
+        # its shard count.
+        lo, hi = flushes + compactions, flushes + compactions + shards
+        if not lo <= data <= hi:
+            fail(f"data-barrier invariant: env.sync.compaction_file={data}"
+                 f" outside [{lo}, {hi}] (flushes={flushes}, "
+                 f"compactions={compactions}, shards={shards})")
+
+    manifest = get("env.sync.manifest")
+    want_manifest = (2 + flushes + compactions
+                     + get("compaction.trivial_moves")
+                     + get("compaction.settled.pure"))
+    if manifest != want_manifest:
+        fail(f"MANIFEST-barrier invariant: env.sync.manifest={manifest}, "
+             f"want 2+jobs={want_manifest}")
+    print(f"trace_check: barrier invariant holds "
+          f"(data={data}, manifest={manifest}, flushes={flushes}, "
+          f"compactions={compactions})")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(sys.argv[1]) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail("top level must be an object with a traceEvents list")
+
+    n_x, names = check_events(trace["traceEvents"])
+    for required in ("flush", "wal_append"):
+        if required not in names:
+            fail(f"no {required!r} span in the trace (instrumentation "
+                 f"missing or workload too small)")
+
+    metrics = trace.get("otherData", {}).get("metrics")
+    if isinstance(metrics, dict):
+        # If jobs ran, their spans must have survived the span rings
+        # (nested compaction -> sync:cft -> manifest_commit is the whole
+        # point of the trace).
+        if metrics.get("compaction.count", 0):
+            for required in ("compaction", "sync:cft", "manifest_commit"):
+                if required not in names:
+                    fail(f"compactions ran but no {required!r} span "
+                         f"retained (trace_capacity too small?)")
+        check_barrier_invariant(metrics)
+    else:
+        print("trace_check: no otherData.metrics; skipping barrier "
+              "invariant")
+
+    print(f"trace_check: OK ({n_x} spans, {len(names)} span kinds, "
+          f"{len(set(e['tid'] for e in trace['traceEvents'] if e.get('ph') == 'X'))} lanes)")
+
+
+if __name__ == "__main__":
+    main()

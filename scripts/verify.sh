@@ -24,6 +24,12 @@ cmake --build build -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "==> trace: micro_core smoke, traced fig12 run, schema + barrier check"
+./build/bench/micro_core --benchmark_filter='BM_DbPut' \
+  --benchmark_min_time=0.05 >/dev/null
+./build/bench/fig12_design_quant --trace=build/fig12_trace.json 2>/dev/null
+python3 scripts/trace_check.py build/fig12_trace.json
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "verify OK (fast: tier-1 only)"
   exit 0
@@ -31,12 +37,13 @@ fi
 
 echo "==> TSan: build (BOLT_SANITIZE=thread)"
 cmake -B build-tsan -S . -DBOLT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target obs_test posix_env_test db_basic_test parallel_compaction_test
+cmake --build build-tsan -j "$JOBS" --target obs_test posix_env_test db_basic_test parallel_compaction_test trace_test
 
 echo "==> TSan: concurrent observability tests"
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/posix_env_test
 ./build-tsan/tests/db_basic_test
 ./build-tsan/tests/parallel_compaction_test
+./build-tsan/tests/trace_test
 
 echo "verify OK (tier-1 + ASan variant + TSan obs pass)"

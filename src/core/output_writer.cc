@@ -107,6 +107,7 @@ Status OutputWriter::FinishTable() {
   // compaction file and defers the single barrier to Finish().
   if (!bolt_mode_) {
     s = file_->Sync();
+    if (s.ok()) sync_calls_++;
     if (s.ok()) s = file_->Close();
     file_.reset();
     if (!s.ok()) status_ = s;
@@ -123,6 +124,7 @@ Status OutputWriter::Finish() {
   if (bolt_mode_ && file_ != nullptr) {
     // The single data barrier covering every logical table (Fig 3b).
     s = file_->Sync();
+    if (s.ok()) sync_calls_++;
     if (s.ok()) s = file_->Close();
     file_.reset();
     if (!s.ok()) status_ = s;

@@ -70,6 +70,10 @@ class OutputWriter {
   const std::vector<TableMeta>& outputs() const { return outputs_; }
   const std::vector<uint64_t>& file_numbers() const { return file_numbers_; }
   uint64_t bytes_written() const { return bytes_written_; }
+  // Successful data barriers issued by this writer: one per table in
+  // stock layout, one total in BoLT layout.  Feeds the per-shard sync
+  // count reported through OnSubcompactionEnd.
+  uint64_t sync_calls() const { return sync_calls_; }
   uint64_t current_table_entries() const;
 
   // Largest key added so far to the current table (for meta bookkeeping
@@ -95,6 +99,7 @@ class OutputWriter {
   std::vector<TableMeta> outputs_;
   std::vector<uint64_t> file_numbers_;
   uint64_t bytes_written_ = 0;
+  uint64_t sync_calls_ = 0;
   Status status_;
 };
 

@@ -85,7 +85,18 @@ class DB {
   //   "bolt.num-files-at-level<N>"  — tables at level N
   //   "bolt.stats"                  — human-readable engine statistics
   //   "bolt.sstables"               — per-level table listing
+  //   "bolt.trace.chrome"           — Chrome trace-event JSON of the
+  //                                   recorded spans (tracing enabled)
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // Write the recorded spans as a Chrome trace-event JSON file at
+  // "path" on the *local* filesystem (even when the DB runs on SimEnv —
+  // the dump is for humans and Perfetto, not for the DB's own env).
+  // The dump carries the metrics registry under "otherData", which
+  // scripts/trace_check.py uses to verify the barrier invariant.
+  // Returns InvalidArgument unless Options::enable_tracing (or a tracer)
+  // was set.
+  virtual Status DumpTrace(const std::string& path);
 
   // Compact the underlying storage for the key range [*begin,*end]
   // (nullptr means before-all / after-all).

@@ -1,6 +1,7 @@
 #include "db/db_impl.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "obs/event_listener.h"
 #include "obs/metrics.h"
 #include "obs/perf_context.h"
+#include "obs/tracer.h"
 #include "sim/sim_context.h"
 #include "table/iterator.h"
 #include "table/merger.h"
@@ -48,6 +50,8 @@ struct DBImpl::SubcompactionState {
   std::string end;    // inclusive upper bound (user key)
   bool has_start = false;
   bool has_end = false;
+  int shard = 0;       // this shard's index within the job
+  int num_shards = 1;  // total shards in the job
 
   std::unique_ptr<OutputWriter> writer;
   Compaction::IterState iter_state;
@@ -122,6 +126,22 @@ static Options SanitizeOptions(const std::string& dbname,
   if (result.metrics == nullptr) {
     result.metrics = new obs::MetricsRegistry;
   }
+  if (result.tracer == nullptr && result.enable_tracing) {
+    result.tracer = new obs::Tracer(result.env, result.trace_capacity);
+  }
+  if (result.info_log == nullptr && result.env->sim() == nullptr) {
+    // Open an info log in the db directory, rotating the previous run's
+    // to LOG.old.  SimEnv DBs keep a null (silent) logger: a simulated
+    // filesystem has no place a human would go read LOG.
+    result.env->CreateDir(dbname);  // in case it does not exist yet
+    result.env->RenameFile(InfoLogFileName(dbname),
+                           OldInfoLogFileName(dbname));
+    Status s = result.env->NewLogger(InfoLogFileName(dbname),
+                                     &result.info_log);
+    if (!s.ok()) {
+      result.info_log = nullptr;  // silent, as before
+    }
+  }
   return result;
 }
 
@@ -131,10 +151,12 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       internal_filter_policy_(raw_options.filter_policy),
       options_(SanitizeOptions(dbname, &internal_comparator_,
                                &internal_filter_policy_, raw_options)),
-      owns_info_log_(false),
+      owns_info_log_(options_.info_log != raw_options.info_log),
       owns_block_cache_(options_.block_cache != raw_options.block_cache),
       metrics_(options_.metrics),
       owns_metrics_(options_.metrics != raw_options.metrics),
+      tracer_(options_.tracer),
+      owns_tracer_(options_.tracer != raw_options.tracer),
       dbname_(dbname),
       sim_(raw_options.env->sim()),
       table_cache_(new TableCache(dbname_, options_, options_.max_open_files)),
@@ -164,12 +186,26 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
   // MANIFEST — lands in the same place.  With several DBs sharing one
   // env (the PosixEnv singleton), the last-opened DB wins.
   env_->SetMetricsRegistry(metrics_);
+  if (tracer_ != nullptr) {
+    // Same sharing rule as the registry: file-op spans from the env land
+    // in the DB's tracer; with several DBs the last-opened wins.
+    env_->SetTracer(tracer_);
+    if (sim_ != nullptr) {
+      sim_bg_tid_ = tracer_->ReserveTid("sim-bg-lane");
+      tracer_->NameCurrentThread("sim-fg-lane");
+    }
+  }
   if (sim_ == nullptr) {
     // Size the pool lanes up front: lazy growth only, so a wider DB
     // sharing the PosixEnv singleton never shrinks another DB's lanes.
     env_->SetBackgroundThreads(max_compaction_jobs_, Env::Priority::kLow);
     if (flush_lane_dedicated_) {
       env_->SetBackgroundThreads(1, Env::Priority::kHigh);
+    }
+    if (options_.stats_dump_period_sec > 0 && options_.info_log != nullptr) {
+      stats_last_snapshot_ = metrics_->TakeSnapshot();
+      stats_last_dump_ns_ = env_->NowNanos();
+      stats_thread_ = std::thread(&DBImpl::StatsDumpLoop, this);
     }
   }
 }
@@ -178,10 +214,15 @@ DBImpl::~DBImpl() {
   // Wait for background work to finish.
   mutex_.lock();
   shutting_down_.store(true, std::memory_order_release);
-  while (bg_flush_scheduled_ || bg_compactions_scheduled_ > 0) {
+  stats_cv_.notify_all();  // wake the stats timer so it can exit
+  while (bg_flush_scheduled_ || bg_compactions_scheduled_ > 0 ||
+         stats_dump_scheduled_) {
     background_work_finished_signal_.wait(mutex_);
   }
   mutex_.unlock();
+  if (stats_thread_.joinable()) {
+    stats_thread_.join();
+  }
 
   delete versions_;
   if (mem_ != nullptr) mem_->Unref();
@@ -195,13 +236,22 @@ DBImpl::~DBImpl() {
     delete options_.block_cache;
   }
 
-  // Detach the env from our registry before (possibly) deleting it; the
-  // env outlives this DB.
+  // Detach the env from our registry/tracer before (possibly) deleting
+  // them; the env outlives this DB.
   if (env_->metrics() == metrics_) {
     env_->SetMetricsRegistry(nullptr);
   }
+  if (tracer_ != nullptr && env_->tracer() == tracer_) {
+    env_->SetTracer(nullptr);
+  }
+  if (owns_tracer_) {
+    delete tracer_;
+  }
   if (owns_metrics_) {
     delete metrics_;
+  }
+  if (owns_info_log_) {
+    delete options_.info_log;
   }
 }
 
@@ -348,37 +398,46 @@ void DBImpl::RemoveObsoleteFiles() {
   // files and are therefore safe to delete while allowing other threads
   // to proceed.
   mutex_.unlock();
-  for (const std::string& filename : files_to_delete) {
-    env_->RemoveFile(dbname_ + "/" + filename);
-  }
   std::vector<ZombieTable> punch_failed;
   uint64_t punched = 0;
   bool punch_unsupported = false;
-  for (const ZombieTable& z : to_punch) {
-    Status ps = env_->PunchHole(CompactionFileName(dbname_, z.file_number),
-                                z.offset, z.size);
-    obs::HolePunchInfo hp;
-    hp.file_number = z.file_number;
-    hp.offset = z.offset;
-    hp.size = z.size;
-    hp.ok = ps.ok();
-    for (const auto& listener : options_.listeners) {
-      listener->OnHolePunch(hp);
+  {
+    // Only an actual reclamation pass gets a span; the common empty
+    // sweep stays invisible in the trace.
+    obs::SpanScope span(
+        (files_to_delete.empty() && to_punch.empty()) ? nullptr : tracer_,
+        "reclaim");
+    span.AddArg("files_deleted", files_to_delete.size());
+    span.AddArg("zombies_to_punch", to_punch.size());
+    for (const std::string& filename : files_to_delete) {
+      env_->RemoveFile(dbname_ + "/" + filename);
     }
-    if (ps.ok()) {
-      punched++;
-    } else {
-      // Hole punching is an optimization (§3.2): a failed punch must not
-      // take the DB down.  Reads stay correct — the dead bytes are simply
-      // not reclaimed yet — so log it, keep the zombie, and retry on the
-      // next pass.
-      Log(options_.info_log, "PunchHole deferred for %06llu.cft: %s",
-          static_cast<unsigned long long>(z.file_number),
-          ps.ToString().c_str());
-      if (ps.IsNotSupported()) {
-        punch_unsupported = true;
+    for (const ZombieTable& z : to_punch) {
+      Status ps = env_->PunchHole(CompactionFileName(dbname_, z.file_number),
+                                  z.offset, z.size);
+      obs::HolePunchInfo hp;
+      hp.file_number = z.file_number;
+      hp.offset = z.offset;
+      hp.size = z.size;
+      hp.ok = ps.ok();
+      for (const auto& listener : options_.listeners) {
+        listener->OnHolePunch(hp);
       }
-      punch_failed.push_back(z);
+      if (ps.ok()) {
+        punched++;
+      } else {
+        // Hole punching is an optimization (§3.2): a failed punch must
+        // not take the DB down.  Reads stay correct — the dead bytes are
+        // simply not reclaimed yet — so log it, keep the zombie, and
+        // retry on the next pass.
+        Log(options_.info_log, "PunchHole deferred for %06llu.cft: %s",
+            static_cast<unsigned long long>(z.file_number),
+            ps.ToString().c_str());
+        if (ps.IsNotSupported()) {
+          punch_unsupported = true;
+        }
+        punch_failed.push_back(z);
+      }
     }
   }
   mutex_.lock();
@@ -546,6 +605,7 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
 
 Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
   // REQUIRES: mutex_ held.
+  obs::SpanScope span(tracer_, "flush");
   const uint64_t start_ns = env_->NowNanos();
   metrics_->Add(obs::kMemtableFlushes);
   for (const auto& listener : options_.listeners) {
@@ -625,6 +685,9 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
   for (const auto& listener : options_.listeners) {
     listener->OnFlushEnd(info);
   }
+  span.AddArg("output_bytes", writer.bytes_written());
+  span.AddArg("tables", writer.outputs().size());
+  span.AddArg("entries", mem->num_entries());
   return s;
 }
 
@@ -689,6 +752,7 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
 
   MutexLock l(&mutex_);
   if (simulated()) {
+    obs::TidOverrideScope tid_scope(sim_bg_tid_);
     while (!manual.done && !shutting_down_.load(std::memory_order_acquire) &&
            bg_error_.ok()) {
       assert(manual_compaction_ == nullptr);
@@ -776,6 +840,48 @@ void DBImpl::RecordWriteStall(const obs::WriteStallInfo& info) {
   }
 }
 
+void DBImpl::StatsDumpLoop() {
+  // Timer thread: wake every stats_dump_period_sec and enqueue a dump
+  // task on the low-priority pool lane (so the dump itself competes
+  // with compactions, not with foreground writes).
+  const auto period = std::chrono::seconds(options_.stats_dump_period_sec);
+  mutex_.lock();
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    stats_cv_.wait_for(mutex_, period);
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if (!stats_dump_scheduled_) {
+      stats_dump_scheduled_ = true;
+      env_->Schedule(&DBImpl::BGStatsDumpWork, this, Env::Priority::kLow);
+    }
+  }
+  mutex_.unlock();
+}
+
+void DBImpl::BGStatsDumpWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundStatsDump();
+}
+
+void DBImpl::BackgroundStatsDump() {
+  // The dump reads only the (internally synchronized) registry and the
+  // info log; mutex_ is taken just to clear the scheduling flag.  The
+  // destructor waits for stats_dump_scheduled_ to drain, so metrics_
+  // and info_log are alive for the duration.
+  const uint64_t now_ns = env_->NowNanos();
+  const double interval_sec =
+      static_cast<double>(now_ns - stats_last_dump_ns_) / 1e9;
+  stats_last_dump_ns_ = now_ns;
+  const std::string delta =
+      metrics_->SnapshotDelta(&stats_last_snapshot_, interval_sec);
+  Log(options_.info_log, "------- stats (last %.1fs) -------\n%s",
+      interval_sec, delta.c_str());
+
+  MutexLock l(&mutex_);
+  stats_dump_scheduled_ = false;
+  background_work_finished_signal_.notify_all();
+}
+
 void DBImpl::MaybeScheduleFlush() {
   // REQUIRES: mutex_ held, real Env.
   if (bg_flush_scheduled_) {
@@ -829,6 +935,10 @@ void DBImpl::RunBackgroundWorkInlineSim() {
   // work inline, charging the background lane.  Each job starts no
   // earlier than the foreground time that triggered it.
   in_sim_background_ = true;
+  // The one real thread plays the background lane here: spans recorded
+  // below carry the reserved background tid so the exported trace keeps
+  // the lanes separate.
+  obs::TidOverrideScope tid_scope(sim_bg_tid_);
   while (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
     if (imm_ != nullptr) {
       SimLaneScope scope(sim_, SimContext::kBgLane);
@@ -1009,9 +1119,13 @@ void DBImpl::BackgroundCompaction() {
 
   Status status;
   obs::CompactionJobInfo job;
+  // Span covers the whole job — subcompaction shards, their data
+  // barriers, and the MANIFEST commit all nest inside it.
+  obs::SpanScope span(c != nullptr ? tracer_ : nullptr, "compaction");
   const uint64_t job_start_ns = env_->NowNanos();
   const uint64_t barriers_before = env_->GetIoStats().sync_calls;
   if (c != nullptr) {
+    span.AddArg("level", c->level());
     job.level = c->level();
     job.victim_tables = c->num_input_files(0);
     job.next_level_tables = c->num_input_files(1);
@@ -1075,6 +1189,13 @@ void DBImpl::BackgroundCompaction() {
     AddL0Event(sim_->Now(), -l0_runs_removed);
   }
   if (c != nullptr) {
+    span.SetStrArg("kind", job.trivial_move  ? "trivial_move"
+                           : job.pure_settled ? "pure_settled"
+                           : is_manual        ? "manual"
+                                              : "merge");
+    span.AddArg("input_bytes", job.input_bytes);
+    span.AddArg("output_bytes", job.output_bytes);
+    span.AddArg("barriers", env_->GetIoStats().sync_calls - barriers_before);
     job.barriers = env_->GetIoStats().sync_calls - barriers_before;
     job.duration_ns = env_->NowNanos() - job_start_ns;
     job.status = status;
@@ -1175,6 +1296,8 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   compact->subs.resize(boundaries.size() + 1);
   for (size_t i = 0; i < compact->subs.size(); i++) {
     SubcompactionState& sub = compact->subs[i];
+    sub.shard = static_cast<int>(i);
+    sub.num_shards = static_cast<int>(compact->subs.size());
     if (i > 0) {
       sub.has_start = true;
       sub.start = boundaries[i - 1];
@@ -1249,6 +1372,17 @@ void DBImpl::RunSubcompaction(CompactionState* compact,
   // the writer's number allocator).
   Compaction* c = compact->compaction;
   Iterator* input = sub->input;
+
+  const uint64_t shard_start_ns = env_->NowNanos();
+  obs::SpanScope span(tracer_, "subcompaction");
+  span.AddArg("shard", sub->shard);
+  obs::SubcompactionInfo sub_info;
+  sub_info.shard = sub->shard;
+  sub_info.num_shards = sub->num_shards;
+  sub_info.level = c->level();
+  for (const auto& listener : options_.listeners) {
+    listener->OnSubcompactionBegin(sub_info);
+  }
 
   if (sub->has_start) {
     // Position strictly after every version of user key sub->start:
@@ -1378,6 +1512,18 @@ void DBImpl::RunSubcompaction(CompactionState* compact,
   sub->input = nullptr;
 
   sub->status = status;
+
+  sub_info.entries = sub->entries_processed;
+  sub_info.output_bytes = sub->writer->bytes_written();
+  sub_info.sync_calls = sub->writer->sync_calls();
+  sub_info.duration_ns = env_->NowNanos() - shard_start_ns;
+  sub_info.status = status;
+  for (const auto& listener : options_.listeners) {
+    listener->OnSubcompactionEnd(sub_info);
+  }
+  span.AddArg("entries", sub->entries_processed);
+  span.AddArg("output_bytes", sub_info.output_bytes);
+  span.AddArg("sync_calls", sub_info.sync_calls);
 }
 
 Status DBImpl::InstallCompactionResults(CompactionState* compact) {
@@ -1468,14 +1614,20 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       const Slice contents = WriteBatchInternal::Contents(updates);
       metrics_->Add(obs::kWalBytesAppended, contents.size());
       uint64_t t0 = timed ? env_->NowNanos() : 0;
-      status = log_->AddRecord(contents);
+      {
+        obs::SpanScope wal_span(tracer_, "wal_append");
+        wal_span.AddArg("bytes", contents.size());
+        status = log_->AddRecord(contents);
+      }
       if (timed) {
         const uint64_t t1 = env_->NowNanos();
         pc->wal_append_ns += t1 - t0;
         t0 = t1;
       }
       if (status.ok() && options.sync) {
+        obs::SpanScope sync_span(tracer_, "wal_sync");
         status = logfile_->Sync();
+        sync_span.Finish();
         metrics_->Add(obs::kWalSyncs);
         pc->barrier_waits++;
         obs::SyncBarrierInfo sb;
@@ -1551,12 +1703,21 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // into mem_.
     {
       mutex_.unlock();
+      // Span covers the group leader's commit: WAL append, the optional
+      // WAL barrier, and the memtable insert for the whole group.
+      obs::SpanScope group_span(tracer_, "write_group");
       metrics_->Add(obs::kNumKeysWritten,
                     WriteBatchInternal::Count(write_batch));
       const Slice contents = WriteBatchInternal::Contents(write_batch);
+      group_span.AddArg("entries", WriteBatchInternal::Count(write_batch));
+      group_span.AddArg("bytes", contents.size());
       metrics_->Add(obs::kWalBytesAppended, contents.size());
       uint64_t t0 = timed ? env_->NowNanos() : 0;
-      status = log_->AddRecord(contents);
+      {
+        obs::SpanScope wal_span(tracer_, "wal_append");
+        wal_span.AddArg("bytes", contents.size());
+        status = log_->AddRecord(contents);
+      }
       if (timed) {
         const uint64_t t1 = env_->NowNanos();
         pc->wal_append_ns += t1 - t0;
@@ -1564,7 +1725,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       }
       bool wal_error = false;
       if (status.ok() && options.sync) {
+        obs::SpanScope sync_span(tracer_, "wal_sync");
         status = logfile_->Sync();
+        sync_span.Finish();
         metrics_->Add(obs::kWalSyncs);
         pc->barrier_waits++;
         obs::SyncBarrierInfo sb;
@@ -1595,6 +1758,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
           pc->memtable_insert_ns += env_->NowNanos() - m0;
         }
       }
+      group_span.Finish();
       mutex_.lock();
       if (wal_error) {
         RecordBackgroundError(status);
@@ -2097,9 +2261,49 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   } else if (in == "sstables") {
     *value = versions_->current()->DebugString();
     return true;
+  } else if (in == "trace.chrome") {
+    if (tracer_ == nullptr) {
+      return false;  // tracing not enabled
+    }
+    *value = tracer_->ChromeJson();
+    return true;
   }
 
   return false;
+}
+
+Status DB::DumpTrace(const std::string& path) {
+  (void)path;
+  return Status::NotSupported("DumpTrace", "not supported by this DB");
+}
+
+Status DBImpl::DumpTrace(const std::string& path) {
+  if (tracer_ == nullptr) {
+    return Status::InvalidArgument(
+        "DumpTrace", "tracing not enabled (set Options::enable_tracing)");
+  }
+  std::string json = "{\"traceEvents\": ";
+  json += tracer_->ChromeEventsJson();
+  json += ",\n\"otherData\": {\"metrics\": ";
+  json += metrics_->ToJson();
+  json += "}}\n";
+
+  // The dump goes to the *host* filesystem even when the DB itself runs
+  // on SimEnv: it is for humans and Perfetto, not for the engine.
+  Env* host = PosixEnv();
+  std::unique_ptr<WritableFile> file;
+  Status s = host->NewWritableFile(path, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  s = file->Append(json);
+  if (s.ok()) {
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  return s;
 }
 
 void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
@@ -2169,6 +2373,7 @@ Status DBImpl::Resume() {
     // On-disk state is suspect; a live handle cannot repair that.
     return bg_error_;
   }
+  obs::SpanScope span(tracer_, "resume");
   // Drain any background job that was already running when the error
   // latched (it will see bg_error_ and bail without side effects).
   while (!simulated() &&
@@ -2289,6 +2494,12 @@ Status DB::Open(const Options& options, const std::string& dbname,
   impl->mutex_.unlock();
   if (s.ok()) {
     assert(impl->mem_ != nullptr);
+    Log(impl->options_.info_log,
+        "Opened %s (mode=%s, tracing=%s, stats_dump_period_sec=%u)",
+        dbname.c_str(),
+        impl->options_.bolt_logical_sstables ? "bolt" : "stock",
+        impl->tracer_ != nullptr ? "on" : "off",
+        impl->options_.stats_dump_period_sec);
     *dbptr = impl;
   } else {
     delete impl;

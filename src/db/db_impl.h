@@ -23,6 +23,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "db/db.h"
@@ -30,6 +31,7 @@
 #include "db/snapshot.h"
 #include "db/version_edit.h"
 #include "env/env.h"
+#include "obs/metrics.h"
 
 namespace bolt {
 
@@ -44,7 +46,7 @@ namespace log {
 class Writer;
 }
 namespace obs {
-class MetricsRegistry;
+class Tracer;
 struct WriteStallInfo;
 }  // namespace obs
 
@@ -68,6 +70,7 @@ class DBImpl : public DB {
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;
   bool GetProperty(const Slice& property, std::string* value) override;
+  Status DumpTrace(const std::string& path) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
   void WaitForBackgroundWork() override;
   DbStats GetStats() override;
@@ -157,6 +160,14 @@ class DBImpl : public DB {
   // stall tickers/histogram + PerfContext.
   void RecordWriteStall(const obs::WriteStallInfo& info);
 
+  // Periodic stats dumper (Options::stats_dump_period_sec, real Env
+  // only).  A dedicated timer thread wakes every period and enqueues
+  // BGStatsDumpWork on the low-priority pool lane; the pool task logs
+  // the interval delta of the metrics registry to options_.info_log.
+  void StatsDumpLoop();
+  static void BGStatsDumpWork(void* db);
+  void BackgroundStatsDump();
+
   // ---- Simulation-mode helpers ----
   bool simulated() const { return sim_ != nullptr; }
   // Drain every pending piece of background work inline, charging the
@@ -187,6 +198,11 @@ class DBImpl : public DB {
   // Every layer charges into this registry; DbStats is a snapshot of it.
   obs::MetricsRegistry* const metrics_;
   const bool owns_metrics_;
+  // Span recorder (null unless Options::enable_tracing / a tracer was
+  // supplied).  The env is pointed at it too, so TracingEnv file-op
+  // spans land in the same buffers as the DB-layer spans.
+  obs::Tracer* const tracer_;
+  const bool owns_tracer_;
   const std::string dbname_;
   SimContext* const sim_;  // non-null iff options_.env is simulated
 
@@ -267,6 +283,22 @@ class DBImpl : public DB {
   std::deque<std::pair<uint64_t, int>> vl0_events_;
   int vl0_runs_ = 0;
   bool in_sim_background_ = false;  // re-entrancy guard
+  // Reserved tracer tid for the virtual background lane: one OS thread
+  // plays both lanes in sim mode, so inline background work overrides
+  // its tid to keep the exported trace's lanes separate.
+  uint32_t sim_bg_tid_ = 0;
+
+  // ---- Periodic stats dumper state ----
+  // Timer thread (real Env with stats_dump_period_sec > 0 only).
+  std::thread stats_thread_;
+  // Wakes the timer thread early on shutdown; waits on mutex_.
+  std::condition_variable_any stats_cv_;
+  // Is a dump task queued on the pool or running?  Protected by mutex_.
+  bool stats_dump_scheduled_ = false;
+  // Previous snapshot, advanced by each dump (only the dump task and
+  // the destructor — after the flag drains — touch it).
+  obs::MetricsRegistry::Snapshot stats_last_snapshot_;
+  uint64_t stats_last_dump_ns_ = 0;
 };
 
 }  // namespace bolt

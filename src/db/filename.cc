@@ -53,6 +53,10 @@ std::string InfoLogFileName(const std::string& dbname) {
   return dbname + "/LOG";
 }
 
+std::string OldInfoLogFileName(const std::string& dbname) {
+  return dbname + "/LOG.old";
+}
+
 // Owned filenames have the form:
 //    dbname/CURRENT
 //    dbname/LOCK

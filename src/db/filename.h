@@ -31,6 +31,8 @@ std::string CurrentFileName(const std::string& dbname);
 std::string LockFileName(const std::string& dbname);
 std::string TempFileName(const std::string& dbname, uint64_t number);
 std::string InfoLogFileName(const std::string& dbname);
+// The previous run's info log, rotated aside when the DB reopens.
+std::string OldInfoLogFileName(const std::string& dbname);
 
 // If filename is a bolt file, store the type of the file in *type.
 // The number encoded in the filename is stored in *number.  If the

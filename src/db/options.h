@@ -22,6 +22,7 @@ class Snapshot;
 namespace obs {
 class EventListener;
 class MetricsRegistry;
+class Tracer;
 }  // namespace obs
 
 const Comparator* BytewiseComparator();
@@ -38,7 +39,12 @@ struct Options {
   // ---- General ----------------------------------------------------------
   const Comparator* comparator = BytewiseComparator();
   Env* env = PosixEnv();
-  Logger* info_log = nullptr;  // nullptr disables info logging
+  // Destination for informational engine messages and the periodic
+  // stats dump.  If null on a real (non-sim) env, DB::Open creates a
+  // PosixLogger at dbname/LOG, rotating the previous run's file to
+  // LOG.old; on SimEnv a null stays null (no virtual I/O is charged
+  // for logging).
+  Logger* info_log = nullptr;
   bool create_if_missing = true;
   bool error_if_exists = false;
   bool paranoid_checks = false;
@@ -134,10 +140,31 @@ struct Options {
   // cache hit/miss) stay on regardless.  Disable to shave clock reads
   // off the hot paths.
   bool enable_perf_context = true;
-  // Listeners invoked (in order) on flush/compaction begin+end, write
-  // stalls, WAL sync barriers, hole punches, and background-error /
-  // resume transitions.  See obs/event_listener.h for the contract.
+  // Listeners invoked (in order) on flush/compaction begin+end,
+  // subcompaction shard begin+end, write stalls, WAL sync barriers,
+  // hole punches, and background-error / resume transitions.  See
+  // obs/event_listener.h for the contract.
   std::vector<std::shared_ptr<obs::EventListener>> listeners;
+
+  // ---- Span tracing (src/obs/tracer.h) ------------------------------------------
+  // When enabled, the DB records spans — write-group commits, WAL
+  // append+sync, flushes, compaction jobs and their shards, settled
+  // promotions, hole-punch reclamation, MANIFEST commits — and exports
+  // them as Chrome trace-event JSON via GetProperty("bolt.trace.chrome")
+  // or DB::DumpTrace().  Wrap the env in a TracingEnv to also capture
+  // per-file-op spans and the per-file-type barrier tickers.
+  // If tracer is null and enable_tracing is set, the DB creates and
+  // owns one; pass your own to aggregate several DBs into one timeline.
+  obs::Tracer* tracer = nullptr;
+  bool enable_tracing = false;
+  // Bound on retained spans per tracer thread-stripe (8 stripes).
+  size_t trace_capacity = 8192;
+
+  // Every stats_dump_period_sec a low-priority background task logs the
+  // interval's metric deltas (MetricsRegistry::SnapshotDelta) to
+  // info_log.  0 disables.  Ignored on SimEnv, whose virtual clock has
+  // no wall-time ticks to dump on.
+  uint32_t stats_dump_period_sec = 0;
 
   // ---- Simulation CPU model (ignored on PosixEnv) ------------------------------
   // Per-operation foreground CPU cost and per-entry compaction merge

@@ -7,6 +7,7 @@
 #include "db/filename.h"
 #include "db/table_cache.h"
 #include "env/env.h"
+#include "obs/tracer.h"
 #include "table/iterator.h"
 #include "table/merger.h"
 #include "table/two_level_iterator.h"
@@ -813,8 +814,11 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   // Write new record to MANIFEST log: the commit mark.  The Sync() here
   // is the second data barrier of each compaction (Fig 3(b)).
   if (s.ok()) {
+    obs::SpanScope span(options_->tracer, "manifest_commit");
+    span.AddArg("manifest", manifest_file_number_);
     std::string record;
     edit->EncodeTo(&record);
+    span.AddArg("record_bytes", record.size());
     s = descriptor_log_->AddRecord(record);
     if (s.ok()) {
       s = descriptor_file_->Sync();

@@ -9,6 +9,11 @@ Status Env::Truncate(const std::string& fname, uint64_t size) {
   return Status::NotSupported("Truncate", fname);
 }
 
+Status Env::NewLogger(const std::string& fname, Logger** result) {
+  *result = nullptr;
+  return Status::NotSupported("NewLogger", fname);
+}
+
 void Log(Logger* info_log, const char* format, ...) {
   if (info_log != nullptr) {
     va_list ap;

@@ -34,7 +34,10 @@ class SimContext;
 
 namespace obs {
 class MetricsRegistry;
+class Tracer;
 }  // namespace obs
+
+class Logger;
 
 // Aggregate I/O counters.  SimEnv fills all of them; PosixEnv fills the
 // call counters.  The figure benches read fsync counts and byte totals
@@ -92,6 +95,11 @@ class Env {
   // corrupt on-disk state.  Default: NotSupported.
   virtual Status Truncate(const std::string& fname, uint64_t size);
 
+  // Create a Logger that writes timestamped lines to fname (truncating
+  // it).  PosixEnv returns a PosixLogger; single-purpose envs may leave
+  // the default, NotSupported, and the DB runs without an info log.
+  virtual Status NewLogger(const std::string& fname, Logger** result);
+
   // ---- Scheduling ---------------------------------------------------------
   // Background lanes.  kHigh is the dedicated flush lane: a memtable
   // flush scheduled there never queues behind a long group compaction
@@ -135,12 +143,24 @@ class Env {
   // bytes, duration — virtual ns on SimEnv, wall-clock on PosixEnv) into
   // the registry.  DB::Open points this at the opening DB's registry;
   // with several DBs on one env, the last opener wins.  The pointer must
-  // stay valid until replaced or cleared.
-  void SetMetricsRegistry(obs::MetricsRegistry* m) {
+  // stay valid until replaced or cleared.  Virtual so wrapping envs
+  // (TracingEnv) can forward the hookup to their target: one registry
+  // then serves every layer of the stack.
+  virtual void SetMetricsRegistry(obs::MetricsRegistry* m) {
     metrics_.store(m, std::memory_order_release);
   }
-  obs::MetricsRegistry* metrics() const {
+  virtual obs::MetricsRegistry* metrics() const {
     return metrics_.load(std::memory_order_acquire);
+  }
+
+  // Span-tracing hookup, same contract as the metrics registry: DB::Open
+  // installs the opening DB's tracer (when tracing is enabled) so that
+  // env-level file operations can record spans next to the DB's own.
+  virtual void SetTracer(obs::Tracer* t) {
+    tracer_.store(t, std::memory_order_release);
+  }
+  virtual obs::Tracer* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
   }
 
   // Non-null iff this environment is simulated.
@@ -148,6 +168,7 @@ class Env {
 
  private:
   std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
 };
 
 // A file abstraction for reading sequentially through a file.
@@ -234,6 +255,9 @@ class EnvWrapper : public Env {
   Status Truncate(const std::string& f, uint64_t size) override {
     return target_->Truncate(f, size);
   }
+  Status NewLogger(const std::string& f, Logger** result) override {
+    return target_->NewLogger(f, result);
+  }
   void Schedule(void (*function)(void*), void* arg,
                 Priority pri = Priority::kLow) override {
     target_->Schedule(function, arg, pri);
@@ -253,6 +277,12 @@ class EnvWrapper : public Env {
   }
   IoStats GetIoStats() const override { return target_->GetIoStats(); }
   void ResetIoStats() override { target_->ResetIoStats(); }
+  void SetMetricsRegistry(obs::MetricsRegistry* m) override {
+    target_->SetMetricsRegistry(m);
+  }
+  obs::MetricsRegistry* metrics() const override { return target_->metrics(); }
+  void SetTracer(obs::Tracer* t) override { target_->SetTracer(t); }
+  obs::Tracer* tracer() const override { return target_->tracer(); }
   SimContext* sim() override { return target_->sim(); }
 
  private:

@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "env/env.h"
+#include "env/posix_logger.h"
 #include "obs/metrics.h"
 
 namespace bolt {
@@ -353,6 +354,16 @@ class PosixEnvImpl final : public Env {
     if (truncate(fname.c_str(), static_cast<off_t>(size)) != 0) {
       return PosixError(fname, errno);
     }
+    return Status::OK();
+  }
+
+  Status NewLogger(const std::string& fname, Logger** result) override {
+    std::FILE* fp = std::fopen(fname.c_str(), "w");
+    if (fp == nullptr) {
+      *result = nullptr;
+      return PosixError(fname, errno);
+    }
+    *result = new PosixLogger(fp);
     return Status::OK();
   }
 

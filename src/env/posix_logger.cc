@@ -1,0 +1,64 @@
+#include "env/posix_logger.h"
+
+#include <sys/time.h>
+
+#include <cstring>
+#include <ctime>
+#include <thread>
+#include <vector>
+
+namespace bolt {
+
+void PosixLogger::Logv(const char* format, va_list ap) {
+  struct timeval now_tv;
+  gettimeofday(&now_tv, nullptr);
+  struct tm now_tm;
+  const time_t seconds = now_tv.tv_sec;
+  localtime_r(&seconds, &now_tm);
+  const uint64_t thread_id =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) & 0xffffffffu;
+
+  // First try a stack buffer; fall back to a heap buffer sized by the
+  // vsnprintf dry run (LevelDB's two-iteration idiom).
+  char stack_buf[512];
+  char* base = stack_buf;
+  int bufsize = sizeof(stack_buf);
+  std::vector<char> heap_buf;
+  for (int iter = 0; iter < 2; iter++) {
+    char* p = base;
+    char* limit = base + bufsize;
+    p += std::snprintf(p, limit - p,
+                       "%04d/%02d/%02d-%02d:%02d:%02d.%06d %08llx ",
+                       now_tm.tm_year + 1900, now_tm.tm_mon + 1,
+                       now_tm.tm_mday, now_tm.tm_hour, now_tm.tm_min,
+                       now_tm.tm_sec, static_cast<int>(now_tv.tv_usec),
+                       static_cast<unsigned long long>(thread_id));
+    if (p < limit) {
+      va_list backup_ap;
+      va_copy(backup_ap, ap);
+      const int n = std::vsnprintf(p, limit - p, format, backup_ap);
+      va_end(backup_ap);
+      if (n >= 0 && p + n < limit) {
+        p += n;
+      } else if (iter == 0) {
+        // Too large for the stack buffer: size the heap buffer exactly.
+        const int needed = (p - base) + (n >= 0 ? n : 0) + 2;
+        heap_buf.resize(needed);
+        base = heap_buf.data();
+        bufsize = needed;
+        continue;
+      } else {
+        p = limit - 1;
+      }
+    } else {
+      p = limit - 1;
+    }
+    if (p == base || p[-1] != '\n') *p++ = '\n';
+    std::lock_guard<std::mutex> l(mu_);
+    std::fwrite(base, 1, p - base, fp_);
+    std::fflush(fp_);
+    break;
+  }
+}
+
+}  // namespace bolt

@@ -1,0 +1,34 @@
+// PosixLogger: the concrete Options::info_log for real environments.
+//
+// Writes one timestamped line per Log() call to a stdio stream:
+//
+//   2026/08/06-14:03:21.042515 7f2a41b2 compacting 4+3 tables @ level 2
+//
+// Thread-safe (one mutex around the write; formatting happens outside
+// it) and flushed per line so a crash leaves the tail of LOG readable.
+// DB::Open creates one at dbname/LOG by default, rotating the previous
+// run's file to LOG.old first (see SanitizeOptions).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+#include "env/env.h"
+
+namespace bolt {
+
+class PosixLogger final : public Logger {
+ public:
+  // Takes ownership of fp (closed on destruction).
+  explicit PosixLogger(std::FILE* fp) : fp_(fp) {}
+  ~PosixLogger() override { std::fclose(fp_); }
+
+  void Logv(const char* format, va_list ap) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* const fp_;
+};
+
+}  // namespace bolt

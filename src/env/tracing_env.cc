@@ -1,0 +1,291 @@
+#include "env/tracing_env.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace bolt {
+
+namespace {
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t sep = path.find_last_of('/');
+  return sep == std::string::npos ? path : path.substr(sep + 1);
+}
+
+// Static span names per (operation, file type): span name strings must
+// outlive the tracer, so they are spelled out rather than concatenated.
+struct OpNames {
+  const char* append;
+  const char* read;
+  const char* sync;
+  const char* punch;
+  const char* rename;
+  const char* remove;
+};
+
+const OpNames kOpNames[] = {
+    // kWal
+    {"append:wal", "read:wal", "sync:wal", "punch_hole:wal", "rename:wal",
+     "remove:wal"},
+    // kTable
+    {"append:table", "read:table", "sync:table", "punch_hole:table",
+     "rename:table", "remove:table"},
+    // kCompaction
+    {"append:cft", "read:cft", "sync:cft", "punch_hole:cft", "rename:cft",
+     "remove:cft"},
+    // kManifest
+    {"append:manifest", "read:manifest", "sync:manifest",
+     "punch_hole:manifest", "rename:manifest", "remove:manifest"},
+    // kCurrent
+    {"append:current", "read:current", "sync:current", "punch_hole:current",
+     "rename:current", "remove:current"},
+    // kTemp
+    {"append:tmp", "read:tmp", "sync:tmp", "punch_hole:tmp", "rename:tmp",
+     "remove:tmp"},
+    // kInfoLog
+    {"append:info_log", "read:info_log", "sync:info_log",
+     "punch_hole:info_log", "rename:info_log", "remove:info_log"},
+    // kOther
+    {"append:other", "read:other", "sync:other", "punch_hole:other",
+     "rename:other", "remove:other"},
+};
+
+const OpNames& NamesFor(TraceFileType t) {
+  return kOpNames[static_cast<int>(t)];
+}
+
+// The per-file-type barrier ticker for a Sync, or kTickerMax for types
+// whose barriers are charged elsewhere (WAL: the DB write path) or not
+// at all.
+obs::Ticker SyncTickerFor(TraceFileType t) {
+  switch (t) {
+    case TraceFileType::kTable:
+    case TraceFileType::kCompaction:
+      return obs::kCompactionFileSyncs;
+    case TraceFileType::kManifest:
+      return obs::kManifestSyncs;
+    case TraceFileType::kCurrent:
+    case TraceFileType::kTemp:
+      return obs::kCurrentSyncs;
+    default:
+      return obs::kTickerMax;
+  }
+}
+
+class TracingWritableFile : public WritableFile {
+ public:
+  TracingWritableFile(TracingEnv* env, std::string fname,
+                      std::unique_ptr<WritableFile> target)
+      : env_(env),
+        base_(Basename(fname)),
+        type_(ClassifyTraceFile(fname)),
+        target_(std::move(target)) {}
+
+  Status Append(const Slice& data) override {
+    obs::SpanScope span(env_->tracer(), NamesFor(type_).append, "io");
+    if (span.active()) {
+      span.AddArg("offset", offset_);
+      span.AddArg("size", data.size());
+      span.SetStrArg("file", base_);
+    }
+    Status s = target_->Append(data);
+    if (s.ok()) {
+      offset_ += data.size();
+      dirty_ += data.size();
+    }
+    return s;
+  }
+
+  Status Close() override { return target_->Close(); }
+  Status Flush() override { return target_->Flush(); }
+
+  Status Sync() override {
+    const uint64_t bytes = dirty_;
+    obs::SpanScope span(env_->tracer(), NamesFor(type_).sync, "io");
+    if (span.active()) {
+      span.AddArg("bytes", bytes);
+      span.SetStrArg("file", base_);
+    }
+    Status s = target_->Sync();
+    if (s.ok()) {
+      dirty_ = 0;
+      obs::MetricsRegistry* metrics = env_->metrics();
+      const obs::Ticker ticker = SyncTickerFor(type_);
+      if (metrics != nullptr && ticker != obs::kTickerMax) {
+        metrics->Add(ticker);
+      }
+    }
+    return s;
+  }
+
+ private:
+  TracingEnv* const env_;
+  const std::string base_;
+  const TraceFileType type_;
+  const std::unique_ptr<WritableFile> target_;
+  uint64_t offset_ = 0;  // bytes appended through this handle
+  uint64_t dirty_ = 0;   // appended since the last Sync
+};
+
+class TracingSequentialFile : public SequentialFile {
+ public:
+  TracingSequentialFile(TracingEnv* env, std::string fname,
+                        std::unique_ptr<SequentialFile> target)
+      : env_(env),
+        base_(Basename(fname)),
+        type_(ClassifyTraceFile(fname)),
+        target_(std::move(target)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    obs::SpanScope span(env_->tracer(), NamesFor(type_).read, "io");
+    if (span.active()) {
+      span.AddArg("offset", offset_);
+      span.AddArg("size", n);
+      span.SetStrArg("file", base_);
+    }
+    Status s = target_->Read(n, result, scratch);
+    if (s.ok()) offset_ += result->size();
+    return s;
+  }
+  Status Skip(uint64_t n) override {
+    offset_ += n;
+    return target_->Skip(n);
+  }
+
+ private:
+  TracingEnv* const env_;
+  const std::string base_;
+  const TraceFileType type_;
+  const std::unique_ptr<SequentialFile> target_;
+  uint64_t offset_ = 0;
+};
+
+class TracingRandomAccessFile : public RandomAccessFile {
+ public:
+  TracingRandomAccessFile(TracingEnv* env, std::string fname,
+                          std::unique_ptr<RandomAccessFile> target)
+      : env_(env),
+        base_(Basename(fname)),
+        type_(ClassifyTraceFile(fname)),
+        target_(std::move(target)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    obs::SpanScope span(env_->tracer(), NamesFor(type_).read, "io");
+    if (span.active()) {
+      span.AddArg("offset", offset);
+      span.AddArg("size", n);
+      span.SetStrArg("file", base_);
+    }
+    return target_->Read(offset, n, result, scratch);
+  }
+
+ private:
+  TracingEnv* const env_;
+  const std::string base_;
+  const TraceFileType type_;
+  const std::unique_ptr<RandomAccessFile> target_;
+};
+
+}  // namespace
+
+TraceFileType ClassifyTraceFile(const std::string& fname) {
+  const std::string base = Basename(fname);
+  if (HasSuffix(base, ".log")) return TraceFileType::kWal;
+  if (HasSuffix(base, ".ldb")) return TraceFileType::kTable;
+  if (HasSuffix(base, ".cft")) return TraceFileType::kCompaction;
+  if (HasSuffix(base, ".dbtmp")) return TraceFileType::kTemp;
+  if (base.compare(0, 9, "MANIFEST-") == 0) return TraceFileType::kManifest;
+  if (base == "CURRENT") return TraceFileType::kCurrent;
+  if (base == "LOG" || base == "LOG.old") return TraceFileType::kInfoLog;
+  return TraceFileType::kOther;
+}
+
+const char* TraceFileTypeLabel(TraceFileType t) {
+  switch (t) {
+    case TraceFileType::kWal:        return "wal";
+    case TraceFileType::kTable:      return "table";
+    case TraceFileType::kCompaction: return "cft";
+    case TraceFileType::kManifest:   return "manifest";
+    case TraceFileType::kCurrent:    return "current";
+    case TraceFileType::kTemp:       return "tmp";
+    case TraceFileType::kInfoLog:    return "info_log";
+    case TraceFileType::kOther:      return "other";
+  }
+  return "other";
+}
+
+Status TracingEnv::NewSequentialFile(const std::string& fname,
+                                     std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = target()->NewSequentialFile(fname, &file);
+  if (s.ok()) {
+    result->reset(new TracingSequentialFile(this, fname, std::move(file)));
+  }
+  return s;
+}
+
+Status TracingEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = target()->NewRandomAccessFile(fname, &file);
+  if (s.ok()) {
+    result->reset(new TracingRandomAccessFile(this, fname, std::move(file)));
+  }
+  return s;
+}
+
+Status TracingEnv::NewWritableFile(const std::string& fname,
+                                   std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> file;
+  Status s = target()->NewWritableFile(fname, &file);
+  if (s.ok()) {
+    result->reset(new TracingWritableFile(this, fname, std::move(file)));
+  }
+  return s;
+}
+
+Status TracingEnv::NewAppendableFile(const std::string& fname,
+                                     std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> file;
+  Status s = target()->NewAppendableFile(fname, &file);
+  if (s.ok()) {
+    result->reset(new TracingWritableFile(this, fname, std::move(file)));
+  }
+  return s;
+}
+
+Status TracingEnv::RemoveFile(const std::string& fname) {
+  obs::SpanScope span(tracer(), NamesFor(ClassifyTraceFile(fname)).remove,
+                      "io");
+  if (span.active()) span.SetStrArg("file", Basename(fname));
+  return target()->RemoveFile(fname);
+}
+
+Status TracingEnv::RenameFile(const std::string& src,
+                              const std::string& target_name) {
+  obs::SpanScope span(tracer(), NamesFor(ClassifyTraceFile(src)).rename, "io");
+  if (span.active()) span.SetStrArg("file", Basename(src));
+  return target()->RenameFile(src, target_name);
+}
+
+Status TracingEnv::PunchHole(const std::string& fname, uint64_t offset,
+                             uint64_t length) {
+  obs::SpanScope span(tracer(), NamesFor(ClassifyTraceFile(fname)).punch,
+                      "io");
+  if (span.active()) {
+    span.AddArg("offset", offset);
+    span.AddArg("length", length);
+    span.SetStrArg("file", Basename(fname));
+  }
+  return target()->PunchHole(fname, offset, length);
+}
+
+}  // namespace bolt

@@ -48,6 +48,19 @@ struct CompactionJobInfo {
   Status status;                 // set on End only
 };
 
+// One key-range shard of a sharded compaction (Options::max_subcompactions
+// > 1).  Begin/End fire on the shard's own thread, outside the DB mutex.
+struct SubcompactionInfo {
+  int shard = 0;              // index within the job, in key order
+  int num_shards = 1;         // shards the job was split into
+  int level = 0;              // job input level (outputs land on level+1)
+  uint64_t entries = 0;       // entries streamed by this shard (End)
+  uint64_t output_bytes = 0;  // bytes written by this shard (End)
+  uint64_t sync_calls = 0;    // data barriers issued by this shard (End)
+  uint64_t duration_ns = 0;   // set on End only
+  Status status;              // set on End only
+};
+
 struct WriteStallInfo {
   enum class Cause { kMemtableFull, kL0Stop, kL0SlowDown };
   Cause cause = Cause::kMemtableFull;
@@ -74,6 +87,8 @@ class EventListener {
   virtual void OnFlushEnd(const FlushJobInfo&) {}
   virtual void OnCompactionBegin(const CompactionJobInfo&) {}
   virtual void OnCompactionEnd(const CompactionJobInfo&) {}
+  virtual void OnSubcompactionBegin(const SubcompactionInfo&) {}
+  virtual void OnSubcompactionEnd(const SubcompactionInfo&) {}
   virtual void OnWriteStall(const WriteStallInfo&) {}
   virtual void OnSyncBarrier(const SyncBarrierInfo&) {}
   virtual void OnHolePunch(const HolePunchInfo&) {}

@@ -16,6 +16,9 @@ const char* TickerName(Ticker t) {
     case kWalBytesAppended:        return "wal.bytes.appended";
     case kSyncBarriers:            return "env.sync.barriers";
     case kSyncedBytes:             return "env.sync.bytes";
+    case kCompactionFileSyncs:     return "env.sync.compaction_file";
+    case kManifestSyncs:           return "env.sync.manifest";
+    case kCurrentSyncs:            return "env.sync.current";
     case kSlowdownWrites:          return "governor.slowdown.writes";
     case kStallWrites:             return "governor.stall.writes";
     case kStallMicros:             return "governor.stall.micros";
@@ -110,6 +113,57 @@ void MetricsRegistry::Reset() {
       hist_stripes_[h][i].hist.Clear();
     }
   }
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  for (uint32_t t = 0; t < kTickerMax; t++) {
+    snap.tickers[t] = Get(static_cast<Ticker>(t));
+  }
+  for (uint32_t g = 0; g < kGaugeMax; g++) {
+    snap.gauges[g] = GetGauge(static_cast<Gauge>(g));
+  }
+  for (uint32_t h = 0; h < kHistMax; h++) {
+    snap.hists[h] = GetHist(static_cast<Hist>(h));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::SnapshotDelta(Snapshot* prev,
+                                           double interval_sec) const {
+  Snapshot cur = TakeSnapshot();
+  std::string out;
+  char buf[256];
+  for (uint32_t t = 0; t < kTickerMax; t++) {
+    const uint64_t d = cur.tickers[t] - prev->tickers[t];
+    if (d == 0) continue;
+    if (interval_sec > 0) {
+      snprintf(buf, sizeof(buf), "%-34s +%-12" PRIu64 " (%.1f/s)\n",
+               TickerName(static_cast<Ticker>(t)), d,
+               static_cast<double>(d) / interval_sec);
+    } else {
+      snprintf(buf, sizeof(buf), "%-34s +%" PRIu64 "\n",
+               TickerName(static_cast<Ticker>(t)), d);
+    }
+    out += buf;
+  }
+  for (uint32_t g = 0; g < kGaugeMax; g++) {
+    if (cur.gauges[g] == 0 && prev->gauges[g] == 0) continue;
+    snprintf(buf, sizeof(buf), "%-34s %" PRIu64 "\n",
+             GaugeName(static_cast<Gauge>(g)), cur.gauges[g]);
+    out += buf;
+  }
+  for (uint32_t h = 0; h < kHistMax; h++) {
+    if (cur.hists[h].count() <= prev->hists[h].count()) continue;
+    Histogram window = cur.hists[h];
+    window.Subtract(prev->hists[h]);
+    snprintf(buf, sizeof(buf), "%-34s %s\n", HistName(static_cast<Hist>(h)),
+             window.Summary().c_str());
+    out += buf;
+  }
+  if (out.empty()) out = "(no activity)\n";
+  *prev = std::move(cur);
+  return out;
 }
 
 std::string MetricsRegistry::ToString() const {

@@ -45,6 +45,14 @@ enum Ticker : uint32_t {
   kSyncBarriers,        // every WritableFile::Sync that reached the env
   kSyncedBytes,
 
+  // ---- Per-file-type barrier attribution (charged by TracingEnv) ----
+  // Together with kWalSyncs these partition the barriers by destination,
+  // making "2 logical barriers per compaction" (one compaction-file
+  // sync + one MANIFEST sync) a checkable invariant.
+  kCompactionFileSyncs,  // .cft / .ldb data barriers
+  kManifestSyncs,        // MANIFEST-* appends' fsync
+  kCurrentSyncs,         // CURRENT swaps (.dbtmp sync before rename)
+
   // ---- Write governors ----
   kSlowdownWrites,      // L0SlowDown 1ms sleeps
   kStallWrites,         // L0Stop / memtable-full blocks
@@ -143,6 +151,23 @@ class MetricsRegistry {
 
   // Zero every ticker, gauge and histogram.
   void Reset();
+
+  // Point-in-time copy of every metric, cheap enough to take
+  // periodically (tickers/gauges are relaxed loads; histograms merge
+  // their stripes).
+  struct Snapshot {
+    uint64_t tickers[kTickerMax] = {};
+    uint64_t gauges[kGaugeMax] = {};
+    Histogram hists[kHistMax];
+  };
+  Snapshot TakeSnapshot() const;
+
+  // Interval report: every ticker that moved since *prev (with a
+  // per-second rate when interval_sec > 0), current gauges, and a
+  // windowed summary of every histogram that recorded new values (the
+  // delta distribution, not the lifetime one).  Advances *prev to the
+  // current snapshot.  This is what the periodic stats dumper logs.
+  std::string SnapshotDelta(Snapshot* prev, double interval_sec) const;
 
   // Human-readable dump: every non-zero ticker/gauge, one per line, then
   // a summary line per non-empty histogram.

@@ -14,6 +14,8 @@ const char* TraceEventTypeName(TraceEvent::Type t) {
     case TraceEvent::Type::kFlushEnd:        return "flush_end";
     case TraceEvent::Type::kCompactionBegin: return "compaction_begin";
     case TraceEvent::Type::kCompactionEnd:   return "compaction_end";
+    case TraceEvent::Type::kSubcompactionBegin: return "subcompaction_begin";
+    case TraceEvent::Type::kSubcompactionEnd: return "subcompaction_end";
     case TraceEvent::Type::kWriteStall:      return "write_stall";
     case TraceEvent::Type::kSyncBarrier:     return "sync_barrier";
     case TraceEvent::Type::kHolePunch:       return "hole_punch";
@@ -58,6 +60,16 @@ void TraceBuffer::OnCompactionBegin(const CompactionJobInfo& info) {
 void TraceBuffer::OnCompactionEnd(const CompactionJobInfo& info) {
   Record(TraceEvent::Type::kCompactionEnd, static_cast<uint64_t>(info.level),
          info.input_bytes, info.duration_ns);
+}
+
+void TraceBuffer::OnSubcompactionBegin(const SubcompactionInfo& info) {
+  Record(TraceEvent::Type::kSubcompactionBegin,
+         static_cast<uint64_t>(info.shard));
+}
+
+void TraceBuffer::OnSubcompactionEnd(const SubcompactionInfo& info) {
+  Record(TraceEvent::Type::kSubcompactionEnd,
+         static_cast<uint64_t>(info.shard), info.sync_calls, info.duration_ns);
 }
 
 void TraceBuffer::OnWriteStall(const WriteStallInfo& info) {
@@ -143,6 +155,14 @@ std::string TraceBuffer::DumpJson() const {
       case TraceEvent::Type::kCompactionEnd:
         field("level", e.v0);
         field("input_bytes", e.v1);
+        field("duration_ns", e.v2);
+        break;
+      case TraceEvent::Type::kSubcompactionBegin:
+        field("shard", e.v0);
+        break;
+      case TraceEvent::Type::kSubcompactionEnd:
+        field("shard", e.v0);
+        field("sync_calls", e.v1);
         field("duration_ns", e.v2);
         break;
       case TraceEvent::Type::kWriteStall:

@@ -31,6 +31,8 @@ struct TraceEvent {
     kFlushEnd,
     kCompactionBegin,
     kCompactionEnd,
+    kSubcompactionBegin,
+    kSubcompactionEnd,
     kWriteStall,
     kSyncBarrier,
     kHolePunch,
@@ -43,6 +45,7 @@ struct TraceEvent {
   // Per-type payload (see DumpJson for the field names):
   //   Flush*:          v0=output_bytes  v1=output_tables v2=duration_ns
   //   Compaction*:     v0=level         v1=input_bytes   v2=duration_ns
+  //   Subcompaction*:  v0=shard         v1=sync_calls    v2=duration_ns
   //   WriteStall:      v0=cause         v1=duration_ns
   //   SyncBarrier:     v0=wal           v1=duration_ns
   //   HolePunch:       v0=file_number   v1=size          v2=ok
@@ -62,6 +65,8 @@ class TraceBuffer : public EventListener {
   void OnFlushEnd(const FlushJobInfo& info) override;
   void OnCompactionBegin(const CompactionJobInfo& info) override;
   void OnCompactionEnd(const CompactionJobInfo& info) override;
+  void OnSubcompactionBegin(const SubcompactionInfo& info) override;
+  void OnSubcompactionEnd(const SubcompactionInfo& info) override;
   void OnWriteStall(const WriteStallInfo& info) override;
   void OnSyncBarrier(const SyncBarrierInfo& info) override;
   void OnHolePunch(const HolePunchInfo& info) override;

@@ -1,0 +1,212 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "env/env.h"
+
+namespace bolt {
+namespace obs {
+
+namespace {
+
+// Tids are process-wide so that one thread keeps a single identity even
+// when several tracers exist (e.g. two DBs).  0 means "not assigned".
+std::atomic<uint32_t> g_next_tid{1};
+thread_local uint32_t tls_tid = 0;
+thread_local uint32_t tls_tid_override = 0;
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; s++) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+// Chrome trace "ts"/"dur" are microseconds; keep nanosecond precision
+// as a three-decimal fraction.
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out->append(buf);
+}
+
+}  // namespace
+
+Tracer::Tracer(Env* clock, size_t capacity_per_stripe)
+    : clock_(clock),
+      stripe_capacity_(capacity_per_stripe == 0 ? 1 : capacity_per_stripe) {}
+
+uint64_t Tracer::NowNanos() const { return clock_->NowNanos(); }
+
+uint32_t Tracer::CurrentTid() {
+  if (tls_tid_override != 0) return tls_tid_override;
+  if (tls_tid == 0) {
+    tls_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_tid;
+}
+
+uint32_t Tracer::ReserveTid(const char* name) {
+  uint32_t tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> l(names_mu_);
+  thread_names_.emplace_back(tid, name);
+  return tid;
+}
+
+void Tracer::NameCurrentThread(const char* name) {
+  uint32_t tid = CurrentTid();
+  std::lock_guard<std::mutex> l(names_mu_);
+  for (auto& entry : thread_names_) {
+    if (entry.first == tid) {
+      entry.second = name;
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, name);
+}
+
+void Tracer::Record(Span&& span) {
+  Stripe& stripe = stripes_[span.tid % kStripes];
+  span.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> l(stripe.mu);
+  stripe.total++;
+  if (stripe.ring.size() < stripe_capacity_) {
+    stripe.ring.push_back(std::move(span));
+  } else {
+    stripe.ring[stripe.next] = std::move(span);
+    stripe.next = (stripe.next + 1) % stripe_capacity_;
+  }
+}
+
+size_t Tracer::size() const {
+  size_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> l(stripe.mu);
+    n += stripe.ring.size();
+  }
+  return n;
+}
+
+uint64_t Tracer::dropped() const {
+  uint64_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> l(stripe.mu);
+    n += stripe.total - stripe.ring.size();
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> l(stripe.mu);
+    stripe.ring.clear();
+    stripe.next = 0;
+    stripe.total = 0;
+  }
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::vector<Span> out;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> l(stripe.mu);
+    out.insert(out.end(), stripe.ring.begin(), stripe.ring.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;  // parents first
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::string Tracer::ChromeEventsJson() const {
+  std::vector<Span> spans = Snapshot();
+  std::string out = "[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out.append(",\n ");
+    first = false;
+  };
+
+  sep();
+  out.append(
+      "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+      "\"args\": {\"name\": \"bolt-db\"}}");
+  {
+    std::lock_guard<std::mutex> l(names_mu_);
+    for (const auto& entry : thread_names_) {
+      sep();
+      char buf[64];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+                    "\"tid\": %u, ",
+                    entry.first);
+      out.append(buf);
+      out.append("\"args\": {\"name\": \"");
+      AppendEscaped(&out, entry.second.c_str());
+      out.append("\"}}");
+    }
+  }
+
+  for (const Span& s : spans) {
+    sep();
+    out.append("{\"name\": \"");
+    AppendEscaped(&out, s.name);
+    out.append("\", \"cat\": \"");
+    AppendEscaped(&out, s.cat);
+    out.append("\", \"ph\": \"X\", \"ts\": ");
+    AppendMicros(&out, s.start_ns);
+    out.append(", \"dur\": ");
+    AppendMicros(&out, s.dur_ns);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ", \"pid\": 1, \"tid\": %u", s.tid);
+    out.append(buf);
+    if (s.num_args > 0 || s.str_key != nullptr) {
+      out.append(", \"args\": {");
+      for (int i = 0; i < s.num_args; i++) {
+        if (i > 0) out.append(", ");
+        out.append("\"");
+        AppendEscaped(&out, s.args[i].key);
+        std::snprintf(buf, sizeof(buf), "\": %" PRIu64, s.args[i].value);
+        out.append(buf);
+      }
+      if (s.str_key != nullptr) {
+        if (s.num_args > 0) out.append(", ");
+        out.append("\"");
+        AppendEscaped(&out, s.str_key);
+        out.append("\": \"");
+        AppendEscaped(&out, s.str_value.c_str());
+        out.append("\"");
+      }
+      out.append("}");
+    }
+    out.append("}");
+  }
+  out.append("]");
+  return out;
+}
+
+std::string Tracer::ChromeJson() const {
+  return "{\"traceEvents\": " + ChromeEventsJson() + "}";
+}
+
+TidOverrideScope::TidOverrideScope(uint32_t tid) : saved_(tls_tid_override) {
+  tls_tid_override = tid;
+}
+
+TidOverrideScope::~TidOverrideScope() { tls_tid_override = saved_; }
+
+}  // namespace obs
+}  // namespace bolt

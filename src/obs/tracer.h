@@ -1,0 +1,192 @@
+// Tracer: bounded span recording with Chrome trace-event export.
+//
+// Where the MetricsRegistry says how much and the EventListener says
+// when, the Tracer says *what overlapped with what*: every span is a
+// named [start, start+dur) interval on a logical thread (tid), so a
+// dump opened in Perfetto / chrome://tracing shows a group compaction's
+// shards overlapping their data barriers, the WAL fsync inside a write
+// group, and the single MANIFEST commit that ends each job.
+//
+// Design:
+//  * Spans are recorded into 8 thread-striped bounded rings (stripe
+//    picked by the recording thread's tid), so concurrent shards never
+//    contend on one mutex.  When a stripe is full its oldest spans are
+//    overwritten; dropped() reports how many were lost.
+//  * Timestamps come from Env::NowNanos, so a DB on SimEnv emits
+//    deterministic virtual-time traces and a DB on PosixEnv emits
+//    wall-clock traces — same schema, same tooling.
+//  * SpanScope is the RAII recorder; BOLT_SPAN(tracer, "name") declares
+//    an anonymous scope covering the rest of the block.  A null tracer
+//    makes every operation a no-op (one branch), so instrumentation can
+//    stay compiled in on the hot path.
+//  * Export is the Chrome trace-event JSON format: ph:"X" complete
+//    events sorted by (ts, -dur) so parents precede their children and
+//    ts is monotonic per tid, plus ph:"M" thread_name metadata.
+//
+//   obs::SpanScope span(tracer_, "compaction");
+//   span.AddArg("level", level);
+//   ...  // nested SpanScopes / TracingEnv file ops record inside
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bolt {
+
+class Env;
+
+namespace obs {
+
+// One completed span.  name/cat/arg keys must be static-duration
+// strings (string literals); the one string-valued arg (file paths)
+// is owned.
+struct Span {
+  static constexpr int kMaxArgs = 4;
+  struct Arg {
+    const char* key;
+    uint64_t value;
+  };
+
+  const char* name = nullptr;
+  const char* cat = "db";
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+  uint64_t seq = 0;  // global record order; tie-break for equal starts
+  int num_args = 0;
+  Arg args[kMaxArgs];
+  const char* str_key = nullptr;  // optional string-valued arg
+  std::string str_value;
+};
+
+class Tracer {
+ public:
+  // clock supplies timestamps (pass the DB's Env so SimEnv traces carry
+  // virtual time).  capacity_per_stripe bounds each of the 8 thread
+  // stripes; total retained spans <= 8 * capacity_per_stripe.
+  Tracer(Env* clock, size_t capacity_per_stripe);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  uint64_t NowNanos() const;
+
+  // The calling thread's stable logical id (assigned on first use,
+  // process-wide).  TidOverrideScope substitutes a reserved id, letting
+  // SimEnv's inline background work appear as its own lane.
+  static uint32_t CurrentTid();
+
+  // Allocate a fresh tid bound to no thread and give it a display name.
+  uint32_t ReserveTid(const char* name);
+  // Name the calling thread's tid in the exported trace.
+  void NameCurrentThread(const char* name);
+
+  void Record(Span&& span);
+
+  size_t size() const;        // spans currently retained
+  uint64_t dropped() const;   // spans overwritten because a stripe filled
+  void Clear();
+
+  // Oldest-first (by start_ns, longest-first on ties so parents precede
+  // children) copy of the retained spans.
+  std::vector<Span> Snapshot() const;
+
+  // The sorted events as a JSON array of Chrome trace events (ph:"M"
+  // thread-name metadata first, then ph:"X" complete events).
+  std::string ChromeEventsJson() const;
+  // Complete Chrome trace object: {"traceEvents": [...]}.
+  std::string ChromeJson() const;
+
+ private:
+  static constexpr int kStripes = 8;
+
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::vector<Span> ring;  // grows to capacity, then wraps
+    size_t next = 0;         // insertion cursor once full
+    uint64_t total = 0;      // spans ever recorded into this stripe
+  };
+
+  Env* const clock_;
+  const size_t stripe_capacity_;
+  Stripe stripes_[kStripes];
+  std::atomic<uint64_t> next_seq_{0};
+
+  mutable std::mutex names_mu_;
+  std::vector<std::pair<uint32_t, std::string>> thread_names_;
+};
+
+// RAII span: starts timing at construction, records into the tracer at
+// destruction (or Finish()).  All operations are no-ops when tracer is
+// null.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, const char* name, const char* cat = "db")
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      span_.name = name;
+      span_.cat = cat;
+      span_.start_ns = tracer_->NowNanos();
+    }
+  }
+  ~SpanScope() { Finish(); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+  void AddArg(const char* key, uint64_t value) {
+    if (tracer_ != nullptr && span_.num_args < Span::kMaxArgs) {
+      span_.args[span_.num_args++] = {key, value};
+    }
+  }
+  void SetStrArg(const char* key, std::string value) {
+    if (tracer_ != nullptr) {
+      span_.str_key = key;
+      span_.str_value = std::move(value);
+    }
+  }
+
+  // Record the span now; further calls are no-ops.
+  void Finish() {
+    if (tracer_ != nullptr) {
+      span_.dur_ns = tracer_->NowNanos() - span_.start_ns;
+      span_.tid = Tracer::CurrentTid();
+      tracer_->Record(std::move(span_));
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  Span span_;
+};
+
+// While alive, spans recorded by this thread carry the given tid
+// instead of the thread's own.  Used by the DB's simulation mode, where
+// one OS thread plays both the foreground and the background lane.
+class TidOverrideScope {
+ public:
+  explicit TidOverrideScope(uint32_t tid);
+  ~TidOverrideScope();
+
+  TidOverrideScope(const TidOverrideScope&) = delete;
+  TidOverrideScope& operator=(const TidOverrideScope&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+#define BOLT_SPAN_CONCAT2(a, b) a##b
+#define BOLT_SPAN_CONCAT(a, b) BOLT_SPAN_CONCAT2(a, b)
+// Anonymous RAII span covering the rest of the enclosing block.
+#define BOLT_SPAN(tracer, name) \
+  ::bolt::obs::SpanScope BOLT_SPAN_CONCAT(bolt_span_, __LINE__)((tracer), (name))
+
+}  // namespace obs
+}  // namespace bolt

@@ -53,6 +53,25 @@ void Histogram::Merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void Histogram::Subtract(const Histogram& prev) {
+  // prev must be an earlier snapshot of this histogram, so every bucket
+  // of prev is <= the corresponding bucket here.  min/max cannot be
+  // recovered for the window; they are rederived from the populated
+  // bucket bounds, which is what the percentile math clamps against.
+  for (int i = 0; i < kBuckets; i++) {
+    buckets_[i] -= std::min(buckets_[i], prev.buckets_[i]);
+  }
+  count_ -= std::min(count_, prev.count_);
+  sum_ -= std::min(sum_, prev.sum_);
+  min_ = ~uint64_t{0};
+  max_ = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    if (buckets_[i] == 0) continue;
+    min_ = std::min(min_, BucketLower(i));
+    max_ = std::max(max_, BucketUpper(i));
+  }
+}
+
 double Histogram::Average() const {
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
 }

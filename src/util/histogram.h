@@ -17,6 +17,9 @@ class Histogram {
   void Clear();
   void Add(uint64_t value_ns);
   void Merge(const Histogram& other);
+  // Remove an earlier snapshot of this histogram, leaving the windowed
+  // distribution of values added since (interval stats dumps).
+  void Subtract(const Histogram& prev);
 
   uint64_t count() const { return count_; }
   uint64_t min() const { return count_ ? min_ : 0; }

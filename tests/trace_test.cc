@@ -1,0 +1,514 @@
+// Tests for the span-tracing subsystem (PR 5):
+//
+//  * Tracer: bounded-ring wraparound (newest spans retained, dropped()
+//    counts evictions), oldest-first Snapshot() ordering with
+//    parents-before-children tie-breaks, and Chrome trace-event JSON
+//    export with monotonic ts per tid.
+//  * TracingEnv: file classification by name, and — on SimEnv, where
+//    background work is serial and deterministic — the paper's barrier
+//    invariant as an *exact* ticker equation: one data barrier per
+//    flush/merge compaction, one MANIFEST barrier per job.
+//  * Per-shard attribution on PosixEnv: every subcompaction shard of a
+//    group compaction issues exactly one data barrier.
+//  * DumpTrace / GetProperty("bolt.trace.chrome") plumbing, the default
+//    LOG/LOG.old rotation, and the periodic stats dumper.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/db.h"
+#include "db/db_impl.h"
+#include "engines/presets.h"
+#include "env/tracing_env.h"
+#include "obs/event_listener.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "sim/sim_env.h"
+
+namespace bolt {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return std::string(buf);
+}
+
+std::string Val(int i, int gen = 0) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "value-%08d-gen%d-padpadpadpad", i, gen);
+  return std::string(buf);
+}
+
+std::string UniqueDbName(const std::string& tag) {
+  std::string test_name =
+      testing::UnitTest::GetInstance()->current_test_info()->name();
+  for (char& ch : test_name) {
+    if (ch == '/') ch = '_';
+  }
+  return "/tmp/bolt_trace_" + tag + "_" + test_name + "_" +
+         std::to_string(::getpid());
+}
+
+// Small-knob options so flushes and compactions happen within a few
+// hundred writes.
+Options SmallOptions(const char* preset) {
+  Options options = presets::ByName(preset);
+  options.write_buffer_size = 32 << 10;
+  options.max_file_size = 8 << 10;
+  options.logical_sstable_size = 4 << 10;
+  if (options.group_compaction_bytes) {
+    options.group_compaction_bytes = 16 << 10;
+  }
+  options.max_bytes_for_level_base = 32 << 10;
+  return options;
+}
+
+obs::Span MakeSpan(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                   uint32_t tid) {
+  obs::Span s;
+  s.name = name;
+  s.start_ns = start_ns;
+  s.dur_ns = dur_ns;
+  s.tid = tid;
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tracer unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, WraparoundKeepsNewestSpans) {
+  SimEnv clock;
+  obs::Tracer tracer(&clock, /*capacity_per_stripe=*/4);
+
+  static const char* kNames[10] = {"s0", "s1", "s2", "s3", "s4",
+                                   "s5", "s6", "s7", "s8", "s9"};
+  for (int i = 0; i < 10; i++) {
+    // One fixed tid => one stripe => the ring wraps after 4 spans.
+    tracer.Record(MakeSpan(kNames[i], /*start_ns=*/1000 * (i + 1),
+                           /*dur_ns=*/100, /*tid=*/5));
+  }
+  EXPECT_EQ(4u, tracer.size());
+  EXPECT_EQ(6u, tracer.dropped());
+
+  // The oldest six were evicted; the survivors come back oldest-first.
+  std::vector<obs::Span> spans = tracer.Snapshot();
+  ASSERT_EQ(4u, spans.size());
+  const char* expected[4] = {"s6", "s7", "s8", "s9"};
+  for (int i = 0; i < 4; i++) {
+    EXPECT_STREQ(expected[i], spans[i].name);
+    EXPECT_EQ(1000u * (i + 7), spans[i].start_ns);
+  }
+
+  tracer.Clear();
+  EXPECT_EQ(0u, tracer.size());
+  EXPECT_EQ(0u, tracer.dropped());
+}
+
+TEST(TracerTest, SnapshotPutsParentsBeforeChildren) {
+  SimEnv clock;
+  obs::Tracer tracer(&clock, 16);
+
+  // Child recorded first (RAII scopes finish inside-out), same start as
+  // its parent: the longer span must still sort first so trace viewers
+  // nest them correctly.
+  tracer.Record(MakeSpan("child", /*start_ns=*/5000, /*dur_ns=*/100, 1));
+  tracer.Record(MakeSpan("parent", /*start_ns=*/5000, /*dur_ns=*/900, 1));
+  tracer.Record(MakeSpan("earlier", /*start_ns=*/1000, /*dur_ns=*/10, 2));
+
+  std::vector<obs::Span> spans = tracer.Snapshot();
+  ASSERT_EQ(3u, spans.size());
+  EXPECT_STREQ("earlier", spans[0].name);
+  EXPECT_STREQ("parent", spans[1].name);
+  EXPECT_STREQ("child", spans[2].name);
+}
+
+TEST(TracerTest, ChromeJsonShapeAndMonotonicTs) {
+  SimEnv clock;
+  obs::Tracer tracer(&clock, 64);
+  uint32_t lane = tracer.ReserveTid("bg-lane");
+
+  {
+    obs::SpanScope outer(&tracer, "compaction");
+    ASSERT_TRUE(outer.active());
+    outer.AddArg("level", 2);
+    outer.SetStrArg("kind", "merge \"x\"");  // quote must be escaped
+    clock.SleepForMicroseconds(50);
+    {
+      obs::TidOverrideScope as_lane(lane);
+      obs::SpanScope inner(&tracer, "sync:cft", "io");
+      inner.AddArg("bytes", 4096);
+      clock.SleepForMicroseconds(10);
+    }
+    clock.SleepForMicroseconds(5);
+  }
+
+  const std::string json = tracer.ChromeJson();
+  EXPECT_EQ(0u, json.rfind("{\"traceEvents\": [", 0)) << json.substr(0, 60);
+  EXPECT_NE(std::string::npos,
+            json.find("{\"ph\": \"M\", \"name\": \"process_name\""));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"bg-lane\""));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"compaction\""));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"sync:cft\""));
+  EXPECT_NE(std::string::npos, json.find("\"cat\": \"io\""));
+  EXPECT_NE(std::string::npos, json.find("\"level\": 2"));
+  EXPECT_NE(std::string::npos, json.find("\"kind\": \"merge \\\"x\\\"\""));
+  EXPECT_NE(std::string::npos, json.find("\"ph\": \"X\""));
+
+  // Non-decreasing timestamps per tid in the exported order.
+  std::vector<obs::Span> spans = tracer.Snapshot();
+  ASSERT_EQ(2u, spans.size());
+  EXPECT_STREQ("compaction", spans[0].name);  // parent precedes child
+  EXPECT_EQ(lane, spans[1].tid);
+  uint64_t last_ts_per_tid[2] = {0, 0};
+  for (const obs::Span& s : spans) {
+    const int slot = (s.tid == lane) ? 1 : 0;
+    EXPECT_GE(s.start_ns, last_ts_per_tid[slot]);
+    last_ts_per_tid[slot] = s.start_ns;
+  }
+}
+
+TEST(TracerTest, NullTracerScopeIsNoOp) {
+  obs::SpanScope span(nullptr, "nothing");
+  EXPECT_FALSE(span.active());
+  span.AddArg("k", 1);
+  span.SetStrArg("s", "v");
+  span.Finish();  // must not crash, nothing to record into
+}
+
+TEST(TracerTest, ArgsCapAtMax) {
+  SimEnv clock;
+  obs::Tracer tracer(&clock, 8);
+  {
+    obs::SpanScope span(&tracer, "argful");
+    for (int i = 0; i < obs::Span::kMaxArgs + 3; i++) {
+      span.AddArg("k", i);
+    }
+  }
+  std::vector<obs::Span> spans = tracer.Snapshot();
+  ASSERT_EQ(1u, spans.size());
+  EXPECT_EQ(obs::Span::kMaxArgs, spans[0].num_args);
+}
+
+// ---------------------------------------------------------------------------
+// TracingEnv file classification.
+// ---------------------------------------------------------------------------
+
+TEST(TraceFileTypeTest, ClassifiesByBasename) {
+  EXPECT_EQ(TraceFileType::kWal, ClassifyTraceFile("/db/000012.log"));
+  EXPECT_EQ(TraceFileType::kTable, ClassifyTraceFile("/db/000034.ldb"));
+  EXPECT_EQ(TraceFileType::kCompaction, ClassifyTraceFile("/db/000056.cft"));
+  EXPECT_EQ(TraceFileType::kManifest,
+            ClassifyTraceFile("/db/MANIFEST-000003"));
+  EXPECT_EQ(TraceFileType::kCurrent, ClassifyTraceFile("/db/CURRENT"));
+  EXPECT_EQ(TraceFileType::kTemp, ClassifyTraceFile("/db/000078.dbtmp"));
+  EXPECT_EQ(TraceFileType::kInfoLog, ClassifyTraceFile("/db/LOG"));
+  EXPECT_EQ(TraceFileType::kInfoLog, ClassifyTraceFile("/db/LOG.old"));
+  EXPECT_EQ(TraceFileType::kOther, ClassifyTraceFile("/db/LOCK"));
+
+  EXPECT_STREQ("cft", TraceFileTypeLabel(TraceFileType::kCompaction));
+  EXPECT_STREQ("manifest", TraceFileTypeLabel(TraceFileType::kManifest));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotDelta: the periodic dumper's interval report.
+// ---------------------------------------------------------------------------
+
+TEST(TraceMetricsTest, SnapshotDeltaReportsOnlyMovedTickers) {
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry::Snapshot prev = registry.TakeSnapshot();
+
+  registry.Add(obs::kWalSyncs, 3);
+  registry.Add(obs::kManifestSyncs, 2);
+  std::string report = registry.SnapshotDelta(&prev, /*interval_sec=*/1.0);
+  EXPECT_NE(std::string::npos, report.find("wal.sync")) << report;
+  EXPECT_NE(std::string::npos, report.find("env.sync.manifest")) << report;
+  EXPECT_EQ(std::string::npos, report.find("compaction.count")) << report;
+
+  // Nothing moved since: the previous tickers must not reappear.
+  report = registry.SnapshotDelta(&prev, 1.0);
+  EXPECT_EQ(std::string::npos, report.find("wal.sync")) << report;
+
+  // And the snapshot advanced: only the new increment is reported.
+  registry.Add(obs::kWalSyncs, 1);
+  report = registry.SnapshotDelta(&prev, 1.0);
+  EXPECT_NE(std::string::npos, report.find("wal.sync")) << report;
+}
+
+// ---------------------------------------------------------------------------
+// SimEnv: the barrier invariant as an exact equation.
+// ---------------------------------------------------------------------------
+
+class TraceSimTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(TraceSimTest, BarrierInvariantUnderTracingEnv) {
+  SimEnv sim;
+  TracingEnv tenv(&sim);
+  obs::MetricsRegistry registry;
+
+  Options options = SmallOptions(GetParam());
+  options.env = &tenv;
+  options.metrics = &registry;
+  options.enable_tracing = true;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  for (int i = 0; i < 6000; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  db->WaitForBackgroundWork();
+
+  DbStats stats = db->GetStats();
+  ASSERT_GT(stats.memtable_flushes, 0u);
+  ASSERT_GT(stats.compactions + stats.trivial_moves, 0u);
+
+  // §2.1: every flush and every merge compaction issues exactly one
+  // data barrier (sim mode is serial, so no shard splitting), and every
+  // background job — merge, trivial move, pure-settled — commits through
+  // exactly one MANIFEST barrier.  The constant 2 is open-time: NewDB
+  // syncs the fresh MANIFEST, and Open's recovery LogAndApply syncs its
+  // snapshot.  CURRENT swaps are charged to their own ticker.
+  EXPECT_EQ(stats.memtable_flushes + stats.compactions,
+            registry.Get(obs::kCompactionFileSyncs));
+  EXPECT_EQ(2 + stats.memtable_flushes + stats.compactions +
+                stats.trivial_moves + stats.pure_settled_compactions,
+            registry.Get(obs::kManifestSyncs));
+  EXPECT_GE(registry.Get(obs::kCurrentSyncs), 1u);
+
+  // The trace carries the matching spans.
+  std::string json;
+  ASSERT_TRUE(db->GetProperty("bolt.trace.chrome", &json));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"flush\""));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"sync:manifest\""));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"manifest_commit\""));
+  // Sim mode has no group commit (single writer thread), so the write
+  // path's span is the WAL append itself.
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"wal_append\""));
+  if (stats.compactions > 0) {
+    EXPECT_NE(std::string::npos, json.find("\"name\": \"compaction\""));
+  }
+  // Sim lanes stay separate: fg + bg thread names are exported.
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"sim-fg-lane\""));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"sim-bg-lane\""));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, TraceSimTest,
+                         testing::Values("leveldb", "bolt", "hbolt"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(TraceDumpTest, DumpTraceWritesHostFileEvenFromSim) {
+  SimEnv sim;
+  Options options = SmallOptions("bolt");
+  options.env = &sim;
+  options.enable_tracing = true;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  for (int i = 0; i < 600; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+
+  const std::string path = UniqueDbName("dump") + ".json";
+  ASSERT_TRUE(db->DumpTrace(path).ok());
+
+  // The dump lands on the *host* filesystem, not in the SimEnv.
+  EXPECT_FALSE(sim.FileExists(path));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(PosixEnv(), path, &contents).ok());
+  EXPECT_EQ(0u, contents.rfind("{\"traceEvents\": [", 0));
+  EXPECT_NE(std::string::npos, contents.find("\"otherData\""));
+  EXPECT_NE(std::string::npos, contents.find("\"metrics\""));
+  EXPECT_NE(std::string::npos, contents.find("env.sync.manifest"));
+  PosixEnv()->RemoveFile(path);
+}
+
+TEST(TraceDumpTest, TracingOffMeansNoPropertyAndInvalidDump) {
+  SimEnv sim;
+  Options options = SmallOptions("bolt");
+  options.env = &sim;  // enable_tracing stays false
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  std::string json;
+  EXPECT_FALSE(db->GetProperty("bolt.trace.chrome", &json));
+  Status s = db->DumpTrace("/tmp/should_not_exist.json");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv: per-shard barrier attribution and the info-log plumbing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Captures every subcompaction shard's End callback.
+class ShardListener : public obs::EventListener {
+ public:
+  void OnSubcompactionEnd(const obs::SubcompactionInfo& info) override {
+    std::lock_guard<std::mutex> l(mu_);
+    ends_.push_back(info);
+  }
+  std::vector<obs::SubcompactionInfo> ends() {
+    std::lock_guard<std::mutex> l(mu_);
+    return ends_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<obs::SubcompactionInfo> ends_;
+};
+
+// Logger capturing formatted lines for assertions.
+class CaptureLogger : public Logger {
+ public:
+  void Logv(const char* format, va_list ap) override {
+    char buf[4096];
+    vsnprintf(buf, sizeof(buf), format, ap);
+    std::lock_guard<std::mutex> l(mu_);
+    captured_.append(buf);
+    captured_.push_back('\n');
+  }
+  std::string captured() {
+    std::lock_guard<std::mutex> l(mu_);
+    return captured_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::string captured_;
+};
+
+}  // namespace
+
+TEST(TracePosixTest, EveryShardIssuesExactlyOneDataBarrier) {
+  const std::string dbname = UniqueDbName("shards");
+  TracingEnv tenv(PosixEnv());
+  obs::MetricsRegistry registry;
+  auto listener = std::make_shared<ShardListener>();
+
+  Options options = SmallOptions("bolt");
+  options.env = &tenv;
+  options.metrics = &registry;
+  options.enable_tracing = true;
+  options.max_background_jobs = 2;
+  options.max_subcompactions = 4;
+  options.listeners.push_back(listener);
+  DestroyDB(dbname, options);
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  db->WaitForBackgroundWork();
+  DBImpl* impl = static_cast<DBImpl*>(db.get());
+  impl->TEST_CompactRange(0, nullptr, nullptr);
+  impl->TEST_CompactRange(1, nullptr, nullptr);
+  db->WaitForBackgroundWork();
+
+  // Group compaction: each shard streams into its own compaction file
+  // and seals it with exactly one data barrier, regardless of how many
+  // logical tables it emitted.
+  std::vector<obs::SubcompactionInfo> ends = listener->ends();
+  ASSERT_FALSE(ends.empty());
+  bool saw_multi_shard = false;
+  for (const obs::SubcompactionInfo& info : ends) {
+    EXPECT_TRUE(info.status.ok()) << info.status.ToString();
+    EXPECT_LT(info.shard, info.num_shards);
+    if (info.output_bytes > 0) {
+      EXPECT_EQ(1u, info.sync_calls)
+          << "shard " << info.shard << "/" << info.num_shards;
+    }
+    if (info.num_shards > 1) saw_multi_shard = true;
+  }
+  EXPECT_TRUE(saw_multi_shard) << "workload never split a job into shards";
+
+  // Shard spans made it into the trace with their shard index.
+  std::string json;
+  ASSERT_TRUE(db->GetProperty("bolt.trace.chrome", &json));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"subcompaction\""));
+  EXPECT_NE(std::string::npos, json.find("\"name\": \"sync:cft\""));
+
+  db.reset();
+  DestroyDB(dbname, options);
+}
+
+TEST(TracePosixTest, DefaultInfoLogIsCreatedAndRotated) {
+  const std::string dbname = UniqueDbName("log");
+  Options options = SmallOptions("leveldb");
+  options.env = PosixEnv();
+  DestroyDB(dbname, options);
+
+  {
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
+    delete raw;
+  }
+  EXPECT_TRUE(PosixEnv()->FileExists(dbname + "/LOG"));
+  EXPECT_FALSE(PosixEnv()->FileExists(dbname + "/LOG.old"));
+
+  {
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
+    delete raw;
+  }
+  EXPECT_TRUE(PosixEnv()->FileExists(dbname + "/LOG"));
+  EXPECT_TRUE(PosixEnv()->FileExists(dbname + "/LOG.old"));
+
+  std::string contents;
+  ASSERT_TRUE(
+      ReadFileToString(PosixEnv(), dbname + "/LOG", &contents).ok());
+  EXPECT_NE(std::string::npos, contents.find("Opened")) << contents;
+
+  DestroyDB(dbname, options);
+}
+
+TEST(TracePosixTest, PeriodicStatsDumperLogsIntervalDeltas) {
+  const std::string dbname = UniqueDbName("statsdump");
+  CaptureLogger logger;
+  Options options = SmallOptions("bolt");
+  options.env = PosixEnv();
+  options.info_log = &logger;
+  options.stats_dump_period_sec = 1;
+  DestroyDB(dbname, options);
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  // Wait (bounded) for at least one dump to land.
+  for (int i = 0; i < 50; i++) {
+    if (logger.captured().find("stats (last") != std::string::npos) break;
+    PosixEnv()->SleepForMicroseconds(100 * 1000);
+  }
+  const std::string captured = logger.captured();
+  EXPECT_NE(std::string::npos, captured.find("stats (last")) << captured;
+  EXPECT_NE(std::string::npos, captured.find("db.keys.written")) << captured;
+
+  db.reset();  // must join the timer thread and drain the dump task
+  DestroyDB(dbname, options);
+}
+
+}  // namespace bolt
