@@ -12,7 +12,15 @@ Checks, in order:
      enclosing span must also end inside it.  In particular every
      sync:cft span inside a compaction lane sits inside its
      subcompaction/compaction span.
-  4. The paper's barrier invariant, from otherData.metrics:
+  4. The exact barrier sum-equations, from otherData.metrics — these
+     hold for EVERY run, fault/recover cycles included, because the DB
+     charges each *successful* sync exactly once as committed (its job
+     installed) or orphaned (its job later failed):
+         env.sync.compaction_file == barrier.data.committed
+                                       + barrier.data.orphaned
+         env.sync.manifest        == barrier.manifest.committed
+                                       + barrier.manifest.orphaned
+  5. The paper's per-job barrier invariant:
          env.sync.compaction_file == flush.count + compaction.count
          env.sync.manifest        == 2 + flush.count + compaction.count
                                        + compaction.trivial_moves
@@ -20,7 +28,10 @@ Checks, in order:
      (one data barrier per flush/merge job, one MANIFEST barrier per
      background job, plus the two open-time MANIFEST syncs).  Skipped
      when the run saw background errors or resumes (failed jobs retry
-     their barriers) or when the dump carries no metrics.
+     their barriers; the sum-equations of check 4 still apply).
+  6. When the run recovered from background errors (error.resumes > 0),
+     a "resume" span must be retained, properly nested on its lane
+     (check 3 covers the nesting).
 
 Exit code 0 on success; nonzero with a message on the first violation.
 Stdlib only.
@@ -92,6 +103,39 @@ def check_events(events):
     return n_x, names
 
 
+def check_barrier_sums(metrics):
+    """The exact equations: every successful sync is charged once, as
+    committed or orphaned.  These hold across fault/recover cycles."""
+    def get(name):
+        v = metrics.get(name, 0)
+        if not isinstance(v, int):
+            fail(f"metrics[{name!r}] is not an integer")
+        return v
+
+    data = get("env.sync.compaction_file")
+    data_sum = get("barrier.data.committed") + get("barrier.data.orphaned")
+    if data != data_sum:
+        fail(f"data-barrier sum: env.sync.compaction_file={data}, want "
+             f"committed+orphaned={data_sum} "
+             f"({get('barrier.data.committed')}+"
+             f"{get('barrier.data.orphaned')})")
+
+    manifest = get("env.sync.manifest")
+    manifest_sum = (get("barrier.manifest.committed")
+                    + get("barrier.manifest.orphaned"))
+    if manifest != manifest_sum:
+        fail(f"MANIFEST-barrier sum: env.sync.manifest={manifest}, want "
+             f"committed+orphaned={manifest_sum} "
+             f"({get('barrier.manifest.committed')}+"
+             f"{get('barrier.manifest.orphaned')})")
+
+    print(f"trace_check: barrier sum-equations hold (data={data}: "
+          f"{get('barrier.data.committed')} committed + "
+          f"{get('barrier.data.orphaned')} orphaned; manifest={manifest}: "
+          f"{get('barrier.manifest.committed')} committed + "
+          f"{get('barrier.manifest.orphaned')} orphaned)")
+
+
 def check_barrier_invariant(metrics):
     def get(name):
         v = metrics.get(name, 0)
@@ -100,8 +144,8 @@ def check_barrier_invariant(metrics):
         return v
 
     if get("error.background") or get("error.resumes"):
-        print("trace_check: background errors seen; skipping barrier "
-              "invariant")
+        print("trace_check: background errors seen; skipping per-job "
+              "barrier invariant (sum-equations already checked)")
         return
 
     flushes = get("flush.count")
@@ -166,6 +210,12 @@ def main():
                 if required not in names:
                     fail(f"compactions ran but no {required!r} span "
                          f"retained (trace_capacity too small?)")
+        # Recovered runs must carry their recovery spans, nested like
+        # any other span (check_events already verified nesting).
+        if metrics.get("error.resumes", 0) and "resume" not in names:
+            fail("run recovered from background errors but no 'resume' "
+                 "span retained")
+        check_barrier_sums(metrics)
         check_barrier_invariant(metrics)
     else:
         print("trace_check: no otherData.metrics; skipping barrier "

@@ -6,12 +6,19 @@
 #
 # Tier-1 (ROADMAP.md) builds the default tree — which already includes
 # the AddressSanitizer fault-injection variant (asan/ test prefix) —
-# and runs the whole ctest suite.  The TSan pass rebuilds the tree with
-# BOLT_SANITIZE=thread and runs the concurrent observability tests
-# (registry stripes, listener fan-out, shared-registry writers) plus
-# the posix-env suite (real background thread + writer queue) and the
-# parallel-compaction suite (thread pool, dedicated flush lane, sharded
-# subcompactions) under ThreadSanitizer.
+# and runs the whole ctest suite.  On top of that, the fast pass runs
+# the traced fault/recover cycle (auto-recovery under injected faults,
+# DumpTrace validated by trace_check.py: span nesting, recovery spans,
+# and the exact barrier sum-equations committed+orphaned) and the
+# crash-point matrix (every recorded sync point x 3 engine presets:
+# device dies at the point, power-cut, reopen, no acked-write loss).
+# The TSan pass rebuilds the tree with BOLT_SANITIZE=thread and runs
+# the concurrent observability tests (registry stripes, listener
+# fan-out, shared-registry writers) plus the posix-env suite (real
+# background thread + writer queue), the parallel-compaction suite
+# (thread pool, dedicated flush lane, sharded subcompactions), and the
+# recovery suite (auto-recovery racing concurrent writers) under
+# ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +37,15 @@ echo "==> trace: micro_core smoke, traced fig12 run, schema + barrier check"
 ./build/bench/fig12_design_quant --trace=build/fig12_trace.json 2>/dev/null
 python3 scripts/trace_check.py build/fig12_trace.json
 
+echo "==> recovery: traced fault/recover cycles, barrier sum-equations"
+BOLT_RECOVERY_TRACE="$PWD/build/recovery_trace.json" \
+  ./build/tests/recovery_test \
+  --gtest_filter='*TracedFaultRecoverCycleDumpsCheckableTrace*' >/dev/null
+python3 scripts/trace_check.py build/recovery_trace.json
+
+echo "==> crash-point matrix: sync points x engine presets, crash + reopen"
+./build/tests/crash_point_test >/dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "verify OK (fast: tier-1 only)"
   exit 0
@@ -37,7 +53,7 @@ fi
 
 echo "==> TSan: build (BOLT_SANITIZE=thread)"
 cmake -B build-tsan -S . -DBOLT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target obs_test posix_env_test db_basic_test parallel_compaction_test trace_test
+cmake --build build-tsan -j "$JOBS" --target obs_test posix_env_test db_basic_test parallel_compaction_test trace_test recovery_test
 
 echo "==> TSan: concurrent observability tests"
 ./build-tsan/tests/obs_test
@@ -45,5 +61,6 @@ echo "==> TSan: concurrent observability tests"
 ./build-tsan/tests/db_basic_test
 ./build-tsan/tests/parallel_compaction_test
 ./build-tsan/tests/trace_test
+./build-tsan/tests/recovery_test --gtest_filter='RecoveryPosixTest.*'
 
 echo "verify OK (tier-1 + ASan variant + TSan obs pass)"

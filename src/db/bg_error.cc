@@ -1,0 +1,110 @@
+#include "db/bg_error.h"
+
+namespace bolt {
+
+const char* ErrorSeverityName(ErrorSeverity sev) {
+  switch (sev) {
+    case ErrorSeverity::kNone:      return "none";
+    case ErrorSeverity::kTransient: return "transient";
+    case ErrorSeverity::kSoftError: return "soft";
+    case ErrorSeverity::kHardError: return "hard";
+    case ErrorSeverity::kFatal:     return "fatal";
+  }
+  return "unknown";
+}
+
+const char* ErrorOperationName(ErrorOperation op) {
+  switch (op) {
+    case ErrorOperation::kUnknown:        return "unknown";
+    case ErrorOperation::kWalAppend:      return "wal_append";
+    case ErrorOperation::kWalSync:        return "wal_sync";
+    case ErrorOperation::kFlush:          return "flush";
+    case ErrorOperation::kCompaction:     return "compaction";
+    case ErrorOperation::kManifestCommit: return "manifest_commit";
+    case ErrorOperation::kReclaim:        return "reclaim";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* FileTypeName(FileType type) {
+  switch (type) {
+    case kLogFile:        return "wal";
+    case kDBLockFile:     return "lock";
+    case kTableFile:      return "table";
+    case kCompactionFile: return "compaction_file";
+    case kDescriptorFile: return "manifest";
+    case kCurrentFile:    return "current";
+    case kTempFile:       return "temp";
+    case kInfoLogFile:    return "info_log";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+ErrorSeverity ClassifyBgError(const Status& s, ErrorOperation op) {
+  if (s.ok()) return ErrorSeverity::kNone;
+  if (s.IsCorruption()) return ErrorSeverity::kFatal;
+  if (s.IsIOError()) {
+    switch (op) {
+      case ErrorOperation::kWalAppend:
+      case ErrorOperation::kWalSync:
+        return ErrorSeverity::kTransient;
+      case ErrorOperation::kFlush:
+      case ErrorOperation::kCompaction:
+      case ErrorOperation::kManifestCommit:
+      case ErrorOperation::kReclaim:
+        return ErrorSeverity::kSoftError;
+      case ErrorOperation::kUnknown:
+        return ErrorSeverity::kHardError;
+    }
+  }
+  return ErrorSeverity::kHardError;
+}
+
+bool ErrorState::Set(const Status& s, const BgErrorContext& ctx) {
+  const ErrorSeverity sev = ClassifyBgError(s, ctx.operation);
+  if (sev == ErrorSeverity::kNone) return false;
+  if (!ok() && sev <= severity_) return false;  // first error wins
+  status_ = s;
+  severity_ = sev;
+  context_ = ctx;
+  return true;
+}
+
+void ErrorState::Escalate() {
+  if (ok()) return;
+  if (severity_ < ErrorSeverity::kHardError) {
+    severity_ = ErrorSeverity::kHardError;
+  }
+}
+
+void ErrorState::Clear() {
+  if (!ok()) last_recovered_ = Describe();
+  status_ = Status::OK();
+  severity_ = ErrorSeverity::kNone;
+  context_ = BgErrorContext();
+}
+
+std::string ErrorState::Describe() const {
+  if (ok()) return "none";
+  std::string out = "op=";
+  out += ErrorOperationName(context_.operation);
+  if (context_.has_file_type) {
+    out += " file=";
+    out += FileTypeName(context_.file_type);
+    if (!context_.file_name.empty()) {
+      out += ":";
+      out += context_.file_name;
+    }
+  }
+  out += " severity=";
+  out += ErrorSeverityName(severity_);
+  out += ": ";
+  out += status_.ToString();
+  return out;
+}
+
+}  // namespace bolt

@@ -1,0 +1,104 @@
+// Error-severity model for background failures (DESIGN.md §11).
+//
+// Every background failure — WAL append/sync, memtable flush, compaction,
+// MANIFEST commit, value reclamation — is classified *at its origin* into
+// a severity that decides what happens next:
+//
+//   kTransient  retried automatically by the RecoveryManager; writers
+//               keep queueing (they observe the latched error only if
+//               they arrive mid-window).
+//   kSoftError  durability state is consistent but the failed job's
+//               output is lost; auto-recovery re-runs the Resume() path
+//               (flush memtables, rotate WAL, re-commit MANIFEST).
+//   kHardError  auto-recovery exhausted or the failure isn't retryable;
+//               the DB enters degraded read-only mode until a manual
+//               DB::Resume() succeeds.
+//   kFatal      on-disk state can no longer be trusted (Corruption);
+//               writes stay rejected and Resume() refuses to clear it.
+//
+// The severity travels with a BgErrorContext describing *where* the
+// failure happened (operation, file type, file name), which is what the
+// LOG line, bolt.stats and the OnBackgroundError listener surface —
+// previously only the Status text survived.
+#pragma once
+
+#include <string>
+
+#include "db/filename.h"
+#include "util/status.h"
+
+namespace bolt {
+
+enum class ErrorSeverity {
+  kNone = 0,
+  kTransient,
+  kSoftError,
+  kHardError,
+  kFatal,
+};
+
+// The background operation that produced the error.
+enum class ErrorOperation {
+  kUnknown = 0,
+  kWalAppend,
+  kWalSync,
+  kFlush,
+  kCompaction,
+  kManifestCommit,
+  kReclaim,
+};
+
+const char* ErrorSeverityName(ErrorSeverity sev);
+const char* ErrorOperationName(ErrorOperation op);
+
+struct BgErrorContext {
+  ErrorOperation operation = ErrorOperation::kUnknown;
+  bool has_file_type = false;  // false: failure wasn't tied to one file
+  FileType file_type = kLogFile;
+  std::string file_name;
+};
+
+// Map (status, origin) to a severity.  Corruption anywhere is fatal.
+// I/O errors on the WAL are transient (the write path retries cheaply:
+// rotate the log, re-commit); I/O errors in flush/compaction/MANIFEST
+// commit are soft (job output lost, state consistent).  Anything else —
+// NotSupported, InvalidArgument, unclassified codes — is hard.
+ErrorSeverity ClassifyBgError(const Status& s, ErrorOperation op);
+
+// The latched background-error state: what used to be a bare
+// `Status bg_error_`.  Owned by DBImpl, guarded by the DB mutex.
+class ErrorState {
+ public:
+  bool ok() const { return severity_ == ErrorSeverity::kNone; }
+  const Status& status() const { return status_; }
+  ErrorSeverity severity() const { return severity_; }
+  const BgErrorContext& context() const { return context_; }
+
+  // Latch (status, ctx).  First error wins, with one exception: a later
+  // error of strictly higher severity replaces the latched one (so a
+  // Corruption discovered while retrying a transient fault is not
+  // masked).  Returns true if this call changed the state.
+  bool Set(const Status& s, const BgErrorContext& ctx);
+
+  // Escalate the current error to kHardError (auto-recovery exhausted).
+  void Escalate();
+
+  // Clear after a successful recovery, remembering what was recovered
+  // from for the stats report.
+  void Clear();
+
+  // "op=<op> file=<type>:<name> severity=<sev>: <status>" — the LOG /
+  // bolt.stats rendering of the current (or last cleared) error.
+  std::string Describe() const;
+
+  // Last error this state recovered from (empty string if none).
+  const std::string& last_recovered() const { return last_recovered_; }
+
+ private:
+  Status status_;
+  ErrorSeverity severity_ = ErrorSeverity::kNone;
+  BgErrorContext context_;
+  std::string last_recovered_;
+};
+
+}  // namespace bolt

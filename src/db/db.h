@@ -115,9 +115,20 @@ class DB {
   // failure if recovery itself fails (the DB stays read-only: reads keep
   // working, writes keep returning the error).  No-op when healthy.
   //
-  // REQUIRES: no concurrent Write() calls (quiesce writers after
-  // observing the error before calling Resume()).
+  // Concurrent Write() calls are safe: Resume() waits for in-flight
+  // write groups to drain (they fail fast with the latched error) before
+  // rebuilding the WAL.  Transient and soft errors are normally healed
+  // automatically by the built-in RecoveryManager before a manual call
+  // is needed (Options::max_auto_recovery_attempts).
   virtual Status Resume() = 0;
+
+  // Integrity scrub: read every live logical SSTable with checksum
+  // verification and re-read the current MANIFEST, returning the first
+  // Corruption/IOError found (OK if the on-disk state is clean).  Runs
+  // against the current Version without blocking writes.  With
+  // Options::verify_integrity_on_resume, recovery runs this before
+  // re-admitting writes.  Default: NotSupported.
+  virtual Status VerifyIntegrity();
 
   // Engine-level counters for the benchmark harness (barrier counts live
   // in Env::GetIoStats(); these are the compaction-machinery counters).

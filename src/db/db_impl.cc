@@ -25,6 +25,7 @@
 #include "util/cache.h"
 #include "util/coding.h"
 #include "util/mutexlock.h"
+#include "util/sync_point.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
 
@@ -215,8 +216,13 @@ DBImpl::~DBImpl() {
   mutex_.lock();
   shutting_down_.store(true, std::memory_order_release);
   stats_cv_.notify_all();  // wake the stats timer so it can exit
+  if (simulated()) {
+    // Sim-mode recovery runs inline on the write path; with shutdown
+    // set no further write will consume the pending flag.
+    recovery_scheduled_ = false;
+  }
   while (bg_flush_scheduled_ || bg_compactions_scheduled_ > 0 ||
-         stats_dump_scheduled_) {
+         stats_dump_scheduled_ || recovery_scheduled_) {
     background_work_finished_signal_.wait(mutex_);
   }
   mutex_.unlock();
@@ -268,13 +274,16 @@ Status DBImpl::NewDB() {
   if (!s.ok()) {
     return s;
   }
+  bool synced = false;
   {
     log::Writer log(file.get());
     std::string record;
     new_db.EncodeTo(&record);
     s = log.AddRecord(record);
     if (s.ok()) {
+      BOLT_SYNC_POINT("DBImpl::NewDB:BeforeManifestSync");
       s = file->Sync();
+      synced = s.ok();
     }
     if (s.ok()) {
       s = file->Close();
@@ -282,9 +291,18 @@ Status DBImpl::NewDB() {
   }
   if (s.ok()) {
     // Make "CURRENT" file that points to the new manifest file.
+    BOLT_SYNC_POINT("DBImpl::NewDB:BeforeCurrentSwap");
     s = SetCurrentFile(env_, dbname_, 1);
   } else {
     env_->RemoveFile(manifest);
+  }
+  // Manifest barrier bookkeeping: every successful MANIFEST Sync() ends
+  // up committed (the descriptor installs) or orphaned (a later step
+  // failed and the file was discarded), so
+  // env.sync.manifest == barrier.manifest.committed + orphaned exactly.
+  if (synced) {
+    metrics_->Add(s.ok() ? obs::kManifestBarriersCommitted
+                         : obs::kManifestBarriersOrphaned);
   }
   return s;
 }
@@ -606,6 +624,7 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, VersionEdit* edit,
 Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
   // REQUIRES: mutex_ held.
   obs::SpanScope span(tracer_, "flush");
+  BOLT_SYNC_POINT("DBImpl::WriteLevel0Table:Start");
   const uint64_t start_ns = env_->NowNanos();
   metrics_->Add(obs::kMemtableFlushes);
   for (const auto& listener : options_.listeners) {
@@ -643,17 +662,24 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
       }
     }
     if (s.ok()) {
+      BOLT_SYNC_POINT("DBImpl::WriteLevel0Table:BeforeFinish");
       s = writer.Finish();
     } else {
       writer.Abandon();
     }
   }
   delete iter;
+  BOLT_SYNC_POINT("DBImpl::WriteLevel0Table:Built");
   mutex_.lock();
 
   metrics_->Add(obs::kCompactionBytesWritten, writer.bytes_written());
   metrics_->Add(obs::kCompactionOutputTables, writer.outputs().size());
   metrics_->Add(obs::kCompactionFilesCreated, writer.file_numbers().size());
+  // Data barriers this flush issued: committed if the tables go into the
+  // edit, orphaned if the job failed and the files are deleted below.
+  metrics_->Add(s.ok() ? obs::kDataBarriersCommitted
+                       : obs::kDataBarriersOrphaned,
+                writer.sync_calls());
 
   if (s.ok()) {
     for (const TableMeta& meta : writer.outputs()) {
@@ -699,6 +725,7 @@ void DBImpl::CompactMemTable() {
   // Save the contents of the memtable as a new Table
   VersionEdit edit;
   Status s = WriteLevel0Table(imm_, &edit);
+  ErrorOperation failed_op = ErrorOperation::kFlush;
 
   if (s.ok() && shutting_down_.load(std::memory_order_acquire)) {
     s = Status::IOError("Deleting DB during memtable compaction");
@@ -708,7 +735,11 @@ void DBImpl::CompactMemTable() {
   if (s.ok()) {
     edit.SetPrevLogNumber(0);
     edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
+    BOLT_SYNC_POINT("DBImpl::CompactMemTable:BeforeManifestCommit");
     s = versions_->LogAndApply(&edit);
+    if (!s.ok()) {
+      failed_op = ErrorOperation::kManifestCommit;
+    }
   }
 
   if (s.ok()) {
@@ -721,9 +752,11 @@ void DBImpl::CompactMemTable() {
       AddL0Event(done, +1);
       imm_done_time_ = done;
     }
+    BOLT_SYNC_POINT("DBImpl::CompactMemTable:Committed");
     RemoveObsoleteFiles();
   } else {
-    RecordBackgroundError(s);
+    metrics_->Add(obs::kFlushFailures);
+    RecordBackgroundError(s, failed_op);
   }
 }
 
@@ -804,22 +837,237 @@ Status DBImpl::TEST_CompactMemTable() {
         background_work_finished_signal_.wait(mutex_);
       }
       if (imm_ != nullptr) {
-        s = bg_error_;
+        s = bg_error_.status();
       }
     }
   }
   return s;
 }
 
-void DBImpl::RecordBackgroundError(const Status& s) {
-  if (bg_error_.ok()) {
-    bg_error_ = s;
-    metrics_->Add(obs::kBackgroundErrors);
-    for (const auto& listener : options_.listeners) {
-      listener->OnBackgroundError(s);
-    }
-    background_work_finished_signal_.notify_all();
+void DBImpl::RecordBackgroundError(const Status& s, ErrorOperation op,
+                                   bool has_file_type, FileType file_type,
+                                   const std::string& file_name) {
+  BgErrorContext ctx;
+  ctx.operation = op;
+  ctx.has_file_type = has_file_type;
+  ctx.file_type = file_type;
+  ctx.file_name = file_name;
+  if (!bg_error_.Set(s, ctx)) {
+    return;  // an equal-or-worse error is already latched
   }
+  metrics_->Add(obs::kBackgroundErrors);
+  switch (bg_error_.severity()) {
+    case ErrorSeverity::kTransient:
+      metrics_->Add(obs::kErrorsTransient);
+      break;
+    case ErrorSeverity::kSoftError:
+      metrics_->Add(obs::kErrorsSoft);
+      break;
+    case ErrorSeverity::kHardError:
+      metrics_->Add(obs::kErrorsHard);
+      break;
+    case ErrorSeverity::kFatal:
+      metrics_->Add(obs::kErrorsFatal);
+      break;
+    case ErrorSeverity::kNone:
+      break;
+  }
+  metrics_->SetGauge(obs::kErrorCurrentSeverity,
+                     static_cast<uint64_t>(bg_error_.severity()));
+  Log(options_.info_log, "Background error latched: %s",
+      bg_error_.Describe().c_str());
+  obs::BackgroundErrorInfo info;
+  info.operation = op;
+  info.severity = bg_error_.severity();
+  info.has_file_type = has_file_type;
+  info.file_type = file_type;
+  info.file_name = file_name;
+  info.status = s;
+  for (const auto& listener : options_.listeners) {
+    listener->OnBackgroundError(info);
+  }
+  BOLT_SYNC_POINT("DBImpl::RecordBackgroundError:Latched");
+  // A new (or escalated-by-replacement) error restarts the retry budget.
+  recovery_attempt_ = 0;
+  MaybeScheduleRecovery();
+  background_work_finished_signal_.notify_all();
+}
+
+void DBImpl::MaybeScheduleRecovery() {
+  // REQUIRES: mutex_ held.
+  if (recovery_scheduled_) {
+    return;  // an attempt is already queued or running
+  }
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (bg_error_.ok() || options_.max_auto_recovery_attempts <= 0) {
+    return;
+  }
+  const ErrorSeverity sev = bg_error_.severity();
+  if (sev != ErrorSeverity::kTransient && sev != ErrorSeverity::kSoftError) {
+    return;  // hard/fatal: only a manual Resume() may clear it
+  }
+  recovery_scheduled_ = true;
+  if (simulated()) {
+    // Single-threaded simulation: retrying inline from deep inside a
+    // failing write/compaction would re-enter the engine mid-operation,
+    // so recovery runs lazily from the next MakeRoomForWrite (which
+    // calls BackgroundRecovery directly).  Leave the flag set so the
+    // next write knows an attempt is owed.
+    return;
+  }
+  env_->Schedule(&DBImpl::BGRecoveryWork, this, Env::Priority::kLow);
+}
+
+void DBImpl::BGRecoveryWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundRecovery();
+}
+
+uint64_t DBImpl::RecoveryBackoffMicros(int attempt) {
+  // base * 2^(n-1), capped, +/- jitter.  xorshift on a per-DB seed: no
+  // wall-clock entropy so simulated runs stay reproducible.
+  uint64_t delay = options_.recovery_backoff_base_micros;
+  for (int i = 1; i < attempt && delay < options_.recovery_backoff_max_micros;
+       i++) {
+    delay *= 2;
+  }
+  if (delay > options_.recovery_backoff_max_micros) {
+    delay = options_.recovery_backoff_max_micros;
+  }
+  double jitter = options_.recovery_backoff_jitter;
+  if (jitter > 0 && delay > 0) {
+    if (jitter >= 1.0) jitter = 0.99;
+    uint64_t x = recovery_jitter_seed_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    recovery_jitter_seed_ = x;
+    // Uniform in [-jitter, +jitter] of the delay.
+    const double frac = (static_cast<double>(x % 10000) / 5000.0) - 1.0;
+    const int64_t adj = static_cast<int64_t>(frac * jitter *
+                                             static_cast<double>(delay));
+    delay = static_cast<uint64_t>(static_cast<int64_t>(delay) + adj);
+  }
+  return delay;
+}
+
+void DBImpl::BackgroundRecovery() {
+  // The RecoveryManager retry loop.  On PosixEnv this is the body of a
+  // low-priority pool task; in sim mode MakeRoomForWrite runs it inline
+  // on the virtual clock.  REQUIRES on entry: recovery_scheduled_ set by
+  // MaybeScheduleRecovery; mutex_ held iff simulated.
+  if (!simulated()) {
+    mutex_.lock();
+  }
+  while (!shutting_down_.load(std::memory_order_acquire) &&
+         !bg_error_.ok() &&
+         (bg_error_.severity() == ErrorSeverity::kTransient ||
+          bg_error_.severity() == ErrorSeverity::kSoftError) &&
+         recovery_attempt_ < options_.max_auto_recovery_attempts) {
+    recovery_attempt_++;
+    const int attempt = recovery_attempt_;
+    const uint64_t backoff = RecoveryBackoffMicros(attempt);
+    metrics_->Add(obs::kRecoveryAttempts);
+    metrics_->SetGauge(obs::kRecoveryAttemptGauge, attempt);
+    obs::RecoveryInfo rinfo;
+    rinfo.attempt = attempt;
+    rinfo.auto_recovery = true;
+    rinfo.backoff_micros = backoff;
+    for (const auto& listener : options_.listeners) {
+      listener->OnErrorRecoveryBegin(rinfo);
+    }
+    BOLT_SYNC_POINT("DBImpl::BackgroundRecovery:Attempt");
+    if (simulated()) {
+      sim_->AdvanceCpu(backoff * 1000);  // backoff charged as virtual time
+    } else {
+      // Sleep outside the mutex, in slices, so shutdown isn't held up by
+      // a long backoff.
+      mutex_.unlock();
+      uint64_t remaining = backoff;
+      while (remaining > 0 &&
+             !shutting_down_.load(std::memory_order_acquire)) {
+        const uint64_t slice = remaining < 10000 ? remaining : 10000;
+        env_->SleepForMicroseconds(static_cast<int>(slice));
+        remaining -= slice;
+      }
+      mutex_.lock();
+      if (shutting_down_.load(std::memory_order_acquire)) {
+        break;
+      }
+      // Wait for in-flight write groups and background jobs to drain:
+      // a group leader may be appending to the WAL with mutex_ released,
+      // and ResumeInternal is about to swap the log and memtable under
+      // it.  Leaders arriving now fail fast on the latched error, so the
+      // queue empties; Write() wakes us when it does.
+      while (!writers_.empty() || bg_flush_scheduled_ ||
+             bg_compactions_scheduled_ > 0) {
+        if (shutting_down_.load(std::memory_order_acquire)) {
+          break;
+        }
+        background_work_finished_signal_.wait(mutex_);
+      }
+      if (shutting_down_.load(std::memory_order_acquire)) {
+        break;
+      }
+    }
+    if (bg_error_.ok()) {
+      break;  // a manual Resume() beat us to it
+    }
+    Status s = ResumeInternal(/*auto_recovery=*/true);
+    rinfo.status = s;
+    if (s.ok()) {
+      metrics_->Add(obs::kRecoverySuccesses);
+      for (const auto& listener : options_.listeners) {
+        listener->OnErrorRecoveryEnd(rinfo);
+      }
+      break;
+    }
+    metrics_->Add(obs::kRecoveryFailures);
+    if (s.IsCorruption()) {
+      // The retry discovered on-disk damage: latch it as fatal (Set
+      // replaces lower severities) and stop retrying.
+      RecordBackgroundError(s, bg_error_.context().operation);
+    }
+    rinfo.escalated = !bg_error_.ok() &&
+                      recovery_attempt_ >= options_.max_auto_recovery_attempts;
+    for (const auto& listener : options_.listeners) {
+      listener->OnErrorRecoveryEnd(rinfo);
+    }
+  }
+  if (!bg_error_.ok() &&
+      (bg_error_.severity() == ErrorSeverity::kTransient ||
+       bg_error_.severity() == ErrorSeverity::kSoftError) &&
+      recovery_attempt_ >= options_.max_auto_recovery_attempts) {
+    // Retry budget exhausted: degrade to read-only until a manual
+    // Resume() succeeds.
+    bg_error_.Escalate();
+    metrics_->Add(obs::kRecoveryEscalations);
+    metrics_->SetGauge(obs::kErrorCurrentSeverity,
+                       static_cast<uint64_t>(bg_error_.severity()));
+    Log(options_.info_log,
+        "Auto-recovery exhausted after %d attempts; degraded read-only: %s",
+        recovery_attempt_, bg_error_.Describe().c_str());
+    BOLT_SYNC_POINT("DBImpl::BackgroundRecovery:Escalated");
+  }
+  metrics_->SetGauge(obs::kRecoveryAttemptGauge, 0);
+  recovery_scheduled_ = false;
+  background_work_finished_signal_.notify_all();
+  if (!simulated()) {
+    mutex_.unlock();
+  }
+}
+
+Status DBImpl::DegradedWriteError() {
+  // REQUIRES: mutex_ held and bg_error_ latched.
+  if (bg_error_.severity() == ErrorSeverity::kHardError ||
+      bg_error_.severity() == ErrorSeverity::kFatal) {
+    metrics_->Add(obs::kWritesRejectedReadOnly);
+    return Status::ReadOnly(bg_error_.Describe());
+  }
+  // Transient/soft window: recovery is still working on it; surface the
+  // original failure.
+  return bg_error_.status();
 }
 
 void DBImpl::RecordWriteStall(const obs::WriteStallInfo& info) {
@@ -1059,6 +1307,7 @@ void DBImpl::UnregisterCompactionInputs(const Compaction* c) {
 
 void DBImpl::BackgroundCompaction() {
   // REQUIRES: mutex_ held.
+  BOLT_SYNC_POINT("DBImpl::BackgroundCompaction:Start");
   if (!flush_lane_dedicated_ && imm_ != nullptr && !imm_flush_active_) {
     // Shared-lane mode: the flush job rides the same queue, but an
     // urgent imm_ is served first, as in classic LevelDB.  (With a
@@ -1144,7 +1393,8 @@ void DBImpl::BackgroundCompaction() {
     c->edit()->AddTable(c->level() + 1, *f);
     status = versions_->LogAndApply(c->edit());
     if (!status.ok()) {
-      RecordBackgroundError(status);
+      metrics_->Add(obs::kCompactionFailures);
+      RecordBackgroundError(status, ErrorOperation::kManifestCommit);
     } else {
       metrics_->Add(obs::kTrivialMoves);
     }
@@ -1164,16 +1414,14 @@ void DBImpl::BackgroundCompaction() {
     job.pure_settled = true;
     status = versions_->LogAndApply(c->edit());
     if (!status.ok()) {
-      RecordBackgroundError(status);
+      metrics_->Add(obs::kCompactionFailures);
+      RecordBackgroundError(status, ErrorOperation::kManifestCommit);
     }
   } else {
     CompactionState* compact = new CompactionState(c);
     RegisterCompactionInputs(c);
-    status = DoCompactionWork(compact);
+    status = DoCompactionWork(compact);  // latches errors itself
     UnregisterCompactionInputs(c);
-    if (!status.ok()) {
-      RecordBackgroundError(status);
-    }
     job.output_bytes = compact->total_bytes_written();
     job.output_tables = compact->total_tables_written();
     job.subcompactions = compact->subs.size();
@@ -1356,11 +1604,31 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
 
   mutex_.lock();
 
+  ErrorOperation failed_op = ErrorOperation::kCompaction;
   if (status.ok()) {
     status = InstallCompactionResults(compact);
+    if (!status.ok()) {
+      failed_op = ErrorOperation::kManifestCommit;
+    }
   }
+  // Data barriers issued by the shards: committed if the MANIFEST edit
+  // installed the outputs, orphaned if the job failed (the files are
+  // deleted by the next RemoveObsoleteFiles pass).  Together with the
+  // flush-side accounting this keeps
+  // env.sync.compaction_file == barrier.data.committed + orphaned exact
+  // across fault/recover cycles.
+  uint64_t data_syncs = 0;
+  for (const auto& sub : compact->subs) {
+    if (sub.writer != nullptr) {
+      data_syncs += sub.writer->sync_calls();
+    }
+  }
+  metrics_->Add(status.ok() ? obs::kDataBarriersCommitted
+                            : obs::kDataBarriersOrphaned,
+                data_syncs);
   if (!status.ok()) {
-    RecordBackgroundError(status);
+    metrics_->Add(obs::kCompactionFailures);
+    RecordBackgroundError(status, failed_op);
   }
   return status;
 }
@@ -1562,6 +1830,7 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
     metrics_->Add(obs::kSettledBytesSaved, f->size);
   }
 
+  BOLT_SYNC_POINT("DBImpl::InstallCompactionResults:BeforeManifestCommit");
   Status s = versions_->LogAndApply(c->edit());
   if (s.ok()) {
     // Dead logical SSTables inside still-live compaction files become
@@ -1614,9 +1883,11 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       const Slice contents = WriteBatchInternal::Contents(updates);
       metrics_->Add(obs::kWalBytesAppended, contents.size());
       uint64_t t0 = timed ? env_->NowNanos() : 0;
+      ErrorOperation wal_op = ErrorOperation::kWalAppend;
       {
         obs::SpanScope wal_span(tracer_, "wal_append");
         wal_span.AddArg("bytes", contents.size());
+        BOLT_SYNC_POINT("DBImpl::Write:BeforeWalAppend");
         status = log_->AddRecord(contents);
       }
       if (timed) {
@@ -1625,7 +1896,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         t0 = t1;
       }
       if (status.ok() && options.sync) {
+        wal_op = ErrorOperation::kWalSync;  // append succeeded
         obs::SpanScope sync_span(tracer_, "wal_sync");
+        BOLT_SYNC_POINT("DBImpl::Write:BeforeWalSync");
         status = logfile_->Sync();
         sync_span.Finish();
         metrics_->Add(obs::kWalSyncs);
@@ -1649,7 +1922,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         // everything past a corruption, so later acked writes could
         // silently vanish on recovery.  Latch the error; writes are
         // rejected until Resume() rotates to a fresh WAL.
-        RecordBackgroundError(status);
+        RecordBackgroundError(status, wal_op, true, kLogFile,
+                              LogFileName(dbname_, logfile_number_));
       }
       if (status.ok()) {
         const uint64_t m0 = timed ? env_->NowNanos() : 0;
@@ -1676,6 +1950,12 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   w.done = false;
 
   MutexLock l(&mutex_);
+  if (!bg_error_.ok()) {
+    // Fail fast without joining the queue: this keeps the queue draining
+    // while an error is latched (the RecoveryManager waits for exactly
+    // that) and gives degraded-mode writers the read-only error.
+    return DegradedWriteError();
+  }
   writers_.push_back(&w);
   while (!w.done && &w != writers_.front()) {
     w.cv.wait(mutex_);
@@ -1713,9 +1993,11 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       group_span.AddArg("bytes", contents.size());
       metrics_->Add(obs::kWalBytesAppended, contents.size());
       uint64_t t0 = timed ? env_->NowNanos() : 0;
+      ErrorOperation wal_op = ErrorOperation::kWalAppend;
       {
         obs::SpanScope wal_span(tracer_, "wal_append");
         wal_span.AddArg("bytes", contents.size());
+        BOLT_SYNC_POINT("DBImpl::Write:BeforeWalAppend");
         status = log_->AddRecord(contents);
       }
       if (timed) {
@@ -1725,7 +2007,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       }
       bool wal_error = false;
       if (status.ok() && options.sync) {
+        wal_op = ErrorOperation::kWalSync;  // append succeeded
         obs::SpanScope sync_span(tracer_, "wal_sync");
+        BOLT_SYNC_POINT("DBImpl::Write:BeforeWalSync");
         status = logfile_->Sync();
         sync_span.Finish();
         metrics_->Add(obs::kWalSyncs);
@@ -1761,7 +2045,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       group_span.Finish();
       mutex_.lock();
       if (wal_error) {
-        RecordBackgroundError(status);
+        RecordBackgroundError(status, wal_op, true, kLogFile,
+                              LogFileName(dbname_, logfile_number_));
       }
     }
     if (write_batch == tmp_batch_) tmp_batch_->Clear();
@@ -1783,6 +2068,11 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   // Notify new head of write queue
   if (!writers_.empty()) {
     writers_.front()->cv.notify_one();
+  } else {
+    // The recovery paths (auto and manual Resume) wait for the writer
+    // queue to drain before swapping the WAL and memtable under a
+    // mid-flight group leader.
+    background_work_finished_signal_.notify_all();
   }
 
   if (timed) {
@@ -1879,7 +2169,15 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     while (true) {
       const uint64_t now = sim_->LaneNow(SimContext::kFgLane);
       if (!bg_error_.ok()) {
-        s = bg_error_;
+        if (recovery_scheduled_) {
+          // The owed auto-recovery attempt runs here, inline on the
+          // virtual clock (MaybeScheduleRecovery defers it in sim mode).
+          BackgroundRecovery();
+          if (bg_error_.ok()) {
+            continue;
+          }
+        }
+        s = DegradedWriteError();
         break;
       }
       if (allow_delay && options_.enable_l0_slowdown &&
@@ -1949,8 +2247,8 @@ Status DBImpl::MakeRoomForWrite(bool force) {
   assert(!writers_.empty());
   while (true) {
     if (!bg_error_.ok()) {
-      // Yield previous error
-      s = bg_error_;
+      // Yield previous error (a read-only rejection once degraded).
+      s = DegradedWriteError();
       break;
     } else if (allow_delay && options_.enable_l0_slowdown &&
                versions_->current()->NumLevelRuns(0) >=
@@ -2240,6 +2538,15 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
              metrics_->Get(obs::kStallWrites),
              metrics_->Get(obs::kSlowdownWrites));
     value->append(buf);
+    if (!bg_error_.ok()) {
+      value->append("background_error: ");
+      value->append(bg_error_.Describe());
+      value->append("\n");
+    } else if (!bg_error_.last_recovered().empty()) {
+      value->append("last_recovered_error: ");
+      value->append(bg_error_.last_recovered());
+      value->append("\n");
+    }
     value->append(metrics_->ToString());
     return true;
   } else if (in == "levels") {
@@ -2360,24 +2667,57 @@ DbStats DBImpl::GetStats() {
   s.hole_punches = metrics_->Get(obs::kHolePunches);
   s.hole_punch_failures = metrics_->Get(obs::kHolePunchFailures);
   s.reclamation_backlog = zombies_.size();
+  s.background_errors = metrics_->Get(obs::kBackgroundErrors);
   s.resumes = metrics_->Get(obs::kResumes);
+  s.recovery_attempts = metrics_->Get(obs::kRecoveryAttempts);
+  s.recovery_escalations = metrics_->Get(obs::kRecoveryEscalations);
+  s.writes_rejected_readonly = metrics_->Get(obs::kWritesRejectedReadOnly);
   return s;
 }
 
 Status DBImpl::Resume() {
   MutexLock l(&mutex_);
+  // If the RecoveryManager is mid-retry, let it finish first: it may
+  // heal the error for us, and racing two Resume paths over the same
+  // WAL/memtable swap would be unsound.
+  while (recovery_scheduled_ && !simulated() &&
+         !shutting_down_.load(std::memory_order_acquire)) {
+    background_work_finished_signal_.wait(mutex_);
+  }
   if (bg_error_.ok()) {
     return Status::OK();  // nothing to recover from
   }
-  if (bg_error_.IsCorruption()) {
+  if (bg_error_.status().IsCorruption() ||
+      bg_error_.severity() == ErrorSeverity::kFatal) {
     // On-disk state is suspect; a live handle cannot repair that.
-    return bg_error_;
+    return bg_error_.status();
   }
+  obs::RecoveryInfo rinfo;
+  rinfo.attempt = ++recovery_attempt_;
+  for (const auto& listener : options_.listeners) {
+    listener->OnErrorRecoveryBegin(rinfo);
+  }
+  Status s = ResumeInternal(/*auto_recovery=*/false);
+  rinfo.status = s;
+  for (const auto& listener : options_.listeners) {
+    listener->OnErrorRecoveryEnd(rinfo);
+  }
+  return s;
+}
+
+Status DBImpl::ResumeInternal(bool auto_recovery) {
+  // REQUIRES: mutex_ held; bg_error_ latched with a non-fatal error.
   obs::SpanScope span(tracer_, "resume");
+  span.SetStrArg("mode", auto_recovery ? "auto" : "manual");
+  BOLT_SYNC_POINT("DBImpl::ResumeInternal:Start");
   // Drain any background job that was already running when the error
-  // latched (it will see bg_error_ and bail without side effects).
+  // latched (it will see bg_error_ and bail without side effects), and
+  // any in-flight write group (a leader may be appending to the WAL
+  // with mutex_ released; we are about to swap the log under it).  New
+  // writers fail fast on the latch, so the queue empties.
   while (!simulated() &&
-         (bg_flush_scheduled_ || bg_compactions_scheduled_ > 0)) {
+         (!writers_.empty() || bg_flush_scheduled_ ||
+          bg_compactions_scheduled_ > 0)) {
     background_work_finished_signal_.wait(mutex_);
   }
 
@@ -2441,15 +2781,129 @@ Status DBImpl::Resume() {
     AddL0Event(sim_->Now(), flushed);
     imm_done_time_ = sim_->Now();
   }
-  bg_error_ = Status::OK();
+
+  if (options_.verify_integrity_on_resume) {
+    // Scrub every live table + the MANIFEST before re-admitting writes.
+    Status vs = VerifyIntegrityLocked();
+    if (!vs.ok()) {
+      if (vs.IsCorruption()) {
+        // Escalate: the latch replaces the retryable error with fatal.
+        RecordBackgroundError(vs, bg_error_.context().operation);
+      }
+      return vs;  // still degraded
+    }
+  }
+
+  // Committed and verified: clear the latch and re-admit writes.
+  Log(options_.info_log, "Recovered from background error (%s): %s",
+      auto_recovery ? "auto" : "manual", bg_error_.Describe().c_str());
+  bg_error_.Clear();
+  metrics_->SetGauge(obs::kErrorCurrentSeverity, 0);
+  recovery_attempt_ = 0;
+  if (simulated()) {
+    // A manual Resume() may heal before the write path ran the pending
+    // inline recovery; drop the flag so a future error can re-arm it.
+    recovery_scheduled_ = false;
+  }
   metrics_->Add(obs::kResumes);
   for (const auto& listener : options_.listeners) {
     listener->OnResume();
   }
+  BOLT_SYNC_POINT("DBImpl::ResumeInternal:Done");
   RemoveObsoleteFiles();
   MaybeScheduleCompaction();
   background_work_finished_signal_.notify_all();
   return Status::OK();
+}
+
+Status DB::VerifyIntegrity() {
+  return Status::NotSupported("VerifyIntegrity",
+                              "not supported by this DB");
+}
+
+Status DBImpl::VerifyIntegrity() {
+  MutexLock l(&mutex_);
+  return VerifyIntegrityLocked();
+}
+
+Status DBImpl::VerifyIntegrityLocked() {
+  // REQUIRES: mutex_ held (released during the scan).  Reads every live
+  // logical SSTable with checksum verification through the normal
+  // iterator machinery, then re-reads the current MANIFEST through a
+  // checksumming log reader.  Runs against a referenced Version, so
+  // writes/compactions proceed while the scrub reads (they cannot
+  // while a recovery holds the error latch, which is the intended use).
+  metrics_->Add(obs::kIntegrityScrubs);
+  obs::SpanScope span(tracer_, "integrity_scrub");
+  BOLT_SYNC_POINT("DBImpl::VerifyIntegrity:Start");
+  Version* current = versions_->current();
+  current->Ref();
+  uint64_t tables = 0;
+  for (int level = 0; level < options_.num_levels; level++) {
+    tables += versions_->NumLevelTables(level);
+  }
+  ReadOptions ro;
+  ro.verify_checksums = true;
+  ro.fill_cache = false;
+  std::vector<Iterator*> iters;
+  current->AddIterators(ro, &iters);
+
+  mutex_.unlock();
+  Status s;
+  for (Iterator* it : iters) {
+    if (s.ok()) {
+      for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      }
+      s = it->status();
+    }
+    delete it;
+  }
+
+  if (s.ok()) {
+    // Re-read the MANIFEST named by CURRENT (the durable descriptor —
+    // after a failed commit, manifest_file_number_ already points at the
+    // next incarnation) through a checksumming reader.
+    std::string current_contents;
+    s = ReadFileToString(env_, CurrentFileName(dbname_), &current_contents);
+    if (s.ok() &&
+        (current_contents.empty() || current_contents.back() != '\n')) {
+      s = Status::Corruption("CURRENT file malformed", dbname_);
+    }
+    if (s.ok()) {
+      current_contents.resize(current_contents.size() - 1);
+      const std::string manifest = dbname_ + "/" + current_contents;
+      std::unique_ptr<SequentialFile> mf;
+      s = env_->NewSequentialFile(manifest, &mf);
+      if (s.ok()) {
+        struct Reporter : public log::Reader::Reporter {
+          Status status;
+          void Corruption(size_t, const Status& cs) override {
+            if (status.ok()) status = cs;
+          }
+        };
+        Reporter reporter;
+        log::Reader reader(mf.get(), &reporter, true /*checksum*/);
+        std::string scratch;
+        Slice record;
+        while (reader.ReadRecord(&record, &scratch)) {
+        }
+        s = reporter.status;
+      }
+    }
+  }
+  mutex_.lock();
+
+  current->Unref();
+  if (s.ok()) {
+    metrics_->Add(obs::kIntegrityTablesVerified, tables);
+  } else {
+    metrics_->Add(obs::kIntegrityErrors);
+    Log(options_.info_log, "Integrity scrub failed: %s",
+        s.ToString().c_str());
+  }
+  span.AddArg("tables", tables);
+  span.SetStrArg("result", s.ok() ? "clean" : "damaged");
+  return s;
 }
 
 DB::~DB() = default;

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "db/bg_error.h"
 #include "db/db.h"
 #include "db/dbformat.h"
 #include "db/snapshot.h"
@@ -75,6 +76,7 @@ class DBImpl : public DB {
   void WaitForBackgroundWork() override;
   DbStats GetStats() override;
   Status Resume() override;
+  Status VerifyIntegrity() override;
 
   // ---- Extra methods (for testing / benches) ----
 
@@ -127,7 +129,35 @@ class DBImpl : public DB {
   Status MakeRoomForWrite(bool force /* compact even if there is room? */);
   WriteBatch* BuildBatchGroup(Writer** last_writer);
 
-  void RecordBackgroundError(const Status& s);
+  // Latch a background error with its origin context (DESIGN.md §11).
+  // Classifies the severity, charges the severity tickers, notifies
+  // OnBackgroundError listeners, logs one line, and — for retryable
+  // severities — kicks the RecoveryManager.  REQUIRES: mutex_ held.
+  void RecordBackgroundError(const Status& s, ErrorOperation op,
+                             bool has_file_type = false,
+                             FileType file_type = kLogFile,
+                             const std::string& file_name = std::string());
+
+  // ---- RecoveryManager (DESIGN.md §11) ----
+  // Queue an auto-recovery attempt on the low-priority lane (no-op if
+  // one is already queued/running, the error isn't retryable, or
+  // auto-recovery is disabled).  In sim mode the retries run inline,
+  // charging the backoff as virtual time.  REQUIRES: mutex_ held.
+  void MaybeScheduleRecovery();
+  static void BGRecoveryWork(void* db);
+  void BackgroundRecovery();
+  // Bounded exponential backoff with jitter for the given 1-based
+  // attempt number.
+  uint64_t RecoveryBackoffMicros(int attempt);
+  // The Resume() machinery, shared by the manual API and the
+  // RecoveryManager.  REQUIRES: mutex_ held.
+  Status ResumeInternal(bool auto_recovery);
+  // The error a write observes while bg_error_ is latched: the raw
+  // latched status for retryable severities, a distinct read-only
+  // IOError subtype once degraded.  REQUIRES: mutex_ held.
+  Status DegradedWriteError();
+  // VerifyIntegrity with mutex_ already held (released during I/O).
+  Status VerifyIntegrityLocked();
 
   void MaybeScheduleCompaction();
   // Schedule a flush of imm_ (high-priority lane when dedicated).
@@ -275,8 +305,20 @@ class DBImpl : public DB {
 
   VersionSet* const versions_;
 
-  // Have we encountered a background error in paranoid mode?
-  Status bg_error_;
+  // Latched background-error state: severity + origin context
+  // (DESIGN.md §11).  bg_error_.ok() plays the role the old bare
+  // `Status bg_error_` did; writes observe status()/severity().
+  ErrorState bg_error_;
+
+  // ---- RecoveryManager state (protected by mutex_) ----
+  // Is an auto-recovery task queued on the pool or running?  The
+  // destructor drains this flag exactly like the bg job flags.
+  bool recovery_scheduled_ = false;
+  // 1-based attempt counter for the current error; reset when the latch
+  // clears or a new error replaces it.
+  int recovery_attempt_ = 0;
+  // Seedable RNG for backoff jitter (only recovery tasks touch it).
+  uint64_t recovery_jitter_seed_ = 0x9e3779b97f4a7c15ull;
 
   // ---- Simulation-mode state ----
   uint64_t imm_done_time_ = 0;  // virtual completion of the last flush

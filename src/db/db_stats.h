@@ -38,8 +38,12 @@ struct DbStats {
   uint64_t hole_punch_failures = 0;    // failed calls (reclamation deferred)
   uint64_t reclamation_backlog = 0;    // zombies currently awaiting a punch
 
-  // ---- Failure handling ----
-  uint64_t resumes = 0;  // successful DB::Resume() recoveries
+  // ---- Failure handling (DESIGN.md §11) ----
+  uint64_t background_errors = 0;      // failures latched by the DB
+  uint64_t resumes = 0;  // successful recoveries (manual or automatic)
+  uint64_t recovery_attempts = 0;      // RecoveryManager resume attempts
+  uint64_t recovery_escalations = 0;   // retry budgets exhausted -> hard
+  uint64_t writes_rejected_readonly = 0;  // writes refused while degraded
 };
 
 }  // namespace bolt

@@ -116,6 +116,25 @@ struct Options {
   // ---- Victim picking ----------------------------------------------------------
   VictimPolicy victim_policy = VictimPolicy::kRoundRobin;
 
+  // ---- Failure handling & auto-recovery (DESIGN.md §11) -------------------------
+  // Background failures classified kTransient/kSoftError are retried
+  // automatically through the Resume() path by the RecoveryManager, up
+  // to this many attempts; exhaustion escalates to kHardError (degraded
+  // read-only mode until a manual DB::Resume()).  0 disables
+  // auto-recovery entirely (every retryable error behaves as hard).
+  int max_auto_recovery_attempts = 8;
+  // Bounded exponential backoff between attempts: attempt n waits
+  // base * 2^(n-1) capped at max, +/- a uniform jitter fraction (so a
+  // fleet of shards hitting one device error doesn't retry in lockstep).
+  // SimEnv charges the backoff as virtual time.
+  uint64_t recovery_backoff_base_micros = 1000;
+  uint64_t recovery_backoff_max_micros = 1000000;
+  double recovery_backoff_jitter = 0.25;  // fraction of the delay, [0,1)
+  // Run DB::VerifyIntegrity() (checksum scrub of every live table +
+  // the MANIFEST) before a recovery re-admits writes.  Off by default:
+  // the scrub reads every live byte.
+  bool verify_integrity_on_resume = false;
+
   // ---- Background parallelism (PosixEnv; clamps to 1 on SimEnv) ----------------
   // Total background threads.  1 keeps the classic LevelDB scheduler
   // (flushes and compactions share one thread).  With >= 2, one thread

@@ -7,11 +7,13 @@
 #include "db/filename.h"
 #include "db/table_cache.h"
 #include "env/env.h"
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "table/iterator.h"
 #include "table/merger.h"
 #include "table/two_level_iterator.h"
 #include "util/coding.h"
+#include "util/sync_point.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
 
@@ -813,6 +815,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
 
   // Write new record to MANIFEST log: the commit mark.  The Sync() here
   // is the second data barrier of each compaction (Fig 3(b)).
+  bool synced = false;
   if (s.ok()) {
     obs::SpanScope span(options_->tracer, "manifest_commit");
     span.AddArg("manifest", manifest_file_number_);
@@ -820,15 +823,27 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
     edit->EncodeTo(&record);
     span.AddArg("record_bytes", record.size());
     s = descriptor_log_->AddRecord(record);
+    BOLT_SYNC_POINT("VersionSet::LogAndApply:BeforeManifestSync");
     if (s.ok()) {
       s = descriptor_file_->Sync();
+      synced = s.ok();
     }
+    BOLT_SYNC_POINT("VersionSet::LogAndApply:AfterManifestSync");
   }
 
   // If we just created a new descriptor file, install it by writing a
   // new CURRENT file that points to it.
   if (s.ok() && !new_manifest_file.empty()) {
+    BOLT_SYNC_POINT("VersionSet::LogAndApply:BeforeCurrentSwap");
     s = SetCurrentFile(env_, dbname_, manifest_file_number_);
+  }
+
+  // Barrier attribution: every *successful* MANIFEST sync is charged
+  // exactly once — committed if the edit installs, orphaned if a later
+  // step (CURRENT swap) failed and the barrier bought no durable commit.
+  if (synced && options_->metrics != nullptr) {
+    options_->metrics->Add(s.ok() ? obs::kManifestBarriersCommitted
+                                  : obs::kManifestBarriersOrphaned);
   }
 
   // Install the new version

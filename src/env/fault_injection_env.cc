@@ -11,7 +11,27 @@ namespace {
 // so a torn suffix is cut at a 512-byte boundary.
 constexpr uint64_t kSectorSize = 512;
 
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t n = strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
 }  // namespace
+
+FaultFileClass ClassifyFaultFile(const std::string& fname) {
+  const size_t sep = fname.rfind('/');
+  const std::string base =
+      sep == std::string::npos ? fname : fname.substr(sep + 1);
+  if (HasSuffix(base, ".log")) return FaultFileClass::kWal;
+  if (HasSuffix(base, ".ldb") || HasSuffix(base, ".cft")) {
+    return FaultFileClass::kTable;
+  }
+  if (base.rfind("MANIFEST-", 0) == 0) return FaultFileClass::kManifest;
+  if (base == "CURRENT" || HasSuffix(base, ".dbtmp")) {
+    return FaultFileClass::kCurrent;
+  }
+  return FaultFileClass::kOther;
+}
 
 // ---- Wrapped file handles --------------------------------------------------
 
@@ -22,7 +42,7 @@ class FaultWritableFile final : public WritableFile {
       : fname_(std::move(fname)), target_(std::move(target)), env_(env) {}
 
   Status Append(const Slice& data) override {
-    Status s = env_->CheckInject(FaultOp::kAppend);
+    Status s = env_->CheckInject(FaultOp::kAppend, fname_);
     if (!s.ok()) return s;
     s = target_->Append(data);
     if (s.ok()) {
@@ -35,7 +55,7 @@ class FaultWritableFile final : public WritableFile {
   Status Flush() override { return target_->Flush(); }
 
   Status Sync() override {
-    Status s = env_->CheckInject(FaultOp::kSync);
+    Status s = env_->CheckInject(FaultOp::kSync, fname_);
     if (!s.ok()) {
       // A failed fsync leaves the data's durability indeterminate; model
       // the hard case: nothing since the last good barrier is durable.
@@ -56,12 +76,12 @@ class FaultWritableFile final : public WritableFile {
 
 class FaultSequentialFile final : public SequentialFile {
  public:
-  FaultSequentialFile(std::unique_ptr<SequentialFile> target,
+  FaultSequentialFile(std::string fname, std::unique_ptr<SequentialFile> target,
                       FaultInjectionEnv* env)
-      : target_(std::move(target)), env_(env) {}
+      : fname_(std::move(fname)), target_(std::move(target)), env_(env) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
-    Status s = env_->CheckInject(FaultOp::kRead);
+    Status s = env_->CheckInject(FaultOp::kRead, fname_);
     if (!s.ok()) return s;
     s = target_->Read(n, result, scratch);
     if (s.ok() && !result->empty()) {
@@ -80,19 +100,21 @@ class FaultSequentialFile final : public SequentialFile {
   Status Skip(uint64_t n) override { return target_->Skip(n); }
 
  private:
+  const std::string fname_;
   std::unique_ptr<SequentialFile> target_;
   FaultInjectionEnv* const env_;
 };
 
 class FaultRandomAccessFile final : public RandomAccessFile {
  public:
-  FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> target,
+  FaultRandomAccessFile(std::string fname,
+                        std::unique_ptr<RandomAccessFile> target,
                         FaultInjectionEnv* env)
-      : target_(std::move(target)), env_(env) {}
+      : fname_(std::move(fname)), target_(std::move(target)), env_(env) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    Status s = env_->CheckInject(FaultOp::kRead);
+    Status s = env_->CheckInject(FaultOp::kRead, fname_);
     if (!s.ok()) return s;
     s = target_->Read(offset, n, result, scratch);
     if (s.ok() && !result->empty()) {
@@ -109,6 +131,7 @@ class FaultRandomAccessFile final : public RandomAccessFile {
   }
 
  private:
+  const std::string fname_;
   std::unique_ptr<RandomAccessFile> target_;
   FaultInjectionEnv* const env_;
 };
@@ -138,6 +161,20 @@ void FaultInjectionEnv::FailAlways(FaultOp op, const Status& error) {
   f.error = error;
 }
 
+void FaultInjectionEnv::FailNextK(FaultOp op, FaultFileClass file_class,
+                                  uint64_t k, const Status& error) {
+  if (k == 0) return;
+  std::lock_guard<std::mutex> l(mu_);
+  transient_faults_.push_back(TransientFault{op, file_class, k, error});
+}
+
+uint64_t FaultInjectionEnv::TransientFaultsRemaining() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = 0;
+  for (const TransientFault& f : transient_faults_) total += f.remaining;
+  return total;
+}
+
 void FaultInjectionEnv::SetReadCorruption(double probability) {
   std::lock_guard<std::mutex> l(mu_);
   read_corruption_p_ = probability;
@@ -153,6 +190,7 @@ void FaultInjectionEnv::ClearFaults() {
   for (Fault& f : faults_) {
     f = Fault();
   }
+  transient_faults_.clear();
   read_corruption_p_ = 0.0;
   torn_writes_ = false;
 }
@@ -167,10 +205,24 @@ uint64_t FaultInjectionEnv::FaultsInjected() const {
   return faults_injected_;
 }
 
-Status FaultInjectionEnv::CheckInject(FaultOp op) {
+Status FaultInjectionEnv::CheckInject(FaultOp op, const std::string& fname) {
   std::lock_guard<std::mutex> l(mu_);
   const int i = static_cast<int>(op);
   op_counts_[i]++;
+  // Transient faults first: a bounded fail window must drain
+  // deterministically even when a global fault is also armed.
+  for (auto it = transient_faults_.begin(); it != transient_faults_.end();
+       ++it) {
+    if (it->op != op) continue;
+    if (it->file_class != FaultFileClass::kAny &&
+        it->file_class != ClassifyFaultFile(fname)) {
+      continue;
+    }
+    Status err = it->error;
+    if (--it->remaining == 0) transient_faults_.erase(it);
+    faults_injected_++;
+    return err;
+  }
   Fault& f = faults_[i];
   if (!f.armed) return Status::OK();
   if (f.always) {
@@ -236,7 +288,7 @@ Status FaultInjectionEnv::NewSequentialFile(
   std::unique_ptr<SequentialFile> target;
   Status s = target_->NewSequentialFile(fname, &target);
   if (!s.ok()) return s;
-  result->reset(new FaultSequentialFile(std::move(target), this));
+  result->reset(new FaultSequentialFile(fname, std::move(target), this));
   return s;
 }
 
@@ -245,13 +297,13 @@ Status FaultInjectionEnv::NewRandomAccessFile(
   std::unique_ptr<RandomAccessFile> target;
   Status s = target_->NewRandomAccessFile(fname, &target);
   if (!s.ok()) return s;
-  result->reset(new FaultRandomAccessFile(std::move(target), this));
+  result->reset(new FaultRandomAccessFile(fname, std::move(target), this));
   return s;
 }
 
 Status FaultInjectionEnv::NewWritableFile(
     const std::string& fname, std::unique_ptr<WritableFile>* result) {
-  Status s = CheckInject(FaultOp::kNewWritableFile);
+  Status s = CheckInject(FaultOp::kNewWritableFile, fname);
   if (!s.ok()) return s;
   std::unique_ptr<WritableFile> target;
   s = target_->NewWritableFile(fname, &target);
@@ -266,7 +318,7 @@ Status FaultInjectionEnv::NewWritableFile(
 
 Status FaultInjectionEnv::NewAppendableFile(
     const std::string& fname, std::unique_ptr<WritableFile>* result) {
-  Status s = CheckInject(FaultOp::kNewWritableFile);
+  Status s = CheckInject(FaultOp::kNewWritableFile, fname);
   if (!s.ok()) return s;
   std::unique_ptr<WritableFile> target;
   s = target_->NewAppendableFile(fname, &target);
@@ -319,7 +371,7 @@ Status FaultInjectionEnv::GetFileSize(const std::string& fname,
 
 Status FaultInjectionEnv::RenameFile(const std::string& src,
                                      const std::string& target) {
-  Status s = CheckInject(FaultOp::kRename);
+  Status s = CheckInject(FaultOp::kRename, src);
   if (!s.ok()) return s;
   s = target_->RenameFile(src, target);
   if (s.ok()) {
@@ -348,7 +400,7 @@ Status FaultInjectionEnv::Truncate(const std::string& fname, uint64_t size) {
 
 Status FaultInjectionEnv::PunchHole(const std::string& fname, uint64_t offset,
                                     uint64_t length) {
-  Status s = CheckInject(FaultOp::kPunchHole);
+  Status s = CheckInject(FaultOp::kPunchHole, fname);
   if (!s.ok()) return s;
   return target_->PunchHole(fname, offset, length);
 }

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "env/env.h"
 #include "util/random.h"
@@ -41,6 +42,21 @@ enum class FaultOp {
 };
 inline constexpr int kNumFaultOps = 6;
 
+// File classes a *transient* fault can be scoped to, classified from the
+// file name exactly like TracingEnv's barrier attribution: a transient
+// WAL fault must not also fail the MANIFEST commit the recovery path
+// issues, or auto-recovery could never be tested in isolation.
+enum class FaultFileClass {
+  kAny = 0,
+  kWal,       // <number>.log
+  kTable,     // .ldb / .cft data files
+  kManifest,  // MANIFEST-<number>
+  kCurrent,   // CURRENT and .dbtmp staging files
+  kOther,
+};
+
+FaultFileClass ClassifyFaultFile(const std::string& fname);
+
 class FaultInjectionEnv final : public Env {
  public:
   // Does not take ownership of target.
@@ -53,6 +69,16 @@ class FaultInjectionEnv final : public Env {
   void FailNth(FaultOp op, uint64_t n, const Status& error);
   // Fail every subsequent operation of this kind until ClearFaults().
   void FailAlways(FaultOp op, const Status& error);
+  // Transient-fault mode: fail the next k operations of this kind that
+  // touch a file of the given class, then succeed again (the fault
+  // disarms itself).  This is the shape auto-recovery is built for — a
+  // device that errors for a bounded window, then heals.  Independent
+  // of the nth-op faults above; both may be armed at once (transient
+  // faults are checked first).
+  void FailNextK(FaultOp op, FaultFileClass file_class, uint64_t k,
+                 const Status& error);
+  // Injections still pending across all armed transient faults.
+  uint64_t TransientFaultsRemaining() const;
   // Each successful read flips one byte with this probability.
   void SetReadCorruption(double probability);
   // When enabled, Crash() keeps a random sector-aligned (512 B) prefix
@@ -121,9 +147,18 @@ class FaultInjectionEnv final : public Env {
     Status error;
   };
 
+  // A bounded fail-then-heal window (FailNextK).
+  struct TransientFault {
+    FaultOp op;
+    FaultFileClass file_class;
+    uint64_t remaining;
+    Status error;
+  };
+
   // Count one operation of this kind and return the injected error, if
-  // the plan says this one fails.
-  Status CheckInject(FaultOp op);
+  // the plan says this one fails.  fname scopes transient faults to
+  // their file class; the global nth-op faults ignore it.
+  Status CheckInject(FaultOp op, const std::string& fname = std::string());
   // True if this read should be corrupted (counts the read op too).
   bool ShouldCorruptRead(uint64_t* byte_seed);
 
@@ -135,6 +170,7 @@ class FaultInjectionEnv final : public Env {
   Random64 rnd_;
   uint64_t op_counts_[kNumFaultOps] = {};
   Fault faults_[kNumFaultOps];
+  std::vector<TransientFault> transient_faults_;
   double read_corruption_p_ = 0.0;
   bool torn_writes_ = false;
   uint64_t faults_injected_ = 0;

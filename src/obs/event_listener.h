@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "db/bg_error.h"
 #include "util/status.h"
 
 namespace bolt {
@@ -79,6 +80,28 @@ struct HolePunchInfo {
   bool ok = false;  // false: reclamation deferred to a later pass
 };
 
+// A background failure, with the origin context the severity model
+// captured when it was latched (db/bg_error.h).
+struct BackgroundErrorInfo {
+  ErrorOperation operation = ErrorOperation::kUnknown;
+  ErrorSeverity severity = ErrorSeverity::kNone;
+  bool has_file_type = false;
+  FileType file_type = kLogFile;
+  std::string file_name;
+  Status status;
+};
+
+// One recovery attempt (automatic or a manual DB::Resume()).  Begin
+// fires before the attempt, End after; on a successful End the DB is
+// accepting writes again.
+struct RecoveryInfo {
+  int attempt = 0;              // 1-based; counts auto-recovery retries
+  bool auto_recovery = false;   // false: a manual DB::Resume() call
+  uint64_t backoff_micros = 0;  // delay that preceded this attempt
+  Status status;                // set on End only
+  bool escalated = false;       // End only: retry budget exhausted
+};
+
 class EventListener {
  public:
   virtual ~EventListener() = default;
@@ -92,7 +115,9 @@ class EventListener {
   virtual void OnWriteStall(const WriteStallInfo&) {}
   virtual void OnSyncBarrier(const SyncBarrierInfo&) {}
   virtual void OnHolePunch(const HolePunchInfo&) {}
-  virtual void OnBackgroundError(const Status&) {}
+  virtual void OnBackgroundError(const BackgroundErrorInfo&) {}
+  virtual void OnErrorRecoveryBegin(const RecoveryInfo&) {}
+  virtual void OnErrorRecoveryEnd(const RecoveryInfo&) {}
   virtual void OnResume() {}
 };
 

@@ -19,6 +19,10 @@ const char* TickerName(Ticker t) {
     case kCompactionFileSyncs:     return "env.sync.compaction_file";
     case kManifestSyncs:           return "env.sync.manifest";
     case kCurrentSyncs:            return "env.sync.current";
+    case kDataBarriersCommitted:   return "barrier.data.committed";
+    case kDataBarriersOrphaned:    return "barrier.data.orphaned";
+    case kManifestBarriersCommitted: return "barrier.manifest.committed";
+    case kManifestBarriersOrphaned:  return "barrier.manifest.orphaned";
     case kSlowdownWrites:          return "governor.slowdown.writes";
     case kStallWrites:             return "governor.stall.writes";
     case kStallMicros:             return "governor.stall.micros";
@@ -39,6 +43,20 @@ const char* TickerName(Ticker t) {
     case kHolePunchFailures:       return "reclaim.hole_punch_failures";
     case kBackgroundErrors:        return "error.background";
     case kResumes:                 return "error.resumes";
+    case kErrorsTransient:         return "error.severity.transient";
+    case kErrorsSoft:              return "error.severity.soft";
+    case kErrorsHard:              return "error.severity.hard";
+    case kErrorsFatal:             return "error.severity.fatal";
+    case kWritesRejectedReadOnly:  return "error.writes_rejected_readonly";
+    case kFlushFailures:           return "flush.failed";
+    case kCompactionFailures:      return "compaction.failed";
+    case kRecoveryAttempts:        return "recovery.attempts";
+    case kRecoverySuccesses:       return "recovery.success";
+    case kRecoveryFailures:        return "recovery.failed";
+    case kRecoveryEscalations:     return "recovery.escalations";
+    case kIntegrityScrubs:         return "integrity.scrubs";
+    case kIntegrityTablesVerified: return "integrity.tables_verified";
+    case kIntegrityErrors:         return "integrity.errors";
     case kTableCacheHits:          return "table_cache.hit";
     case kTableCacheMisses:        return "table_cache.miss";
     case kBlockCacheHits:          return "block_cache.hit";
@@ -56,6 +74,8 @@ const char* GaugeName(Gauge g) {
     case kBgQueueDepthHigh:   return "bg.queue_depth.high";
     case kBgQueueDepthLow:    return "bg.queue_depth.low";
     case kBgInFlightCompactions: return "bg.in_flight_compactions";
+    case kErrorCurrentSeverity:  return "error.current_severity";
+    case kRecoveryAttemptGauge:  return "recovery.attempt";
     case kGaugeMax:           break;
   }
   return "unknown";

@@ -53,6 +53,17 @@ enum Ticker : uint32_t {
   kManifestSyncs,        // MANIFEST-* appends' fsync
   kCurrentSyncs,         // CURRENT swaps (.dbtmp sync before rename)
 
+  // ---- Barrier accounting (charged by the DB, not the env) ----
+  // Every successful data/manifest barrier is either *committed* (its
+  // job installed) or *orphaned* (the job failed after the barrier).
+  // Together they make the PR-5 equations exact even across faults:
+  //   env.sync.compaction_file == barrier.data.committed + orphaned
+  //   env.sync.manifest        == barrier.manifest.committed + orphaned
+  kDataBarriersCommitted,
+  kDataBarriersOrphaned,
+  kManifestBarriersCommitted,
+  kManifestBarriersOrphaned,
+
   // ---- Write governors ----
   kSlowdownWrites,      // L0SlowDown 1ms sleeps
   kStallWrites,         // L0Stop / memtable-full blocks
@@ -79,9 +90,23 @@ enum Ticker : uint32_t {
   kHolePunches,
   kHolePunchFailures,
 
-  // ---- Failure handling ----
+  // ---- Failure handling (DESIGN.md §11) ----
   kBackgroundErrors,
   kResumes,
+  kErrorsTransient,            // background errors classified kTransient
+  kErrorsSoft,                 // ... kSoftError
+  kErrorsHard,                 // ... kHardError (incl. escalations)
+  kErrorsFatal,                // ... kFatal (Corruption)
+  kWritesRejectedReadOnly,     // writes refused in degraded mode
+  kFlushFailures,              // flush jobs that did not install
+  kCompactionFailures,         // compaction jobs that did not install
+  kRecoveryAttempts,           // RecoveryManager resume attempts
+  kRecoverySuccesses,          // attempts that cleared the error
+  kRecoveryFailures,           // attempts that failed (will back off)
+  kRecoveryEscalations,        // retry budgets exhausted -> hard error
+  kIntegrityScrubs,            // VerifyIntegrity() invocations
+  kIntegrityTablesVerified,    // logical tables scanned clean
+  kIntegrityErrors,            // corruptions found by the scrubber
 
   // ---- Caches ----
   kTableCacheHits,
@@ -102,6 +127,8 @@ enum Gauge : uint32_t {
   kBgQueueDepthHigh,        // jobs queued on the flush lane
   kBgQueueDepthLow,         // jobs queued on the compaction lane
   kBgInFlightCompactions,   // merge compactions currently running
+  kErrorCurrentSeverity,    // latched severity (0 none .. 4 fatal)
+  kRecoveryAttemptGauge,    // attempt # of the in-flight auto-recovery
   kGaugeMax,
 };
 

@@ -20,6 +20,8 @@ const char* TraceEventTypeName(TraceEvent::Type t) {
     case TraceEvent::Type::kSyncBarrier:     return "sync_barrier";
     case TraceEvent::Type::kHolePunch:       return "hole_punch";
     case TraceEvent::Type::kBackgroundError: return "background_error";
+    case TraceEvent::Type::kRecoveryBegin:   return "recovery_begin";
+    case TraceEvent::Type::kRecoveryEnd:     return "recovery_end";
     case TraceEvent::Type::kResume:          return "resume";
   }
   return "unknown";
@@ -86,8 +88,20 @@ void TraceBuffer::OnHolePunch(const HolePunchInfo& info) {
          info.ok ? 1 : 0);
 }
 
-void TraceBuffer::OnBackgroundError(const Status& status) {
-  Record(TraceEvent::Type::kBackgroundError);
+void TraceBuffer::OnBackgroundError(const BackgroundErrorInfo& info) {
+  Record(TraceEvent::Type::kBackgroundError,
+         static_cast<uint64_t>(info.operation),
+         static_cast<uint64_t>(info.severity));
+}
+
+void TraceBuffer::OnErrorRecoveryBegin(const RecoveryInfo& info) {
+  Record(TraceEvent::Type::kRecoveryBegin,
+         static_cast<uint64_t>(info.attempt), info.auto_recovery ? 1 : 0);
+}
+
+void TraceBuffer::OnErrorRecoveryEnd(const RecoveryInfo& info) {
+  Record(TraceEvent::Type::kRecoveryEnd, static_cast<uint64_t>(info.attempt),
+         info.auto_recovery ? 1 : 0, info.status.ok() ? 1 : 0);
 }
 
 void TraceBuffer::OnResume() { Record(TraceEvent::Type::kResume); }
@@ -179,6 +193,18 @@ std::string TraceBuffer::DumpJson() const {
         field("ok", e.v2);
         break;
       case TraceEvent::Type::kBackgroundError:
+        field("operation", e.v0);
+        field("severity", e.v1);
+        break;
+      case TraceEvent::Type::kRecoveryBegin:
+        field("attempt", e.v0);
+        field("auto", e.v1);
+        break;
+      case TraceEvent::Type::kRecoveryEnd:
+        field("attempt", e.v0);
+        field("auto", e.v1);
+        field("ok", e.v2);
+        break;
       case TraceEvent::Type::kResume:
         break;
     }

@@ -37,6 +37,8 @@ struct TraceEvent {
     kSyncBarrier,
     kHolePunch,
     kBackgroundError,
+    kRecoveryBegin,
+    kRecoveryEnd,
     kResume,
   };
 
@@ -49,7 +51,8 @@ struct TraceEvent {
   //   WriteStall:      v0=cause         v1=duration_ns
   //   SyncBarrier:     v0=wal           v1=duration_ns
   //   HolePunch:       v0=file_number   v1=size          v2=ok
-  //   BackgroundError: (none)
+  //   BackgroundError: v0=operation     v1=severity
+  //   Recovery*:       v0=attempt       v1=auto          v2=ok (End)
   uint64_t v0, v1, v2;
 };
 
@@ -70,7 +73,9 @@ class TraceBuffer : public EventListener {
   void OnWriteStall(const WriteStallInfo& info) override;
   void OnSyncBarrier(const SyncBarrierInfo& info) override;
   void OnHolePunch(const HolePunchInfo& info) override;
-  void OnBackgroundError(const Status& status) override;
+  void OnBackgroundError(const BackgroundErrorInfo& info) override;
+  void OnErrorRecoveryBegin(const RecoveryInfo& info) override;
+  void OnErrorRecoveryEnd(const RecoveryInfo& info) override;
   void OnResume() override;
 
   // Events currently retained (<= capacity).

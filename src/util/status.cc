@@ -23,6 +23,9 @@ std::string Status::ToString() const {
     case kInvalidArgument:
       return "Invalid argument: " + msg_;
     case kIOError:
+      if (subcode_ == kReadOnlyMode) {
+        return "IO error (read-only mode): " + msg_;
+      }
       return "IO error: " + msg_;
   }
   return "Unknown code";

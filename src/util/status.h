@@ -29,6 +29,15 @@ class Status {
   static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(kIOError, msg, msg2);
   }
+  // The degraded-mode write rejection: an IOError (so existing callers
+  // that switch on the code treat it as one) carrying the kReadOnlyMode
+  // subcode, so writers can tell "the DB is serving reads but refusing
+  // writes until recovery" apart from an I/O failure of their own.
+  static Status ReadOnly(const Slice& msg, const Slice& msg2 = Slice()) {
+    Status s(kIOError, msg, msg2);
+    s.subcode_ = kReadOnlyMode;
+    return s;
+  }
 
   bool ok() const { return code_ == kOk; }
   bool IsNotFound() const { return code_ == kNotFound; }
@@ -36,6 +45,10 @@ class Status {
   bool IsIOError() const { return code_ == kIOError; }
   bool IsNotSupported() const { return code_ == kNotSupported; }
   bool IsInvalidArgument() const { return code_ == kInvalidArgument; }
+  // True iff this is the degraded read-only write rejection.
+  bool IsReadOnlyModeError() const {
+    return code_ == kIOError && subcode_ == kReadOnlyMode;
+  }
 
   std::string ToString() const;
 
@@ -49,9 +62,15 @@ class Status {
     kIOError = 5,
   };
 
+  enum SubCode {
+    kNone = 0,
+    kReadOnlyMode = 1,
+  };
+
   Status(Code code, const Slice& msg, const Slice& msg2);
 
   Code code_ = kOk;
+  SubCode subcode_ = kNone;
   std::string msg_;
 };
 

@@ -1,0 +1,111 @@
+#ifdef BOLT_SYNC_POINTS
+
+#include "util/sync_point.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace bolt {
+
+// All state behind one mutex except the enabled flag, which gates the
+// marker fast path with a single relaxed load.
+struct SyncPoint::Rep {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mu;
+  std::unordered_map<std::string, std::function<void(void*)>> callbacks;
+  std::unordered_map<std::string, uint64_t> hit_counts;
+  bool recording = false;
+  std::vector<std::string> recorded;  // distinct names, first-hit order
+};
+
+SyncPoint* SyncPoint::Instance() {
+  static SyncPoint instance;
+  return &instance;
+}
+
+SyncPoint::Rep* SyncPoint::rep() {
+  static Rep r;
+  return &r;
+}
+
+void SyncPoint::SetCallback(const std::string& point,
+                            std::function<void(void*)> cb) {
+  Rep* r = rep();
+  std::lock_guard<std::mutex> l(r->mu);
+  r->callbacks[point] = std::move(cb);
+}
+
+void SyncPoint::ClearCallback(const std::string& point) {
+  Rep* r = rep();
+  std::lock_guard<std::mutex> l(r->mu);
+  r->callbacks.erase(point);
+}
+
+void SyncPoint::ClearAllCallbacks() {
+  Rep* r = rep();
+  std::lock_guard<std::mutex> l(r->mu);
+  r->callbacks.clear();
+}
+
+void SyncPoint::EnableProcessing() {
+  rep()->enabled.store(true, std::memory_order_release);
+}
+
+void SyncPoint::DisableProcessing() {
+  rep()->enabled.store(false, std::memory_order_release);
+}
+
+void SyncPoint::SetRecording(bool on) {
+  Rep* r = rep();
+  std::lock_guard<std::mutex> l(r->mu);
+  r->recording = on;
+}
+
+std::vector<std::string> SyncPoint::RecordedPoints() const {
+  Rep* r = const_cast<SyncPoint*>(this)->rep();
+  std::lock_guard<std::mutex> l(r->mu);
+  return r->recorded;
+}
+
+void SyncPoint::ClearRecordedPoints() {
+  Rep* r = rep();
+  std::lock_guard<std::mutex> l(r->mu);
+  r->recorded.clear();
+}
+
+uint64_t SyncPoint::HitCount(const std::string& point) const {
+  Rep* r = const_cast<SyncPoint*>(this)->rep();
+  std::lock_guard<std::mutex> l(r->mu);
+  auto it = r->hit_counts.find(point);
+  return it == r->hit_counts.end() ? 0 : it->second;
+}
+
+void SyncPoint::Process(const char* point, void* arg) {
+  Rep* r = rep();
+  if (!r->enabled.load(std::memory_order_acquire)) return;
+  std::function<void(void*)> cb;
+  {
+    std::lock_guard<std::mutex> l(r->mu);
+    r->hit_counts[point]++;
+    if (r->recording) {
+      bool seen = false;
+      for (const std::string& name : r->recorded) {
+        if (name == point) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) r->recorded.emplace_back(point);
+    }
+    auto it = r->callbacks.find(point);
+    if (it != r->callbacks.end()) cb = it->second;
+  }
+  // Run outside the mutex so a callback may use the SyncPoint API.
+  if (cb) cb(arg);
+}
+
+}  // namespace bolt
+
+#endif  // BOLT_SYNC_POINTS

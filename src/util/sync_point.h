@@ -1,0 +1,90 @@
+// SyncPoint: named execution-order hooks for deterministic failure
+// testing (RocksDB's sync-point idiom, reduced to what the crash-point
+// matrix needs).
+//
+// The engine marks every barrier and state transition with
+// BOLT_SYNC_POINT("layer.object.event") — WAL append/sync, flush and
+// compaction start/install, MANIFEST append/sync, the CURRENT swap,
+// error latching, recovery attempts.  A test registers a callback on a
+// point to fire a fault *exactly there* (arm FaultInjectionEnv, flip a
+// flag, block a thread), turning what used to be "fail the Nth sync and
+// hope N lands mid-compaction" into a deterministic schedule.
+//
+// Cost model: compiled out entirely unless BOLT_SYNC_POINTS is defined
+// (the default build defines it; -DBOLT_SYNC_POINTS=OFF produces the
+// release configuration where every marker is a no-op statement).  When
+// compiled in but not enabled, each marker is one relaxed atomic load.
+//
+// Contract:
+//  * Callbacks run on the thread that hit the point, outside the
+//    registry mutex, so a callback may re-enter the SyncPoint API (but
+//    must not call back into the DB that hit the point — same rule as
+//    EventListener).
+//  * Points fire regardless of which DB instance hits them; tests that
+//    need isolation should run one DB at a time (the norm in this
+//    repo's test suite).
+//  * SetRecording(true) collects the distinct point names hit, in
+//    first-hit order — this is how the crash-point matrix discovers the
+//    failure surface instead of hard-coding it.
+#pragma once
+
+#ifdef BOLT_SYNC_POINTS
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bolt {
+
+class SyncPoint {
+ public:
+  // Process-wide singleton (sync points cut across DB instances).
+  static SyncPoint* Instance();
+
+  SyncPoint(const SyncPoint&) = delete;
+  SyncPoint& operator=(const SyncPoint&) = delete;
+
+  // Register cb to run every time "point" is processed.  Replaces any
+  // previous callback for the point.  arg is the point's payload (often
+  // nullptr; points pass a Status* or file name where useful).
+  void SetCallback(const std::string& point,
+                   std::function<void(void*)> cb);
+  void ClearCallback(const std::string& point);
+  void ClearAllCallbacks();
+
+  // Master switch: Process() is a no-op unless enabled.  Enabling also
+  // makes recording (if on) observe points.
+  void EnableProcessing();
+  void DisableProcessing();
+
+  // While recording, every processed point's name is collected once, in
+  // first-hit order.  Used to enumerate the crash-point matrix.
+  void SetRecording(bool on);
+  std::vector<std::string> RecordedPoints() const;
+  void ClearRecordedPoints();
+
+  // Number of times "point" was processed while enabled.
+  uint64_t HitCount(const std::string& point) const;
+
+  // Hit the named point: record it and run its callback, if any.
+  void Process(const char* point, void* arg = nullptr);
+
+ private:
+  SyncPoint() = default;
+  struct Rep;
+  Rep* rep();
+};
+
+}  // namespace bolt
+
+#define BOLT_SYNC_POINT(name) \
+  ::bolt::SyncPoint::Instance()->Process(name)
+#define BOLT_SYNC_POINT_ARG(name, arg) \
+  ::bolt::SyncPoint::Instance()->Process(name, arg)
+
+#else  // !BOLT_SYNC_POINTS
+
+#define BOLT_SYNC_POINT(name)
+#define BOLT_SYNC_POINT_ARG(name, arg)
+
+#endif  // BOLT_SYNC_POINTS

@@ -52,6 +52,11 @@ class FaultInjectionTest : public testing::TestWithParam<const char*> {
     fenv_ = std::make_unique<FaultInjectionEnv>(sim_.get(), seed);
     options_ = presets::ByName(GetParam());
     options_.env = fenv_.get();
+    // This suite tests the *manual* Resume() contract: disable the
+    // RecoveryManager so injected transient/soft errors stay latched
+    // until the test calls Resume() itself (auto-recovery has its own
+    // suite, recovery_test.cc).
+    options_.max_auto_recovery_attempts = 0;
     options_.write_buffer_size = 16 << 10;
     options_.max_file_size = 8 << 10;
     options_.logical_sstable_size = 4 << 10;
@@ -439,6 +444,9 @@ TEST(FaultInjectionPosixTest, WalSyncFailureLatchesAndRecovers) {
   FaultInjectionEnv fenv(PosixEnv(), 42);
   Options options = presets::BoLT();
   options.env = &fenv;
+  // Manual-Resume contract: keep the RecoveryManager out of the race
+  // (auto-recovery on PosixEnv has its own suite, recovery_test.cc).
+  options.max_auto_recovery_attempts = 0;
   DestroyDB(dbname, options);
 
   WriteOptions sync_opts;

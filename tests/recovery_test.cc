@@ -1,0 +1,575 @@
+// RecoveryManager tests: error-severity classification, automatic
+// retry of transient/soft errors with bounded backoff, escalation to
+// degraded read-only mode on budget exhaustion, the distinct ReadOnly
+// write-rejection status, VerifyIntegrity, and (on PosixEnv) recovery
+// racing a herd of concurrent writers — who must drain with the
+// degraded error or succeed after recovery, never hang or lose an
+// acked write.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/bg_error.h"
+#include "db/db.h"
+#include "db/db_impl.h"
+#include "engines/presets.h"
+#include "env/fault_injection_env.h"
+#include "env/tracing_env.h"
+#include "obs/event_listener.h"
+#include "sim/sim_env.h"
+#include "table/iterator.h"
+
+namespace bolt {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return std::string(buf);
+}
+
+std::string Val(int i, int gen = 0) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "value-%08d-gen%d-padpadpadpad", i, gen);
+  return std::string(buf);
+}
+
+// Records every error/recovery listener event, thread-safe.
+class RecoveryListener : public obs::EventListener {
+ public:
+  void OnBackgroundError(const obs::BackgroundErrorInfo& info) override {
+    std::lock_guard<std::mutex> l(mu_);
+    errors.push_back(info);
+  }
+  void OnErrorRecoveryBegin(const obs::RecoveryInfo& info) override {
+    std::lock_guard<std::mutex> l(mu_);
+    begins.push_back(info);
+  }
+  void OnErrorRecoveryEnd(const obs::RecoveryInfo& info) override {
+    std::lock_guard<std::mutex> l(mu_);
+    ends.push_back(info);
+  }
+  void OnResume() override { resumes++; }
+
+  std::mutex mu_;
+  std::vector<obs::BackgroundErrorInfo> errors;
+  std::vector<obs::RecoveryInfo> begins;
+  std::vector<obs::RecoveryInfo> ends;
+  std::atomic<int> resumes{0};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Classification unit tests — no DB needed.
+// ---------------------------------------------------------------------------
+
+TEST(ErrorClassificationTest, SeverityByStatusAndOrigin) {
+  const Status io = Status::IOError("disk");
+  EXPECT_EQ(ErrorSeverity::kTransient,
+            ClassifyBgError(io, ErrorOperation::kWalAppend));
+  EXPECT_EQ(ErrorSeverity::kTransient,
+            ClassifyBgError(io, ErrorOperation::kWalSync));
+  EXPECT_EQ(ErrorSeverity::kSoftError,
+            ClassifyBgError(io, ErrorOperation::kFlush));
+  EXPECT_EQ(ErrorSeverity::kSoftError,
+            ClassifyBgError(io, ErrorOperation::kCompaction));
+  EXPECT_EQ(ErrorSeverity::kSoftError,
+            ClassifyBgError(io, ErrorOperation::kManifestCommit));
+  EXPECT_EQ(ErrorSeverity::kSoftError,
+            ClassifyBgError(io, ErrorOperation::kReclaim));
+  // Corruption anywhere is fatal.
+  const Status corrupt = Status::Corruption("bits");
+  EXPECT_EQ(ErrorSeverity::kFatal,
+            ClassifyBgError(corrupt, ErrorOperation::kWalSync));
+  EXPECT_EQ(ErrorSeverity::kFatal,
+            ClassifyBgError(corrupt, ErrorOperation::kCompaction));
+  // Unclassifiable failures are hard.
+  EXPECT_EQ(ErrorSeverity::kHardError,
+            ClassifyBgError(Status::NotSupported("x"),
+                            ErrorOperation::kFlush));
+}
+
+TEST(ErrorStateTest, FirstErrorWinsUnlessSeverityRises) {
+  ErrorState st;
+  EXPECT_TRUE(st.ok());
+
+  BgErrorContext wal;
+  wal.operation = ErrorOperation::kWalSync;
+  ASSERT_TRUE(st.Set(Status::IOError("first"), wal));
+  EXPECT_EQ(ErrorSeverity::kTransient, st.severity());
+
+  // Same severity: first wins.
+  EXPECT_FALSE(st.Set(Status::IOError("second"), wal));
+  EXPECT_NE(std::string::npos, st.status().ToString().find("first"));
+
+  // Higher severity replaces.
+  BgErrorContext comp;
+  comp.operation = ErrorOperation::kCompaction;
+  EXPECT_TRUE(st.Set(Status::Corruption("worse"), comp));
+  EXPECT_EQ(ErrorSeverity::kFatal, st.severity());
+  EXPECT_NE(std::string::npos, st.Describe().find("compaction"));
+
+  st.Clear();
+  EXPECT_TRUE(st.ok());
+  EXPECT_NE("", st.last_recovered());
+}
+
+TEST(ErrorStateTest, EscalateBumpsRetryableToHard) {
+  ErrorState st;
+  BgErrorContext wal;
+  wal.operation = ErrorOperation::kWalSync;
+  ASSERT_TRUE(st.Set(Status::IOError("flaky"), wal));
+  st.Escalate();
+  EXPECT_EQ(ErrorSeverity::kHardError, st.severity());
+  // Escalation never downgrades fatal.
+  ErrorState st2;
+  ASSERT_TRUE(st2.Set(Status::Corruption("bits"), wal));
+  st2.Escalate();
+  EXPECT_EQ(ErrorSeverity::kFatal, st2.severity());
+}
+
+// ---------------------------------------------------------------------------
+// Sim-mode auto-recovery scenarios, per engine preset.
+// ---------------------------------------------------------------------------
+
+class RecoveryTest : public testing::TestWithParam<const char*> {
+ protected:
+  void FreshDB(uint64_t seed, int max_attempts = 8) {
+    db_.reset();
+    sim_ = std::make_unique<SimEnv>();
+    fenv_ = std::make_unique<FaultInjectionEnv>(sim_.get(), seed);
+    listener_ = std::make_shared<RecoveryListener>();
+    options_ = presets::ByName(GetParam());
+    options_.env = fenv_.get();
+    options_.write_buffer_size = 16 << 10;
+    options_.max_file_size = 8 << 10;
+    options_.logical_sstable_size = 4 << 10;
+    options_.max_bytes_for_level_base = 32 << 10;
+    options_.max_auto_recovery_attempts = max_attempts;
+    options_.recovery_backoff_base_micros = 100;
+    options_.recovery_backoff_max_micros = 10000;
+    options_.listeners.push_back(listener_);
+    DB* db = nullptr;
+    ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+    db_.reset(db);
+  }
+
+  std::string Get(const std::string& k) {
+    std::string v;
+    Status s = db_->Get(ReadOptions(), k, &v);
+    if (s.IsNotFound()) return "NOT_FOUND";
+    if (!s.ok()) return "ERROR";
+    return v;
+  }
+
+  DBImpl* impl() { return static_cast<DBImpl*>(db_.get()); }
+
+  std::unique_ptr<SimEnv> sim_;
+  std::unique_ptr<FaultInjectionEnv> fenv_;
+  std::unique_ptr<TracingEnv> tenv_;
+  std::shared_ptr<RecoveryListener> listener_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+// A one-window transient WAL fault heals without any manual Resume():
+// the failing write surfaces the error, the next write triggers the
+// RecoveryManager, and writes flow again.
+TEST_P(RecoveryTest, TransientWalFaultAutoRecovers) {
+  FreshDB(11);
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  ASSERT_TRUE(db_->Put(sync_opts, Key(0), Val(0)).ok());
+
+  fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kWal, 1,
+                   Status::IOError("transient device window"));
+  Status s1 = db_->Put(sync_opts, Key(1), Val(1));
+  ASSERT_FALSE(s1.ok());
+  EXPECT_EQ(0u, fenv_->TransientFaultsRemaining()) << "fault fired";
+
+  // No manual Resume(): the next write runs the pending auto-recovery
+  // inline (sim mode) and must succeed.
+  ASSERT_TRUE(db_->Put(sync_opts, Key(2), Val(2)).ok());
+  EXPECT_EQ(Val(0), Get(Key(0)));
+  EXPECT_EQ(Val(2), Get(Key(2)));
+
+  DbStats stats = impl()->GetStats();
+  EXPECT_EQ(1u, stats.background_errors);
+  EXPECT_GE(stats.recovery_attempts, 1u);
+  EXPECT_EQ(1u, stats.resumes);
+  EXPECT_EQ(0u, stats.recovery_escalations);
+
+  // Listener saw the classified error and a successful auto attempt.
+  ASSERT_GE(listener_->errors.size(), 1u);
+  EXPECT_EQ(ErrorSeverity::kTransient, listener_->errors[0].severity);
+  EXPECT_TRUE(listener_->errors[0].has_file_type);
+  EXPECT_EQ(kLogFile, listener_->errors[0].file_type);
+  ASSERT_GE(listener_->ends.size(), 1u);
+  EXPECT_TRUE(listener_->ends.back().auto_recovery);
+  EXPECT_TRUE(listener_->ends.back().status.ok());
+  EXPECT_EQ(1, listener_->resumes.load());
+}
+
+// A soft flush error (data barrier dies mid-flush) also auto-recovers:
+// the memtable is re-flushed by the Resume() path.
+TEST_P(RecoveryTest, SoftFlushErrorAutoRecovers) {
+  FreshDB(12);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+    model[Key(i)] = Val(i);
+  }
+  fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kTable, 1,
+                   Status::IOError("flush barrier died"));
+  // The forced flush dies at its data barrier, latches a soft error,
+  // and the inline RecoveryManager re-runs it — the caller may already
+  // observe the healed result (sim mode retries inside the write path).
+  impl()->TEST_CompactMemTable();
+  EXPECT_EQ(0u, fenv_->TransientFaultsRemaining()) << "fault fired";
+  ASSERT_GE(listener_->errors.size(), 1u);
+  EXPECT_EQ(ErrorSeverity::kSoftError, listener_->errors[0].severity);
+  EXPECT_EQ(ErrorOperation::kFlush, listener_->errors[0].operation);
+
+  // The next write (if recovery hasn't run yet) heals inline; all data
+  // survives either way.
+  ASSERT_TRUE(db_->Put(WriteOptions(), Key(900), Val(900)).ok());
+  model[Key(900)] = Val(900);
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(v, Get(k));
+  }
+  EXPECT_EQ(1u, impl()->GetStats().resumes);
+  EXPECT_EQ("", impl()->TEST_CheckInvariants());
+}
+
+// When the device never heals, the retry budget exhausts and the DB
+// escalates to degraded read-only mode: reads and iterators keep
+// serving, writes return the distinct ReadOnly subtype, and a manual
+// Resume() after the fault clears restores service.
+TEST_P(RecoveryTest, EscalatesToDegradedReadOnlyMode) {
+  FreshDB(13, /*max_attempts=*/3);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+    model[Key(i)] = Val(i);
+  }
+  fenv_->FailAlways(FaultOp::kSync, Status::IOError("device gone"));
+  ASSERT_FALSE(impl()->TEST_CompactMemTable().ok());
+
+  // The next write burns the whole retry budget (each attempt re-fails
+  // at the barrier) and comes back with the read-only rejection.
+  Status s = db_->Put(WriteOptions(), Key(900), Val(900));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsReadOnlyModeError()) << s.ToString();
+
+  DbStats stats = impl()->GetStats();
+  EXPECT_EQ(3u, stats.recovery_attempts);
+  EXPECT_EQ(1u, stats.recovery_escalations);
+  EXPECT_EQ(0u, stats.resumes);
+  EXPECT_GE(stats.writes_rejected_readonly, 1u);
+  ASSERT_GE(listener_->ends.size(), 1u);
+  EXPECT_TRUE(listener_->ends.back().escalated);
+
+  // Degraded serving: point reads and full scans still work.
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(v, Get(k));
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  int n = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) n++;
+  ASSERT_TRUE(iter->status().ok());
+  EXPECT_EQ(static_cast<int>(model.size()), n);
+
+  // bolt.stats names the latched error.
+  std::string props;
+  ASSERT_TRUE(db_->GetProperty("bolt.stats", &props));
+  EXPECT_NE(std::string::npos, props.find("background_error:"));
+  EXPECT_NE(std::string::npos, props.find("severity=hard"));
+
+  // Manual recovery after the device heals.
+  fenv_->ClearFaults();
+  ASSERT_TRUE(db_->Resume().ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), Key(901), Val(901)).ok());
+  EXPECT_EQ(1u, impl()->GetStats().resumes);
+  std::string props2;
+  ASSERT_TRUE(db_->GetProperty("bolt.stats", &props2));
+  EXPECT_NE(std::string::npos, props2.find("last_recovered_error:"));
+}
+
+// max_auto_recovery_attempts == 0 disables the RecoveryManager: the
+// error stays latched until a manual Resume().
+TEST_P(RecoveryTest, ZeroAttemptsDisablesAutoRecovery) {
+  FreshDB(14, /*max_attempts=*/0);
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kWal, 1,
+                   Status::IOError("one-shot"));
+  ASSERT_FALSE(db_->Put(sync_opts, Key(0), Val(0)).ok());
+  ASSERT_FALSE(db_->Put(sync_opts, Key(1), Val(1)).ok());
+  EXPECT_EQ(0u, impl()->GetStats().recovery_attempts);
+  ASSERT_TRUE(db_->Resume().ok());
+  ASSERT_TRUE(db_->Put(sync_opts, Key(2), Val(2)).ok());
+}
+
+// Fatal errors refuse both auto- and manual recovery.
+TEST_P(RecoveryTest, CorruptionIsFatalAndUnresumable) {
+  FreshDB(15);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kTable, 1,
+                   Status::Corruption("bad bits on media"));
+  ASSERT_FALSE(impl()->TEST_CompactMemTable().ok());
+  ASSERT_GE(listener_->errors.size(), 1u);
+  EXPECT_EQ(ErrorSeverity::kFatal, listener_->errors[0].severity);
+
+  // No auto attempt is even scheduled, writes reject with ReadOnly,
+  // manual Resume() refuses.
+  Status ws = db_->Put(WriteOptions(), Key(900), Val(900));
+  ASSERT_FALSE(ws.ok());
+  EXPECT_TRUE(ws.IsReadOnlyModeError());
+  EXPECT_EQ(0u, impl()->GetStats().recovery_attempts);
+  Status rs = db_->Resume();
+  ASSERT_FALSE(rs.ok());
+  EXPECT_TRUE(rs.IsCorruption());
+}
+
+// VerifyIntegrity: clean DBs scrub clean; a read-corrupting device is
+// detected instead of silently served.
+TEST_P(RecoveryTest, VerifyIntegrityDetectsCorruption) {
+  FreshDB(16);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  ASSERT_TRUE(impl()->TEST_CompactMemTable().ok());
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+  DbStats clean = impl()->GetStats();
+  (void)clean;
+
+  // Every read now flips a byte: the checksum scrub must notice.
+  fenv_->SetReadCorruption(1.0);
+  Status s = db_->VerifyIntegrity();
+  ASSERT_FALSE(s.ok());
+  fenv_->SetReadCorruption(0.0);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+// verify_integrity_on_resume: the scrub gates recovery.
+TEST_P(RecoveryTest, ScrubGatesResumeWhenRequested) {
+  FreshDB(17);
+  options_.verify_integrity_on_resume = true;
+  db_.reset();
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+  db_.reset(db);
+
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  ASSERT_TRUE(db_->Put(sync_opts, Key(0), Val(0)).ok());
+  fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kWal, 1,
+                   Status::IOError("one-shot"));
+  ASSERT_FALSE(db_->Put(sync_opts, Key(1), Val(1)).ok());
+  // Auto-recovery (inline on next write) runs the scrub and heals.
+  ASSERT_TRUE(db_->Put(sync_opts, Key(2), Val(2)).ok());
+  EXPECT_GE(impl()->GetStats().resumes, 1u);
+}
+
+// A traced fault/recover cycle exports a machine-checkable dump: the
+// recovery spans are present and the barrier sum-equations hold even
+// though barriers were orphaned mid-run (scripts/trace_check.py
+// validates the dump; see scripts/verify.sh).  The dump path can be
+// overridden with BOLT_RECOVERY_TRACE for the verify pipeline.
+TEST_P(RecoveryTest, TracedFaultRecoverCycleDumpsCheckableTrace) {
+  if (std::string(GetParam()) != "bolt") {
+    GTEST_SKIP() << "one traced engine is enough";
+  }
+  db_.reset();
+  sim_ = std::make_unique<SimEnv>();
+  fenv_ = std::make_unique<FaultInjectionEnv>(sim_.get(), 23);
+  tenv_ = std::make_unique<TracingEnv>(fenv_.get());
+  listener_ = std::make_shared<RecoveryListener>();
+  options_ = presets::ByName("bolt");
+  options_.env = tenv_.get();
+  options_.write_buffer_size = 16 << 10;
+  options_.max_file_size = 8 << 10;
+  options_.logical_sstable_size = 4 << 10;
+  options_.max_bytes_for_level_base = 32 << 10;
+  options_.recovery_backoff_base_micros = 100;
+  options_.enable_tracing = true;
+  options_.trace_capacity = 1 << 15;
+  options_.listeners.push_back(listener_);
+  DB* db = nullptr;
+  ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+  db_.reset(db);
+
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  int key = 0;
+  for (int cycle = 0; cycle < 4; cycle++) {
+    for (int i = 0; i < 60; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(key), Val(key)).ok());
+      key++;
+    }
+    // Alternate transient WAL faults and soft table faults.
+    if (cycle % 2 == 0) {
+      fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kWal, 1,
+                       Status::IOError("cycle wal fault"));
+      db_->Put(sync_opts, Key(key++), Val(0));  // may fail: fault window
+    } else {
+      fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kTable, 1,
+                       Status::IOError("cycle table fault"));
+      impl()->TEST_CompactMemTable();  // may fail: fault window
+    }
+    // Next write heals through the RecoveryManager.
+    ASSERT_TRUE(db_->Put(sync_opts, Key(key), Val(key)).ok());
+    key++;
+  }
+
+  // Orphan a MANIFEST barrier: kill the commit mark, then the CURRENT
+  // swap of the recovery's fresh descriptor — that descriptor's Sync()
+  // succeeded but bought no durable commit, so the charge must land in
+  // barrier.manifest.orphaned (the sum-equation still balances).
+  for (int i = 0; i < 60; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(key), Val(key)).ok());
+    key++;
+  }
+  fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kManifest, 1,
+                   Status::IOError("manifest commit fault"));
+  fenv_->FailNth(FaultOp::kRename, 1,
+                 Status::IOError("current swap fault"));
+  impl()->TEST_CompactMemTable();  // may fail: fault window
+  ASSERT_TRUE(db_->Put(sync_opts, Key(key), Val(key)).ok());
+  key++;
+
+  db_->WaitForBackgroundWork();
+  ASSERT_GE(impl()->GetStats().resumes, 1u);
+
+  // The orphaned bucket really was exercised.
+  std::string metrics_json;
+  ASSERT_TRUE(db_->GetProperty("bolt.metrics", &metrics_json));
+  const std::string needle = "\"barrier.manifest.orphaned\":";
+  const size_t pos = metrics_json.find(needle);
+  ASSERT_NE(std::string::npos, pos);
+  EXPECT_NE(0, atoi(metrics_json.c_str() + pos + needle.size()))
+      << "no orphaned MANIFEST barrier was charged: " << metrics_json;
+
+  const char* env_path = getenv("BOLT_RECOVERY_TRACE");
+  std::string path = env_path != nullptr ? env_path
+                                         : testing::TempDir() +
+                                               "/bolt_recovery_trace.json";
+  ASSERT_TRUE(db_->DumpTrace(path).ok()) << path;
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv: auto-recovery racing a herd of concurrent writers.  Every
+// writer must either succeed or drain with the degraded error — never
+// hang — and every acked synced write must survive a crash, across
+// repeated fault windows.  Runs under TSan in scripts/verify.sh.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryPosixTest, ConcurrentWritersDrainOrSucceedAcrossFaultWindows) {
+  char dbname[128];
+  snprintf(dbname, sizeof(dbname), "/tmp/bolt_recovery_posix_%d",
+           static_cast<int>(getpid()));
+  FaultInjectionEnv fenv(PosixEnv(), 77);
+  auto listener = std::make_shared<RecoveryListener>();
+  Options options = presets::BoLT();
+  options.env = &fenv;
+  options.recovery_backoff_base_micros = 200;
+  options.recovery_backoff_max_micros = 5000;
+  options.listeners.push_back(listener);
+  DestroyDB(dbname, options);
+
+  std::unique_ptr<DB> db;
+  {
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
+    db.reset(raw);
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 150;
+  std::mutex acked_mu;
+  std::map<std::string, std::string> acked;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&, t]() {
+      WriteOptions sync_opts;
+      sync_opts.sync = true;
+      for (int i = 0; i < kWritesPerThread; i++) {
+        const std::string k = Key(t * 100000 + i);
+        const std::string v = Val(i, t);
+        Status s = db->Put(sync_opts, k, v);
+        if (s.ok()) {
+          std::lock_guard<std::mutex> l(acked_mu);
+          acked[k] = v;
+        } else {
+          // Mid-window rejection is fine; losing the ack is not.
+          failures++;
+        }
+      }
+    });
+  }
+
+  // Open a few bounded transient fault windows under the writers.
+  for (int w = 0; w < 3; w++) {
+    Env* posix = PosixEnv();
+    posix->SleepForMicroseconds(20000);
+    fenv.FailNextK(FaultOp::kSync, FaultFileClass::kWal, 2,
+                   Status::IOError("transient window"));
+  }
+  for (auto& th : writers) {
+    th.join();  // never hangs: writers drain with the error or recover
+  }
+
+  // The device heals for good; let any pending auto-recovery settle,
+  // then force service back if a window is still latched.
+  fenv.ClearFaults();
+  db->Resume();
+  WriteOptions sync_opts;
+  sync_opts.sync = true;
+  ASSERT_TRUE(db->Put(sync_opts, "final", "write").ok());
+  {
+    std::lock_guard<std::mutex> l(acked_mu);
+    acked["final"] = "write";
+  }
+
+  // Power-cut and reopen: every acked synced write must be there.
+  db.reset();
+  fenv.Crash();
+  {
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
+    db.reset(raw);
+  }
+  for (const auto& [k, v] : acked) {
+    std::string got;
+    ASSERT_TRUE(db->Get(ReadOptions(), k, &got).ok())
+        << "lost acked synced key " << k;
+    ASSERT_EQ(v, got) << k;
+  }
+  SUCCEED() << "acked=" << acked.size() << " rejected=" << failures.load();
+
+  db.reset();
+  DestroyDB(dbname, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, RecoveryTest,
+                         testing::Values("leveldb", "bolt", "hbolt",
+                                         "pebbles", "rocks"),
+                         [](const testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+}  // namespace bolt

@@ -1,0 +1,182 @@
+// SyncPoint framework tests: the registry API itself (callbacks,
+// enable/disable, recording, hit counts) and the engine markers —
+// a callback armed on a named point must fire exactly at that point,
+// turning "fail the Nth sync and hope" into a deterministic schedule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/db.h"
+#include "db/db_impl.h"
+#include "engines/presets.h"
+#include "env/fault_injection_env.h"
+#include "sim/sim_env.h"
+#include "util/sync_point.h"
+
+#ifdef BOLT_SYNC_POINTS
+
+namespace bolt {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return std::string(buf);
+}
+
+std::string Val(int i) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "value-%08d-padpadpadpadpadpad", i);
+  return std::string(buf);
+}
+
+}  // namespace
+
+class SyncPointTest : public testing::Test {
+ protected:
+  void SetUp() override { Reset(); }
+  void TearDown() override { Reset(); }
+
+  static void Reset() {
+    SyncPoint* sp = SyncPoint::Instance();
+    sp->DisableProcessing();
+    sp->SetRecording(false);
+    sp->ClearAllCallbacks();
+    sp->ClearRecordedPoints();
+  }
+
+  void OpenDB() {
+    sim_ = std::make_unique<SimEnv>();
+    fenv_ = std::make_unique<FaultInjectionEnv>(sim_.get(), 99);
+    options_ = presets::ByName("leveldb");
+    options_.env = fenv_.get();
+    options_.write_buffer_size = 16 << 10;
+    options_.max_file_size = 8 << 10;
+    options_.max_bytes_for_level_base = 32 << 10;
+    DB* db = nullptr;
+    ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+    db_.reset(db);
+  }
+
+  std::unique_ptr<SimEnv> sim_;
+  std::unique_ptr<FaultInjectionEnv> fenv_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(SyncPointTest, DisabledPointsAreFree) {
+  SyncPoint* sp = SyncPoint::Instance();
+  std::atomic<int> fired{0};
+  sp->SetCallback("test.point", [&](void*) { fired++; });
+  // Not enabled: Process is a no-op — no callback, no recording.
+  sp->SetRecording(true);
+  BOLT_SYNC_POINT("test.point");
+  EXPECT_EQ(0, fired.load());
+  EXPECT_EQ(0u, sp->HitCount("test.point"));
+  EXPECT_TRUE(sp->RecordedPoints().empty());
+}
+
+TEST_F(SyncPointTest, CallbackAndHitCountAndArg) {
+  SyncPoint* sp = SyncPoint::Instance();
+  std::atomic<int> fired{0};
+  void* seen_arg = nullptr;
+  sp->SetCallback("test.point", [&](void* arg) {
+    fired++;
+    seen_arg = arg;
+  });
+  sp->EnableProcessing();
+  int payload = 42;
+  BOLT_SYNC_POINT("test.point");
+  BOLT_SYNC_POINT_ARG("test.point", &payload);
+  EXPECT_EQ(2, fired.load());
+  EXPECT_EQ(&payload, seen_arg);
+  EXPECT_EQ(2u, sp->HitCount("test.point"));
+  EXPECT_EQ(0u, sp->HitCount("test.other"));
+
+  sp->ClearCallback("test.point");
+  BOLT_SYNC_POINT("test.point");
+  EXPECT_EQ(2, fired.load()) << "cleared callback must not fire";
+  EXPECT_EQ(3u, sp->HitCount("test.point")) << "hit counting stays on";
+}
+
+TEST_F(SyncPointTest, RecordingCollectsDistinctPointsInFirstHitOrder) {
+  SyncPoint* sp = SyncPoint::Instance();
+  sp->EnableProcessing();
+  sp->SetRecording(true);
+  BOLT_SYNC_POINT("test.b");
+  BOLT_SYNC_POINT("test.a");
+  BOLT_SYNC_POINT("test.b");
+  std::vector<std::string> pts = sp->RecordedPoints();
+  ASSERT_EQ(2u, pts.size());
+  EXPECT_EQ("test.b", pts[0]);
+  EXPECT_EQ("test.a", pts[1]);
+  sp->ClearRecordedPoints();
+  EXPECT_TRUE(sp->RecordedPoints().empty());
+}
+
+// The engine markers: one memtable flush must pass through the flush and
+// MANIFEST-commit points in order, and recording discovers them without
+// the test hard-coding the whole surface.
+TEST_F(SyncPointTest, FlushHitsBarrierPointsInOrder) {
+  OpenDB();
+  SyncPoint* sp = SyncPoint::Instance();
+  std::vector<std::string> order;
+  for (const char* p :
+       {"DBImpl::WriteLevel0Table:Start", "DBImpl::WriteLevel0Table:Built",
+        "DBImpl::CompactMemTable:BeforeManifestCommit",
+        "VersionSet::LogAndApply:BeforeManifestSync",
+        "DBImpl::CompactMemTable:Committed"}) {
+    sp->SetCallback(p, [&order, p](void*) { order.push_back(p); });
+  }
+  sp->EnableProcessing();
+
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  ASSERT_TRUE(static_cast<DBImpl*>(db_.get())->TEST_CompactMemTable().ok());
+  sp->DisableProcessing();
+
+  ASSERT_GE(order.size(), 5u);
+  EXPECT_EQ("DBImpl::WriteLevel0Table:Start", order[0]);
+  // The commit mark must come after the table build, never before.
+  size_t built = 0, commit = 0;
+  for (size_t i = 0; i < order.size(); i++) {
+    if (order[i] == "DBImpl::WriteLevel0Table:Built") built = i;
+    if (order[i] == "DBImpl::CompactMemTable:Committed") commit = i;
+  }
+  EXPECT_LT(built, commit);
+}
+
+// Determinism: arm the fault *from* a sync point so it fires exactly at
+// the MANIFEST barrier of a flush — not the Nth sync of the run.  The
+// flush must fail at the commit mark with the data barriers already
+// done, and the error context must say so.
+TEST_F(SyncPointTest, CallbackArmsFaultExactlyAtManifestBarrier) {
+  OpenDB();
+  SyncPoint* sp = SyncPoint::Instance();
+  sp->SetCallback("VersionSet::LogAndApply:BeforeManifestSync",
+                  [this](void*) {
+                    fenv_->FailNth(FaultOp::kSync, 1,
+                                   Status::IOError("injected at barrier"));
+                  });
+  sp->EnableProcessing();
+
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  Status s = static_cast<DBImpl*>(db_.get())->TEST_CompactMemTable();
+  sp->DisableProcessing();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(std::string::npos, s.ToString().find("injected at barrier"));
+  // The data barrier preceding the commit mark succeeded: the injection
+  // waited for the MANIFEST sync instead of killing the first Sync().
+  EXPECT_GE(sp->HitCount("DBImpl::WriteLevel0Table:Built"), 1u);
+}
+
+}  // namespace bolt
+
+#endif  // BOLT_SYNC_POINTS
