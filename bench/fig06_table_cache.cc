@@ -77,7 +77,7 @@ int Main(int argc, char** argv) {
     for (uint64_t q = 0; q < queries; q++) {
       uint64_t k = rng.Uniform(records);
       uint64_t t0 = f.env->NowNanos();
-      f.db->Get(ReadOptions(), ycsb::MakeKey(k), &value);
+      (void)f.db->Get(ReadOptions(), ycsb::MakeKey(k), &value);
       lat.Add(f.env->NowNanos() - t0);
     }
     const IoStats after = f.env->GetIoStats();

@@ -174,7 +174,7 @@ void BM_DbPut(benchmark::State& state) {
   const std::string value(100, 'v');
   int i = 0;
   for (auto _ : state) {
-    db->Put(bolt::WriteOptions(), BenchKey(i++), value);
+    (void)db->Put(bolt::WriteOptions(), BenchKey(i++), value);
   }
   state.SetItemsProcessed(state.iterations());
   delete db;
@@ -194,7 +194,7 @@ void BM_DbGet(benchmark::State& state) {
   const int n = 100000;
   const std::string value(100, 'v');
   for (int i = 0; i < n; i++) {
-    db->Put(bolt::WriteOptions(), BenchKey(i), value);
+    (void)db->Put(bolt::WriteOptions(), BenchKey(i), value);
   }
   db->WaitForBackgroundWork();
   bolt::Random64 rnd(1);

@@ -153,7 +153,7 @@ RunResult RunOne(const Flags& flags, const std::string& preset,
   std::string dbname = "/tmp/bolt_micro_parcomp_j" +
                        std::to_string(config.jobs) + "_s" +
                        std::to_string(config.subcompactions);
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 
   DB* raw = nullptr;
   Status s = DB::Open(options, dbname, &raw);
@@ -200,7 +200,7 @@ RunResult RunOne(const Flags& flags, const std::string& preset,
 
   db.reset();
   env.target()->SetMetricsRegistry(nullptr);
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
   return result;
 }
 

@@ -43,7 +43,8 @@ Anatomy Run(bolt::Options options, int n) {
     char key[32];
     snprintf(key, sizeof(key), "key%012llu",
              static_cast<unsigned long long>(rnd.Uniform(10'000'000)));
-    db->Put(bolt::WriteOptions(), key, std::string(1000, 'v'));
+    (void)db->Put(bolt::WriteOptions(), key,
+                  std::string(1000, 'v'));  // demo brevity
   }
   db->WaitForBackgroundWork();
 

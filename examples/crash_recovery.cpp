@@ -30,16 +30,22 @@ int main() {
 
   printf("== phase 1: write with different durability levels ==\n");
   bolt::DB* db = nullptr;
-  bolt::DB::Open(options, "/crashdb", &db);
+  bolt::Status open_status = bolt::DB::Open(options, "/crashdb", &db);
+  if (!open_status.ok()) {
+    fprintf(stderr, "open failed: %s\n", open_status.ToString().c_str());
+    return 1;
+  }
 
   // A synchronous write: WAL is fsync'ed before the call returns.
   bolt::WriteOptions durable;
   durable.sync = true;
-  db->Put(durable, "account:alice", "100");
+  // (void) casts below are demo brevity; production code checks every
+  // Status.
+  (void)db->Put(durable, "account:alice", "100");
   printf("  synced write:   account:alice = 100\n");
 
   // Asynchronous writes: sitting in the page cache, vulnerable.
-  db->Put(bolt::WriteOptions(), "account:bob", "250");
+  (void)db->Put(bolt::WriteOptions(), "account:bob", "250");
   printf("  unsynced write: account:bob   = 250\n");
 
   // Force enough churn that flushes run (1 KB values, several times the
@@ -50,8 +56,8 @@ int main() {
     char key[32], val[32];
     snprintf(key, sizeof(key), "bulk:%08d", i);
     snprintf(val, sizeof(val), "v%d-", i);
-    db->Put(bolt::WriteOptions(), key,
-            std::string(val) + std::string(1000, '.'));
+    (void)db->Put(bolt::WriteOptions(), key,
+                  std::string(val) + std::string(1000, '.'));
   }
   db->WaitForBackgroundWork();
   printf("  bulk-loaded %d x 1KB records (flushes + compactions ran)\n",

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   bolt::Options options = bolt::presets::BoLT();
   options.create_if_missing = true;
 
-  bolt::DestroyDB(path, options);  // start fresh for the demo
+  (void)bolt::DestroyDB(path, options);  // start fresh for the demo
 
   bolt::DB* db = nullptr;
   bolt::Status s = bolt::DB::Open(options, path, &db);
@@ -31,21 +31,23 @@ int main(int argc, char** argv) {
   std::unique_ptr<bolt::DB> owned(db);
 
   // ---- Writes -----------------------------------------------------------
-  db->Put(bolt::WriteOptions(), "planet:1", "mercury");
-  db->Put(bolt::WriteOptions(), "planet:2", "venus");
-  db->Put(bolt::WriteOptions(), "planet:3", "earth");
+  // (void) casts below are demo brevity; production code checks every
+  // Status.
+  (void)db->Put(bolt::WriteOptions(), "planet:1", "mercury");
+  (void)db->Put(bolt::WriteOptions(), "planet:2", "venus");
+  (void)db->Put(bolt::WriteOptions(), "planet:3", "earth");
 
   // Atomic multi-key updates via WriteBatch.
   bolt::WriteBatch batch;
   batch.Put("planet:4", "mars");
   batch.Put("planet:5", "jupiter");
   batch.Delete("planet:1");
-  db->Write(bolt::WriteOptions(), &batch);
+  (void)db->Write(bolt::WriteOptions(), &batch);
 
   // Synchronous write: fsync the WAL before acknowledging.
   bolt::WriteOptions durable;
   durable.sync = true;
-  db->Put(durable, "planet:6", "saturn");
+  (void)db->Put(durable, "planet:6", "saturn");
 
   // ---- Reads ------------------------------------------------------------
   std::string value;
@@ -58,12 +60,12 @@ int main(int argc, char** argv) {
 
   // ---- Snapshot isolation -------------------------------------------------
   const bolt::Snapshot* snap = db->GetSnapshot();
-  db->Put(bolt::WriteOptions(), "planet:3", "earth v2");
+  (void)db->Put(bolt::WriteOptions(), "planet:3", "earth v2");
   bolt::ReadOptions at_snap;
   at_snap.snapshot = snap;
-  db->Get(at_snap, "planet:3", &value);
+  (void)db->Get(at_snap, "planet:3", &value);
   printf("planet:3 at snapshot -> %s\n", value.c_str());
-  db->Get(bolt::ReadOptions(), "planet:3", &value);
+  (void)db->Get(bolt::ReadOptions(), "planet:3", &value);
   printf("planet:3 now         -> %s\n", value.c_str());
   db->ReleaseSnapshot(snap);
 

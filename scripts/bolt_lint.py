@@ -1,0 +1,370 @@
+#!/usr/bin/env python3
+"""bolt_lint: BoLT-specific invariants no generic tool checks.
+
+Rules (each finding is printed as path:line: [rule-id] message):
+
+  sync-point-unique      Every BOLT_SYNC_POINT name is emitted from
+                         exactly one code site, so a crash-point test
+                         targeting the name hits a deterministic place.
+                         Names a test must hit from several branches of
+                         the SAME logical operation go in SHARED_POINTS.
+  sync-point-format      Sync-point names follow Class::Method:Event
+                         (the scheme the crash-point matrix and
+                         trace_check.py key on).
+  sync-point-registered  A sync-point name referenced by a test
+                         (SetCallback/ClearCallback/HitCount) must be
+                         emitted somewhere in src/ — otherwise the test
+                         waits on a point that can never fire.
+  naked-sync             fsync/fdatasync/sync_file_range may be called
+                         only under src/env/ — everywhere else a data
+                         barrier must go through Env/WritableFile so the
+                         barrier tickers, tracing and fault injection
+                         see it.
+  ticker-charge-site     Barrier tickers are charged only by the
+                         designated attribution layer (TracingEnv for
+                         per-file-type syncs, the physical envs for
+                         kSyncBarriers, the DB write/install paths for
+                         WAL and committed/orphaned bookkeeping).  A
+                         charge anywhere else breaks the sum-equations
+                         trace_check.py verifies.
+  raw-std-mutex          src/ uses bolt::port::Mutex/CondVar (the
+                         Clang-thread-safety-annotated wrappers), never
+                         std::mutex & friends — except the port wrapper
+                         itself.
+
+Usage:
+  scripts/bolt_lint.py              lint the repository (exit 1 on findings)
+  scripts/bolt_lint.py --self-test  run every negative fixture in
+                                    tests/lint_fixtures/ and assert the
+                                    rule named in its "// lint-expect:"
+                                    header fires (exit 1 if any doesn't)
+
+Stdlib-only by design: runs anywhere Python 3 does.
+"""
+
+import argparse
+import os
+import re
+import sys
+from collections import defaultdict
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Sync-point names deliberately emitted from more than one site.  Keep
+# this list short and justified: each entry is one logical operation
+# whose branches must present the same hook to tests.
+SHARED_POINTS = {
+    # DBImpl::Write has a primary path and a degraded-retry branch; a
+    # fault armed on the WAL hook must fire on whichever branch runs.
+    "DBImpl::Write:BeforeWalAppend",
+    "DBImpl::Write:BeforeWalSync",
+}
+
+# Barrier tickers -> the only files allowed to charge them (paths
+# relative to the repo root).  See src/obs/metrics.h for why each layer
+# owns its slice of the accounting.
+TICKER_CHARGE_SITES = {
+    # Physical barrier count/bytes: charged where the sync hits the
+    # device (real or simulated).
+    "kSyncBarriers": {"src/env/posix_env.cc", "src/sim/sim_env.cc"},
+    "kSyncedBytes": {"src/env/posix_env.cc", "src/sim/sim_env.cc"},
+    # Per-file-type attribution: TracingEnv only (PR-5).
+    "kCompactionFileSyncs": {"src/env/tracing_env.cc"},
+    "kManifestSyncs": {"src/env/tracing_env.cc"},
+    "kCurrentSyncs": {"src/env/tracing_env.cc"},
+    # WAL barriers: the DB write path charges them (the env cannot tell
+    # a WAL sync from any other file sync without the write context).
+    "kWalSyncs": {"src/db/db_impl.cc"},
+    "kWalBytesAppended": {"src/db/db_impl.cc"},
+    # Committed/orphaned bookkeeping (PR-6): the install points.
+    "kDataBarriersCommitted": {"src/db/db_impl.cc"},
+    "kDataBarriersOrphaned": {"src/db/db_impl.cc"},
+    "kManifestBarriersCommitted": {"src/db/db_impl.cc",
+                                   "src/db/version_set.cc"},
+    "kManifestBarriersOrphaned": {"src/db/db_impl.cc",
+                                  "src/db/version_set.cc"},
+}
+
+SYNC_POINT_NAME = re.compile(r"^[A-Za-z0-9_]+::[A-Za-z0-9_]+:[A-Za-z0-9_]+$")
+EMIT_RE = re.compile(r'BOLT_SYNC_POINT(?:_ARG)?\s*\(\s*"([^"]+)"')
+TEST_REF_RE = re.compile(
+    r'(?:SetCallback|ClearCallback|HitCount)\s*\(\s*"([^"]+)"')
+NAKED_SYNC_RE = re.compile(r"\b(fsync|fdatasync|sync_file_range)\s*\(")
+STD_SYNC_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+TICKER_RE = re.compile(r"\bk[A-Z][A-Za-z]+\b")
+
+
+def strip_comments_and_strings(text, keep_strings=False):
+    """Blank out //, /* */ comments and (unless keep_strings) "..."
+    literals, preserving line structure so reported line numbers stay
+    exact."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append('"' if keep_strings else " ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif mode in ("str", "chr"):
+            quote = '"' if mode == "str" else "'"
+            keep = keep_strings and mode == "str"
+            if c == "\\":
+                out.append(text[i:i + 2] if keep else "  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+                out.append(quote if keep else " ")
+            elif c == "\n":  # unterminated; be forgiving
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(c if keep else " ")
+        i += 1
+    return "".join(out)
+
+
+def iter_source_files(root, subdir):
+    top = os.path.join(root, subdir)
+    for dirpath, dirnames, filenames in os.walk(top):
+        dirnames[:] = [d for d in dirnames if d != "CMakeFiles"]
+        for f in sorted(filenames):
+            if f.endswith((".cc", ".h", ".cpp", ".hpp")):
+                yield os.path.join(dirpath, f)
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []  # (path, line, rule, message)
+
+    def report(self, path, line, rule, message):
+        rel = os.path.relpath(path, self.root)
+        self.findings.append((rel, line, rule, message))
+
+    def lint_tree(self, src_files, test_files):
+        emitted = defaultdict(list)  # name -> [(path, line)]
+        for path in src_files:
+            raw = open(path, encoding="utf-8", errors="replace").read()
+            code = strip_comments_and_strings(raw)
+            with_strings = strip_comments_and_strings(raw, keep_strings=True)
+            rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+
+            for lineno, line in enumerate(with_strings.splitlines(), 1):
+                for m in EMIT_RE.finditer(line):
+                    emitted[m.group(1)].append((path, lineno))
+
+            self._check_naked_sync(path, rel, code)
+            self._check_std_mutex(path, rel, code)
+            self._check_ticker_charges(path, rel, code)
+
+        self._check_sync_point_names(emitted)
+        self._check_test_references(test_files, set(emitted))
+        return self.findings
+
+    def _check_sync_point_names(self, emitted):
+        for name, sites in sorted(emitted.items()):
+            path0, line0 = sites[0]
+            if not SYNC_POINT_NAME.match(name):
+                self.report(path0, line0, "sync-point-format",
+                            f'"{name}" does not follow Class::Method:Event')
+            if len(sites) > 1 and name not in SHARED_POINTS:
+                where = ", ".join(
+                    f"{os.path.relpath(p, self.root)}:{l}"
+                    for p, l in sites[1:])
+                self.report(
+                    path0, line0, "sync-point-unique",
+                    f'"{name}" emitted from {len(sites)} sites (also '
+                    f"{where}); crash-point tests need one deterministic "
+                    f"site, or an entry in SHARED_POINTS")
+
+    def _check_test_references(self, test_files, emitted_names):
+        for path in test_files:
+            raw = open(path, encoding="utf-8", errors="replace").read()
+            for lineno, line in enumerate(raw.splitlines(), 1):
+                for m in TEST_REF_RE.finditer(line):
+                    name = m.group(1)
+                    # Synthetic names (sync_point_test's own fixtures)
+                    # don't follow the scheme and are exempt.
+                    if not SYNC_POINT_NAME.match(name):
+                        continue
+                    if name not in emitted_names:
+                        self.report(
+                            path, lineno, "sync-point-registered",
+                            f'test references sync point "{name}" that no '
+                            f"src/ file emits")
+
+    def _check_naked_sync(self, path, rel, code):
+        if rel.startswith("src/env/"):
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = NAKED_SYNC_RE.search(line)
+            if m:
+                self.report(
+                    path, lineno, "naked-sync",
+                    f"naked {m.group(1)}() outside src/env/; route the "
+                    f"barrier through Env/WritableFile::Sync so tickers, "
+                    f"tracing and fault injection observe it")
+
+    def _check_std_mutex(self, path, rel, code):
+        if rel == "src/port/port.h":
+            return  # the wrapper itself
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = STD_SYNC_RE.search(line)
+            if m:
+                self.report(
+                    path, lineno, "raw-std-mutex",
+                    f"std::{m.group(1)} in src/; use bolt::port::Mutex/"
+                    f"CondVar (util/mutexlock.h) so Clang thread-safety "
+                    f"analysis sees the lock")
+
+    def _check_ticker_charges(self, path, rel, code):
+        for lineno, line in enumerate(code.splitlines(), 1):
+            # A charge is an Add( call naming the ticker on the same
+            # statement line (the repo never splits "Add(obs::kX" across
+            # lines without keeping "Add(" on the first).
+            if "Add(" not in line:
+                continue
+            for m in TICKER_RE.finditer(line):
+                ticker = m.group(0)
+                allowed = TICKER_CHARGE_SITES.get(ticker)
+                if allowed is None or rel in allowed:
+                    continue
+                self.report(
+                    path, lineno, "ticker-charge-site",
+                    f"{ticker} charged outside its attribution layer "
+                    f"({', '.join(sorted(allowed))}); see the charge map "
+                    f"in scripts/bolt_lint.py and src/obs/metrics.h")
+
+
+def lint_repo(root):
+    linter = Linter(root)
+    src_files = list(iter_source_files(root, "src"))
+    test_files = list(iter_source_files(root, "tests"))
+    # Negative fixtures are lint *inputs*, not part of the tree.
+    test_files = [p for p in test_files
+                  if os.sep + "lint_fixtures" + os.sep not in p]
+    return linter.lint_tree(src_files, test_files)
+
+
+def self_test(root):
+    """Each fixture declares the rule it must trip:
+         // lint-expect: <rule-id>
+       The fixture is linted as if it lived at the src/ path named by an
+       optional "// lint-path: <relpath>" header (default src/db/<name>).
+    """
+    fixture_dir = os.path.join(root, "tests", "lint_fixtures")
+    fixtures = sorted(
+        f for f in os.listdir(fixture_dir)
+        if f.endswith((".cc", ".h")) and not f.startswith("tsa_"))
+    if not fixtures:
+        print("bolt_lint self-test: no fixtures found", file=sys.stderr)
+        return 1
+    failures = 0
+    for name in fixtures:
+        path = os.path.join(fixture_dir, name)
+        raw = open(path, encoding="utf-8").read()
+        expect = re.search(r"//\s*lint-expect:\s*(\S+)", raw)
+        if not expect:
+            print(f"FAIL {name}: missing '// lint-expect:' header")
+            failures += 1
+            continue
+        rule = expect.group(1)
+        mpath = re.search(r"//\s*lint-path:\s*(\S+)", raw)
+        as_path = mpath.group(1) if mpath else f"src/db/{name}"
+
+        linter = Linter(root)
+        if rule == "sync-point-registered":
+            # Referencing side: fixture plays a test file; the real src/
+            # tree supplies the emitted names.
+            real_src = list(iter_source_files(root, "src"))
+            emitted = set()
+            for p in real_src:
+                emitted.update(
+                    m.group(1)
+                    for m in EMIT_RE.finditer(open(p, errors="replace")
+                                              .read()))
+            linter._check_test_references([path], emitted)
+        else:
+            code = strip_comments_and_strings(raw)
+            emitted = defaultdict(list)
+            for lineno, line in enumerate(raw.splitlines(), 1):
+                for m in EMIT_RE.finditer(line):
+                    emitted[m.group(1)].append((path, lineno))
+            linter._check_naked_sync(path, as_path, code)
+            linter._check_std_mutex(path, as_path, code)
+            linter._check_ticker_charges(path, as_path, code)
+            linter._check_sync_point_names(emitted)
+
+        fired = {r for _, _, r, _ in linter.findings}
+        if rule in fired:
+            print(f"ok   {name}: {rule} fired")
+        else:
+            print(f"FAIL {name}: expected rule '{rule}', got {sorted(fired)}")
+            failures += 1
+    if failures:
+        print(f"bolt_lint self-test: {failures} fixture(s) FAILED")
+        return 1
+    print(f"bolt_lint self-test: {len(fixtures)} fixtures OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=REPO, help="repository root")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every negative fixture trips its rule")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    findings = lint_repo(args.root)
+    for rel, line, rule, message in findings:
+        print(f"{rel}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"bolt_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("bolt_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 build+test pass, plus sanitizer sweeps.
 #
-#   scripts/verify.sh            # tier-1 + ASan variant + TSan obs pass
+#   scripts/verify.sh            # tier-1 + static analysis + TSan pass
 #   scripts/verify.sh --fast     # tier-1 only
+#   scripts/verify.sh --static   # static analysis only (no build needed
+#                                # for bolt_lint; clang-tidy runs when
+#                                # installed and a compile database
+#                                # exists, else is skipped with a note)
 #
 # Tier-1 (ROADMAP.md) builds the default tree — which already includes
 # the AddressSanitizer fault-injection variant (asan/ test prefix) —
@@ -19,10 +23,42 @@
 # (thread pool, dedicated flush lane, sharded subcompactions), and the
 # recovery suite (auto-recovery racing concurrent writers) under
 # ThreadSanitizer.
+# The static pass (non-fast and --static) runs the BoLT invariant
+# linter (scripts/bolt_lint.py: sync-point uniqueness/registration,
+# naked fsync outside src/env/, barrier-ticker charge sites, std::mutex
+# outside the port wrapper) with its negative-fixture self-test, then
+# clang-tidy over src/ when available.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_static() {
+  echo "==> static: bolt_lint self-test (negative fixtures must fire)"
+  python3 scripts/bolt_lint.py --self-test
+
+  echo "==> static: bolt_lint over src/ + tests/"
+  python3 scripts/bolt_lint.py
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    if [[ -f build/compile_commands.json ]]; then
+      echo "==> static: clang-tidy over src/"
+      git ls-files 'src/*.cc' | grep -v '^src/CMakeFiles/' \
+        | xargs -P "$JOBS" -n 8 clang-tidy -p build --quiet
+    else
+      echo "==> static: clang-tidy SKIPPED (no build/compile_commands.json;"
+      echo "    configure with cmake -B build -S . first)"
+    fi
+  else
+    echo "==> static: clang-tidy SKIPPED (not installed)"
+  fi
+}
+
+if [[ "${1:-}" == "--static" ]]; then
+  run_static
+  echo "verify OK (static only)"
+  exit 0
+fi
 
 echo "==> tier-1: build"
 cmake -B build -S . >/dev/null
@@ -51,6 +87,8 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
+run_static
+
 echo "==> TSan: build (BOLT_SANITIZE=thread)"
 cmake -B build-tsan -S . -DBOLT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target obs_test posix_env_test db_basic_test parallel_compaction_test trace_test recovery_test
@@ -63,4 +101,4 @@ echo "==> TSan: concurrent observability tests"
 ./build-tsan/tests/trace_test
 ./build-tsan/tests/recovery_test --gtest_filter='RecoveryPosixTest.*'
 
-echo "verify OK (tier-1 + ASan variant + TSan obs pass)"
+echo "verify OK (tier-1 + ASan variant + static analysis + TSan obs pass)"

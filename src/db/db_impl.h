@@ -18,9 +18,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -33,6 +31,8 @@
 #include "db/version_edit.h"
 #include "env/env.h"
 #include "obs/metrics.h"
+#include "port/port.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -109,77 +109,85 @@ class DBImpl : public DB {
 
   // Recover the descriptor from persistent storage.  May do a significant
   // amount of work to recover recently logged updates.
-  Status Recover(VersionEdit* edit);
+  Status Recover(VersionEdit* edit) REQUIRES(mutex_);
 
   void MaybeIgnoreError(Status* s) const;
 
   // Delete any unneeded files, stale in-memory entries, and punch holes
-  // for dead logical SSTables (BoLT §3.2).  REQUIRES: mutex_ held.
-  void RemoveObsoleteFiles();
+  // for dead logical SSTables (BoLT §3.2).  Releases mutex_ for the
+  // deletions themselves.
+  void RemoveObsoleteFiles() REQUIRES(mutex_);
 
   // Compact the in-memory write buffer to disk.  Switches to a new
   // log-file/memtable and writes a new descriptor iff successful.
-  void CompactMemTable();
+  void CompactMemTable() REQUIRES(mutex_);
 
   Status RecoverLogFile(uint64_t log_number, VersionEdit* edit,
-                        SequenceNumber* max_sequence);
+                        SequenceNumber* max_sequence) REQUIRES(mutex_);
 
-  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit);
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit)
+      REQUIRES(mutex_);
 
-  Status MakeRoomForWrite(bool force /* compact even if there is room? */);
-  WriteBatch* BuildBatchGroup(Writer** last_writer);
+  Status MakeRoomForWrite(bool force /* compact even if there is room? */)
+      REQUIRES(mutex_);
+  WriteBatch* BuildBatchGroup(Writer** last_writer) REQUIRES(mutex_);
 
   // Latch a background error with its origin context (DESIGN.md §11).
   // Classifies the severity, charges the severity tickers, notifies
   // OnBackgroundError listeners, logs one line, and — for retryable
-  // severities — kicks the RecoveryManager.  REQUIRES: mutex_ held.
+  // severities — kicks the RecoveryManager.
   void RecordBackgroundError(const Status& s, ErrorOperation op,
                              bool has_file_type = false,
                              FileType file_type = kLogFile,
-                             const std::string& file_name = std::string());
+                             const std::string& file_name = std::string())
+      REQUIRES(mutex_);
 
   // ---- RecoveryManager (DESIGN.md §11) ----
   // Queue an auto-recovery attempt on the low-priority lane (no-op if
   // one is already queued/running, the error isn't retryable, or
   // auto-recovery is disabled).  In sim mode the retries run inline,
-  // charging the backoff as virtual time.  REQUIRES: mutex_ held.
-  void MaybeScheduleRecovery();
+  // charging the backoff as virtual time.
+  void MaybeScheduleRecovery() REQUIRES(mutex_);
   static void BGRecoveryWork(void* db);
-  void BackgroundRecovery();
+  // Entered with mutex_ held iff simulated (the pool task path locks it
+  // itself) — a conditional protocol thread-safety analysis cannot
+  // express, so the analysis is disabled for this one function.
+  void BackgroundRecovery() NO_THREAD_SAFETY_ANALYSIS;
   // Bounded exponential backoff with jitter for the given 1-based
-  // attempt number.
-  uint64_t RecoveryBackoffMicros(int attempt);
+  // attempt number (advances the jitter seed).
+  uint64_t RecoveryBackoffMicros(int attempt) REQUIRES(mutex_);
   // The Resume() machinery, shared by the manual API and the
-  // RecoveryManager.  REQUIRES: mutex_ held.
-  Status ResumeInternal(bool auto_recovery);
+  // RecoveryManager.
+  Status ResumeInternal(bool auto_recovery) REQUIRES(mutex_);
   // The error a write observes while bg_error_ is latched: the raw
   // latched status for retryable severities, a distinct read-only
-  // IOError subtype once degraded.  REQUIRES: mutex_ held.
-  Status DegradedWriteError();
+  // IOError subtype once degraded.  REQUIRES bg_error_ latched.
+  Status DegradedWriteError() REQUIRES(mutex_);
   // VerifyIntegrity with mutex_ already held (released during I/O).
-  Status VerifyIntegrityLocked();
+  Status VerifyIntegrityLocked() REQUIRES(mutex_);
 
-  void MaybeScheduleCompaction();
+  void MaybeScheduleCompaction() REQUIRES(mutex_);
   // Schedule a flush of imm_ (high-priority lane when dedicated).
-  // REQUIRES: mutex_ held.
-  void MaybeScheduleFlush();
+  void MaybeScheduleFlush() REQUIRES(mutex_);
   static void BGWork(void* db);
   static void BGFlushWork(void* db);
-  void BackgroundCall();
-  void BackgroundFlushCall();
-  void BackgroundCompaction();
+  void BackgroundCall() EXCLUDES(mutex_);
+  void BackgroundFlushCall() EXCLUDES(mutex_);
+  void BackgroundCompaction() REQUIRES(mutex_);
   // True iff any input/promoted table of c is part of an in-flight
-  // compaction.  REQUIRES: mutex_ held.
-  bool CompactionConflictsWithInFlight(const Compaction* c) const;
-  void RegisterCompactionInputs(const Compaction* c);
-  void UnregisterCompactionInputs(const Compaction* c);
-  void CleanupCompaction(CompactionState* compact);
-  Status DoCompactionWork(CompactionState* compact);
+  // compaction.
+  bool CompactionConflictsWithInFlight(const Compaction* c) const
+      REQUIRES(mutex_);
+  void RegisterCompactionInputs(const Compaction* c) REQUIRES(mutex_);
+  void UnregisterCompactionInputs(const Compaction* c) REQUIRES(mutex_);
+  void CleanupCompaction(CompactionState* compact) REQUIRES(mutex_);
+  Status DoCompactionWork(CompactionState* compact) REQUIRES(mutex_);
   // Stream one key-range shard of a compaction into its own output
-  // writer.  REQUIRES: mutex_ NOT held.
+  // writer (takes mutex_ only for the optional inline flush).
   void RunSubcompaction(CompactionState* compact, SubcompactionState* sub,
-                        bool may_flush_imm);
-  Status InstallCompactionResults(CompactionState* compact);
+                        bool may_flush_imm) EXCLUDES(mutex_);
+  Status InstallCompactionResults(CompactionState* compact)
+      REQUIRES(mutex_);
 
   const Comparator* user_comparator() const {
     return internal_comparator_.user_comparator();
@@ -202,13 +210,13 @@ class DBImpl : public DB {
   bool simulated() const { return sim_ != nullptr; }
   // Drain every pending piece of background work inline, charging the
   // background lane.
-  void RunBackgroundWorkInlineSim();
+  void RunBackgroundWorkInlineSim() REQUIRES(mutex_);
   // Number of L0 runs as of virtual time "now" (applies queued events).
-  int VirtualL0Runs(uint64_t now);
-  void AddL0Event(uint64_t time, int delta);
+  int VirtualL0Runs(uint64_t now) REQUIRES(mutex_);
+  void AddL0Event(uint64_t time, int delta) REQUIRES(mutex_);
   // Virtual time at which the L0 run count next decreases (or "now" if
   // no such event is pending).
-  uint64_t NextL0DropTime(uint64_t now);
+  uint64_t NextL0DropTime(uint64_t now) REQUIRES(mutex_);
 
   // Dead logical SSTable awaiting hole punching.
   struct ZombieTable {
@@ -240,58 +248,64 @@ class DBImpl : public DB {
   TableCache* const table_cache_;
 
   // State below is protected by mutex_
-  std::mutex mutex_;
+  port::Mutex mutex_;
   std::atomic<bool> shutting_down_;
-  // condition_variable_any: DBImpl follows LevelDB's manual
-  // unlock()/lock() discipline, so waits happen on the raw mutex.
-  std::condition_variable_any background_work_finished_signal_;
+  // Bound to mutex_: DBImpl follows LevelDB's manual Unlock()/Lock()
+  // discipline, so waits happen on the raw mutex.
+  port::CondVar background_work_finished_signal_;
+  // mem_, logfile_ and log_ carry LevelDB's write-path convention
+  // rather than a GUARDED_BY: the front-of-queue writer in Write() owns
+  // them while mutex_ is *released* (BuildBatchGroup hands it the
+  // group), so lock-based analysis cannot express their protocol.
   MemTable* mem_;
-  MemTable* imm_;                 // Memtable being compacted
+  MemTable* imm_ GUARDED_BY(mutex_);  // Memtable being compacted
   std::atomic<bool> has_imm_;     // So bg thread can detect non-null imm_
   WritableFile* logfile_;
-  uint64_t logfile_number_;
+  uint64_t logfile_number_ GUARDED_BY(mutex_);
   log::Writer* log_;
 
   // Queue of writers.
-  std::deque<Writer*> writers_;
-  WriteBatch* tmp_batch_;
+  std::deque<Writer*> writers_ GUARDED_BY(mutex_);
+  WriteBatch* tmp_batch_ GUARDED_BY(mutex_);
 
-  SnapshotList snapshots_;
+  SnapshotList snapshots_ GUARDED_BY(mutex_);
 
   // Set of (physical) files being generated by in-flight jobs.
-  std::set<uint64_t> pending_outputs_;
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mutex_);
 
   // Dead logical tables not yet hole-punched.
-  std::vector<ZombieTable> zombies_;
+  std::vector<ZombieTable> zombies_ GUARDED_BY(mutex_);
 
   // Latched once PunchHole returns NotSupported: stop retrying; zombies
   // are reclaimed only when their whole compaction file is unlinked.
-  bool punch_hole_unsupported_ = false;
+  bool punch_hole_unsupported_ GUARDED_BY(mutex_) = false;
 
   // Is a flush job queued on the flush lane or running?
-  bool bg_flush_scheduled_;
+  bool bg_flush_scheduled_ GUARDED_BY(mutex_);
   // Is some thread currently inside CompactMemTable (which releases
   // mutex_ mid-build)?  PosixEnv lane widths are a process-wide
   // high-water mark shared by every open DB, so even a
   // max_background_jobs == 1 DB can see its flush job and a shared-lane
   // inline flush run on different threads; this flag is the per-DB
   // mutual exclusion.
-  bool imm_flush_active_;
+  bool imm_flush_active_ GUARDED_BY(mutex_);
   // Number of compaction jobs queued on the compaction lane or running.
-  int bg_compactions_scheduled_;
+  int bg_compactions_scheduled_ GUARDED_BY(mutex_);
   // Table ids (inputs + promoted) of compactions currently running with
   // mutex_ released; new picks touching any of these are deferred.
-  std::set<uint64_t> compacting_tables_;
+  std::set<uint64_t> compacting_tables_ GUARDED_BY(mutex_);
   // Number of merge compactions currently mid-flight (mutex_ released).
-  int merge_compactions_in_flight_;
+  int merge_compactions_in_flight_ GUARDED_BY(mutex_);
   // Guards RemoveObsoleteFiles, which releases mutex_ for I/O: a second
   // background thread entering concurrently would double-delete.
-  bool removing_obsolete_files_;
+  bool removing_obsolete_files_ GUARDED_BY(mutex_);
   // True when flushes run on a dedicated high-priority lane
-  // (max_background_jobs > 1 on a real Env).
-  bool flush_lane_dedicated_;
-  // Max concurrent compaction jobs on the low-priority lane.
-  int max_compaction_jobs_;
+  // (max_background_jobs > 1 on a real Env).  Constant after
+  // construction (read by subcompactions with mutex_ released).
+  const bool flush_lane_dedicated_;
+  // Max concurrent compaction jobs on the low-priority lane.  Constant
+  // after construction.
+  const int max_compaction_jobs_;
 
   // Information for a manual compaction
   struct ManualCompaction {
@@ -301,30 +315,32 @@ class DBImpl : public DB {
     const InternalKey* end;    // null means end of key range
     InternalKey tmp_storage;   // Used to keep track of compaction progress
   };
-  ManualCompaction* manual_compaction_;
+  ManualCompaction* manual_compaction_ GUARDED_BY(mutex_);
 
   VersionSet* const versions_;
 
   // Latched background-error state: severity + origin context
   // (DESIGN.md §11).  bg_error_.ok() plays the role the old bare
   // `Status bg_error_` did; writes observe status()/severity().
-  ErrorState bg_error_;
+  ErrorState bg_error_ GUARDED_BY(mutex_);
 
   // ---- RecoveryManager state (protected by mutex_) ----
   // Is an auto-recovery task queued on the pool or running?  The
   // destructor drains this flag exactly like the bg job flags.
-  bool recovery_scheduled_ = false;
+  bool recovery_scheduled_ GUARDED_BY(mutex_) = false;
   // 1-based attempt counter for the current error; reset when the latch
   // clears or a new error replaces it.
-  int recovery_attempt_ = 0;
+  int recovery_attempt_ GUARDED_BY(mutex_) = 0;
   // Seedable RNG for backoff jitter (only recovery tasks touch it).
-  uint64_t recovery_jitter_seed_ = 0x9e3779b97f4a7c15ull;
+  uint64_t recovery_jitter_seed_ GUARDED_BY(mutex_) =
+      0x9e3779b97f4a7c15ull;
 
   // ---- Simulation-mode state ----
-  uint64_t imm_done_time_ = 0;  // virtual completion of the last flush
-  std::deque<std::pair<uint64_t, int>> vl0_events_;
-  int vl0_runs_ = 0;
-  bool in_sim_background_ = false;  // re-entrancy guard
+  // Virtual completion of the last flush.
+  uint64_t imm_done_time_ GUARDED_BY(mutex_) = 0;
+  std::deque<std::pair<uint64_t, int>> vl0_events_ GUARDED_BY(mutex_);
+  int vl0_runs_ GUARDED_BY(mutex_) = 0;
+  bool in_sim_background_ GUARDED_BY(mutex_) = false;  // re-entrancy guard
   // Reserved tracer tid for the virtual background lane: one OS thread
   // plays both lanes in sim mode, so inline background work overrides
   // its tid to keep the exported trace's lanes separate.
@@ -333,10 +349,10 @@ class DBImpl : public DB {
   // ---- Periodic stats dumper state ----
   // Timer thread (real Env with stats_dump_period_sec > 0 only).
   std::thread stats_thread_;
-  // Wakes the timer thread early on shutdown; waits on mutex_.
-  std::condition_variable_any stats_cv_;
-  // Is a dump task queued on the pool or running?  Protected by mutex_.
-  bool stats_dump_scheduled_ = false;
+  // Wakes the timer thread early on shutdown; bound to mutex_.
+  port::CondVar stats_cv_;
+  // Is a dump task queued on the pool or running?
+  bool stats_dump_scheduled_ GUARDED_BY(mutex_) = false;
   // Previous snapshot, advanced by each dump (only the dump task and
   // the destructor — after the flag drains — touch it).
   obs::MetricsRegistry::Snapshot stats_last_snapshot_;

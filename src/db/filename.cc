@@ -131,7 +131,8 @@ Status SetCurrentFile(Env* env, const std::string& dbname,
     s = env->RenameFile(tmp, CurrentFileName(dbname));
   }
   if (!s.ok()) {
-    env->RemoveFile(tmp);
+    (void)env->RemoveFile(tmp);  // Best-effort cleanup; s already carries
+                                 // the primary failure.
   }
   return s;
 }

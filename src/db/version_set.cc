@@ -861,7 +861,9 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
       delete descriptor_file_;
       descriptor_log_ = nullptr;
       descriptor_file_ = nullptr;
-      env_->RemoveFile(new_manifest_file);
+      // Best-effort cleanup: CURRENT still names the old manifest, so a
+      // leftover new manifest is garbage, not corruption.
+      (void)env_->RemoveFile(new_manifest_file);
     } else {
       // The established descriptor stream may now end in a torn record;
       // appending more records after it would make recovery drop them

@@ -39,7 +39,7 @@ class WriteBatch {
   void Clear();
 
   // The size of the database changes caused by this batch.
-  size_t ApproximateSize() const;
+  [[nodiscard]] size_t ApproximateSize() const;
 
   // Copies the operations in "source" to this batch.
   void Append(const WriteBatch& source);

@@ -38,7 +38,7 @@ Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
     s = file->Close();
   }
   if (!s.ok()) {
-    env->RemoveFile(fname);
+    (void)env->RemoveFile(fname);  // Best-effort cleanup of the partial file.
   }
   return s;
 }

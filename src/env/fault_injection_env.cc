@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/mutexlock.h"
+
 namespace bolt {
 
 namespace {
@@ -144,7 +146,7 @@ FaultInjectionEnv::FaultInjectionEnv(Env* target, uint64_t seed)
 FaultInjectionEnv::~FaultInjectionEnv() = default;
 
 void FaultInjectionEnv::FailNth(FaultOp op, uint64_t n, const Status& error) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   Fault& f = faults_[static_cast<int>(op)];
   f.armed = true;
   f.always = false;
@@ -153,7 +155,7 @@ void FaultInjectionEnv::FailNth(FaultOp op, uint64_t n, const Status& error) {
 }
 
 void FaultInjectionEnv::FailAlways(FaultOp op, const Status& error) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   Fault& f = faults_[static_cast<int>(op)];
   f.armed = true;
   f.always = true;
@@ -164,29 +166,29 @@ void FaultInjectionEnv::FailAlways(FaultOp op, const Status& error) {
 void FaultInjectionEnv::FailNextK(FaultOp op, FaultFileClass file_class,
                                   uint64_t k, const Status& error) {
   if (k == 0) return;
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   transient_faults_.push_back(TransientFault{op, file_class, k, error});
 }
 
 uint64_t FaultInjectionEnv::TransientFaultsRemaining() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   uint64_t total = 0;
   for (const TransientFault& f : transient_faults_) total += f.remaining;
   return total;
 }
 
 void FaultInjectionEnv::SetReadCorruption(double probability) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   read_corruption_p_ = probability;
 }
 
 void FaultInjectionEnv::SetTornWrites(bool enabled) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   torn_writes_ = enabled;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   for (Fault& f : faults_) {
     f = Fault();
   }
@@ -196,17 +198,17 @@ void FaultInjectionEnv::ClearFaults() {
 }
 
 uint64_t FaultInjectionEnv::OpCount(FaultOp op) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   return op_counts_[static_cast<int>(op)];
 }
 
 uint64_t FaultInjectionEnv::FaultsInjected() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   return faults_injected_;
 }
 
 Status FaultInjectionEnv::CheckInject(FaultOp op, const std::string& fname) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   const int i = static_cast<int>(op);
   op_counts_[i]++;
   // Transient faults first: a bounded fail window must drain
@@ -238,7 +240,7 @@ Status FaultInjectionEnv::CheckInject(FaultOp op, const std::string& fname) {
 }
 
 bool FaultInjectionEnv::ShouldCorruptRead(uint64_t* byte_seed) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   if (read_corruption_p_ <= 0.0) return false;
   if (rnd_.NextDouble() >= read_corruption_p_) return false;
   faults_injected_++;
@@ -247,12 +249,12 @@ bool FaultInjectionEnv::ShouldCorruptRead(uint64_t* byte_seed) {
 }
 
 void FaultInjectionEnv::RecordAppend(const std::string& fname, uint64_t len) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   files_[fname].size += len;
 }
 
 void FaultInjectionEnv::RecordSync(const std::string& fname) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = files_.find(fname);
   if (it != files_.end()) {
     it->second.synced_size = it->second.size;
@@ -262,7 +264,7 @@ void FaultInjectionEnv::RecordSync(const std::string& fname) {
 void FaultInjectionEnv::Crash() {
   std::map<std::string, uint64_t> keep;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     for (auto& [fname, state] : files_) {
       uint64_t survive = state.synced_size;
       if (torn_writes_ && state.size > state.synced_size) {
@@ -279,7 +281,9 @@ void FaultInjectionEnv::Crash() {
     }
   }
   for (const auto& [fname, survive] : keep) {
-    target_->Truncate(fname, survive);
+    // Best-effort: the simulated crash keeps going even if one on-disk
+    // truncate fails; the tracked metadata above is the source of truth.
+    (void)target_->Truncate(fname, survive);
   }
 }
 
@@ -309,7 +313,7 @@ Status FaultInjectionEnv::NewWritableFile(
   s = target_->NewWritableFile(fname, &target);
   if (!s.ok()) return s;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     files_[fname] = FileState();  // O_TRUNC semantics
   }
   result->reset(new FaultWritableFile(fname, std::move(target), this));
@@ -325,8 +329,10 @@ Status FaultInjectionEnv::NewAppendableFile(
   if (!s.ok()) return s;
   {
     uint64_t size = 0;
-    target_->GetFileSize(fname, &size);
-    std::lock_guard<std::mutex> l(mu_);
+    // If the stat fails the file is treated as empty, which is the
+    // conservative choice for crash simulation.
+    (void)target_->GetFileSize(fname, &size);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       // Pre-existing contents (written before this env wrapped the
@@ -350,7 +356,7 @@ Status FaultInjectionEnv::GetChildren(const std::string& dir,
 Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
   Status s = target_->RemoveFile(fname);
   if (s.ok()) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     files_.erase(fname);
   }
   return s;
@@ -375,7 +381,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& src,
   if (!s.ok()) return s;
   s = target_->RenameFile(src, target);
   if (s.ok()) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(src);
     if (it != files_.end()) {
       files_[target] = it->second;
@@ -388,7 +394,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& src,
 Status FaultInjectionEnv::Truncate(const std::string& fname, uint64_t size) {
   Status s = target_->Truncate(fname, size);
   if (s.ok()) {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it != files_.end()) {
       it->second.size = size;

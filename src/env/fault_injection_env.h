@@ -20,12 +20,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "env/env.h"
+#include "port/port.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -166,15 +167,15 @@ class FaultInjectionEnv final : public Env {
   void RecordSync(const std::string& fname);
 
   Env* const target_;
-  mutable std::mutex mu_;
-  Random64 rnd_;
-  uint64_t op_counts_[kNumFaultOps] = {};
-  Fault faults_[kNumFaultOps];
-  std::vector<TransientFault> transient_faults_;
-  double read_corruption_p_ = 0.0;
-  bool torn_writes_ = false;
-  uint64_t faults_injected_ = 0;
-  std::map<std::string, FileState> files_;
+  mutable port::Mutex mu_;
+  Random64 rnd_ GUARDED_BY(mu_);
+  uint64_t op_counts_[kNumFaultOps] GUARDED_BY(mu_) = {};
+  Fault faults_[kNumFaultOps] GUARDED_BY(mu_);
+  std::vector<TransientFault> transient_faults_ GUARDED_BY(mu_);
+  double read_corruption_p_ GUARDED_BY(mu_) = 0.0;
+  bool torn_writes_ GUARDED_BY(mu_) = false;
+  uint64_t faults_injected_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, FileState> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace bolt

@@ -14,15 +14,16 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "env/env.h"
 #include "env/posix_logger.h"
 #include "obs/metrics.h"
+#include "port/port.h"
+#include "util/mutexlock.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -155,7 +156,7 @@ class PosixWritableFile final : public WritableFile {
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
-      Close();
+      (void)Close();  // A destructor has no way to report the error.
     }
   }
 
@@ -225,11 +226,11 @@ class PosixEnvImpl final : public Env {
     // The process-wide env is never destroyed in practice; if it is,
     // stop the background threads cleanly.
     {
-      std::lock_guard<std::mutex> l(bg_mutex_);
+      MutexLock l(&bg_mutex_);
       bg_shutdown_ = true;
     }
     for (Lane& lane : lanes_) {
-      lane.cv.notify_all();
+      lane.cv.SignalAll();
     }
     for (Lane& lane : lanes_) {
       for (std::thread& t : lane.threads) {
@@ -399,13 +400,13 @@ class PosixEnvImpl final : public Env {
   void Schedule(void (*function)(void*), void* arg,
                 Priority pri = Priority::kLow) override {
     Lane& lane = lanes_[LaneIndex(pri)];
-    std::lock_guard<std::mutex> l(bg_mutex_);
+    MutexLock l(&bg_mutex_);
     if (lane.threads.empty()) {
       StartLaneThreadLocked(lane);  // lazy default of one thread per lane
     }
     lane.queue.push_back({function, arg, NowNanos()});
     RecordQueueDepthLocked(pri, lane);
-    lane.cv.notify_one();
+    lane.cv.Signal();
   }
 
   void StartThread(void (*function)(void*), void* arg) override {
@@ -415,14 +416,14 @@ class PosixEnvImpl final : public Env {
 
   void SetBackgroundThreads(int n, Priority pri) override {
     Lane& lane = lanes_[LaneIndex(pri)];
-    std::lock_guard<std::mutex> l(bg_mutex_);
+    MutexLock l(&bg_mutex_);
     while (static_cast<int>(lane.threads.size()) < n) {
       StartLaneThreadLocked(lane);
     }
   }
 
   int GetBackgroundQueueDepth(Priority pri) const override {
-    std::lock_guard<std::mutex> l(bg_mutex_);
+    MutexLock l(&bg_mutex_);
     return static_cast<int>(lanes_[LaneIndex(pri)].queue.size());
   }
 
@@ -446,8 +447,12 @@ class PosixEnvImpl final : public Env {
     uint64_t enqueued_ns;
   };
 
+  // Lane state is guarded by bg_mutex_ (a nested struct's members cannot
+  // name the owning object's mutex in a GUARDED_BY attribute; the
+  // REQUIRES annotations on the *Locked helpers carry the discipline).
   struct Lane {
-    std::condition_variable cv;
+    explicit Lane(port::Mutex* mu) : cv(mu) {}
+    port::CondVar cv;
     std::deque<BackgroundWork> queue;
     std::vector<std::thread> threads;
   };
@@ -456,13 +461,12 @@ class PosixEnvImpl final : public Env {
     return pri == Priority::kHigh ? 1 : 0;
   }
 
-  // REQUIRES: bg_mutex_ held.
-  void StartLaneThreadLocked(Lane& lane) {
+  void StartLaneThreadLocked(Lane& lane) REQUIRES(bg_mutex_) {
     lane.threads.emplace_back([this, &lane]() { LaneThreadMain(&lane); });
   }
 
-  // REQUIRES: bg_mutex_ held.
-  void RecordQueueDepthLocked(Priority pri, const Lane& lane) {
+  void RecordQueueDepthLocked(Priority pri, const Lane& lane)
+      REQUIRES(bg_mutex_) {
     obs::MetricsRegistry* m = metrics();
     if (m != nullptr) {
       m->SetGauge(pri == Priority::kHigh ? obs::kBgQueueDepthHigh
@@ -478,9 +482,10 @@ class PosixEnvImpl final : public Env {
     while (true) {
       BackgroundWork work;
       {
-        std::unique_lock<std::mutex> l(bg_mutex_);
-        lane->cv.wait(l,
-                      [&]() { return bg_shutdown_ || !lane->queue.empty(); });
+        MutexLock l(&bg_mutex_);
+        lane->cv.Await([&]() REQUIRES(bg_mutex_) {
+          return bg_shutdown_ || !lane->queue.empty();
+        });
         if (bg_shutdown_ && lane->queue.empty()) return;
         work = lane->queue.front();
         lane->queue.pop_front();
@@ -498,9 +503,9 @@ class PosixEnvImpl final : public Env {
 
   AtomicIoStats stats_;
 
-  mutable std::mutex bg_mutex_;
-  Lane lanes_[kNumPriorities];
-  bool bg_shutdown_ = false;
+  mutable port::Mutex bg_mutex_;
+  Lane lanes_[kNumPriorities] = {Lane(&bg_mutex_), Lane(&bg_mutex_)};
+  bool bg_shutdown_ GUARDED_BY(bg_mutex_) = false;
 };
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/mutexlock.h"
+
 namespace bolt {
 
 void PosixLogger::Logv(const char* format, va_list ap) {
@@ -54,7 +56,7 @@ void PosixLogger::Logv(const char* format, va_list ap) {
       p = limit - 1;
     }
     if (p == base || p[-1] != '\n') *p++ = '\n';
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     std::fwrite(base, 1, p - base, fp_);
     std::fflush(fp_);
     break;

@@ -12,9 +12,9 @@
 
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
 
 #include "env/env.h"
+#include "port/port.h"
 
 namespace bolt {
 
@@ -27,7 +27,7 @@ class PosixLogger final : public Logger {
   void Logv(const char* format, va_list ap) override;
 
  private:
-  std::mutex mu_;
+  port::Mutex mu_;
   std::FILE* const fp_;
 };
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "util/mutexlock.h"
+
 namespace bolt {
 namespace obs {
 
@@ -108,7 +110,7 @@ void MetricsRegistry::RecordHist(Hist h, uint64_t value_ns) {
   const size_t stripe =
       std::hash<std::thread::id>()(std::this_thread::get_id()) % kStripes;
   HistStripe& s = hist_stripes_[h][stripe];
-  std::lock_guard<std::mutex> l(s.mu);
+  MutexLock l(&s.mu);
   s.hist.Add(value_ns);
 }
 
@@ -118,7 +120,7 @@ Histogram MetricsRegistry::GetHist(Hist h) const {
     // const_cast: the mutexes guard mutable state; logical constness of
     // the read is preserved.
     HistStripe& s = const_cast<MetricsRegistry*>(this)->hist_stripes_[h][i];
-    std::lock_guard<std::mutex> l(s.mu);
+    MutexLock l(&s.mu);
     merged.Merge(s.hist);
   }
   return merged;
@@ -129,7 +131,7 @@ void MetricsRegistry::Reset() {
   for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
   for (int h = 0; h < kHistMax; h++) {
     for (int i = 0; i < kStripes; i++) {
-      std::lock_guard<std::mutex> l(hist_stripes_[h][i].mu);
+      MutexLock l(&hist_stripes_[h][i].mu);
       hist_stripes_[h][i].hist.Clear();
     }
   }

@@ -21,10 +21,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "port/port.h"
 #include "util/histogram.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 namespace obs {
@@ -208,8 +209,8 @@ class MetricsRegistry {
   static constexpr int kStripes = 8;
 
   struct alignas(64) HistStripe {
-    std::mutex mu;
-    Histogram hist;
+    port::Mutex mu;
+    Histogram hist GUARDED_BY(mu);
   };
 
   std::atomic<uint64_t> tickers_[kTickerMax];

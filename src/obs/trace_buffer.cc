@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "env/env.h"
+#include "util/mutexlock.h"
 
 namespace bolt {
 namespace obs {
@@ -35,7 +36,7 @@ TraceBuffer::TraceBuffer(Env* env, size_t capacity)
 void TraceBuffer::Record(TraceEvent::Type type, uint64_t v0, uint64_t v1,
                          uint64_t v2) {
   TraceEvent e{type, env_->NowNanos(), v0, v1, v2};
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
   } else {
@@ -107,24 +108,24 @@ void TraceBuffer::OnErrorRecoveryEnd(const RecoveryInfo& info) {
 void TraceBuffer::OnResume() { Record(TraceEvent::Type::kResume); }
 
 size_t TraceBuffer::size() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   return ring_.size();
 }
 
 uint64_t TraceBuffer::dropped_events() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;
 }
 
 std::vector<TraceEvent> TraceBuffer::Snapshot() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Oldest first: when the ring has wrapped, next_ points at the oldest.

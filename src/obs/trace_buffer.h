@@ -13,11 +13,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/event_listener.h"
+#include "port/port.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -96,10 +97,10 @@ class TraceBuffer : public EventListener {
 
   Env* const env_;
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  size_t next_ = 0;          // ring insertion cursor
-  uint64_t total_ = 0;       // events ever recorded
+  mutable port::Mutex mu_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;     // ring insertion cursor
+  uint64_t total_ GUARDED_BY(mu_) = 0;  // events ever recorded
 };
 
 }  // namespace obs

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "env/env.h"
+#include "util/mutexlock.h"
 
 namespace bolt {
 namespace obs {
@@ -60,14 +61,14 @@ uint32_t Tracer::CurrentTid() {
 
 uint32_t Tracer::ReserveTid(const char* name) {
   uint32_t tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> l(names_mu_);
+  MutexLock l(&names_mu_);
   thread_names_.emplace_back(tid, name);
   return tid;
 }
 
 void Tracer::NameCurrentThread(const char* name) {
   uint32_t tid = CurrentTid();
-  std::lock_guard<std::mutex> l(names_mu_);
+  MutexLock l(&names_mu_);
   for (auto& entry : thread_names_) {
     if (entry.first == tid) {
       entry.second = name;
@@ -80,7 +81,7 @@ void Tracer::NameCurrentThread(const char* name) {
 void Tracer::Record(Span&& span) {
   Stripe& stripe = stripes_[span.tid % kStripes];
   span.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> l(stripe.mu);
+  MutexLock l(&stripe.mu);
   stripe.total++;
   if (stripe.ring.size() < stripe_capacity_) {
     stripe.ring.push_back(std::move(span));
@@ -93,7 +94,7 @@ void Tracer::Record(Span&& span) {
 size_t Tracer::size() const {
   size_t n = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> l(stripe.mu);
+    MutexLock l(&stripe.mu);
     n += stripe.ring.size();
   }
   return n;
@@ -102,7 +103,7 @@ size_t Tracer::size() const {
 uint64_t Tracer::dropped() const {
   uint64_t n = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> l(stripe.mu);
+    MutexLock l(&stripe.mu);
     n += stripe.total - stripe.ring.size();
   }
   return n;
@@ -110,7 +111,7 @@ uint64_t Tracer::dropped() const {
 
 void Tracer::Clear() {
   for (Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> l(stripe.mu);
+    MutexLock l(&stripe.mu);
     stripe.ring.clear();
     stripe.next = 0;
     stripe.total = 0;
@@ -120,7 +121,7 @@ void Tracer::Clear() {
 std::vector<Span> Tracer::Snapshot() const {
   std::vector<Span> out;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> l(stripe.mu);
+    MutexLock l(&stripe.mu);
     out.insert(out.end(), stripe.ring.begin(), stripe.ring.end());
   }
   std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
@@ -145,7 +146,7 @@ std::string Tracer::ChromeEventsJson() const {
       "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
       "\"args\": {\"name\": \"bolt-db\"}}");
   {
-    std::lock_guard<std::mutex> l(names_mu_);
+    MutexLock l(&names_mu_);
     for (const auto& entry : thread_names_) {
       sep();
       char buf[64];

@@ -30,10 +30,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "port/port.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -105,10 +107,10 @@ class Tracer {
   static constexpr int kStripes = 8;
 
   struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    std::vector<Span> ring;  // grows to capacity, then wraps
-    size_t next = 0;         // insertion cursor once full
-    uint64_t total = 0;      // spans ever recorded into this stripe
+    mutable port::Mutex mu;
+    std::vector<Span> ring GUARDED_BY(mu);  // grows to capacity, then wraps
+    size_t next GUARDED_BY(mu) = 0;         // insertion cursor once full
+    uint64_t total GUARDED_BY(mu) = 0;  // spans ever recorded into this stripe
   };
 
   Env* const clock_;
@@ -116,8 +118,9 @@ class Tracer {
   Stripe stripes_[kStripes];
   std::atomic<uint64_t> next_seq_{0};
 
-  mutable std::mutex names_mu_;
-  std::vector<std::pair<uint32_t, std::string>> thread_names_;
+  mutable port::Mutex names_mu_;
+  std::vector<std::pair<uint32_t, std::string>> thread_names_
+      GUARDED_BY(names_mu_);
 };
 
 // RAII span: starts timing at construction, records into the tracer at

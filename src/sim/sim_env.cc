@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "util/mutexlock.h"
 
 namespace bolt {
 
@@ -164,7 +165,7 @@ SimEnv::~SimEnv() = default;
 
 std::shared_ptr<SimEnv::MemFile> SimEnv::FindFile(
     const std::string& fname) const {
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
   auto it = files_.find(fname);
   return it == files_.end() ? nullptr : it->second;
 }
@@ -175,7 +176,10 @@ Status SimEnv::NewSequentialFile(const std::string& fname,
   if (file == nullptr) {
     return Status::NotFound(fname);
   }
-  stats_.files_opened += 1;
+  {
+    MutexLock l(&fs_mutex_);
+    stats_.files_opened += 1;
+  }
   sim_.ChargeMetadataOp();
   result->reset(new SimSequentialFile(std::move(file), &sim_, &stats_,
                                       &page_cache_));
@@ -188,8 +192,11 @@ Status SimEnv::NewRandomAccessFile(const std::string& fname,
   if (file == nullptr) {
     return Status::NotFound(fname);
   }
-  stats_.files_opened += 1;
-  stats_.metadata_ops += 1;
+  {
+    MutexLock l(&fs_mutex_);
+    stats_.files_opened += 1;
+    stats_.metadata_ops += 1;
+  }
   sim_.ChargeMetadataOp();
   result->reset(new SimRandomAccessFile(std::move(file), &sim_, &stats_,
                                         &page_cache_));
@@ -200,16 +207,16 @@ Status SimEnv::NewWritableFile(const std::string& fname,
                                std::unique_ptr<WritableFile>* result) {
   auto file = std::make_shared<MemFile>();
   {
-    std::lock_guard<std::mutex> l(fs_mutex_);
+    MutexLock l(&fs_mutex_);
     file->id = next_file_id_++;
     auto it = files_.find(fname);
     if (it != files_.end()) {
       page_cache_.DropFile(it->second->id);  // truncate drops pages
     }
     files_[fname] = file;
+    stats_.files_created += 1;
+    stats_.metadata_ops += 1;
   }
-  stats_.files_created += 1;
-  stats_.metadata_ops += 1;
   sim_.ChargeMetadataOp();
   result->reset(new SimWritableFile(std::move(file), IsWal(fname), &sim_,
                                     &stats_, &page_cache_, this));
@@ -220,7 +227,7 @@ Status SimEnv::NewAppendableFile(const std::string& fname,
                                  std::unique_ptr<WritableFile>* result) {
   std::shared_ptr<MemFile> file;
   {
-    std::lock_guard<std::mutex> l(fs_mutex_);
+    MutexLock l(&fs_mutex_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       file = std::make_shared<MemFile>();
@@ -230,8 +237,8 @@ Status SimEnv::NewAppendableFile(const std::string& fname,
     } else {
       file = it->second;
     }
+    stats_.metadata_ops += 1;
   }
-  stats_.metadata_ops += 1;
   sim_.ChargeMetadataOp();
   result->reset(new SimWritableFile(std::move(file), IsWal(fname), &sim_,
                                     &stats_, &page_cache_, this));
@@ -239,7 +246,7 @@ Status SimEnv::NewAppendableFile(const std::string& fname,
 }
 
 bool SimEnv::FileExists(const std::string& fname) {
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
   return files_.count(fname) > 0;
 }
 
@@ -248,7 +255,7 @@ Status SimEnv::GetChildren(const std::string& dir,
   result->clear();
   std::string prefix = dir;
   if (prefix.empty() || prefix.back() != '/') prefix += '/';
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
   for (const auto& [name, file] : files_) {
     if (name.size() > prefix.size() &&
         name.compare(0, prefix.size(), prefix) == 0) {
@@ -262,9 +269,9 @@ Status SimEnv::GetChildren(const std::string& dir,
 }
 
 Status SimEnv::RemoveFile(const std::string& fname) {
-  stats_.metadata_ops += 1;
   sim_.ChargeMetadataOp();
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
+  stats_.metadata_ops += 1;
   auto it = files_.find(fname);
   if (it == files_.end()) {
     return Status::NotFound(fname);
@@ -289,9 +296,9 @@ Status SimEnv::GetFileSize(const std::string& fname, uint64_t* file_size) {
 }
 
 Status SimEnv::RenameFile(const std::string& src, const std::string& target) {
-  stats_.metadata_ops += 1;
   sim_.ChargeMetadataOp();
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
+  stats_.metadata_ops += 1;
   auto it = files_.find(src);
   if (it == files_.end()) {
     return Status::NotFound(src);
@@ -302,13 +309,13 @@ Status SimEnv::RenameFile(const std::string& src, const std::string& target) {
 }
 
 Status SimEnv::Truncate(const std::string& fname, uint64_t size) {
-  stats_.metadata_ops += 1;
   sim_.ChargeMetadataOp();
   auto file = FindFile(fname);
   if (file == nullptr) {
     return Status::NotFound(fname);
   }
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
+  stats_.metadata_ops += 1;
   if (size < file->data.size()) {
     file->data.resize(size);
     page_cache_.DropFile(file->id);  // conservative: drop residency
@@ -322,12 +329,15 @@ Status SimEnv::Truncate(const std::string& fname, uint64_t size) {
 
 Status SimEnv::PunchHole(const std::string& fname, uint64_t offset,
                          uint64_t length) {
-  stats_.metadata_ops += 1;
   sim_.ChargeMetadataOp();
   auto file = FindFile(fname);
   if (file == nullptr) {
+    MutexLock l(&fs_mutex_);
+    stats_.metadata_ops += 1;
     return Status::NotFound(fname);
   }
+  MutexLock l(&fs_mutex_);
+  stats_.metadata_ops += 1;
   const uint64_t size = file->data.size();
   if (offset >= size) return Status::OK();
   const uint64_t len = std::min(length, size - offset);
@@ -358,17 +368,17 @@ void SimEnv::SleepForMicroseconds(int micros) {
 }
 
 IoStats SimEnv::GetIoStats() const {
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
   return stats_;
 }
 
 void SimEnv::ResetIoStats() {
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
   stats_ = IoStats();
 }
 
 uint64_t SimEnv::TotalStoredBytes() const {
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
   uint64_t total = 0;
   for (const auto& [name, file] : files_) {
     total += file->data.size() - file->hole_bytes;
@@ -377,7 +387,7 @@ uint64_t SimEnv::TotalStoredBytes() const {
 }
 
 void SimEnv::DropUnsynced() {
-  std::lock_guard<std::mutex> l(fs_mutex_);
+  MutexLock l(&fs_mutex_);
   for (auto& [name, file] : files_) {
     file->data.resize(file->synced_size);
   }

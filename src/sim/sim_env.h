@@ -11,12 +11,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "env/env.h"
+#include "port/port.h"
 #include "sim/page_cache.h"
 #include "sim/sim_context.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -87,10 +88,11 @@ class SimEnv final : public Env {
 
   SimContext sim_;
   SimPageCache page_cache_;
-  mutable std::mutex fs_mutex_;
-  uint64_t next_file_id_ = 1;
-  std::map<std::string, std::shared_ptr<MemFile>> files_;
-  mutable IoStats stats_;
+  mutable port::Mutex fs_mutex_;
+  uint64_t next_file_id_ GUARDED_BY(fs_mutex_) = 1;
+  std::map<std::string, std::shared_ptr<MemFile>> files_
+      GUARDED_BY(fs_mutex_);
+  mutable IoStats stats_ GUARDED_BY(fs_mutex_);
 };
 
 }  // namespace bolt

@@ -15,7 +15,7 @@ class Iterator {
   Iterator(const Iterator&) = delete;
   Iterator& operator=(const Iterator&) = delete;
 
-  virtual bool Valid() const = 0;
+  [[nodiscard]] virtual bool Valid() const = 0;
   virtual void SeekToFirst() = 0;
   virtual void SeekToLast() = 0;
   // Position at the first key >= target.

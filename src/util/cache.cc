@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
+#include "port/port.h"
 #include "util/hash.h"
+#include "util/mutexlock.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -123,30 +125,30 @@ class LRUCache {
   void Release(Cache::Handle* handle);
   void Erase(const Slice& key, uint32_t hash);
   size_t TotalCharge() const {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     return usage_;
   }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  void LRU_Remove(LRUHandle* e);
-  void LRU_Append(LRUHandle* list, LRUHandle* e);
-  void Ref(LRUHandle* e);
-  void Unref(LRUHandle* e);
-  bool FinishErase(LRUHandle* e);
+  void LRU_Remove(LRUHandle* e) REQUIRES(mutex_);
+  void LRU_Append(LRUHandle* list, LRUHandle* e) REQUIRES(mutex_);
+  void Ref(LRUHandle* e) REQUIRES(mutex_);
+  void Unref(LRUHandle* e) REQUIRES(mutex_);
+  bool FinishErase(LRUHandle* e) REQUIRES(mutex_);
 
   size_t capacity_ = 0;
 
-  mutable std::mutex mutex_;
-  size_t usage_ = 0;
+  mutable port::Mutex mutex_;
+  size_t usage_ GUARDED_BY(mutex_) = 0;
 
   // Dummy head of LRU list.  lru.prev is the newest, lru.next the oldest.
-  LRUHandle lru_;
+  LRUHandle lru_ GUARDED_BY(mutex_);
   // Dummy head of in-use list: entries clients hold handles on.
-  LRUHandle in_use_;
+  LRUHandle in_use_ GUARDED_BY(mutex_);
 
-  HandleTable table_;
+  HandleTable table_ GUARDED_BY(mutex_);
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
@@ -207,7 +209,7 @@ void LRUCache::LRU_Append(LRUHandle* list, LRUHandle* e) {
 }
 
 Cache::Handle* LRUCache::Lookup(const Slice& key, uint32_t hash) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   LRUHandle* e = table_.Lookup(key, hash);
   if (e != nullptr) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -219,7 +221,7 @@ Cache::Handle* LRUCache::Lookup(const Slice& key, uint32_t hash) {
 }
 
 void LRUCache::Release(Cache::Handle* handle) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   Unref(reinterpret_cast<LRUHandle*>(handle));
 }
 
@@ -227,7 +229,7 @@ Cache::Handle* LRUCache::Insert(const Slice& key, uint32_t hash, void* value,
                                 size_t charge,
                                 void (*deleter)(const Slice& key,
                                                 void* value)) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
 
   LRUHandle* e =
       reinterpret_cast<LRUHandle*>(malloc(sizeof(LRUHandle) - 1 + key.size()));
@@ -274,7 +276,7 @@ bool LRUCache::FinishErase(LRUHandle* e) {
 }
 
 void LRUCache::Erase(const Slice& key, uint32_t hash) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   FinishErase(table_.Remove(key, hash));
 }
 
@@ -312,7 +314,7 @@ class ShardedLRUCache : public Cache {
     return reinterpret_cast<LRUHandle*>(handle)->value;
   }
   uint64_t NewId() override {
-    std::lock_guard<std::mutex> l(id_mutex_);
+    MutexLock l(&id_mutex_);
     return ++(last_id_);
   }
   size_t TotalCharge() const override {
@@ -340,8 +342,8 @@ class ShardedLRUCache : public Cache {
   static uint32_t Shard(uint32_t hash) { return hash >> (32 - kNumShardBits); }
 
   LRUCache shard_[kNumShards];
-  std::mutex id_mutex_;
-  uint64_t last_id_;
+  port::Mutex id_mutex_;
+  uint64_t last_id_ GUARDED_BY(id_mutex_);
 };
 
 }  // namespace

@@ -1,22 +1,27 @@
-// MutexLock: RAII lock in the LevelDB style.  DBImpl internals follow
-// LevelDB's discipline of temporarily releasing the mutex around I/O via
-// matched unlock()/lock() pairs, which std::unique_lock does not allow.
+// MutexLock: RAII lock in the LevelDB style, annotated as a scoped
+// capability so -Wthread-safety knows the guarded region's extent.
+// DBImpl internals follow LevelDB's discipline of temporarily releasing
+// the mutex around I/O via matched Unlock()/Lock() pairs on port::Mutex,
+// which std::unique_lock does not allow.
 #pragma once
 
-#include <mutex>
+#include "port/port.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
-class MutexLock {
+class SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(std::mutex* mu) : mu_(mu) { mu_->lock(); }
-  ~MutexLock() { mu_->unlock(); }
+  explicit MutexLock(port::Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
+  MutexLock(MutexLock&&) = delete;
+  MutexLock& operator=(MutexLock&&) = delete;
 
  private:
-  std::mutex* const mu_;
+  port::Mutex* const mu_;
 };
 
 }  // namespace bolt

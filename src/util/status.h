@@ -1,5 +1,11 @@
 // Status: the result type used throughout the library.  A Status either
 // carries success (OK) or an error code plus a human-readable message.
+//
+// The class itself is [[nodiscard]]: every function returning a Status
+// by value — Env, DB, VersionSet, WriteBatch, all of them — makes the
+// compiler flag a call site that silently drops the result.  Call sites
+// that genuinely do not care (best-effort cleanup, already-failing
+// paths) must say so with an explicit (void) cast and a comment.
 #pragma once
 
 #include <string>
@@ -9,7 +15,7 @@
 
 namespace bolt {
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() noexcept = default;
 
@@ -39,14 +45,18 @@ class Status {
     return s;
   }
 
-  bool ok() const { return code_ == kOk; }
-  bool IsNotFound() const { return code_ == kNotFound; }
-  bool IsCorruption() const { return code_ == kCorruption; }
-  bool IsIOError() const { return code_ == kIOError; }
-  bool IsNotSupported() const { return code_ == kNotSupported; }
-  bool IsInvalidArgument() const { return code_ == kInvalidArgument; }
+  [[nodiscard]] bool ok() const { return code_ == kOk; }
+  [[nodiscard]] bool IsNotFound() const { return code_ == kNotFound; }
+  [[nodiscard]] bool IsCorruption() const { return code_ == kCorruption; }
+  [[nodiscard]] bool IsIOError() const { return code_ == kIOError; }
+  [[nodiscard]] bool IsNotSupported() const {
+    return code_ == kNotSupported;
+  }
+  [[nodiscard]] bool IsInvalidArgument() const {
+    return code_ == kInvalidArgument;
+  }
   // True iff this is the degraded read-only write rejection.
-  bool IsReadOnlyModeError() const {
+  [[nodiscard]] bool IsReadOnlyModeError() const {
     return code_ == kIOError && subcode_ == kReadOnlyMode;
   }
 

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
+
+#include "port/port.h"
+#include "util/mutexlock.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -13,11 +16,13 @@ namespace bolt {
 // marker fast path with a single relaxed load.
 struct SyncPoint::Rep {
   std::atomic<bool> enabled{false};
-  mutable std::mutex mu;
-  std::unordered_map<std::string, std::function<void(void*)>> callbacks;
-  std::unordered_map<std::string, uint64_t> hit_counts;
-  bool recording = false;
-  std::vector<std::string> recorded;  // distinct names, first-hit order
+  mutable port::Mutex mu;
+  std::unordered_map<std::string, std::function<void(void*)>> callbacks
+      GUARDED_BY(mu);
+  std::unordered_map<std::string, uint64_t> hit_counts GUARDED_BY(mu);
+  bool recording GUARDED_BY(mu) = false;
+  std::vector<std::string> recorded
+      GUARDED_BY(mu);  // distinct names, first-hit order
 };
 
 SyncPoint* SyncPoint::Instance() {
@@ -33,19 +38,19 @@ SyncPoint::Rep* SyncPoint::rep() {
 void SyncPoint::SetCallback(const std::string& point,
                             std::function<void(void*)> cb) {
   Rep* r = rep();
-  std::lock_guard<std::mutex> l(r->mu);
+  MutexLock l(&r->mu);
   r->callbacks[point] = std::move(cb);
 }
 
 void SyncPoint::ClearCallback(const std::string& point) {
   Rep* r = rep();
-  std::lock_guard<std::mutex> l(r->mu);
+  MutexLock l(&r->mu);
   r->callbacks.erase(point);
 }
 
 void SyncPoint::ClearAllCallbacks() {
   Rep* r = rep();
-  std::lock_guard<std::mutex> l(r->mu);
+  MutexLock l(&r->mu);
   r->callbacks.clear();
 }
 
@@ -59,25 +64,25 @@ void SyncPoint::DisableProcessing() {
 
 void SyncPoint::SetRecording(bool on) {
   Rep* r = rep();
-  std::lock_guard<std::mutex> l(r->mu);
+  MutexLock l(&r->mu);
   r->recording = on;
 }
 
 std::vector<std::string> SyncPoint::RecordedPoints() const {
   Rep* r = const_cast<SyncPoint*>(this)->rep();
-  std::lock_guard<std::mutex> l(r->mu);
+  MutexLock l(&r->mu);
   return r->recorded;
 }
 
 void SyncPoint::ClearRecordedPoints() {
   Rep* r = rep();
-  std::lock_guard<std::mutex> l(r->mu);
+  MutexLock l(&r->mu);
   r->recorded.clear();
 }
 
 uint64_t SyncPoint::HitCount(const std::string& point) const {
   Rep* r = const_cast<SyncPoint*>(this)->rep();
-  std::lock_guard<std::mutex> l(r->mu);
+  MutexLock l(&r->mu);
   auto it = r->hit_counts.find(point);
   return it == r->hit_counts.end() ? 0 : it->second;
 }
@@ -87,7 +92,7 @@ void SyncPoint::Process(const char* point, void* arg) {
   if (!r->enabled.load(std::memory_order_acquire)) return;
   std::function<void(void*)> cb;
   {
-    std::lock_guard<std::mutex> l(r->mu);
+    MutexLock l(&r->mu);
     r->hit_counts[point]++;
     if (r->recording) {
       bool seen = false;

@@ -1,0 +1,72 @@
+// Clang thread-safety analysis macros (the capability attribute set
+// documented at clang.llvm.org/docs/ThreadSafetyAnalysis.html, in the
+// LevelDB/RocksDB style).  Under clang with -Wthread-safety (the
+// BOLT_THREAD_SAFETY CMake option) the locking discipline these macros
+// express is checked at compile time; under every other compiler they
+// expand to nothing and the tree builds identically.
+//
+// The annotated primitives live in port/port.h (bolt::port::Mutex,
+// bolt::port::CondVar) and util/mutexlock.h (MutexLock).  Use:
+//
+//   port::Mutex mu_;
+//   int count_ GUARDED_BY(mu_);
+//   void Rebalance() REQUIRES(mu_);     // caller holds mu_ across the call
+//   void Poll() EXCLUDES(mu_);          // caller must NOT hold mu_
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define BOLT_HAS_TSA_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define BOLT_HAS_TSA_ATTRIBUTE(x) 0
+#endif
+
+#if BOLT_HAS_TSA_ATTRIBUTE(guarded_by)
+#define BOLT_TSA(x) __attribute__((x))
+#else
+#define BOLT_TSA(x)  // no-op on compilers without thread-safety analysis
+#endif
+
+// A type that is a lockable capability (a mutex).
+#define CAPABILITY(x) BOLT_TSA(capability(x))
+
+// A RAII type that acquires a capability in its constructor and releases
+// it in its destructor.
+#define SCOPED_CAPABILITY BOLT_TSA(scoped_lockable)
+
+// Data members readable/writable only while the capability is held.
+#define GUARDED_BY(x) BOLT_TSA(guarded_by(x))
+
+// Pointer members whose *pointee* is protected by the capability (the
+// pointer itself may be read freely).
+#define PT_GUARDED_BY(x) BOLT_TSA(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_AFTER(...) BOLT_TSA(acquired_after(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) BOLT_TSA(acquired_before(__VA_ARGS__))
+
+// The caller must hold the capability on entry, and still holds it on
+// return (matched Unlock()/Lock() pairs inside the function are fine).
+#define REQUIRES(...) BOLT_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) BOLT_TSA(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability and does not release it.
+#define ACQUIRE(...) BOLT_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) BOLT_TSA(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability (which must be held on entry).
+#define RELEASE(...) BOLT_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) BOLT_TSA(release_shared_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (the function acquires and
+// releases it itself, or would deadlock).
+#define EXCLUDES(...) BOLT_TSA(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (port::Mutex::AssertHeld).
+#define ASSERT_CAPABILITY(x) BOLT_TSA(assert_capability(x))
+
+// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) BOLT_TSA(lock_returned(x))
+
+// Escape hatch: turn the analysis off for one function whose locking is
+// correct but inexpressible (e.g. conditional acquisition).
+#define NO_THREAD_SAFETY_ANALYSIS BOLT_TSA(no_thread_safety_analysis)

@@ -75,13 +75,13 @@ class DBBasicTest : public testing::TestWithParam<EngineCase> {
       options_.env = sim_env_.get();
       dbname_ = std::string("/db_") + c.name;
     }
-    DestroyDB(dbname_, options_);
+    (void)DestroyDB(dbname_, options_);
     Open();
   }
 
   void TearDown() override {
     db_.reset();
-    DestroyDB(dbname_, options_);
+    (void)DestroyDB(dbname_, options_);
   }
 
   void Open() {
@@ -282,7 +282,7 @@ TEST_P(DBBasicTest, PunchHoleNotSupportedKeepsReadsCorrect) {
   Options opts = options_;
   opts.env = &fenv;
   const std::string name = dbname_ + "_nopunch";
-  DestroyDB(name, opts);
+  (void)DestroyDB(name, opts);
   DB* raw = nullptr;
   ASSERT_TRUE(DB::Open(opts, name, &raw).ok());
   std::unique_ptr<DB> db(raw);
@@ -313,7 +313,7 @@ TEST_P(DBBasicTest, PunchHoleNotSupportedKeepsReadsCorrect) {
   EXPECT_EQ("", impl->TEST_CheckInvariants());
 
   db.reset();
-  DestroyDB(name, opts);
+  (void)DestroyDB(name, opts);
 }
 
 INSTANTIATE_TEST_SUITE_P(

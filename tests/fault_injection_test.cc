@@ -168,7 +168,9 @@ TEST_P(FaultInjectionTest, TortureRandomFaultCrashRecover) {
       if (s.ok()) {
         model[Key(100 + i)] = Val(100 + i, 2);
       }
-      db_->Put(WriteOptions(), Key(600 + i % 20), BigVal(i, iter));
+      // Unsynced filler traffic; may legitimately fail inside the
+      // injected fault window.
+      (void)db_->Put(WriteOptions(), Key(600 + i % 20), BigVal(i, iter));
     }
     total_faults_fired += fenv_->FaultsInjected();
 
@@ -447,7 +449,7 @@ TEST(FaultInjectionPosixTest, WalSyncFailureLatchesAndRecovers) {
   // Manual-Resume contract: keep the RecoveryManager out of the race
   // (auto-recovery on PosixEnv has its own suite, recovery_test.cc).
   options.max_auto_recovery_attempts = 0;
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 
   WriteOptions sync_opts;
   sync_opts.sync = true;
@@ -484,7 +486,7 @@ TEST(FaultInjectionPosixTest, WalSyncFailureLatchesAndRecovers) {
   EXPECT_EQ("four", v);
 
   db.reset();
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 }
 
 }  // namespace bolt

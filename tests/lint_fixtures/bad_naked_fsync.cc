@@ -1,0 +1,8 @@
+// lint-expect: naked-sync
+// A raw fsync outside src/env/: invisible to the barrier tickers,
+// tracing attribution and fault injection.
+extern "C" int fsync(int);
+
+void FlushMyFile(int fd) {
+  fsync(fd);
+}

@@ -1,0 +1,10 @@
+// lint-expect: raw-std-mutex
+// std::mutex in src/ bypasses the annotated port::Mutex wrapper, so
+// Clang thread-safety analysis cannot see the lock.
+#include <mutex>
+
+std::mutex naked_mutex;
+
+void Touch() {
+  std::lock_guard<std::mutex> l(naked_mutex);
+}

@@ -1,0 +1,7 @@
+// lint-expect: sync-point-unique
+// Two code sites emitting the same sync-point name: a crash-point test
+// armed on it would fire at whichever site runs first.
+#define BOLT_SYNC_POINT(name)
+
+void FirstSite() { BOLT_SYNC_POINT("Fixture::Dup:Point"); }
+void SecondSite() { BOLT_SYNC_POINT("Fixture::Dup:Point"); }

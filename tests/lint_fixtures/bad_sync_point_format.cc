@@ -1,0 +1,6 @@
+// lint-expect: sync-point-format
+// Name does not follow the Class::Method:Event scheme the crash-point
+// matrix keys on.
+#define BOLT_SYNC_POINT(name)
+
+void Site() { BOLT_SYNC_POINT("just-a-random-name"); }

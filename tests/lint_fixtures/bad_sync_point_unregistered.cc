@@ -1,0 +1,11 @@
+// lint-expect: sync-point-registered
+// A test arming a callback on a point no src/ file emits: it can never
+// fire, so the test silently tests nothing.
+struct FakeSyncPoint {
+  void SetCallback(const char*, int) {}
+};
+
+void Test() {
+  FakeSyncPoint sp;
+  sp.SetCallback("DBImpl::DoesNotExist:Anywhere", 0);
+}

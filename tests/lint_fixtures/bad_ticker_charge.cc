@@ -1,0 +1,13 @@
+// lint-expect: ticker-charge-site
+// Charging a WAL barrier ticker outside the DB write path breaks the
+// sum-equations trace_check.py verifies (env.sync.* == committed+orphaned).
+namespace obs {
+enum Ticker { kWalSyncs };
+struct MetricsRegistry {
+  void Add(Ticker, unsigned long long = 1) {}
+};
+}  // namespace obs
+
+void SneakyCharge(obs::MetricsRegistry* metrics) {
+  metrics->Add(obs::kWalSyncs);
+}

@@ -1,0 +1,34 @@
+// Positive control for the BOLT_THREAD_SAFETY compile check: correctly
+// guarded access compiles clean under -Wthread-safety -Werror.  If this
+// file fails to build, the check harness itself is broken (wrong flags
+// or include path), so the paired WILL_FAIL test below it proves
+// nothing — that's why both exist.
+#include "port/port.h"
+#include "util/mutexlock.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Increment() {
+    bolt::MutexLock l(&mu_);
+    counter_++;
+  }
+
+  int Read() {
+    bolt::MutexLock l(&mu_);
+    return counter_;
+  }
+
+ private:
+  bolt::port::Mutex mu_;
+  int counter_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Increment();
+  return g.Read();
+}

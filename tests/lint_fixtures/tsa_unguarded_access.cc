@@ -1,0 +1,27 @@
+// Negative fixture for the BOLT_THREAD_SAFETY compile check: reading a
+// GUARDED_BY member without holding its mutex.  Clang -Wthread-safety
+// -Werror must REJECT this file; the ctest wrapper marks the
+// compilation WILL_FAIL, so the test passes exactly when the analysis
+// catches the bug.
+#include "port/port.h"
+#include "util/mutexlock.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int RacyRead() {
+    return counter_;  // BUG: mu_ not held.
+  }
+
+ private:
+  bolt::port::Mutex mu_;
+  int counter_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.RacyRead();
+}

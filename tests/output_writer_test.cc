@@ -37,7 +37,7 @@ class OutputWriterTest : public testing::Test {
     options_.block_size = 1024;
     options_.max_file_size = 8 << 10;
     options_.logical_sstable_size = 4 << 10;
-    env_.CreateDir("/db");
+    (void)env_.CreateDir("/db");
   }
 
   OutputWriter::NumberAllocator Alloc() {

@@ -103,17 +103,17 @@ TEST_P(SubcompactionEquivalenceTest, ShardedMatchesSerial) {
 
   struct Instance {
     std::string name;
-    std::unique_ptr<DB> db;
+    std::unique_ptr<DB> db = nullptr;
     const Snapshot* snapshot = nullptr;
   };
-  Instance serial{UniqueDbName(std::string(preset) + "_s1")};
-  Instance sharded{UniqueDbName(std::string(preset) + "_s4")};
+  Instance serial{.name = UniqueDbName(std::string(preset) + "_s1")};
+  Instance sharded{.name = UniqueDbName(std::string(preset) + "_s4")};
 
   for (Instance* inst : {&serial, &sharded}) {
     Options options = TestOptions(preset);
     options.max_background_jobs = (inst == &serial) ? 1 : 2;
     options.max_subcompactions = (inst == &serial) ? 1 : 4;
-    DestroyDB(inst->name, options);
+    (void)DestroyDB(inst->name, options);
     DB* db = nullptr;
     ASSERT_TRUE(DB::Open(options, inst->name, &db).ok());
     inst->db.reset(db);
@@ -186,7 +186,7 @@ TEST_P(SubcompactionEquivalenceTest, ShardedMatchesSerial) {
     inst->db->ReleaseSnapshot(inst->snapshot);
     Options options = TestOptions(preset);
     inst->db.reset();
-    DestroyDB(inst->name, options);
+    (void)DestroyDB(inst->name, options);
   }
 }
 
@@ -205,7 +205,7 @@ TEST(ParallelCompactionConcurrencyTest, WritersRaceManualCompaction) {
   Options options = TestOptions("bolt");
   options.max_background_jobs = 4;
   options.max_subcompactions = 2;
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
   DB* raw = nullptr;
   ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
   std::unique_ptr<DB> db(raw);
@@ -262,7 +262,7 @@ TEST(ParallelCompactionConcurrencyTest, WritersRaceManualCompaction) {
   EXPECT_EQ("", impl->TEST_CheckInvariants());
 
   db.reset();
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 }
 
 // Sustained write pressure with a saturated compaction lane: the
@@ -273,7 +273,7 @@ TEST(ParallelCompactionConcurrencyTest, DedicatedFlushLaneUnderPressure) {
   Options options = TestOptions("leveldb");
   options.max_background_jobs = 3;
   options.max_subcompactions = 2;
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
   DB* raw = nullptr;
   ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
   std::unique_ptr<DB> db(raw);
@@ -293,7 +293,7 @@ TEST(ParallelCompactionConcurrencyTest, DedicatedFlushLaneUnderPressure) {
   }
 
   db.reset();
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 }
 
 // ---------------------------------------------------------------------------
@@ -307,7 +307,7 @@ TEST(ParallelCompactionFaultTest, ShardSyncFailureRecoversViaResume) {
   options.max_subcompactions = 4;
   FaultInjectionEnv fenv(PosixEnv(), /*seed=*/301);
   options.env = &fenv;
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
   DB* raw = nullptr;
   ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
   std::unique_ptr<DB> db(raw);
@@ -360,7 +360,7 @@ TEST(ParallelCompactionFaultTest, ShardSyncFailureRecoversViaResume) {
 
   db.reset();
   Options plain = TestOptions("bolt");
-  DestroyDB(dbname, plain);
+  (void)DestroyDB(dbname, plain);
 }
 
 }  // namespace bolt

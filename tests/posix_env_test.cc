@@ -15,11 +15,11 @@ class PosixEnvTest : public testing::Test {
   void SetUp() override {
     env_ = PosixEnv();
     dir_ = "/tmp/bolt_posix_env_test";
-    env_->CreateDir(dir_);
+    (void)env_->CreateDir(dir_);  // best-effort scratch-dir setup
     std::vector<std::string> children;
-    env_->GetChildren(dir_, &children);
+    (void)env_->GetChildren(dir_, &children);
     for (const auto& c : children) {
-      env_->RemoveFile(dir_ + "/" + c);
+      (void)env_->RemoveFile(dir_ + "/" + c);
     }
   }
 

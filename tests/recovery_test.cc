@@ -233,7 +233,7 @@ TEST_P(RecoveryTest, SoftFlushErrorAutoRecovers) {
   // The forced flush dies at its data barrier, latches a soft error,
   // and the inline RecoveryManager re-runs it — the caller may already
   // observe the healed result (sim mode retries inside the write path).
-  impl()->TEST_CompactMemTable();
+  (void)impl()->TEST_CompactMemTable();  // dies at the injected fault
   EXPECT_EQ(0u, fenv_->TransientFaultsRemaining()) << "fault fired";
   ASSERT_GE(listener_->errors.size(), 1u);
   EXPECT_EQ(ErrorSeverity::kSoftError, listener_->errors[0].severity);
@@ -423,11 +423,12 @@ TEST_P(RecoveryTest, TracedFaultRecoverCycleDumpsCheckableTrace) {
     if (cycle % 2 == 0) {
       fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kWal, 1,
                        Status::IOError("cycle wal fault"));
-      db_->Put(sync_opts, Key(key++), Val(0));  // may fail: fault window
+      (void)db_->Put(sync_opts, Key(key++),
+                     Val(0));  // may fail: fault window
     } else {
       fenv_->FailNextK(FaultOp::kSync, FaultFileClass::kTable, 1,
                        Status::IOError("cycle table fault"));
-      impl()->TEST_CompactMemTable();  // may fail: fault window
+      (void)impl()->TEST_CompactMemTable();  // may fail: fault window
     }
     // Next write heals through the RecoveryManager.
     ASSERT_TRUE(db_->Put(sync_opts, Key(key), Val(key)).ok());
@@ -446,7 +447,7 @@ TEST_P(RecoveryTest, TracedFaultRecoverCycleDumpsCheckableTrace) {
                    Status::IOError("manifest commit fault"));
   fenv_->FailNth(FaultOp::kRename, 1,
                  Status::IOError("current swap fault"));
-  impl()->TEST_CompactMemTable();  // may fail: fault window
+  (void)impl()->TEST_CompactMemTable();  // may fail: fault window
   ASSERT_TRUE(db_->Put(sync_opts, Key(key), Val(key)).ok());
   key++;
 
@@ -487,7 +488,7 @@ TEST(RecoveryPosixTest, ConcurrentWritersDrainOrSucceedAcrossFaultWindows) {
   options.recovery_backoff_base_micros = 200;
   options.recovery_backoff_max_micros = 5000;
   options.listeners.push_back(listener);
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 
   std::unique_ptr<DB> db;
   {
@@ -536,7 +537,7 @@ TEST(RecoveryPosixTest, ConcurrentWritersDrainOrSucceedAcrossFaultWindows) {
   // The device heals for good; let any pending auto-recovery settle,
   // then force service back if a window is still latched.
   fenv.ClearFaults();
-  db->Resume();
+  (void)db->Resume();  // no-op if no error window is still latched
   WriteOptions sync_opts;
   sync_opts.sync = true;
   ASSERT_TRUE(db->Put(sync_opts, "final", "write").ok());
@@ -562,7 +563,7 @@ TEST(RecoveryPosixTest, ConcurrentWritersDrainOrSucceedAcrossFaultWindows) {
   SUCCEED() << "acked=" << acked.size() << " rejected=" << failures.load();
 
   db.reset();
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, RecoveryTest,

@@ -335,7 +335,7 @@ TEST(TraceDumpTest, DumpTraceWritesHostFileEvenFromSim) {
   EXPECT_NE(std::string::npos, contents.find("\"otherData\""));
   EXPECT_NE(std::string::npos, contents.find("\"metrics\""));
   EXPECT_NE(std::string::npos, contents.find("env.sync.manifest"));
-  PosixEnv()->RemoveFile(path);
+  (void)PosixEnv()->RemoveFile(path);  // best-effort scratch cleanup
 }
 
 TEST(TraceDumpTest, TracingOffMeansNoPropertyAndInvalidDump) {
@@ -410,7 +410,7 @@ TEST(TracePosixTest, EveryShardIssuesExactlyOneDataBarrier) {
   options.max_background_jobs = 2;
   options.max_subcompactions = 4;
   options.listeners.push_back(listener);
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 
   DB* raw = nullptr;
   ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
@@ -449,14 +449,14 @@ TEST(TracePosixTest, EveryShardIssuesExactlyOneDataBarrier) {
   EXPECT_NE(std::string::npos, json.find("\"name\": \"sync:cft\""));
 
   db.reset();
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 }
 
 TEST(TracePosixTest, DefaultInfoLogIsCreatedAndRotated) {
   const std::string dbname = UniqueDbName("log");
   Options options = SmallOptions("leveldb");
   options.env = PosixEnv();
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 
   {
     DB* raw = nullptr;
@@ -479,7 +479,7 @@ TEST(TracePosixTest, DefaultInfoLogIsCreatedAndRotated) {
       ReadFileToString(PosixEnv(), dbname + "/LOG", &contents).ok());
   EXPECT_NE(std::string::npos, contents.find("Opened")) << contents;
 
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 }
 
 TEST(TracePosixTest, PeriodicStatsDumperLogsIntervalDeltas) {
@@ -489,7 +489,7 @@ TEST(TracePosixTest, PeriodicStatsDumperLogsIntervalDeltas) {
   options.env = PosixEnv();
   options.info_log = &logger;
   options.stats_dump_period_sec = 1;
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 
   DB* raw = nullptr;
   ASSERT_TRUE(DB::Open(options, dbname, &raw).ok());
@@ -508,7 +508,7 @@ TEST(TracePosixTest, PeriodicStatsDumperLogsIntervalDeltas) {
   EXPECT_NE(std::string::npos, captured.find("db.keys.written")) << captured;
 
   db.reset();  // must join the timer thread and drain the dump task
-  DestroyDB(dbname, options);
+  (void)DestroyDB(dbname, options);
 }
 
 }  // namespace bolt
