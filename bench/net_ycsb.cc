@@ -1,0 +1,309 @@
+// net_ycsb: closed-loop network YCSB driver for bolt_server
+// (DESIGN.md §13).  Measures the full stack — RESP framing, epoll
+// server, shard router, engine — instead of the in-process harness the
+// fig benches use.
+//
+// Embedded mode (default): for each shard count in --shards, opens a
+// fresh ShardedDB on the local filesystem, starts an in-process
+// RespServer on an ephemeral loopback port, and drives it over real TCP
+// with --threads closed-loop clients, each pipelining --pipeline
+// commands per round trip.  The workload is YCSB-flavored: zipfian key
+// popularity over --records keys, --write_pct percent SET (the rest
+// split GET / occasional MGET-of-8).
+//
+//   build/bench/net_ycsb --shards=1,2,4 --json
+//
+// External mode: --connect=HOST:PORT skips the embedded server and
+// measures whatever is listening there (one row, shards reported as 0).
+//
+// Output: one row per configuration — throughput plus p50/p99 of the
+// per-round-trip latency (a round trip carries --pipeline commands, so
+// this is the latency a pipelining client actually observes).
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "env/env.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "shard/sharded_db.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "ycsb/ycsb.h"
+
+namespace bolt {
+namespace bench {
+namespace {
+
+// Self-contained zipfian rank generator (Gray et al.'s method, same
+// approach as the ycsb module's internal one) — ranks 0..n-1, skew 0.99.
+class Zipf {
+ public:
+  Zipf(uint64_t n, uint32_t seed) : n_(n), rnd_(seed) {
+    for (uint64_t i = 1; i <= n_; i++) zetan_ += 1.0 / std::pow(i, kTheta);
+    alpha_ = 1.0 / (1.0 - kTheta);
+    eta_ = (1.0 - std::pow(2.0 / n_, 1.0 - kTheta)) /
+           (1.0 - Zeta(2) / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rnd_.Uniform(1 << 30) / static_cast<double>(1 << 30);
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, kTheta)) return 1;
+    return static_cast<uint64_t>(
+        n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static constexpr double kTheta = 0.99;
+  static double Zeta(uint64_t n) {
+    double z = 0;
+    for (uint64_t i = 1; i <= n; i++) z += 1.0 / std::pow(i, kTheta);
+    return z;
+  }
+  uint64_t n_;
+  Random rnd_;
+  double zetan_ = 0, alpha_ = 0, eta_ = 0;
+};
+
+struct RunConfig {
+  int shards = 1;
+  int threads = 4;
+  int pipeline = 16;
+  uint64_t records = 50000;
+  uint64_t ops = 60000;  // total across threads
+  size_t value_size = 512;
+  int write_pct = 80;
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+struct RunResult {
+  int shards = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  uint64_t p50_us = 0, p99_us = 0;  // per-round-trip (pipeline batch)
+};
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ClientLoop(const RunConfig& config, uint64_t ops_budget, uint32_t seed,
+                Histogram* rtt, std::atomic<bool>* failed) {
+  net::RespClient client;
+  if (!client.Connect(config.host, config.port).ok()) {
+    failed->store(true);
+    return;
+  }
+  Zipf zipf(config.records, seed);
+  Random rnd(seed ^ 0x9e3779b9u);
+  std::vector<net::RespReply> replies;
+  uint64_t done = 0;
+  while (done < ops_budget) {
+    const int batch = static_cast<int>(
+        std::min<uint64_t>(config.pipeline, ops_budget - done));
+    for (int i = 0; i < batch; i++) {
+      const uint32_t dice = rnd.Uniform(100);
+      if (static_cast<int>(dice) < config.write_pct) {
+        const uint64_t r = zipf.Next();
+        client.Queue({"SET", ycsb::MakeKey(r),
+                      ycsb::MakeValue(r, config.value_size)});
+      } else if (dice >= 95) {  // a slice of the reads goes through MGET
+        std::vector<std::string> args = {"MGET"};
+        for (int k = 0; k < 8; k++) args.push_back(ycsb::MakeKey(zipf.Next()));
+        client.Queue(args);
+      } else {
+        client.Queue({"GET", ycsb::MakeKey(zipf.Next())});
+      }
+    }
+    const uint64_t start = NowUs();
+    if (!client.Flush(&replies).ok()) {
+      failed->store(true);
+      return;
+    }
+    rtt->Add((NowUs() - start) * 1000);  // Histogram wants ns
+    for (const auto& reply : replies) {
+      if (reply.IsError()) {
+        fprintf(stderr, "net_ycsb: server error: %s\n", reply.str.c_str());
+        failed->store(true);
+        return;
+      }
+    }
+    done += batch;
+  }
+}
+
+// Drive one configuration against host:port (already loaded).
+RunResult Drive(const RunConfig& config) {
+  std::vector<std::thread> threads;
+  std::vector<Histogram> rtts(config.threads);
+  std::atomic<bool> failed{false};
+  const uint64_t per_thread = config.ops / config.threads;
+  const uint64_t start = NowUs();
+  for (int t = 0; t < config.threads; t++) {
+    threads.emplace_back(ClientLoop, config, per_thread,
+                         static_cast<uint32_t>(1000 + t), &rtts[t], &failed);
+  }
+  for (auto& thread : threads) thread.join();
+  const double seconds = (NowUs() - start) / 1e6;
+  if (failed.load()) {
+    fprintf(stderr, "net_ycsb: a client thread failed\n");
+    exit(1);
+  }
+  Histogram merged;
+  for (const Histogram& h : rtts) merged.Merge(h);
+  RunResult result;
+  result.shards = config.shards;
+  result.seconds = seconds;
+  result.ops_per_sec = (per_thread * config.threads) / seconds;
+  result.p50_us = merged.Percentile(50) / 1000;
+  result.p99_us = merged.Percentile(99) / 1000;
+  return result;
+}
+
+void Preload(const RunConfig& config) {
+  net::RespClient client;
+  if (!client.Connect(config.host, config.port).ok()) {
+    fprintf(stderr, "net_ycsb: preload connect failed\n");
+    exit(1);
+  }
+  std::vector<net::RespReply> replies;
+  for (uint64_t r = 0; r < config.records;) {
+    const uint64_t batch = std::min<uint64_t>(256, config.records - r);
+    for (uint64_t i = 0; i < batch; i++, r++) {
+      client.Queue(
+          {"SET", ycsb::MakeKey(r), ycsb::MakeValue(r, config.value_size)});
+    }
+    if (!client.Flush(&replies).ok()) {
+      fprintf(stderr, "net_ycsb: preload failed\n");
+      exit(1);
+    }
+  }
+}
+
+RunResult RunEmbedded(RunConfig config, const std::string& db_root,
+                      size_t write_buffer) {
+  const std::string path = db_root + "/s" + std::to_string(config.shards);
+  Options options;
+  options.env = PosixEnv();
+  options.write_buffer_size = write_buffer;
+  (void)options.env->CreateDir(db_root);
+  (void)DestroyShardedDB(path, options);
+
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  ShardedDB* db = nullptr;
+  Status s = ShardedDB::Open(options, config.shards, path, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "net_ycsb: open(%d shards): %s\n", config.shards,
+            s.ToString().c_str());
+    exit(1);
+  }
+  net::ServerOptions server_options;
+  server_options.metrics = &metrics;
+  net::RespServer server(db, server_options);
+  s = server.Start();
+  if (!s.ok()) {
+    fprintf(stderr, "net_ycsb: server start: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+  config.port = server.port();
+
+  Preload(config);
+  RunResult result = Drive(config);
+
+  server.Stop();
+  server.Wait();
+  delete db;
+  (void)DestroyShardedDB(path, options);
+  return result;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  RunConfig config;
+  config.threads = static_cast<int>(flags.GetInt("threads", 4));
+  config.pipeline = static_cast<int>(flags.GetInt("pipeline", 16));
+  config.records = flags.GetInt("records", 50000);
+  config.ops = flags.GetInt("ops", 60000);
+  // Defaults provoke real flush/compaction pressure (~50 MB written
+  // into 2 MB memtables): that is where shard count pays — per-shard
+  // write stalls shrink and compactions overlap on the two-lane pool.
+  config.value_size = flags.GetInt("value_size", 1024);
+  config.write_pct = static_cast<int>(flags.GetInt("write_pct", 80));
+  const size_t write_buffer = flags.GetInt("write_buffer_mb", 2) << 20;
+  const bool json = flags.Has("json");
+
+  std::vector<RunResult> results;
+  const std::string connect = flags.Get("connect", "");
+  if (!connect.empty()) {
+    const size_t colon = connect.find(':');
+    if (colon == std::string::npos) {
+      fprintf(stderr, "net_ycsb: --connect wants HOST:PORT\n");
+      return 2;
+    }
+    config.host = connect.substr(0, colon);
+    config.port = atoi(connect.c_str() + colon + 1);
+    config.shards = 0;  // unknown/external
+    Preload(config);
+    results.push_back(Drive(config));
+  } else {
+    const std::string db_root = flags.Get("db_root", "/tmp/net_ycsb");
+    std::string shard_list = flags.Get("shards", "1,2,4");
+    for (size_t pos = 0; pos < shard_list.size();) {
+      config.shards = atoi(shard_list.c_str() + pos);
+      if (config.shards < 1) break;
+      fprintf(stderr, "net_ycsb: driving %d shard(s)...\n", config.shards);
+      results.push_back(RunEmbedded(config, db_root, write_buffer));
+      const size_t comma = shard_list.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  if (json) {
+    printf("[");
+    for (size_t i = 0; i < results.size(); i++) {
+      const RunResult& r = results[i];
+      printf("%s\n  {\"shards\": %d, \"threads\": %d, \"pipeline\": %d, "
+             "\"write_pct\": %d, \"ops\": %llu, \"seconds\": %.3f, "
+             "\"ops_per_sec\": %.0f, \"rtt_p50_us\": %llu, "
+             "\"rtt_p99_us\": %llu}",
+             i ? "," : "", r.shards, config.threads, config.pipeline,
+             config.write_pct,
+             static_cast<unsigned long long>(config.ops), r.seconds,
+             r.ops_per_sec, static_cast<unsigned long long>(r.p50_us),
+             static_cast<unsigned long long>(r.p99_us));
+    }
+    printf("\n]\n");
+  } else {
+    printf("%7s %9s %12s %10s %10s\n", "shards", "seconds", "ops/sec",
+           "p50(us)", "p99(us)");
+    for (const RunResult& r : results) {
+      printf("%7d %9.3f %12.0f %10llu %10llu\n", r.shards, r.seconds,
+             r.ops_per_sec, static_cast<unsigned long long>(r.p50_us),
+             static_cast<unsigned long long>(r.p99_us));
+    }
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace bolt
+
+int main(int argc, char** argv) { return bolt::bench::Main(argc, argv); }

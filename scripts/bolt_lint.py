@@ -31,6 +31,14 @@ Rules (each finding is printed as path:line: [rule-id] message):
                          Clang-thread-safety-annotated wrappers), never
                          std::mutex & friends — except the port wrapper
                          itself.
+  naked-net-syscall      socket/epoll/eventfd syscalls live only in
+                         src/net/socket.cc — the one site that owns
+                         errno handling, EINTR retries and non-blocking
+                         setup.  src/net/server.cc, src/shard/ and
+                         everything else go through the socket.h
+                         wrappers (IoResult/Poller), so connection I/O
+                         stays testable and the byte tickers cannot be
+                         bypassed.
 
 Usage:
   scripts/bolt_lint.py              lint the repository (exit 1 on findings)
@@ -83,6 +91,19 @@ TICKER_CHARGE_SITES = {
                                    "src/db/version_set.cc"},
     "kManifestBarriersOrphaned": {"src/db/db_impl.cc",
                                   "src/db/version_set.cc"},
+    # Batched-read accounting (PR-8): DBImpl::MultiGet is the only site
+    # that can count keys-per-snapshot correctly (ShardedDB fans out to
+    # the per-shard DBImpl, which does the charging).
+    "kMultiGetCalls": {"src/db/db_impl.cc"},
+    "kMultiGetKeys": {"src/db/db_impl.cc"},
+    # Network-plane tickers (PR-8): charged only where the bytes cross
+    # the socket and commands are dispatched — the RESP server.  The
+    # client library and benches must not inflate server-side counters.
+    "kNetConnAccepted": {"src/net/server.cc"},
+    "kNetCommands": {"src/net/server.cc"},
+    "kNetBytesIn": {"src/net/server.cc"},
+    "kNetBytesOut": {"src/net/server.cc"},
+    "kNetProtocolErrors": {"src/net/server.cc"},
 }
 
 SYNC_POINT_NAME = re.compile(r"^[A-Za-z0-9_]+::[A-Za-z0-9_]+:[A-Za-z0-9_]+$")
@@ -90,6 +111,11 @@ EMIT_RE = re.compile(r'BOLT_SYNC_POINT(?:_ARG)?\s*\(\s*"([^"]+)"')
 TEST_REF_RE = re.compile(
     r'(?:SetCallback|ClearCallback|HitCount)\s*\(\s*"([^"]+)"')
 NAKED_SYNC_RE = re.compile(r"\b(fsync|fdatasync|sync_file_range)\s*\(")
+NAKED_NET_RE = re.compile(
+    r"\b(socket|bind|listen|accept4?|connect|shutdown|setsockopt|"
+    r"getsockopt|getsockname|getpeername|epoll_create1?|epoll_ctl|"
+    r"epoll_wait|epoll_pwait2?|eventfd|recvmsg|sendmsg|recvfrom|sendto|"
+    r"recv|send)\s*\(")
 STD_SYNC_RE = re.compile(
     r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
     r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
@@ -192,6 +218,7 @@ class Linter:
                     emitted[m.group(1)].append((path, lineno))
 
             self._check_naked_sync(path, rel, code)
+            self._check_naked_net(path, rel, code)
             self._check_std_mutex(path, rel, code)
             self._check_ticker_charges(path, rel, code)
 
@@ -242,6 +269,19 @@ class Linter:
                     f"naked {m.group(1)}() outside src/env/; route the "
                     f"barrier through Env/WritableFile::Sync so tickers, "
                     f"tracing and fault injection observe it")
+
+    def _check_naked_net(self, path, rel, code):
+        if rel == "src/net/socket.cc":
+            return  # the one designated raw-syscall site
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = NAKED_NET_RE.search(line)
+            if m:
+                self.report(
+                    path, lineno, "naked-net-syscall",
+                    f"naked {m.group(1)}() outside src/net/socket.cc; use "
+                    f"the net/socket.h wrappers (Listen/Accept/Connect/"
+                    f"ReadSome/WriteSome/Poller*) so EINTR, non-blocking "
+                    f"setup and the byte tickers stay in one place")
 
     def _check_std_mutex(self, path, rel, code):
         if rel == "src/port/port.h":
@@ -329,6 +369,7 @@ def self_test(root):
                 for m in EMIT_RE.finditer(line):
                     emitted[m.group(1)].append((path, lineno))
             linter._check_naked_sync(path, as_path, code)
+            linter._check_naked_net(path, as_path, code)
             linter._check_std_mutex(path, as_path, code)
             linter._check_ticker_charges(path, as_path, code)
             linter._check_sync_point_names(emitted)

@@ -13,9 +13,12 @@
 # and runs the whole ctest suite.  On top of that, the fast pass runs
 # the traced fault/recover cycle (auto-recovery under injected faults,
 # DumpTrace validated by trace_check.py: span nesting, recovery spans,
-# and the exact barrier sum-equations committed+orphaned) and the
+# and the exact barrier sum-equations committed+orphaned), the
 # crash-point matrix (every recorded sync point x 3 engine presets:
-# device dies at the point, power-cut, reopen, no acked-write loss).
+# device dies at the point, power-cut, reopen, no acked-write loss),
+# and a live server smoke: bolt_server (2 shards, ephemeral port)
+# driven end-to-end by bolt_cli — PING/SET/GET/MGET/INFO — then a
+# graceful SHUTDOWN drain that must exit 0.
 # The TSan pass rebuilds the tree with BOLT_SANITIZE=thread and runs
 # the concurrent observability tests (registry stripes, listener
 # fan-out, shared-registry writers) plus the posix-env suite (real
@@ -25,8 +28,9 @@
 # ThreadSanitizer.
 # The static pass (non-fast and --static) runs the BoLT invariant
 # linter (scripts/bolt_lint.py: sync-point uniqueness/registration,
-# naked fsync outside src/env/, barrier-ticker charge sites, std::mutex
-# outside the port wrapper) with its negative-fixture self-test, then
+# naked fsync outside src/env/, naked socket/epoll syscalls outside
+# src/net/socket.cc, barrier-ticker charge sites, std::mutex outside
+# the port wrapper) with its negative-fixture self-test, then
 # clang-tidy over src/ when available.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -81,6 +85,35 @@ python3 scripts/trace_check.py build/recovery_trace.json
 
 echo "==> crash-point matrix: sync points x engine presets, crash + reopen"
 ./build/tests/crash_point_test >/dev/null
+
+echo "==> server smoke: bolt_server + bolt_cli round-trip, graceful SHUTDOWN"
+SMOKE_DB="build/server_smoke_db"
+rm -rf "$SMOKE_DB"
+./build/tools/bolt_server --db="$SMOKE_DB" --shards=2 --port=0 \
+  > build/server_smoke.log 2>&1 &
+SERVER_PID=$!
+SMOKE_PORT=""
+for _ in $(seq 1 100); do
+  SMOKE_PORT="$(sed -n 's/^READY port=\([0-9]*\) .*/\1/p' \
+                build/server_smoke.log)"
+  [[ -n "$SMOKE_PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$SMOKE_PORT" ]]; then
+  echo "bolt_server never printed READY:"
+  cat build/server_smoke.log
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+fi
+CLI=(./build/tools/bolt_cli --host=127.0.0.1 --port="$SMOKE_PORT")
+"${CLI[@]}" PING            | grep -qx 'PONG'
+"${CLI[@]}" SET smoke k1    | grep -qx 'OK'
+"${CLI[@]}" GET smoke       | grep -qx '"k1"'
+"${CLI[@]}" MGET smoke gone | grep -q 'nil'
+"${CLI[@]}" INFO            | grep -q 'shards: 2'
+"${CLI[@]}" SHUTDOWN        | grep -qx 'OK'
+wait "$SERVER_PID"  # exit 0 == drained gracefully, not killed
+rm -rf "$SMOKE_DB"
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "verify OK (fast: tier-1 only)"

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "db/db_stats.h"
 #include "db/options.h"
@@ -69,6 +70,16 @@ class DB {
   // value in *value and return OK.  Returns NotFound otherwise.
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
+
+  // Batched point lookup: read every key against ONE snapshot, returning
+  // per-key statuses (OK / NotFound / error) and values ((*values)[i] is
+  // meaningful iff statuses[i].ok()).  DBImpl takes the DB mutex once
+  // and pins one memtable/version set for the whole batch, so an N-key
+  // MGET costs one lock round-trip instead of N; the base implementation
+  // is a plain Get loop for DBs without a batched path.
+  virtual std::vector<Status> MultiGet(const ReadOptions& options,
+                                       const std::vector<Slice>& keys,
+                                       std::vector<std::string>* values);
 
   // Return a heap-allocated iterator over the contents of the database.
   // Caller should delete the iterator when it is no longer needed before
@@ -129,6 +140,12 @@ class DB {
   // Options::verify_integrity_on_resume, recovery runs this before
   // re-admitting writes.  Default: NotSupported.
   virtual Status VerifyIntegrity();
+
+  // The currently latched background error (OK while healthy).  Unlike
+  // Resume() this is a pure observation — nothing is retried or cleared.
+  // The shard router polls it to report per-shard health while the
+  // other shards keep serving.  Default: OK.
+  virtual Status GetBackgroundError();
 
   // Engine-level counters for the benchmark harness (barrier counts live
   // in Env::GetIoStats(); these are the compaction-machinery counters).

@@ -2387,6 +2387,82 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   return s;
 }
 
+std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
+                                     const std::vector<Slice>& keys,
+                                     std::vector<std::string>* values) {
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses(keys.size());
+  if (keys.empty()) {
+    return statuses;
+  }
+  metrics_->Add(obs::kMultiGetCalls);
+  metrics_->Add(obs::kMultiGetKeys, keys.size());
+  metrics_->Add(obs::kNumKeysRead, keys.size());
+
+  // One lock acquisition pins one snapshot + memtable/version set for
+  // the whole batch; every lookup then runs unlocked against it.
+  MutexLock l(&mutex_);
+  if (simulated()) {
+    sim_->AdvanceCpu(options_.sim_read_cpu_ns * keys.size());
+  }
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot =
+        static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) imm->Ref();
+  current->Ref();
+
+  std::vector<Version::GetStats> stats(keys.size());
+  std::vector<bool> have_stat_update(keys.size(), false);
+
+  {
+    mutex_.Unlock();
+    for (size_t i = 0; i < keys.size(); i++) {
+      Status& s = statuses[i];
+      std::string* value = &(*values)[i];
+      LookupKey lkey(keys[i], snapshot);
+      if (mem->Get(lkey, value, &s)) {
+        obs::GetPerfContext()->get_from_memtable++;
+      } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+        obs::GetPerfContext()->get_from_memtable++;
+      } else {
+        s = current->Get(options, lkey, value, &stats[i]);
+        have_stat_update[i] = true;
+      }
+    }
+    mutex_.Lock();
+  }
+
+  bool schedule = false;
+  for (size_t i = 0; i < keys.size(); i++) {
+    if (have_stat_update[i] && current->UpdateStats(stats[i]) &&
+        options_.seek_compaction) {
+      metrics_->Add(obs::kSeekCompactions);
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    MaybeScheduleCompaction();
+  }
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+  current->Unref();
+  return statuses;
+}
+
+Status DBImpl::GetBackgroundError() {
+  MutexLock l(&mutex_);
+  return bg_error_.status();
+}
+
 namespace {
 
 struct IterState {
@@ -2563,6 +2639,14 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   } else if (in == "metrics") {
     metrics_->SetGauge(obs::kReclamationBacklog, zombies_.size());
+    // Cache occupancy is read from the underlying caches at report time:
+    // with N shards sharing one cache, each reporter *sets* the same
+    // shared TotalCharge instead of summing per-shard slices.
+    if (options_.block_cache != nullptr) {
+      metrics_->SetGauge(obs::kBlockCacheUsage,
+                         options_.block_cache->TotalCharge());
+    }
+    metrics_->SetGauge(obs::kTableCacheUsage, table_cache_->TotalCharge());
     *value = metrics_->ToJson();
     return true;
   } else if (in == "sstables") {
@@ -2823,6 +2907,21 @@ Status DBImpl::ResumeInternal(bool auto_recovery) {
 Status DB::VerifyIntegrity() {
   return Status::NotSupported("VerifyIntegrity",
                               "not supported by this DB");
+}
+
+Status DB::GetBackgroundError() { return Status::OK(); }
+
+std::vector<Status> DB::MultiGet(const ReadOptions& options,
+                                 const std::vector<Slice>& keys,
+                                 std::vector<std::string>* values) {
+  // Fallback for DBs without a batched read path: N independent Gets.
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses;
+  statuses.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    statuses.push_back(Get(options, keys[i], &(*values)[i]));
+  }
+  return statuses;
 }
 
 Status DBImpl::VerifyIntegrity() {

@@ -56,6 +56,13 @@ struct Options {
   // block_cache_bytes (the DB fills this in when opening).
   Cache* block_cache = nullptr;
   int max_open_files = 1000;           // TableCache capacity in *entries*
+  // If non-null, the Table-reader cache (capacity in *entries*, charge 1
+  // per open table) backing this DB's TableCache, instead of a private
+  // one of max_open_files entries.  Pass the same cache to several DBs —
+  // the ShardedDB router does — to share one max_open_files budget
+  // across them; each TableCache prefixes its keys with a Cache::NewId,
+  // so table ids from different DBs never collide.  Not owned by the DB.
+  Cache* table_cache = nullptr;
 
   // ---- SSTable format -----------------------------------------------------
   uint64_t max_file_size = 128 << 10;  // SSTable target size (paper: 2 MB)

@@ -8,6 +8,7 @@
 #include "table/iterator.h"
 #include "table/table.h"
 #include "util/coding.h"
+#include "util/mutexlock.h"
 
 namespace bolt {
 
@@ -55,13 +56,34 @@ TableCache::TableCache(const std::string& dbname, const Options& options,
     : env_(options.env),
       dbname_(dbname),
       options_(options),
-      cache_(NewLRUCache(entries)) {
+      owned_cache_(options.table_cache != nullptr ? nullptr
+                                                  : NewLRUCache(entries)),
+      cache_(options.table_cache != nullptr ? options.table_cache
+                                            : owned_cache_.get()),
+      cache_id_(cache_->NewId()) {
   if (options_.fd_cache) {
     fd_cache_.reset(NewLRUCache(entries));
   }
 }
 
-TableCache::~TableCache() = default;
+TableCache::~TableCache() {
+  if (owned_cache_ == nullptr) {
+    // Shared cache: purge this DB's entries now.  Their deleters release
+    // handles into our private fd cache, which dies with us; an eviction
+    // after this destructor would touch freed memory.
+    std::set<uint64_t> ids;
+    {
+      MutexLock l(&ids_mu_);
+      ids.swap(shared_ids_);
+    }
+    for (uint64_t table_id : ids) {
+      char buf[16];
+      EncodeFixed64(buf, cache_id_);
+      EncodeFixed64(buf + 8, table_id);
+      cache_->Erase(Slice(buf, sizeof(buf)));
+    }
+  }
+}
 
 Status TableCache::OpenTableFile(const TableMeta& meta, RandomAccessFile** file,
                                  Cache::Handle** fd_handle) {
@@ -96,8 +118,9 @@ Status TableCache::OpenTableFile(const TableMeta& meta, RandomAccessFile** file,
 Status TableCache::FindTable(const TableMeta& meta, Cache::Handle** handle) {
   obs::MetricsRegistry* metrics = options_.metrics;
   obs::PerfContext* pc = obs::GetPerfContext();
-  char buf[sizeof(meta.table_id)];
-  EncodeFixed64(buf, meta.table_id);
+  char buf[16];
+  EncodeFixed64(buf, cache_id_);
+  EncodeFixed64(buf + 8, meta.table_id);
   Slice key(buf, sizeof(buf));
   *handle = cache_->Lookup(key);
   if (*handle != nullptr) {
@@ -139,6 +162,10 @@ Status TableCache::FindTable(const TableMeta& meta, Cache::Handle** handle) {
   } else {
     tf->owned_file = file;
   }
+  if (owned_cache_ == nullptr) {
+    MutexLock l(&ids_mu_);
+    shared_ids_.insert(meta.table_id);
+  }
   *handle = cache_->Insert(key, tf, 1, &DeleteEntry);
   return s;
 }
@@ -157,7 +184,7 @@ Iterator* TableCache::NewIterator(const ReadOptions& options,
 
   Table* table = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
   Iterator* result = table->NewIterator(options);
-  result->RegisterCleanup(&UnrefEntry, cache_.get(), handle);
+  result->RegisterCleanup(&UnrefEntry, cache_, handle);
   if (tableptr != nullptr) {
     *tableptr = table;
   }
@@ -183,9 +210,14 @@ Status TableCache::Get(const ReadOptions& options, const TableMeta& meta,
 }
 
 void TableCache::Evict(uint64_t table_id) {
-  char buf[sizeof(table_id)];
-  EncodeFixed64(buf, table_id);
+  char buf[16];
+  EncodeFixed64(buf, cache_id_);
+  EncodeFixed64(buf + 8, table_id);
   cache_->Erase(Slice(buf, sizeof(buf)));
+  if (owned_cache_ == nullptr) {
+    MutexLock l(&ids_mu_);
+    shared_ids_.erase(table_id);
+  }
 }
 
 void TableCache::EvictFile(uint64_t file_number, FileType type) {

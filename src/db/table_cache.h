@@ -10,11 +10,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "db/options.h"
 #include "db/version_edit.h"
+#include "port/port.h"
 #include "util/cache.h"
+#include "util/thread_annotations.h"
 
 namespace bolt {
 
@@ -54,6 +57,12 @@ class TableCache {
   uint64_t hits() const { return cache_->hits(); }
   uint64_t misses() const { return cache_->misses(); }
 
+  // Entries currently charged to the underlying reader cache.  When the
+  // cache is shared (Options::table_cache), this is the occupancy of the
+  // *shared* cache — the number every sharer reports, not a per-DB
+  // slice (the shared-cache gauge contract in obs/metrics.h).
+  size_t TotalCharge() const { return cache_->TotalCharge(); }
+
  private:
   Status FindTable(const TableMeta& meta, Cache::Handle** handle);
   Status OpenTableFile(const TableMeta& meta, RandomAccessFile** file,
@@ -62,11 +71,24 @@ class TableCache {
   Env* const env_;
   const std::string dbname_;
   const Options& options_;
-  // fd_cache_ is declared before cache_ so it is destroyed *after* it:
-  // table entries hold handles into the fd cache and release them from
-  // their deleters when cache_ is torn down.
+  // fd_cache_ is declared before owned_cache_ so it is destroyed *after*
+  // it: table entries hold handles into the fd cache and release them
+  // from their deleters when the table cache is torn down.  The fd cache
+  // is always private — file numbers are per-DB, so sharing it across
+  // DBs would alias descriptors.
   std::unique_ptr<Cache> fd_cache_;  // file key -> RandomAccessFile (iff +FC)
-  std::unique_ptr<Cache> cache_;     // table_id -> TableAndFile
+  std::unique_ptr<Cache> owned_cache_;  // backing store iff not shared
+  Cache* cache_;                     // [cache_id_|table_id] -> TableAndFile
+  // Key prefix isolating this TableCache's entries in a shared cache
+  // (table ids from different DBs collide; [cache_id|table_id] never).
+  const uint64_t cache_id_;
+  // Shared mode only: table ids this DB has inserted and not yet
+  // evicted, so the destructor can purge its entries from the shared
+  // cache (they reference the private fd cache and must not outlive
+  // it).  Bounded: RemoveObsoleteFiles evicts every dead table; LRU
+  // evictions merely leave stale ids whose Erase is a no-op.
+  mutable port::Mutex ids_mu_;
+  std::set<uint64_t> shared_ids_ GUARDED_BY(ids_mu_);
 };
 
 }  // namespace bolt

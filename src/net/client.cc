@@ -1,0 +1,147 @@
+#include "net/client.h"
+
+#include "net/socket.h"
+
+namespace bolt {
+namespace net {
+
+RespClient::~RespClient() { Close(); }
+
+Status RespClient::Connect(const std::string& host, int port) {
+  Close();
+  return net::Connect(host, port, &fd_);
+}
+
+void RespClient::Close() {
+  if (fd_ >= 0) {
+    net::Close(fd_);
+    fd_ = -1;
+  }
+  sendbuf_.clear();
+  recvbuf_.clear();
+  queued_ = 0;
+}
+
+void RespClient::Queue(const std::vector<std::string>& args) {
+  AppendArrayHeader(&sendbuf_, args.size());
+  for (const std::string& a : args) AppendBulk(&sendbuf_, a);
+  queued_++;
+}
+
+Status RespClient::SendAll() {
+  size_t sent = 0;
+  while (sent < sendbuf_.size()) {
+    size_t n = 0;
+    const IoResult r =
+        WriteSome(fd_, sendbuf_.data() + sent, sendbuf_.size() - sent, &n);
+    if (r != IoResult::kOk) {
+      // Blocking socket: kWouldBlock should not happen; both map to a
+      // dead connection from the caller's point of view.
+      Close();
+      return Status::IOError("RespClient", "send failed");
+    }
+    sent += n;
+  }
+  sendbuf_.clear();
+  return Status::OK();
+}
+
+Status RespClient::ReadReply(RespReply* reply) {
+  for (;;) {
+    if (!recvbuf_.empty()) {
+      size_t consumed = 0;
+      const ParseResult r =
+          ParseReply(recvbuf_.data(), recvbuf_.size(), &consumed, reply);
+      if (r == ParseResult::kOk) {
+        recvbuf_.erase(0, consumed);
+        return Status::OK();
+      }
+      if (r == ParseResult::kError) {
+        Close();
+        return Status::Corruption("RespClient", "malformed reply");
+      }
+    }
+    char chunk[16 * 1024];
+    size_t n = 0;
+    const IoResult r = ReadSome(fd_, chunk, sizeof(chunk), &n);
+    if (r != IoResult::kOk || n == 0) {
+      Close();
+      return Status::IOError("RespClient", "connection closed by server");
+    }
+    recvbuf_.append(chunk, n);
+  }
+}
+
+Status RespClient::Flush(std::vector<RespReply>* replies) {
+  replies->clear();
+  if (fd_ < 0) return Status::IOError("RespClient", "not connected");
+  Status s = SendAll();
+  if (!s.ok()) return s;
+  replies->resize(queued_);
+  for (size_t i = 0; i < replies->size(); i++) {
+    s = ReadReply(&(*replies)[i]);
+    if (!s.ok()) {
+      replies->resize(i);
+      queued_ = 0;
+      return s;
+    }
+  }
+  queued_ = 0;
+  return Status::OK();
+}
+
+Status RespClient::Command(const std::vector<std::string>& args,
+                           RespReply* reply) {
+  if (fd_ < 0) return Status::IOError("RespClient", "not connected");
+  Queue(args);
+  std::vector<RespReply> replies;
+  Status s = Flush(&replies);
+  if (!s.ok()) return s;
+  *reply = std::move(replies[0]);
+  return Status::OK();
+}
+
+Status RespClient::Ping() {
+  RespReply reply;
+  Status s = Command({"PING"}, &reply);
+  if (!s.ok()) return s;
+  if (reply.type != RespReply::kSimple || reply.str != "PONG") {
+    return Status::IOError("PING", "unexpected reply");
+  }
+  return Status::OK();
+}
+
+Status RespClient::Set(const std::string& key, const std::string& value) {
+  RespReply reply;
+  Status s = Command({"SET", key, value}, &reply);
+  if (!s.ok()) return s;
+  if (reply.IsError()) return Status::IOError("SET", reply.str);
+  return Status::OK();
+}
+
+Status RespClient::Get(const std::string& key, std::string* value,
+                       bool* found) {
+  *found = false;
+  RespReply reply;
+  Status s = Command({"GET", key}, &reply);
+  if (!s.ok()) return s;
+  if (reply.IsError()) return Status::IOError("GET", reply.str);
+  if (reply.type == RespReply::kBulk) {
+    *value = std::move(reply.str);
+    *found = true;
+  }
+  return Status::OK();
+}
+
+Status RespClient::Shutdown() {
+  RespReply reply;
+  Status s = Command({"SHUTDOWN"}, &reply);
+  if (!s.ok()) return s;
+  if (reply.type != RespReply::kSimple) {
+    return Status::IOError("SHUTDOWN", "unexpected reply");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace bolt

@@ -1,0 +1,63 @@
+// RespClient: blocking client for the bolt_server RESP dialect.
+//
+// One instance == one TCP connection, used from one thread.  Commands
+// go out as multi-bulk arrays (never inline — bulk framing is binary-
+// safe for arbitrary keys/values).  Two usage modes:
+//
+//   * Command(): one request, one reply (bolt_cli, smoke tests)
+//   * Queue()+Flush(): pipeline N requests, then collect the N replies
+//     in order (bench/net_ycsb drives its depth-D closed loop this way)
+//
+// Built on net/socket.cc wrappers only — no raw syscalls here either.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/resp.h"
+#include "util/status.h"
+
+namespace bolt {
+namespace net {
+
+class RespClient {
+ public:
+  RespClient() = default;
+  ~RespClient();
+
+  RespClient(const RespClient&) = delete;
+  RespClient& operator=(const RespClient&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // One command, one reply.  The Status is about the TRANSPORT; a
+  // server-side "-ERR ..." comes back as reply->type == kError with OK
+  // Status, so callers can tell "connection died" from "bad command".
+  Status Command(const std::vector<std::string>& args, RespReply* reply);
+
+  // Pipelining: Queue() serializes into the send buffer; Flush() sends
+  // everything and reads exactly the number of queued replies.
+  void Queue(const std::vector<std::string>& args);
+  Status Flush(std::vector<RespReply>* replies);
+
+  // ---- Convenience wrappers (transport Status; see Command) ----
+  Status Ping();
+  Status Set(const std::string& key, const std::string& value);
+  // *found=false (with OK) when the key does not exist.
+  Status Get(const std::string& key, std::string* value, bool* found);
+  Status Shutdown();  // sends SHUTDOWN, expects +OK
+
+ private:
+  Status SendAll();
+  Status ReadReply(RespReply* reply);
+
+  int fd_ = -1;
+  std::string sendbuf_;
+  size_t queued_ = 0;     // replies owed by the server
+  std::string recvbuf_;   // bytes read but not yet parsed
+};
+
+}  // namespace net
+}  // namespace bolt

@@ -1,0 +1,288 @@
+#include "net/resp.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace bolt {
+namespace net {
+
+namespace {
+
+// Strict non-negative integer parse (no sign, no leading zeros needed,
+// no trailing junk).  Returns false on overflow past "limit" too, so
+// callers get a single "too big / malformed" check.
+bool ParseLength(const Slice& digits, uint64_t limit, uint64_t* out) {
+  if (digits.empty() || digits.size() > 20) return false;
+  uint64_t v = 0;
+  for (size_t i = 0; i < digits.size(); i++) {
+    const char c = digits[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+    if (v > limit) return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void RespParser::Feed(const char* data, size_t n) {
+  if (failed_) return;  // terminal; do not hoard bytes we will never parse
+  buf_.append(data, n);
+}
+
+ParseResult RespParser::Fail(const std::string& why) {
+  failed_ = true;
+  error_ = why;
+  buf_.clear();
+  pos_ = 0;
+  return ParseResult::kError;
+}
+
+ParseResult RespParser::ReadLine(size_t* pos, Slice* line) {
+  const size_t start = *pos;
+  const size_t eol = buf_.find('\n', start);
+  if (eol == std::string::npos) {
+    // No terminator yet: a line longer than the limit can already be
+    // rejected without waiting for the attacker to send the newline.
+    if (buf_.size() - start > kMaxInlineBytes) {
+      return Fail("protocol error: line exceeds 64KB");
+    }
+    return ParseResult::kNeedMore;
+  }
+  if (eol - start > kMaxInlineBytes) {
+    return Fail("protocol error: line exceeds 64KB");
+  }
+  size_t end = eol;
+  if (end > start && buf_[end - 1] == '\r') end--;  // tolerate bare \n
+  *line = Slice(buf_.data() + start, end - start);
+  *pos = eol + 1;
+  return ParseResult::kOk;
+}
+
+ParseResult RespParser::ParseInline(std::vector<std::string>* args) {
+  size_t pos = pos_;
+  Slice line;
+  ParseResult r = ReadLine(&pos, &line);
+  if (r != ParseResult::kOk) return r;
+
+  // Whitespace-split; empty lines are consumed and yield nothing, which
+  // lets clients send "\r\n" keepalives without tripping an error.
+  args->clear();
+  const char* p = line.data();
+  const char* limit = p + line.size();
+  while (p < limit) {
+    while (p < limit && (*p == ' ' || *p == '\t')) p++;
+    const char* word = p;
+    while (p < limit && *p != ' ' && *p != '\t') p++;
+    if (p > word) args->emplace_back(word, p - word);
+    if (args->size() > kMaxArrayElements) {
+      return Fail("protocol error: too many inline arguments");
+    }
+  }
+  pos_ = pos;
+  if (args->empty()) return Next(args);  // skip blank line, try again
+  return ParseResult::kOk;
+}
+
+ParseResult RespParser::ParseArray(std::vector<std::string>* args) {
+  size_t pos = pos_;
+  Slice line;
+  ParseResult r = ReadLine(&pos, &line);
+  if (r != ParseResult::kOk) return r;
+  line.remove_prefix(1);  // '*'
+  uint64_t count = 0;
+  if (!ParseLength(line, kMaxArrayElements, &count)) {
+    return Fail("protocol error: invalid multibulk length");
+  }
+  if (count == 0) {  // "*0\r\n": consume and look for the next command
+    pos_ = pos;
+    return Next(args);
+  }
+
+  args->clear();
+  args->reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    Slice header;
+    r = ReadLine(&pos, &header);
+    if (r != ParseResult::kOk) return r;
+    if (header.empty() || header[0] != '$') {
+      return Fail("protocol error: expected '$' bulk header");
+    }
+    header.remove_prefix(1);
+    uint64_t len = 0;
+    if (!ParseLength(header, kMaxBulkBytes, &len)) {
+      return Fail("protocol error: invalid bulk length");
+    }
+    if (buf_.size() - pos < len + 2) return ParseResult::kNeedMore;
+    if (buf_[pos + len] != '\r' || buf_[pos + len + 1] != '\n') {
+      return Fail("protocol error: bulk payload not \\r\\n terminated");
+    }
+    args->emplace_back(buf_.data() + pos, len);
+    pos += len + 2;
+  }
+  pos_ = pos;
+  return ParseResult::kOk;
+}
+
+ParseResult RespParser::Next(std::vector<std::string>* args) {
+  if (failed_) return ParseResult::kError;
+  if (pos_ == buf_.size()) {
+    // Fully drained: reclaim the buffer so long-lived connections do
+    // not keep their high-water mark forever.
+    buf_.clear();
+    pos_ = 0;
+    return ParseResult::kNeedMore;
+  }
+  ParseResult r = buf_[pos_] == '*' ? ParseArray(args) : ParseInline(args);
+  if (r == ParseResult::kOk && pos_ > 64 * 1024) {
+    buf_.erase(0, pos_);  // compact the consumed prefix occasionally
+    pos_ = 0;
+  }
+  return r;
+}
+
+// ---- Reply serialization --------------------------------------------------
+
+void AppendSimpleString(std::string* out, const Slice& s) {
+  out->push_back('+');
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void AppendError(std::string* out, const Slice& msg) {
+  out->push_back('-');
+  // Newlines would terminate the frame early; squash them.
+  for (size_t i = 0; i < msg.size(); i++) {
+    const char c = msg[i];
+    out->push_back((c == '\r' || c == '\n') ? ' ' : c);
+  }
+  out->append("\r\n");
+}
+
+void AppendInteger(std::string* out, int64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), ":%lld\r\n", static_cast<long long>(v));
+  out->append(buf);
+}
+
+void AppendBulk(std::string* out, const Slice& s) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "$%zu\r\n", s.size());
+  out->append(buf);
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void AppendNull(std::string* out) { out->append("$-1\r\n"); }
+
+void AppendArrayHeader(std::string* out, size_t n) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "*%zu\r\n", n);
+  out->append(buf);
+}
+
+// ---- Reply parsing --------------------------------------------------------
+
+namespace {
+
+ParseResult ParseReplyRec(const char* data, size_t len, size_t* consumed,
+                          RespReply* reply, int depth) {
+  if (depth > kMaxReplyDepth) return ParseResult::kError;
+  const char* eol = static_cast<const char*>(memchr(data, '\n', len));
+  if (eol == nullptr) {
+    return len > kMaxInlineBytes ? ParseResult::kError
+                                 : ParseResult::kNeedMore;
+  }
+  size_t line_end = static_cast<size_t>(eol - data);
+  const size_t after_line = line_end + 1;
+  if (line_end > 0 && data[line_end - 1] == '\r') line_end--;
+  if (line_end == 0) return ParseResult::kError;
+  const char type = data[0];
+  const Slice payload(data + 1, line_end - 1);
+
+  switch (type) {
+    case '+':
+      reply->type = RespReply::kSimple;
+      reply->str = payload.ToString();
+      *consumed = after_line;
+      return ParseResult::kOk;
+    case '-':
+      reply->type = RespReply::kError;
+      reply->str = payload.ToString();
+      *consumed = after_line;
+      return ParseResult::kOk;
+    case ':': {
+      Slice digits = payload;
+      bool neg = false;
+      if (!digits.empty() && digits[0] == '-') {
+        neg = true;
+        digits.remove_prefix(1);
+      }
+      uint64_t v = 0;
+      if (!ParseLength(digits, UINT64_MAX / 2, &v)) return ParseResult::kError;
+      reply->type = RespReply::kInteger;
+      reply->integer = neg ? -static_cast<int64_t>(v)
+                           : static_cast<int64_t>(v);
+      *consumed = after_line;
+      return ParseResult::kOk;
+    }
+    case '$': {
+      if (payload == Slice("-1")) {
+        reply->type = RespReply::kNull;
+        *consumed = after_line;
+        return ParseResult::kOk;
+      }
+      uint64_t n = 0;
+      if (!ParseLength(payload, kMaxBulkBytes, &n)) return ParseResult::kError;
+      if (len - after_line < n + 2) return ParseResult::kNeedMore;
+      if (data[after_line + n] != '\r' || data[after_line + n + 1] != '\n') {
+        return ParseResult::kError;
+      }
+      reply->type = RespReply::kBulk;
+      reply->str.assign(data + after_line, n);
+      *consumed = after_line + n + 2;
+      return ParseResult::kOk;
+    }
+    case '*': {
+      if (payload == Slice("-1")) {  // null array
+        reply->type = RespReply::kNull;
+        *consumed = after_line;
+        return ParseResult::kOk;
+      }
+      uint64_t n = 0;
+      if (!ParseLength(payload, kMaxArrayElements, &n)) {
+        return ParseResult::kError;
+      }
+      reply->type = RespReply::kArray;
+      reply->elements.clear();
+      size_t pos = after_line;
+      for (uint64_t i = 0; i < n; i++) {
+        RespReply element;
+        size_t sub = 0;
+        ParseResult r = ParseReplyRec(data + pos, len - pos, &sub, &element,
+                                      depth + 1);
+        if (r != ParseResult::kOk) return r;
+        reply->elements.push_back(std::move(element));
+        pos += sub;
+      }
+      *consumed = pos;
+      return ParseResult::kOk;
+    }
+    default:
+      return ParseResult::kError;
+  }
+}
+
+}  // namespace
+
+ParseResult ParseReply(const char* data, size_t len, size_t* consumed,
+                       RespReply* reply) {
+  *consumed = 0;
+  if (len == 0) return ParseResult::kNeedMore;
+  *reply = RespReply();
+  return ParseReplyRec(data, len, consumed, reply, 0);
+}
+
+}  // namespace net
+}  // namespace bolt

@@ -1,0 +1,104 @@
+// RESP-style wire protocol (DESIGN.md §13): parsing and serialization
+// for the bolt_server front end and its clients.
+//
+// The dialect is the classic Redis Serialization Protocol subset:
+//
+//   client -> server   inline commands ("PING\r\n", "SET k v\r\n") and
+//                      multi-bulk arrays ("*3\r\n$3\r\nSET\r\n...")
+//   server -> client   +simple, -error, :integer, $bulk ($-1 = null),
+//                      *array (nested)
+//
+// RespParser is INCREMENTAL: feed it whatever the socket produced —
+// a byte at a time or a pipeline of fifty commands — and pull complete
+// commands out one at a time.  Malformed or over-limit input moves the
+// parser into a terminal error state (kError, with a human-readable
+// reason); the server replies -ERR once and closes, so garbage cannot
+// cause a disconnect/reparse loop.
+//
+// All of this is pure byte-shuffling: no sockets, no syscalls (those
+// live in net/socket.cc only), so the parser is unit-testable byte by
+// byte (tests/resp_parser_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace bolt {
+namespace net {
+
+// ---- Limits (protocol errors when exceeded) -------------------------------
+constexpr size_t kMaxInlineBytes = 64 * 1024;        // one inline line
+constexpr size_t kMaxArrayElements = 1024;           // argv per command
+constexpr size_t kMaxBulkBytes = 64 * 1024 * 1024;   // one bulk string
+constexpr int kMaxReplyDepth = 8;                    // nested reply arrays
+
+enum class ParseResult {
+  kOk,        // one complete item produced
+  kNeedMore,  // buffer exhausted mid-item; feed more bytes
+  kError,     // protocol violation; connection should be closed
+};
+
+// Incremental command parser (client -> server direction).
+class RespParser {
+ public:
+  RespParser() = default;
+
+  // Append newly read bytes to the internal buffer.
+  void Feed(const char* data, size_t n);
+
+  // Try to produce the next complete command.  On kOk, *args holds the
+  // argv (never empty).  kNeedMore leaves any partial command buffered.
+  // After kError the parser stays in the error state permanently and
+  // error() describes the violation.
+  ParseResult Next(std::vector<std::string>* args);
+
+  const std::string& error() const { return error_; }
+
+  // Bytes buffered but not yet consumed (tests use this to prove the
+  // parser does not hoard memory after commands complete).
+  size_t BufferedBytes() const { return buf_.size() - pos_; }
+
+ private:
+  ParseResult Fail(const std::string& why);
+  ParseResult ParseInline(std::vector<std::string>* args);
+  ParseResult ParseArray(std::vector<std::string>* args);
+  // Reads a "\r\n"-terminated line starting at *pos; advances *pos past
+  // the terminator.  Enforces kMaxInlineBytes.
+  ParseResult ReadLine(size_t* pos, Slice* line);
+
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool failed_ = false;
+  std::string error_;
+};
+
+// ---- Reply serialization (server -> client) -------------------------------
+void AppendSimpleString(std::string* out, const Slice& s);  // +s\r\n
+void AppendError(std::string* out, const Slice& msg);       // -msg\r\n
+void AppendInteger(std::string* out, int64_t v);            // :v\r\n
+void AppendBulk(std::string* out, const Slice& s);          // $n\r\ns\r\n
+void AppendNull(std::string* out);                          // $-1\r\n
+void AppendArrayHeader(std::string* out, size_t n);         // *n\r\n
+
+// ---- Reply parsing (client side) ------------------------------------------
+struct RespReply {
+  enum Type { kSimple, kError, kInteger, kBulk, kNull, kArray };
+  Type type = kNull;
+  std::string str;                  // kSimple/kError/kBulk payload
+  int64_t integer = 0;              // kInteger payload
+  std::vector<RespReply> elements;  // kArray payload
+
+  bool IsError() const { return type == kError; }
+};
+
+// Parse one complete reply from data[0, len).  On kOk, *consumed is the
+// number of bytes the reply occupied.  kNeedMore means the buffer ends
+// mid-reply (nothing consumed).  Handles nested arrays to kMaxReplyDepth.
+ParseResult ParseReply(const char* data, size_t len, size_t* consumed,
+                       RespReply* reply);
+
+}  // namespace net
+}  // namespace bolt

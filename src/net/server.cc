@@ -1,0 +1,371 @@
+#include "net/server.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+#include "db/db.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "table/iterator.h"
+
+namespace bolt {
+namespace net {
+
+namespace {
+
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeupTag = ~0ull;
+constexpr size_t kReadChunk = 16 * 1024;
+constexpr uint64_t kMaxScanCount = 1000;
+
+std::string UpperVerb(const std::string& s) {
+  std::string v = s;
+  for (char& c : v) c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+  return v;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WrongArity(std::string* out, const std::string& verb) {
+  AppendError(out, "ERR wrong number of arguments for '" + verb + "'");
+}
+
+}  // namespace
+
+RespServer::RespServer(DB* db, const ServerOptions& options)
+    : db_(db), options_(options), metrics_(options.metrics) {
+  if (metrics_ == nullptr) {
+    owned_metrics_.reset(new obs::MetricsRegistry);
+    metrics_ = owned_metrics_.get();
+  }
+}
+
+RespServer::~RespServer() {
+  Stop();
+  Wait();
+  if (epfd_ >= 0) Close(epfd_);
+  if (wakeup_fd_ >= 0) Close(wakeup_fd_);
+  if (listen_fd_ >= 0) Close(listen_fd_);
+}
+
+Status RespServer::Start() {
+  if (started_) return Status::InvalidArgument("RespServer", "Start() twice");
+  int bound = 0;
+  Status s = Listen(options_.host, options_.port, &listen_fd_, &bound);
+  if (!s.ok()) return s;
+  s = NewWakeup(&wakeup_fd_);
+  if (s.ok()) s = PollerCreate(&epfd_);
+  if (s.ok()) s = PollerAdd(epfd_, listen_fd_, kReadable, kListenerTag);
+  if (s.ok()) s = PollerAdd(epfd_, wakeup_fd_, kReadable, kWakeupTag);
+  if (!s.ok()) {
+    Close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_.store(bound, std::memory_order_release);
+  started_ = true;
+  io_thread_ = std::thread(&RespServer::Run, this);
+  return Status::OK();
+}
+
+void RespServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (wakeup_fd_ >= 0) SignalWakeup(wakeup_fd_);
+}
+
+void RespServer::Wait() {
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+void RespServer::Run() {
+  bool draining = false;
+  int64_t drain_deadline_ms = 0;
+  PollEvent events[64];
+
+  for (;;) {
+    if (!draining && stop_.load(std::memory_order_acquire)) {
+      // Enter graceful drain: no new connections, no new commands, but
+      // every already-produced reply still goes out (bounded below).
+      draining = true;
+      drain_deadline_ms = NowMs() + options_.drain_timeout_ms;
+      // Drain the accept backlog with accept+close: a connection that
+      // finished its handshake but was never served gets a FIN (not an
+      // indefinite ESTABLISHED limbo — not every kernel resets the
+      // backlog when a listener closes).  Then close the listener so
+      // later SYNs are refused outright.
+      (void)PollerDel(epfd_, listen_fd_);
+      int backlog_fd = -1;
+      while (Accept(listen_fd_, &backlog_fd) == IoResult::kOk) {
+        Close(backlog_fd);
+      }
+      Close(listen_fd_);
+      listen_fd_ = -1;
+      std::vector<uint64_t> idle;
+      for (auto& entry : conns_) {
+        Conn* conn = entry.second.get();
+        conn->close_after_flush = true;
+        if (conn->out_pos == conn->out.size()) {
+          idle.push_back(entry.first);
+        } else {
+          UpdateInterest(conn, draining);
+        }
+      }
+      for (uint64_t tag : idle) CloseConn(tag);
+    }
+    if (draining && (conns_.empty() || NowMs() >= drain_deadline_ms)) break;
+
+    const int timeout_ms = draining ? 50 : 500;
+    const int n = PollerWait(epfd_, events, 64, timeout_ms);
+    for (int i = 0; i < n; i++) {
+      const uint64_t tag = events[i].tag;
+      if (tag == kWakeupTag) {
+        DrainWakeup(wakeup_fd_);
+        continue;
+      }
+      if (tag == kListenerTag) {
+        if (!draining) AcceptNew();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      HandleConn(it->second.get(), events[i].events);
+    }
+  }
+
+  // Force-close whatever the drain deadline left behind.
+  while (!conns_.empty()) CloseConn(conns_.begin()->first);
+}
+
+void RespServer::AcceptNew() {
+  for (;;) {
+    int fd = -1;
+    const IoResult r = Accept(listen_fd_, &fd);
+    if (r == IoResult::kWouldBlock) return;
+    if (r == IoResult::kError) return;  // aborted in backlog; try later
+    if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      Close(fd);
+      continue;
+    }
+    const uint64_t tag = next_tag_++;
+    std::unique_ptr<Conn> conn(new Conn);
+    conn->tag = tag;
+    conn->fd = fd;
+    conn->registered = kReadable;
+    if (!PollerAdd(epfd_, fd, kReadable, tag).ok()) {
+      Close(fd);
+      continue;
+    }
+    conns_.emplace(tag, std::move(conn));
+    metrics_->Add(obs::kNetConnAccepted);
+    metrics_->SetGauge(obs::kNetConnActive, conns_.size());
+  }
+}
+
+void RespServer::HandleConn(Conn* conn, uint32_t events) {
+  const bool draining = stop_.load(std::memory_order_acquire);
+  bool alive = true;
+  if ((events & kReadable) && !conn->close_after_flush) {
+    alive = ReadAndExecute(conn);
+  }
+  if (alive && (events & (kWritable | kReadable))) {
+    alive = FlushOut(conn);
+  }
+  if (alive && (events & kHangup) &&
+      conn->out_pos == conn->out.size()) {
+    alive = false;  // peer gone and nothing left to send
+  }
+  if (!alive || (conn->close_after_flush &&
+                 conn->out_pos == conn->out.size())) {
+    CloseConn(conn->tag);
+    return;
+  }
+  UpdateInterest(conn, draining);
+}
+
+bool RespServer::ReadAndExecute(Conn* conn) {
+  char chunk[kReadChunk];
+  bool saw_eof = false;
+  for (;;) {
+    size_t n = 0;
+    const IoResult r = ReadSome(conn->fd, chunk, sizeof(chunk), &n);
+    if (r == IoResult::kWouldBlock) break;
+    if (r == IoResult::kError) return false;
+    if (n == 0) {  // peer finished sending; flush replies, then close
+      saw_eof = true;
+      break;
+    }
+    metrics_->Add(obs::kNetBytesIn, n);
+    conn->parser.Feed(chunk, n);
+    if (n < sizeof(chunk)) break;  // drained the socket
+  }
+
+  std::vector<std::string> args;
+  for (;;) {
+    const ParseResult r = conn->parser.Next(&args);
+    if (r == ParseResult::kNeedMore) break;
+    if (r == ParseResult::kError) {
+      metrics_->Add(obs::kNetProtocolErrors);
+      AppendError(&conn->out, "ERR " + conn->parser.error());
+      conn->close_after_flush = true;
+      break;
+    }
+    Dispatch(conn, &args);
+    if (conn->close_after_flush) break;  // SHUTDOWN mid-pipeline
+  }
+
+  if (saw_eof) conn->close_after_flush = true;
+  if (conn->out.size() - conn->out_pos > options_.max_outbuf_bytes) {
+    return false;  // reader refuses to drain; cut it loose
+  }
+  return true;
+}
+
+bool RespServer::FlushOut(Conn* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    size_t n = 0;
+    const IoResult r = WriteSome(conn->fd, conn->out.data() + conn->out_pos,
+                                 conn->out.size() - conn->out_pos, &n);
+    if (r == IoResult::kWouldBlock) break;
+    if (r == IoResult::kError) return false;
+    conn->out_pos += n;
+    metrics_->Add(obs::kNetBytesOut, n);
+  }
+  if (conn->out_pos == conn->out.size()) {
+    conn->out.clear();
+    conn->out_pos = 0;
+  } else if (conn->out_pos > kReadChunk) {
+    conn->out.erase(0, conn->out_pos);
+    conn->out_pos = 0;
+  }
+  return true;
+}
+
+void RespServer::UpdateInterest(Conn* conn, bool draining) {
+  uint32_t want = 0;
+  if (!conn->close_after_flush && !draining) want |= kReadable;
+  if (conn->out_pos < conn->out.size()) want |= kWritable;
+  if (want != conn->registered &&
+      PollerMod(epfd_, conn->fd, want, conn->tag).ok()) {
+    conn->registered = want;
+  }
+}
+
+void RespServer::CloseConn(uint64_t tag) {
+  auto it = conns_.find(tag);
+  if (it == conns_.end()) return;
+  (void)PollerDel(epfd_, it->second->fd);
+  Close(it->second->fd);
+  conns_.erase(it);
+  metrics_->SetGauge(obs::kNetConnActive, conns_.size());
+}
+
+void RespServer::Dispatch(Conn* conn, std::vector<std::string>* argv) {
+  metrics_->Add(obs::kNetCommands);
+  std::string* out = &conn->out;
+  const std::vector<std::string>& args = *argv;
+  const std::string verb = UpperVerb(args[0]);
+
+  if (verb == "PING") {
+    if (args.size() == 2) {
+      AppendBulk(out, args[1]);
+    } else {
+      AppendSimpleString(out, "PONG");
+    }
+  } else if (verb == "SET") {
+    if (args.size() != 3) return WrongArity(out, "set");
+    Status s = db_->Put(WriteOptions(), args[1], args[2]);
+    if (s.ok()) {
+      AppendSimpleString(out, "OK");
+    } else {
+      AppendError(out, "ERR " + s.ToString());
+    }
+  } else if (verb == "GET") {
+    if (args.size() != 2) return WrongArity(out, "get");
+    std::string value;
+    Status s = db_->Get(ReadOptions(), args[1], &value);
+    if (s.ok()) {
+      AppendBulk(out, value);
+    } else if (s.IsNotFound()) {
+      AppendNull(out);
+    } else {
+      AppendError(out, "ERR " + s.ToString());
+    }
+  } else if (verb == "DEL") {
+    if (args.size() < 2) return WrongArity(out, "del");
+    int64_t removed = 0;
+    for (size_t i = 1; i < args.size(); i++) {
+      if (db_->Delete(WriteOptions(), args[i]).ok()) removed++;
+    }
+    AppendInteger(out, removed);
+  } else if (verb == "MGET") {
+    if (args.size() < 2) return WrongArity(out, "mget");
+    std::vector<Slice> keys;
+    keys.reserve(args.size() - 1);
+    for (size_t i = 1; i < args.size(); i++) keys.emplace_back(args[i]);
+    std::vector<std::string> values;
+    std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+    AppendArrayHeader(out, keys.size());
+    for (size_t i = 0; i < keys.size(); i++) {
+      if (statuses[i].ok()) {
+        AppendBulk(out, values[i]);
+      } else {
+        AppendNull(out);  // NotFound and per-key errors both read as null
+      }
+    }
+  } else if (verb == "SCAN") {
+    if (args.size() != 3) return WrongArity(out, "scan");
+    uint64_t count = strtoull(args[2].c_str(), nullptr, 10);
+    if (count == 0 || count > kMaxScanCount) {
+      AppendError(out, "ERR count must be in [1, 1000]");
+      return;
+    }
+    std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (it->Seek(args[1]); it->Valid() && rows.size() < count; it->Next()) {
+      rows.emplace_back(it->key().ToString(), it->value().ToString());
+    }
+    if (!it->status().ok()) {
+      AppendError(out, "ERR " + it->status().ToString());
+      return;
+    }
+    AppendArrayHeader(out, rows.size() * 2);
+    for (const auto& row : rows) {
+      AppendBulk(out, row.first);
+      AppendBulk(out, row.second);
+    }
+  } else if (verb == "INFO") {
+    AppendBulk(out, BuildInfo());
+  } else if (verb == "SHUTDOWN") {
+    AppendSimpleString(out, "OK");
+    shutdown_requested_.store(true, std::memory_order_release);
+    conn->close_after_flush = true;
+    stop_.store(true, std::memory_order_release);
+    SignalWakeup(wakeup_fd_);  // drain starts at the top of the loop
+  } else {
+    AppendError(out, "ERR unknown command '" + args[0] + "'");
+  }
+}
+
+std::string RespServer::BuildInfo() {
+  char buf[256];
+  std::string info = "# server\r\n";
+  snprintf(buf, sizeof(buf),
+           "tcp_port:%d\r\nconnected_clients:%zu\r\ntotal_commands:%llu\r\n",
+           port(), conns_.size(),
+           static_cast<unsigned long long>(metrics_->Get(obs::kNetCommands)));
+  info += buf;
+  std::string shards;
+  if (db_->GetProperty("bolt.shards", &shards)) {
+    info += "# shards\r\n";
+    info += shards;
+  }
+  return info;
+}
+
+}  // namespace net
+}  // namespace bolt

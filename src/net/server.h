@@ -1,0 +1,141 @@
+// RespServer: the bolt_server network front end (DESIGN.md §13).
+//
+// One io thread runs a non-blocking epoll loop over the listener, a
+// wakeup eventfd, and every live connection.  Each connection owns an
+// incremental RespParser and an output buffer, so a pipeline of K
+// commands arriving in one read() is parsed, executed, and answered as
+// one batch — replies share write() calls the same way BoLT write
+// groups share WAL barriers.
+//
+// Commands (case-insensitive verbs):
+//   PING                      -> +PONG
+//   SET key value             -> +OK
+//   GET key                   -> $value | $-1
+//   DEL key [key ...]         -> :count
+//   MGET key [key ...]        -> *N of $value | $-1   (DB::MultiGet: one
+//                                snapshot, one lock round-trip)
+//   SCAN start count          -> *2K of $key $value (first K pairs with
+//                                key >= start, in order; cross-shard
+//                                merge when the DB is a ShardedDB)
+//   INFO                      -> $text (server + "bolt.shards" + stats)
+//   SHUTDOWN                  -> +OK, then graceful drain (stop
+//                                accepting, flush every outbuf, exit)
+//
+// Shutdown discipline: Stop() (thread- and signal-safe) or SHUTDOWN
+// moves the loop into draining mode — the listener closes, reads stop,
+// pending replies flush with a bounded deadline, then Wait() returns.
+//
+// Thread model: everything after Start() happens on the io thread, so
+// connection state needs no locking at all; the only shared state is
+// two atomics (stop flag, bound port) and the wakeup fd.  DB calls run
+// inline on the io thread: BoLT reads are cache-or-one-seek and writes
+// are group-committed, so the loop stays responsive under pipelining
+// without a worker pool (measured by bench/net_ycsb).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/resp.h"
+#include "util/status.h"
+
+namespace bolt {
+
+class DB;
+namespace obs {
+class MetricsRegistry;
+}
+
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; port() reports the bound one
+  int max_connections = 1024;
+  // A connection whose unsent replies exceed this is dropped (a reader
+  // that never drains its socket must not OOM the server).
+  size_t max_outbuf_bytes = 64 << 20;
+  // How long the graceful drain keeps flushing before force-closing.
+  int drain_timeout_ms = 5000;
+  // Ticker/gauge sink (falls back to a private registry when null, so
+  // the server never null-checks).  Pass the DB's registry to get one
+  // merged "bolt.metrics" view.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class RespServer {
+ public:
+  // "db" must outlive the server and is not owned.  Works identically
+  // for a plain DBImpl and a ShardedDB (it is just the DB interface).
+  RespServer(DB* db, const ServerOptions& options);
+  ~RespServer();
+
+  RespServer(const RespServer&) = delete;
+  RespServer& operator=(const RespServer&) = delete;
+
+  // Bind, listen, and spawn the io thread.
+  Status Start();
+  // The bound port (valid after Start() returns OK).
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  // Begin graceful drain; safe from any thread and from signal
+  // handlers (it only flips an atomic and writes the wakeup eventfd).
+  void Stop();
+  // Join the io thread (idempotent).  Returns once the drain finished.
+  void Wait();
+
+  // True once a client issued SHUTDOWN (bolt_server uses this to tell
+  // "client asked us to exit" from "signal").
+  bool ShutdownRequested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Conn {
+    uint64_t tag = 0;  // poller cookie / conns_ key
+    int fd = -1;
+    RespParser parser;
+    std::string out;        // pending reply bytes
+    size_t out_pos = 0;     // sent prefix of out
+    bool close_after_flush = false;
+    uint32_t registered = 0;  // current poller interest set
+  };
+
+  void Run();  // io thread body
+  void AcceptNew();
+  void HandleConn(Conn* conn, uint32_t events);
+  bool ReadAndExecute(Conn* conn);  // false => close the connection
+  bool FlushOut(Conn* conn);        // false => close the connection
+  void UpdateInterest(Conn* conn, bool draining);
+  void CloseConn(uint64_t tag);
+  void Dispatch(Conn* conn, std::vector<std::string>* args);
+  std::string BuildInfo();
+
+  DB* const db_;
+  const ServerOptions options_;
+  obs::MetricsRegistry* metrics_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+
+  int listen_fd_ = -1;
+  int epfd_ = -1;
+  int wakeup_fd_ = -1;
+  std::atomic<int> port_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::thread io_thread_;
+  bool started_ = false;
+
+  // io-thread-only state: connections keyed by a monotonically rising
+  // tag (never a reused fd number, so a stale epoll event can only miss
+  // in the map, never hit the wrong connection).
+  uint64_t next_tag_ = 1;
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace net
+}  // namespace bolt

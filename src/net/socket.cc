@@ -1,0 +1,242 @@
+// The one raw-syscall site for networking (see socket.h).
+// lint-allow: naked-net-syscall
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bolt {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const char* op) {
+  return Status::IOError(op, strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status FillAddr(const std::string& host, int port, struct sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address", host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Listen(const std::string& host, int port, int* fd, int* bound_port) {
+  *fd = -1;
+  struct sockaddr_in addr;
+  Status s = FillAddr(host, port, &addr);
+  if (!s.ok()) return s;
+
+  const int sock = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) return ErrnoStatus("socket");
+  int one = 1;
+  (void)setsockopt(sock, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(sock, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    s = ErrnoStatus("bind");
+    close(sock);
+    return s;
+  }
+  if (listen(sock, 511) < 0) {
+    s = ErrnoStatus("listen");
+    close(sock);
+    return s;
+  }
+  s = SetNonBlocking(sock);
+  if (!s.ok()) {
+    close(sock);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(sock, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    s = ErrnoStatus("getsockname");
+    close(sock);
+    return s;
+  }
+  *fd = sock;
+  *bound_port = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+IoResult Accept(int listen_fd, int* conn_fd) {
+  *conn_fd = -1;
+  const int fd =
+      accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    // ECONNABORTED etc.: the connection died in the backlog; callers
+    // treat kError on accept as "skip", not "tear the server down".
+    return IoResult::kError;
+  }
+  SetNoDelay(fd);
+  *conn_fd = fd;
+  return IoResult::kOk;
+}
+
+Status Connect(const std::string& host, int port, int* fd) {
+  *fd = -1;
+  struct sockaddr_in addr;
+  Status s = FillAddr(host, port, &addr);
+  if (!s.ok()) return s;
+  const int sock = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) return ErrnoStatus("socket");
+  if (connect(sock, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) < 0) {
+    s = ErrnoStatus("connect");
+    close(sock);
+    return s;
+  }
+  SetNoDelay(sock);
+  *fd = sock;
+  return Status::OK();
+}
+
+IoResult ReadSome(int fd, char* buf, size_t len, size_t* n) {
+  *n = 0;
+  for (;;) {
+    const ssize_t r = read(fd, buf, len);
+    if (r >= 0) {
+      *n = static_cast<size_t>(r);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+IoResult WriteSome(int fd, const char* data, size_t len, size_t* n) {
+  *n = 0;
+  for (;;) {
+    const ssize_t r = write(fd, data, len);
+    if (r >= 0) {
+      *n = static_cast<size_t>(r);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+void Close(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+namespace {
+
+uint32_t ToEpollMask(uint32_t events) {
+  uint32_t mask = 0;
+  if (events & kReadable) mask |= EPOLLIN;
+  if (events & kWritable) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+Status PollerCreate(int* epfd) {
+  *epfd = epoll_create1(EPOLL_CLOEXEC);
+  if (*epfd < 0) return ErrnoStatus("epoll_create1");
+  return Status::OK();
+}
+
+Status PollerAdd(int epfd, int fd, uint32_t events, uint64_t tag) {
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = ToEpollMask(events);
+  ev.data.u64 = tag;
+  if (epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status PollerMod(int epfd, int fd, uint32_t events, uint64_t tag) {
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = ToEpollMask(events);
+  ev.data.u64 = tag;
+  if (epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status PollerDel(int epfd, int fd) {
+  if (epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return ErrnoStatus("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+int PollerWait(int epfd, PollEvent* events, int max, int timeout_ms) {
+  struct epoll_event raw[64];
+  if (max > 64) max = 64;
+  for (;;) {
+    const int n = epoll_wait(epfd, raw, max, timeout_ms);
+    if (n >= 0) {
+      for (int i = 0; i < n; i++) {
+        events[i].tag = raw[i].data.u64;
+        uint32_t out = 0;
+        if (raw[i].events & EPOLLIN) out |= kReadable;
+        if (raw[i].events & EPOLLOUT) out |= kWritable;
+        if (raw[i].events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) {
+          out |= kHangup;
+        }
+        events[i].events = out;
+      }
+      return n;
+    }
+    if (errno == EINTR) continue;
+    return 0;  // treat a broken poller as a timeout; the loop re-checks
+  }
+}
+
+Status NewWakeup(int* fd) {
+  *fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (*fd < 0) return ErrnoStatus("eventfd");
+  return Status::OK();
+}
+
+void SignalWakeup(int fd) {
+  const uint64_t one = 1;
+  // write(2) is async-signal-safe; ignore EAGAIN (counter already hot).
+  ssize_t ignored = write(fd, &one, sizeof(one));
+  (void)ignored;
+}
+
+void DrainWakeup(int fd) {
+  uint64_t value = 0;
+  ssize_t ignored = read(fd, &value, sizeof(value));
+  (void)ignored;
+}
+
+}  // namespace net
+}  // namespace bolt

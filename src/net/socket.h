@@ -1,0 +1,72 @@
+// Thin Status-returning wrappers over the network syscalls.
+//
+// This header's implementation (net/socket.cc) is the ONLY file in the
+// tree allowed to touch raw sockets/epoll — scripts/bolt_lint.py's
+// naked-net-syscall rule enforces it, for the same reason naked-sync
+// confines fsync to src/env/: one choke point where every fd is
+// accounted for, CLOEXEC'd, and errno is converted to Status exactly
+// once.  Server, client and tests compose these; they never see errno.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace bolt {
+namespace net {
+
+// Result of a non-blocking read/write attempt.
+enum class IoResult {
+  kOk,         // *n bytes transferred (n == 0 on read means peer closed)
+  kWouldBlock, // EAGAIN — retry when epoll says so
+  kError,      // hard failure; close the fd
+};
+
+// ---- TCP ------------------------------------------------------------------
+// Bind+listen on host:port (port 0 = ephemeral).  On success *fd is the
+// non-blocking, CLOEXEC listener and *bound_port the actual port.
+Status Listen(const std::string& host, int port, int* fd, int* bound_port);
+
+// Accept one pending connection as non-blocking CLOEXEC.  kWouldBlock
+// when the backlog is empty.  TCP_NODELAY is set (RESP replies are
+// small; Nagle would serialize pipelined round-trips).
+IoResult Accept(int listen_fd, int* conn_fd);
+
+// Blocking client connect (bolt_cli / benches); TCP_NODELAY set.
+Status Connect(const std::string& host, int port, int* fd);
+
+IoResult ReadSome(int fd, char* buf, size_t len, size_t* n);
+IoResult WriteSome(int fd, const char* data, size_t len, size_t* n);
+void Close(int fd);
+
+// ---- epoll ----------------------------------------------------------------
+// Event bits exposed to callers (mapped to EPOLLIN/EPOLLOUT inside).
+constexpr uint32_t kReadable = 1u << 0;
+constexpr uint32_t kWritable = 1u << 1;
+constexpr uint32_t kHangup = 1u << 2;  // peer closed / error
+
+struct PollEvent {
+  uint64_t tag = 0;     // caller cookie registered with Add/Mod
+  uint32_t events = 0;  // kReadable | kWritable | kHangup
+};
+
+Status PollerCreate(int* epfd);
+Status PollerAdd(int epfd, int fd, uint32_t events, uint64_t tag);
+Status PollerMod(int epfd, int fd, uint32_t events, uint64_t tag);
+Status PollerDel(int epfd, int fd);
+// Wait up to timeout_ms (-1 = forever).  Fills events[0, max) and
+// returns the count (0 on timeout); EINTR retries internally.
+int PollerWait(int epfd, PollEvent* events, int max, int timeout_ms);
+
+// ---- Cross-thread wakeup --------------------------------------------------
+// An eventfd the io thread registers in its poller; Stop() signals it
+// from any thread (the write is async-signal-safe, so a SIGTERM handler
+// may call Signal directly).
+Status NewWakeup(int* fd);
+void SignalWakeup(int fd);
+void DrainWakeup(int fd);
+
+}  // namespace net
+}  // namespace bolt

@@ -63,6 +63,13 @@ const char* TickerName(Ticker t) {
     case kTableCacheMisses:        return "table_cache.miss";
     case kBlockCacheHits:          return "block_cache.hit";
     case kBlockCacheMisses:        return "block_cache.miss";
+    case kMultiGetCalls:           return "db.multiget.calls";
+    case kMultiGetKeys:            return "db.multiget.keys";
+    case kNetConnAccepted:         return "net.conn.accepted";
+    case kNetCommands:             return "net.commands";
+    case kNetBytesIn:              return "net.bytes.in";
+    case kNetBytesOut:             return "net.bytes.out";
+    case kNetProtocolErrors:       return "net.protocol_errors";
     case kBloomChecked:            return "bloom.checked";
     case kBloomUseful:             return "bloom.useful";
     case kTickerMax:               break;
@@ -78,6 +85,9 @@ const char* GaugeName(Gauge g) {
     case kBgInFlightCompactions: return "bg.in_flight_compactions";
     case kErrorCurrentSeverity:  return "error.current_severity";
     case kRecoveryAttemptGauge:  return "recovery.attempt";
+    case kBlockCacheUsage:    return "block_cache.usage_bytes";
+    case kTableCacheUsage:    return "table_cache.usage_entries";
+    case kNetConnActive:      return "net.conn.active";
     case kGaugeMax:           break;
   }
   return "unknown";

@@ -115,6 +115,17 @@ enum Ticker : uint32_t {
   kBlockCacheHits,
   kBlockCacheMisses,
 
+  // ---- Batched reads ----
+  kMultiGetCalls,       // MultiGet invocations
+  kMultiGetKeys,        // keys served by MultiGet (one snapshot, one lock)
+
+  // ---- Network front end (src/net/) ----
+  kNetConnAccepted,     // connections accepted by the server
+  kNetCommands,         // commands executed (all types)
+  kNetBytesIn,          // bytes read from client sockets
+  kNetBytesOut,         // bytes written to client sockets
+  kNetProtocolErrors,   // malformed frames that closed a connection
+
   // ---- Bloom filters ----
   kBloomChecked,        // whole-table filters consulted
   kBloomUseful,         // lookups a filter rejected (no data-block read)
@@ -130,6 +141,12 @@ enum Gauge : uint32_t {
   kBgInFlightCompactions,   // merge compactions currently running
   kErrorCurrentSeverity,    // latched severity (0 none .. 4 fatal)
   kRecoveryAttemptGauge,    // attempt # of the in-flight auto-recovery
+  // Shared-cache occupancy (Cache::TotalCharge of the *one* underlying
+  // cache, even when N shards share it — set, not summed, so the value
+  // stays correct under sharing).  Refreshed on bolt.metrics reads.
+  kBlockCacheUsage,         // bytes charged to the block cache
+  kTableCacheUsage,         // entries charged to the table-reader cache
+  kNetConnActive,           // currently open client connections
   kGaugeMax,
 };
 

@@ -1,0 +1,476 @@
+#include "shard/sharded_db.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "db/write_batch.h"
+#include "env/env.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "table/iterator.h"
+#include "table/merger.h"
+#include "util/cache.h"
+#include "util/comparator.h"
+#include "util/hash.h"
+
+namespace bolt {
+
+namespace {
+
+// Fixed routing seed for fresh DBs; persisted in SHARDS so a future
+// change of the default cannot silently remap an existing keyspace.
+constexpr uint32_t kDefaultShardSeed = 0x5f3a91b7;
+constexpr int kMaxShards = 1024;
+
+std::string ShardsFileName(const std::string& name) {
+  return name + "/SHARDS";
+}
+
+std::string ShardDirName(const std::string& name, int shard) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/shard-%05d", shard);
+  return name + buf;
+}
+
+// A composite snapshot: one per-shard snapshot, taken in shard order.
+// Only ShardedDB creates these, and only ShardedDB reads them back, so
+// the static_cast in PerShard() is safe by construction.
+class ShardedSnapshot : public Snapshot {
+ public:
+  ~ShardedSnapshot() override = default;
+  std::vector<const Snapshot*> per_shard;
+};
+
+// Rewrites a ReadOptions whose snapshot is the composite into one
+// naming the given shard's member snapshot.
+ReadOptions ForShard(const ReadOptions& options, int shard) {
+  ReadOptions result = options;
+  if (options.snapshot != nullptr) {
+    result.snapshot = static_cast<const ShardedSnapshot*>(options.snapshot)
+                          ->per_shard[shard];
+  }
+  return result;
+}
+
+struct ShardSplitter : public WriteBatch::Handler {
+  const ShardedDB* router = nullptr;
+  std::vector<WriteBatch>* per_shard = nullptr;
+
+  void Put(const Slice& key, const Slice& value) override {
+    (*per_shard)[router->ShardOf(key)].Put(key, value);
+  }
+  void Delete(const Slice& key) override {
+    (*per_shard)[router->ShardOf(key)].Delete(key);
+  }
+};
+
+}  // namespace
+
+Status ShardedDB::Open(const Options& base, int num_shards,
+                       const std::string& name, ShardedDB** dbptr) {
+  *dbptr = nullptr;
+  if (num_shards < 0 || num_shards > kMaxShards) {
+    return Status::InvalidArgument("ShardedDB", "shard count out of range");
+  }
+  Env* env = base.env;
+  (void)env->CreateDir(name);  // fine if it already exists
+
+  // Routing metadata: created once, then the source of truth.  A
+  // hash-partitioned keyspace cannot change its shard count without a
+  // migration, so a mismatch is refused rather than remapped.
+  int disk_shards = 0;
+  uint32_t seed = kDefaultShardSeed;
+  const std::string shards_file = ShardsFileName(name);
+  if (env->FileExists(shards_file)) {
+    std::string contents;
+    Status s = ReadFileToString(env, shards_file, &contents);
+    if (!s.ok()) return s;
+    if (sscanf(contents.c_str(), "num_shards=%d\nseed=%" SCNu32, &disk_shards,
+               &seed) != 2 ||
+        disk_shards < 1 || disk_shards > kMaxShards) {
+      return Status::Corruption("SHARDS file malformed", shards_file);
+    }
+    if (num_shards != 0 && num_shards != disk_shards) {
+      char msg[128];
+      snprintf(msg, sizeof(msg),
+               "opened with %d shards but SHARDS says %d (resharding needs "
+               "a migration)",
+               num_shards, disk_shards);
+      return Status::InvalidArgument("ShardedDB", msg);
+    }
+    num_shards = disk_shards;
+  } else {
+    if (num_shards == 0) {
+      return Status::InvalidArgument(
+          "ShardedDB", "num_shards == 0 (reopen) but no SHARDS file at " +
+                           name);
+    }
+    char contents[64];
+    snprintf(contents, sizeof(contents), "num_shards=%d\nseed=%" PRIu32 "\n",
+             num_shards, seed);
+    Status s = WriteStringToFile(env, contents, shards_file, true /*sync*/);
+    if (!s.ok()) return s;
+  }
+
+  ShardedDB* db = new ShardedDB;
+  db->env_ = env;
+  db->name_ = name;
+  db->seed_ = seed;
+  db->ucmp_ = base.comparator;
+
+  // Shared resources: create-once semantics matching DB::Open, but the
+  // instance is handed to every shard, so block_cache_bytes and
+  // max_open_files are global budgets across the whole keyspace.
+  Options shard_options = base;
+  db->block_cache_ = base.block_cache;
+  if (db->block_cache_ == nullptr && base.block_cache_bytes > 0) {
+    db->block_cache_ = NewLRUCache(base.block_cache_bytes);
+    db->owns_block_cache_ = true;
+  }
+  shard_options.block_cache = db->block_cache_;
+  db->table_cache_ = base.table_cache;
+  if (db->table_cache_ == nullptr) {
+    db->table_cache_ =
+        NewLRUCache(base.max_open_files < 16 ? 16 : base.max_open_files);
+    db->owns_table_cache_ = true;
+  }
+  shard_options.table_cache = db->table_cache_;
+  db->metrics_ = base.metrics;
+  if (db->metrics_ == nullptr) {
+    db->metrics_ = new obs::MetricsRegistry;
+    db->owns_metrics_ = true;
+  }
+  shard_options.metrics = db->metrics_;
+  db->tracer_ = base.tracer;
+  if (db->tracer_ == nullptr && base.enable_tracing) {
+    db->tracer_ = new obs::Tracer(env, base.trace_capacity);
+    db->owns_tracer_ = true;
+  }
+  shard_options.tracer = db->tracer_;
+
+  Status s;
+  for (int i = 0; i < num_shards && s.ok(); i++) {
+    DB* shard = nullptr;
+    s = DB::Open(shard_options, ShardDirName(name, i), &shard);
+    if (s.ok()) {
+      db->shards_.emplace_back(shard);
+    }
+  }
+  if (!s.ok()) {
+    delete db;  // closes the shards opened so far, then owned resources
+    return s;
+  }
+  *dbptr = db;
+  return Status::OK();
+}
+
+ShardedDB::~ShardedDB() {
+  // Shards first: their TableCaches purge entries out of the shared
+  // reader cache on destruction, so the cache must still be alive.
+  shards_.clear();
+  if (owns_tracer_) delete tracer_;
+  if (owns_metrics_) delete metrics_;
+  if (owns_table_cache_) delete table_cache_;
+  if (owns_block_cache_) delete block_cache_;
+}
+
+int ShardedDB::ShardOf(const Slice& key) const {
+  return static_cast<int>(Hash(key.data(), key.size(), seed_) %
+                          shards_.size());
+}
+
+Status ShardedDB::Put(const WriteOptions& options, const Slice& key,
+                      const Slice& value) {
+  const int shard = ShardOf(key);
+  obs::SpanScope span(tracer_, "shard.put");
+  span.AddArg("shard", shard);
+  return shards_[shard]->Put(options, key, value);
+}
+
+Status ShardedDB::Delete(const WriteOptions& options, const Slice& key) {
+  const int shard = ShardOf(key);
+  obs::SpanScope span(tracer_, "shard.delete");
+  span.AddArg("shard", shard);
+  return shards_[shard]->Delete(options, key);
+}
+
+Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
+  std::vector<WriteBatch> per_shard(shards_.size());
+  ShardSplitter splitter;
+  splitter.router = this;
+  splitter.per_shard = &per_shard;
+  Status s = updates->Iterate(&splitter);
+  if (!s.ok()) return s;
+
+  obs::SpanScope span(tracer_, "shard.write");
+  int touched = 0;
+  for (size_t i = 0; i < per_shard.size(); i++) {
+    if (per_shard[i].ApproximateSize() <= 12) continue;  // header only
+    touched++;
+    Status shard_status = shards_[i]->Write(options, &per_shard[i]);
+    if (s.ok() && !shard_status.ok()) {
+      s = shard_status;  // keep going: other shards' slices still apply
+    }
+  }
+  span.AddArg("shards", touched);
+  return s;
+}
+
+Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
+                      std::string* value) {
+  const int shard = ShardOf(key);
+  obs::SpanScope span(tracer_, "shard.get");
+  span.AddArg("shard", shard);
+  return shards_[shard]->Get(ForShard(options, shard), key, value);
+}
+
+std::vector<Status> ShardedDB::MultiGet(const ReadOptions& options,
+                                        const std::vector<Slice>& keys,
+                                        std::vector<std::string>* values) {
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses(keys.size());
+  if (keys.empty()) return statuses;
+
+  obs::SpanScope span(tracer_, "shard.multiget");
+  span.AddArg("keys", keys.size());
+
+  // Group per shard, one batched lookup per shard, scatter back.
+  std::vector<std::vector<Slice>> shard_keys(shards_.size());
+  std::vector<std::vector<size_t>> shard_slots(shards_.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    const int shard = ShardOf(keys[i]);
+    shard_keys[shard].push_back(keys[i]);
+    shard_slots[shard].push_back(i);
+  }
+  int touched = 0;
+  for (size_t shard = 0; shard < shards_.size(); shard++) {
+    if (shard_keys[shard].empty()) continue;
+    touched++;
+    std::vector<std::string> shard_values;
+    std::vector<Status> shard_statuses = shards_[shard]->MultiGet(
+        ForShard(options, static_cast<int>(shard)), shard_keys[shard],
+        &shard_values);
+    for (size_t j = 0; j < shard_slots[shard].size(); j++) {
+      statuses[shard_slots[shard][j]] = shard_statuses[j];
+      (*values)[shard_slots[shard][j]] = std::move(shard_values[j]);
+    }
+  }
+  span.AddArg("shards", touched);
+  return statuses;
+}
+
+Iterator* ShardedDB::NewIterator(const ReadOptions& options) {
+  // Hash partitioning scatters the keyspace, so a scan merges every
+  // shard's sorted stream; disjointness makes the merge a plain union.
+  obs::SpanScope span(tracer_, "shard.scan_open");
+  std::vector<Iterator*> children;
+  children.reserve(shards_.size());
+  for (size_t shard = 0; shard < shards_.size(); shard++) {
+    children.push_back(shards_[shard]->NewIterator(
+        ForShard(options, static_cast<int>(shard))));
+  }
+  return NewMergingIterator(ucmp_, children.data(),
+                            static_cast<int>(children.size()));
+}
+
+const Snapshot* ShardedDB::GetSnapshot() {
+  ShardedSnapshot* snapshot = new ShardedSnapshot;
+  snapshot->per_shard.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    snapshot->per_shard.push_back(shard->GetSnapshot());
+  }
+  return snapshot;
+}
+
+void ShardedDB::ReleaseSnapshot(const Snapshot* snapshot) {
+  const ShardedSnapshot* sharded =
+      static_cast<const ShardedSnapshot*>(snapshot);
+  for (size_t i = 0; i < shards_.size(); i++) {
+    shards_[i]->ReleaseSnapshot(sharded->per_shard[i]);
+  }
+  delete sharded;
+}
+
+bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  Slice in = property;
+  Slice prefix("bolt.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in == "shards") {
+    char buf[256];
+    snprintf(buf, sizeof(buf), "shards: %d\nshard tables    l0 status\n",
+             num_shards());
+    value->append(buf);
+    int degraded = 0;
+    for (int i = 0; i < num_shards(); i++) {
+      int tables = 0;
+      for (int level = 0;; level++) {
+        char pname[48];
+        snprintf(pname, sizeof(pname), "bolt.num-files-at-level%d", level);
+        std::string v;
+        if (!shards_[i]->GetProperty(pname, &v)) break;
+        tables += atoi(v.c_str());
+      }
+      std::string l0;
+      (void)shards_[i]->GetProperty("bolt.num-files-at-level0", &l0);
+      Status health = shards_[i]->GetBackgroundError();
+      if (!health.ok()) degraded++;
+      snprintf(buf, sizeof(buf), "%5d %6d %5s %s\n", i, tables, l0.c_str(),
+               health.ok() ? "healthy" : health.ToString().c_str());
+      value->append(buf);
+    }
+    snprintf(buf, sizeof(buf), "degraded_shards: %d\n", degraded);
+    value->append(buf);
+    return true;
+  }
+
+  if (in.starts_with("shard.")) {
+    // "bolt.shard.<i>.<rest>" -> shard i's "bolt.<rest>"
+    in.remove_prefix(strlen("shard."));
+    int shard = 0;
+    size_t digits = 0;
+    while (digits < in.size() && in[digits] >= '0' && in[digits] <= '9') {
+      shard = shard * 10 + (in[digits] - '0');
+      digits++;
+    }
+    if (digits == 0 || digits >= in.size() || in[digits] != '.' ||
+        shard >= num_shards()) {
+      return false;
+    }
+    in.remove_prefix(digits + 1);
+    return shards_[shard]->GetProperty("bolt." + in.ToString(), value);
+  }
+
+  if (in == "metrics") {
+    // One shared registry serves every shard; occupancy gauges read the
+    // shared caches directly so N reporters set one value, never N.
+    if (block_cache_ != nullptr) {
+      metrics_->SetGauge(obs::kBlockCacheUsage, block_cache_->TotalCharge());
+    }
+    metrics_->SetGauge(obs::kTableCacheUsage, table_cache_->TotalCharge());
+    *value = metrics_->ToJson();
+    return true;
+  }
+
+  if (in == "trace.chrome") {
+    if (tracer_ == nullptr) return false;
+    *value = tracer_->ChromeJson();
+    return true;
+  }
+
+  if (in.starts_with("num-files-at-level")) {
+    uint64_t total = 0;
+    for (auto& shard : shards_) {
+      std::string v;
+      if (!shard->GetProperty(property, &v)) return false;
+      total += strtoull(v.c_str(), nullptr, 10);
+    }
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%" PRIu64, total);
+    *value = buf;
+    return true;
+  }
+
+  // Text properties (stats, levels, sstables): per-shard sections.
+  for (int i = 0; i < num_shards(); i++) {
+    std::string v;
+    if (!shards_[i]->GetProperty(property, &v)) return false;
+    char header[48];
+    snprintf(header, sizeof(header), "-- shard %d --\n", i);
+    value->append(header);
+    value->append(v);
+  }
+  return true;
+}
+
+Status ShardedDB::DumpTrace(const std::string& path) {
+  if (tracer_ == nullptr) {
+    return Status::InvalidArgument(
+        "DumpTrace", "tracing not enabled (set Options::enable_tracing)");
+  }
+  std::string json = "{\"traceEvents\": ";
+  json += tracer_->ChromeEventsJson();
+  json += ",\n\"otherData\": {\"metrics\": ";
+  json += metrics_->ToJson();
+  json += "}}\n";
+
+  // Host filesystem on purpose, exactly like DBImpl::DumpTrace: the dump
+  // is for humans and Perfetto, not for the engine's own env.
+  Env* host = PosixEnv();
+  std::unique_ptr<WritableFile> file;
+  Status s = host->NewWritableFile(path, &file);
+  if (!s.ok()) return s;
+  s = file->Append(json);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  return s;
+}
+
+void ShardedDB::CompactRange(const Slice* begin, const Slice* end) {
+  for (auto& shard : shards_) {
+    shard->CompactRange(begin, end);
+  }
+}
+
+void ShardedDB::WaitForBackgroundWork() {
+  for (auto& shard : shards_) {
+    shard->WaitForBackgroundWork();
+  }
+}
+
+Status ShardedDB::Resume() {
+  Status s;
+  for (auto& shard : shards_) {
+    Status shard_status = shard->Resume();
+    if (s.ok() && !shard_status.ok()) s = shard_status;
+  }
+  return s;
+}
+
+Status ShardedDB::VerifyIntegrity() {
+  Status s;
+  for (auto& shard : shards_) {
+    Status shard_status = shard->VerifyIntegrity();
+    if (s.ok() && !shard_status.ok()) s = shard_status;
+  }
+  return s;
+}
+
+Status ShardedDB::GetBackgroundError() {
+  for (auto& shard : shards_) {
+    Status s = shard->GetBackgroundError();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+DbStats ShardedDB::GetStats() {
+  // Every shard charges the one shared registry, so any shard's snapshot
+  // view IS the aggregate.
+  return shards_[0]->GetStats();
+}
+
+Status DestroyShardedDB(const std::string& name, const Options& options) {
+  Env* env = options.env;
+  std::vector<std::string> children;
+  Status s = env->GetChildren(name, &children);
+  if (!s.ok()) return Status::OK();  // nothing to destroy
+  Status result;
+  for (const std::string& child : children) {
+    if (child.rfind("shard-", 0) == 0) {
+      Status d = DestroyDB(name + "/" + child, options);
+      if (result.ok() && !d.ok()) result = d;
+    }
+  }
+  if (env->FileExists(ShardsFileName(name))) {
+    Status d = env->RemoveFile(ShardsFileName(name));
+    if (result.ok() && !d.ok()) result = d;
+  }
+  (void)env->RemoveDir(name);  // fails if non-shard files remain; fine
+  return result;
+}
+
+}  // namespace bolt

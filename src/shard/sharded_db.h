@@ -1,0 +1,137 @@
+// ShardedDB: a keyspace-sharded multi-DB engine (DESIGN.md §13).
+//
+// Routes every key by hash across N independent BoLT instances living in
+// <name>/shard-00000 .. shard-NNNNN, while the expensive process-wide
+// resources stay SHARED across shards:
+//
+//   * one block cache        (Options::block_cache, byte capacity)
+//   * one Table-reader cache (Options::table_cache, entry capacity)
+//   * one MetricsRegistry    (so tickers aggregate across shards and the
+//                             env's barrier attribution has one home)
+//   * one Tracer             (shard ids become span args on one timeline)
+//   * one Env + its two-lane background thread pool (flush lane + up to
+//     max_background_jobs-1 concurrent compactions, now fed by N shards)
+//
+// while the write path stays PER-SHARD: each shard has its own WAL,
+// memtable, write-group queue, and L0 governors, so N shards give N
+// independent group-commit pipelines and N-way background parallelism
+// on one thread pool.
+//
+// Routing is Hash(user_key) % N with a fixed seed, persisted in
+// <name>/SHARDS at creation; reopening with a different shard count is
+// refused (splitting a hash-partitioned keyspace needs a migration, not
+// a silent remap).
+//
+// Cross-shard semantics:
+//   * Get/Put/Delete/MultiGet: exactly the single-DB semantics (each key
+//     lives in exactly one shard).  MultiGet groups keys per shard and
+//     issues one batched lookup per shard.
+//   * Write(batch): the batch is split per shard and applied as one
+//     atomic batch *per shard*; atomicity across shards is NOT provided.
+//   * NewIterator: a merging iterator over the per-shard iterators —
+//     hash partitioning scatters adjacent keys, so a scan touches every
+//     shard but still yields one globally sorted stream.
+//   * GetSnapshot: a composite of per-shard snapshots taken in shard
+//     order (not one global point in time across shards).
+//   * One shard latching a hard error degrades only itself: the others
+//     keep serving, GetBackgroundError()/"bolt.shards" surface the
+//     degraded shard, and Resume() retries every latched shard.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/db.h"
+
+namespace bolt {
+
+class Cache;
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
+class ShardedDB : public DB {
+ public:
+  // Open (creating if missing) a sharded DB rooted at "name".
+  // num_shards >= 1 fixes the shard count for a fresh DB and must match
+  // <name>/SHARDS on reopen; num_shards == 0 means "reopen with whatever
+  // SHARDS says" (InvalidArgument if the root does not exist yet).
+  //
+  // Shared resources are taken from "base" when non-null
+  // (block_cache, table_cache, metrics, tracer) and created — once, and
+  // shared by every shard — when null, exactly like DB::Open does for a
+  // single instance.  base.block_cache_bytes and base.max_open_files are
+  // therefore *global* budgets, not per-shard ones.
+  static Status Open(const Options& base, int num_shards,
+                     const std::string& name, ShardedDB** dbptr);
+
+  ~ShardedDB() override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // The shard a key routes to (deterministic across processes/reopens).
+  int ShardOf(const Slice& key) const;
+
+  // ---- DB interface ----
+  Status Put(const WriteOptions&, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions&, const Slice& key) override;
+  // Split per shard; atomic within each shard only.
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  std::vector<Status> MultiGet(const ReadOptions& options,
+                               const std::vector<Slice>& keys,
+                               std::vector<std::string>* values) override;
+  Iterator* NewIterator(const ReadOptions&) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+
+  // Aggregated properties.  In addition to the per-DB names (forwarded
+  // to every shard and combined — concatenated for the text properties,
+  // summed for bolt.num-files-at-level<N>, reported once from the shared
+  // registry/caches for bolt.metrics), the router answers:
+  //   "bolt.shards"               — per-shard health/size table plus a
+  //                                 degraded_shards count
+  //   "bolt.shard.<i>.<rest>"     — shard i's "bolt.<rest>"
+  bool GetProperty(const Slice& property, std::string* value) override;
+  Status DumpTrace(const std::string& path) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+  void WaitForBackgroundWork() override;
+  Status Resume() override;
+  Status VerifyIntegrity() override;
+  // First latched error across shards (OK iff every shard is healthy).
+  Status GetBackgroundError() override;
+  DbStats GetStats() override;
+
+  // Direct access for tests and benches (e.g. aiming fault injection at
+  // one shard).  The returned DB is owned by the router.
+  DB* TEST_shard(int i) const { return shards_[i].get(); }
+
+ private:
+  ShardedDB() = default;
+
+  Env* env_ = nullptr;
+  std::string name_;
+  uint32_t seed_ = 0;  // routing hash seed (persisted in SHARDS)
+  const Comparator* ucmp_ = nullptr;  // user comparator, for scan merging
+  std::vector<std::unique_ptr<DB>> shards_;
+
+  // Shared resources (owned iff the caller passed null in base).
+  Cache* block_cache_ = nullptr;
+  bool owns_block_cache_ = false;
+  Cache* table_cache_ = nullptr;
+  bool owns_table_cache_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  bool owns_metrics_ = false;
+  obs::Tracer* tracer_ = nullptr;
+  bool owns_tracer_ = false;
+};
+
+// Destroy every shard plus the router's own files under "name".  As
+// careful as DestroyDB: only shard-* children and SHARDS are touched.
+Status DestroyShardedDB(const std::string& name, const Options& options);
+
+}  // namespace bolt

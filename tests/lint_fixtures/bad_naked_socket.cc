@@ -1,0 +1,10 @@
+// lint-expect: naked-net-syscall
+// lint-path: src/net/server_helper.cc
+// A raw accept4 outside src/net/socket.cc: bypasses the IoResult
+// wrappers, so EINTR handling, non-blocking setup and the network
+// byte tickers no longer have one owner.
+extern "C" int accept4(int, void*, unsigned*, int);
+
+int GrabConnection(int listen_fd) {
+  return accept4(listen_fd, nullptr, nullptr, 0);
+}

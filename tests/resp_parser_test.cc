@@ -1,0 +1,258 @@
+// RespParser / ParseReply unit tests: inline and bulk frames, partial
+// reads split at every byte boundary, pipelining, and hostile input
+// (oversized lengths, garbage headers, depth bombs) rejected into a
+// terminal error state instead of a disconnect/reparse loop.
+#include "net/resp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bolt {
+namespace net {
+
+namespace {
+
+// Serialize argv as the client would (multi-bulk frame).
+std::string Frame(const std::vector<std::string>& args) {
+  std::string out;
+  AppendArrayHeader(&out, args.size());
+  for (const auto& a : args) AppendBulk(&out, a);
+  return out;
+}
+
+}  // namespace
+
+TEST(RespParserTest, InlineCommand) {
+  RespParser parser;
+  parser.Feed("PING\r\n", 6);
+  std::vector<std::string> args;
+  ASSERT_EQ(ParseResult::kOk, parser.Next(&args));
+  EXPECT_EQ(std::vector<std::string>{"PING"}, args);
+  EXPECT_EQ(ParseResult::kNeedMore, parser.Next(&args));
+  EXPECT_EQ(0u, parser.BufferedBytes());
+}
+
+TEST(RespParserTest, InlineWhitespaceAndBareNewline) {
+  RespParser parser;
+  const std::string input = "  SET   key1\tvalue1  \n";
+  parser.Feed(input.data(), input.size());
+  std::vector<std::string> args;
+  ASSERT_EQ(ParseResult::kOk, parser.Next(&args));
+  ASSERT_EQ(3u, args.size());
+  EXPECT_EQ("SET", args[0]);
+  EXPECT_EQ("key1", args[1]);
+  EXPECT_EQ("value1", args[2]);
+}
+
+TEST(RespParserTest, EmptyLinesAreSkipped) {
+  RespParser parser;
+  const std::string input = "\r\n\r\nPING\r\n";
+  parser.Feed(input.data(), input.size());
+  std::vector<std::string> args;
+  ASSERT_EQ(ParseResult::kOk, parser.Next(&args));
+  EXPECT_EQ("PING", args[0]);
+}
+
+TEST(RespParserTest, BulkArrayFrame) {
+  RespParser parser;
+  const std::string frame = Frame({"SET", "k", "hello"});
+  parser.Feed(frame.data(), frame.size());
+  std::vector<std::string> args;
+  ASSERT_EQ(ParseResult::kOk, parser.Next(&args));
+  EXPECT_EQ((std::vector<std::string>{"SET", "k", "hello"}), args);
+}
+
+TEST(RespParserTest, BinarySafeBulkPayload) {
+  RespParser parser;
+  std::string value("a\r\nb\0c", 6);
+  const std::string frame = Frame({"SET", "key", value});
+  parser.Feed(frame.data(), frame.size());
+  std::vector<std::string> args;
+  ASSERT_EQ(ParseResult::kOk, parser.Next(&args));
+  ASSERT_EQ(3u, args.size());
+  EXPECT_EQ(value, args[2]);
+}
+
+TEST(RespParserTest, PartialReadsAtEveryByteBoundary) {
+  const std::string frames[] = {
+      Frame({"SET", "user42", "some-value"}),
+      "GET user42\r\n",
+  };
+  for (const std::string& frame : frames) {
+    for (size_t split = 0; split <= frame.size(); split++) {
+      RespParser parser;
+      std::vector<std::string> args;
+      parser.Feed(frame.data(), split);
+      if (split < frame.size()) {
+        ASSERT_EQ(ParseResult::kNeedMore, parser.Next(&args))
+            << "split at " << split;
+        parser.Feed(frame.data() + split, frame.size() - split);
+      }
+      ASSERT_EQ(ParseResult::kOk, parser.Next(&args)) << "split at " << split;
+      EXPECT_EQ("user42", args[1]);
+      EXPECT_EQ(ParseResult::kNeedMore, parser.Next(&args));
+    }
+  }
+}
+
+TEST(RespParserTest, ByteAtATimeFeedProducesExactlyOneCommand) {
+  const std::string frame = Frame({"DEL", "a", "b", "c"});
+  RespParser parser;
+  std::vector<std::string> args;
+  int complete = 0;
+  for (size_t i = 0; i < frame.size(); i++) {
+    parser.Feed(frame.data() + i, 1);
+    const ParseResult r = parser.Next(&args);
+    ASSERT_NE(ParseResult::kError, r);
+    if (r == ParseResult::kOk) complete++;
+  }
+  EXPECT_EQ(1, complete);
+  EXPECT_EQ(4u, args.size());
+  EXPECT_EQ(0u, parser.BufferedBytes());
+}
+
+TEST(RespParserTest, PipelinedCommandsInOneFeed) {
+  std::string wire = Frame({"SET", "k1", "v1"});
+  wire += "GET k1\r\n";
+  wire += Frame({"MGET", "k1", "k2"});
+  wire += "PING\r\n";
+  RespParser parser;
+  parser.Feed(wire.data(), wire.size());
+  std::vector<std::string> args;
+  const char* expected[] = {"SET", "GET", "MGET", "PING"};
+  for (const char* verb : expected) {
+    ASSERT_EQ(ParseResult::kOk, parser.Next(&args));
+    EXPECT_EQ(verb, args[0]);
+  }
+  EXPECT_EQ(ParseResult::kNeedMore, parser.Next(&args));
+  EXPECT_EQ(0u, parser.BufferedBytes());
+}
+
+TEST(RespParserTest, ZeroLengthArrayIsSkipped) {
+  RespParser parser;
+  const std::string wire = "*0\r\nPING\r\n";
+  parser.Feed(wire.data(), wire.size());
+  std::vector<std::string> args;
+  ASSERT_EQ(ParseResult::kOk, parser.Next(&args));
+  EXPECT_EQ("PING", args[0]);
+}
+
+TEST(RespParserTest, GarbageMultibulkHeaderIsTerminal) {
+  for (const char* wire :
+       {"*abc\r\n", "*-5\r\n", "*2\r\nnot-a-bulk\r\n",
+        "*1\r\n$notdigits\r\n", "*1\r\n$4\r\ntoolong!\r\n"}) {
+    RespParser parser;
+    parser.Feed(wire, strlen(wire));
+    std::vector<std::string> args;
+    EXPECT_EQ(ParseResult::kError, parser.Next(&args)) << wire;
+    EXPECT_FALSE(parser.error().empty());
+    // Terminal: more input cannot resurrect the connection, and the
+    // parser must not hoard the garbage.
+    parser.Feed("PING\r\n", 6);
+    EXPECT_EQ(ParseResult::kError, parser.Next(&args));
+    EXPECT_EQ(0u, parser.BufferedBytes());
+  }
+}
+
+TEST(RespParserTest, OversizedBulkRejectedBeforePayloadArrives) {
+  RespParser parser;
+  const std::string wire = "*1\r\n$67108865\r\n";  // kMaxBulkBytes + 1
+  parser.Feed(wire.data(), wire.size());
+  std::vector<std::string> args;
+  EXPECT_EQ(ParseResult::kError, parser.Next(&args));
+}
+
+TEST(RespParserTest, OversizedArrayRejected) {
+  RespParser parser;
+  const std::string wire = "*1025\r\n";  // kMaxArrayElements + 1
+  parser.Feed(wire.data(), wire.size());
+  std::vector<std::string> args;
+  EXPECT_EQ(ParseResult::kError, parser.Next(&args));
+}
+
+TEST(RespParserTest, UnterminatedLineRejectedAtLimit) {
+  RespParser parser;
+  // 64KB+ of bytes with no newline must be rejected without waiting for
+  // the terminator (an attacker never sends one).
+  const std::string junk(kMaxInlineBytes + 2, 'a');
+  parser.Feed(junk.data(), junk.size());
+  std::vector<std::string> args;
+  EXPECT_EQ(ParseResult::kError, parser.Next(&args));
+  EXPECT_EQ(0u, parser.BufferedBytes());
+}
+
+// ---- Reply parsing --------------------------------------------------------
+
+TEST(RespReplyTest, ScalarReplies) {
+  RespReply reply;
+  size_t consumed = 0;
+
+  ASSERT_EQ(ParseResult::kOk, ParseReply("+OK\r\n", 5, &consumed, &reply));
+  EXPECT_EQ(RespReply::kSimple, reply.type);
+  EXPECT_EQ("OK", reply.str);
+  EXPECT_EQ(5u, consumed);
+
+  ASSERT_EQ(ParseResult::kOk,
+            ParseReply("-ERR boom\r\n", 11, &consumed, &reply));
+  EXPECT_EQ(RespReply::kError, reply.type);
+  EXPECT_EQ("ERR boom", reply.str);
+
+  ASSERT_EQ(ParseResult::kOk, ParseReply(":-42\r\n", 6, &consumed, &reply));
+  EXPECT_EQ(RespReply::kInteger, reply.type);
+  EXPECT_EQ(-42, reply.integer);
+
+  ASSERT_EQ(ParseResult::kOk, ParseReply("$-1\r\n", 5, &consumed, &reply));
+  EXPECT_EQ(RespReply::kNull, reply.type);
+}
+
+TEST(RespReplyTest, BulkAndNestedArray) {
+  std::string wire;
+  AppendArrayHeader(&wire, 3);
+  AppendBulk(&wire, "hello");
+  AppendNull(&wire);
+  AppendArrayHeader(&wire, 1);
+  AppendInteger(&wire, 7);
+
+  RespReply reply;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseResult::kOk,
+            ParseReply(wire.data(), wire.size(), &consumed, &reply));
+  EXPECT_EQ(wire.size(), consumed);
+  ASSERT_EQ(RespReply::kArray, reply.type);
+  ASSERT_EQ(3u, reply.elements.size());
+  EXPECT_EQ("hello", reply.elements[0].str);
+  EXPECT_EQ(RespReply::kNull, reply.elements[1].type);
+  ASSERT_EQ(RespReply::kArray, reply.elements[2].type);
+  EXPECT_EQ(7, reply.elements[2].elements[0].integer);
+}
+
+TEST(RespReplyTest, PartialRepliesNeedMore) {
+  std::string wire;
+  AppendBulk(&wire, "payload");
+  RespReply reply;
+  size_t consumed = 0;
+  for (size_t split = 0; split < wire.size(); split++) {
+    EXPECT_EQ(ParseResult::kNeedMore,
+              ParseReply(wire.data(), split, &consumed, &reply))
+        << "split at " << split;
+  }
+  ASSERT_EQ(ParseResult::kOk,
+            ParseReply(wire.data(), wire.size(), &consumed, &reply));
+  EXPECT_EQ("payload", reply.str);
+}
+
+TEST(RespReplyTest, DepthBombRejected) {
+  std::string wire;
+  for (int i = 0; i < 32; i++) wire += "*1\r\n";
+  wire += ":1\r\n";
+  RespReply reply;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseResult::kError,
+            ParseReply(wire.data(), wire.size(), &consumed, &reply));
+}
+
+}  // namespace net
+}  // namespace bolt

@@ -1,0 +1,297 @@
+// ShardedDB router tests: routing determinism across reopen, cross-
+// shard scan merge ordering, batched MultiGet scatter/gather, composite
+// snapshots, aggregated properties, and per-shard degradation (one
+// shard latches a hard error, the others keep serving).
+#include "shard/sharded_db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/write_batch.h"
+#include "env/fault_injection_env.h"
+#include "sim/sim_env.h"
+#include "table/iterator.h"
+#include "util/random.h"
+
+namespace bolt {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%08d", i);
+  return std::string(buf);
+}
+
+std::string Val(int i, int gen = 0) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "value-%08d-gen%d", i, gen);
+  return std::string(buf);
+}
+
+}  // namespace
+
+class ShardedDBTest : public testing::Test {
+ protected:
+  void SetUp() override { Open(4); }
+
+  void TearDown() override {
+    db_.reset();
+    if (sim_ != nullptr) {
+      EXPECT_TRUE(DestroyShardedDB(kName, options_).ok());
+    }
+  }
+
+  void Open(int num_shards) {
+    db_.reset();
+    if (sim_ == nullptr) {
+      sim_ = std::make_unique<SimEnv>();
+      fenv_ = std::make_unique<FaultInjectionEnv>(sim_.get());
+    }
+    options_ = Options();
+    options_.env = fenv_.get();
+    options_.write_buffer_size = 64 << 10;
+    options_.max_auto_recovery_attempts = 0;  // errors latch until Resume
+    ShardedDB* db = nullptr;
+    ASSERT_TRUE(ShardedDB::Open(options_, num_shards, kName, &db).ok());
+    db_.reset(db);
+  }
+
+  // Reopen preserving on-disk state (num_shards = 0 -> "use SHARDS").
+  void Reopen() {
+    db_.reset();
+    ShardedDB* db = nullptr;
+    ASSERT_TRUE(ShardedDB::Open(options_, 0, kName, &db).ok());
+    db_.reset(db);
+  }
+
+  std::string Get(const std::string& key) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), key, &value);
+    return s.ok() ? value : (s.IsNotFound() ? "NOT_FOUND" : s.ToString());
+  }
+
+  // A key routed to the given shard (deterministic scan).
+  std::string KeyForShard(int shard) {
+    for (int i = 0;; i++) {
+      if (db_->ShardOf(Key(i)) == shard) return Key(i);
+    }
+  }
+
+  static constexpr const char* kName = "/sharded_test";
+  std::unique_ptr<SimEnv> sim_;
+  std::unique_ptr<FaultInjectionEnv> fenv_;
+  Options options_;
+  std::unique_ptr<ShardedDB> db_;
+};
+
+TEST_F(ShardedDBTest, RoutingDeterminismAcrossReopen) {
+  const int n = 300;
+  std::map<std::string, int> routed;
+  std::set<int> used_shards;
+  for (int i = 0; i < n; i++) {
+    routed[Key(i)] = db_->ShardOf(Key(i));
+    used_shards.insert(routed[Key(i)]);
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  // A 300-key workload must actually spread over all 4 shards.
+  EXPECT_EQ(4u, used_shards.size());
+
+  Reopen();
+  EXPECT_EQ(4, db_->num_shards());
+  for (const auto& entry : routed) {
+    EXPECT_EQ(entry.second, db_->ShardOf(entry.first)) << entry.first;
+  }
+  for (int i = 0; i < n; i++) EXPECT_EQ(Val(i), Get(Key(i)));
+
+  // Reopening with a different count is refused, not remapped.
+  std::unique_ptr<ShardedDB> dup;
+  {
+    ShardedDB* raw = nullptr;
+    Status s = ShardedDB::Open(options_, 2, kName, &raw);
+    dup.reset(raw);
+    EXPECT_FALSE(s.ok());
+    EXPECT_TRUE(s.ToString().find("SHARDS") != std::string::npos)
+        << s.ToString();
+  }
+}
+
+TEST_F(ShardedDBTest, CrossShardScanMergesInGlobalOrder) {
+  const int n = 500;
+  Random rnd(301);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; i++) order[i] = i;
+  for (int i = n - 1; i > 0; i--) {
+    std::swap(order[i], order[rnd.Uniform(i + 1)]);
+  }
+  for (int i : order) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  int count = 0;
+  std::string prev;
+  for (it->SeekToFirst(); it->Valid(); it->Next(), count++) {
+    const std::string key = it->key().ToString();
+    if (count > 0) {
+      EXPECT_LT(prev, key) << "merge out of order";
+    }
+    EXPECT_EQ(Key(count), key);
+    EXPECT_EQ(Val(count), it->value().ToString());
+    prev = key;
+  }
+  EXPECT_TRUE(it->status().ok());
+  EXPECT_EQ(n, count);
+
+  // Seek lands on the right key mid-merge.
+  it->Seek(Key(123));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(Key(123), it->key().ToString());
+}
+
+TEST_F(ShardedDBTest, MultiGetScatterGather) {
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  std::vector<std::string> key_storage;
+  for (int i = 0; i < 120; i += 3) key_storage.push_back(Key(i));
+  std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  ASSERT_EQ(keys.size(), statuses.size());
+  ASSERT_EQ(keys.size(), values.size());
+  for (size_t j = 0; j < keys.size(); j++) {
+    const int i = j * 3;
+    if (i < 100) {
+      EXPECT_TRUE(statuses[j].ok()) << i;
+      EXPECT_EQ(Val(i), values[j]);
+    } else {
+      EXPECT_TRUE(statuses[j].IsNotFound()) << i;
+    }
+  }
+}
+
+TEST_F(ShardedDBTest, WriteBatchSplitsAcrossShards) {
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 0)).ok());
+  }
+  WriteBatch batch;
+  for (int i = 0; i < 50; i++) {
+    if (i % 2 == 0) {
+      batch.Put(Key(i), Val(i, 1));
+    } else {
+      batch.Delete(Key(i));
+    }
+  }
+  ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+  for (int i = 0; i < 50; i++) {
+    EXPECT_EQ(i % 2 == 0 ? Val(i, 1) : "NOT_FOUND", Get(Key(i)));
+  }
+}
+
+TEST_F(ShardedDBTest, CompositeSnapshotPinsEveryShard) {
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 0)).ok());
+  }
+  const Snapshot* snapshot = db_->GetSnapshot();
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 1)).ok());
+  }
+  ReadOptions at;
+  at.snapshot = snapshot;
+  std::string value;
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(db_->Get(at, Key(i), &value).ok());
+    EXPECT_EQ(Val(i, 0), value) << "snapshot leaked shard " << i;
+    EXPECT_EQ(Val(i, 1), Get(Key(i)));
+  }
+  // Snapshot-pinned iterators see the old world too.
+  std::unique_ptr<Iterator> it(db_->NewIterator(at));
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(Val(0, 0), it->value().ToString());
+  it.reset();
+  db_->ReleaseSnapshot(snapshot);
+}
+
+TEST_F(ShardedDBTest, AggregatedProperties) {
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i)).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(db_->GetProperty("bolt.shards", &value));
+  EXPECT_NE(std::string::npos, value.find("shards: 4")) << value;
+  EXPECT_NE(std::string::npos, value.find("degraded_shards: 0")) << value;
+
+  // Per-shard forwarding: every shard answers its own stats.
+  for (int i = 0; i < 4; i++) {
+    std::string prop = "bolt.shard." + std::to_string(i) + ".stats";
+    EXPECT_TRUE(db_->GetProperty(prop, &value)) << prop;
+  }
+  EXPECT_FALSE(db_->GetProperty("bolt.shard.9.stats", &value));
+  EXPECT_FALSE(db_->GetProperty("bolt.shard.x.stats", &value));
+
+  // The shared registry serves one merged metrics document with the
+  // shared-cache occupancy gauges set (not summed N times).
+  ASSERT_TRUE(db_->GetProperty("bolt.metrics", &value));
+  EXPECT_NE(std::string::npos, value.find("table_cache.usage_entries"));
+  EXPECT_NE(std::string::npos, value.find("block_cache.usage_bytes"));
+
+  // num-files-at-level sums across shards and stays numeric.
+  ASSERT_TRUE(db_->GetProperty("bolt.num-files-at-level0", &value));
+  EXPECT_FALSE(value.empty());
+}
+
+TEST_F(ShardedDBTest, OneDegradedShardDoesNotTakeDownTheOthers) {
+  WriteOptions sync;
+  sync.sync = true;
+  const int sick = 2;
+  const std::string sick_key = KeyForShard(sick);
+  ASSERT_TRUE(db_->Put(sync, sick_key, "before").ok());
+  db_->WaitForBackgroundWork();
+
+  // Fail the next sync: aimed at the sick shard's WAL by writing to it
+  // while the fault is armed (background work is quiesced, so no other
+  // sync can consume the one-shot fault).
+  fenv_->FailNth(FaultOp::kSync, 1, Status::IOError("injected shard fault"));
+  ASSERT_FALSE(db_->Put(sync, sick_key, "after").ok());
+  fenv_->ClearFaults();
+
+  // The sick shard is latched...
+  EXPECT_FALSE(db_->GetBackgroundError().ok());
+  EXPECT_FALSE(db_->Put(WriteOptions(), sick_key, "again").ok());
+  // ...but reads on it still serve, and every other shard is healthy.
+  EXPECT_EQ("before", Get(sick_key));
+  for (int shard = 0; shard < 4; shard++) {
+    if (shard == sick) continue;
+    const std::string key = KeyForShard(shard);
+    ASSERT_TRUE(db_->Put(sync, key, "healthy").ok()) << "shard " << shard;
+    EXPECT_EQ("healthy", Get(key));
+  }
+  std::string value;
+  ASSERT_TRUE(db_->GetProperty("bolt.shards", &value));
+  EXPECT_NE(std::string::npos, value.find("degraded_shards: 1")) << value;
+
+  // Resume heals the latched shard; the router goes back to clean.
+  ASSERT_TRUE(db_->Resume().ok());
+  EXPECT_TRUE(db_->GetBackgroundError().ok());
+  ASSERT_TRUE(db_->Put(sync, sick_key, "recovered").ok());
+  EXPECT_EQ("recovered", Get(sick_key));
+  ASSERT_TRUE(db_->GetProperty("bolt.shards", &value));
+  EXPECT_NE(std::string::npos, value.find("degraded_shards: 0")) << value;
+}
+
+TEST_F(ShardedDBTest, FreshOpenRequiresShardCount) {
+  ShardedDB* raw = nullptr;
+  Status s = ShardedDB::Open(options_, 0, "/nonexistent_sharded", &raw);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(nullptr, raw);
+}
+
+}  // namespace bolt

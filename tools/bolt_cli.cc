@@ -1,0 +1,89 @@
+// bolt_cli: one-shot command client for bolt_server.
+//
+//   bolt_cli --port=6380 [--host=127.0.0.1] COMMAND [ARG ...]
+//   bolt_cli --port=6380 SET user1 hello
+//   bolt_cli --port=6380 GET user1
+//
+// Prints the reply redis-cli style ("(nil)", "(integer) 3", "(error)
+// ...", numbered array lines).  Exit code: 0 on success, 1 when the
+// server replied -ERR, 2 on usage/transport failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const char* name,
+                      const char* def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+void PrintReply(const bolt::net::RespReply& reply, int indent) {
+  using bolt::net::RespReply;
+  switch (reply.type) {
+    case RespReply::kSimple:
+      printf("%s\n", reply.str.c_str());
+      break;
+    case RespReply::kError:
+      printf("(error) %s\n", reply.str.c_str());
+      break;
+    case RespReply::kInteger:
+      printf("(integer) %lld\n", static_cast<long long>(reply.integer));
+      break;
+    case RespReply::kBulk:
+      printf("\"%s\"\n", reply.str.c_str());
+      break;
+    case RespReply::kNull:
+      printf("(nil)\n");
+      break;
+    case RespReply::kArray:
+      if (reply.elements.empty()) printf("(empty array)\n");
+      for (size_t i = 0; i < reply.elements.size(); i++) {
+        printf("%*s%zu) ", indent, "", i + 1);
+        PrintReply(reply.elements[i], indent + 3);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string host = FlagValue(argc, argv, "host", "127.0.0.1");
+  const int port = atoi(FlagValue(argc, argv, "port", "6380").c_str());
+
+  std::vector<std::string> command;
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], "--", 2) != 0) command.emplace_back(argv[i]);
+  }
+  if (command.empty()) {
+    fprintf(stderr,
+            "usage: bolt_cli [--host=H] [--port=P] COMMAND [ARG ...]\n");
+    return 2;
+  }
+
+  bolt::net::RespClient client;
+  bolt::Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    fprintf(stderr, "bolt_cli: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  bolt::net::RespReply reply;
+  s = client.Command(command, &reply);
+  if (!s.ok()) {
+    fprintf(stderr, "bolt_cli: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  PrintReply(reply, 0);
+  return reply.IsError() ? 1 : 0;
+}

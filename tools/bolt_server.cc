@@ -1,0 +1,101 @@
+// bolt_server: RESP front end over a keyspace-sharded BoLT engine.
+//
+//   bolt_server --db=/path/to/db [--shards=4] [--port=6380]
+//               [--host=127.0.0.1] [--block_cache_mb=64]
+//
+// Prints "READY port=<p> shards=<n> db=<path>" on stdout once the
+// socket is listening (scripts wait for that line), then serves until
+// SIGINT/SIGTERM or a client SHUTDOWN, drains gracefully, and exits 0.
+//
+// --shards=0 reopens an existing DB with whatever its SHARDS file says;
+// any other value must match on reopen (resharding needs a migration).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "env/env.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "shard/sharded_db.h"
+
+namespace {
+
+bolt::net::RespServer* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  // Stop() only flips an atomic and writes an eventfd: signal-safe.
+  if (g_server != nullptr) g_server->Stop();
+}
+
+std::string FlagValue(int argc, char** argv, const char* name,
+                      const char* def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string db_path = FlagValue(argc, argv, "db", "");
+  const int shards = atoi(FlagValue(argc, argv, "shards", "1").c_str());
+  const int port = atoi(FlagValue(argc, argv, "port", "6380").c_str());
+  const std::string host = FlagValue(argc, argv, "host", "127.0.0.1");
+  const int cache_mb =
+      atoi(FlagValue(argc, argv, "block_cache_mb", "64").c_str());
+  if (db_path.empty()) {
+    fprintf(stderr,
+            "usage: bolt_server --db=PATH [--shards=N] [--port=P] "
+            "[--host=H] [--block_cache_mb=MB]\n");
+    return 2;
+  }
+
+  bolt::obs::MetricsRegistry metrics;  // shared by engine and server
+  bolt::Options options;
+  options.create_if_missing = true;
+  options.env = bolt::PosixEnv();
+  options.block_cache_bytes = static_cast<size_t>(cache_mb) << 20;
+  options.metrics = &metrics;
+
+  bolt::ShardedDB* db = nullptr;
+  bolt::Status s = bolt::ShardedDB::Open(options, shards, db_path, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "bolt_server: open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  bolt::net::ServerOptions server_options;
+  server_options.host = host;
+  server_options.port = port;
+  server_options.metrics = &metrics;
+  bolt::net::RespServer server(db, server_options);
+  s = server.Start();
+  if (!s.ok()) {
+    fprintf(stderr, "bolt_server: listen failed: %s\n", s.ToString().c_str());
+    delete db;
+    return 1;
+  }
+
+  g_server = &server;
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+  signal(SIGPIPE, SIG_IGN);  // dead clients surface as write errors
+
+  printf("READY port=%d shards=%d db=%s\n", server.port(), db->num_shards(),
+         db_path.c_str());
+  fflush(stdout);
+
+  server.Wait();
+  g_server = nullptr;
+  const bool by_command = server.ShutdownRequested();
+  delete db;
+  fprintf(stderr, "bolt_server: shut down (%s)\n",
+          by_command ? "SHUTDOWN command" : "signal");
+  return 0;
+}
