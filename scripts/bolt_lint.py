@@ -31,6 +31,12 @@ Rules (each finding is printed as path:line: [rule-id] message):
                          Clang-thread-safety-annotated wrappers), never
                          std::mutex & friends — except the port wrapper
                          itself.
+  naked-pread            pread/preadv/io_uring_* syscalls live only
+                         under src/env/ — raw positional reads anywhere
+                         else bypass the batch engine, the queue-depth
+                         model, fault injection and the kIoBatch*
+                         tickers.  Everything reads through
+                         RandomAccessFile/Env::ReadBatch.
   naked-net-syscall      socket/epoll/eventfd syscalls live only in
                          src/net/socket.cc — the one site that owns
                          errno handling, EINTR retries and non-blocking
@@ -104,6 +110,18 @@ TICKER_CHARGE_SITES = {
     "kNetBytesIn": {"src/net/server.cc"},
     "kNetBytesOut": {"src/net/server.cc"},
     "kNetProtocolErrors": {"src/net/server.cc"},
+    # Async batch-read accounting (PR-9): charged where the submission
+    # hits a physical env, so wrapper envs (tracing, fault injection)
+    # can forward without double counting.
+    "kIoBatchSubmits": {"src/env/posix_env.cc", "src/sim/sim_env.cc"},
+    "kIoBatchReads": {"src/env/posix_env.cc", "src/sim/sim_env.cc"},
+    "kIoBatchUringReads": {"src/env/posix_env.cc", "src/sim/sim_env.cc"},
+    "kIoBatchFallbackReads": {"src/env/posix_env.cc", "src/sim/sim_env.cc"},
+    # Compaction readahead inserts blocks from exactly one place: the
+    # table-level readahead iterator.
+    "kReadaheadBlocks": {"src/table/table.cc"},
+    # Group-sync sharing is decided where the write group is built.
+    "kWalGroupSyncShared": {"src/db/db_impl.cc"},
 }
 
 SYNC_POINT_NAME = re.compile(r"^[A-Za-z0-9_]+::[A-Za-z0-9_]+:[A-Za-z0-9_]+$")
@@ -111,6 +129,9 @@ EMIT_RE = re.compile(r'BOLT_SYNC_POINT(?:_ARG)?\s*\(\s*"([^"]+)"')
 TEST_REF_RE = re.compile(
     r'(?:SetCallback|ClearCallback|HitCount)\s*\(\s*"([^"]+)"')
 NAKED_SYNC_RE = re.compile(r"\b(fsync|fdatasync|sync_file_range)\s*\(")
+NAKED_PREAD_RE = re.compile(
+    r"\b(pread(?:64)?|preadv2?|io_uring_setup|io_uring_enter|"
+    r"io_uring_register)\s*\(")
 NAKED_NET_RE = re.compile(
     r"\b(socket|bind|listen|accept4?|connect|shutdown|setsockopt|"
     r"getsockopt|getsockname|getpeername|epoll_create1?|epoll_ctl|"
@@ -218,6 +239,7 @@ class Linter:
                     emitted[m.group(1)].append((path, lineno))
 
             self._check_naked_sync(path, rel, code)
+            self._check_naked_pread(path, rel, code)
             self._check_naked_net(path, rel, code)
             self._check_std_mutex(path, rel, code)
             self._check_ticker_charges(path, rel, code)
@@ -269,6 +291,19 @@ class Linter:
                     f"naked {m.group(1)}() outside src/env/; route the "
                     f"barrier through Env/WritableFile::Sync so tickers, "
                     f"tracing and fault injection observe it")
+
+    def _check_naked_pread(self, path, rel, code):
+        if rel.startswith("src/env/"):
+            return  # the batch engine and the posix file objects
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = NAKED_PREAD_RE.search(line)
+            if m:
+                self.report(
+                    path, lineno, "naked-pread",
+                    f"naked {m.group(1)}() outside src/env/; read through "
+                    f"RandomAccessFile/Env::ReadBatch so the batch engine, "
+                    f"queue-depth model, fault injection and kIoBatch* "
+                    f"tickers observe it")
 
     def _check_naked_net(self, path, rel, code):
         if rel == "src/net/socket.cc":
@@ -369,6 +404,7 @@ def self_test(root):
                 for m in EMIT_RE.finditer(line):
                     emitted[m.group(1)].append((path, lineno))
             linter._check_naked_sync(path, as_path, code)
+            linter._check_naked_pread(path, as_path, code)
             linter._check_naked_net(path, as_path, code)
             linter._check_std_mutex(path, as_path, code)
             linter._check_ticker_charges(path, as_path, code)

@@ -11,6 +11,9 @@
 # Tier-1 (ROADMAP.md) builds the default tree — which already includes
 # the AddressSanitizer fault-injection variant (asan/ test prefix) —
 # and runs the whole ctest suite.  On top of that, the fast pass runs
+# the async batch-read suite twice (BOLT_IO_URING=0 forcing the
+# thread-pool fallback, then the default io_uring probe — the probe is
+# cached per process, so backend coverage needs two runs),
 # the traced fault/recover cycle (auto-recovery under injected faults,
 # DumpTrace validated by trace_check.py: span nesting, recovery spans,
 # and the exact barrier sum-equations committed+orphaned), the
@@ -70,6 +73,14 @@ cmake --build build -j "$JOBS"
 
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> async I/O: batch-read suite on both backends"
+# The io_uring probe is cached process-wide, so backend selection
+# happens per *process*: run the suite once with the ring forcibly
+# disabled (thread-pool fallback must carry everything) and once with
+# the default probe (io_uring where the kernel supports it).
+BOLT_IO_URING=0 ./build/tests/async_io_test >/dev/null
+./build/tests/async_io_test >/dev/null
 
 echo "==> trace: micro_core smoke, traced fig12 run, schema + barrier check"
 ./build/bench/micro_core --benchmark_filter='BM_DbPut' \

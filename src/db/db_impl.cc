@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <deque>
 #include <thread>
 #include <vector>
 
@@ -1974,7 +1975,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   uint64_t last_sequence = versions_->LastSequence();
   Writer* last_writer = &w;
   if (status.ok() && updates != nullptr) {  // nullptr batch is for compactions
-    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    bool group_sync = false;
+    int sync_requests = 0;
+    WriteBatch* write_batch =
+        BuildBatchGroup(&last_writer, &group_sync, &sync_requests);
     WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
     last_sequence += WriteBatchInternal::Count(write_batch);
 
@@ -2007,13 +2011,20 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         t0 = t1;
       }
       bool wal_error = false;
-      if (status.ok() && options.sync) {
+      if (status.ok() && group_sync) {
         wal_op = ErrorOperation::kWalSync;  // append succeeded
         obs::SpanScope sync_span(tracer_, "wal_sync");
+        sync_span.AddArg("sync_requests", sync_requests);
         BOLT_SYNC_POINT("DBImpl::Write:BeforeWalSync");
         status = logfile_->Sync();
         sync_span.Finish();
+        // One physical fsync covers the whole group: kWalSyncs counts
+        // actual barriers (charged once), kWalGroupSyncShared counts the
+        // sync requests that rode an already-paid barrier for free.
         metrics_->Add(obs::kWalSyncs);
+        if (sync_requests > 1) {
+          metrics_->Add(obs::kWalGroupSyncShared, sync_requests - 1);
+        }
         pc->barrier_waits++;
         obs::SyncBarrierInfo sb;
         sb.wal = true;
@@ -2083,7 +2094,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
 }
 
 // REQUIRES: writer list non-empty; first writer has a non-null batch
-WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer, bool* group_sync,
+                                    int* sync_requests) {
   assert(!writers_.empty());
   Writer* first = writers_.front();
   WriteBatch* result = first->batch;
@@ -2099,17 +2111,20 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
     max_size = size + (128 << 10);
   }
 
+  // Shared WAL group sync (DESIGN.md §14): instead of cutting the group
+  // when a sync writer queues behind a non-sync leader, the leader
+  // *upgrades* — one fsync covers every member, charged once.  A group
+  // is durable iff any member asked for durability, which is exactly
+  // what each sync member observes; non-sync members get a stronger
+  // guarantee than they asked for at the cost of riding the barrier.
+  *group_sync = first->sync;
+  *sync_requests = first->sync ? 1 : 0;
+
   *last_writer = first;
   std::deque<Writer*>::iterator iter = writers_.begin();
   ++iter;  // Advance past "first"
   for (; iter != writers_.end(); ++iter) {
     Writer* w = *iter;
-    if (w->sync && !first->sync) {
-      // Do not include a sync write into a batch handled by a
-      // non-sync write.
-      break;
-    }
-
     if (w->batch != nullptr) {
       size += WriteBatchInternal::ByteSize(w->batch);
       if (size > max_size) {
@@ -2125,6 +2140,10 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
         WriteBatchInternal::Append(result, first->batch);
       }
       WriteBatchInternal::Append(result, w->batch);
+    }
+    if (w->sync) {
+      *group_sync = true;
+      ++*sync_requests;
     }
     *last_writer = w;
   }
@@ -2425,17 +2444,56 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options,
 
   {
     mutex_.Unlock();
-    for (size_t i = 0; i < keys.size(); i++) {
-      Status& s = statuses[i];
-      std::string* value = &(*values)[i];
-      LookupKey lkey(keys[i], snapshot);
-      if (mem->Get(lkey, value, &s)) {
-        obs::GetPerfContext()->get_from_memtable++;
-      } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
-        obs::GetPerfContext()->get_from_memtable++;
-      } else {
-        s = current->Get(options, lkey, value, &stats[i]);
-        have_stat_update[i] = true;
+    if (options_.multiget_parallelism > 1) {
+      // Batched path: keys the memtables cannot answer fall through to
+      // one Version::MultiGet, whose cold SST block reads are issued as
+      // Env::ReadBatch submissions instead of serial per-key I/O.  The
+      // LookupKeys live in a deque (LookupKey is non-copyable and the
+      // batch needs stable addresses until the round completes).
+      std::deque<LookupKey> lkeys;
+      std::vector<Version::MultiGetItem> items;
+      std::vector<size_t> item_index;  // items[j] resolves keys[item_index[j]]
+      items.reserve(keys.size());
+      for (size_t i = 0; i < keys.size(); i++) {
+        Status& s = statuses[i];
+        std::string* value = &(*values)[i];
+        lkeys.emplace_back(keys[i], snapshot);
+        const LookupKey& lkey = lkeys.back();
+        if (mem->Get(lkey, value, &s)) {
+          obs::GetPerfContext()->get_from_memtable++;
+        } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+          obs::GetPerfContext()->get_from_memtable++;
+        } else {
+          Version::MultiGetItem item;
+          item.key = &lkey;
+          item.value = value;
+          items.push_back(item);
+          item_index.push_back(i);
+        }
+      }
+      if (!items.empty()) {
+        current->MultiGet(options, items.data(), items.size());
+        for (size_t j = 0; j < items.size(); j++) {
+          const size_t i = item_index[j];
+          statuses[i] = items[j].status;
+          stats[i] = items[j].stats;
+          have_stat_update[i] = true;
+        }
+      }
+    } else {
+      // Serial path (multiget_parallelism <= 1): per-key Version::Get.
+      for (size_t i = 0; i < keys.size(); i++) {
+        Status& s = statuses[i];
+        std::string* value = &(*values)[i];
+        LookupKey lkey(keys[i], snapshot);
+        if (mem->Get(lkey, value, &s)) {
+          obs::GetPerfContext()->get_from_memtable++;
+        } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+          obs::GetPerfContext()->get_from_memtable++;
+        } else {
+          s = current->Get(options, lkey, value, &stats[i]);
+          have_stat_update[i] = true;
+        }
       }
     }
     mutex_.Lock();

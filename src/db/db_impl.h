@@ -134,7 +134,13 @@ class DBImpl : public DB {
 
   Status MakeRoomForWrite(bool force /* compact even if there is room? */)
       REQUIRES(mutex_);
-  WriteBatch* BuildBatchGroup(Writer** last_writer) REQUIRES(mutex_);
+  // Coalesces queued writers into one group.  *group_sync is set when
+  // any member asked for durability (the leader then issues ONE fsync
+  // covering the whole group); *sync_requests counts those members, so
+  // the write path can charge kWalGroupSyncShared for the barriers the
+  // sharing saved.
+  WriteBatch* BuildBatchGroup(Writer** last_writer, bool* group_sync,
+                              int* sync_requests) REQUIRES(mutex_);
 
   // Latch a background error with its origin context (DESIGN.md §11).
   // Classifies the severity, charges the severity tickers, notifies

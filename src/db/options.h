@@ -156,6 +156,26 @@ struct Options {
   // N.  All shard edits still commit through a single MANIFEST append.
   int max_subcompactions = 1;
 
+  // ---- Async I/O engine (Env::ReadBatch, DESIGN.md §14) -------------------------
+  // Allow the io_uring backend for batched reads on kernels that support
+  // it.  When false (or when BOLT_IO_URING=0 is in the environment, or
+  // the runtime probe fails) the portable thread-pool emulation runs
+  // instead; the ReadBatch API and its semantics are identical.
+  bool io_uring_enabled = true;
+  // Upper bound on reads in flight per MultiGet batch submission.
+  // <= 1 makes MultiGet resolve SST blocks serially (the pre-batching
+  // behaviour, and the bench's serial baseline).
+  int multiget_parallelism = 8;
+  // Compaction input readahead: prefetch up to this many upcoming data
+  // blocks of each input table into the block cache ahead of the merge
+  // loop, using one batched read per refill.  0 disables.
+  int compaction_readahead_blocks = 0;
+  // posix_fadvise hints on compaction inputs: WILLNEED on the readahead
+  // window, DONTNEED on consumed ranges — so large compactions stop
+  // evicting the hot working set from the OS page cache.  No-op on
+  // SimEnv (its page cache is modeled, not advised).
+  bool advise_compaction_inputs = false;
+
   // ---- Observability (src/obs/) -------------------------------------------------
   // Metrics registry every layer (DB, caches, WAL, env) charges into.
   // If null, the DB creates and owns one when opening; pass your own to
@@ -211,6 +231,10 @@ struct ReadOptions {
   bool verify_checksums = false;
   bool fill_cache = true;
   const Snapshot* snapshot = nullptr;
+  // Iterator readahead: prefetch this many upcoming data blocks into the
+  // block cache per refill batch (compaction inputs set it from
+  // Options::compaction_readahead_blocks).  0 disables.
+  int readahead_blocks = 0;
 };
 
 struct WriteOptions {

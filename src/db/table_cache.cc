@@ -209,6 +209,25 @@ Status TableCache::Get(const ReadOptions& options, const TableMeta& meta,
   return s;
 }
 
+Status TableCache::PinTable(const TableMeta& meta, Table** table,
+                            Cache::Handle** pin) {
+  *table = nullptr;
+  *pin = nullptr;
+  if (SimContext* sim = env_->sim()) {
+    sim->AdvanceCpu(options_.sim_table_probe_cpu_ns);
+  }
+  obs::GetPerfContext()->tables_consulted++;
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(meta, &handle);
+  if (s.ok()) {
+    *table = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
+    *pin = handle;
+  }
+  return s;
+}
+
+void TableCache::ReleasePin(Cache::Handle* pin) { cache_->Release(pin); }
+
 void TableCache::Evict(uint64_t table_id) {
   char buf[16];
   EncodeFixed64(buf, cache_id_);

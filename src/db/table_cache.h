@@ -47,6 +47,15 @@ class TableCache {
              void* arg,
              void (*handle_result)(void*, const Slice&, const Slice&));
 
+  // Pin the Table reader for the given (logical) table so a batched
+  // lookup (Version::MultiGet) can call Table::PrepareGet/FinishGet
+  // across an Env::ReadBatch round without the reader being evicted
+  // under it.  Charges the same probe cost + TableCache hit/miss
+  // accounting as Get().  On success *table is valid until
+  // ReleasePin(*pin).
+  Status PinTable(const TableMeta& meta, Table** table, Cache::Handle** pin);
+  void ReleasePin(Cache::Handle* pin);
+
   // Evict any entry for the specified table id.
   void Evict(uint64_t table_id);
 

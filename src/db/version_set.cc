@@ -11,6 +11,7 @@
 #include "obs/tracer.h"
 #include "table/iterator.h"
 #include "table/merger.h"
+#include "table/table.h"
 #include "table/two_level_iterator.h"
 #include "util/coding.h"
 #include "util/sync_point.h"
@@ -431,6 +432,173 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
   return state.s.ok() && state.saver.state == kDeleted
              ? Status::NotFound(Slice())
              : state.s;
+}
+
+void Version::MultiGet(const ReadOptions& options, MultiGetItem* items,
+                       size_t n) {
+  // One candidate table (level, file) a key may have to consult, in the
+  // exact order ForEachOverlapping would visit it for Get().
+  struct Cand {
+    int level;
+    TableMeta* f;
+  };
+  struct KeyState {
+    Saver saver;
+    MultiGetItem* item = nullptr;
+    Slice ikey;
+    std::vector<Cand> cands;
+    size_t cursor = 0;  // next candidate to consult
+    TableMeta* last_file_read = nullptr;
+    int last_file_read_level = -1;
+    Status s;
+    bool found = false;
+    bool resolved = false;
+    // Parked read state for the current round (pin != nullptr while a
+    // batched block read is in flight for this key).
+    Table* table = nullptr;
+    Cache::Handle* pin = nullptr;
+    Table::GetContext ctx;
+  };
+
+  struct Collector {
+    static bool Collect(void* arg, int level, TableMeta* f) {
+      reinterpret_cast<std::vector<Cand>*>(arg)->push_back(Cand{level, f});
+      return true;
+    }
+  };
+
+  // Apply the outcome of one table consult, mirroring Get()'s
+  // State::Match switch.  Leaves `resolved` false on kNotFound so the
+  // key moves on to its next candidate.
+  auto interpret = [](KeyState& ks, const Status& s) {
+    if (!s.ok()) {
+      ks.s = s;
+      ks.found = true;
+      ks.resolved = true;
+      return;
+    }
+    switch (ks.saver.state) {
+      case kNotFound:
+        break;  // keep searching in other files
+      case kFound:
+        ks.found = true;
+        ks.resolved = true;
+        break;
+      case kDeleted:
+        ks.resolved = true;  // found stays false -> NotFound
+        break;
+      case kCorrupt:
+        ks.s = Status::Corruption("corrupted key for ", ks.saver.user_key);
+        ks.found = true;
+        ks.resolved = true;
+        break;
+    }
+  };
+
+  std::vector<KeyState> keys(n);
+  for (size_t i = 0; i < n; i++) {
+    KeyState& ks = keys[i];
+    ks.item = &items[i];
+    ks.item->stats.seek_file = nullptr;
+    ks.item->stats.seek_file_level = -1;
+    ks.ikey = ks.item->key->internal_key();
+    ks.saver.state = kNotFound;
+    ks.saver.ucmp = vset_->icmp_.user_comparator();
+    ks.saver.user_key = ks.item->key->user_key();
+    ks.saver.value = ks.item->value;
+    ForEachOverlapping(ks.saver.user_key, ks.ikey, &ks.cands,
+                       &Collector::Collect);
+  }
+
+  ReadBatchOptions batch_opts;
+  batch_opts.parallelism = vset_->options_->multiget_parallelism;
+  batch_opts.allow_io_uring = vset_->options_->io_uring_enabled;
+
+  // Advance a key through its candidates until it parks a cold block
+  // read (pin held) or resolves.
+  auto advance = [&](KeyState& ks) {
+    while (!ks.resolved) {
+      if (ks.cursor >= ks.cands.size()) {
+        ks.resolved = true;  // exhausted: found stays false -> NotFound
+        return;
+      }
+      const Cand c = ks.cands[ks.cursor++];
+
+      if (ks.item->stats.seek_file == nullptr &&
+          ks.last_file_read != nullptr) {
+        // More than one seek for this read: charge the first table.
+        ks.item->stats.seek_file = ks.last_file_read;
+        ks.item->stats.seek_file_level = ks.last_file_read_level;
+      }
+      ks.last_file_read = c.f;
+      ks.last_file_read_level = c.level;
+
+      Status ps = vset_->table_cache_->PinTable(*c.f, &ks.table, &ks.pin);
+      if (!ps.ok()) {
+        ks.s = ps;
+        ks.found = true;
+        ks.resolved = true;
+        return;
+      }
+      ks.ctx = Table::GetContext();
+      ks.table->PrepareGet(options, ks.ikey, &ks.saver, SaveValue, &ks.ctx);
+      if (!ks.ctx.done) {
+        return;  // cold block parked; pin held until FinishGet
+      }
+      vset_->table_cache_->ReleasePin(ks.pin);
+      ks.pin = nullptr;
+      interpret(ks, ks.ctx.status);
+    }
+  };
+
+  while (true) {
+    for (size_t i = 0; i < n; i++) {
+      if (!keys[i].resolved && keys[i].pin == nullptr) {
+        advance(keys[i]);
+      }
+    }
+
+    // Gather this round's parked block reads into one submission.
+    std::vector<FileReadRequest> reqs;
+    std::vector<KeyState*> parked;
+    for (size_t i = 0; i < n; i++) {
+      KeyState& ks = keys[i];
+      if (ks.pin == nullptr) continue;
+      FileReadRequest req;
+      req.file = ks.ctx.file;
+      req.offset = ks.ctx.block_offset;
+      req.len = ks.ctx.block_len;
+      req.scratch = ks.ctx.scratch.get();
+      reqs.push_back(req);
+      parked.push_back(&ks);
+    }
+    if (parked.empty()) break;  // every key resolved
+
+    vset_->env_->ReadBatch(reqs.data(), reqs.size(), batch_opts);
+
+    for (size_t j = 0; j < parked.size(); j++) {
+      KeyState& ks = *parked[j];
+      ks.ctx.read_result = reqs[j].result;
+      ks.ctx.read_status = reqs[j].status;
+      ks.table->FinishGet(options, &ks.ctx);
+      vset_->table_cache_->ReleasePin(ks.pin);
+      ks.pin = nullptr;
+      interpret(ks, ks.ctx.status);
+      // Unresolved keys (kNotFound) advance to their next candidate on
+      // the next round.
+    }
+  }
+
+  for (size_t i = 0; i < n; i++) {
+    KeyState& ks = keys[i];
+    if (!ks.found) {
+      ks.item->status = Status::NotFound(Slice());
+    } else {
+      ks.item->status = ks.s.ok() && ks.saver.state == kDeleted
+                            ? Status::NotFound(Slice())
+                            : ks.s;
+    }
+  }
 }
 
 bool Version::UpdateStats(const GetStats& stats) {
@@ -1157,6 +1325,10 @@ Iterator* VersionSet::MakeInputIterator(Compaction* c) {
   ReadOptions options;
   options.verify_checksums = options_->paranoid_checks;
   options.fill_cache = false;
+  // Compaction input readahead: each input table's iterator prefetches
+  // the next N data blocks into the block cache with one batched read
+  // per refill (Table::NewIterator wraps in a ReadaheadIterator).
+  options.readahead_blocks = options_->compaction_readahead_blocks;
 
   // Level-0 tables, and every table in FLSM mode, may overlap each
   // other, so they need their own iterators.  Disjoint input sets can

@@ -64,6 +64,21 @@ class Version {
   Status Get(const ReadOptions&, const LookupKey& key, std::string* val,
              GetStats* stats);
 
+  // One batched lookup item: key/value in, status + seek stats out.
+  struct MultiGetItem {
+    const LookupKey* key = nullptr;
+    std::string* value = nullptr;
+    Status status;
+    GetStats stats{nullptr, -1};
+  };
+  // Batched Get (DESIGN.md §14): resolves every item with the exact
+  // candidate-table order, snapshot semantics, and seek-compaction
+  // accounting of per-key Get(), but gathers the cold SST block reads
+  // of each round — across all keys and levels — into one
+  // Env::ReadBatch submission (parallelism and backend selection from
+  // Options::multiget_parallelism / io_uring_enabled).
+  void MultiGet(const ReadOptions&, MultiGetItem* items, size_t n);
+
   // Adds "stats" into the current state.  Returns true if a new
   // compaction may need to be triggered.
   bool UpdateStats(const GetStats& stats);

@@ -1,0 +1,462 @@
+// Batched-read executor: raw io_uring backend + portable thread-pool
+// emulation.  See async_io.h for the contract and DESIGN.md §14 for the
+// design.  This file (with posix_env.cc) is where raw read syscalls are
+// allowed to live; scripts/bolt_lint.py confines pread/io_uring_* to
+// src/env/.
+#include "env/async_io.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "port/port.h"
+#include "util/mutexlock.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define BOLT_HAVE_IO_URING 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace bolt {
+namespace {
+
+#if defined(BOLT_HAVE_IO_URING)
+
+#ifndef MAP_POPULATE
+#define MAP_POPULATE 0
+#endif
+
+int SysIoUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+              nullptr, 0));
+}
+
+// One mmap'd submission/completion ring.  Single-threaded by design:
+// every thread doing batched reads lazily owns its own ring, so no lock
+// is held across the blocking io_uring_enter wait.
+class UringRing {
+ public:
+  static constexpr unsigned kDepth = 64;
+
+  UringRing() {
+    struct io_uring_params p;
+    memset(&p, 0, sizeof(p));
+    fd_ = SysIoUringSetup(kDepth, &p);
+    if (fd_ < 0) {
+      return;
+    }
+    sq_entries_ = p.sq_entries;
+    sq_len_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_len_ = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+    bool single_mmap = false;
+#if defined(IORING_FEAT_SINGLE_MMAP)
+    single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+#endif
+    if (single_mmap) {
+      if (cq_len_ > sq_len_) {
+        sq_len_ = cq_len_;
+      }
+      cq_len_ = sq_len_;
+    }
+    sq_ptr_ = mmap(nullptr, sq_len_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) {
+      Fail();
+      return;
+    }
+    if (single_mmap) {
+      cq_ptr_ = sq_ptr_;
+    } else {
+      cq_ptr_ = mmap(nullptr, cq_len_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_CQ_RING);
+      if (cq_ptr_ == MAP_FAILED) {
+        Fail();
+        return;
+      }
+    }
+    sqe_len_ = p.sq_entries * sizeof(struct io_uring_sqe);
+    void* sqe_ptr = mmap(nullptr, sqe_len_, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQES);
+    if (sqe_ptr == MAP_FAILED) {
+      Fail();
+      return;
+    }
+    sqes_ = static_cast<struct io_uring_sqe*>(sqe_ptr);
+
+    char* sq = static_cast<char*>(sq_ptr_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask_ = reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    char* cq = static_cast<char*>(cq_ptr_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask_ = reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq + p.cq_off.cqes);
+  }
+
+  ~UringRing() { Fail(); }
+
+  UringRing(const UringRing&) = delete;
+  UringRing& operator=(const UringRing&) = delete;
+
+  bool ok() const { return fd_ >= 0 && sqes_ != nullptr; }
+
+  // The kernel rejects unknown opcodes per-SQE with -EINVAL, so probe
+  // IORING_OP_READ against fd -1: -EBADF means the opcode itself was
+  // accepted (the fd check runs after opcode dispatch).
+  bool SupportsOpRead() {
+    if (!ok()) {
+      return false;
+    }
+    unsigned tail = *sq_tail_;
+    unsigned slot = tail & *sq_mask_;
+    struct io_uring_sqe* sqe = &sqes_[slot];
+    memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = -1;
+    sqe->user_data = 0;
+    sq_array_[slot] = slot;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    int ret;
+    do {
+      ret = SysIoUringEnter(fd_, 1, 1, IORING_ENTER_GETEVENTS);
+    } while (ret < 0 && errno == EINTR);
+    if (ret < 0) {
+      return false;
+    }
+    unsigned head = *cq_head_;
+    if (head == __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE)) {
+      return false;
+    }
+    int res = cqes_[head & *cq_mask_].res;
+    __atomic_store_n(cq_head_, head + 1, __ATOMIC_RELEASE);
+    return res != -EINVAL;
+  }
+
+  // Complete reqs[idx[*]] (all with usable PreadFd) through the ring, in
+  // chunks of the ring depth.  done[i] is set once reqs[i] has a final
+  // status.  Returns false on an unrecoverable ring error: the caller
+  // must discard this ring (stale completions die with the fd) and
+  // reroute entries whose done flag is still clear.
+  bool Execute(FileReadRequest* reqs, const std::vector<size_t>& idx,
+               std::vector<uint8_t>* done) {
+    size_t pos = 0;
+    while (pos < idx.size()) {
+      const unsigned chunk = static_cast<unsigned>(
+          idx.size() - pos < sq_entries_ ? idx.size() - pos : sq_entries_);
+      unsigned tail = *sq_tail_;
+      for (unsigned i = 0; i < chunk; i++) {
+        const FileReadRequest& r = reqs[idx[pos + i]];
+        unsigned slot = (tail + i) & *sq_mask_;
+        struct io_uring_sqe* sqe = &sqes_[slot];
+        memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_READ;
+        sqe->fd = r.file->PreadFd();
+        sqe->addr = reinterpret_cast<uint64_t>(r.scratch);
+        sqe->len = static_cast<unsigned>(r.len);
+        sqe->off = r.offset;
+        sqe->user_data = idx[pos + i];
+        sq_array_[slot] = slot;
+      }
+      __atomic_store_n(sq_tail_, tail + chunk, __ATOMIC_RELEASE);
+
+      unsigned to_submit = chunk;
+      unsigned reaped = 0;
+      while (reaped < chunk) {
+        int ret = SysIoUringEnter(fd_, to_submit, chunk - reaped,
+                                  IORING_ENTER_GETEVENTS);
+        if (ret >= 0) {
+          to_submit -= static_cast<unsigned>(ret) <= to_submit
+                           ? static_cast<unsigned>(ret)
+                           : to_submit;
+        } else if (errno != EINTR && errno != EAGAIN) {
+          return false;
+        }
+        unsigned head = *cq_head_;
+        const unsigned cq_tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+        while (head != cq_tail) {
+          const struct io_uring_cqe* cqe = &cqes_[head & *cq_mask_];
+          FileReadRequest& r = reqs[cqe->user_data];
+          if (cqe->res < 0) {
+            r.status = Status::IOError("io_uring read", strerror(-cqe->res));
+          } else {
+            r.result = Slice(r.scratch, static_cast<size_t>(cqe->res));
+            r.status = Status::OK();
+          }
+          (*done)[cqe->user_data] = 1;
+          head++;
+          reaped++;
+        }
+        __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+      }
+      pos += chunk;
+    }
+    return true;
+  }
+
+ private:
+  void Fail() {
+    if (sqes_ != nullptr) {
+      munmap(sqes_, sqe_len_);
+      sqes_ = nullptr;
+    }
+    if (cq_ptr_ != nullptr && cq_ptr_ != MAP_FAILED && cq_ptr_ != sq_ptr_) {
+      munmap(cq_ptr_, cq_len_);
+    }
+    cq_ptr_ = nullptr;
+    if (sq_ptr_ != nullptr && sq_ptr_ != MAP_FAILED) {
+      munmap(sq_ptr_, sq_len_);
+    }
+    sq_ptr_ = nullptr;
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd_ = -1;
+  unsigned sq_entries_ = 0;
+  size_t sq_len_ = 0;
+  size_t cq_len_ = 0;
+  size_t sqe_len_ = 0;
+  void* sq_ptr_ = nullptr;
+  void* cq_ptr_ = nullptr;
+  struct io_uring_sqe* sqes_ = nullptr;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  struct io_uring_cqe* cqes_ = nullptr;
+};
+
+// Lazily created per-thread ring; a thread whose ring hits an
+// unrecoverable error retires it (kill=true) and uses the pool from
+// then on.
+UringRing* ThreadLocalRing(bool kill) {
+  thread_local std::unique_ptr<UringRing> ring;
+  thread_local bool dead = false;
+  if (kill) {
+    ring.reset();
+    dead = true;
+    return nullptr;
+  }
+  if (dead) {
+    return nullptr;
+  }
+  if (ring == nullptr) {
+    ring = std::make_unique<UringRing>();
+    if (!ring->ok()) {
+      ring.reset();
+      dead = true;
+      return nullptr;
+    }
+  }
+  return ring.get();
+}
+
+#endif  // BOLT_HAVE_IO_URING
+
+// Shared state for one thread-pool batch.  Workers and the submitting
+// thread cooperatively claim indices; the last completion signals the
+// submitter.  Heap-allocated and shared so a pool task that starts after
+// the submitter already returned only touches live memory.
+struct BatchState {
+  BatchState(FileReadRequest* r, std::vector<size_t> v)
+      : reqs(r), idx(std::move(v)), cv(&mu) {}
+
+  FileReadRequest* const reqs;
+  const std::vector<size_t> idx;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  port::Mutex mu;
+  port::CondVar cv;
+};
+
+void DrainBatch(const std::shared_ptr<BatchState>& b) {
+  const size_t n = b->idx.size();
+  while (true) {
+    const size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      break;
+    }
+    FileReadRequest& r = b->reqs[b->idx[i]];
+    r.status = r.file->Read(r.offset, r.len, &r.result, r.scratch);
+    if (b->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      MutexLock l(&b->mu);
+      b->cv.SignalAll();
+    }
+  }
+}
+
+// Persistent helper-thread pool (process-wide, never torn down — the
+// engine singleton is deliberately leaked, like PosixEnv's lanes).
+class ReadPool {
+ public:
+  static constexpr int kMaxThreads = 16;
+
+  void Submit(std::function<void()> task, int workers_wanted) {
+    MutexLock l(&mu_);
+    const int target = workers_wanted < kMaxThreads ? workers_wanted
+                                                    : kMaxThreads;
+    while (static_cast<int>(threads_.size()) < target) {
+      threads_.emplace_back([this] { WorkerMain(); });
+    }
+    queue_.push_back(std::move(task));
+    cv_.Signal();
+  }
+
+ private:
+  void WorkerMain() {
+    while (true) {
+      std::function<void()> task;
+      {
+        MutexLock l(&mu_);
+        cv_.Await([this]() REQUIRES(mu_) { return !queue_.empty(); });
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  port::Mutex mu_;
+  port::CondVar cv_{&mu_};
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
+};
+
+ReadPool* Pool() {
+  static ReadPool* pool = new ReadPool();  // never destroyed
+  return pool;
+}
+
+void RunSerial(FileReadRequest* reqs, const std::vector<size_t>& idx) {
+  for (size_t i : idx) {
+    FileReadRequest& r = reqs[i];
+    r.status = r.file->Read(r.offset, r.len, &r.result, r.scratch);
+  }
+}
+
+void RunPooled(FileReadRequest* reqs, std::vector<size_t> idx,
+               int parallelism) {
+  if (idx.size() <= 1 || parallelism <= 1) {
+    RunSerial(reqs, idx);
+    return;
+  }
+  auto b = std::make_shared<BatchState>(reqs, std::move(idx));
+  const size_t want = b->idx.size() < static_cast<size_t>(parallelism)
+                          ? b->idx.size()
+                          : static_cast<size_t>(parallelism);
+  for (size_t i = 0; i + 1 < want; i++) {
+    Pool()->Submit([b] { DrainBatch(b); }, static_cast<int>(want) - 1);
+  }
+  DrainBatch(b);  // the submitter is one of the workers
+  MutexLock l(&b->mu);
+  b->cv.Await([&]() REQUIRES(b->mu) {
+    return b->done.load(std::memory_order_acquire) >= b->idx.size();
+  });
+}
+
+}  // namespace
+
+AsyncIoEngine* AsyncIoEngine::Instance() {
+  static AsyncIoEngine* engine = new AsyncIoEngine();  // never destroyed
+  return engine;
+}
+
+bool AsyncIoEngine::IoUringAvailable() {
+  static const bool available = [] {
+    const char* e = getenv("BOLT_IO_URING");
+    if (e != nullptr && strcmp(e, "0") == 0) {
+      return false;
+    }
+#if defined(BOLT_HAVE_IO_URING)
+    UringRing probe;
+    return probe.ok() && probe.SupportsOpRead();
+#else
+    return false;
+#endif
+  }();
+  return available;
+}
+
+AsyncIoEngine::Result AsyncIoEngine::Execute(FileReadRequest* reqs, size_t n,
+                                             const ReadBatchOptions& opts) {
+  Result out;
+  if (n == 0) {
+    return out;
+  }
+
+  std::vector<size_t> uring_idx;
+  std::vector<size_t> pool_idx;
+  const bool use_uring = opts.allow_io_uring && IoUringAvailable();
+  for (size_t i = 0; i < n; i++) {
+    FileReadRequest& r = reqs[i];
+    if (r.file == nullptr) {
+      r.status = Status::InvalidArgument("ReadBatch entry has no file");
+      continue;
+    }
+    if (use_uring && r.file->PreadFd() >= 0) {
+      uring_idx.push_back(i);
+    } else {
+      pool_idx.push_back(i);
+    }
+  }
+
+#if defined(BOLT_HAVE_IO_URING)
+  if (!uring_idx.empty()) {
+    UringRing* ring = ThreadLocalRing(false);
+    if (ring == nullptr) {
+      pool_idx.insert(pool_idx.end(), uring_idx.begin(), uring_idx.end());
+    } else {
+      std::vector<uint8_t> done(n, 0);
+      const bool ring_ok = ring->Execute(reqs, uring_idx, &done);
+      if (!ring_ok) {
+        // Ring broke mid-flight: retire it so stale completions die with
+        // the fd; entries whose done flag never got set go to the pool.
+        ThreadLocalRing(true);
+      }
+      for (size_t i : uring_idx) {
+        if (done[i]) {
+          out.uring_reads++;
+          if (reqs[i].status.ok()) {
+            out.uring_bytes += reqs[i].result.size();
+          }
+        } else {
+          pool_idx.push_back(i);
+        }
+      }
+    }
+  }
+#else
+  pool_idx.insert(pool_idx.end(), uring_idx.begin(), uring_idx.end());
+#endif
+
+  if (!pool_idx.empty()) {
+    out.pool_reads += pool_idx.size();
+    RunPooled(reqs, std::move(pool_idx), opts.parallelism);
+  }
+  return out;
+}
+
+}  // namespace bolt

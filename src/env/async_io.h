@@ -1,0 +1,52 @@
+// AsyncIoEngine: the process-wide batched-read executor behind
+// Env::ReadBatch (DESIGN.md §14).
+//
+// Two real backends plus a serial degenerate case:
+//  * io_uring — raw io_uring_setup/io_uring_enter syscalls (no liburing
+//    dependency) against a lazily created thread-local ring, used for
+//    requests whose file exposes a PreadFd().  Probed once at runtime;
+//    BOLT_IO_URING=0 in the environment force-disables it.
+//  * thread pool — a small persistent worker pool where workers and the
+//    submitting thread cooperatively drain the batch through
+//    RandomAccessFile::Read.  Works for any file object (including
+//    wrapper files that intercept reads), on any platform.
+//
+// The engine never touches metrics itself; callers (PosixEnv) charge
+// the kIoBatch* tickers from the returned Result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "env/env.h"
+
+namespace bolt {
+
+class AsyncIoEngine {
+ public:
+  // Per-call completion accounting, for ticker charging by the caller.
+  struct Result {
+    uint64_t uring_reads = 0;  // entries completed via io_uring
+    uint64_t pool_reads = 0;   // entries completed via the thread pool
+    uint64_t uring_bytes = 0;  // bytes delivered by io_uring completions
+                               // (these bypass RandomAccessFile::Read, so
+                               // the env must account them itself)
+  };
+
+  static AsyncIoEngine* Instance();
+
+  // True iff the running kernel accepts IORING_OP_READ and BOLT_IO_URING
+  // is not set to 0.  Probed once; the answer is cached.
+  static bool IoUringAvailable();
+
+  // Complete all n requests, filling per-entry result/status.  Requests
+  // with a usable PreadFd() go through io_uring when allowed and
+  // available; everything else is drained by the pool (bounded by
+  // opts.parallelism).  parallelism <= 1 runs a plain serial loop.
+  Result Execute(FileReadRequest* reqs, size_t n, const ReadBatchOptions& opts);
+
+ private:
+  AsyncIoEngine() = default;
+};
+
+}  // namespace bolt

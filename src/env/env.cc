@@ -14,6 +14,27 @@ Status Env::NewLogger(const std::string& fname, Logger** result) {
   return Status::NotSupported("NewLogger", fname);
 }
 
+void Env::ReadBatch(FileReadRequest* reqs, size_t n,
+                    const ReadBatchOptions& opts) {
+  (void)opts;
+  for (size_t i = 0; i < n; i++) {
+    FileReadRequest& r = reqs[i];
+    if (r.file == nullptr) {
+      r.status = Status::InvalidArgument("ReadBatch entry has no file");
+      continue;
+    }
+    r.status = r.file->Read(r.offset, r.len, &r.result, r.scratch);
+  }
+}
+
+Status RandomAccessFile::ReadBatch(ReadRequest* reqs, size_t n) const {
+  for (size_t i = 0; i < n; i++) {
+    ReadRequest& r = reqs[i];
+    r.status = Read(r.offset, r.len, &r.result, r.scratch);
+  }
+  return Status::OK();
+}
+
 void Log(Logger* info_log, const char* format, ...) {
   if (info_log != nullptr) {
     va_list ap;

@@ -39,6 +39,42 @@ class Tracer;
 
 class Logger;
 
+// One entry of a batched read against a single RandomAccessFile.  The
+// caller owns scratch (at least len bytes); on return result points at
+// the bytes read (possibly into scratch, possibly shorter than len at
+// EOF) and status carries the per-entry outcome.  Entries fail
+// independently: one bad request never poisons its neighbours.
+struct ReadRequest {
+  uint64_t offset = 0;
+  size_t len = 0;
+  char* scratch = nullptr;
+  Slice result;
+  Status status;
+};
+
+// One entry of a cross-file batched read (Env::ReadBatch).  Same
+// contract as ReadRequest plus the target file; several entries may
+// name the same file.
+struct FileReadRequest {
+  RandomAccessFile* file = nullptr;
+  uint64_t offset = 0;
+  size_t len = 0;
+  char* scratch = nullptr;
+  Slice result;
+  Status status;
+};
+
+// Knobs for a single Env::ReadBatch submission.
+struct ReadBatchOptions {
+  // Upper bound on reads in flight at once.  <=1 degrades to a serial
+  // loop.  Thread-pool backends cap their worker fan-out here; io_uring
+  // submits everything and lets the ring provide the queue depth.
+  int parallelism = 8;
+  // Allow the io_uring backend when the kernel supports it.  When
+  // false (or unsupported) the portable thread-pool emulation runs.
+  bool allow_io_uring = true;
+};
+
 // Aggregate I/O counters.  SimEnv fills all of them; PosixEnv fills the
 // call counters.  The figure benches read fsync counts and byte totals
 // from here.
@@ -163,6 +199,18 @@ class Env {
     return tracer_.load(std::memory_order_acquire);
   }
 
+  // ---- Batched reads -------------------------------------------------------
+  // Submit n reads, possibly spanning several files, and complete them
+  // all before returning.  Per-entry statuses are set independently; the
+  // call itself has no aggregate return because partial success is the
+  // expected shape (MultiGet degrades per key, prefetch drops blocks).
+  // The default runs the entries serially through file->Read, so every
+  // Env (and every wrapper stack) is batch-capable; PosixEnv overrides
+  // this with the async engine (io_uring or thread pool) and SimEnv with
+  // a queue-depth cost model.
+  virtual void ReadBatch(FileReadRequest* reqs, size_t n,
+                         const ReadBatchOptions& opts);
+
   // Non-null iff this environment is simulated.
   virtual SimContext* sim() { return nullptr; }
 
@@ -189,6 +237,25 @@ class RandomAccessFile {
   // Read up to n bytes starting at offset.  Safe for concurrent use.
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
+
+  // Complete all n requests against this file before returning, filling
+  // each entry's result/status independently.  Default: serial loop over
+  // Read (correct everywhere, no concurrency).  Safe for concurrent use.
+  virtual Status ReadBatch(ReadRequest* reqs, size_t n) const;
+
+  // Page-cache hints for a byte range, in the posix_fadvise sense.
+  // Advisory only; the default is a no-op (SimEnv models its own cache).
+  enum class AccessPattern { kWillNeed, kDontNeed };
+  virtual void Advise(uint64_t offset, uint64_t len,
+                      AccessPattern pattern) const {
+    (void)offset;
+    (void)len;
+    (void)pattern;
+  }
+
+  // File descriptor eligible for raw io_uring pread, or -1 when reads
+  // must go through Read() (wrappers that intercept, in-memory files).
+  virtual int PreadFd() const { return -1; }
 };
 
 // A file abstraction for sequential writing.  Append() buffers in the
@@ -274,6 +341,10 @@ class EnvWrapper : public Env {
   uint64_t NowNanos() override { return target_->NowNanos(); }
   void SleepForMicroseconds(int micros) override {
     target_->SleepForMicroseconds(micros);
+  }
+  void ReadBatch(FileReadRequest* reqs, size_t n,
+                 const ReadBatchOptions& opts) override {
+    target_->ReadBatch(reqs, n, opts);
   }
   IoStats GetIoStats() const override { return target_->GetIoStats(); }
   void ResetIoStats() override { target_->ResetIoStats(); }

@@ -132,6 +132,45 @@ class FaultRandomAccessFile final : public RandomAccessFile {
     return s;
   }
 
+  // Entries go through the same per-entry kRead fault plan as Read();
+  // survivors are forwarded as one batch so backends still overlap them.
+  Status ReadBatch(ReadRequest* reqs, size_t n) const override {
+    std::vector<size_t> forward;
+    forward.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+      reqs[i].status = env_->CheckInject(FaultOp::kRead, fname_);
+      if (reqs[i].status.ok()) {
+        forward.push_back(i);
+      }
+    }
+    if (!forward.empty()) {
+      std::vector<ReadRequest> sub(forward.size());
+      for (size_t j = 0; j < forward.size(); j++) {
+        sub[j] = reqs[forward[j]];
+      }
+      target_->ReadBatch(sub.data(), sub.size());
+      for (size_t j = 0; j < forward.size(); j++) {
+        ReadRequest& r = reqs[forward[j]];
+        r.result = sub[j].result;
+        r.status = sub[j].status;
+        env_->MaybeMangleBatchEntry(&r);
+      }
+    }
+    return Status::OK();
+  }
+
+  void Advise(uint64_t offset, uint64_t len,
+              AccessPattern pattern) const override {
+    target_->Advise(offset, len, pattern);
+  }
+
+  // Reads must pass through this wrapper (or the env's ReadBatch, which
+  // knows how to unwrap it) so injection always gets a chance to fire.
+  int PreadFd() const override { return -1; }
+
+  RandomAccessFile* target() const { return target_.get(); }
+  const std::string& fname() const { return fname_; }
+
  private:
   const std::string fname_;
   std::unique_ptr<RandomAccessFile> target_;
@@ -182,6 +221,11 @@ void FaultInjectionEnv::SetReadCorruption(double probability) {
   read_corruption_p_ = probability;
 }
 
+void FaultInjectionEnv::SetShortReads(double probability) {
+  MutexLock l(&mu_);
+  short_read_p_ = probability;
+}
+
 void FaultInjectionEnv::SetTornWrites(bool enabled) {
   MutexLock l(&mu_);
   torn_writes_ = enabled;
@@ -194,6 +238,7 @@ void FaultInjectionEnv::ClearFaults() {
   }
   transient_faults_.clear();
   read_corruption_p_ = 0.0;
+  short_read_p_ = 0.0;
   torn_writes_ = false;
 }
 
@@ -246,6 +291,33 @@ bool FaultInjectionEnv::ShouldCorruptRead(uint64_t* byte_seed) {
   faults_injected_++;
   *byte_seed = rnd_.Next();
   return true;
+}
+
+bool FaultInjectionEnv::ShouldShortRead() {
+  MutexLock l(&mu_);
+  if (short_read_p_ <= 0.0) return false;
+  if (rnd_.NextDouble() >= short_read_p_) return false;
+  faults_injected_++;
+  return true;
+}
+
+void FaultInjectionEnv::MaybeMangleBatchEntry(ReadRequest* r) {
+  if (!r->status.ok() || r->result.empty()) return;
+  if (ShouldShortRead()) {
+    // Partial completion: the entry succeeded but delivered fewer bytes
+    // than asked.  Callers must treat a short result like a truncated
+    // read, never as full data.
+    r->result = Slice(r->result.data(), r->result.size() / 2);
+    return;
+  }
+  uint64_t byte_seed;
+  if (ShouldCorruptRead(&byte_seed)) {
+    if (r->result.data() != r->scratch) {
+      memcpy(r->scratch, r->result.data(), r->result.size());
+      r->result = Slice(r->scratch, r->result.size());
+    }
+    r->scratch[byte_seed % r->result.size()] ^= 0x40;
+  }
 }
 
 void FaultInjectionEnv::RecordAppend(const std::string& fname, uint64_t len) {
@@ -439,5 +511,59 @@ IoStats FaultInjectionEnv::GetIoStats() const { return target_->GetIoStats(); }
 void FaultInjectionEnv::ResetIoStats() { target_->ResetIoStats(); }
 
 SimContext* FaultInjectionEnv::sim() { return target_->sim(); }
+
+void FaultInjectionEnv::ReadBatch(FileReadRequest* reqs, size_t n,
+                                  const ReadBatchOptions& opts) {
+  // A batch-level fault fails the whole submission (queue teardown,
+  // ring death): every entry reports the injected error, none are torn.
+  Status batch_fault = CheckInject(FaultOp::kReadBatch);
+  if (!batch_fault.ok()) {
+    for (size_t i = 0; i < n; i++) {
+      reqs[i].status = batch_fault;
+    }
+    return;
+  }
+  // Per-entry kRead injection, then forward survivors unwrapped so the
+  // physical env underneath batches them for real.
+  std::vector<size_t> forward;
+  std::vector<RandomAccessFile*> saved(n, nullptr);
+  forward.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    FileReadRequest& r = reqs[i];
+    saved[i] = r.file;
+    auto* ff = dynamic_cast<FaultRandomAccessFile*>(r.file);
+    r.status = CheckInject(FaultOp::kRead,
+                           ff != nullptr ? ff->fname() : std::string());
+    if (!r.status.ok()) {
+      continue;
+    }
+    if (ff != nullptr) {
+      r.file = ff->target();
+    }
+    forward.push_back(i);
+  }
+  if (!forward.empty()) {
+    std::vector<FileReadRequest> sub(forward.size());
+    for (size_t j = 0; j < forward.size(); j++) {
+      sub[j] = reqs[forward[j]];
+    }
+    target_->ReadBatch(sub.data(), sub.size(), opts);
+    for (size_t j = 0; j < forward.size(); j++) {
+      FileReadRequest& r = reqs[forward[j]];
+      r.result = sub[j].result;
+      r.status = sub[j].status;
+      ReadRequest one;
+      one.scratch = r.scratch;
+      one.result = r.result;
+      one.status = r.status;
+      MaybeMangleBatchEntry(&one);
+      r.result = one.result;
+      r.status = one.status;
+    }
+  }
+  for (size_t i = 0; i < n; i++) {
+    reqs[i].file = saved[i];
+  }
+}
 
 }  // namespace bolt

@@ -36,12 +36,14 @@ namespace bolt {
 enum class FaultOp {
   kAppend = 0,
   kSync,
-  kRead,  // SequentialFile::Read and RandomAccessFile::Read
+  kRead,  // SequentialFile::Read, RandomAccessFile::Read, and each
+          // entry of a ReadBatch (so read-fault plans hit batches too)
   kPunchHole,
   kRename,
   kNewWritableFile,
+  kReadBatch,  // whole ReadBatch submissions (counts once per batch)
 };
-inline constexpr int kNumFaultOps = 6;
+inline constexpr int kNumFaultOps = 7;
 
 // File classes a *transient* fault can be scoped to, classified from the
 // file name exactly like TracingEnv's barrier attribution: a transient
@@ -82,6 +84,9 @@ class FaultInjectionEnv final : public Env {
   uint64_t TransientFaultsRemaining() const;
   // Each successful read flips one byte with this probability.
   void SetReadCorruption(double probability);
+  // Each successful batched read entry is truncated to half its length
+  // with this probability (partial completion / short read emulation).
+  void SetShortReads(double probability);
   // When enabled, Crash() keeps a random sector-aligned (512 B) prefix
   // of each file's unsynced suffix instead of dropping it entirely.
   void SetTornWrites(bool enabled);
@@ -128,7 +133,24 @@ class FaultInjectionEnv final : public Env {
   void SleepForMicroseconds(int micros) override;
   IoStats GetIoStats() const override;
   void ResetIoStats() override;
+  // Injects per-submission failures: one CheckInject(kReadBatch) for the
+  // whole batch, one CheckInject(kRead) per entry (so entries fail
+  // independently), then short-read truncation and byte corruption on
+  // surviving entries.  Non-injected entries are forwarded, unwrapped,
+  // to the target env's batch engine.
+  void ReadBatch(FileReadRequest* reqs, size_t n,
+                 const ReadBatchOptions& opts) override;
   SimContext* sim() override;
+  // Forward the observability hookups so the target env (which does the
+  // actual barrier and batch charging) sees the registry/tracer too.
+  void SetMetricsRegistry(obs::MetricsRegistry* m) override {
+    Env::SetMetricsRegistry(m);
+    target_->SetMetricsRegistry(m);
+  }
+  void SetTracer(obs::Tracer* t) override {
+    Env::SetTracer(t);
+    target_->SetTracer(t);
+  }
 
  private:
   friend class FaultWritableFile;
@@ -162,6 +184,11 @@ class FaultInjectionEnv final : public Env {
   Status CheckInject(FaultOp op, const std::string& fname = std::string());
   // True if this read should be corrupted (counts the read op too).
   bool ShouldCorruptRead(uint64_t* byte_seed);
+  // True if this batched entry should come back short.
+  bool ShouldShortRead();
+  // Post-completion mangling of one successful batch entry: short-read
+  // truncation or byte corruption, per the armed plan.
+  void MaybeMangleBatchEntry(ReadRequest* r);
 
   void RecordAppend(const std::string& fname, uint64_t len);
   void RecordSync(const std::string& fname);
@@ -173,6 +200,7 @@ class FaultInjectionEnv final : public Env {
   Fault faults_[kNumFaultOps] GUARDED_BY(mu_);
   std::vector<TransientFault> transient_faults_ GUARDED_BY(mu_);
   double read_corruption_p_ GUARDED_BY(mu_) = 0.0;
+  double short_read_p_ GUARDED_BY(mu_) = 0.0;
   bool torn_writes_ GUARDED_BY(mu_) = false;
   uint64_t faults_injected_ GUARDED_BY(mu_) = 0;
   std::map<std::string, FileState> files_ GUARDED_BY(mu_);

@@ -18,6 +18,7 @@
 #include <deque>
 #include <thread>
 
+#include "env/async_io.h"
 #include "env/env.h"
 #include "env/posix_logger.h"
 #include "obs/metrics.h"
@@ -137,6 +138,24 @@ class PosixRandomAccessFile final : public RandomAccessFile {
     *result = Slice(scratch, r);
     stats_->bytes_read.fetch_add(r, std::memory_order_relaxed);
     return Status::OK();
+  }
+
+  // Expose the fd so Env::ReadBatch can hand reads straight to io_uring.
+  int PreadFd() const override { return fd_; }
+
+  void Advise(uint64_t offset, uint64_t len,
+              AccessPattern pattern) const override {
+#if defined(POSIX_FADV_WILLNEED) && defined(POSIX_FADV_DONTNEED)
+    (void)posix_fadvise(fd_, static_cast<off_t>(offset),
+                        static_cast<off_t>(len),
+                        pattern == AccessPattern::kWillNeed
+                            ? POSIX_FADV_WILLNEED
+                            : POSIX_FADV_DONTNEED);
+#else
+    (void)offset;
+    (void)len;
+    (void)pattern;
+#endif
   }
 
  private:
@@ -439,6 +458,32 @@ class PosixEnvImpl final : public Env {
 
   IoStats GetIoStats() const override { return stats_.Snapshot(); }
   void ResetIoStats() override { stats_.Reset(); }
+
+  void ReadBatch(FileReadRequest* reqs, size_t n,
+                 const ReadBatchOptions& opts) override {
+    obs::MetricsRegistry* m = metrics();
+    const uint64_t t0 = m != nullptr ? NowNanos() : 0;
+    const AsyncIoEngine::Result r =
+        AsyncIoEngine::Instance()->Execute(reqs, n, opts);
+    // io_uring completions bypass PosixRandomAccessFile::Read, so their
+    // bytes are accounted here; pool completions went through Read and
+    // already counted themselves.
+    if (r.uring_bytes > 0) {
+      stats_.bytes_read.fetch_add(r.uring_bytes, std::memory_order_relaxed);
+    }
+    if (m != nullptr) {
+      m->Add(obs::kIoBatchSubmits);
+      m->Add(obs::kIoBatchReads, n);
+      if (r.uring_reads > 0) {
+        m->Add(obs::kIoBatchUringReads, r.uring_reads);
+      }
+      if (r.pool_reads > 0) {
+        m->Add(obs::kIoBatchFallbackReads, r.pool_reads);
+      }
+      m->SetGauge(obs::kIoBatchQueueDepth, n);
+      m->RecordHist(obs::kIoBatchNs, NowNanos() - t0);
+    }
+  }
 
  private:
   struct BackgroundWork {

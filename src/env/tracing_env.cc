@@ -187,6 +187,27 @@ class TracingRandomAccessFile : public RandomAccessFile {
     return target_->Read(offset, n, result, scratch);
   }
 
+  Status ReadBatch(ReadRequest* reqs, size_t n) const override {
+    obs::SpanScope span(env_->tracer(), "read_batch", "io");
+    if (span.active()) {
+      span.AddArg("entries", n);
+      span.SetStrArg("file", base_);
+    }
+    return target_->ReadBatch(reqs, n);
+  }
+
+  void Advise(uint64_t offset, uint64_t len,
+              AccessPattern pattern) const override {
+    target_->Advise(offset, len, pattern);
+  }
+
+  // Deliberately -1: batched reads must pass through TracingEnv's
+  // ReadBatch (which unwraps to the target file), never hand this
+  // wrapper's reads to a raw ring.
+  int PreadFd() const override { return -1; }
+
+  RandomAccessFile* target() const { return target_.get(); }
+
  private:
   TracingEnv* const env_;
   const std::string base_;
@@ -274,6 +295,28 @@ Status TracingEnv::RenameFile(const std::string& src,
   obs::SpanScope span(tracer(), NamesFor(ClassifyTraceFile(src)).rename, "io");
   if (span.active()) span.SetStrArg("file", Basename(src));
   return target()->RenameFile(src, target_name);
+}
+
+void TracingEnv::ReadBatch(FileReadRequest* reqs, size_t n,
+                           const ReadBatchOptions& opts) {
+  obs::SpanScope span(tracer(), "read_batch", "io");
+  uint64_t total = 0;
+  std::vector<RandomAccessFile*> saved(n, nullptr);
+  for (size_t i = 0; i < n; i++) {
+    saved[i] = reqs[i].file;
+    if (auto* tf = dynamic_cast<TracingRandomAccessFile*>(reqs[i].file)) {
+      reqs[i].file = tf->target();
+    }
+    total += reqs[i].len;
+  }
+  if (span.active()) {
+    span.AddArg("entries", n);
+    span.AddArg("bytes", total);
+  }
+  target()->ReadBatch(reqs, n, opts);
+  for (size_t i = 0; i < n; i++) {
+    reqs[i].file = saved[i];
+  }
 }
 
 Status TracingEnv::PunchHole(const std::string& fname, uint64_t offset,

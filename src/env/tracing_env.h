@@ -67,6 +67,12 @@ class TracingEnv final : public EnvWrapper {
   Status RenameFile(const std::string& src, const std::string& target) override;
   Status PunchHole(const std::string& fname, uint64_t offset,
                    uint64_t length) override;
+
+  // One "read_batch" span covers the whole submission; the wrapped
+  // files are unwrapped so the physical env underneath still sees its
+  // own file objects (and their PreadFd) rather than tracing shims.
+  void ReadBatch(FileReadRequest* reqs, size_t n,
+                 const ReadBatchOptions& opts) override;
 };
 
 }  // namespace bolt

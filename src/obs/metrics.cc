@@ -65,6 +65,12 @@ const char* TickerName(Ticker t) {
     case kBlockCacheMisses:        return "block_cache.miss";
     case kMultiGetCalls:           return "db.multiget.calls";
     case kMultiGetKeys:            return "db.multiget.keys";
+    case kIoBatchSubmits:          return "io.batch.submits";
+    case kIoBatchReads:            return "io.batch.reads";
+    case kIoBatchUringReads:       return "io.batch.uring_reads";
+    case kIoBatchFallbackReads:    return "io.batch.fallback_reads";
+    case kReadaheadBlocks:         return "io.readahead.blocks";
+    case kWalGroupSyncShared:      return "wal.group_sync.shared";
     case kNetConnAccepted:         return "net.conn.accepted";
     case kNetCommands:             return "net.commands";
     case kNetBytesIn:              return "net.bytes.in";
@@ -88,6 +94,7 @@ const char* GaugeName(Gauge g) {
     case kBlockCacheUsage:    return "block_cache.usage_bytes";
     case kTableCacheUsage:    return "table_cache.usage_entries";
     case kNetConnActive:      return "net.conn.active";
+    case kIoBatchQueueDepth:  return "io.batch.queue_depth";
     case kGaugeMax:           break;
   }
   return "unknown";
@@ -104,6 +111,7 @@ const char* HistName(Hist h) {
     case kStallNs:       return "latency.stall_ns";
     case kBgLaneWaitHighNs: return "latency.bg_wait.high_ns";
     case kBgLaneWaitLowNs:  return "latency.bg_wait.low_ns";
+    case kIoBatchNs:        return "latency.io_batch_ns";
     case kHistMax:       break;
   }
   return "unknown";

@@ -119,6 +119,15 @@ enum Ticker : uint32_t {
   kMultiGetCalls,       // MultiGet invocations
   kMultiGetKeys,        // keys served by MultiGet (one snapshot, one lock)
 
+  // ---- Async I/O engine (Env::ReadBatch, DESIGN.md §14) ----
+  kIoBatchSubmits,        // ReadBatch calls reaching a physical env
+  kIoBatchReads,          // read entries submitted through ReadBatch
+  kIoBatchUringReads,     // entries completed by the io_uring backend
+  kIoBatchFallbackReads,  // entries completed by the thread-pool/serial path
+  kReadaheadBlocks,       // data blocks prefetched by compaction readahead
+  kWalGroupSyncShared,    // sync-requesting writers served by another
+                          // writer's WAL barrier (group-sync sharing)
+
   // ---- Network front end (src/net/) ----
   kNetConnAccepted,     // connections accepted by the server
   kNetCommands,         // commands executed (all types)
@@ -147,6 +156,7 @@ enum Gauge : uint32_t {
   kBlockCacheUsage,         // bytes charged to the block cache
   kTableCacheUsage,         // entries charged to the table-reader cache
   kNetConnActive,           // currently open client connections
+  kIoBatchQueueDepth,       // entries in the most recent ReadBatch submission
   kGaugeMax,
 };
 
@@ -161,6 +171,7 @@ enum Hist : uint32_t {
   kStallNs,             // each individual write stall
   kBgLaneWaitHighNs,    // flush-lane queue wait, Schedule() to dequeue
   kBgLaneWaitLowNs,     // compaction-lane queue wait
+  kIoBatchNs,           // wall-clock duration of each ReadBatch submission
   kHistMax,
 };
 

@@ -82,6 +82,30 @@ class SimContext {
     AdvanceCpu(cost);
   }
 
+  // A batch of k cold reads submitted at once (Env::ReadBatch): the
+  // device overlaps up to queue_depth base latencies per round, while
+  // transfer time stays proportional to the total bytes moved.  This is
+  // the whole analyzable benefit of batched reads: k * random_read_ns
+  // collapses to ceil(k / queue_depth) * random_read_ns.  Contention
+  // with an outstanding barrier backlog is paid once per batch, not per
+  // entry (the batch occupies one submission window).
+  void ChargeReadBatch(uint64_t k, uint64_t total_bytes) {
+    if (k == 0) return;
+    const uint64_t depth = std::max<uint64_t>(1, config_.queue_depth);
+    const uint64_t rounds = (k + depth - 1) / depth;
+    uint64_t cost = rounds * config_.random_read_ns +
+                    config_.SequentialReadCostNs(total_bytes);
+    const uint64_t now = Now();
+    if (device_free_ > now) {
+      const uint64_t backlog = device_free_ - now;
+      const uint64_t extra = std::min(
+          static_cast<uint64_t>(backlog * config_.read_contention_frac),
+          config_.read_contention_cap_ns);
+      cost += extra;
+    }
+    AdvanceCpu(cost);
+  }
+
   void ChargeMetadataOp() { AdvanceCpu(config_.metadata_op_ns); }
 
   // Total virtual time the device spent busy on barrier-driven writes

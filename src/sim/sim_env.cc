@@ -98,6 +98,27 @@ class SimRandomAccessFile final : public RandomAccessFile {
     return Status::OK();
   }
 
+  // Move the bytes and account them without advancing the virtual
+  // clock; SimEnv::ReadBatch charges one batched cost for the whole
+  // submission instead.  Returns the bytes that missed the simulated
+  // page cache (0 == served from RAM).
+  uint64_t BatchReadNoCharge(ReadRequest* req) const {
+    const std::string& data = file_->data;
+    if (req->offset > data.size()) {
+      req->status = Status::IOError("read past end of file");
+      return 0;
+    }
+    const size_t len = std::min<uint64_t>(req->len, data.size() - req->offset);
+    memcpy(req->scratch, data.data() + req->offset, len);
+    req->result = Slice(req->scratch, len);
+    req->status = Status::OK();
+    stats_->bytes_read += len;
+    const uint64_t missing =
+        page_cache_->MissingBytes(file_->id, req->offset, len);
+    last_end_ = req->offset + len;
+    return missing;
+  }
+
  private:
   std::shared_ptr<SimEnv::MemFile> file_;
   SimContext* sim_;
@@ -375,6 +396,54 @@ IoStats SimEnv::GetIoStats() const {
 void SimEnv::ResetIoStats() {
   MutexLock l(&fs_mutex_);
   stats_ = IoStats();
+}
+
+void SimEnv::ReadBatch(FileReadRequest* reqs, size_t n,
+                       const ReadBatchOptions& opts) {
+  (void)opts;  // parallelism is a posix concern; the model uses queue_depth
+  const uint64_t t0 = sim_.Now();
+  uint64_t cold_entries = 0;
+  uint64_t cold_bytes = 0;
+  uint64_t resident_bytes = 0;
+  for (size_t i = 0; i < n; i++) {
+    FileReadRequest& r = reqs[i];
+    if (r.file == nullptr) {
+      r.status = Status::InvalidArgument("ReadBatch entry has no file");
+      continue;
+    }
+    auto* sf = dynamic_cast<SimRandomAccessFile*>(r.file);
+    if (sf == nullptr) {
+      // Foreign file object (a wrapper we do not know): serial cost.
+      r.status = r.file->Read(r.offset, r.len, &r.result, r.scratch);
+      continue;
+    }
+    ReadRequest one;
+    one.offset = r.offset;
+    one.len = r.len;
+    one.scratch = r.scratch;
+    const uint64_t missing = sf->BatchReadNoCharge(&one);
+    r.result = one.result;
+    r.status = one.status;
+    if (!one.status.ok()) {
+      continue;
+    }
+    if (missing == 0) {
+      resident_bytes += one.result.size();
+    } else {
+      cold_entries++;
+      cold_bytes += missing;
+    }
+  }
+  if (resident_bytes > 0) {
+    sim_.AdvanceCpu(sim_.config().RamReadCostNs(resident_bytes));
+  }
+  sim_.ChargeReadBatch(cold_entries, cold_bytes);
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->Add(obs::kIoBatchSubmits);
+    m->Add(obs::kIoBatchReads, n);
+    m->SetGauge(obs::kIoBatchQueueDepth, n);
+    m->RecordHist(obs::kIoBatchNs, sim_.Now() - t0);
+  }
 }
 
 uint64_t SimEnv::TotalStoredBytes() const {

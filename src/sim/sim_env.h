@@ -62,6 +62,14 @@ class SimEnv final : public Env {
   IoStats GetIoStats() const override;
   void ResetIoStats() override;
 
+  // Batched reads under the queue-depth cost model: the data moves
+  // exactly as n serial Read() calls would move it, but the virtual
+  // clock is charged once per batch via SimContext::ChargeReadBatch —
+  // cold entries overlap their base latencies up to
+  // SsdModelConfig::queue_depth (DESIGN.md §14).
+  void ReadBatch(FileReadRequest* reqs, size_t n,
+                 const ReadBatchOptions& opts) override;
+
   SimContext* sim() override { return &sim_; }
 
   // ---- Simulation-only introspection ------------------------------------

@@ -32,6 +32,10 @@ struct SsdModelConfig {
   // for part of the backlog (bounded: SSDs still interleave).
   double read_contention_frac = 0.5;
   uint64_t read_contention_cap_ns = 2'000'000;
+  // NCQ depth for batched reads (Env::ReadBatch): up to queue_depth cold
+  // reads overlap their base latencies, so a batch of k random reads
+  // pays ceil(k / queue_depth) rounds of random_read_ns instead of k.
+  uint64_t queue_depth = 32;
 
   // Simulated OS page cache (write-allocate + read-allocate, global LRU).
   // The paper boots with mem=8GB against a ~50 GB database, i.e. the

@@ -51,23 +51,15 @@ Status Footer::DecodeFrom(Slice* input) {
   return result;
 }
 
-Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
-                 const BlockHandle& handle, BlockContents* result) {
+Status FinishBlockRead(const ReadOptions& options, const BlockHandle& handle,
+                       const Slice& contents, char* buf,
+                       BlockContents* result) {
   result->data = Slice();
   result->cachable = false;
   result->heap_allocated = false;
 
   const size_t n = static_cast<size_t>(handle.size());
-  char* buf = new char[n + kBlockTrailerSize];
-  Slice contents;
-  Status s =
-      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
-  if (!s.ok()) {
-    delete[] buf;
-    return s;
-  }
   if (contents.size() != n + kBlockTrailerSize) {
-    delete[] buf;
     return Status::Corruption("truncated block read");
   }
 
@@ -76,7 +68,6 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
     const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
     const uint32_t actual = crc32c::Value(data, n + 1);
     if (actual != crc) {
-      delete[] buf;
       return Status::Corruption("block checksum mismatch");
     }
   }
@@ -85,7 +76,6 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
     // File implementation gave us a pointer to some other data (e.g. an
     // mmap region).  Use it directly under the assumption that it will
     // be live while the file is open.
-    delete[] buf;
     result->data = Slice(data, n);
     result->heap_allocated = false;
     result->cachable = false;
@@ -95,6 +85,26 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
     result->cachable = true;
   }
   return Status::OK();
+}
+
+Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
+                 const BlockHandle& handle, BlockContents* result) {
+  const size_t n = static_cast<size_t>(handle.size());
+  char* buf = new char[n + kBlockTrailerSize];
+  Slice contents;
+  Status s =
+      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
+  if (s.ok()) {
+    s = FinishBlockRead(options, handle, contents, buf, result);
+  } else {
+    result->data = Slice();
+    result->cachable = false;
+    result->heap_allocated = false;
+  }
+  if (!s.ok() || !result->heap_allocated) {
+    delete[] buf;
+  }
+  return s;
 }
 
 }  // namespace bolt

@@ -77,4 +77,14 @@ struct BlockContents {
 Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
                  const BlockHandle& handle, BlockContents* result);
 
+// The verification half of ReadBlock, for callers that performed the
+// read themselves (batched lookups, readahead): `contents` is the
+// completed read of [handle.offset(), handle.size() + kBlockTrailerSize)
+// into `buf`.  Never frees buf; on success with result->heap_allocated
+// set, result->data aliases buf and the caller should hand ownership to
+// the Block built from it.
+Status FinishBlockRead(const ReadOptions& options, const BlockHandle& handle,
+                       const Slice& contents, char* buf,
+                       BlockContents* result);
+
 }  // namespace bolt

@@ -1,5 +1,9 @@
 #include "table/table.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "env/env.h"
 #include "obs/metrics.h"
 #include "obs/perf_context.h"
@@ -203,9 +207,215 @@ Iterator* Table::NewIndexIterator() const {
   return rep_->index_block->NewIterator(rep_->options.comparator);
 }
 
+// ReadaheadIterator: wraps a table's two-level iterator and keeps a
+// window of upcoming data blocks warm in the block cache (compaction
+// input prefetch).  Each refill re-seeks the in-memory index at the
+// current key, collects the next readahead_blocks handles, batch-reads
+// the cold ones through Env::ReadBatch, and inserts the verified blocks
+// into the cache — so the merge loop's own BlockReader calls hit.  A new
+// refill is armed at roughly the window midpoint, keeping the device
+// queue fed without re-prefetching every block.  Prefetch is
+// best-effort: a failed or short readahead read is dropped and the
+// synchronous read path surfaces the error (or succeeds) on its own.
+//
+// With Options::advise_compaction_inputs set, the window is advised
+// WILLNEED before the batch and everything behind the current block is
+// advised DONTNEED — large compactions stop evicting the hot working
+// set from the OS page cache.
+class ReadaheadIterator : public Iterator {
+ public:
+  ReadaheadIterator(const Table* table, Iterator* base,
+                    const ReadOptions& options)
+      : table_(table),
+        base_(base),
+        options_(options),
+        window_(options.readahead_blocks) {}
+
+  ~ReadaheadIterator() override {
+    if (table_->rep_->options.advise_compaction_inputs &&
+        consumed_end_ > advised_consumed_end_) {
+      table_->rep_->file->Advise(advised_consumed_end_,
+                                 consumed_end_ - advised_consumed_end_,
+                                 RandomAccessFile::AccessPattern::kDontNeed);
+    }
+    delete base_;
+  }
+
+  [[nodiscard]] bool Valid() const override { return base_->Valid(); }
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+  void SeekToFirst() override {
+    base_->SeekToFirst();
+    OnForwardReposition();
+  }
+  void Seek(const Slice& target) override {
+    base_->Seek(target);
+    OnForwardReposition();
+  }
+  void Next() override {
+    base_->Next();
+    MaybeRefill();
+  }
+  // Backward motion: stop prefetching until the next forward reposition
+  // (compaction never moves backward; this keeps the wrapper a correct
+  // general-purpose iterator anyway).
+  void SeekToLast() override {
+    base_->SeekToLast();
+    armed_ = false;
+  }
+  void Prev() override {
+    base_->Prev();
+    armed_ = false;
+  }
+
+ private:
+  void OnForwardReposition() {
+    armed_ = true;
+    trigger_.clear();
+    MaybeRefill();
+  }
+
+  void MaybeRefill() {
+    if (!armed_ || !base_->Valid()) return;
+    if (!trigger_.empty() &&
+        table_->rep_->options.comparator->Compare(base_->key(),
+                                                  Slice(trigger_)) < 0) {
+      return;
+    }
+    Refill();
+  }
+
+  void Refill() {
+    Table::Rep* rep = table_->rep_;
+    Cache* block_cache = rep->options.block_cache;
+    std::unique_ptr<Iterator> index(table_->NewIndexIterator());
+    index->Seek(base_->key());
+    if (!index->Valid()) {
+      armed_ = false;
+      return;
+    }
+    BlockHandle cur;
+    Slice cur_value = index->value();
+    if (!cur.DecodeFrom(&cur_value).ok()) {
+      armed_ = false;
+      return;
+    }
+    // Everything before the block we are reading now has been consumed.
+    consumed_end_ = std::max(consumed_end_, cur.offset());
+    if (rep->options.advise_compaction_inputs &&
+        consumed_end_ > advised_consumed_end_) {
+      rep->file->Advise(advised_consumed_end_,
+                        consumed_end_ - advised_consumed_end_,
+                        RandomAccessFile::AccessPattern::kDontNeed);
+      advised_consumed_end_ = consumed_end_;
+    }
+
+    // Collect the next `window_` block handles past the current block,
+    // remembering each block's index key so the refill trigger can be
+    // re-armed at the window midpoint.
+    index->Next();
+    std::vector<BlockHandle> handles;
+    std::vector<std::string> keys;
+    while (index->Valid() && handles.size() < static_cast<size_t>(window_)) {
+      BlockHandle h;
+      Slice v = index->value();
+      if (!h.DecodeFrom(&v).ok()) break;
+      handles.push_back(h);
+      keys.emplace_back(index->key().data(), index->key().size());
+      index->Next();
+    }
+    if (handles.empty()) {
+      armed_ = false;  // at the table tail: nothing left to prefetch
+      return;
+    }
+    trigger_ = keys[(keys.size() - 1) / 2];
+
+    // Batch-read the handles that are not already cached.
+    std::vector<FileReadRequest> reqs;
+    std::vector<std::unique_ptr<char[]>> bufs;
+    std::vector<BlockHandle> pending;
+    for (const BlockHandle& h : handles) {
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, rep->cache_id);
+      EncodeFixed64(cache_key_buffer + 8, h.offset());
+      Cache::Handle* ch =
+          block_cache->Lookup(Slice(cache_key_buffer, sizeof(cache_key_buffer)));
+      if (ch != nullptr) {
+        block_cache->Release(ch);
+        continue;
+      }
+      const size_t len = static_cast<size_t>(h.size()) + kBlockTrailerSize;
+      bufs.emplace_back(new char[len]);
+      FileReadRequest req;
+      req.file = rep->file;
+      req.offset = h.offset();
+      req.len = len;
+      req.scratch = bufs.back().get();
+      reqs.push_back(req);
+      pending.push_back(h);
+    }
+    if (reqs.empty()) return;
+
+    if (rep->options.advise_compaction_inputs) {
+      const uint64_t lo = pending.front().offset();
+      const uint64_t hi = pending.back().offset() + pending.back().size() +
+                          kBlockTrailerSize;
+      rep->file->Advise(lo, hi - lo,
+                        RandomAccessFile::AccessPattern::kWillNeed);
+    }
+
+    ReadBatchOptions batch_opts;
+    batch_opts.allow_io_uring = rep->options.io_uring_enabled;
+    rep->options.env->ReadBatch(reqs.data(), reqs.size(), batch_opts);
+
+    uint64_t inserted = 0;
+    for (size_t i = 0; i < reqs.size(); i++) {
+      if (!reqs[i].status.ok()) continue;
+      BlockContents contents;
+      if (!FinishBlockRead(options_, pending[i], reqs[i].result,
+                           bufs[i].get(), &contents)
+               .ok()) {
+        continue;
+      }
+      if (!contents.cachable) continue;  // mmap'd data: nothing to insert
+      bufs[i].release();                 // the Block owns the buffer now
+      Block* block = new Block(contents);
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, rep->cache_id);
+      EncodeFixed64(cache_key_buffer + 8, pending[i].offset());
+      // Insert even though compaction reads use fill_cache=false: the
+      // prefetcher's inserts are the mechanism the merge loop hits on,
+      // bounded by the readahead window and evicted LRU like any block.
+      Cache::Handle* ch =
+          block_cache->Insert(Slice(cache_key_buffer, sizeof(cache_key_buffer)),
+                              block, block->size(), &DeleteCachedBlock);
+      block_cache->Release(ch);
+      inserted++;
+    }
+    if (inserted > 0 && rep->options.metrics != nullptr) {
+      rep->options.metrics->Add(obs::kReadaheadBlocks, inserted);
+    }
+  }
+
+  const Table* const table_;
+  Iterator* const base_;
+  const ReadOptions options_;
+  const int window_;
+  bool armed_ = false;
+  std::string trigger_;  // refill when base key reaches this index key
+  uint64_t consumed_end_ = 0;          // file offset the merge moved past
+  uint64_t advised_consumed_end_ = 0;  // prefix already advised DONTNEED
+};
+
 Iterator* Table::NewIterator(const ReadOptions& options) const {
-  return NewTwoLevelIterator(NewIndexIterator(), &Table::BlockReader,
-                             const_cast<Table*>(this), options);
+  Iterator* iter = NewTwoLevelIterator(NewIndexIterator(), &Table::BlockReader,
+                                       const_cast<Table*>(this), options);
+  if (options.readahead_blocks > 0 && rep_->options.block_cache != nullptr) {
+    iter = new ReadaheadIterator(this, iter, options);
+  }
+  return iter;
 }
 
 Status Table::InternalGet(const ReadOptions& options, const Slice& k,
@@ -248,6 +458,135 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& k,
   }
   delete iiter;
   return s;
+}
+
+void Table::PrepareGet(const ReadOptions& options, const Slice& k, void* arg,
+                       void (*handle_result)(void*, const Slice&,
+                                             const Slice&),
+                       GetContext* ctx) {
+  ctx->done = false;
+  ctx->need_block = false;
+  ctx->key = k;
+  ctx->arg = arg;
+  ctx->handle_result = handle_result;
+
+  // Bloom filter first, exactly like InternalGet.
+  if (rep_->options.filter_policy != nullptr && !rep_->filter_data.empty()) {
+    obs::PerfContext* pc = obs::GetPerfContext();
+    pc->bloom_checked++;
+    if (rep_->options.metrics != nullptr) {
+      rep_->options.metrics->Add(obs::kBloomChecked);
+    }
+    if (!rep_->options.filter_policy->KeyMayMatch(k,
+                                                  Slice(rep_->filter_data))) {
+      pc->bloom_useful++;
+      if (rep_->options.metrics != nullptr) {
+        rep_->options.metrics->Add(obs::kBloomUseful);
+      }
+      ctx->done = true;
+      ctx->status = Status::OK();
+      return;
+    }
+  }
+
+  Iterator* iiter = NewIndexIterator();
+  iiter->Seek(k);
+  if (!iiter->Valid()) {
+    ctx->status = iiter->status();
+    ctx->done = true;
+    delete iiter;
+    return;
+  }
+  BlockHandle handle;
+  Slice input = iiter->value();
+  Status s = handle.DecodeFrom(&input);
+  delete iiter;
+  if (!s.ok()) {
+    ctx->status = s;
+    ctx->done = true;
+    return;
+  }
+
+  Cache* block_cache = rep_->options.block_cache;
+  if (block_cache != nullptr) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, rep_->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, handle.offset());
+    Slice cache_key(cache_key_buffer, sizeof(cache_key_buffer));
+    obs::MetricsRegistry* metrics = rep_->options.metrics;
+    Cache::Handle* cache_handle = block_cache->Lookup(cache_key);
+    if (cache_handle != nullptr) {
+      // Warm block: resolve inline, no device read to batch.
+      if (metrics != nullptr) metrics->Add(obs::kBlockCacheHits);
+      obs::GetPerfContext()->block_cache_hits++;
+      Block* block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+      Iterator* block_iter = block->NewIterator(rep_->options.comparator);
+      block_iter->Seek(k);
+      if (block_iter->Valid()) {
+        (*handle_result)(arg, block_iter->key(), block_iter->value());
+      }
+      ctx->status = block_iter->status();
+      delete block_iter;
+      block_cache->Release(cache_handle);
+      ctx->done = true;
+      return;
+    }
+    if (metrics != nullptr) metrics->Add(obs::kBlockCacheMisses);
+    obs::GetPerfContext()->block_cache_misses++;
+  }
+
+  // Cold block: park the device read for the caller's batch.
+  ctx->need_block = true;
+  ctx->data_size = handle.size();
+  ctx->block_offset = handle.offset();
+  ctx->block_len = static_cast<size_t>(handle.size()) + kBlockTrailerSize;
+  ctx->file = rep_->file;
+  ctx->scratch.reset(new char[ctx->block_len]);
+}
+
+void Table::FinishGet(const ReadOptions& options, GetContext* ctx) {
+  if (ctx->done) return;
+  ctx->done = true;
+  if (!ctx->read_status.ok()) {
+    ctx->status = ctx->read_status;
+    return;
+  }
+  BlockHandle handle;
+  handle.set_offset(ctx->block_offset);
+  handle.set_size(ctx->data_size);
+  BlockContents contents;
+  Status s = FinishBlockRead(options, handle, ctx->read_result,
+                             ctx->scratch.get(), &contents);
+  if (!s.ok()) {
+    ctx->status = s;
+    return;
+  }
+  if (contents.heap_allocated) {
+    ctx->scratch.release();  // the Block owns the buffer now
+  }
+  Block* block = new Block(contents);
+  Cache* block_cache = rep_->options.block_cache;
+  Cache::Handle* cache_handle = nullptr;
+  if (block_cache != nullptr && contents.cachable && options.fill_cache) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, rep_->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, handle.offset());
+    cache_handle =
+        block_cache->Insert(Slice(cache_key_buffer, sizeof(cache_key_buffer)),
+                            block, block->size(), &DeleteCachedBlock);
+  }
+  Iterator* block_iter = block->NewIterator(rep_->options.comparator);
+  block_iter->Seek(ctx->key);
+  if (block_iter->Valid()) {
+    (*ctx->handle_result)(ctx->arg, block_iter->key(), block_iter->value());
+  }
+  ctx->status = block_iter->status();
+  delete block_iter;
+  if (cache_handle != nullptr) {
+    block_cache->Release(cache_handle);
+  } else {
+    delete block;
+  }
 }
 
 uint64_t Table::MetadataBytes() const { return rep_->metadata_bytes; }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "db/options.h"
 #include "util/slice.h"
@@ -17,6 +18,7 @@ class BlockHandle;
 class Footer;
 class Iterator;
 class RandomAccessFile;
+class ReadaheadIterator;
 
 class Table {
  public:
@@ -33,7 +35,11 @@ class Table {
 
   ~Table();
 
-  // Returns a new iterator over the table contents.
+  // Returns a new iterator over the table contents.  When
+  // options.readahead_blocks > 0 and a block cache is configured, the
+  // iterator prefetches upcoming data blocks into the cache with one
+  // Env::ReadBatch per refill (compaction input readahead, DESIGN.md
+  // §14).
   Iterator* NewIterator(const ReadOptions&) const;
 
   // Calls (*handle_result)(arg, ...) with the entry found after calling
@@ -43,12 +49,51 @@ class Table {
                      void (*handle_result)(void* arg, const Slice& k,
                                            const Slice& v));
 
+  // One point lookup split for the batched read path (Version::MultiGet,
+  // DESIGN.md §14).  PrepareGet() runs the synchronous prefix of
+  // InternalGet — bloom filter, index seek, block-cache probe — and
+  // resolves entirely when it can (bloom reject, cache hit, key past the
+  // index).  When the data block is cold it parks the pending device
+  // read here instead; the caller gathers contexts across keys and
+  // tables, issues one Env::ReadBatch for all of them, copies each
+  // completion into read_result / read_status, and calls FinishGet() to
+  // verify, cache, and search the block.
+  struct GetContext {
+    // Filled by PrepareGet().
+    bool done = false;        // resolved synchronously; `status` is final
+    bool need_block = false;  // caller must read [block_offset, block_len)
+    uint64_t block_offset = 0;
+    size_t block_len = 0;               // data block + its checksum trailer
+    RandomAccessFile* file = nullptr;   // read target (ReadBatch entry)
+    std::unique_ptr<char[]> scratch;    // block_len bytes of read buffer
+
+    // Filled by the caller from the completed read.
+    Slice read_result;
+    Status read_status;
+
+    // Final outcome (valid once done — immediately, or after FinishGet).
+    Status status;
+
+    // PrepareGet() arguments replayed by FinishGet().  The key must stay
+    // live (and the table pinned) until FinishGet() returns.
+    Slice key;
+    void* arg = nullptr;
+    void (*handle_result)(void*, const Slice&, const Slice&) = nullptr;
+    uint64_t data_size = 0;  // block size sans trailer (BlockHandle::size)
+  };
+  void PrepareGet(const ReadOptions&, const Slice& key, void* arg,
+                  void (*handle_result)(void* arg, const Slice& k,
+                                        const Slice& v),
+                  GetContext* ctx);
+  void FinishGet(const ReadOptions&, GetContext* ctx);
+
   // Bytes of metadata (index + filter) this table pins in memory: the
   // TableCache miss penalty reported in Fig 6.
   uint64_t MetadataBytes() const;
 
  private:
   friend class TableCache;
+  friend class ReadaheadIterator;
   struct Rep;
 
   static Iterator* BlockReader(void*, const ReadOptions&, const Slice&);

@@ -1,0 +1,14 @@
+// lint-expect: naked-pread
+// lint-path: src/db/bad_naked_pread.cc
+// A raw positional read outside src/env/ bypasses the batch engine,
+// the SimEnv queue-depth model, fault injection and the kIoBatch*
+// tickers; bolt_lint must reject it.
+#include <unistd.h>
+
+namespace bolt {
+
+long BadRawRead(int fd, char* buf, unsigned long n, long off) {
+  return pread(fd, buf, n, off);  // BAD: must go through Env::ReadBatch
+}
+
+}  // namespace bolt

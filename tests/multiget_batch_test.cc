@@ -1,0 +1,328 @@
+// Batched MultiGet, compaction readahead, and shared WAL group sync
+// (DESIGN.md §14).  MultiGet must be semantically identical to a serial
+// Get loop against one snapshot — same values, same NotFound set, same
+// snapshot visibility — while issuing its cold SST block reads through
+// Env::ReadBatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/db.h"
+#include "db/db_impl.h"
+#include "env/env.h"
+#include "obs/metrics.h"
+#include "sim/sim_env.h"
+
+namespace bolt {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%06d", i);
+  return std::string(buf);
+}
+
+std::string Val(int i, int gen = 0) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "val%06d.g%d.%040d", i, gen, i);
+  return std::string(buf);
+}
+
+}  // namespace
+
+class MultiGetBatchTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<SimEnv>();
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    options_.metrics = &metrics_;
+  }
+
+  void Open() {
+    db_.reset();
+    DB* db = nullptr;
+    ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+    db_.reset(db);
+  }
+
+  DBImpl* impl() { return static_cast<DBImpl*>(db_.get()); }
+
+  // Spread keys over several tables and levels so MultiGet has to walk
+  // real candidate lists (some keys shadowed, some deleted).
+  void FillLayered(int n) {
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 0)).ok());
+    }
+    ASSERT_TRUE(impl()->TEST_CompactMemTable().ok());
+    // Overwrite every third key, delete every seventh, in a newer table.
+    for (int i = 0; i < n; i += 3) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 1)).ok());
+    }
+    for (int i = 0; i < n; i += 7) {
+      ASSERT_TRUE(db_->Delete(WriteOptions(), Key(i)).ok());
+    }
+    ASSERT_TRUE(impl()->TEST_CompactMemTable().ok());
+  }
+
+  std::vector<Slice> AllKeys(int n, int extra_missing) {
+    key_storage_.clear();
+    for (int i = 0; i < n + extra_missing; i++) {
+      key_storage_.push_back(i < n ? Key(i) : "missing" + Key(i));
+    }
+    std::vector<Slice> keys;
+    for (const auto& k : key_storage_) keys.push_back(Slice(k));
+    return keys;
+  }
+
+  std::unique_ptr<SimEnv> env_;
+  obs::MetricsRegistry metrics_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+  std::vector<std::string> key_storage_;
+};
+
+TEST_F(MultiGetBatchTest, MatchesSerialGet) {
+  Open();
+  const int n = 500;
+  FillLayered(n);
+
+  // Cold cache: bounce the DB so every block read goes to the device.
+  Open();
+  auto keys = AllKeys(n, 25);
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  ASSERT_EQ(keys.size(), statuses.size());
+  ASSERT_EQ(keys.size(), values.size());
+
+  // The batched path must have been exercised, not a serial fallback.
+  EXPECT_GT(metrics_.Get(obs::kIoBatchSubmits), 0u);
+  EXPECT_GT(metrics_.Get(obs::kIoBatchReads), 0u);
+
+  for (size_t i = 0; i < keys.size(); i++) {
+    std::string serial_value;
+    Status serial = db_->Get(ReadOptions(), keys[i], &serial_value);
+    ASSERT_EQ(serial.ok(), statuses[i].ok())
+        << i << " batched=" << statuses[i].ToString()
+        << " serial=" << serial.ToString();
+    ASSERT_EQ(serial.IsNotFound(), statuses[i].IsNotFound()) << i;
+    if (serial.ok()) {
+      EXPECT_EQ(serial_value, values[i]) << i;
+    }
+  }
+  // Spot-check semantics directly: overwrites win, deletes are gone.
+  EXPECT_TRUE(statuses[0].IsNotFound());           // deleted (0 % 7 == 0)
+  EXPECT_EQ(Val(3, 1), values[3]);                 // overwritten
+  EXPECT_EQ(Val(1, 0), values[1]);                 // original
+  EXPECT_TRUE(statuses[n].IsNotFound());           // never written
+}
+
+TEST_F(MultiGetBatchTest, SnapshotVisibility) {
+  Open();
+  const int n = 100;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 0)).ok());
+  }
+  ASSERT_TRUE(impl()->TEST_CompactMemTable().ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 9)).ok());
+  }
+  ASSERT_TRUE(impl()->TEST_CompactMemTable().ok());
+
+  auto keys = AllKeys(n, 0);
+  ReadOptions ro;
+  ro.snapshot = snap;
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ro, keys, &values);
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+    EXPECT_EQ(Val(i, 0), values[i]) << "snapshot pierced for key " << i;
+  }
+  db_->ReleaseSnapshot(snap);
+
+  std::vector<std::string> now_values;
+  std::vector<Status> now = db_->MultiGet(ReadOptions(), keys, &now_values);
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(now[i].ok());
+    EXPECT_EQ(Val(i, 9), now_values[i]);
+  }
+}
+
+TEST_F(MultiGetBatchTest, ParallelismSweepSameResults) {
+  Open();
+  const int n = 300;
+  FillLayered(n);
+  db_.reset();
+
+  std::vector<std::string> baseline;
+  std::vector<Status> baseline_status;
+  for (int parallelism : {1, 2, 8, 32}) {
+    options_.multiget_parallelism = parallelism;
+    Open();
+    auto keys = AllKeys(n, 10);
+    std::vector<std::string> values;
+    std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+    if (baseline.empty()) {
+      baseline = values;
+      baseline_status = statuses;
+      continue;
+    }
+    for (size_t i = 0; i < keys.size(); i++) {
+      ASSERT_EQ(baseline_status[i].ok(), statuses[i].ok())
+          << "parallelism=" << parallelism << " key " << i;
+      ASSERT_EQ(baseline_status[i].IsNotFound(), statuses[i].IsNotFound());
+      if (statuses[i].ok()) {
+        ASSERT_EQ(baseline[i], values[i])
+            << "parallelism=" << parallelism << " key " << i;
+      }
+    }
+  }
+  options_.multiget_parallelism = Options().multiget_parallelism;
+}
+
+TEST_F(MultiGetBatchTest, MemtableAndSstMix) {
+  Open();
+  const int n = 200;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 0)).ok());
+  }
+  ASSERT_TRUE(impl()->TEST_CompactMemTable().ok());
+  // Half the keys now also live in the (unflushed) memtable.
+  for (int i = 0; i < n; i += 2) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 5)).ok());
+  }
+  auto keys = AllKeys(n, 0);
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(statuses[i].ok());
+    EXPECT_EQ(i % 2 == 0 ? Val(i, 5) : Val(i, 0), values[i]) << i;
+  }
+}
+
+TEST_F(MultiGetBatchTest, EmptyAndAllMissingBatches) {
+  Open();
+  std::vector<std::string> values;
+  std::vector<Status> statuses =
+      db_->MultiGet(ReadOptions(), std::vector<Slice>(), &values);
+  EXPECT_TRUE(statuses.empty());
+  EXPECT_TRUE(values.empty());
+
+  auto keys = AllKeys(0, 8);
+  statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  for (const auto& s : statuses) {
+    EXPECT_TRUE(s.IsNotFound());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction readahead
+// ---------------------------------------------------------------------------
+
+TEST_F(MultiGetBatchTest, CompactionReadaheadPrefetchesBlocks) {
+  options_.compaction_readahead_blocks = 4;
+  options_.advise_compaction_inputs = true;
+  options_.block_size = 1024;  // many small blocks per table
+  Open();
+  const int n = 2000;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 0)).ok());
+  }
+  ASSERT_TRUE(impl()->TEST_CompactMemTable().ok());
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Val(i, 1)).ok());
+  }
+  ASSERT_TRUE(impl()->TEST_CompactMemTable().ok());
+
+  // Merge the overlapping tables: the compaction input iterators run
+  // with a readahead window, batching cold data blocks ahead of the
+  // merge cursor.
+  db_->CompactRange(nullptr, nullptr);
+  EXPECT_GT(metrics_.Get(obs::kReadaheadBlocks), 0u)
+      << "compaction did not prefetch through the readahead window";
+
+  // Readahead must not change what comes out of the compaction.
+  auto keys = AllKeys(n, 0);
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(statuses[i].ok()) << i << ": " << statuses[i].ToString();
+    ASSERT_EQ(Val(i, 1), values[i]) << i;
+  }
+}
+
+TEST_F(MultiGetBatchTest, ReadaheadOffByDefault) {
+  Open();
+  const int n = 500;
+  FillLayered(n);
+  db_->CompactRange(nullptr, nullptr);
+  EXPECT_EQ(0u, metrics_.Get(obs::kReadaheadBlocks));
+}
+
+// ---------------------------------------------------------------------------
+// Shared WAL group sync (threaded posix write path)
+// ---------------------------------------------------------------------------
+
+TEST(WalGroupSyncTest, ConcurrentSyncWritersShareFsyncs) {
+  Env* env = PosixEnv();
+  const std::string dir = "/tmp/bolt_group_sync_test";
+  (void)env->CreateDir(dir);
+  std::vector<std::string> children;
+  (void)env->GetChildren(dir, &children);
+  for (const auto& c : children) (void)env->RemoveFile(dir + "/" + c);
+
+  obs::MetricsRegistry metrics;
+  Options options;
+  options.env = env;
+  options.create_if_missing = true;
+  options.metrics = &metrics;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, dir, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  const uint64_t syncs_before = metrics.Get(obs::kWalSyncs);
+  const uint64_t shared_before = metrics.Get(obs::kWalGroupSyncShared);
+
+  const int kThreads = 8;
+  const int kWritesPerThread = 50;
+  std::atomic<int> failures{0};
+  auto writer = [&](int t) {
+    WriteOptions wo;
+    wo.sync = true;
+    for (int i = 0; i < kWritesPerThread; i++) {
+      std::string k = "t" + std::to_string(t) + "k" + std::to_string(i);
+      if (!db->Put(wo, k, Val(t * 1000 + i)).ok()) failures++;
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) threads.emplace_back(writer, t);
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(0, failures.load());
+
+  const uint64_t total_sync_writes = kThreads * kWritesPerThread;
+  const uint64_t syncs = metrics.Get(obs::kWalSyncs) - syncs_before;
+  const uint64_t shared = metrics.Get(obs::kWalGroupSyncShared) - shared_before;
+
+  // Every sync request either led its group's single fsync or shared
+  // one: the two tickers partition the request count exactly.  This is
+  // the sum-equation trace_check.py relies on.
+  EXPECT_EQ(total_sync_writes, syncs + shared);
+  // With 8 threads hammering sync puts, grouping must actually happen.
+  EXPECT_GT(shared, 0u);
+  EXPECT_LT(syncs, total_sync_writes);
+
+  // Durability spot check: everything written is readable.
+  for (int t = 0; t < kThreads; t++) {
+    std::string v;
+    ASSERT_TRUE(
+        db->Get(ReadOptions(), "t" + std::to_string(t) + "k0", &v).ok());
+  }
+}
+
+}  // namespace bolt
