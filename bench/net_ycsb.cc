@@ -19,6 +19,7 @@
 // Output: one row per configuration — throughput plus p50/p99 of the
 // per-round-trip latency (a round trip carries --pipeline commands, so
 // this is the latency a pipelining client actually observes).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -33,6 +34,7 @@
 #include "env/env.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/socket.h"
 #include "obs/metrics.h"
 #include "shard/sharded_db.h"
 #include "util/histogram.h"
@@ -92,6 +94,12 @@ struct RunResult {
   double seconds = 0;
   double ops_per_sec = 0;
   uint64_t p50_us = 0, p99_us = 0;  // per-round-trip (pipeline batch)
+  // Server-side per-verb latency, scraped from /metrics after the run
+  // (embedded mode only).  Unlike rtt_*, these exclude client-side
+  // queueing, so they are the server's own view of its tail.
+  bool have_server_stats = false;
+  uint64_t srv_get_p50_us = 0, srv_get_p99_us = 0;
+  uint64_t srv_set_p50_us = 0, srv_set_p99_us = 0;
 };
 
 uint64_t NowUs() {
@@ -194,8 +202,80 @@ void Preload(const RunConfig& config) {
   }
 }
 
+// One-shot HTTP/1.0 GET against the server's /metrics port (blocking
+// client socket; the server closes after one response).  Returns the
+// response body, or empty on any failure.
+std::string ScrapeMetrics(const std::string& host, int port) {
+  int fd = -1;
+  if (!net::Connect(host, port, &fd).ok()) return "";
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    size_t n = 0;
+    if (net::WriteSome(fd, request.data() + sent, request.size() - sent,
+                       &n) != net::IoResult::kOk) {
+      net::Close(fd);
+      return "";
+    }
+    sent += n;
+  }
+  std::string response;
+  char chunk[16 * 1024];
+  for (;;) {
+    size_t n = 0;
+    const net::IoResult r = net::ReadSome(fd, chunk, sizeof(chunk), &n);
+    if (r != net::IoResult::kOk || n == 0) break;
+    response.append(chunk, n);
+  }
+  net::Close(fd);
+  size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) return "";
+  return response.substr(body + 4);
+}
+
+// Pull one sample value out of an exposition body, e.g.
+// MetricValue(body, "bolt_cmd_latency_ns{verb=\"get\",quantile=\"0.99\"}").
+uint64_t MetricValue(const std::string& body, const std::string& sample) {
+  size_t pos = 0;
+  while ((pos = body.find(sample, pos)) != std::string::npos) {
+    // Match a whole sample name: at line start, followed by a space.
+    const bool at_line_start = pos == 0 || body[pos - 1] == '\n';
+    const size_t after = pos + sample.size();
+    if (at_line_start && after < body.size() && body[after] == ' ') {
+      return strtoull(body.c_str() + after + 1, nullptr, 10);
+    }
+    pos = after;
+  }
+  return 0;
+}
+
+void FillServerStats(const std::string& body, RunResult* result) {
+  if (body.empty()) return;
+  result->have_server_stats = true;
+  result->srv_get_p50_us =
+      MetricValue(body, "bolt_cmd_latency_ns{verb=\"get\",quantile=\"0.5\"}") /
+      1000;
+  result->srv_get_p99_us =
+      MetricValue(body, "bolt_cmd_latency_ns{verb=\"get\",quantile=\"0.99\"}") /
+      1000;
+  result->srv_set_p50_us =
+      MetricValue(body, "bolt_cmd_latency_ns{verb=\"set\",quantile=\"0.5\"}") /
+      1000;
+  result->srv_set_p99_us =
+      MetricValue(body, "bolt_cmd_latency_ns{verb=\"set\",quantile=\"0.99\"}") /
+      1000;
+}
+
+// Server-side instrumentation level for an embedded run.
+struct ObsMode {
+  bool request_stats = true;
+  int64_t slowlog_micros = -1;  // no slow log by default: benches
+                                // measure, they don't diagnose
+  bool metrics_endpoint = true;
+};
+
 RunResult RunEmbedded(RunConfig config, const std::string& db_root,
-                      size_t write_buffer) {
+                      size_t write_buffer, const ObsMode& obs_mode) {
   const std::string path = db_root + "/s" + std::to_string(config.shards);
   Options options;
   options.env = PosixEnv();
@@ -214,6 +294,9 @@ RunResult RunEmbedded(RunConfig config, const std::string& db_root,
   }
   net::ServerOptions server_options;
   server_options.metrics = &metrics;
+  server_options.enable_request_stats = obs_mode.request_stats;
+  server_options.slowlog_threshold_micros = obs_mode.slowlog_micros;
+  server_options.metrics_port = obs_mode.metrics_endpoint ? 0 : -1;
   net::RespServer server(db, server_options);
   s = server.Start();
   if (!s.ok()) {
@@ -224,12 +307,66 @@ RunResult RunEmbedded(RunConfig config, const std::string& db_root,
 
   Preload(config);
   RunResult result = Drive(config);
+  if (obs_mode.metrics_endpoint && obs_mode.request_stats) {
+    FillServerStats(ScrapeMetrics(config.host, server.metrics_port()),
+                    &result);
+  }
 
   server.Stop();
   server.Wait();
   delete db;
   (void)DestroyShardedDB(path, options);
   return result;
+}
+
+// --check_overhead: drive the same single-shard config twice — once
+// with every per-command instrument off (no clock reads in Execute)
+// and once with the full always-on stack (request stats + /metrics
+// endpoint + slowlog ARMED at a realistic threshold, so every command
+// pays the clock reads and the comparison but only genuine stalls pay
+// the ring insert) — and fail if the instrumented run loses more than
+// 2% throughput.  Threshold 0 (record everything) is a diagnostic
+// mode, not the default serving path, so it is priced separately by
+// the verify.sh smoke leg rather than held to this budget.  Mirrors
+// the PR-2 PerfContext gating discipline: observability must be
+// priced before it is left on by default.
+int CheckOverhead(RunConfig config, const std::string& db_root,
+                  size_t write_buffer) {
+  ObsMode off;
+  off.request_stats = false;
+  off.slowlog_micros = -1;
+  off.metrics_endpoint = false;
+  ObsMode full;            // defaults on...
+  full.slowlog_micros = 10000;  // ...with the slow log armed at 10ms
+  // A single A/B pair is at the mercy of scheduler noise, so
+  // interleave three pairs and compare medians: any systematic cost
+  // survives the median, a one-off stall on either side does not.
+  std::vector<double> base_ops, instr_ops;
+  for (int round = 0; round < 3; round++) {
+    fprintf(stderr, "net_ycsb: overhead round %d: baseline...\n", round + 1);
+    base_ops.push_back(
+        RunEmbedded(config, db_root, write_buffer, off).ops_per_sec);
+    fprintf(stderr, "net_ycsb: overhead round %d: instrumented...\n",
+            round + 1);
+    instr_ops.push_back(
+        RunEmbedded(config, db_root, write_buffer, full).ops_per_sec);
+  }
+  std::sort(base_ops.begin(), base_ops.end());
+  std::sort(instr_ops.begin(), instr_ops.end());
+  const double base_med = base_ops[base_ops.size() / 2];
+  const double instr_med = instr_ops[instr_ops.size() / 2];
+  const double ratio = instr_med / base_med;
+  printf("overhead: baseline=%.0f ops/s instrumented=%.0f ops/s "
+         "ratio=%.4f (floor 0.98, median of 3 pairs)\n",
+         base_med, instr_med, ratio);
+  if (ratio < 0.98) {
+    fprintf(stderr,
+            "net_ycsb: instrumentation overhead exceeds 2%% "
+            "(ratio %.4f < 0.98)\n",
+            ratio);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -248,6 +385,12 @@ int Main(int argc, char** argv) {
   config.write_pct = static_cast<int>(flags.GetInt("write_pct", 80));
   const size_t write_buffer = flags.GetInt("write_buffer_mb", 2) << 20;
   const bool json = flags.Has("json");
+
+  if (flags.Has("check_overhead")) {
+    config.shards = static_cast<int>(flags.GetInt("overhead_shards", 1));
+    return CheckOverhead(config, flags.Get("db_root", "/tmp/net_ycsb"),
+                         write_buffer);
+  }
 
   std::vector<RunResult> results;
   const std::string connect = flags.Get("connect", "");
@@ -269,7 +412,7 @@ int Main(int argc, char** argv) {
       config.shards = atoi(shard_list.c_str() + pos);
       if (config.shards < 1) break;
       fprintf(stderr, "net_ycsb: driving %d shard(s)...\n", config.shards);
-      results.push_back(RunEmbedded(config, db_root, write_buffer));
+      results.push_back(RunEmbedded(config, db_root, write_buffer, ObsMode()));
       const size_t comma = shard_list.find(',', pos);
       if (comma == std::string::npos) break;
       pos = comma + 1;
@@ -283,21 +426,33 @@ int Main(int argc, char** argv) {
       printf("%s\n  {\"shards\": %d, \"threads\": %d, \"pipeline\": %d, "
              "\"write_pct\": %d, \"ops\": %llu, \"seconds\": %.3f, "
              "\"ops_per_sec\": %.0f, \"rtt_p50_us\": %llu, "
-             "\"rtt_p99_us\": %llu}",
+             "\"rtt_p99_us\": %llu",
              i ? "," : "", r.shards, config.threads, config.pipeline,
              config.write_pct,
              static_cast<unsigned long long>(config.ops), r.seconds,
              r.ops_per_sec, static_cast<unsigned long long>(r.p50_us),
              static_cast<unsigned long long>(r.p99_us));
+      if (r.have_server_stats) {
+        printf(", \"srv_get_p50_us\": %llu, \"srv_get_p99_us\": %llu, "
+               "\"srv_set_p50_us\": %llu, \"srv_set_p99_us\": %llu",
+               static_cast<unsigned long long>(r.srv_get_p50_us),
+               static_cast<unsigned long long>(r.srv_get_p99_us),
+               static_cast<unsigned long long>(r.srv_set_p50_us),
+               static_cast<unsigned long long>(r.srv_set_p99_us));
+      }
+      printf("}");
     }
     printf("\n]\n");
   } else {
-    printf("%7s %9s %12s %10s %10s\n", "shards", "seconds", "ops/sec",
-           "p50(us)", "p99(us)");
+    printf("%7s %9s %12s %10s %10s %12s %12s\n", "shards", "seconds",
+           "ops/sec", "p50(us)", "p99(us)", "srv_get_p99", "srv_set_p99");
     for (const RunResult& r : results) {
-      printf("%7d %9.3f %12.0f %10llu %10llu\n", r.shards, r.seconds,
-             r.ops_per_sec, static_cast<unsigned long long>(r.p50_us),
-             static_cast<unsigned long long>(r.p99_us));
+      printf("%7d %9.3f %12.0f %10llu %10llu %12llu %12llu\n", r.shards,
+             r.seconds, r.ops_per_sec,
+             static_cast<unsigned long long>(r.p50_us),
+             static_cast<unsigned long long>(r.p99_us),
+             static_cast<unsigned long long>(r.srv_get_p99_us),
+             static_cast<unsigned long long>(r.srv_set_p99_us));
     }
   }
   return 0;

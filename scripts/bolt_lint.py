@@ -20,13 +20,24 @@ Rules (each finding is printed as path:line: [rule-id] message):
                          barrier must go through Env/WritableFile so the
                          barrier tickers, tracing and fault injection
                          see it.
-  ticker-charge-site     Barrier tickers are charged only by the
-                         designated attribution layer (TracingEnv for
+  ticker-charge-site     Tickers are charged only by their designated
+                         attribution layer (TracingEnv for
                          per-file-type syncs, the physical envs for
                          kSyncBarriers, the DB write/install paths for
-                         WAL and committed/orphaned bookkeeping).  A
-                         charge anywhere else breaks the sum-equations
-                         trace_check.py verifies.
+                         WAL and committed/orphaned bookkeeping, the
+                         RESP server for the net plane).  A charge
+                         anywhere else breaks the sum-equations
+                         trace_check.py verifies and double-counts
+                         what /metrics exports.
+  gauge-charge-site      Same discipline for SetGauge(): gauges are
+                         owned by one layer (GAUGE_CHARGE_SITES).
+  metric-uncharged       Completeness: every Ticker and Gauge declared
+                         in src/obs/metrics.h must have an entry in
+                         TICKER_CHARGE_SITES / GAUGE_CHARGE_SITES and
+                         at least one of its allowed files must
+                         actually reference it.  A metric nobody
+                         charges exports a permanently-zero series on
+                         /metrics and rots the INFO surface.
   raw-std-mutex          src/ uses bolt::port::Mutex/CondVar (the
                          Clang-thread-safety-annotated wrappers), never
                          std::mutex & friends — except the port wrapper
@@ -74,9 +85,12 @@ SHARED_POINTS = {
     "DBImpl::Write:BeforeWalSync",
 }
 
-# Barrier tickers -> the only files allowed to charge them (paths
-# relative to the repo root).  See src/obs/metrics.h for why each layer
-# owns its slice of the accounting.
+# Ticker -> the only files allowed to charge it (paths relative to the
+# repo root).  See src/obs/metrics.h for why each layer owns its slice
+# of the accounting.  This map is COMPLETE by construction: the
+# metric-uncharged rule fails the build when a ticker is declared
+# without an entry here, so adding a metric forces a decision about
+# who owns it.
 TICKER_CHARGE_SITES = {
     # Physical barrier count/bytes: charged where the sync hits the
     # device (real or simulated).
@@ -110,6 +124,11 @@ TICKER_CHARGE_SITES = {
     "kNetBytesIn": {"src/net/server.cc"},
     "kNetBytesOut": {"src/net/server.cc"},
     "kNetProtocolErrors": {"src/net/server.cc"},
+    # Request-observability tickers (PR-10): dispatch outcome, slow-log
+    # admission and scrape count are all decided inside the server.
+    "kNetCmdErrors": {"src/net/server.cc"},
+    "kNetSlowQueries": {"src/net/server.cc"},
+    "kNetMetricsScrapes": {"src/net/server.cc"},
     # Async batch-read accounting (PR-9): charged where the submission
     # hits a physical env, so wrapper envs (tracing, fault injection)
     # can forward without double counting.
@@ -122,6 +141,70 @@ TICKER_CHARGE_SITES = {
     "kReadaheadBlocks": {"src/table/table.cc"},
     # Group-sync sharing is decided where the write group is built.
     "kWalGroupSyncShared": {"src/db/db_impl.cc"},
+    # Logical operation counts: the per-shard DBImpl serving path.
+    "kNumKeysWritten": {"src/db/db_impl.cc"},
+    "kNumKeysRead": {"src/db/db_impl.cc"},
+    "kNumSeeks": {"src/db/db_impl.cc"},
+    # Backpressure, flush/compaction lifecycle, hole punching, the
+    # error/recovery/integrity plane: all decided by DBImpl.
+    "kSlowdownWrites": {"src/db/db_impl.cc"},
+    "kStallWrites": {"src/db/db_impl.cc"},
+    "kStallMicros": {"src/db/db_impl.cc"},
+    "kMemtableFlushes": {"src/db/db_impl.cc"},
+    "kCompactions": {"src/db/db_impl.cc"},
+    "kTrivialMoves": {"src/db/db_impl.cc"},
+    "kSettledPromotions": {"src/db/db_impl.cc"},
+    "kPureSettledCompactions": {"src/db/db_impl.cc"},
+    "kSeekCompactions": {"src/db/db_impl.cc"},
+    "kSubcompactions": {"src/db/db_impl.cc"},
+    "kParallelCompactions": {"src/db/db_impl.cc"},
+    "kCompactionBytesRead": {"src/db/db_impl.cc"},
+    "kCompactionBytesWritten": {"src/db/db_impl.cc"},
+    "kCompactionOutputTables": {"src/db/db_impl.cc"},
+    "kCompactionFilesCreated": {"src/db/db_impl.cc"},
+    "kSettledBytesSaved": {"src/db/db_impl.cc"},
+    "kHolePunches": {"src/db/db_impl.cc"},
+    "kHolePunchFailures": {"src/db/db_impl.cc"},
+    "kBackgroundErrors": {"src/db/db_impl.cc"},
+    "kResumes": {"src/db/db_impl.cc"},
+    "kErrorsTransient": {"src/db/db_impl.cc"},
+    "kErrorsSoft": {"src/db/db_impl.cc"},
+    "kErrorsHard": {"src/db/db_impl.cc"},
+    "kErrorsFatal": {"src/db/db_impl.cc"},
+    "kWritesRejectedReadOnly": {"src/db/db_impl.cc"},
+    "kFlushFailures": {"src/db/db_impl.cc"},
+    "kCompactionFailures": {"src/db/db_impl.cc"},
+    "kRecoveryAttempts": {"src/db/db_impl.cc"},
+    "kRecoverySuccesses": {"src/db/db_impl.cc"},
+    "kRecoveryFailures": {"src/db/db_impl.cc"},
+    "kRecoveryEscalations": {"src/db/db_impl.cc"},
+    "kIntegrityScrubs": {"src/db/db_impl.cc"},
+    "kIntegrityTablesVerified": {"src/db/db_impl.cc"},
+    "kIntegrityErrors": {"src/db/db_impl.cc"},
+    # Cache hit/miss accounting lives where the lookup happens.
+    "kTableCacheHits": {"src/db/table_cache.cc"},
+    "kTableCacheMisses": {"src/db/table_cache.cc"},
+    "kBlockCacheHits": {"src/table/table.cc"},
+    "kBlockCacheMisses": {"src/table/table.cc"},
+    "kBloomChecked": {"src/table/table.cc"},
+    "kBloomUseful": {"src/table/table.cc"},
+}
+
+# Gauge -> the only files allowed to SetGauge() it.  Same ownership
+# discipline as tickers; also consumed by the metric-uncharged rule.
+GAUGE_CHARGE_SITES = {
+    "kReclamationBacklog": {"src/db/db_impl.cc"},
+    "kBgQueueDepthHigh": {"src/env/posix_env.cc"},
+    "kBgQueueDepthLow": {"src/env/posix_env.cc"},
+    "kBgInFlightCompactions": {"src/db/db_impl.cc"},
+    "kErrorCurrentSeverity": {"src/db/db_impl.cc"},
+    "kRecoveryAttemptGauge": {"src/db/db_impl.cc"},
+    # Usage gauges are refreshed by whoever answers "bolt.metrics":
+    # DBImpl standalone, the shard router when shards share the caches.
+    "kBlockCacheUsage": {"src/db/db_impl.cc", "src/shard/sharded_db.cc"},
+    "kTableCacheUsage": {"src/db/db_impl.cc", "src/shard/sharded_db.cc"},
+    "kNetConnActive": {"src/net/server.cc"},
+    "kIoBatchQueueDepth": {"src/env/posix_env.cc", "src/sim/sim_env.cc"},
 }
 
 SYNC_POINT_NAME = re.compile(r"^[A-Za-z0-9_]+::[A-Za-z0-9_]+:[A-Za-z0-9_]+$")
@@ -228,11 +311,13 @@ class Linter:
 
     def lint_tree(self, src_files, test_files):
         emitted = defaultdict(list)  # name -> [(path, line)]
+        file_codes = {}  # rel -> comment/string-stripped source
         for path in src_files:
             raw = open(path, encoding="utf-8", errors="replace").read()
             code = strip_comments_and_strings(raw)
             with_strings = strip_comments_and_strings(raw, keep_strings=True)
             rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+            file_codes[rel] = code
 
             for lineno, line in enumerate(with_strings.splitlines(), 1):
                 for m in EMIT_RE.finditer(line):
@@ -246,6 +331,9 @@ class Linter:
 
         self._check_sync_point_names(emitted)
         self._check_test_references(test_files, set(emitted))
+        metrics_h = os.path.join(self.root, "src", "obs", "metrics.h")
+        if os.path.exists(metrics_h):
+            self._check_metric_completeness(metrics_h, file_codes)
         return self.findings
 
     def _check_sync_point_names(self, emitted):
@@ -332,21 +420,80 @@ class Linter:
 
     def _check_ticker_charges(self, path, rel, code):
         for lineno, line in enumerate(code.splitlines(), 1):
-            # A charge is an Add( call naming the ticker on the same
-            # statement line (the repo never splits "Add(obs::kX" across
-            # lines without keeping "Add(" on the first).
-            if "Add(" not in line:
-                continue
-            for m in TICKER_RE.finditer(line):
-                ticker = m.group(0)
-                allowed = TICKER_CHARGE_SITES.get(ticker)
-                if allowed is None or rel in allowed:
+            # A charge is an Add( / SetGauge( call naming the metric on
+            # the same statement line (the repo never splits
+            # "Add(obs::kX" across lines without keeping the call on
+            # the first).
+            if "Add(" in line:
+                for m in TICKER_RE.finditer(line):
+                    ticker = m.group(0)
+                    allowed = TICKER_CHARGE_SITES.get(ticker)
+                    if allowed is None or rel in allowed:
+                        continue
+                    self.report(
+                        path, lineno, "ticker-charge-site",
+                        f"{ticker} charged outside its attribution layer "
+                        f"({', '.join(sorted(allowed))}); see the charge "
+                        f"map in scripts/bolt_lint.py and src/obs/metrics.h")
+            if "SetGauge(" in line:
+                for m in TICKER_RE.finditer(line):
+                    gauge = m.group(0)
+                    allowed = GAUGE_CHARGE_SITES.get(gauge)
+                    if allowed is None or rel in allowed:
+                        continue
+                    self.report(
+                        path, lineno, "gauge-charge-site",
+                        f"{gauge} set outside its owning layer "
+                        f"({', '.join(sorted(allowed))}); see "
+                        f"GAUGE_CHARGE_SITES in scripts/bolt_lint.py")
+
+    def _check_metric_completeness(self, metrics_path, file_codes):
+        """Every Ticker/Gauge declared in metrics.h must have a charge-map
+        entry AND at least one allowed file that actually references it.
+        Uses whole-file token search (not the line heuristic above) so
+        multi-line charges like the ?:-split SetGauge in posix_env.cc
+        still count."""
+        raw = open(metrics_path, encoding="utf-8", errors="replace").read()
+        code = strip_comments_and_strings(raw)
+        for kind, map_name, charge_map in (
+                ("Ticker", "TICKER_CHARGE_SITES", TICKER_CHARGE_SITES),
+                ("Gauge", "GAUGE_CHARGE_SITES", GAUGE_CHARGE_SITES)):
+            for name, lineno in self._enum_members(code, kind):
+                allowed = charge_map.get(name)
+                if allowed is None:
+                    self.report(
+                        metrics_path, lineno, "metric-uncharged",
+                        f"{kind} {name} is declared but has no entry in "
+                        f"{map_name} (scripts/bolt_lint.py); every metric "
+                        f"needs an owning charge site or it exports a "
+                        f"permanently-zero series")
                     continue
-                self.report(
-                    path, lineno, "ticker-charge-site",
-                    f"{ticker} charged outside its attribution layer "
-                    f"({', '.join(sorted(allowed))}); see the charge map "
-                    f"in scripts/bolt_lint.py and src/obs/metrics.h")
+                if not any(re.search(rf"\b{name}\b", file_codes.get(rel, ""))
+                           for rel in allowed):
+                    self.report(
+                        metrics_path, lineno, "metric-uncharged",
+                        f"{kind} {name} has no charge site in its allowed "
+                        f"file(s) {', '.join(sorted(allowed))}; dead metric "
+                        f"or the charge moved without updating {map_name}")
+
+    @staticmethod
+    def _enum_members(code, enum_name):
+        """-> [(member, lineno)] for `enum <enum_name>` in stripped code,
+        excluding the k<Name>Max sentinel."""
+        members = []
+        in_enum = False
+        sentinel = f"k{enum_name}Max"
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if not in_enum:
+                if re.search(rf"\benum\s+{enum_name}\b", line):
+                    in_enum = True
+                continue
+            if "}" in line:
+                break
+            m = re.match(r"\s*(k[A-Za-z0-9_]+)\s*(?:=[^,]*)?,?", line)
+            if m and m.group(1) != sentinel:
+                members.append((m.group(1), lineno))
+        return members
 
 
 def lint_repo(root):
@@ -386,7 +533,11 @@ def self_test(root):
         as_path = mpath.group(1) if mpath else f"src/db/{name}"
 
         linter = Linter(root)
-        if rule == "sync-point-registered":
+        if rule == "metric-uncharged":
+            # The fixture plays the role of src/obs/metrics.h: it
+            # declares a ticker the charge map has never heard of.
+            linter._check_metric_completeness(path, {})
+        elif rule == "sync-point-registered":
             # Referencing side: fixture plays a test file; the real src/
             # tree supplies the emitted names.
             real_src = list(iter_source_files(root, "src"))

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition scrape from bolt_server.
+
+Stdlib-only checker for the /metrics endpoint (DESIGN.md §15), run by
+the verify.sh server-smoke leg:
+
+  metrics_check.py SCRAPE            # format checks on one scrape
+  metrics_check.py SCRAPE1 SCRAPE2   # + counter monotonicity across two
+                                     # scrapes taken during live traffic
+
+Checks:
+ 1. line grammar: every non-comment line is `name{labels} value` with a
+    parseable non-negative number (bolt histograms/counters never go
+    negative);
+ 2. name charset: metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and carry
+    the bolt_ prefix (the name-mangling contract of obs/prometheus.cc);
+ 3. TYPE lines: every sample's family is declared by a preceding
+    `# TYPE family counter|gauge|summary`, counters end in _total, and
+    no family is declared twice;
+ 4. label grammar: label names match [a-zA-Z_][a-zA-Z0-9_]*, values are
+    quoted, quantile labels parse as floats in [0, 1];
+ 5. summaries: a family declared summary exposes family_count and
+    family_sum;
+ 6. two scrapes: every counter present in both must be monotonically
+    non-decreasing, and the scrape-counter bolt_net_metrics_scrapes_total
+    must have strictly increased (proof the scrapes were really two).
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+LABELS_RE = re.compile(r'(\w+)="([^"]*)"')
+TYPE_RE = re.compile(r"^# TYPE ([^ ]+) (counter|gauge|summary|histogram|untyped)$")
+SCRAPE_COUNTER = "bolt_net_metrics_scrapes_total"
+
+fails = 0
+
+
+def fail(msg):
+    global fails
+    fails += 1
+    print(f"metrics_check: FAIL: {msg}")
+
+
+def family_of(name):
+    """The TYPE-declared family a sample name belongs to."""
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse(path):
+    """-> (samples: {(name, labels_str): float}, types: {family: type})"""
+    samples = {}
+    types = {}
+    with open(path, "rb") as f:
+        raw = f.read().decode("utf-8", errors="replace")
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        where = f"{path}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if line.startswith("# TYPE"):
+                if not m:
+                    fail(f"{where}: malformed TYPE line: {line!r}")
+                    continue
+                fam, typ = m.group(1), m.group(2)
+                if fam in types:
+                    fail(f"{where}: family {fam} TYPE-declared twice")
+                types[fam] = typ
+            continue
+        m = re.match(r"^([^ {]+)(\{[^}]*\})? (\S+)$", line)
+        if not m:
+            fail(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        if not NAME_RE.match(name):
+            fail(f"{where}: bad metric name charset: {name!r}")
+        if not name.startswith("bolt_"):
+            fail(f"{where}: name missing bolt_ prefix: {name!r}")
+        if labels:
+            body = labels[1:-1]
+            matched = LABELS_RE.findall(body)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in matched)
+            if rebuilt != body:
+                fail(f"{where}: unparseable label block: {labels!r}")
+            for k, v in matched:
+                if not LABEL_NAME_RE.match(k):
+                    fail(f"{where}: bad label name: {k!r}")
+                if k == "quantile":
+                    try:
+                        q = float(v)
+                        if not (0.0 <= q <= 1.0):
+                            raise ValueError
+                    except ValueError:
+                        fail(f"{where}: quantile not a float in [0,1]: {v!r}")
+        try:
+            num = float(value)
+        except ValueError:
+            fail(f"{where}: unparseable sample value: {value!r}")
+            continue
+        if num < 0:
+            fail(f"{where}: negative sample value: {line!r}")
+        key = (name, labels)
+        if key in samples:
+            fail(f"{where}: duplicate sample {name}{labels}")
+        samples[key] = num
+        fam = family_of(name)
+        if fam not in types and name not in types:
+            fail(f"{where}: sample {name} has no preceding TYPE line")
+        if types.get(name) == "counter" and not name.endswith("_total"):
+            fail(f"{where}: counter {name} does not end in _total")
+    return samples, types
+
+
+def check_summaries(samples, types, path):
+    sample_names = {name for name, _ in samples}
+    for fam, typ in types.items():
+        if typ != "summary":
+            continue
+        for suffix in ("_sum", "_count"):
+            if fam + suffix not in sample_names:
+                fail(f"{path}: summary {fam} missing {fam}{suffix}")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    first, types1 = parse(argv[1])
+    check_summaries(first, types1, argv[1])
+    n_counters = sum(1 for f, t in types1.items() if t == "counter")
+    print(f"metrics_check: {argv[1]}: {len(first)} samples, "
+          f"{len(types1)} families ({n_counters} counters)")
+
+    if len(argv) == 3:
+        second, types2 = parse(argv[2])
+        check_summaries(second, types2, argv[2])
+        counters = {f for f, t in types1.items() if t == "counter"}
+        compared = 0
+        for (name, labels), v1 in first.items():
+            if family_of(name) not in counters or name.endswith("_sum"):
+                continue
+            if not name.endswith("_total"):
+                continue
+            v2 = second.get((name, labels))
+            if v2 is None:
+                fail(f"counter {name}{labels} vanished in second scrape")
+                continue
+            compared += 1
+            if v2 < v1:
+                fail(f"counter {name}{labels} went backwards: {v1} -> {v2}")
+        scrape1 = first.get((SCRAPE_COUNTER, ""), None)
+        scrape2 = second.get((SCRAPE_COUNTER, ""), None)
+        if scrape1 is None or scrape2 is None:
+            fail(f"{SCRAPE_COUNTER} missing from a scrape")
+        elif scrape2 <= scrape1:
+            fail(f"{SCRAPE_COUNTER} did not increase between scrapes "
+                 f"({scrape1} -> {scrape2}); same scrape twice?")
+        print(f"metrics_check: monotonicity over {compared} counters OK")
+
+    if fails:
+        print(f"metrics_check: {fails} failure(s)")
+        return 1
+    print("metrics_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -32,6 +32,11 @@ Checks, in order:
   6. When the run recovered from background errors (error.resumes > 0),
      a "resume" span must be retained, properly nested on its lane
      (check 3 covers the nesting).
+  7. When the trace carries server-side "cmd" spans (a live RESP server
+     traced with --trace-sample), at least one engine span (wal_append
+     or write_group) must nest strictly inside a cmd span on the same
+     tid — the request-scoped tracing contract of DESIGN.md §15: the
+     server span parents the engine spans its dispatch produced.
 
 Exit code 0 on success; nonzero with a message on the first violation.
 Stdlib only.
@@ -101,6 +106,37 @@ def check_events(events):
         stack.append((ev["name"], ts, end))
 
     return n_x, names
+
+
+def check_cmd_nesting(events):
+    """Server 'cmd' spans must parent the engine spans their dispatch
+    produced: at least one wal_append/write_group span strictly inside
+    a cmd interval on the same tid.  No-op when the trace has no cmd
+    spans (engine-only runs)."""
+    cmd_spans = {}  # tid -> [(ts, end)]
+    engine = []     # (tid, ts, end)
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        tid, ts, end = ev["tid"], ev["ts"], ev["ts"] + ev["dur"]
+        if ev["name"] == "cmd":
+            cmd_spans.setdefault(tid, []).append((ts, end))
+        elif ev["name"] in ("wal_append", "write_group"):
+            engine.append((tid, ts, end))
+    if not cmd_spans:
+        return
+    nested = sum(
+        1 for tid, ts, end in engine
+        for (cts, cend) in cmd_spans.get(tid, ())
+        if ts >= cts - EPS and end <= cend + EPS)
+    n_cmd = sum(len(v) for v in cmd_spans.values())
+    if nested == 0:
+        fail(f"{n_cmd} 'cmd' span(s) but no wal_append/write_group span "
+             f"nested inside any of them; request-scoped tracing is not "
+             f"reaching the engine (tracer not shared, or sampling missed "
+             f"every write)")
+    print(f"trace_check: cmd nesting OK ({n_cmd} cmd spans, "
+          f"{nested} engine spans parented)")
 
 
 def check_barrier_sums(metrics):
@@ -195,6 +231,7 @@ def main():
         fail("top level must be an object with a traceEvents list")
 
     n_x, names = check_events(trace["traceEvents"])
+    check_cmd_nesting(trace["traceEvents"])
     for required in ("flush", "wal_append"):
         if required not in names:
             fail(f"no {required!r} span in the trace (instrumentation "

@@ -19,9 +19,19 @@
 # and the exact barrier sum-equations committed+orphaned), the
 # crash-point matrix (every recorded sync point x 3 engine presets:
 # device dies at the point, power-cut, reopen, no acked-write loss),
-# and a live server smoke: bolt_server (2 shards, ephemeral port)
-# driven end-to-end by bolt_cli — PING/SET/GET/MGET/INFO — then a
-# graceful SHUTDOWN drain that must exit 0.
+# and a live server smoke: bolt_server (2 shards, ephemeral ports)
+# driven end-to-end by bolt_cli — PING/SET/GET/MGET/INFO — with the
+# observability surface exercised against live traffic: /metrics
+# scraped twice and validated by metrics_check.py (format + counter
+# monotonicity + the scrape counter itself must advance), a DEBUG
+# SLEEP fault-injected stall that must land in SLOWLOG GET alongside
+# engine commands carrying nonzero PerfContext attribution, then a
+# graceful SHUTDOWN drain that must exit 0.  A second traced server
+# run (--shards=1 --trace=1 --trace-sample=1, small write buffer)
+# forces a flush under sampled "cmd" spans and validates the live
+# TRACEDUMP with trace_check.py: cmd spans must parent the
+# wal_append/write_group engine spans and the barrier sum-equations
+# must hold.
 # The TSan pass rebuilds the tree with BOLT_SANITIZE=thread and runs
 # the concurrent observability tests (registry stripes, listener
 # fan-out, shared-registry writers) plus the posix-env suite (real
@@ -97,10 +107,11 @@ python3 scripts/trace_check.py build/recovery_trace.json
 echo "==> crash-point matrix: sync points x engine presets, crash + reopen"
 ./build/tests/crash_point_test >/dev/null
 
-echo "==> server smoke: bolt_server + bolt_cli round-trip, graceful SHUTDOWN"
+echo "==> server smoke: bolt_cli round-trip, /metrics, SLOWLOG, SHUTDOWN"
 SMOKE_DB="build/server_smoke_db"
 rm -rf "$SMOKE_DB"
 ./build/tools/bolt_server --db="$SMOKE_DB" --shards=2 --port=0 \
+  --metrics-port=0 --slowlog-threshold-micros=0 \
   > build/server_smoke.log 2>&1 &
 SERVER_PID=$!
 SMOKE_PORT=""
@@ -116,15 +127,82 @@ if [[ -z "$SMOKE_PORT" ]]; then
   kill "$SERVER_PID" 2>/dev/null || true
   exit 1
 fi
+METRICS_PORT="$(sed -n \
+  's/^READY port=[0-9]* metrics_port=\([0-9]*\) .*/\1/p' \
+  build/server_smoke.log)"
+scrape_metrics() {  # scrape_metrics OUT_FILE
+  python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(
+    "http://127.0.0.1:%s/metrics" % sys.argv[1], timeout=10)
+    .read().decode())' "$METRICS_PORT" > "$1"
+}
 CLI=(./build/tools/bolt_cli --host=127.0.0.1 --port="$SMOKE_PORT")
 "${CLI[@]}" PING            | grep -qx 'PONG'
 "${CLI[@]}" SET smoke k1    | grep -qx 'OK'
 "${CLI[@]}" GET smoke       | grep -qx '"k1"'
 "${CLI[@]}" MGET smoke gone | grep -q 'nil'
 "${CLI[@]}" INFO            | grep -q 'shards: 2'
+"${CLI[@]}" INFO            | grep -q '^# commands'
+"${CLI[@]}" INFO            | grep -q '^cmd_set:calls='
+# Two scrapes with live traffic in between: format-checked
+# individually, then counters must be monotone and the scrape counter
+# itself must have advanced (proof these were two real scrapes).
+scrape_metrics build/server_smoke_scrape1.txt
+"${CLI[@]}" SET smoke2 v2   | grep -qx 'OK'
+"${CLI[@]}" GET smoke2      | grep -qx '"v2"'
+scrape_metrics build/server_smoke_scrape2.txt
+python3 scripts/metrics_check.py build/server_smoke_scrape1.txt
+python3 scripts/metrics_check.py build/server_smoke_scrape1.txt \
+                                 build/server_smoke_scrape2.txt
+# Slow-query log: threshold 0 records everything, so the engine GET
+# above must show nonzero PerfContext attribution, and a DEBUG SLEEP
+# stall (the fault injector) must appear as the slowest entry.
+"${CLI[@]}" DEBUG SLEEP 20000 | grep -qx 'OK'
+"${CLI[@]}" SLOWLOG GET | grep -q 'verb=debug'
+"${CLI[@]}" SLOWLOG GET | grep -q 'verb=get'
+"${CLI[@]}" SLOWLOG GET | grep -q 'get_from_memtable=1'
+"${CLI[@]}" SLOWLOG LEN | grep -q '(integer) [1-9]'
+"${CLI[@]}" SLOWLOG RESET | grep -qx 'OK'
 "${CLI[@]}" SHUTDOWN        | grep -qx 'OK'
 wait "$SERVER_PID"  # exit 0 == drained gracefully, not killed
 rm -rf "$SMOKE_DB"
+
+echo "==> server trace: sampled cmd spans parent engine spans"
+TRACE_DB="build/server_trace_db"
+rm -rf "$TRACE_DB"
+# One shard so trace_check's per-job MANIFEST invariant applies; a
+# 64 KB write buffer so ~100 KB of traffic forces a flush while every
+# command opens a sampled "cmd" span.
+./build/tools/bolt_server --db="$TRACE_DB" --shards=1 --port=0 \
+  --trace=1 --trace-sample=1 --write_buffer_kb=64 \
+  > build/server_trace.log 2>&1 &
+TRACE_PID=$!
+TRACE_PORT=""
+for _ in $(seq 1 100); do
+  TRACE_PORT="$(sed -n 's/^READY port=\([0-9]*\) .*/\1/p' \
+                build/server_trace.log)"
+  [[ -n "$TRACE_PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$TRACE_PORT" ]]; then
+  echo "traced bolt_server never printed READY:"
+  cat build/server_trace.log
+  kill "$TRACE_PID" 2>/dev/null || true
+  exit 1
+fi
+TCLI=(./build/tools/bolt_cli --host=127.0.0.1 --port="$TRACE_PORT")
+TRACE_VAL="$(head -c 1024 /dev/zero | tr '\0' 'x')"
+for i in $(seq 1 100); do
+  "${TCLI[@]}" SET "trace$i" "$TRACE_VAL" > /dev/null
+done
+sleep 2  # let the triggered flush install before dumping
+"${TCLI[@]}" TRACEDUMP "$PWD/build/server_trace.json" | grep -qx 'OK'
+TRACE_OUT="$(python3 scripts/trace_check.py build/server_trace.json)"
+echo "$TRACE_OUT"
+echo "$TRACE_OUT" | grep -q 'cmd nesting OK'
+"${TCLI[@]}" SHUTDOWN | grep -qx 'OK'
+wait "$TRACE_PID"
+rm -rf "$TRACE_DB"
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "verify OK (fast: tier-1 only)"

@@ -80,6 +80,7 @@ ParseResult RespParser::ParseInline(std::vector<std::string>* args) {
       return Fail("protocol error: too many inline arguments");
     }
   }
+  total_consumed_ += pos - pos_;
   pos_ = pos;
   if (args->empty()) return Next(args);  // skip blank line, try again
   return ParseResult::kOk;
@@ -96,6 +97,7 @@ ParseResult RespParser::ParseArray(std::vector<std::string>* args) {
     return Fail("protocol error: invalid multibulk length");
   }
   if (count == 0) {  // "*0\r\n": consume and look for the next command
+    total_consumed_ += pos - pos_;
     pos_ = pos;
     return Next(args);
   }
@@ -121,6 +123,7 @@ ParseResult RespParser::ParseArray(std::vector<std::string>* args) {
     args->emplace_back(buf_.data() + pos, len);
     pos += len + 2;
   }
+  total_consumed_ += pos - pos_;
   pos_ = pos;
   return ParseResult::kOk;
 }

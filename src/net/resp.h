@@ -61,6 +61,11 @@ class RespParser {
   // parser does not hoard memory after commands complete).
   size_t BufferedBytes() const { return buf_.size() - pos_; }
 
+  // Total wire bytes consumed by completed commands (and skipped blank
+  // lines) so far.  The server diffs this around Next() to attribute
+  // request bytes to the command it just pulled out.
+  uint64_t consumed_bytes() const { return total_consumed_; }
+
  private:
   ParseResult Fail(const std::string& why);
   ParseResult ParseInline(std::vector<std::string>* args);
@@ -71,6 +76,7 @@ class RespParser {
 
   std::string buf_;
   size_t pos_ = 0;  // consumed prefix of buf_
+  uint64_t total_consumed_ = 0;  // lifetime bytes behind pos_ advances
   bool failed_ = false;
   std::string error_;
 };

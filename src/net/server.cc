@@ -1,12 +1,19 @@
 #include "net/server.h"
 
+#include <unistd.h>
+
 #include <cctype>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <ctime>
 
 #include "db/db.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
+#include "obs/perf_context.h"
+#include "obs/prometheus.h"
+#include "obs/tracer.h"
 #include "table/iterator.h"
 
 namespace bolt {
@@ -16,8 +23,12 @@ namespace {
 
 constexpr uint64_t kListenerTag = 0;
 constexpr uint64_t kWakeupTag = ~0ull;
+constexpr uint64_t kMetricsListenerTag = ~1ull;
 constexpr size_t kReadChunk = 16 * 1024;
 constexpr uint64_t kMaxScanCount = 1000;
+constexpr size_t kMaxHttpRequestBytes = 16 * 1024;
+constexpr uint64_t kMaxDebugSleepMicros = 5 * 1000 * 1000;
+constexpr size_t kSlowLogKeyPrefixBytes = 32;
 
 std::string UpperVerb(const std::string& s) {
   std::string v = s;
@@ -31,8 +42,33 @@ int64_t NowMs() {
       .count();
 }
 
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 void WrongArity(std::string* out, const std::string& verb) {
   AppendError(out, "ERR wrong number of arguments for '" + verb + "'");
+}
+
+// Binary-safe INFO field value: CR/LF and non-printables become \xNN so
+// a hostile value can never fake a field boundary or a section header.
+std::string EscapeInfoValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char raw : v) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (c >= 0x20 && c < 0x7f && c != '\\') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char hex[8];
+      snprintf(hex, sizeof(hex), "\\x%02x", c);
+      out += hex;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -43,6 +79,12 @@ RespServer::RespServer(DB* db, const ServerOptions& options)
     owned_metrics_.reset(new obs::MetricsRegistry);
     metrics_ = owned_metrics_.get();
   }
+  if (options_.slowlog_threshold_micros >= 0) {
+    slow_log_.reset(new obs::SlowLog(options_.slowlog_capacity));
+  }
+  timing_enabled_ = options_.enable_request_stats || slow_log_ != nullptr ||
+                    (options_.tracer != nullptr && options_.trace_sample > 0);
+  start_unix_sec_ = static_cast<int64_t>(time(nullptr));
 }
 
 RespServer::~RespServer() {
@@ -51,6 +93,7 @@ RespServer::~RespServer() {
   if (epfd_ >= 0) Close(epfd_);
   if (wakeup_fd_ >= 0) Close(wakeup_fd_);
   if (listen_fd_ >= 0) Close(listen_fd_);
+  if (metrics_listen_fd_ >= 0) Close(metrics_listen_fd_);
 }
 
 Status RespServer::Start() {
@@ -58,16 +101,29 @@ Status RespServer::Start() {
   int bound = 0;
   Status s = Listen(options_.host, options_.port, &listen_fd_, &bound);
   if (!s.ok()) return s;
-  s = NewWakeup(&wakeup_fd_);
+  int bound_metrics = -1;
+  if (options_.metrics_port >= 0) {
+    s = Listen(options_.host, options_.metrics_port, &metrics_listen_fd_,
+               &bound_metrics);
+  }
+  if (s.ok()) s = NewWakeup(&wakeup_fd_);
   if (s.ok()) s = PollerCreate(&epfd_);
   if (s.ok()) s = PollerAdd(epfd_, listen_fd_, kReadable, kListenerTag);
   if (s.ok()) s = PollerAdd(epfd_, wakeup_fd_, kReadable, kWakeupTag);
+  if (s.ok() && metrics_listen_fd_ >= 0) {
+    s = PollerAdd(epfd_, metrics_listen_fd_, kReadable, kMetricsListenerTag);
+  }
   if (!s.ok()) {
     Close(listen_fd_);
     listen_fd_ = -1;
+    if (metrics_listen_fd_ >= 0) {
+      Close(metrics_listen_fd_);
+      metrics_listen_fd_ = -1;
+    }
     return s;
   }
   port_.store(bound, std::memory_order_release);
+  metrics_port_.store(bound_metrics, std::memory_order_release);
   started_ = true;
   io_thread_ = std::thread(&RespServer::Run, this);
   return Status::OK();
@@ -105,6 +161,14 @@ void RespServer::Run() {
       }
       Close(listen_fd_);
       listen_fd_ = -1;
+      if (metrics_listen_fd_ >= 0) {
+        (void)PollerDel(epfd_, metrics_listen_fd_);
+        while (Accept(metrics_listen_fd_, &backlog_fd) == IoResult::kOk) {
+          Close(backlog_fd);
+        }
+        Close(metrics_listen_fd_);
+        metrics_listen_fd_ = -1;
+      }
       std::vector<uint64_t> idle;
       for (auto& entry : conns_) {
         Conn* conn = entry.second.get();
@@ -128,7 +192,11 @@ void RespServer::Run() {
         continue;
       }
       if (tag == kListenerTag) {
-        if (!draining) AcceptNew();
+        if (!draining) AcceptNew(listen_fd_, /*is_http=*/false);
+        continue;
+      }
+      if (tag == kMetricsListenerTag) {
+        if (!draining) AcceptNew(metrics_listen_fd_, /*is_http=*/true);
         continue;
       }
       auto it = conns_.find(tag);
@@ -141,10 +209,10 @@ void RespServer::Run() {
   while (!conns_.empty()) CloseConn(conns_.begin()->first);
 }
 
-void RespServer::AcceptNew() {
+void RespServer::AcceptNew(int listen_fd, bool is_http) {
   for (;;) {
     int fd = -1;
-    const IoResult r = Accept(listen_fd_, &fd);
+    const IoResult r = Accept(listen_fd, &fd);
     if (r == IoResult::kWouldBlock) return;
     if (r == IoResult::kError) return;  // aborted in backlog; try later
     if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
@@ -155,14 +223,23 @@ void RespServer::AcceptNew() {
     std::unique_ptr<Conn> conn(new Conn);
     conn->tag = tag;
     conn->fd = fd;
+    conn->is_http = is_http;
     conn->registered = kReadable;
     if (!PollerAdd(epfd_, fd, kReadable, tag).ok()) {
       Close(fd);
       continue;
     }
+    if (!is_http) {
+      // Exactly-once accounting: the flag is the gauge's source of
+      // truth, so whichever teardown path fires first (clean close,
+      // protocol error, outbuf overflow, drain force-close) performs
+      // the one decrement and the rest are no-ops.
+      conn->gauge_counted = true;
+      active_clients_++;
+      metrics_->Add(obs::kNetConnAccepted);
+      metrics_->SetGauge(obs::kNetConnActive, active_clients_);
+    }
     conns_.emplace(tag, std::move(conn));
-    metrics_->Add(obs::kNetConnAccepted);
-    metrics_->SetGauge(obs::kNetConnActive, conns_.size());
   }
 }
 
@@ -170,7 +247,7 @@ void RespServer::HandleConn(Conn* conn, uint32_t events) {
   const bool draining = stop_.load(std::memory_order_acquire);
   bool alive = true;
   if ((events & kReadable) && !conn->close_after_flush) {
-    alive = ReadAndExecute(conn);
+    alive = conn->is_http ? ReadAndServeHttp(conn) : ReadAndExecute(conn);
   }
   if (alive && (events & (kWritable | kReadable))) {
     alive = FlushOut(conn);
@@ -204,8 +281,13 @@ bool RespServer::ReadAndExecute(Conn* conn) {
     if (n < sizeof(chunk)) break;  // drained the socket
   }
 
+  // One timestamp per batch: every command in this pipeline measures
+  // its queue wait (time spent parsed-but-behind-earlier-commands)
+  // against it.
+  const uint64_t batch_start_ns = timing_enabled_ ? NowNanos() : 0;
   std::vector<std::string> args;
   for (;;) {
+    const uint64_t bytes_before = conn->parser.consumed_bytes();
     const ParseResult r = conn->parser.Next(&args);
     if (r == ParseResult::kNeedMore) break;
     if (r == ParseResult::kError) {
@@ -214,7 +296,8 @@ bool RespServer::ReadAndExecute(Conn* conn) {
       conn->close_after_flush = true;
       break;
     }
-    Dispatch(conn, &args);
+    Execute(conn, &args, conn->parser.consumed_bytes() - bytes_before,
+            batch_start_ns);
     if (conn->close_after_flush) break;  // SHUTDOWN mid-pipeline
   }
 
@@ -222,6 +305,71 @@ bool RespServer::ReadAndExecute(Conn* conn) {
   if (conn->out.size() - conn->out_pos > options_.max_outbuf_bytes) {
     return false;  // reader refuses to drain; cut it loose
   }
+  return true;
+}
+
+bool RespServer::ReadAndServeHttp(Conn* conn) {
+  char chunk[kReadChunk];
+  bool saw_eof = false;
+  for (;;) {
+    size_t n = 0;
+    const IoResult r = ReadSome(conn->fd, chunk, sizeof(chunk), &n);
+    if (r == IoResult::kWouldBlock) break;
+    if (r == IoResult::kError) return false;
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    conn->http_in.append(chunk, n);
+    if (n < sizeof(chunk)) break;
+  }
+  if (conn->http_in.size() > kMaxHttpRequestBytes) return false;
+
+  // Serve once the header block is complete (tolerate bare-\n clients).
+  size_t header_end = conn->http_in.find("\r\n\r\n");
+  if (header_end == std::string::npos) header_end = conn->http_in.find("\n\n");
+  if (header_end == std::string::npos) {
+    return !saw_eof;  // EOF mid-request: nothing to answer
+  }
+  if (!conn->out.empty()) return true;  // already answered; flushing
+
+  const size_t line_end = conn->http_in.find('\n');
+  std::string request_line = conn->http_in.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.pop_back();
+  }
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? request_line : request_line.substr(0, sp1);
+  const std::string path =
+      sp2 == std::string::npos ? "" : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::string status_line;
+  std::string body;
+  if (method != "GET") {
+    status_line = "HTTP/1.0 405 Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (path != "/metrics") {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "not found; try /metrics\n";
+  } else {
+    status_line = "HTTP/1.0 200 OK";
+    obs::RenderPrometheus(
+        *metrics_,
+        options_.enable_request_stats ? &request_stats_ : nullptr, &body);
+    metrics_->Add(obs::kNetMetricsScrapes);
+  }
+  char header[160];
+  snprintf(header, sizeof(header),
+           "%s\r\nContent-Type: text/plain; version=0.0.4\r\n"
+           "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+           status_line.c_str(), body.size());
+  conn->out += header;
+  conn->out += body;
+  conn->close_after_flush = true;  // HTTP/1.0: one exchange per socket
   return true;
 }
 
@@ -233,7 +381,7 @@ bool RespServer::FlushOut(Conn* conn) {
     if (r == IoResult::kWouldBlock) break;
     if (r == IoResult::kError) return false;
     conn->out_pos += n;
-    metrics_->Add(obs::kNetBytesOut, n);
+    if (!conn->is_http) metrics_->Add(obs::kNetBytesOut, n);
   }
   if (conn->out_pos == conn->out.size()) {
     conn->out.clear();
@@ -258,17 +406,78 @@ void RespServer::UpdateInterest(Conn* conn, bool draining) {
 void RespServer::CloseConn(uint64_t tag) {
   auto it = conns_.find(tag);
   if (it == conns_.end()) return;
+  if (it->second->gauge_counted) {
+    it->second->gauge_counted = false;
+    active_clients_--;
+    metrics_->SetGauge(obs::kNetConnActive, active_clients_);
+  }
   (void)PollerDel(epfd_, it->second->fd);
   Close(it->second->fd);
   conns_.erase(it);
-  metrics_->SetGauge(obs::kNetConnActive, conns_.size());
 }
 
-void RespServer::Dispatch(Conn* conn, std::vector<std::string>* argv) {
+void RespServer::Execute(Conn* conn, std::vector<std::string>* argv,
+                         uint64_t req_bytes, uint64_t batch_start_ns) {
   metrics_->Add(obs::kNetCommands);
+  const std::string verb_upper = UpperVerb((*argv)[0]);
+  const obs::Verb verb = obs::VerbFromUpper(verb_upper);
+  const uint64_t seq = ++req_seq_;
+  const uint64_t exec_start_ns = timing_enabled_ ? NowNanos() : 0;
+  const size_t out_before = conn->out.size();
+
+  obs::PerfContext* perf = nullptr;
+  if (slow_log_ != nullptr) {
+    perf = obs::GetPerfContext();
+    perf->Reset();
+  }
+
+  {
+    const bool sampled = options_.tracer != nullptr &&
+                         options_.trace_sample > 0 &&
+                         seq % static_cast<uint64_t>(options_.trace_sample) == 0;
+    obs::SpanScope span(sampled ? options_.tracer : nullptr, "cmd", "net");
+    if (span.active()) {
+      span.AddArg("conn", conn->tag);
+      span.AddArg("seq", seq);
+      span.SetStrArg("verb", obs::VerbName(verb));
+    }
+    Dispatch(conn, argv, verb_upper);
+  }
+
+  const uint64_t out_bytes = conn->out.size() - out_before;
+  const bool is_err = out_bytes > 0 && conn->out[out_before] == '-';
+  if (is_err) metrics_->Add(obs::kNetCmdErrors);
+  if (!timing_enabled_) return;
+
+  const uint64_t end_ns = NowNanos();
+  const uint64_t total_ns = end_ns - batch_start_ns;
+  if (options_.enable_request_stats) {
+    request_stats_.Record(verb, total_ns, req_bytes, out_bytes, is_err,
+                          conn->tag);
+  }
+  if (slow_log_ != nullptr &&
+      total_ns / 1000 >=
+          static_cast<uint64_t>(options_.slowlog_threshold_micros)) {
+    metrics_->Add(obs::kNetSlowQueries);
+    obs::SlowLogEntry entry;
+    entry.unix_sec = static_cast<int64_t>(time(nullptr));
+    entry.verb = verb;
+    if (argv->size() > 1) {
+      entry.key_prefix =
+          obs::EscapeKeyPrefix((*argv)[1], kSlowLogKeyPrefixBytes);
+    }
+    entry.total_micros = total_ns / 1000;
+    entry.queue_micros = (exec_start_ns - batch_start_ns) / 1000;
+    entry.exec_micros = (end_ns - exec_start_ns) / 1000;
+    entry.perf = *perf;
+    slow_log_->Record(std::move(entry));
+  }
+}
+
+void RespServer::Dispatch(Conn* conn, std::vector<std::string>* argv,
+                          const std::string& verb) {
   std::string* out = &conn->out;
   const std::vector<std::string>& args = *argv;
-  const std::string verb = UpperVerb(args[0]);
 
   if (verb == "PING") {
     if (args.size() == 2) {
@@ -340,6 +549,28 @@ void RespServer::Dispatch(Conn* conn, std::vector<std::string>* argv) {
     }
   } else if (verb == "INFO") {
     AppendBulk(out, BuildInfo());
+  } else if (verb == "SLOWLOG") {
+    DispatchSlowLog(conn, args);
+  } else if (verb == "TRACEDUMP") {
+    if (args.size() != 2) return WrongArity(out, "tracedump");
+    Status s = db_->DumpTrace(args[1]);
+    if (s.ok()) {
+      AppendSimpleString(out, "OK");
+    } else {
+      AppendError(out, "ERR " + s.ToString());
+    }
+  } else if (verb == "DEBUG") {
+    // DEBUG SLEEP <micros>: stall the io thread — the fault injector
+    // behind the slowlog and drain tests.  Bounded so a stray client
+    // cannot wedge the server for more than 5s per command.
+    if (args.size() == 3 && UpperVerb(args[1]) == "SLEEP") {
+      uint64_t micros = strtoull(args[2].c_str(), nullptr, 10);
+      if (micros > kMaxDebugSleepMicros) micros = kMaxDebugSleepMicros;
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+      AppendSimpleString(out, "OK");
+    } else {
+      AppendError(out, "ERR unknown DEBUG subcommand; try DEBUG SLEEP micros");
+    }
   } else if (verb == "SHUTDOWN") {
     AppendSimpleString(out, "OK");
     shutdown_requested_.store(true, std::memory_order_release);
@@ -351,18 +582,102 @@ void RespServer::Dispatch(Conn* conn, std::vector<std::string>* argv) {
   }
 }
 
+void RespServer::DispatchSlowLog(Conn* conn,
+                                 const std::vector<std::string>& args) {
+  std::string* out = &conn->out;
+  if (args.size() < 2) return WrongArity(out, "slowlog");
+  const std::string sub = UpperVerb(args[1]);
+  if (slow_log_ == nullptr) {
+    AppendError(out, "ERR slowlog is disabled (slowlog-threshold-micros < 0)");
+    return;
+  }
+  if (sub == "GET") {
+    uint64_t limit = 0;  // 0 = all retained
+    if (args.size() == 3) limit = strtoull(args[2].c_str(), nullptr, 10);
+    if (args.size() > 3) return WrongArity(out, "slowlog");
+    std::vector<obs::SlowLogEntry> entries = slow_log_->Snapshot(limit);
+    AppendArrayHeader(out, entries.size());
+    for (const obs::SlowLogEntry& e : entries) {
+      AppendBulk(out, e.ToString());
+    }
+  } else if (sub == "RESET" && args.size() == 2) {
+    slow_log_->Reset();
+    AppendSimpleString(out, "OK");
+  } else if (sub == "LEN" && args.size() == 2) {
+    AppendInteger(out, static_cast<int64_t>(slow_log_->Len()));
+  } else {
+    AppendError(out, "ERR unknown SLOWLOG subcommand; try GET/RESET/LEN");
+  }
+}
+
+bool RespServer::GetProperty(const std::string& name, std::string* value) {
+  if (name == "bolt.slowlog") {
+    if (slow_log_ == nullptr) return false;
+    *value = slow_log_->ToString();
+    return true;
+  }
+  return db_->GetProperty(name, value);
+}
+
 std::string RespServer::BuildInfo() {
   char buf[256];
   std::string info = "# server\r\n";
   snprintf(buf, sizeof(buf),
-           "tcp_port:%d\r\nconnected_clients:%zu\r\ntotal_commands:%llu\r\n",
-           port(), conns_.size(),
-           static_cast<unsigned long long>(metrics_->Get(obs::kNetCommands)));
+           "tcp_port:%d\r\nmetrics_port:%d\r\nhost:%s\r\npid:%d\r\n"
+           "uptime_sec:%" PRId64 "\r\n",
+           port(), metrics_port(), EscapeInfoValue(options_.host).c_str(),
+           static_cast<int>(getpid()),
+           static_cast<int64_t>(time(nullptr)) - start_unix_sec_);
   info += buf;
+  std::string num_shards;
+  if (db_->GetProperty("bolt.num_shards", &num_shards)) {
+    info += "shard_count:" + EscapeInfoValue(num_shards) + "\r\n";
+  }
+  snprintf(buf, sizeof(buf),
+           "connected_clients:%zu\r\ntotal_commands:%llu\r\n"
+           "total_errors:%llu\r\n",
+           active_clients_,
+           static_cast<unsigned long long>(metrics_->Get(obs::kNetCommands)),
+           static_cast<unsigned long long>(metrics_->Get(obs::kNetCmdErrors)));
+  info += buf;
+
+  if (options_.enable_request_stats) {
+    info += "# commands\r\n";
+    info += request_stats_.ToInfoTable();
+  }
+
+  info += "# keyspace\r\n";
+  snprintf(buf, sizeof(buf),
+           "keys_written:%llu\r\nkeys_read:%llu\r\nseeks:%llu\r\n",
+           static_cast<unsigned long long>(metrics_->Get(obs::kNumKeysWritten)),
+           static_cast<unsigned long long>(metrics_->Get(obs::kNumKeysRead)),
+           static_cast<unsigned long long>(metrics_->Get(obs::kNumSeeks)));
+  info += buf;
+
+  if (slow_log_ != nullptr) {
+    info += "# slowlog\r\n";
+    snprintf(buf, sizeof(buf),
+             "slowlog_len:%zu\r\nslowlog_total:%llu\r\n"
+             "slowlog_threshold_micros:%lld\r\n",
+             slow_log_->Len(),
+             static_cast<unsigned long long>(slow_log_->TotalRecorded()),
+             static_cast<long long>(options_.slowlog_threshold_micros));
+    info += buf;
+    std::vector<obs::SlowLogEntry> last = slow_log_->Snapshot(1);
+    if (!last.empty()) {
+      info += "slowlog_last:" + EscapeInfoValue(last[0].ToString()) + "\r\n";
+    }
+  }
+
   std::string shards;
   if (db_->GetProperty("bolt.shards", &shards)) {
     info += "# shards\r\n";
     info += shards;
+  }
+  std::string metrics_text;
+  if (db_->GetProperty("bolt.metrics", &metrics_text)) {
+    info += "# metrics\r\n";
+    info += metrics_text;
   }
   return info;
 }

@@ -1,4 +1,4 @@
-// RespServer: the bolt_server network front end (DESIGN.md §13).
+// RespServer: the bolt_server network front end (DESIGN.md §13, §15).
 //
 // One io thread runs a non-blocking epoll loop over the listener, a
 // wakeup eventfd, and every live connection.  Each connection owns an
@@ -17,9 +17,29 @@
 //   SCAN start count          -> *2K of $key $value (first K pairs with
 //                                key >= start, in order; cross-shard
 //                                merge when the DB is a ShardedDB)
-//   INFO                      -> $text (server + "bolt.shards" + stats)
+//   INFO                      -> $text (named sections: # server,
+//                                # commands, # keyspace, # slowlog,
+//                                # shards, # metrics)
+//   SLOWLOG GET [n]           -> *N of $entry (newest first)
+//   SLOWLOG RESET             -> +OK
+//   SLOWLOG LEN               -> :count
+//   TRACEDUMP path            -> +OK (DB::DumpTrace on the live server)
+//   DEBUG SLEEP micros        -> +OK after stalling the io thread (the
+//                                fault injector behind the slowlog and
+//                                drain tests; micros <= 5s)
 //   SHUTDOWN                  -> +OK, then graceful drain (stop
 //                                accepting, flush every outbuf, exit)
+//
+// Request observability (DESIGN.md §15): every dispatched command is
+// timed end-to-end and charged into a per-verb RequestStats module;
+// commands over ServerOptions::slowlog_threshold_micros are recorded
+// into a bounded SlowLog ring with a PerfContext attribution snapshot;
+// a 1-in-trace_sample subset opens a "cmd" span so a live DumpTrace
+// shows server spans parenting the engine's write_group/flush spans.
+// When metrics_port >= 0 a second listener on the same epoll loop
+// answers "GET /metrics" with the Prometheus text exposition of the
+// shared registry + RequestStats (HTTP/1.0, one response per
+// connection; all socket work still lives in net/socket.cc).
 //
 // Shutdown discipline: Stop() (thread- and signal-safe) or SHUTDOWN
 // moves the loop into draining mode — the listener closes, reads stop,
@@ -27,7 +47,7 @@
 //
 // Thread model: everything after Start() happens on the io thread, so
 // connection state needs no locking at all; the only shared state is
-// two atomics (stop flag, bound port) and the wakeup fd.  DB calls run
+// the atomics (stop flag, bound ports) and the wakeup fd.  DB calls run
 // inline on the io thread: BoLT reads are cache-or-one-seek and writes
 // are group-committed, so the loop stays responsive under pipelining
 // without a worker pool (measured by bench/net_ycsb).
@@ -42,6 +62,8 @@
 #include <vector>
 
 #include "net/resp.h"
+#include "obs/request_stats.h"
+#include "obs/slow_log.h"
 #include "util/status.h"
 
 namespace bolt {
@@ -49,6 +71,7 @@ namespace bolt {
 class DB;
 namespace obs {
 class MetricsRegistry;
+class Tracer;
 }
 
 namespace net {
@@ -66,6 +89,25 @@ struct ServerOptions {
   // the server never null-checks).  Pass the DB's registry to get one
   // merged "bolt.metrics" view.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // ---- Request observability (DESIGN.md §15) ----
+  // Prometheus /metrics listener port on the same epoll loop: -1
+  // disables, 0 binds an ephemeral port (metrics_port() reports it).
+  int metrics_port = -1;
+  // Commands slower than this end-to-end are recorded into the slow
+  // log: < 0 disables the log entirely, 0 records every command
+  // (tests / full attribution), default 10ms.
+  int64_t slowlog_threshold_micros = 10000;
+  size_t slowlog_capacity = 128;
+  // Per-verb latency/byte/error accounting.  Off = the bench's
+  // instrumentation-overhead baseline: no clock reads per command.
+  bool enable_request_stats = true;
+  // When set, 1 in trace_sample dispatched commands opens a "cmd" span
+  // (cat "net") around its execution.  Pass the same tracer the DB
+  // uses so DumpTrace shows cmd spans parenting engine spans.
+  // trace_sample <= 0 disables sampling even with a tracer.
+  obs::Tracer* tracer = nullptr;
+  int trace_sample = 16;
 };
 
 class RespServer {
@@ -82,6 +124,10 @@ class RespServer {
   Status Start();
   // The bound port (valid after Start() returns OK).
   int port() const { return port_.load(std::memory_order_acquire); }
+  // The bound /metrics port; -1 when the endpoint is disabled.
+  int metrics_port() const {
+    return metrics_port_.load(std::memory_order_acquire);
+  }
 
   // Begin graceful drain; safe from any thread and from signal
   // handlers (it only flips an atomic and writes the wakeup eventfd).
@@ -95,6 +141,15 @@ class RespServer {
     return shutdown_requested_.load(std::memory_order_acquire);
   }
 
+  // Server-level properties: "bolt.slowlog" (the slow-query ring,
+  // newest first) is answered here; everything else forwards to the
+  // DB's GetProperty.  Safe from any thread (the slow log locks).
+  bool GetProperty(const std::string& name, std::string* value);
+
+  // The per-verb serving-path statistics (tests read them directly;
+  // external scrapers use /metrics).
+  const obs::RequestStats& request_stats() const { return request_stats_; }
+
  private:
   struct Conn {
     uint64_t tag = 0;  // poller cookie / conns_ key
@@ -104,37 +159,64 @@ class RespServer {
     size_t out_pos = 0;     // sent prefix of out
     bool close_after_flush = false;
     uint32_t registered = 0;  // current poller interest set
+    // Connections accepted on the metrics listener speak HTTP, not
+    // RESP; they buffer the request here and answer exactly once.
+    bool is_http = false;
+    std::string http_in;
+    // True while this connection is counted in kNetConnActive; cleared
+    // by the one decrement, so every teardown path (error, drain
+    // force-close, clean close) adjusts the gauge exactly once.
+    bool gauge_counted = false;
   };
 
   void Run();  // io thread body
-  void AcceptNew();
+  void AcceptNew(int listen_fd, bool is_http);
   void HandleConn(Conn* conn, uint32_t events);
   bool ReadAndExecute(Conn* conn);  // false => close the connection
+  bool ReadAndServeHttp(Conn* conn);
   bool FlushOut(Conn* conn);        // false => close the connection
   void UpdateInterest(Conn* conn, bool draining);
   void CloseConn(uint64_t tag);
-  void Dispatch(Conn* conn, std::vector<std::string>* args);
+  // Instrumented wrapper: times Dispatch, charges RequestStats, the
+  // slow log, and the sampled "cmd" span.
+  void Execute(Conn* conn, std::vector<std::string>* args,
+               uint64_t req_bytes, uint64_t batch_start_ns);
+  void Dispatch(Conn* conn, std::vector<std::string>* args,
+                const std::string& verb);
+  void DispatchSlowLog(Conn* conn, const std::vector<std::string>& args);
   std::string BuildInfo();
 
   DB* const db_;
   const ServerOptions options_;
   obs::MetricsRegistry* metrics_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::RequestStats request_stats_;
+  std::unique_ptr<obs::SlowLog> slow_log_;  // null when disabled
+  // Any per-command clock reads at all?  False is the zero-overhead
+  // baseline the bench guard measures against.
+  bool timing_enabled_ = false;
 
   int listen_fd_ = -1;
+  int metrics_listen_fd_ = -1;
   int epfd_ = -1;
   int wakeup_fd_ = -1;
   std::atomic<int> port_{0};
+  std::atomic<int> metrics_port_{-1};
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_requested_{false};
   std::thread io_thread_;
   bool started_ = false;
+  int64_t start_unix_sec_ = 0;
 
   // io-thread-only state: connections keyed by a monotonically rising
   // tag (never a reused fd number, so a stale epoll event can only miss
   // in the map, never hit the wrong connection).
   uint64_t next_tag_ = 1;
   std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  // RESP clients currently counted in kNetConnActive (metrics/HTTP
+  // connections are excluded: they are scrapers, not clients).
+  size_t active_clients_ = 0;
+  uint64_t req_seq_ = 0;  // dispatched commands; drives trace sampling
 };
 
 }  // namespace net

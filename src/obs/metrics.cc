@@ -76,6 +76,9 @@ const char* TickerName(Ticker t) {
     case kNetBytesIn:              return "net.bytes.in";
     case kNetBytesOut:             return "net.bytes.out";
     case kNetProtocolErrors:       return "net.protocol_errors";
+    case kNetCmdErrors:            return "net.cmd.errors";
+    case kNetSlowQueries:          return "net.slow_queries";
+    case kNetMetricsScrapes:       return "net.metrics.scrapes";
     case kBloomChecked:            return "bloom.checked";
     case kBloomUseful:             return "bloom.useful";
     case kTickerMax:               break;

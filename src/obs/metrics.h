@@ -134,6 +134,9 @@ enum Ticker : uint32_t {
   kNetBytesIn,          // bytes read from client sockets
   kNetBytesOut,         // bytes written to client sockets
   kNetProtocolErrors,   // malformed frames that closed a connection
+  kNetCmdErrors,        // commands answered with an -ERR reply
+  kNetSlowQueries,      // commands recorded into the slow-query log
+  kNetMetricsScrapes,   // HTTP /metrics responses served
 
   // ---- Bloom filters ----
   kBloomChecked,        // whole-table filters consulted

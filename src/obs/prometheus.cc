@@ -1,0 +1,124 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/request_stats.h"
+#include "util/histogram.h"
+
+namespace bolt {
+namespace obs {
+
+namespace {
+
+void AppendLine(std::string* out, const std::string& name,
+                const std::string& labels, uint64_t value) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+  *out += name;
+  *out += labels;
+  *out += buf;
+}
+
+// One summary family: quantile samples (when non-empty) + _sum/_count.
+// extra_label is an already-rendered label like "verb=\"get\"" or "".
+void AppendSummary(std::string* out, const std::string& name,
+                   const std::string& extra_label, const Histogram& h) {
+  static const struct {
+    const char* label;
+    double p;
+  } kQuantiles[] = {{"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0}};
+  if (h.count() > 0) {
+    for (const auto& q : kQuantiles) {
+      std::string labels = "{";
+      if (!extra_label.empty()) {
+        labels += extra_label;
+        labels += ",";
+      }
+      labels += "quantile=\"";
+      labels += q.label;
+      labels += "\"}";
+      AppendLine(out, name, labels, h.Percentile(q.p));
+    }
+  }
+  const std::string plain =
+      extra_label.empty() ? "" : "{" + extra_label + "}";
+  AppendLine(out, name + "_sum", plain, h.sum());
+  AppendLine(out, name + "_count", plain, h.count());
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& dotted) {
+  std::string out = "bolt_";
+  out.reserve(dotted.size() + 5);
+  for (char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void RenderPrometheus(const MetricsRegistry& registry,
+                      const RequestStats* stats, std::string* out) {
+  // ---- Registry tickers: counters ----
+  for (uint32_t t = 0; t < kTickerMax; t++) {
+    const std::string name =
+        PrometheusName(TickerName(static_cast<Ticker>(t))) + "_total";
+    *out += "# TYPE " + name + " counter\n";
+    AppendLine(out, name, "", registry.Get(static_cast<Ticker>(t)));
+  }
+
+  // ---- Registry gauges ----
+  for (uint32_t g = 0; g < kGaugeMax; g++) {
+    const std::string name = PrometheusName(GaugeName(static_cast<Gauge>(g)));
+    *out += "# TYPE " + name + " gauge\n";
+    AppendLine(out, name, "", registry.GetGauge(static_cast<Gauge>(g)));
+  }
+
+  // ---- Registry histograms: summaries ----
+  for (uint32_t h = 0; h < kHistMax; h++) {
+    const std::string name = PrometheusName(HistName(static_cast<Hist>(h)));
+    *out += "# TYPE " + name + " summary\n";
+    AppendSummary(out, name, "", registry.GetHist(static_cast<Hist>(h)));
+  }
+
+  if (stats == nullptr) return;
+
+  // ---- Per-verb request stats ----
+  static const struct {
+    const char* name;
+    uint64_t (RequestStats::*get)(Verb) const;
+  } kVerbCounters[] = {
+      {"bolt_cmd_calls_total", &RequestStats::Count},
+      {"bolt_cmd_errors_total", &RequestStats::Errors},
+      {"bolt_cmd_bytes_in_total", &RequestStats::BytesIn},
+      {"bolt_cmd_bytes_out_total", &RequestStats::BytesOut},
+  };
+  for (const auto& c : kVerbCounters) {
+    *out += "# TYPE " + std::string(c.name) + " counter\n";
+    for (uint32_t v = 0; v < kVerbMax; v++) {
+      const Verb verb = static_cast<Verb>(v);
+      std::string labels = "{verb=\"";
+      labels += VerbName(verb);
+      labels += "\"}";
+      AppendLine(out, c.name, labels, (stats->*(c.get))(verb));
+    }
+  }
+  *out += "# TYPE bolt_cmd_latency_ns summary\n";
+  for (uint32_t v = 0; v < kVerbMax; v++) {
+    const Verb verb = static_cast<Verb>(v);
+    // Only verbs that were actually called get latency rows: the _count 0
+    // rows above already say "never happened" per verb.
+    if (stats->Count(verb) == 0) continue;
+    std::string label = "verb=\"";
+    label += VerbName(verb);
+    label += "\"";
+    AppendSummary(out, "bolt_cmd_latency_ns", label, stats->Latency(verb));
+  }
+}
+
+}  // namespace obs
+}  // namespace bolt

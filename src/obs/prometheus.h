@@ -1,0 +1,39 @@
+// Prometheus text-exposition rendering (format 0.0.4) for the
+// /metrics endpoint (DESIGN.md §15).
+//
+// Name mangling: registry names are dotted ("block_cache.hit"); the
+// exposition name is "bolt_" + name with every non-[a-zA-Z0-9_] byte
+// mapped to '_' ("bolt_block_cache_hit"), plus "_total" on counters
+// per Prometheus convention.  The scheme is validated end-to-end by
+// scripts/metrics_check.py in the verify.sh server-smoke leg.
+//
+//   tickers    -> counter  bolt_<name>_total
+//   gauges     -> gauge    bolt_<name>
+//   histograms -> summary  bolt_<name>{quantile="0.5|0.9|0.99"}
+//                          + bolt_<name>_sum / bolt_<name>_count
+//   RequestStats -> bolt_cmd_{calls,errors,bytes_in,bytes_out}_total
+//                   {verb="get"} counters and a bolt_cmd_latency_ns
+//                   summary per verb
+//
+// Empty histograms/verbs still emit their TYPE line and _count 0 but
+// omit quantile samples (a quantile of nothing is a lie, not a zero).
+#pragma once
+
+#include <string>
+
+namespace bolt {
+namespace obs {
+
+class MetricsRegistry;
+class RequestStats;
+
+// "bolt_" + dotted name with non-alphanumerics mapped to '_'.
+std::string PrometheusName(const std::string& dotted);
+
+// Append the full exposition body.  stats may be null (engine-only
+// scrape, e.g. from a bench without a server).
+void RenderPrometheus(const MetricsRegistry& registry,
+                      const RequestStats* stats, std::string* out);
+
+}  // namespace obs
+}  // namespace bolt

@@ -1,0 +1,112 @@
+#include "obs/request_stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/mutexlock.h"
+
+namespace bolt {
+namespace obs {
+
+const char* VerbName(Verb v) {
+  switch (v) {
+    case kVerbGet:      return "get";
+    case kVerbSet:      return "set";
+    case kVerbDel:      return "del";
+    case kVerbMGet:     return "mget";
+    case kVerbScan:     return "scan";
+    case kVerbPing:     return "ping";
+    case kVerbInfo:     return "info";
+    case kVerbSlowLog:  return "slowlog";
+    case kVerbTraceDump:return "tracedump";
+    case kVerbDebug:    return "debug";
+    case kVerbShutdown: return "shutdown";
+    case kVerbOther:    return "other";
+    case kVerbMax:      break;
+  }
+  return "?";
+}
+
+Verb VerbFromUpper(const std::string& upper) {
+  if (upper == "GET") return kVerbGet;
+  if (upper == "SET") return kVerbSet;
+  if (upper == "DEL") return kVerbDel;
+  if (upper == "MGET") return kVerbMGet;
+  if (upper == "SCAN") return kVerbScan;
+  if (upper == "PING") return kVerbPing;
+  if (upper == "INFO") return kVerbInfo;
+  if (upper == "SLOWLOG") return kVerbSlowLog;
+  if (upper == "TRACEDUMP") return kVerbTraceDump;
+  if (upper == "DEBUG") return kVerbDebug;
+  if (upper == "SHUTDOWN") return kVerbShutdown;
+  return kVerbOther;
+}
+
+RequestStats::RequestStats() = default;
+
+void RequestStats::Record(Verb v, uint64_t latency_ns, uint64_t bytes_in,
+                          uint64_t bytes_out, bool error,
+                          uint64_t stripe_hint) {
+  PerVerb& pv = verbs_[v];
+  pv.count.fetch_add(1, std::memory_order_relaxed);
+  if (error) pv.errors.fetch_add(1, std::memory_order_relaxed);
+  pv.bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
+  pv.bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
+  HistStripe& stripe = latency_[v][stripe_hint % kStripes];
+  MutexLock l(&stripe.mu);
+  stripe.hist.Add(latency_ns);
+}
+
+Histogram RequestStats::Latency(Verb v) const {
+  Histogram merged;
+  for (int s = 0; s < kStripes; s++) {
+    // const_cast: the mutexes guard mutable state; logical constness of
+    // the read is preserved (same idiom as MetricsRegistry::GetHist).
+    HistStripe& stripe = const_cast<RequestStats*>(this)->latency_[v][s];
+    MutexLock l(&stripe.mu);
+    merged.Merge(stripe.hist);
+  }
+  return merged;
+}
+
+uint64_t RequestStats::TotalCount() const {
+  uint64_t total = 0;
+  for (uint32_t v = 0; v < kVerbMax; v++) {
+    total += Count(static_cast<Verb>(v));
+  }
+  return total;
+}
+
+std::string RequestStats::ToInfoTable() const {
+  std::string out;
+  char buf[256];
+  for (uint32_t i = 0; i < kVerbMax; i++) {
+    const Verb v = static_cast<Verb>(i);
+    const uint64_t calls = Count(v);
+    if (calls == 0) continue;
+    const Histogram h = Latency(v);
+    snprintf(buf, sizeof(buf),
+             "cmd_%s:calls=%" PRIu64 ",errors=%" PRIu64 ",bytes_in=%" PRIu64
+             ",bytes_out=%" PRIu64 ",p50_us=%.1f,p99_us=%.1f\r\n",
+             VerbName(v), calls, Errors(v), BytesIn(v), BytesOut(v),
+             h.Percentile(50) / 1e3, h.Percentile(99) / 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+void RequestStats::Reset() {
+  for (uint32_t v = 0; v < kVerbMax; v++) {
+    verbs_[v].count.store(0, std::memory_order_relaxed);
+    verbs_[v].errors.store(0, std::memory_order_relaxed);
+    verbs_[v].bytes_in.store(0, std::memory_order_relaxed);
+    verbs_[v].bytes_out.store(0, std::memory_order_relaxed);
+    for (int s = 0; s < kStripes; s++) {
+      MutexLock l(&latency_[v][s].mu);
+      latency_[v][s].hist.Clear();
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace bolt

@@ -1,0 +1,112 @@
+// RequestStats: per-verb serving-path statistics (DESIGN.md §15).
+//
+// The MetricsRegistry aggregates the whole engine; RequestStats slices
+// the *serving path* by command verb, because a p99 that mixes PING
+// with SCAN is not a tail, it is a smoothie.  For every RESP verb the
+// server records count, errors, bytes in/out (relaxed atomics) and a
+// latency histogram striped 4 ways by connection tag, so pipelined
+// clients on the single io thread never contend and a future
+// multi-threaded front end would not either.
+//
+// Charged ONLY by src/net/server.cc (the same ownership discipline
+// bolt_lint enforces for the kNet* tickers): the engine below the
+// server knows nothing about verbs, and the bench reads these numbers
+// over /metrics rather than re-deriving them client-side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "port/port.h"
+#include "util/histogram.h"
+#include "util/thread_annotations.h"
+
+namespace bolt {
+namespace obs {
+
+// The verbs the server distinguishes.  kOther buckets everything the
+// dispatcher rejects as unknown, so the totals still add up.
+enum Verb : uint32_t {
+  kVerbGet = 0,
+  kVerbSet,
+  kVerbDel,
+  kVerbMGet,
+  kVerbScan,
+  kVerbPing,
+  kVerbInfo,
+  kVerbSlowLog,
+  kVerbTraceDump,
+  kVerbDebug,
+  kVerbShutdown,
+  kVerbOther,
+  kVerbMax,
+};
+
+// Lowercase wire-ish name ("get", "mget", ...) for metric labels and
+// the INFO "# commands" table.
+const char* VerbName(Verb v);
+
+// Map an already-uppercased verb string ("GET") to its enum;
+// kVerbOther for anything unknown.
+Verb VerbFromUpper(const std::string& upper);
+
+class RequestStats {
+ public:
+  RequestStats();
+
+  RequestStats(const RequestStats&) = delete;
+  RequestStats& operator=(const RequestStats&) = delete;
+
+  // Record one completed command: total latency, request/reply bytes,
+  // and whether the reply was an -ERR.  stripe_hint (the connection
+  // tag) picks the histogram stripe.
+  void Record(Verb v, uint64_t latency_ns, uint64_t bytes_in,
+              uint64_t bytes_out, bool error, uint64_t stripe_hint);
+
+  uint64_t Count(Verb v) const {
+    return verbs_[v].count.load(std::memory_order_relaxed);
+  }
+  uint64_t Errors(Verb v) const {
+    return verbs_[v].errors.load(std::memory_order_relaxed);
+  }
+  uint64_t BytesIn(Verb v) const {
+    return verbs_[v].bytes_in.load(std::memory_order_relaxed);
+  }
+  uint64_t BytesOut(Verb v) const {
+    return verbs_[v].bytes_out.load(std::memory_order_relaxed);
+  }
+  // Merged view across stripes.
+  Histogram Latency(Verb v) const;
+
+  uint64_t TotalCount() const;
+
+  // The INFO "# commands" section body: one
+  //   cmd_<verb>:calls=..,errors=..,bytes_in=..,bytes_out=..,
+  //   p50_us=..,p99_us=..
+  // line per verb that has been called (CRLF-terminated lines).
+  std::string ToInfoTable() const;
+
+  // Zero everything (tests).
+  void Reset();
+
+ private:
+  static constexpr int kStripes = 4;
+
+  struct alignas(64) PerVerb {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+  };
+  struct alignas(64) HistStripe {
+    port::Mutex mu;
+    Histogram hist GUARDED_BY(mu);
+  };
+
+  PerVerb verbs_[kVerbMax];
+  HistStripe latency_[kVerbMax][kStripes];
+};
+
+}  // namespace obs
+}  // namespace bolt

@@ -1,0 +1,99 @@
+#include "obs/slow_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/mutexlock.h"
+
+namespace bolt {
+namespace obs {
+
+std::string EscapeKeyPrefix(const std::string& key, size_t max_bytes) {
+  std::string out;
+  const size_t n = key.size() < max_bytes ? key.size() : max_bytes;
+  out.reserve(n + 8);
+  for (size_t i = 0; i < n; i++) {
+    const unsigned char c = static_cast<unsigned char>(key[i]);
+    // Backslash is escaped too, so the encoding is unambiguous.
+    if (c >= 0x20 && c < 0x7f && c != '\\') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char hex[8];
+      snprintf(hex, sizeof(hex), "\\x%02x", c);
+      out += hex;
+    }
+  }
+  if (key.size() > max_bytes) out += "..";
+  return out;
+}
+
+std::string SlowLogEntry::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "id=%" PRIu64 " time=%" PRId64 " verb=%s key=%s total_us=%" PRIu64
+           " queue_us=%" PRIu64 " exec_us=%" PRIu64 " perf=[",
+           id, unix_sec, VerbName(verb), key_prefix.c_str(), total_micros,
+           queue_micros, exec_micros);
+  std::string line = buf;
+  line += perf.ToString();
+  line += "]";
+  return line;
+}
+
+SlowLog::SlowLog(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+uint64_t SlowLog::Record(SlowLogEntry entry) {
+  MutexLock l(&mu_);
+  entry.id = next_id_++;
+  const uint64_t id = entry.id;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+    next_ = (next_ + 1) % capacity_;
+  }
+  return id;
+}
+
+std::vector<SlowLogEntry> SlowLog::Snapshot(size_t max_entries) const {
+  MutexLock l(&mu_);
+  std::vector<SlowLogEntry> out;
+  const size_t n = ring_.size();
+  const size_t want = (max_entries == 0 || max_entries > n) ? n : max_entries;
+  out.reserve(want);
+  // next_ is the oldest slot once the ring has wrapped; walk backwards
+  // from the newest.
+  for (size_t i = 0; i < want; i++) {
+    const size_t idx = (next_ + n - 1 - i) % n;
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+void SlowLog::Reset() {
+  MutexLock l(&mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+size_t SlowLog::Len() const {
+  MutexLock l(&mu_);
+  return ring_.size();
+}
+
+uint64_t SlowLog::TotalRecorded() const {
+  MutexLock l(&mu_);
+  return next_id_ - 1;
+}
+
+std::string SlowLog::ToString() const {
+  std::string out;
+  for (const SlowLogEntry& e : Snapshot()) {
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace bolt

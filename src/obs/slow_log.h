@@ -1,0 +1,82 @@
+// SlowLog: a bounded ring of the slowest recent commands, with cause
+// attribution (DESIGN.md §15).
+//
+// A per-verb p99 says the tail exists; the slow log says *which*
+// commands were in it and *why*: each entry carries the verb, a
+// truncated binary-safe key prefix, the total duration split into
+// queue (time the command sat parsed-but-unexecuted behind its
+// pipeline) vs execute, and a copy of the thread's PerfContext so a
+// slow GET is attributed to its block reads, cache misses, or stall
+// time rather than guessed at.
+//
+// The ring is fixed-capacity and mutex-guarded; recording is off the
+// hot path by construction (only commands over the threshold reach
+// it).  Exposed via the SLOWLOG GET/RESET/LEN RESP commands and the
+// server's "bolt.slowlog" property.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/perf_context.h"
+#include "obs/request_stats.h"
+#include "port/port.h"
+#include "util/thread_annotations.h"
+
+namespace bolt {
+namespace obs {
+
+struct SlowLogEntry {
+  uint64_t id = 0;         // monotonically rising, survives RESET
+  int64_t unix_sec = 0;    // wall-clock time the command finished
+  Verb verb = kVerbOther;
+  std::string key_prefix;  // first bytes of args[1], escaped for display
+  uint64_t total_micros = 0;
+  uint64_t queue_micros = 0;    // parsed -> dispatched (pipeline wait)
+  uint64_t exec_micros = 0;     // dispatched -> reply produced
+  PerfContext perf;             // engine-side attribution snapshot
+
+  // One line: "id=3 time=... verb=get key=... total_us=... queue_us=...
+  // exec_us=... perf=[...]".
+  std::string ToString() const;
+};
+
+// Escape a key for single-line display: printable ASCII passes
+// through, everything else becomes \xNN; truncated to max_bytes with a
+// ".." suffix.  Binary keys must not corrupt the INFO/RESP framing.
+std::string EscapeKeyPrefix(const std::string& key, size_t max_bytes);
+
+class SlowLog {
+ public:
+  explicit SlowLog(size_t capacity);
+
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  // Record one over-threshold command; oldest entry is evicted when
+  // the ring is full.  Returns the assigned id.
+  uint64_t Record(SlowLogEntry entry);
+
+  // Newest-first copy of up to max_entries (0 = all retained).
+  std::vector<SlowLogEntry> Snapshot(size_t max_entries = 0) const;
+
+  // Drop every retained entry (ids keep rising).
+  void Reset();
+
+  size_t Len() const;
+  uint64_t TotalRecorded() const;  // entries ever recorded, incl. evicted
+
+  // Multi-line dump for the "bolt.slowlog" property (newest first).
+  std::string ToString() const;
+
+ private:
+  const size_t capacity_;
+  mutable port::Mutex mu_;
+  std::vector<SlowLogEntry> ring_ GUARDED_BY(mu_);  // grows, then wraps
+  size_t next_ GUARDED_BY(mu_) = 0;                 // insertion cursor
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace obs
+}  // namespace bolt

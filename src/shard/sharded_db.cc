@@ -149,6 +149,7 @@ Status ShardedDB::Open(const Options& base, int num_shards,
   }
   shard_options.tracer = db->tracer_;
 
+  db->shard_counters_.reset(new ShardCounters[num_shards]);
   Status s;
   for (int i = 0; i < num_shards && s.ok(); i++) {
     DB* shard = nullptr;
@@ -183,6 +184,7 @@ int ShardedDB::ShardOf(const Slice& key) const {
 Status ShardedDB::Put(const WriteOptions& options, const Slice& key,
                       const Slice& value) {
   const int shard = ShardOf(key);
+  shard_counters_[shard].writes.fetch_add(1, std::memory_order_relaxed);
   obs::SpanScope span(tracer_, "shard.put");
   span.AddArg("shard", shard);
   return shards_[shard]->Put(options, key, value);
@@ -190,6 +192,7 @@ Status ShardedDB::Put(const WriteOptions& options, const Slice& key,
 
 Status ShardedDB::Delete(const WriteOptions& options, const Slice& key) {
   const int shard = ShardOf(key);
+  shard_counters_[shard].writes.fetch_add(1, std::memory_order_relaxed);
   obs::SpanScope span(tracer_, "shard.delete");
   span.AddArg("shard", shard);
   return shards_[shard]->Delete(options, key);
@@ -208,6 +211,7 @@ Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
   for (size_t i = 0; i < per_shard.size(); i++) {
     if (per_shard[i].ApproximateSize() <= 12) continue;  // header only
     touched++;
+    shard_counters_[i].writes.fetch_add(1, std::memory_order_relaxed);
     Status shard_status = shards_[i]->Write(options, &per_shard[i]);
     if (s.ok() && !shard_status.ok()) {
       s = shard_status;  // keep going: other shards' slices still apply
@@ -220,6 +224,7 @@ Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
 Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
                       std::string* value) {
   const int shard = ShardOf(key);
+  shard_counters_[shard].reads.fetch_add(1, std::memory_order_relaxed);
   obs::SpanScope span(tracer_, "shard.get");
   span.AddArg("shard", shard);
   return shards_[shard]->Get(ForShard(options, shard), key, value);
@@ -247,6 +252,8 @@ std::vector<Status> ShardedDB::MultiGet(const ReadOptions& options,
   for (size_t shard = 0; shard < shards_.size(); shard++) {
     if (shard_keys[shard].empty()) continue;
     touched++;
+    shard_counters_[shard].reads.fetch_add(shard_keys[shard].size(),
+                                           std::memory_order_relaxed);
     std::vector<std::string> shard_values;
     std::vector<Status> shard_statuses = shards_[shard]->MultiGet(
         ForShard(options, static_cast<int>(shard)), shard_keys[shard],
@@ -299,9 +306,17 @@ bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
   if (!in.starts_with(prefix)) return false;
   in.remove_prefix(prefix.size());
 
+  if (in == "num_shards") {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%d", num_shards());
+    *value = buf;
+    return true;
+  }
+
   if (in == "shards") {
     char buf[256];
-    snprintf(buf, sizeof(buf), "shards: %d\nshard tables    l0 status\n",
+    snprintf(buf, sizeof(buf),
+             "shards: %d\nshard tables    l0    reads   writes status\n",
              num_shards());
     value->append(buf);
     int degraded = 0;
@@ -318,7 +333,8 @@ bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
       (void)shards_[i]->GetProperty("bolt.num-files-at-level0", &l0);
       Status health = shards_[i]->GetBackgroundError();
       if (!health.ok()) degraded++;
-      snprintf(buf, sizeof(buf), "%5d %6d %5s %s\n", i, tables, l0.c_str(),
+      snprintf(buf, sizeof(buf), "%5d %6d %5s %8" PRIu64 " %8" PRIu64 " %s\n",
+               i, tables, l0.c_str(), ShardReads(i), ShardWrites(i),
                health.ok() ? "healthy" : health.ToString().c_str());
       value->append(buf);
     }

@@ -38,6 +38,7 @@
 //     degraded shard, and Resume() retries every latched shard.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,14 +111,31 @@ class ShardedDB : public DB {
   // one shard).  The returned DB is owned by the router.
   DB* TEST_shard(int i) const { return shards_[i].get(); }
 
+  // Per-shard request attribution (reads = keys looked up via
+  // Get/MultiGet, writes = Put/Delete/batch slices applied), reported
+  // in the "bolt.shards" table so a skewed keyspace is visible from a
+  // live server's INFO.
+  uint64_t ShardReads(int i) const {
+    return shard_counters_[i].reads.load(std::memory_order_relaxed);
+  }
+  uint64_t ShardWrites(int i) const {
+    return shard_counters_[i].writes.load(std::memory_order_relaxed);
+  }
+
  private:
   ShardedDB() = default;
+
+  struct alignas(64) ShardCounters {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+  };
 
   Env* env_ = nullptr;
   std::string name_;
   uint32_t seed_ = 0;  // routing hash seed (persisted in SHARDS)
   const Comparator* ucmp_ = nullptr;  // user comparator, for scan merging
   std::vector<std::unique_ptr<DB>> shards_;
+  std::unique_ptr<ShardCounters[]> shard_counters_;  // sized to shards_
 
   // Shared resources (owned iff the caller passed null in base).
   Cache* block_cache_ = nullptr;

@@ -1,0 +1,14 @@
+// lint-expect: metric-uncharged
+//
+// A declared ticker with no TICKER_CHARGE_SITES entry (and so no owning
+// charge site) must fail the completeness rule: it would export a
+// permanently-zero bolt_phantom_counter_total series on /metrics and
+// nobody would notice it never fires.
+enum Ticker : uint32_t {
+  kPhantomNeverCharged = 0,
+  kTickerMax,
+};
+
+enum Gauge : uint32_t {
+  kGaugeMax = 0,
+};

@@ -7,12 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/client.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "shard/sharded_db.h"
 #include "sim/sim_env.h"
 
@@ -192,6 +197,297 @@ TEST_F(NetServerTest, StopFromAnotherThreadUnblocksWait) {
   server_->Wait();  // must not hang
   // Further client traffic fails cleanly.
   EXPECT_FALSE(client_.Ping().ok());
+}
+
+TEST_F(NetServerTest, InfoHasNamedSectionsAndCommandTable) {
+  ASSERT_TRUE(client_.Set("info_key", "v").ok());
+  std::string value;
+  bool found = false;
+  ASSERT_TRUE(client_.Get("info_key", &value, &found).ok());
+
+  RespReply reply;
+  ASSERT_TRUE(client_.Command({"INFO"}, &reply).ok());
+  ASSERT_EQ(RespReply::kBulk, reply.type);
+  const std::string& info = reply.str;
+  for (const char* section :
+       {"# server", "# commands", "# keyspace", "# slowlog", "# shards",
+        "# metrics"}) {
+    EXPECT_NE(std::string::npos, info.find(section)) << section;
+  }
+  EXPECT_NE(std::string::npos, info.find("uptime_sec:"));
+  EXPECT_NE(std::string::npos, info.find("pid:"));
+  EXPECT_NE(std::string::npos, info.find("shard_count:2"));
+  EXPECT_NE(std::string::npos, info.find("connected_clients:1"));
+  EXPECT_NE(std::string::npos, info.find("cmd_set:calls=1"));
+  EXPECT_NE(std::string::npos, info.find("cmd_get:calls=1"));
+  EXPECT_NE(std::string::npos, info.find("keys_written:"));
+}
+
+// ---- Observability fixture: custom ServerOptions per test -----------------
+
+class NetServerObsTest : public testing::Test {
+ protected:
+  void Start(ServerOptions sopts, bool with_tracer = false) {
+    sim_ = std::make_unique<SimEnv>();
+    if (with_tracer) {
+      tracer_ = std::make_unique<obs::Tracer>(sim_.get(), 4096);
+    }
+    Options options;
+    options.env = sim_.get();
+    options.metrics = &registry_;
+    if (with_tracer) {
+      options.tracer = tracer_.get();
+      options.enable_tracing = true;
+    }
+    ShardedDB* db = nullptr;
+    ASSERT_TRUE(ShardedDB::Open(options, 2, "/net_obs_test", &db).ok());
+    db_.reset(db);
+    sopts.metrics = &registry_;
+    if (with_tracer) sopts.tracer = tracer_.get();
+    server_ = std::make_unique<RespServer>(db_.get(), sopts);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  void TearDown() override {
+    client_.Close();
+    if (server_ != nullptr) {
+      server_->Stop();
+      server_->Wait();
+      server_.reset();
+    }
+    db_.reset();
+  }
+
+  bool WaitForActiveConns(uint64_t want, int timeout_ms) {
+    for (int i = 0; i < timeout_ms; i++) {
+      if (registry_.GetGauge(obs::kNetConnActive) == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return registry_.GetGauge(obs::kNetConnActive) == want;
+  }
+
+  // One blocking HTTP/1.0 exchange against the metrics listener.
+  static std::string HttpGet(int port, const std::string& path) {
+    int fd = -1;
+    if (!Connect("127.0.0.1", port, &fd).ok()) return "";
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    size_t sent = 0;
+    while (sent < req.size()) {
+      size_t n = 0;
+      if (WriteSome(fd, req.data() + sent, req.size() - sent, &n) !=
+          IoResult::kOk) {
+        Close(fd);
+        return "";
+      }
+      sent += n;
+    }
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+      size_t n = 0;
+      const IoResult r = ReadSome(fd, buf, sizeof(buf), &n);
+      if (r != IoResult::kOk || n == 0) break;
+      resp.append(buf, n);
+    }
+    Close(fd);
+    return resp;
+  }
+
+  static uint64_t SampleValue(const std::string& body,
+                              const std::string& sample) {
+    const size_t pos = body.find("\n" + sample + " ");
+    if (pos == std::string::npos) return ~uint64_t{0};
+    return strtoull(body.c_str() + pos + 1 + sample.size() + 1, nullptr, 10);
+  }
+
+  std::unique_ptr<SimEnv> sim_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<ShardedDB> db_;
+  std::unique_ptr<RespServer> server_;
+  RespClient client_;
+};
+
+TEST_F(NetServerObsTest, SlowLogRecordsGetsResetsAndLens) {
+  ServerOptions sopts;
+  sopts.slowlog_threshold_micros = 0;  // record everything
+  sopts.slowlog_capacity = 8;
+  Start(sopts);
+
+  ASSERT_TRUE(client_.Set("slow_key", "v").ok());
+  std::string value;
+  bool found = false;
+  ASSERT_TRUE(client_.Get("slow_key", &value, &found).ok());
+
+  RespReply reply;
+  ASSERT_TRUE(client_.Command({"SLOWLOG", "LEN"}, &reply).ok());
+  ASSERT_EQ(RespReply::kInteger, reply.type);
+  EXPECT_GE(reply.integer, 2);
+
+  ASSERT_TRUE(client_.Command({"SLOWLOG", "GET"}, &reply).ok());
+  ASSERT_EQ(RespReply::kArray, reply.type);
+  ASSERT_GE(reply.elements.size(), 2u);
+  // Newest-first; some entry attributes the GET to the engine.
+  bool saw_get = false;
+  for (const RespReply& e : reply.elements) {
+    ASSERT_EQ(RespReply::kBulk, e.type);
+    EXPECT_NE(std::string::npos, e.str.find("verb="));
+    EXPECT_NE(std::string::npos, e.str.find("total_us="));
+    if (e.str.find("verb=get") != std::string::npos) {
+      saw_get = true;
+      EXPECT_NE(std::string::npos, e.str.find("key=slow_key"));
+      EXPECT_NE(std::string::npos, e.str.find("get_from_memtable=1"));
+    }
+  }
+  EXPECT_TRUE(saw_get);
+
+  ASSERT_TRUE(client_.Command({"SLOWLOG", "GET", "1"}, &reply).ok());
+  ASSERT_EQ(RespReply::kArray, reply.type);
+  EXPECT_EQ(1u, reply.elements.size());
+
+  EXPECT_GT(registry_.Get(obs::kNetSlowQueries), 0u);
+
+  // The property mirrors the ring for in-process consumers.
+  std::string prop;
+  ASSERT_TRUE(server_->GetProperty("bolt.slowlog", &prop));
+  EXPECT_NE(std::string::npos, prop.find("verb="));
+
+  ASSERT_TRUE(client_.Command({"SLOWLOG", "RESET"}, &reply).ok());
+  EXPECT_EQ(RespReply::kSimple, reply.type);
+  ASSERT_TRUE(client_.Command({"SLOWLOG", "LEN"}, &reply).ok());
+  ASSERT_EQ(RespReply::kInteger, reply.type);
+  // Only the commands dispatched after RESET (the LEN itself may have
+  // landed already): strictly fewer than before.
+  EXPECT_LE(reply.integer, 2);
+}
+
+TEST_F(NetServerObsTest, SlowLogDisabledAnswersErr) {
+  ServerOptions sopts;
+  sopts.slowlog_threshold_micros = -1;
+  Start(sopts);
+  RespReply reply;
+  ASSERT_TRUE(client_.Command({"SLOWLOG", "LEN"}, &reply).ok());
+  EXPECT_TRUE(reply.IsError());
+  std::string prop;
+  EXPECT_FALSE(server_->GetProperty("bolt.slowlog", &prop));
+}
+
+TEST_F(NetServerObsTest, MetricsEndpointServesPrometheus) {
+  ServerOptions sopts;
+  sopts.metrics_port = 0;  // ephemeral
+  Start(sopts);
+  ASSERT_TRUE(client_.Set("m_key", "v").ok());
+  ASSERT_TRUE(client_.Ping().ok());
+
+  const int mport = server_->metrics_port();
+  ASSERT_GT(mport, 0);
+  const std::string resp1 = HttpGet(mport, "/metrics");
+  EXPECT_NE(std::string::npos, resp1.find("HTTP/1.0 200 OK"));
+  EXPECT_NE(std::string::npos,
+            resp1.find("Content-Type: text/plain; version=0.0.4"));
+  EXPECT_NE(std::string::npos,
+            resp1.find("# TYPE bolt_net_commands_total counter"));
+  EXPECT_NE(std::string::npos,
+            resp1.find("bolt_cmd_calls_total{verb=\"set\"} 1"));
+  EXPECT_NE(std::string::npos,
+            resp1.find("bolt_cmd_latency_ns_count{verb=\"ping\"} 1"));
+
+  // A second scrape advances exactly the scrape counter's semantics:
+  // strictly increasing, proof the endpoint re-renders.
+  const std::string resp2 = HttpGet(mport, "/metrics");
+  const uint64_t s1 = SampleValue(resp1, "bolt_net_metrics_scrapes_total");
+  const uint64_t s2 = SampleValue(resp2, "bolt_net_metrics_scrapes_total");
+  ASSERT_NE(~uint64_t{0}, s1);
+  ASSERT_NE(~uint64_t{0}, s2);
+  EXPECT_GT(s2, s1);
+
+  // Unknown paths 404; the RESP plane is unaffected throughout.
+  EXPECT_NE(std::string::npos, HttpGet(mport, "/nope").find("404"));
+  EXPECT_TRUE(client_.Ping().ok());
+  // Scraper connections are not RESP clients: the active-conn gauge
+  // must settle back to just our one client.
+  EXPECT_TRUE(WaitForActiveConns(1, 2000));
+}
+
+TEST_F(NetServerObsTest, KilledClientMidPipelineDecrementsActiveOnce) {
+  ServerOptions sopts;
+  Start(sopts);
+  ASSERT_TRUE(WaitForActiveConns(1, 2000));
+
+  // A second client fires a pipeline — ending in a truncated frame —
+  // and vanishes without reading a single reply.
+  int fd = -1;
+  ASSERT_TRUE(Connect("127.0.0.1", server_->port(), &fd).ok());
+  ASSERT_TRUE(WaitForActiveConns(2, 2000));
+  std::string pipe;
+  for (int i = 0; i < 100; i++) {
+    const std::string k = "kill" + std::to_string(i);
+    pipe += "*3\r\n$3\r\nSET\r\n$" + std::to_string(k.size()) + "\r\n" + k +
+            "\r\n$1\r\nv\r\n";
+  }
+  pipe += "*3\r\n$3\r\nSET\r\n$9\r\nhalf_a_co";  // mid-frame cut
+  size_t sent = 0;
+  while (sent < pipe.size()) {
+    size_t n = 0;
+    ASSERT_EQ(IoResult::kOk,
+              WriteSome(fd, pipe.data() + sent, pipe.size() - sent, &n));
+    sent += n;
+  }
+  Close(fd);  // no reply ever read: the server's writes will fail
+
+  // Exactly one decrement on whichever teardown path won the race:
+  // the gauge returns to 1, never 0 (double-decrement) and never
+  // wedges at 2 (leak).
+  ASSERT_TRUE(WaitForActiveConns(1, 5000))
+      << "kNetConnActive=" << registry_.GetGauge(obs::kNetConnActive);
+  EXPECT_EQ(2u, registry_.Get(obs::kNetConnAccepted));
+
+  // The server is unharmed and still serves well-behaved clients.
+  // (Whether the killed pipeline's tail reached the engine depends on
+  // whether the RST beat the last read — deliberately not asserted.)
+  EXPECT_TRUE(client_.Ping().ok());
+}
+
+TEST_F(NetServerObsTest, SampledCmdSpansParentEngineSpans) {
+  ServerOptions sopts;
+  sopts.trace_sample = 1;  // every command
+  Start(sopts, /*with_tracer=*/true);
+
+  ASSERT_TRUE(client_.Set("span_key", "span_value").ok());
+  std::string value;
+  bool found = false;
+  ASSERT_TRUE(client_.Get("span_key", &value, &found).ok());
+
+  const std::vector<obs::Span> spans = tracer_->Snapshot();
+  std::vector<const obs::Span*> cmds;
+  std::vector<const obs::Span*> engine;
+  for (const obs::Span& s : spans) {
+    if (std::string(s.name) == "cmd") cmds.push_back(&s);
+    if (std::string(s.name) == "wal_append" ||
+        std::string(s.name) == "write_group") {
+      engine.push_back(&s);
+    }
+  }
+  ASSERT_FALSE(cmds.empty());
+  ASSERT_FALSE(engine.empty());
+  // The SET's engine spans nest inside a cmd span on the same tid.
+  bool nested = false;
+  for (const obs::Span* e : engine) {
+    for (const obs::Span* c : cmds) {
+      if (e->tid == c->tid && e->start_ns >= c->start_ns &&
+          e->start_ns + e->dur_ns <= c->start_ns + c->dur_ns) {
+        nested = true;
+      }
+    }
+  }
+  EXPECT_TRUE(nested);
+  // cmd spans carry the verb for trace tooling.
+  bool saw_set_verb = false;
+  for (const obs::Span* c : cmds) {
+    if (c->str_value == "set") saw_set_verb = true;
+  }
+  EXPECT_TRUE(saw_set_verb);
 }
 
 }  // namespace net

@@ -1,0 +1,246 @@
+// Serving-path observability units (DESIGN.md §15): per-verb request
+// stats, the slow-query ring, key escaping, and the Prometheus text
+// exposition they feed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/request_stats.h"
+#include "obs/slow_log.h"
+
+namespace bolt {
+namespace obs {
+namespace {
+
+TEST(VerbTest, UpperStringsMapToEnumsAndBack) {
+  EXPECT_EQ(kVerbGet, VerbFromUpper("GET"));
+  EXPECT_EQ(kVerbSet, VerbFromUpper("SET"));
+  EXPECT_EQ(kVerbDel, VerbFromUpper("DEL"));
+  EXPECT_EQ(kVerbMGet, VerbFromUpper("MGET"));
+  EXPECT_EQ(kVerbScan, VerbFromUpper("SCAN"));
+  EXPECT_EQ(kVerbPing, VerbFromUpper("PING"));
+  EXPECT_EQ(kVerbInfo, VerbFromUpper("INFO"));
+  EXPECT_EQ(kVerbSlowLog, VerbFromUpper("SLOWLOG"));
+  EXPECT_EQ(kVerbTraceDump, VerbFromUpper("TRACEDUMP"));
+  EXPECT_EQ(kVerbDebug, VerbFromUpper("DEBUG"));
+  EXPECT_EQ(kVerbShutdown, VerbFromUpper("SHUTDOWN"));
+  EXPECT_EQ(kVerbOther, VerbFromUpper("FLUSHALL"));
+  EXPECT_EQ(kVerbOther, VerbFromUpper(""));
+  EXPECT_STREQ("get", VerbName(kVerbGet));
+  EXPECT_STREQ("mget", VerbName(kVerbMGet));
+  EXPECT_STREQ("other", VerbName(kVerbOther));
+  // Every verb has a distinct, non-empty label (metric label safety).
+  std::vector<std::string> names;
+  for (uint32_t v = 0; v < kVerbMax; v++) {
+    std::string n = VerbName(static_cast<Verb>(v));
+    ASSERT_FALSE(n.empty());
+    for (const std::string& seen : names) EXPECT_NE(seen, n);
+    names.push_back(n);
+  }
+}
+
+TEST(RequestStatsTest, RecordAccumulatesPerVerb) {
+  RequestStats stats;
+  stats.Record(kVerbGet, 1000, 30, 100, false, /*stripe_hint=*/0);
+  stats.Record(kVerbGet, 3000, 32, 5, true, /*stripe_hint=*/1);
+  stats.Record(kVerbSet, 2000, 64, 5, false, /*stripe_hint=*/2);
+
+  EXPECT_EQ(2u, stats.Count(kVerbGet));
+  EXPECT_EQ(1u, stats.Errors(kVerbGet));
+  EXPECT_EQ(62u, stats.BytesIn(kVerbGet));
+  EXPECT_EQ(105u, stats.BytesOut(kVerbGet));
+  EXPECT_EQ(1u, stats.Count(kVerbSet));
+  EXPECT_EQ(0u, stats.Errors(kVerbSet));
+  EXPECT_EQ(0u, stats.Count(kVerbPing));
+  EXPECT_EQ(3u, stats.TotalCount());
+
+  // The merged latency view spans stripes.
+  Histogram h = stats.Latency(kVerbGet);
+  EXPECT_EQ(2u, h.count());
+  EXPECT_EQ(4000u, h.sum());
+
+  stats.Reset();
+  EXPECT_EQ(0u, stats.TotalCount());
+  EXPECT_EQ(0u, stats.Latency(kVerbGet).count());
+}
+
+TEST(RequestStatsTest, ConcurrentRecordsSumExactly) {
+  RequestStats stats;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&stats, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        stats.Record(kVerbGet, 100 + i, 10, 20, (i % 128) == 0,
+                     /*stripe_hint=*/static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const uint64_t want = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(want, stats.Count(kVerbGet));
+  EXPECT_EQ(want, stats.TotalCount());
+  EXPECT_EQ(want * 10, stats.BytesIn(kVerbGet));
+  EXPECT_EQ(want * 20, stats.BytesOut(kVerbGet));
+  EXPECT_EQ(want, stats.Latency(kVerbGet).count());
+}
+
+TEST(RequestStatsTest, InfoTableListsOnlyCalledVerbs) {
+  RequestStats stats;
+  stats.Record(kVerbSet, 2000, 64, 5, false, 0);
+  const std::string table = stats.ToInfoTable();
+  EXPECT_NE(std::string::npos, table.find("cmd_set:calls=1"));
+  EXPECT_EQ(std::string::npos, table.find("cmd_get"));
+  EXPECT_NE(std::string::npos, table.find("p99_us="));
+}
+
+TEST(SlowLogTest, EscapeKeyPrefixIsBinarySafe) {
+  // Printable ASCII passes through.
+  EXPECT_EQ("user:1001", EscapeKeyPrefix("user:1001", 32));
+  // Control bytes, high bytes, and the escape character itself are
+  // hex-escaped so the line cannot corrupt RESP/INFO framing.
+  EXPECT_EQ("a\\x00b", EscapeKeyPrefix(std::string("a\0b", 3), 32));
+  EXPECT_EQ("\\x0d\\x0a", EscapeKeyPrefix("\r\n", 32));
+  EXPECT_EQ("\\x5c", EscapeKeyPrefix("\\", 32));
+  EXPECT_EQ("\\xff", EscapeKeyPrefix("\xff", 32));
+  // Truncation keeps the first max_bytes source bytes and marks it.
+  const std::string t = EscapeKeyPrefix("abcdefgh", 4);
+  EXPECT_EQ("abcd..", t);
+  // Truncation counts source bytes, not escaped output bytes.
+  const std::string u = EscapeKeyPrefix(std::string("\x01\x02\x03", 3), 2);
+  EXPECT_EQ("\\x01\\x02..", u);
+}
+
+SlowLogEntry MakeEntry(Verb v, const std::string& key, uint64_t total_us) {
+  SlowLogEntry e;
+  e.verb = v;
+  e.key_prefix = EscapeKeyPrefix(key, 32);
+  e.total_micros = total_us;
+  e.queue_micros = total_us / 4;
+  e.exec_micros = total_us - e.queue_micros;
+  e.unix_sec = 1723100000;
+  return e;
+}
+
+TEST(SlowLogTest, RingWrapsAndSnapshotsNewestFirst) {
+  SlowLog log(4);
+  for (int i = 1; i <= 10; i++) {
+    const uint64_t id =
+        log.Record(MakeEntry(kVerbGet, "k" + std::to_string(i), i * 100));
+    EXPECT_EQ(static_cast<uint64_t>(i), id);
+  }
+  EXPECT_EQ(4u, log.Len());
+  EXPECT_EQ(10u, log.TotalRecorded());
+
+  std::vector<SlowLogEntry> all = log.Snapshot();
+  ASSERT_EQ(4u, all.size());
+  EXPECT_EQ(10u, all[0].id);  // newest first
+  EXPECT_EQ(9u, all[1].id);
+  EXPECT_EQ(8u, all[2].id);
+  EXPECT_EQ(7u, all[3].id);
+
+  std::vector<SlowLogEntry> two = log.Snapshot(2);
+  ASSERT_EQ(2u, two.size());
+  EXPECT_EQ(10u, two[0].id);
+  EXPECT_EQ(9u, two[1].id);
+
+  log.Reset();
+  EXPECT_EQ(0u, log.Len());
+  EXPECT_EQ(10u, log.TotalRecorded());
+  // Ids keep rising across RESET (entries are identifiable forever).
+  EXPECT_EQ(11u, log.Record(MakeEntry(kVerbSet, "after", 50)));
+}
+
+TEST(SlowLogTest, EntryToStringCarriesAttribution) {
+  SlowLogEntry e = MakeEntry(kVerbGet, "user:42", 1500);
+  e.id = 7;
+  e.perf.block_cache_misses = 3;
+  const std::string line = e.ToString();
+  EXPECT_NE(std::string::npos, line.find("id=7"));
+  EXPECT_NE(std::string::npos, line.find("verb=get"));
+  EXPECT_NE(std::string::npos, line.find("key=user:42"));
+  EXPECT_NE(std::string::npos, line.find("total_us=1500"));
+  EXPECT_NE(std::string::npos, line.find("queue_us=375"));
+  EXPECT_NE(std::string::npos, line.find("exec_us=1125"));
+  EXPECT_NE(std::string::npos, line.find("block_cache_misses=3"));
+}
+
+TEST(PrometheusTest, NameManglingFollowsTheContract) {
+  EXPECT_EQ("bolt_net_conn_active", PrometheusName("net.conn.active"));
+  EXPECT_EQ("bolt_wal_sync_count", PrometheusName("wal.sync.count"));
+  EXPECT_EQ("bolt_a_b_c", PrometheusName("a-b c"));
+}
+
+TEST(PrometheusTest, EmptyRegistryRendersDeclaredZeroSeries) {
+  MetricsRegistry registry;
+  std::string out;
+  RenderPrometheus(registry, nullptr, &out);
+  // Counters are TYPE-declared, _total-suffixed, and zero.
+  EXPECT_NE(std::string::npos,
+            out.find("# TYPE bolt_wal_sync_total counter"));
+  EXPECT_NE(std::string::npos, out.find("bolt_wal_sync_total 0"));
+  EXPECT_NE(std::string::npos,
+            out.find("# TYPE bolt_net_conn_active gauge"));
+  // An empty histogram exposes _sum/_count but NO quantile rows (a
+  // quantile of nothing is a lie, not a zero).
+  EXPECT_NE(std::string::npos,
+            out.find("# TYPE bolt_latency_get_ns summary"));
+  EXPECT_NE(std::string::npos, out.find("bolt_latency_get_ns_count 0"));
+  EXPECT_NE(std::string::npos, out.find("bolt_latency_get_ns_sum 0"));
+  EXPECT_EQ(std::string::npos,
+            out.find("bolt_latency_get_ns{quantile="));
+}
+
+TEST(PrometheusTest, SingleSampleHistogramQuantilesEqualTheSample) {
+  MetricsRegistry registry;
+  registry.RecordHist(kGetLatencyNs, 5000);
+  std::string out;
+  RenderPrometheus(registry, nullptr, &out);
+  EXPECT_NE(std::string::npos, out.find("bolt_latency_get_ns_count 1"));
+  EXPECT_NE(std::string::npos, out.find("bolt_latency_get_ns_sum 5000"));
+  // All quantiles of a single-sample distribution report that sample
+  // (within the log-bucket resolution of the histogram).
+  const size_t q50 = out.find("bolt_latency_get_ns{quantile=\"0.5\"} ");
+  const size_t q99 = out.find("bolt_latency_get_ns{quantile=\"0.99\"} ");
+  ASSERT_NE(std::string::npos, q50);
+  ASSERT_NE(std::string::npos, q99);
+  const uint64_t v50 = strtoull(
+      out.c_str() + q50 + strlen("bolt_latency_get_ns{quantile=\"0.5\"} "),
+      nullptr, 10);
+  const uint64_t v99 = strtoull(
+      out.c_str() + q99 + strlen("bolt_latency_get_ns{quantile=\"0.99\"} "),
+      nullptr, 10);
+  EXPECT_NEAR(5000.0, static_cast<double>(v50), 5000.0 * 0.05);
+  EXPECT_NEAR(5000.0, static_cast<double>(v99), 5000.0 * 0.05);
+}
+
+TEST(PrometheusTest, RequestStatsExportPerVerbSeries) {
+  MetricsRegistry registry;
+  RequestStats stats;
+  stats.Record(kVerbGet, 1000, 30, 100, false, 0);
+  stats.Record(kVerbGet, 3000, 30, 100, true, 1);
+  std::string out;
+  RenderPrometheus(registry, &stats, &out);
+  // Every verb exports a calls counter (zero included) so dashboards
+  // can rate() without series appearing mid-flight...
+  EXPECT_NE(std::string::npos,
+            out.find("bolt_cmd_calls_total{verb=\"get\"} 2"));
+  EXPECT_NE(std::string::npos,
+            out.find("bolt_cmd_calls_total{verb=\"ping\"} 0"));
+  EXPECT_NE(std::string::npos,
+            out.find("bolt_cmd_errors_total{verb=\"get\"} 1"));
+  // ...but latency summaries only exist for verbs that ran.
+  EXPECT_NE(std::string::npos,
+            out.find("bolt_cmd_latency_ns_count{verb=\"get\"} 2"));
+  EXPECT_EQ(std::string::npos,
+            out.find("bolt_cmd_latency_ns_count{verb=\"ping\"}"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bolt

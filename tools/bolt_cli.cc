@@ -28,6 +28,19 @@ std::string FlagValue(int argc, char** argv, const char* name,
   return def;
 }
 
+// Multi-line bulk replies (INFO sections, SLOWLOG entries) read better
+// raw: CRLF-normalized, no surrounding quotes, trailing newline
+// guaranteed.  Single-line bulks keep the redis-cli quoting.
+void PrintMultilineBulk(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c != '\r') out.push_back(c);
+  }
+  if (out.empty() || out.back() != '\n') out.push_back('\n');
+  fwrite(out.data(), 1, out.size(), stdout);
+}
+
 void PrintReply(const bolt::net::RespReply& reply, int indent) {
   using bolt::net::RespReply;
   switch (reply.type) {
@@ -41,7 +54,11 @@ void PrintReply(const bolt::net::RespReply& reply, int indent) {
       printf("(integer) %lld\n", static_cast<long long>(reply.integer));
       break;
     case RespReply::kBulk:
-      printf("\"%s\"\n", reply.str.c_str());
+      if (reply.str.find('\n') != std::string::npos) {
+        PrintMultilineBulk(reply.str);
+      } else {
+        printf("\"%s\"\n", reply.str.c_str());
+      }
       break;
     case RespReply::kNull:
       printf("(nil)\n");

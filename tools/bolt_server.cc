@@ -2,22 +2,40 @@
 //
 //   bolt_server --db=/path/to/db [--shards=4] [--port=6380]
 //               [--host=127.0.0.1] [--block_cache_mb=64]
+//               [--metrics-port=9101] [--slowlog-threshold-micros=10000]
+//               [--slowlog-capacity=128] [--trace-sample=16]
+//               [--trace=0|1] [--write_buffer_kb=KB]
 //
-// Prints "READY port=<p> shards=<n> db=<path>" on stdout once the
-// socket is listening (scripts wait for that line), then serves until
-// SIGINT/SIGTERM or a client SHUTDOWN, drains gracefully, and exits 0.
+// Prints "READY port=<p> metrics_port=<m> shards=<n> db=<path>" on
+// stdout once the socket is listening (scripts wait for that line),
+// then serves until SIGINT/SIGTERM or a client SHUTDOWN, drains
+// gracefully, and exits 0.
 //
 // --shards=0 reopens an existing DB with whatever its SHARDS file says;
 // any other value must match on reopen (resharding needs a migration).
+//
+// Observability surface (DESIGN.md §15):
+//   --metrics-port=P           Prometheus /metrics on port P (0 =
+//                              ephemeral, reported in READY; omit or
+//                              -1 to disable).
+//   --slowlog-threshold-micros e2e-slow commands land in SLOWLOG GET
+//                              (0 = log everything, -1 = disable).
+//   --trace=1                  engine + cmd span tracing; the env is
+//                              wrapped in a TracingEnv so the barrier
+//                              sum-equations hold on TRACEDUMP output.
+//   --trace-sample=N           1 in N commands opens a "cmd" span.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "env/env.h"
+#include "env/tracing_env.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "shard/sharded_db.h"
 
 namespace {
@@ -49,10 +67,23 @@ int main(int argc, char** argv) {
   const std::string host = FlagValue(argc, argv, "host", "127.0.0.1");
   const int cache_mb =
       atoi(FlagValue(argc, argv, "block_cache_mb", "64").c_str());
+  const int metrics_port =
+      atoi(FlagValue(argc, argv, "metrics-port", "-1").c_str());
+  const long long slowlog_micros = atoll(
+      FlagValue(argc, argv, "slowlog-threshold-micros", "10000").c_str());
+  const int slowlog_capacity =
+      atoi(FlagValue(argc, argv, "slowlog-capacity", "128").c_str());
+  const int trace_sample =
+      atoi(FlagValue(argc, argv, "trace-sample", "16").c_str());
+  const bool trace = atoi(FlagValue(argc, argv, "trace", "0").c_str()) != 0;
+  const int write_buffer_kb =
+      atoi(FlagValue(argc, argv, "write_buffer_kb", "0").c_str());
   if (db_path.empty()) {
     fprintf(stderr,
             "usage: bolt_server --db=PATH [--shards=N] [--port=P] "
-            "[--host=H] [--block_cache_mb=MB]\n");
+            "[--host=H] [--block_cache_mb=MB] [--metrics-port=P] "
+            "[--slowlog-threshold-micros=U] [--slowlog-capacity=N] "
+            "[--trace=0|1] [--trace-sample=N] [--write_buffer_kb=KB]\n");
     return 2;
   }
 
@@ -62,6 +93,22 @@ int main(int argc, char** argv) {
   options.env = bolt::PosixEnv();
   options.block_cache_bytes = static_cast<size_t>(cache_mb) << 20;
   options.metrics = &metrics;
+  if (write_buffer_kb > 0) {
+    options.write_buffer_size = static_cast<size_t>(write_buffer_kb) << 10;
+  }
+
+  // One tracer spans engine and server, so a live TRACEDUMP shows "cmd"
+  // spans parenting write_group/flush spans; the TracingEnv adds the
+  // per-file-type barrier tickers trace_check.py's sum-equations need.
+  std::unique_ptr<bolt::obs::Tracer> tracer;
+  std::unique_ptr<bolt::TracingEnv> tracing_env;
+  if (trace) {
+    tracer.reset(new bolt::obs::Tracer(options.env, 8192));
+    tracing_env.reset(new bolt::TracingEnv(options.env));
+    options.env = tracing_env.get();
+    options.tracer = tracer.get();
+    options.enable_tracing = true;
+  }
 
   bolt::ShardedDB* db = nullptr;
   bolt::Status s = bolt::ShardedDB::Open(options, shards, db_path, &db);
@@ -74,6 +121,13 @@ int main(int argc, char** argv) {
   server_options.host = host;
   server_options.port = port;
   server_options.metrics = &metrics;
+  server_options.metrics_port = metrics_port;
+  server_options.slowlog_threshold_micros = slowlog_micros;
+  if (slowlog_capacity > 0) {
+    server_options.slowlog_capacity = static_cast<size_t>(slowlog_capacity);
+  }
+  server_options.tracer = tracer.get();
+  server_options.trace_sample = trace_sample;
   bolt::net::RespServer server(db, server_options);
   s = server.Start();
   if (!s.ok()) {
@@ -87,8 +141,8 @@ int main(int argc, char** argv) {
   signal(SIGTERM, HandleSignal);
   signal(SIGPIPE, SIG_IGN);  // dead clients surface as write errors
 
-  printf("READY port=%d shards=%d db=%s\n", server.port(), db->num_shards(),
-         db_path.c_str());
+  printf("READY port=%d metrics_port=%d shards=%d db=%s\n", server.port(),
+         server.metrics_port(), db->num_shards(), db_path.c_str());
   fflush(stdout);
 
   server.Wait();
